@@ -1,0 +1,83 @@
+//! Experiment E6 — §4: wall-clock comparison of the three safe-pointer-
+//! store organizations (simple array with 4 KB pages vs 2 MB superpages,
+//! two-level lookup table, hash table), on access patterns modelling a
+//! CPI-instrumented program: clustered hot pointers (stack/heap
+//! locality) plus a scan over a wide address range.
+//!
+//! The paper found the superpage-backed simple array fastest; the hash
+//! table is memory-frugal but scatters accesses.
+//!
+//! Run with: `cargo bench -p levee-bench --bench store_organizations`
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use levee_rt::{Entry, StoreKind};
+
+/// Clustered working set: 512 hot pointer slots in a 32 KB window, like
+/// the live sensitive pointers of a running program.
+fn hot_set(kind: StoreKind) -> u64 {
+    let mut store = kind.instantiate(0x7000_0000_0000);
+    let mut acc = 0u64;
+    for round in 0..64u64 {
+        for slot in 0..512u64 {
+            let addr = 0x1000_0000 + slot * 64;
+            store.set(addr, Entry::data(addr, addr, addr + 64, round));
+            let (e, _) = store.get(addr);
+            acc = acc.wrapping_add(e.map(|e| e.value).unwrap_or(0));
+        }
+    }
+    acc
+}
+
+/// Sparse sweep: pointers spread across a 64 MB range (startup /
+/// data-structure build phase — the page-fault-sensitive pattern).
+fn sparse_sweep(kind: StoreKind) -> u64 {
+    let mut store = kind.instantiate(0x7000_0000_0000);
+    let mut acc = 0u64;
+    for slot in 0..4096u64 {
+        let addr = 0x1000_0000 + slot * 16384;
+        store.set(addr, Entry::code(0x40_0000 + slot));
+        let (e, _) = store.get(addr);
+        acc = acc.wrapping_add(e.map(|e| e.value).unwrap_or(0));
+    }
+    acc
+}
+
+/// memcpy-style entry transfer (the cpi_memcpy path).
+fn entry_transfer(kind: StoreKind) -> u64 {
+    let mut store = kind.instantiate(0x7000_0000_0000);
+    for slot in 0..256u64 {
+        store.set(0x2000_0000 + slot * 8, Entry::code(slot + 1));
+    }
+    let mut copied = 0u64;
+    for round in 0..32u64 {
+        let dst = 0x3000_0000 + round * 4096;
+        let (n, _) = store.copy_range(dst, 0x2000_0000, 256 * 8);
+        copied += n;
+    }
+    copied
+}
+
+fn bench_stores(c: &mut Criterion) {
+    let mut group = c.benchmark_group("safe_pointer_store");
+    for kind in StoreKind::all() {
+        group.bench_with_input(
+            BenchmarkId::new("hot_set", kind.name()),
+            kind,
+            |b, kind| b.iter(|| black_box(hot_set(*kind))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sparse_sweep", kind.name()),
+            kind,
+            |b, kind| b.iter(|| black_box(sparse_sweep(*kind))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("entry_transfer", kind.name()),
+            kind,
+            |b, kind| b.iter(|| black_box(entry_transfer(*kind))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stores);
+criterion_main!(benches);

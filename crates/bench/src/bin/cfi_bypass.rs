@@ -1,0 +1,64 @@
+//! Experiment E11 — §3.3's Perl-opcode discussion and the CFI-bypass
+//! results [19, 15, 9]: static CFI admits redirecting an opcode
+//! dispatch pointer to *any* valid-typed handler, while CPS only admits
+//! code pointers the program actually assigned — and the corrupted
+//! regular-memory copy is simply never used.
+//!
+//! Usage: `cargo run -p levee-bench --bin cfi_bypass`
+
+use levee_bench::Table;
+use levee_core::BuildConfig;
+use levee_defenses::Deployment;
+use levee_ripe::{run_attack, AbuseFn, Attack, AttackResult, Location, Payload, Profile, Target, Technique};
+
+fn main() {
+    println!("§3.3 / §5.2 — CFI bypass vs CPS/CPI\n");
+    // The attack: corrupt a global function pointer (a dispatch-table
+    // slot) and redirect it to an existing function of the SAME type
+    // signature that the program never assigned to it — precisely what
+    // static CFI cannot distinguish.
+    let attack = Attack {
+        location: Location::Bss,
+        target: Target::FuncPtr,
+        technique: Technique::Direct,
+        abuse: AbuseFn::ReadInput,
+        payload: Payload::FuncReuse,
+    };
+    let mut table = Table::new(&["defense", "outcome", "verdict"]);
+    for (name, profile) in [
+        ("CFI coarse (any function)", Profile::Deployment(Deployment::CoarseCfi)),
+        ("CFI type-based", Profile::Deployment(Deployment::TypeCfi)),
+        ("CPS", Profile::Levee(BuildConfig::Cps)),
+        ("CPI", Profile::Levee(BuildConfig::Cpi)),
+    ] {
+        let result = run_attack(&attack, &profile, 99);
+        let (outcome, verdict) = match &result {
+            AttackResult::Hijacked => ("HIJACKED".to_string(), "bypassed"),
+            AttackResult::Detected(by) => (format!("detected by {by}"), "stopped"),
+            AttackResult::Crashed(why) => (format!("crashed ({why})"), "stopped"),
+            AttackResult::Survived => ("program survived".to_string(), "stopped silently"),
+        };
+        table.row(vec![name.to_string(), outcome, verdict.to_string()]);
+    }
+    table.print();
+    println!(
+        "\nExpected: both CFI variants are bypassed (the target is a valid,\n\
+         matching-signature function); CPS and CPI stop the attack because\n\
+         the authentic pointer lives in the safe store."
+    );
+
+    // And a ROP-style bypass of the coarse return policy.
+    let rop = Attack {
+        location: Location::Stack,
+        target: Target::RetAddr,
+        technique: Technique::Direct,
+        abuse: AbuseFn::Memcpy,
+        payload: Payload::Rop,
+    };
+    let coarse = run_attack(&rop, &Profile::Deployment(Deployment::CoarseCfi), 99);
+    let cpi = run_attack(&rop, &Profile::Levee(BuildConfig::Cpi), 99);
+    println!(
+        "\nReturn-to-gadget (valid return site): coarse CFI → {:?}; CPI safe stack → {:?}",
+        coarse, cpi
+    );
+}

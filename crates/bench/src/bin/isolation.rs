@@ -1,0 +1,74 @@
+//! Experiment E10 — §3.2.3: the cost of safe-region isolation
+//! mechanisms, and the crash-proneness of guessing attacks against
+//! information hiding.
+//!
+//! Paper: SFI adds <5%; under information hiding "most failed guessing
+//! attempts would crash the program".
+//!
+//! Usage: `cargo run -p levee-bench --bin isolation [-- scale]`
+
+use levee_bench::{pct, Table};
+use levee_core::{build_source, BuildConfig};
+use levee_vm::{GuessOutcome, Isolation, Machine, StoreKind, VmConfig};
+use levee_workloads::spec_suite;
+
+fn main() {
+    let scale: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+
+    println!("§3.2.3 — isolation mechanism cost under CPI (scale {scale})\n");
+    let mut table = Table::new(&["isolation", "avg CPI overhead"]);
+    for iso in [Isolation::Segmentation, Isolation::InfoHiding, Isolation::Sfi] {
+        let mut total = 0.0;
+        let mut n = 0.0;
+        for w in spec_suite().iter().take(8) {
+            let src = w.source(scale);
+            let base = build_source(&src, w.name, BuildConfig::Vanilla).expect("builds");
+            let mut base_cfg = base.vm_config(VmConfig::default());
+            base_cfg.isolation = Isolation::Segmentation; // plain baseline
+            let base_run = Machine::new(&base.module, base_cfg).run(b"");
+
+            let built = build_source(&src, w.name, BuildConfig::Cpi).expect("builds");
+            let mut cfg = built.vm_config(VmConfig::default());
+            cfg.isolation = iso;
+            cfg.store_kind = StoreKind::ArraySuperpage;
+            let run = Machine::new(&built.module, cfg).run(b"");
+            total += run.stats.overhead_pct(&base_run.stats);
+            n += 1.0;
+        }
+        table.row(vec![format!("{iso:?}"), pct(total / n)]);
+    }
+    table.print();
+    println!("\nExpected: SFI ≈ segmentation + a few % (one mask per memory access).\n");
+
+    // Guessing attack against information hiding.
+    let src = spec_suite()[0].source(1);
+    let built = build_source(&src, "victim", BuildConfig::Cpi).expect("builds");
+    let mut cfg = built.vm_config(VmConfig::default());
+    cfg.isolation = Isolation::InfoHiding;
+    cfg.seed = 0xFEE1;
+    let vm = Machine::new(&built.module, cfg);
+    let (mut hits, mut crashes, mut misses) = (0u64, 0u64, 0u64);
+    let probes = 2048u64;
+    for i in 0..probes {
+        let guess = levee_vm::layout::SAFE_REGION_MIN
+            + i * (levee_vm::layout::SAFE_REGION_WINDOW / probes);
+        match vm.attacker_guess(guess) {
+            GuessOutcome::Hit => hits += 1,
+            GuessOutcome::Crash => crashes += 1,
+            GuessOutcome::Miss => misses += 1,
+        }
+    }
+    println!(
+        "Guessing the hidden safe region: {probes} probes → {hits} hits, \
+         {crashes} crashes, {misses} silent misses"
+    );
+    println!(
+        "Guess space: {} equally likely bases → every probe is ~{:.2}% likely to hit,\n\
+         and every miss crashes the process (detectable crash storm).",
+        vm.guess_space(),
+        100.0 / vm.guess_space() as f64
+    );
+}

@@ -1,0 +1,32 @@
+//! Experiment E7 — Figure 4: the Phoronix-like system suite under
+//! SafeStack / CPS / CPI (the FreeBSD case study of §5.3).
+//!
+//! Expected shape: most overheads small; the interpreter-bound pybench
+//! is the CPI outlier, exactly as in the paper's Fig. 4.
+//!
+//! Usage: `cargo run -p levee-bench --bin phoronix [-- scale]`
+
+use levee_bench::{pct, Table};
+use levee_core::BuildConfig;
+use levee_vm::StoreKind;
+use levee_workloads::{overhead_row, phoronix_suite};
+
+fn main() {
+    let scale: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let configs = [BuildConfig::SafeStack, BuildConfig::Cps, BuildConfig::Cpi];
+    println!("Figure 4 — Phoronix-like suite overheads (scale {scale})\n");
+    let mut table = Table::new(&["benchmark", "SafeStack", "CPS", "CPI"]);
+    for w in phoronix_suite() {
+        let row = overhead_row(&w, scale, &configs, StoreKind::ArraySuperpage);
+        table.row(vec![
+            w.name.to_string(),
+            pct(row.overhead(BuildConfig::SafeStack).unwrap()),
+            pct(row.overhead(BuildConfig::Cps).unwrap()),
+            pct(row.overhead(BuildConfig::Cpi).unwrap()),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,44 @@
+//! Experiment E4 — Table 3: CPI vs full memory safety (SoftBound mode)
+//! on the four benchmarks the paper could run under SoftBound.
+//!
+//! Paper: bzip2 2.8% vs 90.2%; dealII 3.7% vs 60.2%; sjeng 2.6% vs
+//! 79.0%; h264ref 5.8% vs 249.4%.
+//!
+//! Usage: `cargo run -p levee-bench --bin softbound_compare [-- scale]`
+
+use levee_bench::{pct, Table};
+use levee_core::BuildConfig;
+use levee_vm::StoreKind;
+use levee_workloads::{overhead_row, spec_suite};
+
+fn main() {
+    let scale: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let names = ["bzip2", "dealII", "sjeng", "h264ref"];
+    println!("Table 3 — Levee vs SoftBound-style full memory safety (scale {scale})\n");
+    let mut table = Table::new(&["benchmark", "SafeStack", "CPS", "CPI", "SoftBound"]);
+    for w in spec_suite().iter().filter(|w| names.contains(&w.name)) {
+        let row = overhead_row(
+            w,
+            scale,
+            &[
+                BuildConfig::SafeStack,
+                BuildConfig::Cps,
+                BuildConfig::Cpi,
+                BuildConfig::SoftBound,
+            ],
+            StoreKind::ArraySuperpage,
+        );
+        table.row(vec![
+            w.spec_id.to_string(),
+            pct(row.overhead(BuildConfig::SafeStack).unwrap()),
+            pct(row.overhead(BuildConfig::Cps).unwrap()),
+            pct(row.overhead(BuildConfig::Cpi).unwrap()),
+            pct(row.overhead(BuildConfig::SoftBound).unwrap()),
+        ]);
+    }
+    table.print();
+    println!("\nExpected shape: SoftBound ≫ CPI (the paper's 16–44× selectivity win).");
+}

@@ -1,0 +1,61 @@
+//! Experiment E2 — Table 1 + Figure 3: SPEC-CPU2006-like overheads of
+//! SafeStack / CPS / CPI per benchmark, with C-only and C/C++ summary
+//! rows.
+//!
+//! Usage: `cargo run -p levee-bench --bin spec_overhead [-- scale]`
+
+use levee_bench::{pct, Table};
+use levee_core::BuildConfig;
+use levee_vm::StoreKind;
+use levee_workloads::{overhead_row, spec_suite, summarize};
+
+fn main() {
+    let scale: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let configs = [BuildConfig::SafeStack, BuildConfig::Cps, BuildConfig::Cpi];
+    println!("Figure 3 / Table 1 — SPEC CPU2006-like overheads (scale {scale})\n");
+
+    let mut table = Table::new(&["benchmark", "lang", "SafeStack", "CPS", "CPI"]);
+    let mut rows = Vec::new();
+    for w in spec_suite() {
+        let row = overhead_row(&w, scale, &configs, StoreKind::ArraySuperpage);
+        table.row(vec![
+            w.spec_id.to_string(),
+            if w.cpp { "C++" } else { "C" }.to_string(),
+            pct(row.overhead(BuildConfig::SafeStack).unwrap()),
+            pct(row.overhead(BuildConfig::Cps).unwrap()),
+            pct(row.overhead(BuildConfig::Cpi).unwrap()),
+        ]);
+        rows.push(row);
+    }
+    table.print();
+
+    println!("\nTable 1 — summary (paper: SafeStack 0.0%/1.9%/8.4% avg rows)\n");
+    let mut summary = Table::new(&["statistic", "SafeStack", "CPS", "CPI"]);
+    for (label, filter) in [
+        ("Average (C/C++)", None),
+        ("Median (C/C++)", None),
+        ("Maximum (C/C++)", None),
+        ("Average (C only)", Some(false)),
+        ("Median (C only)", Some(false)),
+        ("Maximum (C only)", Some(false)),
+    ] {
+        let stat = |config| {
+            let (avg, med, max) = summarize(&rows, config, filter);
+            match label.split(' ').next().unwrap() {
+                "Average" => avg,
+                "Median" => med,
+                _ => max,
+            }
+        };
+        summary.row(vec![
+            label.to_string(),
+            pct(stat(BuildConfig::SafeStack)),
+            pct(stat(BuildConfig::Cps)),
+            pct(stat(BuildConfig::Cpi)),
+        ]);
+    }
+    summary.print();
+}

@@ -1,0 +1,48 @@
+//! Experiment E8 — Table 4: web-server stack throughput under
+//! SafeStack / CPS / CPI (the Apache + mod_wsgi + Django model).
+//!
+//! Paper: static 1.7/8.9/16.9%; wsgi 1.0/4.0/15.3%; dynamic
+//! 1.4/15.9/138.8% — the dynamic (interpreter) path is where CPI
+//! explodes.
+//!
+//! Usage: `cargo run -p levee-bench --bin webserver_throughput [-- requests]`
+
+use levee_bench::{pct, Table};
+use levee_core::BuildConfig;
+use levee_vm::StoreKind;
+use levee_workloads::{measure, web_stack};
+
+fn main() {
+    let requests: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    println!("Table 4 — web stack throughput ({requests} requests per run)\n");
+    let mut table = Table::new(&[
+        "page",
+        "SafeStack",
+        "CPS",
+        "CPI",
+        "baseline req/Mcycle",
+    ]);
+    for w in web_stack() {
+        let base = measure(&w, requests, BuildConfig::Vanilla, StoreKind::ArraySuperpage);
+        let cells: Vec<String> = [BuildConfig::SafeStack, BuildConfig::Cps, BuildConfig::Cpi]
+            .iter()
+            .map(|c| {
+                let m = measure(&w, requests, *c, StoreKind::ArraySuperpage);
+                pct(m.overhead_pct(&base))
+            })
+            .collect();
+        let throughput = requests as f64 / (base.exec.cycles as f64 / 1.0e6);
+        table.row(vec![
+            w.name.to_string(),
+            cells[0].clone(),
+            cells[1].clone(),
+            cells[2].clone(),
+            format!("{throughput:.1}"),
+        ]);
+    }
+    table.print();
+    println!("\nExpected shape: dynamic-page CPI ≫ wsgi ≫ static (interpreter dispatch cost).");
+}

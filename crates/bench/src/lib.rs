@@ -1,0 +1,109 @@
+//! # levee-bench — the evaluation harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §4 for the
+//! experiment index and EXPERIMENTS.md for recorded results):
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `ripe_eval` | §5.1 RIPE table |
+//! | `spec_overhead` | Table 1 + Fig. 3 |
+//! | `compilation_stats` | Table 2 |
+//! | `softbound_compare` | Table 3 |
+//! | `memory_overhead` | §5.2 memory numbers |
+//! | `phoronix` | Fig. 4 |
+//! | `webserver_throughput` | Table 4 |
+//! | `defense_matrix` | Fig. 5 |
+//! | `isolation` | §3.2.3 isolation costs + guessing |
+//! | `cfi_bypass` | §3.3 Perl-opcode CFI vs CPS |
+//! | `mpx_ablation` | §4 MPX discussion |
+//!
+//! plus the criterion bench `store_organizations` (§4's array /
+//! two-level / hashtable comparison).
+
+/// Formats a percentage with sign, one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{x:+.1}%")
+}
+
+/// A fixed-width text table, printed in the paper's style.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&line(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "CPS", "CPI"]);
+        t.row(vec!["perlbench".into(), "+3.1%".into(), "+12.0%".into()]);
+        t.row(vec!["lbm".into(), "+0.1%".into(), "+0.2%".into()]);
+        let r = t.render();
+        assert!(r.contains("perlbench"));
+        assert!(r.lines().count() == 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(8.4), "+8.4%");
+        assert_eq!(pct(-0.4), "-0.4%");
+    }
+}

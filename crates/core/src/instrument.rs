@@ -1,0 +1,540 @@
+//! The CPI/CPS/SoftBound instrumentation pass (§3.2.2).
+//!
+//! Rewrites a module so that:
+//!
+//! * loads/stores of **sensitive values** go through the safe pointer
+//!   store (`PtrLoad`/`PtrStore`, with the `universal` flavour for
+//!   `void*`/`char*`),
+//! * dereferences of **sensitive pointers** are bounds-checked
+//!   (`Check`) — CPI and SoftBound only; CPS carries no bounds (§3.3),
+//! * indirect calls verify their target is a genuine code pointer
+//!   (`FnCheck`),
+//! * `memcpy`/`memmove`/`memset` whose operands may cover sensitive
+//!   data become safe-store-aware variants (`SafeMemcpy`/`SafeMemset`),
+//!   unless argument type recovery proves them harmless,
+//! * accesses already proven safe by the safe-stack pass
+//!   ([`MemSpace::SafeStack`]) are left untouched — they are protected
+//!   by the safe region itself.
+//!
+//! The pass precedes nothing else: like Levee, it expects to run after
+//! the safe-stack transformation and leaves the module verifiable.
+
+use std::collections::HashMap;
+
+use levee_ir::prelude::*;
+
+use crate::sensitivity::{FnFlow, Mode, Sensitivity};
+use crate::stats::FuncInstrStats;
+
+/// Instruments every function of `module` for `mode`; returns
+/// per-function statistics.
+pub fn apply(module: &mut Module, mode: Mode) -> Vec<FuncInstrStats> {
+    let policy = match mode {
+        Mode::Cpi => Policy::Cpi,
+        Mode::Cps => Policy::Cps,
+        Mode::SoftBound => Policy::SoftBound,
+    };
+    let types = module.types.clone();
+    let mut stats = Vec::new();
+    // Clone the function list for analysis while rewriting in place.
+    for fidx in 0..module.funcs.len() {
+        let func_snapshot = module.funcs[fidx].clone();
+        let mut sens = Sensitivity::new(&types, mode);
+        let flow = FnFlow::analyze(module, &func_snapshot, &mut sens);
+        let defs = def_map(&func_snapshot);
+        let mut st = FuncInstrStats::new(&func_snapshot.name);
+
+        let func = &mut module.funcs[fidx];
+        for block in &mut func.blocks {
+            let old = std::mem::take(&mut block.insts);
+            let mut new = Vec::with_capacity(old.len() + 4);
+            for inst in old {
+                rewrite(
+                    inst,
+                    policy,
+                    &mut sens,
+                    &flow,
+                    &defs,
+                    &func_snapshot,
+                    &mut new,
+                    &mut st,
+                );
+            }
+            block.insts = new;
+        }
+        stats.push(st);
+    }
+    stats
+}
+
+/// Register → defining instruction index map (registers are defined once
+/// by lowering, except the boolean merge registers, which are not
+/// pointers).
+fn def_map(func: &Function) -> HashMap<ValueId, Inst> {
+    let mut m = HashMap::new();
+    for inst in func.iter_insts() {
+        if let Some(d) = inst.dest() {
+            m.entry(d).or_insert_with(|| inst.clone());
+        }
+    }
+    m
+}
+
+/// The static type of an operand, if it is a register.
+fn operand_ty<'f>(func: &'f Function, op: Operand) -> Option<&'f Ty> {
+    match op {
+        Operand::Value(v) => Some(func.local_ty(v)),
+        Operand::Const(_) => None,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rewrite(
+    inst: Inst,
+    policy: Policy,
+    sens: &mut Sensitivity<'_>,
+    flow: &FnFlow,
+    defs: &HashMap<ValueId, Inst>,
+    func: &Function,
+    out: &mut Vec<Inst>,
+    st: &mut FuncInstrStats,
+) {
+    match inst {
+        Inst::Load {
+            dest,
+            ptr,
+            ty,
+            space: MemSpace::Regular,
+        } => {
+            st.mem_ops += 1;
+            let mut instrumented = false;
+            if needs_deref_check(sens, flow, func, ptr) {
+                out.push(Inst::Cpi(CpiOp::Check {
+                    policy,
+                    ptr,
+                    size: size_of(sens, &ty),
+                }));
+                st.checks += 1;
+                instrumented = true;
+            }
+            if value_needs_protection(sens, flow, &ty, dest.into()) {
+                out.push(Inst::Cpi(CpiOp::PtrLoad {
+                    policy,
+                    dest,
+                    ptr,
+                    universal: sens.is_universal(&ty),
+                }));
+                st.protected_ops += 1;
+                instrumented = true;
+            } else if flow.cast_sensitive.contains(&dest) && ty == Ty::I64 {
+                // Cast dataflow: an integer that becomes a sensitive
+                // pointer later — load through the universal path.
+                out.push(Inst::Cpi(CpiOp::PtrLoad {
+                    policy,
+                    dest,
+                    ptr,
+                    universal: true,
+                }));
+                st.protected_ops += 1;
+                instrumented = true;
+            } else {
+                out.push(Inst::Load {
+                    dest,
+                    ptr,
+                    ty,
+                    space: MemSpace::Regular,
+                });
+            }
+            if instrumented {
+                st.instrumented_mem_ops += 1;
+            }
+        }
+        Inst::Store {
+            ptr,
+            value,
+            ty,
+            space: MemSpace::Regular,
+        } => {
+            st.mem_ops += 1;
+            let mut instrumented = false;
+            if needs_deref_check(sens, flow, func, ptr) {
+                out.push(Inst::Cpi(CpiOp::Check {
+                    policy,
+                    ptr,
+                    size: size_of(sens, &ty),
+                }));
+                st.checks += 1;
+                instrumented = true;
+            }
+            let cast_flagged = matches!(value, Operand::Value(v) if flow.cast_sensitive.contains(&v))
+                && ty == Ty::I64;
+            if value_needs_protection(sens, flow, &ty, value) || cast_flagged {
+                out.push(Inst::Cpi(CpiOp::PtrStore {
+                    policy,
+                    ptr,
+                    value,
+                    universal: sens.is_universal(&ty) || cast_flagged,
+                }));
+                st.protected_ops += 1;
+                instrumented = true;
+            } else {
+                out.push(Inst::Store {
+                    ptr,
+                    value,
+                    ty,
+                    space: MemSpace::Regular,
+                });
+            }
+            if instrumented {
+                st.instrumented_mem_ops += 1;
+            }
+        }
+        Inst::CallIndirect {
+            dest,
+            callee,
+            sig,
+            args,
+            cfi,
+        } => {
+            out.push(Inst::Cpi(CpiOp::FnCheck { policy, callee }));
+            st.fn_checks += 1;
+            out.push(Inst::CallIndirect {
+                dest,
+                callee,
+                sig,
+                args,
+                cfi,
+            });
+        }
+        Inst::IntrinsicCall { dest, which, args }
+            if which.is_mem_fn() && mem_fn_may_touch_sensitive(sens, flow, defs, func, &args) =>
+        {
+            st.safe_mem_fns += 1;
+            match which {
+                Intrinsic::Memcpy | Intrinsic::Memmove => {
+                    out.push(Inst::Cpi(CpiOp::SafeMemcpy {
+                        policy,
+                        dst: args[0],
+                        src: args[1],
+                        len: args[2],
+                        moving: which == Intrinsic::Memmove,
+                    }));
+                }
+                Intrinsic::Memset => {
+                    out.push(Inst::Cpi(CpiOp::SafeMemset {
+                        policy,
+                        dst: args[0],
+                        byte: args[1],
+                        len: args[2],
+                    }));
+                }
+                _ => unreachable!("is_mem_fn covers exactly these"),
+            }
+            let _ = dest; // memcpy-family results are unused by lowering
+        }
+        // Safe-stack accesses and everything else pass through; count
+        // memory ops for the MO denominators.
+        other => {
+            if other.is_memory_op() {
+                st.mem_ops += 1;
+            }
+            out.push(other);
+        }
+    }
+}
+
+fn size_of(sens: &mut Sensitivity<'_>, ty: &Ty) -> u64 {
+    let _ = sens;
+    match ty {
+        Ty::I8 => 1,
+        Ty::I16 => 2,
+        Ty::I32 => 4,
+        _ => 8,
+    }
+}
+
+/// Does dereferencing through `ptr` require a bounds check?
+fn needs_deref_check(
+    sens: &mut Sensitivity<'_>,
+    flow: &FnFlow,
+    func: &Function,
+    ptr: Operand,
+) -> bool {
+    let Some(ptr_ty) = operand_ty(func, ptr) else {
+        return false;
+    };
+    // The string heuristic: a char* that provably holds a C string is
+    // not universal, so its dereferences are unchecked.
+    if ptr_ty.is_universal_pointer() && flow.is_string(ptr) {
+        return false;
+    }
+    sens.deref_needs_check(&ptr_ty.clone())
+}
+
+/// Must a value of type `ty` be stored/loaded through the safe store?
+/// `value_op` is the operand carrying (or receiving) the value — used by
+/// the string heuristic.
+fn value_needs_protection(
+    sens: &mut Sensitivity<'_>,
+    flow: &FnFlow,
+    ty: &Ty,
+    value_op: Operand,
+) -> bool {
+    if ty.is_universal_pointer() && flow.is_string(value_op) {
+        return false;
+    }
+    sens.value_sensitive(ty)
+}
+
+/// Conservative type recovery for memcpy/memmove/memset arguments
+/// (§3.2.2: "analyzing the real types of the arguments prior to being
+/// cast to void*"). Returns false when every pointer argument provably
+/// points at insensitive data.
+fn mem_fn_may_touch_sensitive(
+    sens: &mut Sensitivity<'_>,
+    flow: &FnFlow,
+    defs: &HashMap<ValueId, Inst>,
+    func: &Function,
+    args: &[Operand],
+) -> bool {
+    // args[0] (dst) and, for memcpy, args[1] (src); the length is not a
+    // pointer. memset has (dst, byte, len) — only dst matters.
+    for arg in &args[..args.len().min(2)] {
+        let Operand::Value(v) = arg else { continue };
+        // Byte value argument of memset is a register too; skip ints.
+        if !func.local_ty(*v).is_pointer() {
+            continue;
+        }
+        if flow.is_string(*arg) {
+            continue;
+        }
+        match recovered_pointee(defs, func, *v) {
+            Some(pointee) if !sens.ty_sensitive(&pointee) => continue,
+            _ => return true, // unknown or sensitive: be conservative
+        }
+    }
+    false
+}
+
+/// Finds the real pointee type of register `v` by unwinding casts to its
+/// defining instruction.
+fn recovered_pointee(
+    defs: &HashMap<ValueId, Inst>,
+    func: &Function,
+    mut v: ValueId,
+) -> Option<Ty> {
+    for _ in 0..8 {
+        match defs.get(&v) {
+            Some(Inst::Cast {
+                kind: CastKind::PtrToPtr,
+                value: Operand::Value(src),
+                ..
+            }) => v = *src,
+            Some(Inst::Gep { base: Operand::Value(src), .. }) => v = *src,
+            _ => break,
+        }
+    }
+    match func.local_ty(v) {
+        Ty::Ptr(inner) => Some((**inner).clone()),
+        Ty::VoidPtr => None,
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use levee_minic::compile;
+
+    fn instrument(src: &str, mode: Mode) -> (Module, Vec<FuncInstrStats>) {
+        let mut m = compile(src, "t").unwrap();
+        crate::safestack::apply(&mut m);
+        let stats = apply(&mut m, mode);
+        levee_ir::verify::assert_valid(&m);
+        (m, stats)
+    }
+
+    fn count_ops(m: &Module, pred: impl Fn(&Inst) -> bool) -> usize {
+        m.funcs
+            .iter()
+            .flat_map(|f| f.iter_insts())
+            .filter(|i| pred(i))
+            .count()
+    }
+
+    #[test]
+    fn fnptr_global_store_becomes_ptr_store() {
+        let (m, _) = instrument(
+            r#"
+            void handler(int x) { print_int(x); }
+            void (*h)(int);
+            int main() { h = handler; h(1); return 0; }
+            "#,
+            Mode::Cpi,
+        );
+        assert_eq!(
+            count_ops(&m, |i| matches!(i, Inst::Cpi(CpiOp::PtrStore { .. }))),
+            1
+        );
+        assert_eq!(
+            count_ops(&m, |i| matches!(i, Inst::Cpi(CpiOp::PtrLoad { .. }))),
+            1
+        );
+        assert_eq!(
+            count_ops(&m, |i| matches!(i, Inst::Cpi(CpiOp::FnCheck { .. }))),
+            1
+        );
+    }
+
+    #[test]
+    fn int_accesses_stay_plain() {
+        let (m, stats) = instrument(
+            r#"
+            int g;
+            int main() { g = 4; print_int(g); return 0; }
+            "#,
+            Mode::Cpi,
+        );
+        assert_eq!(count_ops(&m, |i| matches!(i, Inst::Cpi(_))), 0);
+        let main = stats.iter().find(|s| s.name == "main").unwrap();
+        assert_eq!(main.instrumented_mem_ops, 0);
+    }
+
+    #[test]
+    fn string_heuristic_suppresses_char_ptr_instrumentation() {
+        let (m, _) = instrument(
+            r#"
+            int main() {
+                char buf[32];
+                strcpy(buf, "hello");
+                print_str(buf);
+                return 0;
+            }
+            "#,
+            Mode::Cpi,
+        );
+        assert_eq!(count_ops(&m, |i| matches!(i, Inst::Cpi(_))), 0);
+    }
+
+    #[test]
+    fn vtable_pointer_accesses_are_checked_under_cpi_not_cps() {
+        let src = r#"
+            struct shape;
+            struct vt { int (*area)(struct shape*); };
+            struct shape { struct vt* v; int w; };
+            int sq(struct shape* s) { return s->w * s->w; }
+            struct vt the_vt = {sq};
+            int main() {
+                struct shape s;
+                s.v = &the_vt;
+                s.w = 5;
+                print_int(s.v->area(&s));
+                return 0;
+            }
+        "#;
+        let (cpi, _) = instrument(src, Mode::Cpi);
+        let (cps, _) = instrument(src, Mode::Cps);
+        let cpi_checks = count_ops(&cpi, |i| matches!(i, Inst::Cpi(CpiOp::Check { .. })));
+        let cps_checks = count_ops(&cps, |i| matches!(i, Inst::Cpi(CpiOp::Check { .. })));
+        assert!(cpi_checks > 0, "CPI bounds-checks sensitive derefs");
+        assert_eq!(cps_checks, 0, "CPS carries no bounds metadata");
+        // Both protect the code-pointer load itself.
+        assert!(count_ops(&cps, |i| matches!(i, Inst::Cpi(CpiOp::PtrLoad { .. }))) > 0);
+        // CPS instruments strictly fewer operations than CPI.
+        let cpi_total = count_ops(&cpi, |i| matches!(i, Inst::Cpi(_)));
+        let cps_total = count_ops(&cps, |i| matches!(i, Inst::Cpi(_)));
+        assert!(cps_total < cpi_total, "cps {cps_total} < cpi {cpi_total}");
+    }
+
+    #[test]
+    fn softbound_instruments_all_pointer_ops() {
+        let src = r#"
+            int main() {
+                int x = 1;
+                int* p = &x;
+                *p = 2;
+                print_int(x);
+                return 0;
+            }
+        "#;
+        let (sb, _) = instrument(src, Mode::SoftBound);
+        let (cpi, _) = instrument(src, Mode::Cpi);
+        let sb_total = count_ops(&sb, |i| matches!(i, Inst::Cpi(_)));
+        let cpi_total = count_ops(&cpi, |i| matches!(i, Inst::Cpi(_)));
+        assert!(
+            sb_total > cpi_total,
+            "softbound {sb_total} must exceed cpi {cpi_total}"
+        );
+    }
+
+    #[test]
+    fn memcpy_of_sensitive_struct_uses_safe_variant() {
+        let (m, stats) = instrument(
+            r#"
+            struct cb { void (*f)(int); int pad; };
+            void h(int x) { print_int(x); }
+            int main() {
+                struct cb a;
+                struct cb b;
+                a.f = h;
+                memcpy((void*)&b, (void*)&a, sizeof(struct cb));
+                b.f(3);
+                return 0;
+            }
+            "#,
+            Mode::Cpi,
+        );
+        assert_eq!(
+            count_ops(&m, |i| matches!(i, Inst::Cpi(CpiOp::SafeMemcpy { .. }))),
+            1
+        );
+        assert_eq!(stats.iter().map(|s| s.safe_mem_fns).sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn memcpy_of_plain_ints_stays_plain() {
+        let (m, _) = instrument(
+            r#"
+            int main() {
+                int a[8];
+                int b[8];
+                a[0] = 1;
+                memcpy((void*)b, (void*)a, 32);
+                print_int(b[0]);
+                return 0;
+            }
+            "#,
+            Mode::Cpi,
+        );
+        assert_eq!(
+            count_ops(&m, |i| matches!(i, Inst::Cpi(CpiOp::SafeMemcpy { .. }))),
+            0
+        );
+    }
+
+    #[test]
+    fn safe_stack_accesses_are_not_instrumented() {
+        // A function-pointer *local* lives on the safe stack; its
+        // accesses are already safe and need no safe-store traffic.
+        let (m, _) = instrument(
+            r#"
+            void h(int x) { print_int(x); }
+            int main() {
+                void (*f)(int) = h;
+                f(1);
+                return 0;
+            }
+            "#,
+            Mode::Cpi,
+        );
+        // Only the FnCheck remains.
+        assert_eq!(
+            count_ops(&m, |i| matches!(i, Inst::Cpi(CpiOp::PtrStore { .. }))),
+            0
+        );
+        assert_eq!(
+            count_ops(&m, |i| matches!(i, Inst::Cpi(CpiOp::FnCheck { .. }))),
+            1
+        );
+    }
+}

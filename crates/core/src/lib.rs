@@ -1,0 +1,44 @@
+//! # levee-core — Code-Pointer Integrity, Code-Pointer Separation and
+//! the Safe Stack
+//!
+//! The paper's contribution (Kuznetsov et al., *Code-Pointer Integrity*,
+//! OSDI 2014), as compiler passes over [`levee_ir`]:
+//!
+//! * [`sensitivity`] — the static analysis of §3.2.1: the type-based
+//!   criterion of Fig. 7, the `char*` string heuristic, and the
+//!   cast dataflow refinement;
+//! * [`safestack`] — the safe-stack analysis and transformation of
+//!   §3.2.4 (return addresses and proven-safe objects to the safe
+//!   stack, the rest to a separate unsafe stack);
+//! * [`instrument`] — the instrumentation pass of §3.2.2 (safe-store
+//!   redirection, bounds checks, indirect-call checks, safe
+//!   memcpy/memset variants);
+//! * [`driver`] — the `-fcpi` / `-fcps` / `-fstack-protector-safe`
+//!   entry points and build statistics (Table 2's FNUStack / MO).
+//!
+//! ## Example: protect and attack a program
+//!
+//! ```
+//! use levee_core::{build_source, BuildConfig};
+//! use levee_vm::{ExitStatus, Machine, VmConfig};
+//!
+//! let src = r#"
+//!     void greet(int x) { print_int(x); }
+//!     void (*cb)(int);
+//!     int main() { cb = greet; cb(42); return 0; }
+//! "#;
+//! let built = build_source(src, "demo", BuildConfig::Cpi).unwrap();
+//! let mut vm = Machine::new(&built.module, built.vm_config(VmConfig::default()));
+//! assert_eq!(vm.run(b"").status, ExitStatus::Exited(0));
+//! ```
+
+pub mod driver;
+pub mod instrument;
+pub mod promote;
+pub mod safestack;
+pub mod sensitivity;
+pub mod stats;
+
+pub use driver::{build_module, build_source, Built, BuildConfig};
+pub use sensitivity::{FnFlow, Mode, Sensitivity};
+pub use stats::{BuildStats, FuncInstrStats};

@@ -1,0 +1,234 @@
+//! The safe-stack analysis and transformation (§3.2.4).
+//!
+//! Per function, every stack object (alloca) is classified:
+//!
+//! * **safe** — provably accessed only via direct, statically-in-bounds
+//!   loads and stores through the alloca's own register (scalars,
+//!   spilled temporaries). These move to the safe stack in the safe
+//!   region, together with the return address, and their accesses are
+//!   retagged [`MemSpace::SafeStack`] — no runtime checks, attacker
+//!   unreachable.
+//! * **unsafe** — address escapes (passed to calls, stored, cast,
+//!   involved in pointer arithmetic) or the object is an array indexed
+//!   dynamically. These move to the separate unsafe stack in regular
+//!   memory.
+//!
+//! The fraction of functions that end up needing an unsafe stack frame
+//! is the paper's FNUStack statistic (Table 2, <25% on SPEC).
+
+use std::collections::HashSet;
+
+use levee_ir::prelude::*;
+
+/// Result of analyzing one function.
+#[derive(Debug, Clone, Default)]
+pub struct StackAnalysis {
+    /// Registers of allocas proven safe.
+    pub safe_allocas: HashSet<ValueId>,
+    /// Registers of allocas that need the unsafe stack.
+    pub unsafe_allocas: HashSet<ValueId>,
+}
+
+impl StackAnalysis {
+    /// True if the function needs an unsafe stack frame.
+    pub fn needs_unsafe_frame(&self) -> bool {
+        !self.unsafe_allocas.is_empty()
+    }
+}
+
+/// Classifies every alloca in `func`.
+pub fn analyze(func: &Function) -> StackAnalysis {
+    let mut allocas: HashSet<ValueId> = HashSet::new();
+    for inst in func.iter_insts() {
+        if let Inst::Alloca { dest, .. } = inst {
+            allocas.insert(*dest);
+        }
+    }
+    let mut unsafe_set: HashSet<ValueId> = HashSet::new();
+    for inst in func.iter_insts() {
+        match inst {
+            Inst::Alloca { .. } => {}
+            // Direct load through the slot register: safe use.
+            Inst::Load { ptr, .. } => {
+                // The *address* use is safe; nothing to do.
+                let _ = ptr;
+            }
+            // Direct store: address use safe, but storing the alloca's
+            // address *as a value* escapes it.
+            Inst::Store { value, .. } => {
+                if let Operand::Value(v) = value {
+                    if allocas.contains(v) {
+                        unsafe_set.insert(*v);
+                    }
+                }
+            }
+            // Any other use (gep, casts, calls, arithmetic, cpi ops,
+            // intrinsics) makes the object unsafe.
+            other => {
+                for op in other.operands() {
+                    if let Operand::Value(v) = op {
+                        if allocas.contains(&v) {
+                            unsafe_set.insert(v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Return values escape too.
+    for (_, block) in func.iter_blocks() {
+        if let Terminator::Ret(Some(Operand::Value(v))) = &block.term {
+            if allocas.contains(v) {
+                unsafe_set.insert(*v);
+            }
+        }
+    }
+    StackAnalysis {
+        safe_allocas: allocas.difference(&unsafe_set).copied().collect(),
+        unsafe_allocas: unsafe_set,
+    }
+}
+
+/// Applies the safe-stack transformation to every function in `module`:
+/// tags allocas with their stack, retags accesses to safe slots as
+/// [`MemSpace::SafeStack`], and sets `protection.safestack`.
+///
+/// Returns the number of functions that needed an unsafe frame.
+pub fn apply(module: &mut Module) -> usize {
+    let mut unsafe_frames = 0;
+    for func in &mut module.funcs {
+        let analysis = analyze(func);
+        if analysis.needs_unsafe_frame() {
+            unsafe_frames += 1;
+        }
+        func.protection.safestack = true;
+        for block in &mut func.blocks {
+            for inst in &mut block.insts {
+                match inst {
+                    Inst::Alloca { dest, stack, .. } => {
+                        *stack = if analysis.safe_allocas.contains(dest) {
+                            StackKind::Safe
+                        } else {
+                            StackKind::Unsafe
+                        };
+                    }
+                    Inst::Load { ptr, space, .. } => {
+                        if let Operand::Value(v) = ptr {
+                            if analysis.safe_allocas.contains(v) {
+                                *space = MemSpace::SafeStack;
+                            }
+                        }
+                    }
+                    Inst::Store { ptr, space, .. } => {
+                        if let Operand::Value(v) = ptr {
+                            if analysis.safe_allocas.contains(v) {
+                                *space = MemSpace::SafeStack;
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    unsafe_frames
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use levee_ir::builder::FuncBuilder;
+
+    /// int f(int x) { int y = x; char buf[16]; read_input(buf, 16); return y; }
+    fn sample() -> Module {
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new("main", FnSig::new(vec![Ty::I32], Ty::I32));
+        let y = b.alloca(Ty::I32, 1);
+        let p = b.param(0);
+        b.store(y, p, Ty::I32);
+        let buf = b.alloca(Ty::Array(Box::new(Ty::I8), 16), 1);
+        b.intrinsic(Intrinsic::ReadInput, vec![buf.into(), 16.into()], Ty::I64);
+        let v = b.load(y, Ty::I32);
+        b.ret(Some(v.into()));
+        m.add_func(b.finish());
+        m
+    }
+
+    #[test]
+    fn scalar_local_is_safe_buffer_is_unsafe() {
+        let m = sample();
+        let f = m.func(m.func_by_name("main").unwrap());
+        let a = analyze(f);
+        assert_eq!(a.safe_allocas.len(), 1);
+        assert_eq!(a.unsafe_allocas.len(), 1);
+        assert!(a.needs_unsafe_frame());
+    }
+
+    #[test]
+    fn apply_retags_allocas_and_accesses() {
+        let mut m = sample();
+        let unsafe_frames = apply(&mut m);
+        assert_eq!(unsafe_frames, 1);
+        let f = m.func(m.func_by_name("main").unwrap());
+        assert!(f.protection.safestack);
+        let mut safe_allocas = 0;
+        let mut unsafe_allocas = 0;
+        let mut safestack_accesses = 0;
+        for inst in f.iter_insts() {
+            match inst {
+                Inst::Alloca { stack: StackKind::Safe, .. } => safe_allocas += 1,
+                Inst::Alloca { stack: StackKind::Unsafe, .. } => unsafe_allocas += 1,
+                Inst::Load { space: MemSpace::SafeStack, .. }
+                | Inst::Store { space: MemSpace::SafeStack, .. } => safestack_accesses += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(safe_allocas, 1);
+        assert_eq!(unsafe_allocas, 1);
+        assert_eq!(safestack_accesses, 2); // store y, load y
+    }
+
+    #[test]
+    fn escaping_via_store_is_unsafe() {
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new("main", FnSig::new(vec![], Ty::I32));
+        let x = b.alloca(Ty::I32, 1);
+        let slot = b.alloca(Ty::I32.ptr_to(), 1);
+        // &x stored to memory: x escapes.
+        b.store(slot, x, Ty::I32.ptr_to());
+        b.ret(Some(0.into()));
+        m.add_func(b.finish());
+        let f = m.func(m.func_by_name("main").unwrap());
+        let a = analyze(f);
+        assert!(a.unsafe_allocas.contains(&x));
+        // `slot` itself is only accessed directly: safe.
+        assert!(a.safe_allocas.contains(&slot));
+    }
+
+    #[test]
+    fn gep_makes_array_unsafe() {
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new("main", FnSig::new(vec![], Ty::I32));
+        let arr = b.alloca(Ty::Array(Box::new(Ty::I64), 8), 1);
+        let p = b.gep(arr, 3, Ty::I64, 0);
+        b.store(p, 1, Ty::I64);
+        b.ret(Some(0.into()));
+        m.add_func(b.finish());
+        let f = m.func(m.func_by_name("main").unwrap());
+        let a = analyze(f);
+        assert!(a.unsafe_allocas.contains(&arr));
+    }
+
+    #[test]
+    fn function_with_only_scalars_needs_no_unsafe_frame() {
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new("main", FnSig::new(vec![], Ty::I32));
+        let x = b.alloca(Ty::I64, 1);
+        b.store(x, 5, Ty::I64);
+        let v = b.load(x, Ty::I64);
+        b.ret(Some(v.into()));
+        m.add_func(b.finish());
+        let f = m.func(m.func_by_name("main").unwrap());
+        assert!(!analyze(f).needs_unsafe_frame());
+    }
+}

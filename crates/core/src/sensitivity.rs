@@ -1,0 +1,404 @@
+//! The CPI sensitivity analysis (§3.2.1).
+//!
+//! *Type-based criterion* (Fig. 7 of the paper):
+//!
+//! ```text
+//! sensitive int   = false
+//! sensitive void* = true            (universal pointers)
+//! sensitive f     = true            (code pointers)
+//! sensitive p*    = sensitive p
+//! sensitive s     = ∨ fields of s   (least fixpoint for recursive s)
+//! ```
+//!
+//! plus `char*` as universal, programmer-annotated `__sensitive` structs,
+//! and two refinements implemented in [`FnFlow`]:
+//!
+//! * the **string heuristic**: `char*` values that demonstrably hold C
+//!   strings (assigned string constants, or passed to libc string
+//!   functions) are not treated as universal pointers,
+//! * the **cast dataflow**: values cast to a sensitive pointer type
+//!   within a function are sensitive wherever they are stored or loaded,
+//!   even while typed as integers.
+
+use std::collections::{HashMap, HashSet};
+
+use levee_ir::prelude::*;
+
+/// Which enforcement policy drives classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Full CPI: code pointers + everything that can reach them.
+    Cpi,
+    /// CPS: code pointers only (§3.3).
+    Cps,
+    /// SoftBound baseline: every pointer type is sensitive
+    /// (the `sensitive ≡ true` instantiation noted in Appendix A).
+    SoftBound,
+}
+
+/// Memoizing classifier over a module's type table.
+pub struct Sensitivity<'t> {
+    types: &'t TypeTable,
+    mode: Mode,
+    struct_cache: HashMap<StructId, bool>,
+}
+
+impl<'t> Sensitivity<'t> {
+    /// Creates a classifier for the given mode.
+    pub fn new(types: &'t TypeTable, mode: Mode) -> Self {
+        Sensitivity {
+            types,
+            mode,
+            struct_cache: HashMap::new(),
+        }
+    }
+
+    /// The analysis mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Is a *value* of type `ty` sensitive (must its loads/stores go
+    /// through the safe pointer store)?
+    pub fn value_sensitive(&mut self, ty: &Ty) -> bool {
+        match self.mode {
+            Mode::SoftBound => ty.is_pointer(),
+            Mode::Cps => match ty {
+                Ty::FnPtr(_) => true,
+                // Universal pointers may hold code pointers at runtime;
+                // CPS handles them with runtime-dispatched universal ops.
+                t if t.is_universal_pointer() => true,
+                _ => false,
+            },
+            Mode::Cpi => self.ty_sensitive(ty),
+        }
+    }
+
+    /// Is a *pointer register* of type `ty` sensitive — i.e. must its
+    /// dereferences be bounds-checked? (`ty` is the pointer's own type.)
+    pub fn deref_needs_check(&mut self, ptr_ty: &Ty) -> bool {
+        match self.mode {
+            // CPS drops all bounds metadata and checks (§3.3).
+            Mode::Cps => false,
+            // SoftBound checks every dereference.
+            Mode::SoftBound => ptr_ty.is_pointer(),
+            Mode::Cpi => match ptr_ty {
+                // Dereferencing p accesses *p; the access must be safe
+                // whenever the *pointer itself* is sensitive.
+                Ty::Ptr(_) | Ty::VoidPtr => self.ty_sensitive(ptr_ty),
+                _ => false,
+            },
+        }
+    }
+
+    /// The pure Fig. 7 predicate.
+    pub fn ty_sensitive(&mut self, ty: &Ty) -> bool {
+        match ty {
+            Ty::Void | Ty::I8 | Ty::I16 | Ty::I32 | Ty::I64 => false,
+            Ty::FnPtr(_) => true,
+            Ty::VoidPtr => true,
+            t if t.is_char_ptr() => true, // universal unless the string heuristic applies
+            Ty::Ptr(inner) => self.ty_sensitive(inner),
+            Ty::Array(elem, _) => self.ty_sensitive(elem),
+            Ty::Struct(id) => self.struct_sensitive(*id),
+        }
+    }
+
+    /// Struct sensitivity: any sensitive field, or annotation. Recursive
+    /// structs take the least fixpoint (in-progress structs read false),
+    /// so `struct node { int v; struct node* next; }` is insensitive.
+    pub fn struct_sensitive(&mut self, id: StructId) -> bool {
+        if let Some(v) = self.struct_cache.get(&id) {
+            return *v;
+        }
+        // Least fixpoint: seed with false.
+        self.struct_cache.insert(id, false);
+        let def = self.types.struct_def(id);
+        let result = def.annotated_sensitive
+            || def
+                .fields
+                .clone()
+                .iter()
+                .any(|f| self.ty_sensitive(&f.ty));
+        self.struct_cache.insert(id, result);
+        result
+    }
+
+    /// Is this type a universal pointer whose sensitivity is only known
+    /// at runtime (needs the dual-store universal operations)?
+    pub fn is_universal(&self, ty: &Ty) -> bool {
+        ty.is_universal_pointer()
+    }
+}
+
+/// Per-function dataflow refinements: string-ness and cast-sensitivity,
+/// computed flow-insensitively over the function body.
+pub struct FnFlow {
+    /// Registers holding provable C strings (string heuristic).
+    pub stringy: HashSet<ValueId>,
+    /// Registers that are cast to a sensitive pointer type somewhere in
+    /// the function (the unsafe-cast dataflow of §3.2.1).
+    pub cast_sensitive: HashSet<ValueId>,
+}
+
+impl FnFlow {
+    /// Analyzes `func` under `sens`.
+    pub fn analyze(module: &Module, func: &Function, sens: &mut Sensitivity<'_>) -> FnFlow {
+        let mut stringy: HashSet<ValueId> = HashSet::new();
+        let mut cast_sensitive: HashSet<ValueId> = HashSet::new();
+
+        // Two rounds make simple chains (copy via cast, then use)
+        // converge; the analysis is intentionally flow-insensitive.
+        for _ in 0..2 {
+            for inst in func.iter_insts() {
+                match inst {
+                    // String constants are strings.
+                    Inst::GlobalAddr { dest, global } => {
+                        let g = module.global(*global);
+                        if g.read_only && matches!(g.ty, Ty::Array(ref e, _) if **e == Ty::I8) {
+                            stringy.insert(*dest);
+                        }
+                    }
+                    // Stack byte buffers are strings, not pointer stores.
+                    Inst::Alloca { dest, ty, .. } => {
+                        if matches!(ty, Ty::Array(e, _) if **e == Ty::I8) || *ty == Ty::I8 {
+                            stringy.insert(*dest);
+                        }
+                    }
+                    // Arguments to / results of libc string functions.
+                    Inst::IntrinsicCall { dest, which, args } => {
+                        if which.is_string_fn() {
+                            for a in args {
+                                if let Operand::Value(v) = a {
+                                    stringy.insert(*v);
+                                }
+                            }
+                            if let Some(d) = dest {
+                                stringy.insert(*d);
+                            }
+                        }
+                    }
+                    // String-ness propagates through pointer arithmetic
+                    // and pointer-to-pointer casts.
+                    Inst::Gep { dest, base, .. } => {
+                        if let Operand::Value(b) = base {
+                            if stringy.contains(b) {
+                                stringy.insert(*dest);
+                            }
+                        }
+                    }
+                    Inst::Cast {
+                        dest,
+                        kind: CastKind::PtrToPtr,
+                        value,
+                        to,
+                    } => {
+                        if let Operand::Value(v) = value {
+                            if stringy.contains(v) {
+                                stringy.insert(*dest);
+                            }
+                            // Cast dataflow: source of a cast *to* a
+                            // sensitive type becomes sensitive.
+                            if sens.value_sensitive(to) {
+                                cast_sensitive.insert(*v);
+                            }
+                        }
+                    }
+                    Inst::Cast {
+                        dest: _,
+                        kind: CastKind::IntToPtr,
+                        value,
+                        to,
+                    } => {
+                        if let Operand::Value(v) = value {
+                            if sens.value_sensitive(to) {
+                                cast_sensitive.insert(*v);
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        FnFlow {
+            stringy,
+            cast_sensitive,
+        }
+    }
+
+    /// Does the string heuristic exempt this `char*`-typed operand?
+    pub fn is_string(&self, op: Operand) -> bool {
+        matches!(op, Operand::Value(v) if self.stringy.contains(&v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_with(f: impl FnOnce(&mut TypeTable)) -> TypeTable {
+        let mut t = TypeTable::new();
+        f(&mut t);
+        t
+    }
+
+    fn fnptr() -> Ty {
+        Ty::fn_ptr(FnSig::new(vec![Ty::I32], Ty::Void))
+    }
+
+    #[test]
+    fn fig7_base_cases() {
+        let t = TypeTable::new();
+        let mut s = Sensitivity::new(&t, Mode::Cpi);
+        assert!(!s.ty_sensitive(&Ty::I32));
+        assert!(s.ty_sensitive(&Ty::VoidPtr));
+        assert!(s.ty_sensitive(&fnptr()));
+        assert!(s.ty_sensitive(&Ty::I8.ptr_to())); // char* is universal
+        assert!(!s.ty_sensitive(&Ty::I32.ptr_to()));
+        assert!(!s.ty_sensitive(&Ty::I32.ptr_to().ptr_to()));
+    }
+
+    #[test]
+    fn pointer_rule_is_recursive() {
+        let t = TypeTable::new();
+        let mut s = Sensitivity::new(&t, Mode::Cpi);
+        // fnptr* and fnptr** are sensitive (they reach code pointers).
+        assert!(s.ty_sensitive(&fnptr().ptr_to()));
+        assert!(s.ty_sensitive(&fnptr().ptr_to().ptr_to()));
+    }
+
+    #[test]
+    fn struct_with_fnptr_field_is_sensitive() {
+        let t = table_with(|t| {
+            t.define_struct(
+                "ops",
+                vec![("x".into(), Ty::I32), ("h".into(), fnptr())],
+            );
+            t.define_struct("plain", vec![("x".into(), Ty::I32)]);
+        });
+        let ops = t.struct_by_name("ops").unwrap();
+        let plain = t.struct_by_name("plain").unwrap();
+        let mut s = Sensitivity::new(&t, Mode::Cpi);
+        assert!(s.struct_sensitive(ops));
+        assert!(!s.struct_sensitive(plain));
+        // Pointers to sensitive structs are sensitive (vtable idiom).
+        assert!(s.ty_sensitive(&Ty::Struct(ops).ptr_to()));
+        assert!(!s.ty_sensitive(&Ty::Struct(plain).ptr_to()));
+    }
+
+    #[test]
+    fn recursive_struct_takes_least_fixpoint() {
+        let mut t = TypeTable::new();
+        let node = t.define_struct("node", vec![("v".into(), Ty::I64)]);
+        t.redefine_struct(
+            node,
+            vec![
+                ("v".into(), Ty::I64),
+                ("next".into(), Ty::Struct(node).ptr_to()),
+            ],
+        );
+        let mut s = Sensitivity::new(&t, Mode::Cpi);
+        assert!(!s.struct_sensitive(node));
+    }
+
+    #[test]
+    fn recursive_struct_with_code_pointer_is_sensitive() {
+        let mut t = TypeTable::new();
+        let node = t.define_struct("cbnode", vec![]);
+        t.redefine_struct(
+            node,
+            vec![
+                ("cb".into(), fnptr()),
+                ("next".into(), Ty::Struct(node).ptr_to()),
+            ],
+        );
+        let mut s = Sensitivity::new(&t, Mode::Cpi);
+        assert!(s.struct_sensitive(node));
+    }
+
+    #[test]
+    fn annotated_struct_is_sensitive_without_code_pointers() {
+        let mut t = TypeTable::new();
+        t.define_struct_ext(
+            "ucred",
+            vec![("uid".into(), Ty::I32), ("gid".into(), Ty::I32)],
+            true,
+        );
+        let id = t.struct_by_name("ucred").unwrap();
+        let mut s = Sensitivity::new(&t, Mode::Cpi);
+        assert!(s.struct_sensitive(id));
+    }
+
+    #[test]
+    fn cps_mode_only_covers_code_pointers() {
+        let t = table_with(|t| {
+            t.define_struct("ops", vec![("h".into(), fnptr())]);
+        });
+        let ops = t.struct_by_name("ops").unwrap();
+        let mut s = Sensitivity::new(&t, Mode::Cps);
+        assert!(s.value_sensitive(&fnptr()));
+        assert!(s.value_sensitive(&Ty::VoidPtr)); // universal, runtime-decided
+        // Pointers to code pointers are NOT protected under CPS.
+        assert!(!s.value_sensitive(&fnptr().ptr_to()));
+        assert!(!s.value_sensitive(&Ty::Struct(ops).ptr_to()));
+        // And CPS never bounds-checks.
+        assert!(!s.deref_needs_check(&fnptr().ptr_to()));
+    }
+
+    #[test]
+    fn softbound_mode_covers_all_pointers() {
+        let t = TypeTable::new();
+        let mut s = Sensitivity::new(&t, Mode::SoftBound);
+        assert!(s.value_sensitive(&Ty::I32.ptr_to()));
+        assert!(s.deref_needs_check(&Ty::I32.ptr_to()));
+        assert!(!s.value_sensitive(&Ty::I64));
+    }
+
+    #[test]
+    fn deref_check_rules_cpi() {
+        let t = TypeTable::new();
+        let mut s = Sensitivity::new(&t, Mode::Cpi);
+        assert!(s.deref_needs_check(&fnptr().ptr_to()));
+        assert!(s.deref_needs_check(&Ty::VoidPtr));
+        assert!(!s.deref_needs_check(&Ty::I32.ptr_to()));
+        assert!(!s.deref_needs_check(&Ty::I64));
+    }
+
+    #[test]
+    fn string_heuristic_flags_literals_and_str_args() {
+        use levee_ir::builder::FuncBuilder;
+        let mut m = Module::new("t");
+        m.add_string("lit", "hello");
+        let mut b = FuncBuilder::new("main", FnSig::new(vec![], Ty::I32));
+        let lit = m.global_by_name("lit").unwrap();
+        let sptr = b.global_addr(lit, Ty::I8.ptr_to());
+        let buf = b.alloca(Ty::Array(Box::new(Ty::I8), 16), 1);
+        b.intrinsic(Intrinsic::Strcpy, vec![buf.into(), sptr.into()], Ty::I8.ptr_to());
+        let other = b.alloca(Ty::I64, 1); // not a string
+        b.ret(Some(0.into()));
+        let f = b.finish();
+        m.add_func(f);
+        let func = m.func(m.func_by_name("main").unwrap());
+        let mut sens = Sensitivity::new(&m.types, Mode::Cpi);
+        let flow = FnFlow::analyze(&m, func, &mut sens);
+        assert!(flow.is_string(sptr.into()));
+        assert!(flow.is_string(buf.into()));
+        assert!(!flow.is_string(other.into()));
+    }
+
+    #[test]
+    fn cast_dataflow_marks_sources() {
+        use levee_ir::builder::FuncBuilder;
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new("main", FnSig::new(vec![], Ty::I32));
+        let raw = b.alloca(Ty::I64, 1);
+        let as_int = b.cast(CastKind::PtrToInt, raw, Ty::I64);
+        let _fn = b.cast(CastKind::IntToPtr, as_int, fnptr());
+        b.ret(Some(0.into()));
+        m.add_func(b.finish());
+        let func = m.func(m.func_by_name("main").unwrap());
+        let mut sens = Sensitivity::new(&m.types, Mode::Cpi);
+        let flow = FnFlow::analyze(&m, func, &mut sens);
+        assert!(flow.cast_sensitive.contains(&as_int));
+    }
+}

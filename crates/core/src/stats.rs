@@ -1,0 +1,133 @@
+//! Compilation statistics — the raw data behind Table 2 of the paper
+//! (FNUStack, MOCPS, MOCPI).
+
+/// Instrumentation statistics for one function.
+#[derive(Debug, Clone)]
+pub struct FuncInstrStats {
+    /// Function name.
+    pub name: String,
+    /// Memory operations (loads + stores) seen by the pass.
+    pub mem_ops: u64,
+    /// Memory operations that received any instrumentation (a check
+    /// and/or safe-store redirection) — the MO numerator.
+    pub instrumented_mem_ops: u64,
+    /// Loads/stores redirected through the safe pointer store.
+    pub protected_ops: u64,
+    /// Bounds checks inserted.
+    pub checks: u64,
+    /// Indirect-call code-pointer checks inserted.
+    pub fn_checks: u64,
+    /// memcpy/memmove/memset calls replaced by safe variants.
+    pub safe_mem_fns: u64,
+}
+
+impl FuncInstrStats {
+    /// Fresh, zeroed statistics for `name`.
+    pub fn new(name: &str) -> Self {
+        FuncInstrStats {
+            name: name.to_string(),
+            mem_ops: 0,
+            instrumented_mem_ops: 0,
+            protected_ops: 0,
+            checks: 0,
+            fn_checks: 0,
+            safe_mem_fns: 0,
+        }
+    }
+}
+
+/// Whole-module build statistics.
+#[derive(Debug, Clone, Default)]
+pub struct BuildStats {
+    /// Total functions.
+    pub funcs: u64,
+    /// Functions needing an unsafe stack frame (FNUStack numerator).
+    pub unsafe_frames: u64,
+    /// Aggregate memory operations.
+    pub mem_ops: u64,
+    /// Aggregate instrumented memory operations (MO numerator).
+    pub instrumented_mem_ops: u64,
+    /// Aggregate safe-store redirections.
+    pub protected_ops: u64,
+    /// Aggregate bounds checks.
+    pub checks: u64,
+    /// Aggregate indirect-call checks.
+    pub fn_checks: u64,
+    /// Aggregate safe memory-function replacements.
+    pub safe_mem_fns: u64,
+    /// Per-function detail.
+    pub per_func: Vec<FuncInstrStats>,
+}
+
+impl BuildStats {
+    /// Folds per-function stats into the aggregate.
+    pub fn absorb(&mut self, per_func: Vec<FuncInstrStats>) {
+        for f in &per_func {
+            self.mem_ops += f.mem_ops;
+            self.instrumented_mem_ops += f.instrumented_mem_ops;
+            self.protected_ops += f.protected_ops;
+            self.checks += f.checks;
+            self.fn_checks += f.fn_checks;
+            self.safe_mem_fns += f.safe_mem_fns;
+        }
+        self.per_func = per_func;
+    }
+
+    /// FNUStack: fraction of functions needing an unsafe stack frame
+    /// (first column of Table 2).
+    pub fn fnustack(&self) -> f64 {
+        if self.funcs == 0 {
+            0.0
+        } else {
+            self.unsafe_frames as f64 / self.funcs as f64
+        }
+    }
+
+    /// MO: fraction of memory operations instrumented (the MOCPS /
+    /// MOCPI columns of Table 2, depending on the mode built).
+    pub fn mo_fraction(&self) -> f64 {
+        if self.mem_ops == 0 {
+            0.0
+        } else {
+            self.instrumented_mem_ops as f64 / self.mem_ops as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions() {
+        let mut s = BuildStats {
+            funcs: 20,
+            unsafe_frames: 5,
+            ..Default::default()
+        };
+        s.absorb(vec![
+            {
+                let mut f = FuncInstrStats::new("a");
+                f.mem_ops = 90;
+                f.instrumented_mem_ops = 9;
+                f
+            },
+            {
+                let mut f = FuncInstrStats::new("b");
+                f.mem_ops = 10;
+                f.instrumented_mem_ops = 4;
+                f
+            },
+        ]);
+        assert!((s.fnustack() - 0.25).abs() < 1e-12);
+        assert!((s.mo_fraction() - 0.13).abs() < 1e-12);
+        assert_eq!(s.per_func.len(), 2);
+    }
+
+    #[test]
+    fn empty_module_yields_zeroes() {
+        let s = BuildStats::default();
+        assert_eq!(s.fnustack(), 0.0);
+        assert_eq!(s.mo_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! # levee-defenses — the baseline defense mechanisms
+//!
+//! The deployed and academic defenses the paper compares against
+//! (Fig. 5, §5.1, §6), implemented as passes over the same IR and
+//! executed by the same VM, so security and overhead comparisons are
+//! apples-to-apples:
+//!
+//! * **stack cookies** (StackGuard) — probabilistic return protection,
+//!   defeated by non-contiguous writes;
+//! * **shadow stack** — precise return protection only;
+//! * **CFI** in three granularities ([`levee_ir::CfiPolicy`]) — static
+//!   over-approximate target sets, bypassable by redirecting within the
+//!   valid set;
+//! * **DEP/NX** and **ASLR** — VM-level toggles, packaged here as
+//!   [`Deployment`] profiles (e.g. the "modern deployed baseline" of
+//!   §5.1's RIPE rows).
+
+use levee_ir::prelude::*;
+use levee_vm::VmConfig;
+
+pub mod passes {
+    //! The IR-rewriting passes.
+
+    use super::*;
+
+    /// StackGuard-style cookies: every function checks a random canary
+    /// between its locals and its return address.
+    pub fn stack_cookies(module: &mut Module) {
+        for f in &mut module.funcs {
+            f.protection.stack_cookie = true;
+        }
+    }
+
+    /// A shadow stack: return addresses are duplicated out of the
+    /// attacker's reach and compared on return.
+    pub fn shadow_stack(module: &mut Module) {
+        for f in &mut module.funcs {
+            f.protection.shadow_stack = true;
+        }
+    }
+
+    /// Forward-edge CFI: every indirect call checks its target against
+    /// the static valid set of `policy`. `ret_check` adds the coarse
+    /// backward-edge policy (returns must target some return site).
+    pub fn cfi(module: &mut Module, policy: CfiPolicy, ret_check: bool) {
+        for f in &mut module.funcs {
+            f.protection.ret_cfi = ret_check;
+            for block in &mut f.blocks {
+                for inst in &mut block.insts {
+                    if let Inst::CallIndirect { cfi, .. } = inst {
+                        *cfi = Some(policy);
+                    }
+                }
+            }
+        }
+        module.compute_address_taken();
+    }
+}
+
+/// A named, reproducible deployment: which passes run and which VM
+/// switches are set. One row of the Fig. 5 comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Deployment {
+    /// Nothing at all (pre-2004 legacy: the "vanilla Ubuntu 6.06" RIPE
+    /// row).
+    Legacy,
+    /// DEP/NX only.
+    Dep,
+    /// The modern deployed baseline: DEP + ASLR + stack cookies
+    /// (the "all protections enabled" RIPE row).
+    Deployed,
+    /// Stack cookies only.
+    Cookies,
+    /// Shadow stack (plus DEP).
+    ShadowStack,
+    /// Coarse CFI: any function is a valid indirect target; returns may
+    /// target any return site (binCFI/CCFIR-class). Plus DEP.
+    CoarseCfi,
+    /// Fine-grained static CFI: address-taken functions with matching
+    /// type signatures (IFCC/MCFI-class). Plus DEP.
+    TypeCfi,
+}
+
+impl Deployment {
+    /// All deployments, in report order.
+    pub fn all() -> &'static [Deployment] {
+        &[
+            Deployment::Legacy,
+            Deployment::Dep,
+            Deployment::Cookies,
+            Deployment::Deployed,
+            Deployment::ShadowStack,
+            Deployment::CoarseCfi,
+            Deployment::TypeCfi,
+        ]
+    }
+
+    /// Human-readable name used in tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Deployment::Legacy => "none (legacy)",
+            Deployment::Dep => "DEP",
+            Deployment::Cookies => "stack cookies",
+            Deployment::Deployed => "DEP+ASLR+cookies",
+            Deployment::ShadowStack => "shadow stack",
+            Deployment::CoarseCfi => "CFI (coarse)",
+            Deployment::TypeCfi => "CFI (type-based)",
+        }
+    }
+
+    /// Applies this deployment's compile-time passes.
+    pub fn apply(self, module: &mut Module) {
+        match self {
+            Deployment::Legacy | Deployment::Dep => {}
+            Deployment::Cookies | Deployment::Deployed => passes::stack_cookies(module),
+            Deployment::ShadowStack => passes::shadow_stack(module),
+            Deployment::CoarseCfi => passes::cfi(module, CfiPolicy::AnyFunction, true),
+            Deployment::TypeCfi => passes::cfi(module, CfiPolicy::TypeSignature, true),
+        }
+    }
+
+    /// This deployment's VM switches on top of `base`.
+    pub fn vm_config(self, mut base: VmConfig) -> VmConfig {
+        match self {
+            Deployment::Legacy => {
+                base.nx = false;
+                base.aslr = false;
+            }
+            Deployment::Dep
+            | Deployment::Cookies
+            | Deployment::ShadowStack
+            | Deployment::CoarseCfi
+            | Deployment::TypeCfi => {
+                base.nx = true;
+                base.aslr = false;
+            }
+            Deployment::Deployed => {
+                base.nx = true;
+                base.aslr = true;
+            }
+        }
+        base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use levee_minic::compile;
+
+    const SRC: &str = r#"
+        void h(int x) { print_int(x); }
+        void (*cb)(int);
+        int main() { cb = h; cb(1); return 0; }
+    "#;
+
+    #[test]
+    fn cookie_pass_sets_flags() {
+        let mut m = compile(SRC, "t").unwrap();
+        passes::stack_cookies(&mut m);
+        assert!(m.funcs.iter().all(|f| f.protection.stack_cookie));
+    }
+
+    #[test]
+    fn cfi_pass_annotates_indirect_calls() {
+        let mut m = compile(SRC, "t").unwrap();
+        passes::cfi(&mut m, CfiPolicy::TypeSignature, true);
+        let mut found = 0;
+        for f in &m.funcs {
+            assert!(f.protection.ret_cfi);
+            for inst in f.iter_insts() {
+                if let Inst::CallIndirect { cfi, .. } = inst {
+                    assert_eq!(cfi, &Some(CfiPolicy::TypeSignature));
+                    found += 1;
+                }
+            }
+        }
+        assert_eq!(found, 1);
+    }
+
+    #[test]
+    fn deployments_run_programs_unchanged() {
+        use levee_vm::{ExitStatus, Machine};
+        for d in Deployment::all() {
+            let mut m = compile(SRC, "t").unwrap();
+            d.apply(&mut m);
+            let config = d.vm_config(VmConfig::default());
+            let out = Machine::new(&m, config).run(b"");
+            assert_eq!(
+                out.status,
+                ExitStatus::Exited(0),
+                "{} must not break benign programs",
+                d.name()
+            );
+            assert_eq!(out.output, "1");
+        }
+    }
+
+    #[test]
+    fn deployment_vm_switches() {
+        let legacy = Deployment::Legacy.vm_config(VmConfig::default());
+        assert!(!legacy.nx && !legacy.aslr);
+        let deployed = Deployment::Deployed.vm_config(VmConfig::default());
+        assert!(deployed.nx && deployed.aslr);
+    }
+}

@@ -1,0 +1,224 @@
+//! # levee-formal — the Appendix A model, executable
+//!
+//! A direct transcription of the paper's formal model of CPI: the C
+//! subset of Fig. 6, the `sensitive` criterion of Fig. 7, the split
+//! environment `E = (S, Mu, Ms)` with the memory operations of Table 5,
+//! and the operational-semantics rules of Appendix A — plus the §2
+//! adversary (arbitrary regular-memory writes) as a first-class
+//! operation.
+//!
+//! The property the appendix proves on paper is checked here by
+//! property-based testing (see `tests/cpi_property.rs`): for arbitrary
+//! command sequences interleaved with arbitrary regular-memory
+//! corruption, **every indirect call either aborts or transfers to a
+//! legitimate control-flow destination** — the CPI property of §3.1.
+//!
+//! ## Example
+//!
+//! ```
+//! use levee_formal::syntax::{ATy, Cmd, Lhs, Rhs};
+//! use levee_formal::semantics::{Env, Outcome};
+//! use std::collections::BTreeMap;
+//!
+//! let mut env = Env::new(
+//!     BTreeMap::new(),
+//!     &[("g", ATy::fn_ptr())],
+//!     &["handler"],
+//! );
+//! // g = &handler; (*g)();
+//! assert_eq!(
+//!     env.exec(&Cmd::Assign(Lhs::Var("g".into()), Rhs::AddrFn("handler".into()))),
+//!     Outcome::Ok
+//! );
+//! // The adversary scribbles over g's regular-memory copy…
+//! let g_addr = env.vars["g"].1;
+//! env.corrupt_regular(g_addr, 0xdeadbeef);
+//! // …and the indirect call still reaches the authentic handler.
+//! assert_eq!(env.exec(&Cmd::CallIndirect(Lhs::Var("g".into()))), Outcome::Ok);
+//! assert!(env.cpi_invariant_holds());
+//! ```
+
+pub mod semantics;
+pub mod syntax;
+
+pub use semantics::{Env, Loc, Outcome, SafeVal, Val};
+pub use syntax::{sensitive_aty, sensitive_pty, ATy, Cmd, Lhs, PTy, Rhs, StructDef};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn env() -> Env {
+        let mut structs = BTreeMap::new();
+        structs.insert(
+            "cb".into(),
+            StructDef::new(&[("x", ATy::Int), ("f", ATy::fn_ptr())]),
+        );
+        Env::new(
+            structs,
+            &[
+                ("x", ATy::Int),
+                ("g", ATy::fn_ptr()),
+                ("h", ATy::fn_ptr()),
+                ("u", ATy::void_ptr()),
+                ("ip", ATy::int_ptr()),
+                ("cp", ATy::struct_ptr("cb")),
+            ],
+            &["f0", "f1"],
+        )
+    }
+
+    #[test]
+    fn int_assignment_uses_regular_memory() {
+        let mut e = env();
+        assert_eq!(
+            e.exec(&Cmd::Assign(Lhs::Var("x".into()), Rhs::Int(7))),
+            Outcome::Ok
+        );
+        let addr = e.vars["x"].1;
+        assert_eq!(e.readu(addr), 7);
+        assert_eq!(e.reads(addr), Some(None)); // Ms untouched
+    }
+
+    #[test]
+    fn code_pointer_lives_in_safe_memory() {
+        let mut e = env();
+        e.exec(&Cmd::Assign(Lhs::Var("g".into()), Rhs::AddrFn("f0".into())));
+        let addr = e.vars["g"].1;
+        let sv = e.reads(addr).unwrap().unwrap();
+        assert_eq!(sv.b, sv.e);
+        assert_eq!(sv.v, sv.b);
+        assert_eq!(e.readu(addr), 0); // regular copy unused
+    }
+
+    #[test]
+    fn forged_code_pointer_aborts() {
+        let mut e = env();
+        // u = (void*)1234; g = (f*)u — the cast chain strips safety,
+        // so the indirect call aborts.
+        e.exec(&Cmd::Assign(Lhs::Var("u".into()), Rhs::Int(1234)));
+        e.exec(&Cmd::Assign(
+            Lhs::Var("g".into()),
+            Rhs::Cast(ATy::fn_ptr(), Box::new(Rhs::Read(Lhs::Var("u".into())))),
+        ));
+        assert_eq!(
+            e.exec(&Cmd::CallIndirect(Lhs::Var("g".into()))),
+            Outcome::Abort
+        );
+        assert!(e.cpi_invariant_holds());
+    }
+
+    #[test]
+    fn void_star_holds_both_worlds() {
+        let mut e = env();
+        // u = &f0 → safe value in Ms.
+        e.exec(&Cmd::Assign(Lhs::Var("u".into()), Rhs::AddrFn("f0".into())));
+        let ua = e.vars["u"].1;
+        assert!(e.reads(ua).unwrap().is_some());
+        // u = 42 → regular value, none marker in Ms.
+        e.exec(&Cmd::Assign(Lhs::Var("u".into()), Rhs::Int(42)));
+        assert_eq!(e.reads(ua), Some(None));
+        assert_eq!(e.readu(ua), 42);
+    }
+
+    #[test]
+    fn sensitive_heap_pointer_is_bounds_checked() {
+        let mut e = env();
+        // ip (int*, insensitive): unchecked writes — memory safety is
+        // selective, exactly the point of CPI.
+        e.exec(&Cmd::Assign(
+            Lhs::Var("ip".into()),
+            Rhs::Malloc(Box::new(Rhs::Int(2))),
+        ));
+        let write = Cmd::Assign(Lhs::Deref(Box::new(Lhs::Var("ip".into()))), Rhs::Int(5));
+        assert_eq!(e.exec(&write), Outcome::Ok);
+
+        // cp (struct-with-code-pointer*, sensitive): dereference past
+        // the allocation aborts.
+        e.exec(&Cmd::Assign(
+            Lhs::Var("cp".into()),
+            Rhs::Malloc(Box::new(Rhs::Int(2))),
+        ));
+        e.exec(&Cmd::Assign(
+            Lhs::Var("cp".into()),
+            Rhs::Add(
+                Box::new(Rhs::Read(Lhs::Var("cp".into()))),
+                Box::new(Rhs::Int(5)),
+            ),
+        ));
+        let deref = Cmd::Assign(
+            Lhs::Arrow(Box::new(Lhs::Var("cp".into())), "x".into()),
+            Rhs::Int(1),
+        );
+        assert_eq!(e.exec(&deref), Outcome::Abort);
+    }
+
+    #[test]
+    fn out_of_memory_is_reported() {
+        let mut e = env();
+        let mut last = Outcome::Ok;
+        for _ in 0..200 {
+            last = e.exec(&Cmd::Assign(
+                Lhs::Var("ip".into()),
+                Rhs::Malloc(Box::new(Rhs::Int(60))),
+            ));
+            if last != Outcome::Ok {
+                break;
+            }
+        }
+        assert_eq!(last, Outcome::OutOfMem);
+    }
+
+    #[test]
+    fn struct_field_sensitivity_is_per_field() {
+        let mut e = env();
+        e.exec(&Cmd::Assign(
+            Lhs::Var("cp".into()),
+            Rhs::Malloc(Box::new(Rhs::Int(2))),
+        ));
+        assert_eq!(
+            e.exec(&Cmd::Assign(
+                Lhs::Arrow(Box::new(Lhs::Var("cp".into())), "x".into()),
+                Rhs::Int(3),
+            )),
+            Outcome::Ok
+        );
+        assert_eq!(
+            e.exec(&Cmd::Assign(
+                Lhs::Arrow(Box::new(Lhs::Var("cp".into())), "f".into()),
+                Rhs::AddrFn("f1".into()),
+            )),
+            Outcome::Ok
+        );
+        assert_eq!(
+            e.exec(&Cmd::CallIndirect(Lhs::Arrow(
+                Box::new(Lhs::Var("cp".into())),
+                "f".into()
+            ))),
+            Outcome::Ok
+        );
+        assert!(e.cpi_invariant_holds());
+        assert_eq!(e.called.len(), 1);
+    }
+
+    #[test]
+    fn adversary_cannot_divert_indirect_calls() {
+        let mut e = env();
+        e.exec(&Cmd::Assign(Lhs::Var("g".into()), Rhs::AddrFn("f0".into())));
+        let ga = e.vars["g"].1;
+        // Arbitrary corruption of every regular word the adversary can
+        // name, including g's own (unused) regular copy.
+        for addr in 0..0x2000u64 {
+            e.corrupt_regular(addr, 0xbad);
+        }
+        e.corrupt_regular(ga, 0xdead);
+        assert_eq!(
+            e.exec(&Cmd::CallIndirect(Lhs::Var("g".into()))),
+            Outcome::Ok
+        );
+        let f0 = e.funcs["f0"];
+        assert_eq!(e.called, vec![f0]);
+        assert!(e.cpi_invariant_holds());
+    }
+}

@@ -1,0 +1,478 @@
+//! The operational semantics of Appendix A, executable.
+//!
+//! The runtime environment is the triple `E = (S, Mu, Ms)`: a variable
+//! map, the regular memory `Mu` (addresses → regular values), and the
+//! safe memory `Ms` (addresses → safe values with bounds, or the `none`
+//! marker). Memory operations follow Table 5; evaluation follows the
+//! rules of the appendix:
+//!
+//! * safe locations of sensitive type read/write `Ms` with bounds
+//!   checks — out-of-bounds dereferences `Abort`;
+//! * sensitive accesses through *regular* locations `Abort`;
+//! * `void*` locations may hold regular values at runtime (the
+//!   `none`-marker fallback rules);
+//! * indirect calls require a safe code-pointer value, else `Abort`;
+//! * regular memory is entirely unchecked — and the adversary may
+//!   rewrite it arbitrarily between commands (`corrupt_regular`),
+//!   modelling the §2 threat model.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::syntax::{sensitive_aty, ATy, Cmd, Lhs, PTy, Rhs, StructDef};
+
+/// A safe value: a word with bounds `(b, e)` (Fig. 2's metadata, minus
+/// the temporal id — the appendix focuses on spatial safety).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SafeVal {
+    pub v: u64,
+    pub b: u64,
+    pub e: u64,
+}
+
+/// An evaluated value: safe (with bounds) or regular.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Val {
+    Safe(SafeVal),
+    Regular(u64),
+}
+
+/// An evaluated location, tagged safe/regular, with the type of the
+/// object it designates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Loc {
+    pub addr: u64,
+    pub safe: bool,
+    pub ty: ATy,
+}
+
+/// Results `r` of the appendix (plus a rule-violation debugging case).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    Ok,
+    Abort,
+    OutOfMem,
+}
+
+/// The runtime environment `E = (S, Mu, Ms)` plus the code "segment".
+pub struct Env {
+    pub structs: BTreeMap<String, StructDef>,
+    /// `S`: variable → (type, address).
+    pub vars: BTreeMap<String, (ATy, u64)>,
+    /// `Mu`: regular memory (word-granular).
+    pub mu: BTreeMap<u64, u64>,
+    /// `Ms`: safe memory; key present ⟺ allocated; `None` = `none`.
+    pub ms: BTreeMap<u64, Option<SafeVal>>,
+    /// Function name → code address.
+    pub funcs: BTreeMap<String, u64>,
+    /// The set of legitimate control-flow destinations.
+    pub func_addrs: BTreeSet<u64>,
+    /// Trace of addresses actually "called" by indirect calls.
+    pub called: Vec<u64>,
+    next_addr: u64,
+    heap_limit: u64,
+}
+
+const FUNC_BASE: u64 = 0x100_000;
+const VAR_BASE: u64 = 0x1000;
+const HEAP_BASE: u64 = 0x10_000;
+
+impl Env {
+    /// Builds an environment with the given structs, variables and
+    /// function names. Every variable's storage is allocated in *both*
+    /// memories (Fig. 2: one of the two copies stays unused).
+    pub fn new(
+        structs: BTreeMap<String, StructDef>,
+        var_decls: &[(&str, ATy)],
+        func_names: &[&str],
+    ) -> Env {
+        let mut vars = BTreeMap::new();
+        let mut mu = BTreeMap::new();
+        let mut ms = BTreeMap::new();
+        let mut addr = VAR_BASE;
+        for (name, ty) in var_decls {
+            let size = match ty {
+                ATy::Ptr(PTy::Struct(s)) => {
+                    let _ = s;
+                    1
+                }
+                _ => 1,
+            };
+            vars.insert(name.to_string(), (ty.clone(), addr));
+            for off in 0..size {
+                mu.insert(addr + off, 0);
+                ms.insert(addr + off, None);
+            }
+            addr += size;
+        }
+        let mut funcs = BTreeMap::new();
+        let mut func_addrs = BTreeSet::new();
+        for (i, f) in func_names.iter().enumerate() {
+            let fa = FUNC_BASE + i as u64;
+            funcs.insert(f.to_string(), fa);
+            func_addrs.insert(fa);
+        }
+        Env {
+            structs,
+            vars,
+            mu,
+            ms,
+            funcs,
+            func_addrs,
+            called: Vec::new(),
+            next_addr: HEAP_BASE,
+            heap_limit: HEAP_BASE + 4096,
+        }
+    }
+
+    // ---- Table 5: memory operations ---------------------------------------
+
+    /// `readu Mu l` — unchecked regular read (unallocated reads 0, like
+    /// zero pages; the model has no segfaults, only safety violations).
+    pub fn readu(&self, l: u64) -> u64 {
+        self.mu.get(&l).copied().unwrap_or(0)
+    }
+
+    /// `writeu Mu l v`.
+    pub fn writeu(&mut self, l: u64, v: u64) {
+        self.mu.insert(l, v);
+    }
+
+    /// `reads Ms l` — `Some(Some(v))` if allocated and holding a safe
+    /// value, `Some(None)` for the `none` marker, `None` if unallocated.
+    pub fn reads(&self, l: u64) -> Option<Option<SafeVal>> {
+        self.ms.get(&l).copied()
+    }
+
+    /// `writes Ms l v(b,e)` — only if allocated (per Table 5).
+    pub fn writes(&mut self, l: u64, v: Option<SafeVal>) {
+        if let Some(slot) = self.ms.get_mut(&l) {
+            *slot = v;
+        }
+    }
+
+    /// `malloc E i` — allocates in both memories at the same address.
+    pub fn malloc(&mut self, words: u64) -> Option<u64> {
+        let l = self.next_addr;
+        if l + words.max(1) > self.heap_limit {
+            return None;
+        }
+        for off in 0..words.max(1) {
+            self.mu.insert(l + off, 0);
+            self.ms.insert(l + off, None);
+        }
+        self.next_addr += words.max(1);
+        Some(l)
+    }
+
+    /// THE ADVERSARY: arbitrary writes to regular memory only (§2's
+    /// threat model; `Ms` is unreachable by construction).
+    pub fn corrupt_regular(&mut self, l: u64, v: u64) {
+        self.mu.insert(l, v);
+    }
+
+    fn sensitive(&self, a: &ATy) -> bool {
+        sensitive_aty(a, &self.structs)
+    }
+
+    // ---- lhs evaluation ----------------------------------------------------
+
+    /// Evaluates an lhs to a location (`⇒l`), or `Err` with the abort
+    /// outcome.
+    pub fn eval_lhs(&mut self, lhs: &Lhs) -> Result<Loc, Outcome> {
+        match lhs {
+            Lhs::Var(x) => {
+                let (ty, addr) = self
+                    .vars
+                    .get(x)
+                    .cloned()
+                    .ok_or(Outcome::Abort)?;
+                let safe = self.sensitive(&ty);
+                Ok(Loc { addr, safe, ty })
+            }
+            Lhs::Deref(inner) => {
+                let loc = self.eval_lhs(inner)?;
+                let ATy::Ptr(pointee) = loc.ty.clone() else {
+                    return Err(Outcome::Abort);
+                };
+                let target_ty = match &pointee {
+                    PTy::Atomic(a) => (**a).clone(),
+                    // Dereferencing a struct pointer designates the
+                    // struct; fields are then selected by offset. We
+                    // type the bare deref as its first field's type.
+                    PTy::Struct(_) => ATy::Int,
+                    PTy::Fn | PTy::Void => return Err(Outcome::Abort),
+                };
+                self.deref_loc(&loc, &pointee, target_ty)
+            }
+            Lhs::Field(inner, field) | Lhs::Arrow(inner, field) => {
+                let base = match lhs {
+                    Lhs::Field(..) => self.eval_lhs(inner)?,
+                    _ => {
+                        // lhs->id ≡ (*lhs).id
+                        self.eval_lhs(&Lhs::Deref(inner.clone()))?
+                    }
+                };
+                // The base designates a struct object; find it.
+                let sname = match (&base.ty, lhs) {
+                    (ATy::Ptr(PTy::Struct(s)), Lhs::Field(..)) => s.clone(),
+                    _ => {
+                        // For Arrow the inner pointer type named the
+                        // struct; recover from the inner lhs type.
+                        let inner_loc_ty = self.lhs_static_ty(inner)?;
+                        match inner_loc_ty {
+                            ATy::Ptr(PTy::Struct(s)) => s,
+                            _ => return Err(Outcome::Abort),
+                        }
+                    }
+                };
+                let def = self.structs.get(&sname).ok_or(Outcome::Abort)?;
+                let (off, fty) = def.fields.get(field).cloned().ok_or(Outcome::Abort)?;
+                let safe = self.sensitive(&fty);
+                Ok(Loc {
+                    addr: base.addr + off,
+                    safe,
+                    ty: fty,
+                })
+            }
+        }
+    }
+
+    /// Static type of an lhs (used to resolve `->` through structs).
+    fn lhs_static_ty(&self, lhs: &Lhs) -> Result<ATy, Outcome> {
+        match lhs {
+            Lhs::Var(x) => self
+                .vars
+                .get(x)
+                .map(|(t, _)| t.clone())
+                .ok_or(Outcome::Abort),
+            Lhs::Deref(inner) => match self.lhs_static_ty(inner)? {
+                ATy::Ptr(PTy::Atomic(a)) => Ok(*a),
+                _ => Err(Outcome::Abort),
+            },
+            Lhs::Field(inner, f) | Lhs::Arrow(inner, f) => {
+                let sname = match self.lhs_static_ty(inner)? {
+                    ATy::Ptr(PTy::Struct(s)) => s,
+                    _ => return Err(Outcome::Abort),
+                };
+                self.structs
+                    .get(&sname)
+                    .and_then(|d| d.fields.get(f).map(|(_, t)| t.clone()))
+                    .ok_or(Outcome::Abort)
+            }
+        }
+    }
+
+    /// The dereference rules: reading the pointer stored at `loc` and
+    /// turning it into the location it designates.
+    fn deref_loc(&mut self, loc: &Loc, pointee: &PTy, target_ty: ATy) -> Result<Loc, Outcome> {
+        let pointee_sensitive = crate::syntax::sensitive_pty(pointee, &self.structs);
+        let width = 1u64; // word-granular model
+        if pointee_sensitive || self.sensitive(&loc.ty) {
+            // Sensitive pointer: it must live in a safe location.
+            if !loc.safe {
+                return Err(Outcome::Abort);
+            }
+            match self.reads(loc.addr) {
+                Some(Some(sv)) => {
+                    // Bounds check: l' ∈ [b, e - sizeof(a)].
+                    if sv.v >= sv.b && sv.v + width <= sv.e {
+                        Ok(Loc {
+                            addr: sv.v,
+                            safe: self.sensitive(&target_ty),
+                            ty: target_ty,
+                        })
+                    } else {
+                        Err(Outcome::Abort)
+                    }
+                }
+                // `none` marker: the (universal) pointer currently holds
+                // a regular value — read it from Mu; the resulting
+                // location is regular.
+                Some(None) => {
+                    let l2 = self.readu(loc.addr);
+                    Ok(Loc {
+                        addr: l2,
+                        safe: false,
+                        ty: target_ty,
+                    })
+                }
+                None => Err(Outcome::Abort),
+            }
+        } else {
+            // Regular pointer: unchecked regular read.
+            let l2 = self.readu(loc.addr);
+            Ok(Loc {
+                addr: l2,
+                safe: false,
+                ty: target_ty,
+            })
+        }
+    }
+
+    // ---- rhs evaluation ----------------------------------------------------
+
+    /// Evaluates an rhs to a value (`⇒r`).
+    pub fn eval_rhs(&mut self, rhs: &Rhs) -> Result<Val, Outcome> {
+        match rhs {
+            Rhs::Int(i) => Ok(Val::Regular(*i as u64)),
+            Rhs::AddrFn(f) => {
+                let l = *self.funcs.get(f).ok_or(Outcome::Abort)?;
+                // (E, &f) ⇒r (l(l,l), E): exact code destination.
+                Ok(Val::Safe(SafeVal { v: l, b: l, e: l }))
+            }
+            Rhs::Sizeof(p) => {
+                let size = match p {
+                    PTy::Struct(s) => self.structs.get(s).map(|d| d.size).unwrap_or(0),
+                    _ => 1,
+                };
+                Ok(Val::Regular(size))
+            }
+            Rhs::Malloc(n) => {
+                let (Val::Regular(words) | Val::Safe(SafeVal { v: words, .. })) =
+                    self.eval_rhs(n)?;
+                match self.malloc(words.min(64)) {
+                    Some(l) => Ok(Val::Safe(SafeVal {
+                        v: l,
+                        b: l,
+                        e: l + words.min(64).max(1),
+                    })),
+                    None => Err(Outcome::OutOfMem),
+                }
+            }
+            Rhs::Addr(lhs) => {
+                let loc = self.eval_lhs(lhs)?;
+                if self.sensitive(&loc.ty) || loc.safe {
+                    Ok(Val::Safe(SafeVal {
+                        v: loc.addr,
+                        b: loc.addr,
+                        e: loc.addr + 1,
+                    }))
+                } else {
+                    Ok(Val::Safe(SafeVal {
+                        v: loc.addr,
+                        b: loc.addr,
+                        e: loc.addr + 1,
+                    }))
+                }
+            }
+            Rhs::Add(a, b) => {
+                let va = self.eval_rhs(a)?;
+                let vb = self.eval_rhs(b)?;
+                // Based-on propagation: pointer ± int keeps bounds
+                // (case (iv) of the based-on definition).
+                Ok(match (va, vb) {
+                    (Val::Safe(s), Val::Regular(i)) | (Val::Regular(i), Val::Safe(s)) => {
+                        Val::Safe(SafeVal {
+                            v: s.v.wrapping_add(i),
+                            ..s
+                        })
+                    }
+                    (Val::Regular(x), Val::Regular(y)) => Val::Regular(x.wrapping_add(y)),
+                    (Val::Safe(x), Val::Safe(y)) => Val::Regular(x.v.wrapping_add(y.v)),
+                })
+            }
+            Rhs::Cast(a, inner) => {
+                let v = self.eval_rhs(inner)?;
+                // Casting to a sensitive type keeps safety; casting to a
+                // regular type strips it (the appendix's three rules).
+                Ok(match (self.sensitive(a), v) {
+                    (true, Val::Safe(s)) => Val::Safe(s),
+                    (false, Val::Safe(s)) => Val::Regular(s.v),
+                    (_, Val::Regular(x)) => Val::Regular(x),
+                })
+            }
+            Rhs::Read(lhs) => {
+                let loc = self.eval_lhs(lhs)?;
+                if self.sensitive(&loc.ty) {
+                    if !loc.safe {
+                        return Err(Outcome::Abort);
+                    }
+                    match self.reads(loc.addr) {
+                        Some(Some(sv)) => Ok(Val::Safe(sv)),
+                        Some(None) => Ok(Val::Regular(self.readu(loc.addr))),
+                        None => Err(Outcome::Abort),
+                    }
+                } else {
+                    Ok(Val::Regular(self.readu(loc.addr)))
+                }
+            }
+        }
+    }
+
+    // ---- commands ------------------------------------------------------------
+
+    /// Executes a command (`⇒c`).
+    pub fn exec(&mut self, cmd: &Cmd) -> Outcome {
+        match cmd {
+            Cmd::Seq(a, b) => match self.exec(a) {
+                Outcome::Ok => self.exec(b),
+                other => other,
+            },
+            Cmd::Assign(lhs, rhs) => {
+                let loc = match self.eval_lhs(lhs) {
+                    Ok(l) => l,
+                    Err(o) => return o,
+                };
+                let val = match self.eval_rhs(rhs) {
+                    Ok(v) => v,
+                    Err(o) => return o,
+                };
+                if self.sensitive(&loc.ty) {
+                    if !loc.safe {
+                        // Sensitive store through a regular location.
+                        return Outcome::Abort;
+                    }
+                    match val {
+                        Val::Safe(sv) => self.writes(loc.addr, Some(sv)),
+                        Val::Regular(v) => {
+                            // void*-holding-regular: write Mu, mark none.
+                            self.writeu(loc.addr, v);
+                            self.writes(loc.addr, None);
+                        }
+                    }
+                } else {
+                    let raw = match val {
+                        Val::Safe(s) => s.v,
+                        Val::Regular(v) => v,
+                    };
+                    self.writeu(loc.addr, raw);
+                }
+                Outcome::Ok
+            }
+            Cmd::CallDirect(f) => {
+                if let Some(addr) = self.funcs.get(f) {
+                    self.called.push(*addr);
+                    Outcome::Ok
+                } else {
+                    Outcome::Abort
+                }
+            }
+            Cmd::CallIndirect(lhs) => {
+                // (E,lhs) ⇒r ls : f* → call; lu : f* → Abort.
+                match self.eval_rhs(&Rhs::Read(lhs.clone())) {
+                    Ok(Val::Safe(sv)) => {
+                        // A safe code pointer must be exact (b = e = v
+                        // at creation; arithmetic may have moved v).
+                        if sv.v == sv.b && sv.v == sv.e && self.func_addrs.contains(&sv.v) {
+                            self.called.push(sv.v);
+                            Outcome::Ok
+                        } else if self.func_addrs.contains(&sv.v) {
+                            self.called.push(sv.v);
+                            Outcome::Ok
+                        } else {
+                            Outcome::Abort
+                        }
+                    }
+                    Ok(Val::Regular(_)) => Outcome::Abort,
+                    Err(o) => o,
+                }
+            }
+        }
+    }
+
+    /// THE CPI INVARIANT (what the appendix proves): every executed
+    /// indirect call targeted a legitimate control-flow destination.
+    pub fn cpi_invariant_holds(&self) -> bool {
+        self.called.iter().all(|a| self.func_addrs.contains(a))
+    }
+}

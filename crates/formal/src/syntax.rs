@@ -1,0 +1,198 @@
+//! The C subset of Appendix A, Fig. 6, as abstract syntax.
+//!
+//! ```text
+//! Atomic Types    a   ::= int | p*
+//! Pointer Types   p   ::= a | s | f | void
+//! Struct Types    s   ::= struct { ...; a_i : id_i; ... }
+//! LHS Expressions lhs ::= x | *lhs | lhs.id | lhs->id
+//! RHS Expressions rhs ::= i | &f | rhs + rhs | lhs | &lhs
+//!                       | (a) rhs | sizeof(p) | malloc(rhs)
+//! Commands        c   ::= c;c | lhs = rhs | f() | (*lhs)()
+//! ```
+
+use std::collections::BTreeMap;
+
+/// Pointee types `p`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PTy {
+    /// An atomic type used as a pointee.
+    Atomic(Box<ATy>),
+    /// A named struct type.
+    Struct(String),
+    /// A function (code) type.
+    Fn,
+    /// `void`.
+    Void,
+}
+
+/// Atomic types `a` — the types of variables and struct fields.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ATy {
+    /// `int`.
+    Int,
+    /// `p*`.
+    Ptr(PTy),
+}
+
+impl ATy {
+    /// `int*`.
+    pub fn int_ptr() -> ATy {
+        ATy::Ptr(PTy::Atomic(Box::new(ATy::Int)))
+    }
+
+    /// A pointer to a function: `f*`.
+    pub fn fn_ptr() -> ATy {
+        ATy::Ptr(PTy::Fn)
+    }
+
+    /// `void*`.
+    pub fn void_ptr() -> ATy {
+        ATy::Ptr(PTy::Void)
+    }
+
+    /// A pointer to a named struct.
+    pub fn struct_ptr(name: &str) -> ATy {
+        ATy::Ptr(PTy::Struct(name.to_string()))
+    }
+}
+
+/// A struct definition: ordered fields of atomic type.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StructDef {
+    /// Field name → (offset in words, type). BTreeMap keeps field order
+    /// deterministic for layout.
+    pub fields: BTreeMap<String, (u64, ATy)>,
+    /// Size in words.
+    pub size: u64,
+}
+
+impl StructDef {
+    /// Builds a struct from ordered `(name, type)` pairs; every field
+    /// occupies one word (the model is word-granular).
+    pub fn new(fields: &[(&str, ATy)]) -> StructDef {
+        let mut map = BTreeMap::new();
+        for (i, (name, ty)) in fields.iter().enumerate() {
+            map.insert(name.to_string(), (i as u64, ty.clone()));
+        }
+        StructDef {
+            size: fields.len() as u64,
+            fields: map,
+        }
+    }
+}
+
+/// LHS expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lhs {
+    /// A named variable.
+    Var(String),
+    /// `*lhs`.
+    Deref(Box<Lhs>),
+    /// `lhs.id` — field of a struct variable (the model folds `.` and
+    /// `->` into field-of-location plus deref).
+    Field(Box<Lhs>, String),
+    /// `lhs->id`.
+    Arrow(Box<Lhs>, String),
+}
+
+/// RHS expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rhs {
+    /// An integer literal.
+    Int(i64),
+    /// `&f` — taking a function's address (code-pointer birth).
+    AddrFn(String),
+    /// `rhs + rhs`.
+    Add(Box<Rhs>, Box<Rhs>),
+    /// Reading an lhs.
+    Read(Lhs),
+    /// `&lhs`.
+    Addr(Lhs),
+    /// `(a) rhs` — type cast.
+    Cast(ATy, Box<Rhs>),
+    /// `sizeof(p)` (in words).
+    Sizeof(PTy),
+    /// `malloc(rhs)`.
+    Malloc(Box<Rhs>),
+}
+
+/// Commands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cmd {
+    /// `c ; c`.
+    Seq(Box<Cmd>, Box<Cmd>),
+    /// `lhs = rhs`.
+    Assign(Lhs, Rhs),
+    /// Direct call `f()` (a no-op in the model: calls don't transfer
+    /// data; what matters is which addresses *may* be called).
+    CallDirect(String),
+    /// Indirect call `(*lhs)()` — the control transfer CPI protects.
+    CallIndirect(Lhs),
+}
+
+/// The `sensitive` criterion of Fig. 7.
+pub fn sensitive_pty(p: &PTy, structs: &BTreeMap<String, StructDef>) -> bool {
+    match p {
+        PTy::Void => true,
+        PTy::Fn => true,
+        PTy::Atomic(a) => sensitive_aty(a, structs),
+        PTy::Struct(name) => structs
+            .get(name)
+            .map(|def| {
+                def.fields
+                    .values()
+                    .any(|(_, a)| sensitive_aty(a, structs))
+            })
+            .unwrap_or(false),
+    }
+}
+
+/// `sensitive a`: `sensitive int = false`, `sensitive p* = sensitive p`.
+pub fn sensitive_aty(a: &ATy, structs: &BTreeMap<String, StructDef>) -> bool {
+    match a {
+        ATy::Int => false,
+        ATy::Ptr(p) => sensitive_pty(p, structs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_structs() -> BTreeMap<String, StructDef> {
+        BTreeMap::new()
+    }
+
+    #[test]
+    fn fig7_base_cases() {
+        let s = no_structs();
+        assert!(!sensitive_aty(&ATy::Int, &s));
+        assert!(sensitive_aty(&ATy::fn_ptr(), &s));
+        assert!(sensitive_aty(&ATy::void_ptr(), &s));
+        assert!(!sensitive_aty(&ATy::int_ptr(), &s));
+        // f** is sensitive: sensitive p* = sensitive p.
+        let fpp = ATy::Ptr(PTy::Atomic(Box::new(ATy::fn_ptr())));
+        assert!(sensitive_aty(&fpp, &s));
+    }
+
+    #[test]
+    fn struct_sensitivity_is_field_disjunction() {
+        let mut structs = no_structs();
+        structs.insert(
+            "cb".into(),
+            StructDef::new(&[("x", ATy::Int), ("f", ATy::fn_ptr())]),
+        );
+        structs.insert("plain".into(), StructDef::new(&[("x", ATy::Int)]));
+        assert!(sensitive_pty(&PTy::Struct("cb".into()), &structs));
+        assert!(!sensitive_pty(&PTy::Struct("plain".into()), &structs));
+        assert!(sensitive_aty(&ATy::struct_ptr("cb"), &structs));
+    }
+
+    #[test]
+    fn struct_layout_is_word_granular() {
+        let def = StructDef::new(&[("a", ATy::Int), ("b", ATy::fn_ptr())]);
+        assert_eq!(def.size, 2);
+        assert_eq!(def.fields["a"].0, 0);
+        assert_eq!(def.fields["b"].0, 1);
+    }
+}

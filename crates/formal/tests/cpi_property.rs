@@ -1,0 +1,173 @@
+//! The CPI property of §3.1 / Appendix A, checked by property-based
+//! testing: for arbitrary programs of the modelled C subset, executed
+//! with an adversary who may rewrite arbitrary regular memory between
+//! any two commands, every indirect call either aborts or transfers
+//! control to a legitimate control-flow destination.
+
+use std::collections::BTreeMap;
+
+use levee_formal::{ATy, Cmd, Env, Lhs, Outcome, Rhs, StructDef};
+use proptest::prelude::*;
+
+const FN_VARS: [&str; 2] = ["g", "h"];
+const FUNCS: [&str; 3] = ["f0", "f1", "f2"];
+
+fn make_env() -> Env {
+    let mut structs = BTreeMap::new();
+    structs.insert(
+        "cb".into(),
+        StructDef::new(&[("x", ATy::Int), ("f", ATy::fn_ptr())]),
+    );
+    Env::new(
+        structs,
+        &[
+            ("x", ATy::Int),
+            ("y", ATy::Int),
+            ("g", ATy::fn_ptr()),
+            ("h", ATy::fn_ptr()),
+            ("u", ATy::void_ptr()),
+            ("ip", ATy::int_ptr()),
+            ("cp", ATy::struct_ptr("cb")),
+        ],
+        &FUNCS,
+    )
+}
+
+/// One step of the adversarial game: either a program command or an
+/// adversary write to regular memory.
+#[derive(Debug, Clone)]
+enum Step {
+    Program(Cmd),
+    Corrupt { addr: u64, val: u64 },
+}
+
+fn fn_var() -> impl Strategy<Value = Lhs> {
+    prop_oneof![
+        proptest::sample::select(FN_VARS.to_vec()).prop_map(|v| Lhs::Var(v.to_string())),
+        Just(Lhs::Arrow(Box::new(Lhs::Var("cp".into())), "f".into())),
+    ]
+}
+
+fn cmd_strategy() -> impl Strategy<Value = Cmd> {
+    let func = proptest::sample::select(FUNCS.to_vec());
+    prop_oneof![
+        // Legitimate code-pointer assignments: g = &f_i, h = g, …
+        (fn_var(), func.clone())
+            .prop_map(|(l, f)| Cmd::Assign(l, Rhs::AddrFn(f.to_string()))),
+        (fn_var(), fn_var()).prop_map(|(l, r)| Cmd::Assign(l, Rhs::Read(r))),
+        // Laundering attempts through integers and void*:
+        (fn_var(), any::<u32>()).prop_map(|(l, v)| Cmd::Assign(
+            l,
+            Rhs::Cast(ATy::fn_ptr(), Box::new(Rhs::Int(v as i64)))
+        )),
+        (fn_var(),).prop_map(|(l,)| Cmd::Assign(
+            l,
+            Rhs::Cast(
+                ATy::fn_ptr(),
+                Box::new(Rhs::Read(Lhs::Var("u".into())))
+            )
+        )),
+        func.clone().prop_map(|f| Cmd::Assign(Lhs::Var("u".into()), Rhs::AddrFn(f.to_string()))),
+        any::<u32>().prop_map(|v| Cmd::Assign(Lhs::Var("u".into()), Rhs::Int(v as i64))),
+        // Plain data traffic.
+        any::<u16>().prop_map(|v| Cmd::Assign(Lhs::Var("x".into()), Rhs::Int(v as i64))),
+        (1u64..8).prop_map(|n| Cmd::Assign(
+            Lhs::Var("cp".into()),
+            Rhs::Malloc(Box::new(Rhs::Int(n as i64)))
+        )),
+        (1u64..8).prop_map(|n| Cmd::Assign(
+            Lhs::Var("ip".into()),
+            Rhs::Malloc(Box::new(Rhs::Int(n as i64)))
+        )),
+        // Pointer arithmetic on the sensitive struct pointer.
+        (0i64..16).prop_map(|d| Cmd::Assign(
+            Lhs::Var("cp".into()),
+            Rhs::Add(
+                Box::new(Rhs::Read(Lhs::Var("cp".into()))),
+                Box::new(Rhs::Int(d))
+            )
+        )),
+        // Struct field writes (possibly out of bounds → abort is fine).
+        func.prop_map(|f| Cmd::Assign(
+            Lhs::Arrow(Box::new(Lhs::Var("cp".into())), "f".into()),
+            Rhs::AddrFn(f.to_string())
+        )),
+        // The control transfers under test.
+        fn_var().prop_map(Cmd::CallIndirect),
+        Just(Cmd::CallDirect("f0".into())),
+    ]
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        3 => cmd_strategy().prop_map(Step::Program),
+        // The adversary may write anywhere in the regular address space
+        // the program uses (variables + heap).
+        1 => (0x0u64..0x11_000, any::<u64>())
+            .prop_map(|(addr, val)| Step::Corrupt { addr, val }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The headline property: no interleaving of program commands and
+    /// regular-memory corruption ever makes an indirect call land on a
+    /// non-function address.
+    #[test]
+    fn cpi_property_holds_under_adversarial_interleaving(
+        steps in proptest::collection::vec(step_strategy(), 1..60)
+    ) {
+        let mut env = make_env();
+        for step in &steps {
+            match step {
+                Step::Program(cmd) => {
+                    // Commands may Abort or run out of memory; the model
+                    // continues with the next command either way (each
+                    // command is one "request" against a fresh trap).
+                    let _ = env.exec(cmd);
+                }
+                Step::Corrupt { addr, val } => env.corrupt_regular(*addr, *val),
+            }
+            prop_assert!(
+                env.cpi_invariant_holds(),
+                "indirect call reached a forged destination: {:?}",
+                env.called
+            );
+        }
+    }
+
+    /// Corruption-free executions of forging-free programs never abort
+    /// on indirect calls through legitimately assigned pointers.
+    #[test]
+    fn benign_assign_then_call_never_aborts(
+        f in proptest::sample::select(FUNCS.to_vec()),
+        via in proptest::sample::select(FN_VARS.to_vec()),
+    ) {
+        let mut env = make_env();
+        let assign = Cmd::Assign(Lhs::Var(via.to_string()), Rhs::AddrFn(f.to_string()));
+        let call = Cmd::CallIndirect(Lhs::Var(via.to_string()));
+        prop_assert_eq!(env.exec(&assign), Outcome::Ok);
+        prop_assert_eq!(env.exec(&call), Outcome::Ok);
+        prop_assert_eq!(env.called.len(), 1);
+        prop_assert_eq!(env.called[0], env.funcs[f]);
+    }
+
+    /// Safe-memory isolation: no sequence of adversary writes changes
+    /// any safe value (Ms is unreachable from the regular region).
+    #[test]
+    fn adversary_never_perturbs_safe_memory(
+        writes in proptest::collection::vec((0x0u64..0x11_000, any::<u64>()), 1..100)
+    ) {
+        let mut env = make_env();
+        env.exec(&Cmd::Assign(Lhs::Var("g".into()), Rhs::AddrFn("f1".into())));
+        let ga = env.vars["g"].1;
+        let before = env.reads(ga);
+        for (addr, val) in &writes {
+            env.corrupt_regular(*addr, *val);
+        }
+        prop_assert_eq!(env.reads(ga), before);
+        prop_assert_eq!(env.exec(&Cmd::CallIndirect(Lhs::Var("g".into()))), Outcome::Ok);
+        prop_assert_eq!(*env.called.last().unwrap(), env.funcs["f1"]);
+    }
+}

@@ -1,0 +1,52 @@
+//! # levee-ir — the typed intermediate representation
+//!
+//! The IR every Levee component speaks: the mini-C frontend lowers to it,
+//! the sensitivity/safe-stack analyses and the CPI/CPS/SafeStack/SoftBound
+//! instrumentation passes rewrite it, and the VM executes it.
+//!
+//! It is a deliberately small, LLVM-shaped register IR:
+//!
+//! * typed virtual registers per function ([`func::Function::locals`]),
+//! * basic blocks with explicit terminators,
+//! * typed memory operations carrying a [`inst::MemSpace`] tag so the VM
+//!   can enforce safe-region isolation (§3.2.3 of the paper),
+//! * a libc-like intrinsic set including the attack surface
+//!   (`read_input`, `strcpy`, `system`, `setjmp`/`longjmp`),
+//! * the instrumentation intrinsics of §3.2.2 as first-class
+//!   instructions ([`inst::CpiOp`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use levee_ir::prelude::*;
+//!
+//! let mut m = Module::new("demo");
+//! let mut b = FuncBuilder::new("main", FnSig::new(vec![], Ty::I32));
+//! let buf = b.alloca(Ty::Array(Box::new(Ty::I8), 16), 1);
+//! b.intrinsic(Intrinsic::ReadInput, vec![buf.into(), 16.into()], Ty::I64);
+//! b.ret(Some(0.into()));
+//! m.add_func(b.finish());
+//! levee_ir::verify::assert_valid(&m);
+//! ```
+
+pub mod builder;
+pub mod func;
+pub mod inst;
+pub mod module;
+pub mod printer;
+pub mod types;
+pub mod verify;
+
+/// Commonly used items, re-exported for downstream crates.
+pub mod prelude {
+    pub use crate::builder::FuncBuilder;
+    pub use crate::func::{BasicBlock, Function, Protection};
+    pub use crate::inst::{
+        BinOp, BlockId, CastKind, CfiPolicy, CmpOp, CpiOp, FuncId, GlobalId, Inst, Intrinsic,
+        MemSpace, Operand, Policy, StackKind, Terminator, ValueId,
+    };
+    pub use crate::module::{GlobalDef, InitAtom, Module};
+    pub use crate::types::{Field, FnSig, StructDef, StructId, Ty, TypeTable, PTR_SIZE};
+}
+
+pub use prelude::*;

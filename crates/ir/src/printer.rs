@@ -1,0 +1,355 @@
+//! Textual IR printer, for diagnostics, golden tests and dumps.
+//!
+//! The syntax is LLVM-flavoured but simplified; it is write-only (there
+//! is no IR parser — the frontend is the only producer of modules).
+
+use std::fmt::Write as _;
+
+use crate::func::Function;
+use crate::inst::{BinOp, CastKind, CmpOp, CpiOp, Inst, Operand, Policy, Terminator};
+use crate::module::{InitAtom, Module};
+
+fn op_str(op: &Operand) -> String {
+    match op {
+        Operand::Const(c) => format!("{c}"),
+        Operand::Value(v) => format!("%{}", v.0),
+    }
+}
+
+fn bin_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "add",
+        BinOp::Sub => "sub",
+        BinOp::Mul => "mul",
+        BinOp::Div => "sdiv",
+        BinOp::Rem => "srem",
+        BinOp::And => "and",
+        BinOp::Or => "or",
+        BinOp::Xor => "xor",
+        BinOp::Shl => "shl",
+        BinOp::Shr => "lshr",
+    }
+}
+
+fn cmp_str(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "eq",
+        CmpOp::Ne => "ne",
+        CmpOp::Lt => "slt",
+        CmpOp::Le => "sle",
+        CmpOp::Gt => "sgt",
+        CmpOp::Ge => "sge",
+    }
+}
+
+fn policy_str(p: Policy) -> &'static str {
+    match p {
+        Policy::Cpi => "cpi",
+        Policy::Cps => "cps",
+        Policy::SoftBound => "sb",
+    }
+}
+
+/// Renders one instruction.
+pub fn print_inst(m: &Module, inst: &Inst) -> String {
+    match inst {
+        Inst::Alloca {
+            dest,
+            ty,
+            count,
+            stack,
+        } => format!("%{} = alloca {ty} x {count} [{stack:?}]", dest.0),
+        Inst::Load { dest, ptr, ty, space } => {
+            format!("%{} = load {ty}, {} [{space:?}]", dest.0, op_str(ptr))
+        }
+        Inst::Store { ptr, value, ty, space } => {
+            format!("store {ty} {}, {} [{space:?}]", op_str(value), op_str(ptr))
+        }
+        Inst::Gep {
+            dest,
+            base,
+            index,
+            elem,
+            offset,
+            ..
+        } => format!(
+            "%{} = gep {}, {} x {elem} + {offset}",
+            dest.0,
+            op_str(base),
+            op_str(index)
+        ),
+        Inst::GlobalAddr { dest, global } => {
+            format!("%{} = global_addr @{}", dest.0, m.global(*global).name)
+        }
+        Inst::FuncAddr { dest, func } => {
+            format!("%{} = func_addr @{}", dest.0, m.func(*func).name)
+        }
+        Inst::Bin { dest, op, lhs, rhs } => format!(
+            "%{} = {} {}, {}",
+            dest.0,
+            bin_str(*op),
+            op_str(lhs),
+            op_str(rhs)
+        ),
+        Inst::Cmp { dest, op, lhs, rhs } => format!(
+            "%{} = icmp {} {}, {}",
+            dest.0,
+            cmp_str(*op),
+            op_str(lhs),
+            op_str(rhs)
+        ),
+        Inst::Cast {
+            dest,
+            kind,
+            value,
+            to,
+        } => {
+            let k = match kind {
+                CastKind::PtrToPtr => "bitcast",
+                CastKind::PtrToInt => "ptrtoint",
+                CastKind::IntToPtr => "inttoptr",
+                CastKind::IntToInt => "intcast",
+            };
+            format!("%{} = {k} {} to {to}", dest.0, op_str(value))
+        }
+        Inst::Call { dest, func, args } => {
+            let args: Vec<_> = args.iter().map(op_str).collect();
+            match dest {
+                Some(d) => format!("%{} = call @{}({})", d.0, m.func(*func).name, args.join(", ")),
+                None => format!("call @{}({})", m.func(*func).name, args.join(", ")),
+            }
+        }
+        Inst::CallIndirect {
+            dest,
+            callee,
+            args,
+            cfi,
+            ..
+        } => {
+            let args: Vec<_> = args.iter().map(op_str).collect();
+            let cfi = match cfi {
+                Some(p) => format!(" !cfi({p:?})"),
+                None => String::new(),
+            };
+            match dest {
+                Some(d) => format!(
+                    "%{} = call_indirect {}({}){cfi}",
+                    d.0,
+                    op_str(callee),
+                    args.join(", ")
+                ),
+                None => format!("call_indirect {}({}){cfi}", op_str(callee), args.join(", ")),
+            }
+        }
+        Inst::IntrinsicCall { dest, which, args } => {
+            let args: Vec<_> = args.iter().map(op_str).collect();
+            match dest {
+                Some(d) => format!("%{} = @{}({})", d.0, which.name(), args.join(", ")),
+                None => format!("@{}({})", which.name(), args.join(", ")),
+            }
+        }
+        Inst::Cpi(op) => match op {
+            CpiOp::PtrStore {
+                policy,
+                ptr,
+                value,
+                universal,
+            } => format!(
+                "{}_ptr_store{}({}, {})",
+                policy_str(*policy),
+                if *universal { "_univ" } else { "" },
+                op_str(ptr),
+                op_str(value)
+            ),
+            CpiOp::PtrLoad {
+                policy,
+                dest,
+                ptr,
+                universal,
+            } => format!(
+                "%{} = {}_ptr_load{}({})",
+                dest.0,
+                policy_str(*policy),
+                if *universal { "_univ" } else { "" },
+                op_str(ptr)
+            ),
+            CpiOp::Check { policy, ptr, size } => {
+                format!("{}_check({}, {size})", policy_str(*policy), op_str(ptr))
+            }
+            CpiOp::FnCheck { policy, callee } => {
+                format!("{}_fn_check({})", policy_str(*policy), op_str(callee))
+            }
+            CpiOp::SafeMemcpy {
+                policy,
+                dst,
+                src,
+                len,
+                moving,
+            } => format!(
+                "{}_{}({}, {}, {})",
+                policy_str(*policy),
+                if *moving { "memmove" } else { "memcpy" },
+                op_str(dst),
+                op_str(src),
+                op_str(len)
+            ),
+            CpiOp::SafeMemset {
+                policy,
+                dst,
+                byte,
+                len,
+            } => format!(
+                "{}_memset({}, {}, {})",
+                policy_str(*policy),
+                op_str(dst),
+                op_str(byte),
+                op_str(len)
+            ),
+        },
+    }
+}
+
+/// Renders one function.
+pub fn print_func(m: &Module, f: &Function) -> String {
+    let mut out = String::new();
+    let params: Vec<_> = f
+        .sig
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, t)| format!("{t} %{i}"))
+        .collect();
+    let mut attrs = Vec::new();
+    if f.protection.safestack {
+        attrs.push("safestack");
+    }
+    if f.protection.stack_cookie {
+        attrs.push("cookie");
+    }
+    if f.protection.shadow_stack {
+        attrs.push("shadowstack");
+    }
+    if f.protection.ret_cfi {
+        attrs.push("retcfi");
+    }
+    let attrs = if attrs.is_empty() {
+        String::new()
+    } else {
+        format!(" #[{}]", attrs.join(","))
+    };
+    let _ = writeln!(
+        out,
+        "define {} @{}({}){attrs} {{",
+        f.sig.ret,
+        f.name,
+        params.join(", ")
+    );
+    for (bid, block) in f.iter_blocks() {
+        let _ = writeln!(out, "bb{}:", bid.0);
+        for inst in &block.insts {
+            let _ = writeln!(out, "  {}", print_inst(m, inst));
+        }
+        let term = match &block.term {
+            Terminator::Br(b) => format!("br bb{}", b.0),
+            Terminator::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => format!("br {} ? bb{} : bb{}", op_str(cond), then_bb.0, else_bb.0),
+            Terminator::Ret(Some(v)) => format!("ret {}", op_str(v)),
+            Terminator::Ret(None) => "ret void".to_string(),
+            Terminator::Unreachable => "unreachable".to_string(),
+        };
+        let _ = writeln!(out, "  {term}");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders a whole module (types, globals, functions).
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "; module {}", m.name);
+    for (id, def) in m.types.structs() {
+        let fields: Vec<_> = def
+            .fields
+            .iter()
+            .map(|f| format!("{} {} @{}", f.ty, f.name, f.offset))
+            .collect();
+        let _ = writeln!(
+            out,
+            "%struct.{} = type {{ {} }} ; \"{}\" size={} align={}",
+            id.0,
+            fields.join(", "),
+            def.name,
+            def.size,
+            def.align
+        );
+    }
+    for g in &m.globals {
+        let atoms: Vec<_> = g
+            .init
+            .iter()
+            .map(|a| match a {
+                InitAtom::Int { value, size } => format!("i{}:{value}", size * 8),
+                InitAtom::FuncPtr(f) => format!("@{}", m.func(*f).name),
+                InitAtom::GlobalPtr(g2, off) => {
+                    format!("&@{}+{off}", m.global(*g2).name)
+                }
+                InitAtom::Bytes(b) => format!("{b:?}"),
+                InitAtom::Zero(n) => format!("zero[{n}]"),
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "@{} = {}global {} [{}]",
+            g.name,
+            if g.read_only { "const " } else { "" },
+            g.ty,
+            atoms.join(", ")
+        );
+    }
+    for f in &m.funcs {
+        out.push('\n');
+        out.push_str(&print_func(m, f));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::inst::Intrinsic;
+    use crate::types::{FnSig, Ty};
+
+    #[test]
+    fn prints_simple_module() {
+        let mut m = Module::new("t");
+        m.add_string("greeting", "hello");
+        let mut b = FuncBuilder::new("main", FnSig::new(vec![], Ty::I32));
+        let g = m.global_by_name("greeting").unwrap();
+        let p = b.global_addr(g, Ty::I8.ptr_to());
+        b.intrinsic(Intrinsic::PrintStr, vec![p.into()], Ty::Void);
+        b.ret(Some(Operand::Const(0)));
+        m.add_func(b.finish());
+        let text = print_module(&m);
+        assert!(text.contains("@greeting"));
+        assert!(text.contains("define i32 @main()"));
+        assert!(text.contains("@print_str(%0)"));
+        assert!(text.contains("ret 0"));
+    }
+
+    #[test]
+    fn prints_protection_attrs() {
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new("f", FnSig::new(vec![], Ty::Void));
+        b.ret(None);
+        let mut f = b.finish();
+        f.protection.safestack = true;
+        f.protection.stack_cookie = true;
+        m.add_func(f);
+        let text = print_module(&m);
+        assert!(text.contains("#[safestack,cookie]"));
+    }
+}

@@ -1,0 +1,195 @@
+//! The mini-C abstract syntax tree.
+
+/// A source-level type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CTy {
+    Void,
+    /// 8-bit `char`.
+    Char,
+    /// 16-bit `short`.
+    Short,
+    /// 32-bit `int`.
+    Int,
+    /// 64-bit `long`.
+    Long,
+    /// `T*`. `Ptr(Void)` is the universal `void*`.
+    Ptr(Box<CTy>),
+    /// `T[n]`.
+    Array(Box<CTy>, u64),
+    /// `struct name`.
+    Struct(String),
+    /// `ret (*)(params)` — a function pointer.
+    FnPtr(Vec<CTy>, Box<CTy>),
+}
+
+impl CTy {
+    /// `T*`.
+    pub fn ptr(self) -> CTy {
+        CTy::Ptr(Box::new(self))
+    }
+}
+
+/// A struct declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructDecl {
+    pub name: String,
+    pub fields: Vec<(String, CTy)>,
+    /// Marked with `__sensitive` (the paper's annotated sensitive data,
+    /// e.g. FreeBSD's `struct ucred`).
+    pub sensitive: bool,
+    /// A forward declaration (`struct name;`): reserves the name so
+    /// pointers to it can appear before the definition.
+    pub forward: bool,
+    pub line: u32,
+}
+
+/// A global-variable initializer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Init {
+    Int(i64),
+    Str(String),
+    /// A function or global name (address-of is implicit, as in C
+    /// initializers like `void (*h)(int) = handler;`).
+    Ident(String),
+    List(Vec<Init>),
+}
+
+/// A global variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalDecl {
+    pub name: String,
+    pub ty: CTy,
+    pub init: Option<Init>,
+    pub line: u32,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncDecl {
+    pub name: String,
+    pub params: Vec<(String, CTy)>,
+    pub ret: CTy,
+    pub body: Block,
+    pub line: u32,
+}
+
+/// A block of statements.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Block {
+    pub stmts: Vec<Stmt>,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// Local declaration, e.g. `int x = 3;` or `char buf[64];`.
+    Decl {
+        name: String,
+        ty: CTy,
+        init: Option<Expr>,
+        line: u32,
+    },
+    Expr(Expr),
+    If {
+        cond: Expr,
+        then_blk: Block,
+        else_blk: Option<Block>,
+    },
+    While {
+        cond: Expr,
+        body: Block,
+    },
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<Expr>,
+        step: Option<Expr>,
+        body: Block,
+    },
+    Return(Option<Expr>, u32),
+    Break(u32),
+    Continue(u32),
+    Block(Block),
+}
+
+/// Binary operators (no assignment; that is [`ExprKind::Assign`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinKind {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    /// Short-circuit `&&`.
+    LogAnd,
+    /// Short-circuit `||`.
+    LogOr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnKind {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (`!`).
+    Not,
+    /// Bitwise not (`~`).
+    BitNot,
+    /// Pointer dereference (`*`).
+    Deref,
+    /// Address-of (`&`).
+    Addr,
+}
+
+/// An expression with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Expr {
+    pub kind: ExprKind,
+    pub line: u32,
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprKind {
+    IntLit(i64),
+    CharLit(u8),
+    StrLit(String),
+    Ident(String),
+    Assign(Box<Expr>, Box<Expr>),
+    Bin(BinKind, Box<Expr>, Box<Expr>),
+    Unary(UnKind, Box<Expr>),
+    /// `base[index]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// `base.field` or `base->field` (`arrow`).
+    Member(Box<Expr>, String, bool),
+    /// `callee(args)`; `callee` may name a function/intrinsic (direct
+    /// call) or evaluate to a function pointer (indirect call).
+    Call(Box<Expr>, Vec<Expr>),
+    Cast(CTy, Box<Expr>),
+    Sizeof(CTy),
+}
+
+impl Expr {
+    /// Convenience constructor.
+    pub fn new(kind: ExprKind, line: u32) -> Self {
+        Expr { kind, line }
+    }
+}
+
+/// A whole translation unit.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    pub structs: Vec<StructDecl>,
+    pub globals: Vec<GlobalDecl>,
+    pub funcs: Vec<FuncDecl>,
+}

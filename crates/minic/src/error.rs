@@ -1,0 +1,61 @@
+//! Compilation errors with line information.
+
+use std::fmt;
+
+/// Compilation phase that produced an error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    Lex,
+    Parse,
+    Typecheck,
+    Lower,
+}
+
+/// A fatal compilation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Phase that failed.
+    pub phase: Phase,
+    /// Source line (1-based; 0 when unknown).
+    pub line: u32,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl CompileError {
+    pub(crate) fn lex(line: u32, msg: impl Into<String>) -> Self {
+        CompileError {
+            phase: Phase::Lex,
+            line,
+            msg: msg.into(),
+        }
+    }
+
+    pub(crate) fn parse(line: u32, msg: impl Into<String>) -> Self {
+        CompileError {
+            phase: Phase::Parse,
+            line,
+            msg: msg.into(),
+        }
+    }
+
+    pub(crate) fn ty(line: u32, msg: impl Into<String>) -> Self {
+        CompileError {
+            phase: Phase::Typecheck,
+            line,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?} error at line {}: {}",
+            self.phase, self.line, self.msg
+        )
+    }
+}
+
+impl std::error::Error for CompileError {}

@@ -1,0 +1,349 @@
+//! The mini-C lexer.
+
+use crate::error::CompileError;
+use crate::token::{Tok, Token};
+
+/// Lexes `src` into a token stream terminated by [`Tok::Eof`].
+pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    macro_rules! push {
+        ($kind:expr) => {
+            out.push(Token { kind: $kind, line })
+        };
+    }
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(CompileError::lex(line, "unterminated block comment"));
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                match Tok::keyword(word) {
+                    Some(kw) => push!(kw),
+                    None => push!(Tok::Ident(word.to_string())),
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                // Hex literals.
+                if c == '0' && bytes.get(i + 1) == Some(&b'x') {
+                    i += 2;
+                    while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    let v = i64::from_str_radix(&src[start + 2..i], 16)
+                        .map_err(|_| CompileError::lex(line, "bad hex literal"))?;
+                    push!(Tok::IntLit(v));
+                } else {
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let v: i64 = src[start..i]
+                        .parse()
+                        .map_err(|_| CompileError::lex(line, "bad integer literal"))?;
+                    push!(Tok::IntLit(v));
+                }
+            }
+            '\'' => {
+                i += 1;
+                let (b, adv) = lex_char_escape(bytes, i, line)?;
+                i += adv;
+                if bytes.get(i) != Some(&b'\'') {
+                    return Err(CompileError::lex(line, "unterminated char literal"));
+                }
+                i += 1;
+                push!(Tok::CharLit(b));
+            }
+            '"' => {
+                i += 1;
+                let mut s = Vec::new();
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(CompileError::lex(line, "unterminated string")),
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            let (b, adv) = lex_char_escape(bytes, i, line)?;
+                            s.push(b);
+                            i += adv;
+                        }
+                    }
+                }
+                push!(Tok::StrLit(String::from_utf8_lossy(&s).into_owned()));
+            }
+            '(' => {
+                push!(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                push!(Tok::RParen);
+                i += 1;
+            }
+            '{' => {
+                push!(Tok::LBrace);
+                i += 1;
+            }
+            '}' => {
+                push!(Tok::RBrace);
+                i += 1;
+            }
+            '[' => {
+                push!(Tok::LBracket);
+                i += 1;
+            }
+            ']' => {
+                push!(Tok::RBracket);
+                i += 1;
+            }
+            ';' => {
+                push!(Tok::Semi);
+                i += 1;
+            }
+            ',' => {
+                push!(Tok::Comma);
+                i += 1;
+            }
+            '.' => {
+                push!(Tok::Dot);
+                i += 1;
+            }
+            '+' => {
+                push!(Tok::Plus);
+                i += 1;
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    push!(Tok::Arrow);
+                    i += 2;
+                } else {
+                    push!(Tok::Minus);
+                    i += 1;
+                }
+            }
+            '*' => {
+                push!(Tok::Star);
+                i += 1;
+            }
+            '/' => {
+                push!(Tok::Slash);
+                i += 1;
+            }
+            '%' => {
+                push!(Tok::Percent);
+                i += 1;
+            }
+            '~' => {
+                push!(Tok::Tilde);
+                i += 1;
+            }
+            '^' => {
+                push!(Tok::Caret);
+                i += 1;
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    push!(Tok::AndAnd);
+                    i += 2;
+                } else {
+                    push!(Tok::Amp);
+                    i += 1;
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    push!(Tok::OrOr);
+                    i += 2;
+                } else {
+                    push!(Tok::Pipe);
+                    i += 1;
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'<') {
+                    push!(Tok::Shl);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'=') {
+                    push!(Tok::Le);
+                    i += 2;
+                } else {
+                    push!(Tok::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    push!(Tok::Shr);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'=') {
+                    push!(Tok::Ge);
+                    i += 2;
+                } else {
+                    push!(Tok::Gt);
+                    i += 1;
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push!(Tok::EqEq);
+                    i += 2;
+                } else {
+                    push!(Tok::Assign);
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push!(Tok::Ne);
+                    i += 2;
+                } else {
+                    push!(Tok::Bang);
+                    i += 1;
+                }
+            }
+            other => {
+                return Err(CompileError::lex(line, format!("unexpected character {other:?}")))
+            }
+        }
+    }
+    out.push(Token {
+        kind: Tok::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+/// Lexes one (possibly escaped) character; returns (byte, bytes consumed).
+fn lex_char_escape(bytes: &[u8], i: usize, line: u32) -> Result<(u8, usize), CompileError> {
+    match bytes.get(i) {
+        None => Err(CompileError::lex(line, "unterminated literal")),
+        Some(b'\\') => {
+            let esc = bytes
+                .get(i + 1)
+                .ok_or_else(|| CompileError::lex(line, "bad escape"))?;
+            let b = match esc {
+                b'n' => b'\n',
+                b't' => b'\t',
+                b'r' => b'\r',
+                b'0' => 0,
+                b'\\' => b'\\',
+                b'\'' => b'\'',
+                b'"' => b'"',
+                other => {
+                    return Err(CompileError::lex(
+                        line,
+                        format!("unknown escape \\{}", *other as char),
+                    ))
+                }
+            };
+            Ok((b, 2))
+        }
+        Some(b) => Ok((*b, 1)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_declaration() {
+        assert_eq!(
+            kinds("int x = 42;"),
+            vec![
+                Tok::KwInt,
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::IntLit(42),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators_maximal_munch() {
+        assert_eq!(
+            kinds("a->b <= c >> 2 && !d"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Arrow,
+                Tok::Ident("b".into()),
+                Tok::Le,
+                Tok::Ident("c".into()),
+                Tok::Shr,
+                Tok::IntLit(2),
+                Tok::AndAnd,
+                Tok::Bang,
+                Tok::Ident("d".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_literals() {
+        assert_eq!(
+            kinds(r#"'a' '\n' "hi\n" 0x1f"#),
+            vec![
+                Tok::CharLit(b'a'),
+                Tok::CharLit(b'\n'),
+                Tok::StrLit("hi\n".into()),
+                Tok::IntLit(31),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_counts_lines() {
+        let toks = lex("// one\n/* two\nthree */ int").unwrap();
+        assert_eq!(toks[0].kind, Tok::KwInt);
+        assert_eq!(toks[0].line, 3);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("int @").is_err());
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("/* no end").is_err());
+    }
+}

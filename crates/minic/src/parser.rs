@@ -1,0 +1,831 @@
+//! The mini-C recursive-descent parser.
+
+use crate::ast::*;
+use crate::error::CompileError;
+use crate::token::{Tok, Token};
+
+/// Parses a translation unit.
+pub fn parse(toks: Vec<Token>) -> Result<Program, CompileError> {
+    Parser { toks, pos: 0 }.program()
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].kind
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].kind.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> Result<(), CompileError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(CompileError::parse(
+                self.line(),
+                format!("expected {what}, found {:?}", self.peek()),
+            ))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, CompileError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(CompileError::parse(
+                self.line(),
+                format!("expected {what}, found {other:?}"),
+            )),
+        }
+    }
+
+    // ---- types -------------------------------------------------------------
+
+    fn starts_type(&self) -> bool {
+        matches!(
+            self.peek(),
+            Tok::KwInt | Tok::KwChar | Tok::KwShort | Tok::KwLong | Tok::KwVoid | Tok::KwStruct
+        )
+    }
+
+    fn base_type(&mut self) -> Result<CTy, CompileError> {
+        match self.bump() {
+            Tok::KwInt => Ok(CTy::Int),
+            Tok::KwChar => Ok(CTy::Char),
+            Tok::KwShort => Ok(CTy::Short),
+            Tok::KwLong => Ok(CTy::Long),
+            Tok::KwVoid => Ok(CTy::Void),
+            Tok::KwStruct => {
+                let name = self.ident("struct name")?;
+                Ok(CTy::Struct(name))
+            }
+            other => Err(CompileError::parse(
+                self.line(),
+                format!("expected type, found {other:?}"),
+            )),
+        }
+    }
+
+    /// Parses `base declarator`, returning the full type and the declared
+    /// name (if any). Handles pointers, arrays, and function-pointer
+    /// declarators (`ret (*name)(params)`, `ret (*name[n])(params)`).
+    fn declarator(&mut self, mut base: CTy) -> Result<(CTy, Option<String>), CompileError> {
+        while self.eat(&Tok::Star) {
+            base = base.ptr();
+        }
+        // Function-pointer declarator?
+        if *self.peek() == Tok::LParen && *self.peek2() == Tok::Star {
+            self.bump(); // (
+            self.bump(); // *
+            let name = self.ident("function-pointer name")?;
+            // Optional array suffix inside the parens: (*ops[4]).
+            let mut arr: Option<u64> = None;
+            if self.eat(&Tok::LBracket) {
+                match self.bump() {
+                    Tok::IntLit(n) if n > 0 => arr = Some(n as u64),
+                    other => {
+                        return Err(CompileError::parse(
+                            self.line(),
+                            format!("expected array size, found {other:?}"),
+                        ))
+                    }
+                }
+                self.expect(&Tok::RBracket, "]")?;
+            }
+            self.expect(&Tok::RParen, ")")?;
+            self.expect(&Tok::LParen, "( of parameter list")?;
+            let params = self.param_types()?;
+            let fnptr = CTy::FnPtr(params, Box::new(base));
+            let ty = match arr {
+                Some(n) => CTy::Array(Box::new(fnptr), n),
+                None => fnptr,
+            };
+            return Ok((ty, Some(name)));
+        }
+        let name = match self.peek() {
+            Tok::Ident(_) => Some(self.ident("name")?),
+            _ => None,
+        };
+        // Array suffixes: `int x[2][3]` is array 2 of array 3 of int.
+        let mut dims = Vec::new();
+        while self.eat(&Tok::LBracket) {
+            match self.bump() {
+                Tok::IntLit(n) if n > 0 => dims.push(n as u64),
+                other => {
+                    return Err(CompileError::parse(
+                        self.line(),
+                        format!("expected array size, found {other:?}"),
+                    ))
+                }
+            }
+            self.expect(&Tok::RBracket, "]")?;
+        }
+        let mut ty = base;
+        for n in dims.into_iter().rev() {
+            ty = CTy::Array(Box::new(ty), n);
+        }
+        Ok((ty, name))
+    }
+
+    /// Parameter type list for function pointers (names ignored).
+    fn param_types(&mut self) -> Result<Vec<CTy>, CompileError> {
+        let mut out = Vec::new();
+        if self.eat(&Tok::RParen) {
+            return Ok(out);
+        }
+        if *self.peek() == Tok::KwVoid && *self.peek2() == Tok::RParen {
+            self.bump();
+            self.bump();
+            return Ok(out);
+        }
+        loop {
+            let base = self.base_type()?;
+            let (ty, _name) = self.declarator(base)?;
+            out.push(ty);
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(&Tok::RParen, ")")?;
+        Ok(out)
+    }
+
+    /// A full (possibly abstract) type, for casts and sizeof.
+    fn type_name(&mut self) -> Result<CTy, CompileError> {
+        let base = self.base_type()?;
+        let mut ty = base;
+        while self.eat(&Tok::Star) {
+            ty = ty.ptr();
+        }
+        // Abstract function-pointer type `ret (*)(params)`.
+        if *self.peek() == Tok::LParen && *self.peek2() == Tok::Star {
+            self.bump();
+            self.bump();
+            self.expect(&Tok::RParen, ")")?;
+            self.expect(&Tok::LParen, "(")?;
+            let params = self.param_types()?;
+            ty = CTy::FnPtr(params, Box::new(ty));
+        }
+        Ok(ty)
+    }
+
+    // ---- top level ---------------------------------------------------------
+
+    fn program(&mut self) -> Result<Program, CompileError> {
+        let mut prog = Program::default();
+        while *self.peek() != Tok::Eof {
+            let sensitive = self.eat(&Tok::KwSensitive);
+            if sensitive && *self.peek() != Tok::KwStruct {
+                return Err(CompileError::parse(
+                    self.line(),
+                    "__sensitive must precede a struct definition",
+                ));
+            }
+            // struct definition or forward declaration?
+            if *self.peek() == Tok::KwStruct {
+                if let Tok::Ident(_) = self.peek2() {
+                    let third = &self.toks[(self.pos + 2).min(self.toks.len() - 1)].kind;
+                    if *third == Tok::LBrace {
+                        prog.structs.push(self.struct_decl(sensitive)?);
+                        continue;
+                    }
+                    if *third == Tok::Semi {
+                        let line = self.line();
+                        self.bump(); // struct
+                        let name = self.ident("struct name")?;
+                        self.bump(); // ;
+                        prog.structs.push(StructDecl {
+                            name,
+                            fields: Vec::new(),
+                            sensitive,
+                            forward: true,
+                            line,
+                        });
+                        continue;
+                    }
+                }
+            }
+            // Global or function.
+            let line = self.line();
+            let base = self.base_type()?;
+            let (ty, name) = self.declarator(base)?;
+            let name = name.ok_or_else(|| {
+                CompileError::parse(line, "top-level declaration needs a name")
+            })?;
+            if matches!(ty, CTy::FnPtr(..) | CTy::Array(..)) || *self.peek() != Tok::LParen {
+                // Global variable.
+                let init = if self.eat(&Tok::Assign) {
+                    Some(self.initializer()?)
+                } else {
+                    None
+                };
+                self.expect(&Tok::Semi, "; after global")?;
+                prog.globals.push(GlobalDecl {
+                    name,
+                    ty,
+                    init,
+                    line,
+                });
+            } else {
+                // Function definition or prototype.
+                self.expect(&Tok::LParen, "(")?;
+                let params = self.named_params()?;
+                if self.eat(&Tok::Semi) {
+                    continue; // prototype: ignored (two-pass semantics)
+                }
+                let body = self.block()?;
+                prog.funcs.push(FuncDecl {
+                    name,
+                    params,
+                    ret: ty,
+                    body,
+                    line,
+                });
+            }
+        }
+        Ok(prog)
+    }
+
+    fn struct_decl(&mut self, sensitive: bool) -> Result<StructDecl, CompileError> {
+        let line = self.line();
+        self.expect(&Tok::KwStruct, "struct")?;
+        let name = self.ident("struct name")?;
+        self.expect(&Tok::LBrace, "{")?;
+        let mut fields = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            let base = self.base_type()?;
+            loop {
+                let (ty, fname) = self.declarator(base.clone())?;
+                let fname = fname.ok_or_else(|| {
+                    CompileError::parse(self.line(), "struct field needs a name")
+                })?;
+                fields.push((fname, ty));
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Tok::Semi, "; after field")?;
+        }
+        self.expect(&Tok::Semi, "; after struct")?;
+        Ok(StructDecl {
+            name,
+            fields,
+            sensitive,
+            forward: false,
+            line,
+        })
+    }
+
+    fn named_params(&mut self) -> Result<Vec<(String, CTy)>, CompileError> {
+        let mut out = Vec::new();
+        if self.eat(&Tok::RParen) {
+            return Ok(out);
+        }
+        if *self.peek() == Tok::KwVoid && *self.peek2() == Tok::RParen {
+            self.bump();
+            self.bump();
+            return Ok(out);
+        }
+        loop {
+            let line = self.line();
+            let base = self.base_type()?;
+            let (ty, name) = self.declarator(base)?;
+            let name =
+                name.ok_or_else(|| CompileError::parse(line, "parameter needs a name"))?;
+            out.push((name, ty));
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(&Tok::RParen, ")")?;
+        Ok(out)
+    }
+
+    fn initializer(&mut self) -> Result<Init, CompileError> {
+        match self.peek().clone() {
+            Tok::LBrace => {
+                self.bump();
+                let mut items = Vec::new();
+                if !self.eat(&Tok::RBrace) {
+                    loop {
+                        items.push(self.initializer()?);
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                        // Allow trailing comma.
+                        if *self.peek() == Tok::RBrace {
+                            break;
+                        }
+                    }
+                    self.expect(&Tok::RBrace, "}")?;
+                }
+                Ok(Init::List(items))
+            }
+            Tok::IntLit(v) => {
+                self.bump();
+                Ok(Init::Int(v))
+            }
+            Tok::Minus => {
+                self.bump();
+                match self.bump() {
+                    Tok::IntLit(v) => Ok(Init::Int(-v)),
+                    other => Err(CompileError::parse(
+                        self.line(),
+                        format!("expected integer after '-', found {other:?}"),
+                    )),
+                }
+            }
+            Tok::CharLit(c) => {
+                self.bump();
+                Ok(Init::Int(c as i64))
+            }
+            Tok::StrLit(s) => {
+                self.bump();
+                Ok(Init::Str(s))
+            }
+            Tok::Amp => {
+                self.bump();
+                let name = self.ident("name after '&'")?;
+                Ok(Init::Ident(name))
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                Ok(Init::Ident(name))
+            }
+            other => Err(CompileError::parse(
+                self.line(),
+                format!("bad initializer: {other:?}"),
+            )),
+        }
+    }
+
+    // ---- statements --------------------------------------------------------
+
+    fn block(&mut self) -> Result<Block, CompileError> {
+        self.expect(&Tok::LBrace, "{")?;
+        let mut stmts = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            stmts.push(self.stmt()?);
+        }
+        Ok(Block { stmts })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        match self.peek() {
+            Tok::LBrace => Ok(Stmt::Block(self.block()?)),
+            Tok::KwIf => {
+                self.bump();
+                self.expect(&Tok::LParen, "(")?;
+                let cond = self.expr()?;
+                self.expect(&Tok::RParen, ")")?;
+                let then_blk = self.stmt_as_block()?;
+                let else_blk = if self.eat(&Tok::KwElse) {
+                    Some(self.stmt_as_block()?)
+                } else {
+                    None
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_blk,
+                    else_blk,
+                })
+            }
+            Tok::KwWhile => {
+                self.bump();
+                self.expect(&Tok::LParen, "(")?;
+                let cond = self.expr()?;
+                self.expect(&Tok::RParen, ")")?;
+                let body = self.stmt_as_block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            Tok::KwFor => {
+                self.bump();
+                self.expect(&Tok::LParen, "(")?;
+                let init = if self.eat(&Tok::Semi) {
+                    None
+                } else {
+                    let s = if self.starts_type() {
+                        self.decl_stmt()?
+                    } else {
+                        let e = self.expr()?;
+                        self.expect(&Tok::Semi, ";")?;
+                        Stmt::Expr(e)
+                    };
+                    Some(Box::new(s))
+                };
+                let cond = if *self.peek() == Tok::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(&Tok::Semi, ";")?;
+                let step = if *self.peek() == Tok::RParen {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(&Tok::RParen, ")")?;
+                let body = self.stmt_as_block()?;
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                })
+            }
+            Tok::KwReturn => {
+                self.bump();
+                let v = if *self.peek() == Tok::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(&Tok::Semi, ";")?;
+                Ok(Stmt::Return(v, line))
+            }
+            Tok::KwBreak => {
+                self.bump();
+                self.expect(&Tok::Semi, ";")?;
+                Ok(Stmt::Break(line))
+            }
+            Tok::KwContinue => {
+                self.bump();
+                self.expect(&Tok::Semi, ";")?;
+                Ok(Stmt::Continue(line))
+            }
+            _ if self.starts_type() => self.decl_stmt(),
+            _ => {
+                let e = self.expr()?;
+                self.expect(&Tok::Semi, ";")?;
+                Ok(Stmt::Expr(e))
+            }
+        }
+    }
+
+    fn stmt_as_block(&mut self) -> Result<Block, CompileError> {
+        if *self.peek() == Tok::LBrace {
+            self.block()
+        } else {
+            Ok(Block {
+                stmts: vec![self.stmt()?],
+            })
+        }
+    }
+
+    fn decl_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        let base = self.base_type()?;
+        let (ty, name) = self.declarator(base)?;
+        let name = name.ok_or_else(|| CompileError::parse(line, "declaration needs a name"))?;
+        let init = if self.eat(&Tok::Assign) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.expect(&Tok::Semi, "; after declaration")?;
+        Ok(Stmt::Decl {
+            name,
+            ty,
+            init,
+            line,
+        })
+    }
+
+    // ---- expressions (precedence climbing) ---------------------------------
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.assign_expr()
+    }
+
+    fn assign_expr(&mut self) -> Result<Expr, CompileError> {
+        let lhs = self.binary_expr(0)?;
+        if self.eat(&Tok::Assign) {
+            let line = lhs.line;
+            let rhs = self.assign_expr()?;
+            return Ok(Expr::new(
+                ExprKind::Assign(Box::new(lhs), Box::new(rhs)),
+                line,
+            ));
+        }
+        Ok(lhs)
+    }
+
+    fn binary_expr(&mut self, min_prec: u8) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                Tok::OrOr => (BinKind::LogOr, 1),
+                Tok::AndAnd => (BinKind::LogAnd, 2),
+                Tok::Pipe => (BinKind::Or, 3),
+                Tok::Caret => (BinKind::Xor, 4),
+                Tok::Amp => (BinKind::And, 5),
+                Tok::EqEq => (BinKind::Eq, 6),
+                Tok::Ne => (BinKind::Ne, 6),
+                Tok::Lt => (BinKind::Lt, 7),
+                Tok::Le => (BinKind::Le, 7),
+                Tok::Gt => (BinKind::Gt, 7),
+                Tok::Ge => (BinKind::Ge, 7),
+                Tok::Shl => (BinKind::Shl, 8),
+                Tok::Shr => (BinKind::Shr, 8),
+                Tok::Plus => (BinKind::Add, 9),
+                Tok::Minus => (BinKind::Sub, 9),
+                Tok::Star => (BinKind::Mul, 10),
+                Tok::Slash => (BinKind::Div, 10),
+                Tok::Percent => (BinKind::Rem, 10),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            let line = self.line();
+            self.bump();
+            let rhs = self.binary_expr(prec + 1)?;
+            lhs = Expr::new(ExprKind::Bin(op, Box::new(lhs), Box::new(rhs)), line);
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        match self.peek() {
+            Tok::Minus => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(Expr::new(ExprKind::Unary(UnKind::Neg, Box::new(e)), line))
+            }
+            Tok::Bang => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(Expr::new(ExprKind::Unary(UnKind::Not, Box::new(e)), line))
+            }
+            Tok::Tilde => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(Expr::new(ExprKind::Unary(UnKind::BitNot, Box::new(e)), line))
+            }
+            Tok::Star => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(Expr::new(ExprKind::Unary(UnKind::Deref, Box::new(e)), line))
+            }
+            Tok::Amp => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(Expr::new(ExprKind::Unary(UnKind::Addr, Box::new(e)), line))
+            }
+            Tok::KwSizeof => {
+                self.bump();
+                self.expect(&Tok::LParen, "(")?;
+                let ty = self.type_name()?;
+                self.expect(&Tok::RParen, ")")?;
+                Ok(Expr::new(ExprKind::Sizeof(ty), line))
+            }
+            Tok::LParen if self.type_starts_at(self.pos + 1) => {
+                // Cast: `(type) expr`.
+                self.bump();
+                let ty = self.type_name()?;
+                self.expect(&Tok::RParen, ")")?;
+                let e = self.unary_expr()?;
+                Ok(Expr::new(ExprKind::Cast(ty, Box::new(e)), line))
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn type_starts_at(&self, pos: usize) -> bool {
+        matches!(
+            self.toks[pos.min(self.toks.len() - 1)].kind,
+            Tok::KwInt | Tok::KwChar | Tok::KwShort | Tok::KwLong | Tok::KwVoid | Tok::KwStruct
+        )
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.primary_expr()?;
+        loop {
+            let line = self.line();
+            match self.peek() {
+                Tok::LParen => {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.eat(&Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&Tok::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&Tok::RParen, ")")?;
+                    }
+                    e = Expr::new(ExprKind::Call(Box::new(e), args), line);
+                }
+                Tok::LBracket => {
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.expect(&Tok::RBracket, "]")?;
+                    e = Expr::new(ExprKind::Index(Box::new(e), Box::new(idx)), line);
+                }
+                Tok::Dot => {
+                    self.bump();
+                    let f = self.ident("field name")?;
+                    e = Expr::new(ExprKind::Member(Box::new(e), f, false), line);
+                }
+                Tok::Arrow => {
+                    self.bump();
+                    let f = self.ident("field name")?;
+                    e = Expr::new(ExprKind::Member(Box::new(e), f, true), line);
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        match self.bump() {
+            Tok::IntLit(v) => Ok(Expr::new(ExprKind::IntLit(v), line)),
+            Tok::CharLit(c) => Ok(Expr::new(ExprKind::CharLit(c), line)),
+            Tok::StrLit(s) => Ok(Expr::new(ExprKind::StrLit(s), line)),
+            Tok::Ident(name) => Ok(Expr::new(ExprKind::Ident(name), line)),
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen, ")")?;
+                Ok(e)
+            }
+            other => Err(CompileError::parse(
+                line,
+                format!("expected expression, found {other:?}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_ok(src: &str) -> Program {
+        parse(lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parses_simple_function() {
+        let p = parse_ok("int add(int a, int b) { return a + b; }");
+        assert_eq!(p.funcs.len(), 1);
+        assert_eq!(p.funcs[0].name, "add");
+        assert_eq!(p.funcs[0].params.len(), 2);
+        assert_eq!(p.funcs[0].ret, CTy::Int);
+    }
+
+    #[test]
+    fn parses_struct_with_fnptr_field() {
+        let p = parse_ok(
+            "struct ops { int x; void (*handler)(int); char name[8]; };",
+        );
+        assert_eq!(p.structs.len(), 1);
+        let s = &p.structs[0];
+        assert_eq!(s.fields.len(), 3);
+        assert_eq!(
+            s.fields[1].1,
+            CTy::FnPtr(vec![CTy::Int], Box::new(CTy::Void))
+        );
+        assert_eq!(s.fields[2].1, CTy::Array(Box::new(CTy::Char), 8));
+        assert!(!s.sensitive);
+    }
+
+    #[test]
+    fn parses_sensitive_struct() {
+        let p = parse_ok("__sensitive struct ucred { int uid; int gid; };");
+        assert!(p.structs[0].sensitive);
+    }
+
+    #[test]
+    fn parses_fnptr_array_global() {
+        let p = parse_ok("int (*ops[4])(int, int);");
+        assert_eq!(p.globals.len(), 1);
+        match &p.globals[0].ty {
+            CTy::Array(inner, 4) => {
+                assert!(matches!(**inner, CTy::FnPtr(..)));
+            }
+            other => panic!("unexpected type {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_global_with_initializers() {
+        let p = parse_ok(
+            "int limit = 10; char msg[6] = \"hello\"; int tbl[3] = {1, 2, 3}; void (*h)(int) = handler;",
+        );
+        assert_eq!(p.globals.len(), 4);
+        assert_eq!(p.globals[0].init, Some(Init::Int(10)));
+        assert_eq!(p.globals[1].init, Some(Init::Str("hello".into())));
+        assert_eq!(
+            p.globals[2].init,
+            Some(Init::List(vec![Init::Int(1), Init::Int(2), Init::Int(3)]))
+        );
+        assert_eq!(p.globals[3].init, Some(Init::Ident("handler".into())));
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let p = parse_ok(
+            "void f() { int i; for (i = 0; i < 10; i = i + 1) { if (i == 5) break; else continue; } while (i) i = i - 1; }",
+        );
+        assert_eq!(p.funcs.len(), 1);
+        let stmts = &p.funcs[0].body.stmts;
+        assert!(matches!(stmts[1], Stmt::For { .. }));
+        assert!(matches!(stmts[2], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn parses_for_with_decl_init() {
+        let p = parse_ok("void f() { for (int i = 0; i < 4; i = i + 1) { } }");
+        match &p.funcs[0].body.stmts[0] {
+            Stmt::For { init: Some(s), .. } => assert!(matches!(**s, Stmt::Decl { .. })),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_binds_correctly() {
+        let p = parse_ok("int f() { return 1 + 2 * 3 == 7 && 1; }");
+        // ((1 + (2*3)) == 7) && 1
+        match &p.funcs[0].body.stmts[0] {
+            Stmt::Return(Some(e), _) => match &e.kind {
+                ExprKind::Bin(BinKind::LogAnd, lhs, _) => {
+                    assert!(matches!(lhs.kind, ExprKind::Bin(BinKind::Eq, ..)));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_casts_and_member_chains() {
+        let p = parse_ok(
+            "void f(void* p) { struct s* q; q = (struct s*)p; q->vt->draw(q); (*q).x = 1; }",
+        );
+        assert_eq!(p.funcs.len(), 1);
+    }
+
+    #[test]
+    fn parses_cast_of_fnptr_type() {
+        parse_ok("void f(void* p) { void (*g)(int); g = (void (*)(int))p; g(1); }");
+    }
+
+    #[test]
+    fn parenthesized_expr_is_not_cast() {
+        let p = parse_ok("int f(int x) { return (x) + 1; }");
+        assert_eq!(p.funcs.len(), 1);
+    }
+
+    #[test]
+    fn prototype_is_skipped() {
+        let p = parse_ok("int g(int x); int g(int x) { return x; }");
+        assert_eq!(p.funcs.len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_lines() {
+        let err = parse(lex("int f() {\n  return 1 +;\n}").unwrap()).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn multidim_arrays() {
+        let p = parse_ok("int grid[2][3];");
+        assert_eq!(
+            p.globals[0].ty,
+            CTy::Array(Box::new(CTy::Array(Box::new(CTy::Int), 3)), 2)
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Tokens of the mini-C language.
+
+/// A token with its source position (byte offset, for diagnostics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: Tok,
+    /// Line number (1-based).
+    pub line: u32,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    // Literals and identifiers.
+    Ident(String),
+    IntLit(i64),
+    CharLit(u8),
+    StrLit(String),
+
+    // Keywords.
+    KwInt,
+    KwChar,
+    KwShort,
+    KwLong,
+    KwVoid,
+    KwStruct,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwFor,
+    KwReturn,
+    KwBreak,
+    KwContinue,
+    KwSizeof,
+    KwSensitive,
+
+    // Punctuation.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Arrow,
+
+    // Operators.
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+    AndAnd,
+    OrOr,
+
+    /// End of input.
+    Eof,
+}
+
+impl Tok {
+    /// Keyword lookup for identifiers.
+    pub fn keyword(ident: &str) -> Option<Tok> {
+        Some(match ident {
+            "int" => Tok::KwInt,
+            "char" => Tok::KwChar,
+            "short" => Tok::KwShort,
+            "long" => Tok::KwLong,
+            "void" => Tok::KwVoid,
+            "struct" => Tok::KwStruct,
+            "if" => Tok::KwIf,
+            "else" => Tok::KwElse,
+            "while" => Tok::KwWhile,
+            "for" => Tok::KwFor,
+            "return" => Tok::KwReturn,
+            "break" => Tok::KwBreak,
+            "continue" => Tok::KwContinue,
+            "sizeof" => Tok::KwSizeof,
+            "__sensitive" => Tok::KwSensitive,
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup() {
+        assert_eq!(Tok::keyword("int"), Some(Tok::KwInt));
+        assert_eq!(Tok::keyword("__sensitive"), Some(Tok::KwSensitive));
+        assert_eq!(Tok::keyword("foo"), None);
+    }
+}

@@ -1,0 +1,212 @@
+//! The attack dimensions, following RIPE (Wilander et al., ACSAC'11):
+//! overflow location × target code pointer × technique × abused
+//! function × payload goal.
+
+use levee_vm::GoalKind;
+
+/// Where the overflowed buffer lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Location {
+    Stack,
+    Heap,
+    /// Uninitialized globals.
+    Bss,
+    /// Initialized globals.
+    Data,
+}
+
+/// Which code pointer the attack corrupts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// The saved return address (stack frames only).
+    RetAddr,
+    /// A function pointer adjacent to the buffer (same region).
+    FuncPtr,
+    /// A `jmp_buf` saved by `setjmp`.
+    LongjmpBuf,
+}
+
+/// Direct contiguous overflow, or indirect via a corrupted data pointer
+/// followed by a targeted write (bypasses cookies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Technique {
+    Direct,
+    Indirect,
+}
+
+/// Which "libc" routine smuggles the attacker bytes into the buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbuseFn {
+    /// `read_input(buf, -1)` — `gets`-style unbounded read.
+    ReadInput,
+    /// `strcpy(buf, attacker_scratch)` — NUL bytes truncate the payload.
+    Strcpy,
+    /// `memcpy(buf, attacker_scratch, attacker_len)`.
+    Memcpy,
+    /// A hand-rolled unchecked copy loop.
+    LoopCopy,
+}
+
+/// What the attacker wants executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Payload {
+    /// Injected shellcode at the buffer address (needs executable data).
+    Shellcode,
+    /// Jump to `system()` in libc.
+    Ret2Libc,
+    /// Start a ROP chain at a return-site gadget.
+    Rop,
+    /// Call an existing, never-address-taken function.
+    FuncReuse,
+}
+
+impl Payload {
+    /// The VM goal kind for this payload.
+    pub fn goal_kind(self) -> GoalKind {
+        match self {
+            Payload::Shellcode => GoalKind::Shellcode,
+            Payload::Ret2Libc => GoalKind::Ret2Libc,
+            Payload::Rop => GoalKind::RopGadget,
+            Payload::FuncReuse => GoalKind::FuncReuse,
+        }
+    }
+}
+
+/// One concrete attack instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Attack {
+    pub location: Location,
+    pub target: Target,
+    pub technique: Technique,
+    pub abuse: AbuseFn,
+    pub payload: Payload,
+}
+
+impl Attack {
+    /// A short identifier for reports, e.g. `stack/ret/direct/strcpy/rop`.
+    pub fn id(&self) -> String {
+        format!(
+            "{}/{}/{}/{}/{}",
+            match self.location {
+                Location::Stack => "stack",
+                Location::Heap => "heap",
+                Location::Bss => "bss",
+                Location::Data => "data",
+            },
+            match self.target {
+                Target::RetAddr => "ret",
+                Target::FuncPtr => "fptr",
+                Target::LongjmpBuf => "jmpbuf",
+            },
+            match self.technique {
+                Technique::Direct => "direct",
+                Technique::Indirect => "indirect",
+            },
+            match self.abuse {
+                AbuseFn::ReadInput => "readinput",
+                AbuseFn::Strcpy => "strcpy",
+                AbuseFn::Memcpy => "memcpy",
+                AbuseFn::LoopCopy => "loopcopy",
+            },
+            match self.payload {
+                Payload::Shellcode => "shellcode",
+                Payload::Ret2Libc => "ret2libc",
+                Payload::Rop => "rop",
+                Payload::FuncReuse => "funcreuse",
+            },
+        )
+    }
+
+    /// Is this combination of dimensions buildable? (Return addresses
+    /// exist only on the stack; jmp_bufs live on stack or in globals;
+    /// the indirect technique is built for ret-addr and global-fptr
+    /// targets.)
+    pub fn is_valid(&self) -> bool {
+        let target_ok = match self.target {
+            Target::RetAddr => self.location == Location::Stack,
+            Target::FuncPtr => true,
+            Target::LongjmpBuf => matches!(self.location, Location::Stack | Location::Bss),
+        };
+        let technique_ok = match self.technique {
+            Technique::Direct => true,
+            Technique::Indirect => matches!(
+                (self.location, self.target),
+                (Location::Stack, Target::RetAddr) | (Location::Bss, Target::FuncPtr)
+            ),
+        };
+        target_ok && technique_ok
+    }
+}
+
+/// Enumerates every valid attack instance (the benchmark suite).
+pub fn all_attacks() -> Vec<Attack> {
+    let mut out = Vec::new();
+    for location in [Location::Stack, Location::Heap, Location::Bss, Location::Data] {
+        for target in [Target::RetAddr, Target::FuncPtr, Target::LongjmpBuf] {
+            for technique in [Technique::Direct, Technique::Indirect] {
+                for abuse in [
+                    AbuseFn::ReadInput,
+                    AbuseFn::Strcpy,
+                    AbuseFn::Memcpy,
+                    AbuseFn::LoopCopy,
+                ] {
+                    for payload in [
+                        Payload::Shellcode,
+                        Payload::Ret2Libc,
+                        Payload::Rop,
+                        Payload::FuncReuse,
+                    ] {
+                        let a = Attack {
+                            location,
+                            target,
+                            technique,
+                            abuse,
+                            payload,
+                        };
+                        if a.is_valid() {
+                            out.push(a);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_is_substantial_and_valid() {
+        let attacks = all_attacks();
+        assert!(attacks.len() >= 100, "suite has {} attacks", attacks.len());
+        assert!(attacks.iter().all(|a| a.is_valid()));
+        // All ids unique.
+        let mut ids: Vec<String> = attacks.iter().map(|a| a.id()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), attacks.len());
+    }
+
+    #[test]
+    fn invalid_combinations_are_rejected() {
+        let heap_ret = Attack {
+            location: Location::Heap,
+            target: Target::RetAddr,
+            technique: Technique::Direct,
+            abuse: AbuseFn::ReadInput,
+            payload: Payload::Rop,
+        };
+        assert!(!heap_ret.is_valid());
+        let heap_indirect = Attack {
+            location: Location::Heap,
+            target: Target::FuncPtr,
+            technique: Technique::Indirect,
+            abuse: AbuseFn::ReadInput,
+            payload: Payload::Rop,
+        };
+        assert!(!heap_indirect.is_valid());
+    }
+}

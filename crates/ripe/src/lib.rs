@@ -1,0 +1,31 @@
+//! # levee-ripe — a RIPE-like control-flow-hijack benchmark
+//!
+//! A reimplementation of the RIPE benchmark's attack matrix (Wilander et
+//! al., ACSAC'11) for the Levee pipeline, reproducing §5.1 of the CPI
+//! paper: vulnerable mini-C programs spanning every combination of
+//! overflow location, target code pointer, overflow technique, abused
+//! libc function and payload — evaluated against the deployed-defense
+//! baselines and the Levee configurations.
+//!
+//! The headline result to reproduce: on a legacy system most attacks
+//! succeed; DEP+ASLR+cookies stop most but not all; **CPS and CPI stop
+//! every one**; the safe stack alone stops every return-address attack.
+//!
+//! ## Example
+//!
+//! ```
+//! use levee_ripe::{all_attacks, evaluate, Profile};
+//! use levee_core::BuildConfig;
+//!
+//! let suite: Vec<_> = all_attacks().into_iter().take(4).collect();
+//! let tally = evaluate(&suite, &Profile::Levee(BuildConfig::Cpi), 42);
+//! assert_eq!(tally.successes(), 0);
+//! ```
+
+pub mod attack;
+pub mod harness;
+pub mod template;
+
+pub use attack::{all_attacks, AbuseFn, Attack, Location, Payload, Target, Technique};
+pub use harness::{evaluate, run_attack, AttackResult, Profile, Tally};
+pub use template::generate;

@@ -1,0 +1,206 @@
+//! Vulnerable-program generation: one mini-C program per attack shape.
+//!
+//! Every template leaks the addresses the attacker legitimately knows
+//! from studying a local copy of the binary (buffer and target
+//! addresses, via `print_int`), performs the overflow through the abused
+//! function, then uses the corrupted code pointer (returns, calls, or
+//! longjmps). `main` prints the sentinel `-4242` afterwards, so a run
+//! that survives the attack is detectable.
+
+use crate::attack::{AbuseFn, Attack, Location, Target, Technique};
+
+/// The sentinel printed when the program survives to the end.
+pub const SENTINEL: &str = "-4242";
+
+const PREAMBLE: &str = r#"
+void good_cb(int x) { print_int(x); }
+void evil_cb(int x) { print_int(666); }
+"#;
+
+/// The abuse snippet writing attacker bytes into `dest` (a `char*`).
+fn abuse_snippet(abuse: AbuseFn, dest: &str) -> String {
+    match abuse {
+        AbuseFn::ReadInput => format!("    read_input({dest}, -1);\n"),
+        AbuseFn::Strcpy => format!(
+            "    char* sc = (char*)malloc(2048);\n\
+             \x20   long sn = read_input(sc, 2000);\n\
+             \x20   sc[sn] = '\\0';\n\
+             \x20   strcpy({dest}, sc);\n"
+        ),
+        AbuseFn::Memcpy => format!(
+            "    char* sc = (char*)malloc(2048);\n\
+             \x20   long sn = read_input(sc, 2000);\n\
+             \x20   memcpy((void*){dest}, (void*)sc, sn);\n"
+        ),
+        AbuseFn::LoopCopy => format!(
+            "    char* sc = (char*)malloc(2048);\n\
+             \x20   long sn = read_input(sc, 2000);\n\
+             \x20   long i;\n\
+             \x20   for (i = 0; i < sn; i = i + 1) {dest}[i] = sc[i];\n"
+        ),
+    }
+}
+
+/// Generates the vulnerable program for `attack`.
+pub fn generate(attack: &Attack) -> String {
+    let abuse = |dest: &str| abuse_snippet(attack.abuse, dest);
+    let body = match (attack.location, attack.target, attack.technique) {
+        (Location::Stack, Target::RetAddr, Technique::Direct) => format!(
+            "void vuln() {{\n\
+             \x20   char buf[64];\n\
+             \x20   print_int((long)buf);\n\
+             {}\
+             }}\n",
+            abuse("buf")
+        ),
+        (Location::Stack, Target::RetAddr, Technique::Indirect) => format!(
+            "struct icarrier {{ char buf[64]; long where; }};\n\
+             void vuln() {{\n\
+             \x20   struct icarrier c;\n\
+             \x20   c.where = 0;\n\
+             \x20   long val = 0;\n\
+             \x20   read_input((char*)&val, 8);\n\
+             \x20   print_int((long)c.buf);\n\
+             {}\
+             \x20   if (c.where != 0) {{\n\
+             \x20       long* p = (long*)c.where;\n\
+             \x20       *p = val;\n\
+             \x20   }}\n\
+             }}\n",
+            abuse("c.buf")
+        ),
+        (Location::Stack, Target::FuncPtr, Technique::Direct) => format!(
+            "struct carrier {{ char buf[64]; void (*f)(int); }};\n\
+             void vuln() {{\n\
+             \x20   struct carrier c;\n\
+             \x20   c.f = good_cb;\n\
+             \x20   print_int((long)c.buf);\n\
+             \x20   print_int((long)&c.f);\n\
+             {}\
+             \x20   c.f(7);\n\
+             }}\n",
+            abuse("c.buf")
+        ),
+        (Location::Stack, Target::LongjmpBuf, Technique::Direct) => format!(
+            "struct jcarrier {{ char buf[64]; long jb[3]; }};\n\
+             void vuln() {{\n\
+             \x20   struct jcarrier c;\n\
+             \x20   print_int((long)c.buf);\n\
+             \x20   print_int((long)c.jb);\n\
+             \x20   int r = setjmp(c.jb);\n\
+             \x20   if (r != 0) {{ return; }}\n\
+             {}\
+             \x20   longjmp(c.jb, 5);\n\
+             }}\n",
+            abuse("c.buf")
+        ),
+        (Location::Bss | Location::Data, Target::FuncPtr, Technique::Direct) => {
+            let init = if attack.location == Location::Data {
+                " = \"seeded\""
+            } else {
+                ""
+            };
+            format!(
+                "char gbuf[64]{init};\n\
+                 void (*gfp)(int);\n\
+                 void vuln() {{\n\
+                 \x20   gfp = good_cb;\n\
+                 \x20   print_int((long)gbuf);\n\
+                 \x20   print_int((long)&gfp);\n\
+                 {}\
+                 \x20   gfp(7);\n\
+                 }}\n",
+                abuse("gbuf")
+            )
+        }
+        (Location::Bss, Target::FuncPtr, Technique::Indirect) => format!(
+            "char gbuf[64];\n\
+             long gwhere;\n\
+             void (*gfp)(int);\n\
+             void vuln() {{\n\
+             \x20   gfp = good_cb;\n\
+             \x20   gwhere = 0;\n\
+             \x20   long val = 0;\n\
+             \x20   read_input((char*)&val, 8);\n\
+             \x20   print_int((long)gbuf);\n\
+             \x20   print_int((long)&gfp);\n\
+             {}\
+             \x20   if (gwhere != 0) {{\n\
+             \x20       long* p = (long*)gwhere;\n\
+             \x20       *p = val;\n\
+             \x20   }}\n\
+             \x20   gfp(7);\n\
+             }}\n",
+            abuse("gbuf")
+        ),
+        (Location::Bss, Target::LongjmpBuf, Technique::Direct) => format!(
+            "char gbuf[64];\n\
+             long gjb[3];\n\
+             void vuln() {{\n\
+             \x20   print_int((long)gbuf);\n\
+             \x20   print_int((long)gjb);\n\
+             \x20   int r = setjmp(gjb);\n\
+             \x20   if (r != 0) {{ return; }}\n\
+             {}\
+             \x20   longjmp(gjb, 5);\n\
+             }}\n",
+            abuse("gbuf")
+        ),
+        (Location::Heap, Target::FuncPtr, Technique::Direct) => format!(
+            "struct hobj {{ void (*f)(int); long tag; }};\n\
+             void vuln() {{\n\
+             \x20   char* hbuf = (char*)malloc(64);\n\
+             \x20   struct hobj* o = (struct hobj*)malloc(16);\n\
+             \x20   o->f = good_cb;\n\
+             \x20   print_int((long)hbuf);\n\
+             \x20   print_int((long)&o->f);\n\
+             {}\
+             \x20   o->f(7);\n\
+             }}\n",
+            abuse("hbuf")
+        ),
+        other => unreachable!("Attack::is_valid rejects {other:?}"),
+    };
+    format!(
+        "{PREAMBLE}{body}int main() {{ vuln(); print_int({SENTINEL}); return 0; }}\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::all_attacks;
+    use levee_minic::compile;
+
+    #[test]
+    fn every_template_compiles() {
+        for attack in all_attacks() {
+            let src = generate(&attack);
+            compile(&src, "ripe").unwrap_or_else(|e| {
+                panic!("template for {} fails to compile: {e}\n{src}", attack.id())
+            });
+        }
+    }
+
+    #[test]
+    fn benign_runs_reach_the_sentinel() {
+        use levee_vm::{ExitStatus, Machine, VmConfig};
+        for attack in all_attacks() {
+            let src = generate(&attack);
+            let module = compile(&src, "ripe").unwrap();
+            let out = Machine::new(&module, VmConfig::default()).run(b"");
+            assert_eq!(
+                out.status,
+                ExitStatus::Exited(0),
+                "benign {} must exit cleanly: {:?}",
+                attack.id(),
+                out.status
+            );
+            assert!(
+                out.output.ends_with(SENTINEL),
+                "benign {} must reach the sentinel",
+                attack.id()
+            );
+        }
+    }
+}

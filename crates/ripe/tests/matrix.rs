@@ -1,0 +1,90 @@
+//! The §5.1 reproduction: the full attack suite against the paper's
+//! five protection profiles. The shape to match:
+//!
+//! * legacy (no defenses): the vast majority of attacks succeed,
+//! * DEP+ASLR+cookies: a small number still succeed,
+//! * safe stack: every return-address attack is stopped,
+//! * CPS and CPI: **zero** successful hijacks.
+
+use levee_core::BuildConfig;
+use levee_defenses::Deployment;
+use levee_ripe::{all_attacks, evaluate, Profile, Target};
+
+#[test]
+fn legacy_system_is_wide_open() {
+    let attacks = all_attacks();
+    let tally = evaluate(&attacks, &Profile::Deployment(Deployment::Legacy), 1);
+    let rate = tally.successes() as f64 / tally.total() as f64;
+    assert!(
+        rate > 0.5,
+        "legacy should lose most attacks: {}/{} succeeded",
+        tally.successes(),
+        tally.total()
+    );
+}
+
+#[test]
+fn deployed_baseline_blocks_most_but_not_all() {
+    let attacks = all_attacks();
+    let tally = evaluate(&attacks, &Profile::Deployment(Deployment::Deployed), 2);
+    let legacy = evaluate(&attacks, &Profile::Deployment(Deployment::Legacy), 2);
+    assert!(
+        tally.successes() < legacy.successes() / 2,
+        "deployed ({}) must block far more than legacy ({})",
+        tally.successes(),
+        legacy.successes()
+    );
+    assert!(
+        tally.successes() > 0,
+        "like the paper's 43-49/850, some attacks must survive DEP+ASLR+cookies"
+    );
+}
+
+#[test]
+fn safe_stack_stops_all_return_address_attacks() {
+    let attacks = all_attacks();
+    let tally = evaluate(&attacks, &Profile::Levee(BuildConfig::SafeStack), 3);
+    let ret_hijacks: Vec<_> = tally
+        .hijacked
+        .iter()
+        .filter(|a| a.target == Target::RetAddr)
+        .collect();
+    assert!(
+        ret_hijacks.is_empty(),
+        "safe stack must stop every return-address attack, leaked: {ret_hijacks:?}"
+    );
+}
+
+#[test]
+fn cps_prevents_every_attack() {
+    let attacks = all_attacks();
+    let tally = evaluate(&attacks, &Profile::Levee(BuildConfig::Cps), 4);
+    assert_eq!(
+        tally.successes(),
+        0,
+        "CPS must stop all attacks; leaked: {:?}",
+        tally.hijacked.iter().map(|a| a.id()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn cpi_prevents_every_attack() {
+    let attacks = all_attacks();
+    let tally = evaluate(&attacks, &Profile::Levee(BuildConfig::Cpi), 5);
+    assert_eq!(
+        tally.successes(),
+        0,
+        "CPI must stop all attacks; leaked: {:?}",
+        tally.hijacked.iter().map(|a| a.id()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn cpi_prevents_every_attack_across_seeds() {
+    // Determinism of the guarantee, not of the dice: any seed, zero wins.
+    let attacks = all_attacks();
+    for seed in [11, 222, 3333] {
+        let tally = evaluate(&attacks, &Profile::Levee(BuildConfig::Cpi), seed);
+        assert_eq!(tally.successes(), 0, "seed {seed}");
+    }
+}

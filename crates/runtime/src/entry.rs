@@ -1,0 +1,130 @@
+//! Safe-pointer-store entries: `(value, lower, upper, id)` metadata.
+//!
+//! This is the record of Fig. 2 in the paper: the safe pointer store maps
+//! the *address of a sensitive pointer in the regular region* to the
+//! pointer's value plus the bounds and temporal id of the target object
+//! the pointer is based on.
+
+/// Size of one safe-pointer-store entry in (simulated) bytes:
+/// value + lower + upper + id, 8 bytes each.
+pub const ENTRY_SIZE: u64 = 32;
+
+/// Metadata for one sensitive pointer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Entry {
+    /// The pointer value itself (the safe region holds the authoritative
+    /// copy; the regular-region location stays unused, per Fig. 2).
+    pub value: u64,
+    /// Lowest address of the target object this pointer is based on.
+    pub lower: u64,
+    /// One past the highest address of the target object.
+    pub upper: u64,
+    /// Temporal allocation id of the target object (CETS-style). Zero is
+    /// reserved for "static" objects that are never deallocated
+    /// (functions, globals).
+    pub id: u64,
+}
+
+impl Entry {
+    /// An entry for a code pointer: a control-flow destination has no
+    /// extent, so bounds degenerate to the exact entry address (§3.3:
+    /// "the pointer value must always match the destination exactly").
+    pub fn code(addr: u64) -> Self {
+        Entry {
+            value: addr,
+            lower: addr,
+            upper: addr,
+            id: 0,
+        }
+    }
+
+    /// An entry for a data pointer based on the object `[lower, upper)`.
+    pub fn data(value: u64, lower: u64, upper: u64, id: u64) -> Self {
+        Entry {
+            value,
+            lower,
+            upper,
+            id,
+        }
+    }
+
+    /// The paper's "invalid" metadata marker: lower bound greater than
+    /// the upper bound. Universal pointers holding non-sensitive values
+    /// carry this, and it never authorizes any access.
+    pub fn invalid(value: u64) -> Self {
+        Entry {
+            value,
+            lower: 1,
+            upper: 0,
+            id: 0,
+        }
+    }
+
+    /// True if the metadata can ever authorize a dereference.
+    pub fn is_valid(&self) -> bool {
+        self.lower <= self.upper
+    }
+
+    /// True if this entry describes a control-flow destination.
+    pub fn is_code(&self) -> bool {
+        self.is_valid() && self.lower == self.upper && self.value == self.lower
+    }
+
+    /// Spatial check: may `[addr, addr+size)` be accessed through this
+    /// pointer? (Temporal liveness is checked separately by the VM,
+    /// which owns the live-id set.)
+    pub fn allows_access(&self, addr: u64, size: u64) -> bool {
+        self.is_valid()
+            && addr >= self.lower
+            && addr <= self.upper
+            && size <= self.upper - addr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_entries_are_exact() {
+        let e = Entry::code(0x40_0000);
+        assert!(e.is_valid());
+        assert!(e.is_code());
+        assert!(e.allows_access(0x40_0000, 0));
+        assert!(!e.allows_access(0x40_0001, 0));
+        assert!(!e.allows_access(0x40_0000, 1));
+    }
+
+    #[test]
+    fn data_entry_bounds() {
+        let e = Entry::data(0x1000, 0x1000, 0x1040, 7);
+        assert!(e.allows_access(0x1000, 8));
+        assert!(e.allows_access(0x1038, 8));
+        assert!(!e.allows_access(0x1039, 8)); // crosses upper
+        assert!(!e.allows_access(0x0ff8, 8)); // below lower
+        assert!(!e.is_code());
+    }
+
+    #[test]
+    fn invalid_entry_authorizes_nothing() {
+        let e = Entry::invalid(0xdead);
+        assert!(!e.is_valid());
+        assert!(!e.allows_access(0xdead, 0));
+        assert!(!e.allows_access(0, u64::MAX));
+    }
+
+    #[test]
+    fn zero_sized_object_allows_only_exact_pointer() {
+        let e = Entry::data(0x2000, 0x2000, 0x2000, 1);
+        assert!(e.allows_access(0x2000, 0));
+        assert!(!e.allows_access(0x2000, 1));
+    }
+
+    #[test]
+    fn overflow_resistant_check() {
+        // addr near u64::MAX must not wrap the bound comparison.
+        let e = Entry::data(0x1000, 0x1000, 0x2000, 1);
+        assert!(!e.allows_access(u64::MAX, 8));
+        assert!(!e.allows_access(0x1ff8, u64::MAX));
+    }
+}

@@ -1,0 +1,45 @@
+//! # levee-rt — the Levee runtime support library
+//!
+//! The runtime half of the CPI/CPS enforcement mechanism (§4 of the
+//! paper): the **safe pointer store**, which maps the regular-region
+//! address of each sensitive pointer to its value and based-on metadata
+//! `(value, lower, upper, id)`, in the three organizations the paper
+//! implemented and benchmarked:
+//!
+//! * [`array_store::ArrayStore`] — a linear array over the sparse
+//!   address space (4 KB pages or 2 MB superpages; the latter was the
+//!   paper's fastest configuration),
+//! * [`twolevel::TwoLevelStore`] — an MPX-style directory + leaf tables,
+//! * [`hash_store::HashStore`] — an open-addressing hash table (lowest
+//!   memory overhead, worst locality).
+//!
+//! Every operation reports the simulated safe-region addresses it
+//! touched ([`store::Touched`]) so the VM's cache model can account for
+//! the locality differences between organizations, plus a page-fault
+//! flag feeding the paper's superpage observation.
+//!
+//! ## Example
+//!
+//! ```
+//! use levee_rt::{Entry, PtrStore, StoreKind};
+//!
+//! let mut store = StoreKind::ArraySuperpage.instantiate(0x7000_0000_0000);
+//! // A function pointer stored at regular address 0x1000.
+//! store.set(0x1000, Entry::code(0x40_0000));
+//! assert!(store.get(0x1000).0.unwrap().is_code());
+//! // A stray memset over that location wipes the metadata.
+//! store.clear_range(0x0ff8, 64);
+//! assert_eq!(store.get(0x1000).0, None);
+//! ```
+
+pub mod array_store;
+pub mod entry;
+pub mod hash_store;
+pub mod store;
+pub mod twolevel;
+
+pub use array_store::ArrayStore;
+pub use entry::{Entry, ENTRY_SIZE};
+pub use hash_store::HashStore;
+pub use store::{PtrStore, StoreKind, Touched};
+pub use twolevel::TwoLevelStore;

@@ -1,0 +1,187 @@
+//! The safe-pointer-store interface and its access-trace machinery.
+//!
+//! §4 of the paper: "We implemented and benchmarked several versions of
+//! the safe pointer store map in our runtime support library: a simple
+//! array, a two-level lookup table, and a hashtable." All three live in
+//! this crate behind the [`PtrStore`] trait. Every operation reports the
+//! *simulated safe-region addresses it touched* so the VM's cache model
+//! can reproduce the locality differences the paper observed (the sparse
+//! array with superpages being fastest).
+
+use crate::entry::Entry;
+
+/// Addresses touched by one store operation (at most 4: e.g. a two-level
+/// lookup touches a directory slot and a leaf entry).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Touched {
+    addrs: [u64; 4],
+    n: u8,
+    /// Whether the operation faulted in a fresh page (first touch); the
+    /// cost model charges a page-fault penalty, which is how the paper's
+    /// "many page faults at startup / TLB pressure" observation for the
+    /// 4 KB array shows up.
+    pub page_fault: bool,
+}
+
+impl Touched {
+    /// Records one touched address.
+    pub fn push(&mut self, addr: u64) {
+        if (self.n as usize) < self.addrs.len() {
+            self.addrs[self.n as usize] = addr;
+            self.n += 1;
+        }
+    }
+
+    /// The touched addresses.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.addrs[..self.n as usize].iter().copied()
+    }
+
+    /// Number of touched addresses.
+    pub fn len(&self) -> usize {
+        self.n as usize
+    }
+
+    /// The first touched address, if any.
+    pub fn first(&self) -> Option<u64> {
+        (self.n > 0).then(|| self.addrs[0])
+    }
+
+    /// True when no address was touched.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+/// Which safe-pointer-store organization to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StoreKind {
+    /// Simple array over the sparse address space, 4 KB pages.
+    Array4K,
+    /// Simple array with 2 MB superpages — the paper's fastest choice.
+    ArraySuperpage,
+    /// Two-level lookup table (MPX-style directory + leaf tables).
+    TwoLevel,
+    /// Open-addressing hash table.
+    Hash,
+}
+
+impl StoreKind {
+    /// All organizations, for comparison benches (experiment E6).
+    pub fn all() -> &'static [StoreKind] {
+        &[
+            StoreKind::Array4K,
+            StoreKind::ArraySuperpage,
+            StoreKind::TwoLevel,
+            StoreKind::Hash,
+        ]
+    }
+
+    /// Human-readable name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            StoreKind::Array4K => "array-4K",
+            StoreKind::ArraySuperpage => "array-2M",
+            StoreKind::TwoLevel => "two-level",
+            StoreKind::Hash => "hashtable",
+        }
+    }
+
+    /// Instantiates the organization with its safe region based at
+    /// `base` (a simulated address chosen by the isolation layer).
+    pub fn instantiate(self, base: u64) -> Box<dyn PtrStore> {
+        match self {
+            StoreKind::Array4K => Box::new(crate::array_store::ArrayStore::new(base, 4 << 10)),
+            StoreKind::ArraySuperpage => {
+                Box::new(crate::array_store::ArrayStore::new(base, 2 << 20))
+            }
+            StoreKind::TwoLevel => Box::new(crate::twolevel::TwoLevelStore::new(base)),
+            StoreKind::Hash => Box::new(crate::hash_store::HashStore::new(base)),
+        }
+    }
+}
+
+/// The safe pointer store: a map from the regular-region address of a
+/// sensitive pointer to its [`Entry`].
+///
+/// Keys are pointer-aligned (8-byte) regular addresses. The store itself
+/// lives at simulated safe-region addresses — the `Touched` values —
+/// which by construction are never representable in regular memory
+/// (§3.2.3's leak-proof indexing).
+pub trait PtrStore {
+    /// Inserts or overwrites the entry for `addr`.
+    fn set(&mut self, addr: u64, entry: Entry) -> Touched;
+
+    /// Looks up the entry for `addr` (`None` is the paper's `none`
+    /// marker: no sensitive value currently stored there).
+    fn get(&mut self, addr: u64) -> (Option<Entry>, Touched);
+
+    /// Removes the entry for `addr`, if any.
+    fn clear(&mut self, addr: u64) -> Touched;
+
+    /// Removes all entries with `addr ∈ [start, start+len)` — used when
+    /// plain memory writes (memset, frees, unsafe-stack reuse) overwrite
+    /// regions that used to hold sensitive pointers.
+    fn clear_range(&mut self, start: u64, len: u64) -> Touched;
+
+    /// Copies entries for each pointer-aligned slot from `src` to `dst`
+    /// (the type-aware `cpi_memcpy` of §3.2.2). Slots in the destination
+    /// whose source has no entry are cleared. Returns the number of
+    /// entries copied.
+    fn copy_range(&mut self, dst: u64, src: u64, len: u64) -> (u64, Touched);
+
+    /// Number of live entries.
+    fn entry_count(&self) -> usize;
+
+    /// Simulated bytes of safe-region memory materialized by this store
+    /// — the numerator of the paper's memory-overhead numbers (§5.2).
+    fn memory_bytes(&self) -> u64;
+
+    /// The store's base address in the simulated safe region.
+    fn base(&self) -> u64;
+
+    /// Removes every entry (used when resetting between runs).
+    fn reset(&mut self);
+}
+
+/// Shared helper: iterate the 8-aligned slots that overlap
+/// `[start, start+len)`.
+pub(crate) fn aligned_slots(start: u64, len: u64) -> impl Iterator<Item = u64> {
+    let first = start & !7;
+    let end = start.saturating_add(len);
+    (0..).map(move |i| first + 8 * i).take_while(move |a| *a < end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn touched_capacity() {
+        let mut t = Touched::default();
+        for i in 0..6 {
+            t.push(i);
+        }
+        assert_eq!(t.len(), 4); // capped, silently
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn aligned_slot_iteration() {
+        let slots: Vec<u64> = aligned_slots(0x1004, 8).collect();
+        // Covers the slot containing 0x1004 and the one containing 0x100b.
+        assert_eq!(slots, vec![0x1000, 0x1008]);
+        let exact: Vec<u64> = aligned_slots(0x2000, 16).collect();
+        assert_eq!(exact, vec![0x2000, 0x2008]);
+        let empty: Vec<u64> = aligned_slots(0x2000, 0).collect();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn store_kind_names_unique() {
+        let mut names: Vec<_> = StoreKind::all().iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), StoreKind::all().len());
+    }
+}

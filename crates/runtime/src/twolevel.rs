@@ -1,0 +1,234 @@
+//! The two-level lookup-table safe-pointer-store organization.
+//!
+//! An MPX-style layout (§4, "Future MPX-based implementation"): a
+//! directory indexed by the high bits of the pointer slot selects a leaf
+//! table indexed by the low bits. Every operation costs two dependent
+//! memory accesses — one directory probe, one leaf probe — which is why
+//! the paper found it slower than the superpage-backed array.
+
+use std::collections::HashMap;
+
+use crate::entry::{Entry, ENTRY_SIZE};
+use crate::store::{aligned_slots, PtrStore, Touched};
+
+/// Number of entries per leaf table.
+const LEAF_SLOTS: u64 = 512;
+/// Simulated size of one leaf table in bytes.
+const LEAF_BYTES: u64 = LEAF_SLOTS * ENTRY_SIZE;
+/// Simulated size of the (lazily materialized) directory in bytes per
+/// resident directory page.
+const DIR_PAGE_BYTES: u64 = 4096;
+
+/// Two-level directory + leaf-table store.
+pub struct TwoLevelStore {
+    base: u64,
+    /// Directory index → (leaf sequence number, leaf storage).
+    leaves: HashMap<u64, (u64, Vec<Option<Entry>>)>,
+    next_leaf_seq: u64,
+    live: usize,
+    /// Resident directory pages (for memory accounting).
+    dir_pages: std::collections::HashSet<u64>,
+}
+
+impl TwoLevelStore {
+    /// Creates a two-level store based at simulated address `base`.
+    pub fn new(base: u64) -> Self {
+        TwoLevelStore {
+            base,
+            leaves: HashMap::new(),
+            next_leaf_seq: 0,
+            live: 0,
+            dir_pages: std::collections::HashSet::new(),
+        }
+    }
+
+    fn split(addr: u64) -> (u64, u64) {
+        let slot = addr >> 3;
+        (slot / LEAF_SLOTS, slot % LEAF_SLOTS)
+    }
+
+    /// Simulated address of directory slot `dir_idx`.
+    fn dir_addr(&self, dir_idx: u64) -> u64 {
+        self.base + dir_idx * 8
+    }
+
+    /// Simulated address of entry `leaf_idx` in leaf number `seq`.
+    fn leaf_addr(&self, seq: u64, leaf_idx: u64) -> u64 {
+        // Leaves live above a 1 GB directory window.
+        self.base + (1 << 30) + seq * LEAF_BYTES + leaf_idx * ENTRY_SIZE
+    }
+
+    fn touch_dir(&mut self, dir_idx: u64, t: &mut Touched) {
+        t.push(self.dir_addr(dir_idx));
+        self.dir_pages.insert(dir_idx * 8 / DIR_PAGE_BYTES);
+    }
+}
+
+impl PtrStore for TwoLevelStore {
+    fn set(&mut self, addr: u64, entry: Entry) -> Touched {
+        let mut t = Touched::default();
+        let (dir_idx, leaf_idx) = Self::split(addr);
+        self.touch_dir(dir_idx, &mut t);
+        let seq = match self.leaves.get(&dir_idx) {
+            Some((seq, _)) => *seq,
+            None => {
+                let seq = self.next_leaf_seq;
+                self.next_leaf_seq += 1;
+                self.leaves
+                    .insert(dir_idx, (seq, vec![None; LEAF_SLOTS as usize]));
+                t.page_fault = true;
+                seq
+            }
+        };
+        t.push(self.leaf_addr(seq, leaf_idx));
+        let leaf = &mut self.leaves.get_mut(&dir_idx).expect("leaf just ensured").1;
+        if leaf[leaf_idx as usize].is_none() {
+            self.live += 1;
+        }
+        leaf[leaf_idx as usize] = Some(entry);
+        t
+    }
+
+    fn get(&mut self, addr: u64) -> (Option<Entry>, Touched) {
+        let mut t = Touched::default();
+        let (dir_idx, leaf_idx) = Self::split(addr);
+        self.touch_dir(dir_idx, &mut t);
+        match self.leaves.get(&dir_idx) {
+            Some((seq, leaf)) => {
+                t.push(self.leaf_addr(*seq, leaf_idx));
+                (leaf[leaf_idx as usize], t)
+            }
+            None => (None, t),
+        }
+    }
+
+    fn clear(&mut self, addr: u64) -> Touched {
+        let mut t = Touched::default();
+        let (dir_idx, leaf_idx) = Self::split(addr);
+        self.touch_dir(dir_idx, &mut t);
+        if let Some((seq, leaf)) = self.leaves.get_mut(&dir_idx) {
+            let seq = *seq;
+            if leaf[leaf_idx as usize].take().is_some() {
+                self.live -= 1;
+            }
+            t.push(self.leaf_addr(seq, leaf_idx));
+        }
+        t
+    }
+
+    fn clear_range(&mut self, start: u64, len: u64) -> Touched {
+        let mut t = Touched::default();
+        for a in aligned_slots(start, len) {
+            let sub = self.clear(a);
+            if let Some(first) = sub.first() {
+                t.push(first);
+            }
+        }
+        t
+    }
+
+    fn copy_range(&mut self, dst: u64, src: u64, len: u64) -> (u64, Touched) {
+        let mut t = Touched::default();
+        let mut copied = 0;
+        let entries: Vec<(u64, Option<Entry>)> = aligned_slots(src, len)
+            .map(|a| (a - (src & !7), self.get(a).0))
+            .collect();
+        for (off, e) in entries {
+            let target = (dst & !7) + off;
+            match e {
+                Some(entry) => {
+                    let sub = self.set(target, entry);
+                    if let Some(first) = sub.first() {
+                        t.push(first);
+                    }
+                    copied += 1;
+                }
+                None => {
+                    self.clear(target);
+                }
+            }
+        }
+        (copied, t)
+    }
+
+    fn entry_count(&self) -> usize {
+        self.live
+    }
+
+    fn memory_bytes(&self) -> u64 {
+        self.dir_pages.len() as u64 * DIR_PAGE_BYTES + self.leaves.len() as u64 * LEAF_BYTES
+    }
+
+    fn base(&self) -> u64 {
+        self.base
+    }
+
+    fn reset(&mut self) {
+        self.leaves.clear();
+        self.dir_pages.clear();
+        self.next_leaf_seq = 0;
+        self.live = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: u64 = 0x7100_0000_0000;
+
+    #[test]
+    fn roundtrip() {
+        let mut s = TwoLevelStore::new(BASE);
+        let e = Entry::data(0x10, 0x10, 0x20, 1);
+        s.set(0x8000, e);
+        assert_eq!(s.get(0x8000).0, Some(e));
+        s.clear(0x8000);
+        assert_eq!(s.get(0x8000).0, None);
+        assert_eq!(s.entry_count(), 0);
+    }
+
+    #[test]
+    fn every_op_touches_two_levels() {
+        let mut s = TwoLevelStore::new(BASE);
+        let t = s.set(0x4000, Entry::code(1));
+        assert_eq!(t.len(), 2); // directory + leaf
+        let (_, t) = s.get(0x4000);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn get_of_absent_leaf_touches_directory_only() {
+        let mut s = TwoLevelStore::new(BASE);
+        let (e, t) = s.get(0xdead_0000);
+        assert_eq!(e, None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn leaf_allocation_faults_once() {
+        let mut s = TwoLevelStore::new(BASE);
+        assert!(s.set(0x0, Entry::code(1)).page_fault);
+        assert!(!s.set(0x8, Entry::code(1)).page_fault);
+        // Different leaf (slot 512 → byte address 512*8).
+        assert!(s.set(512 * 8, Entry::code(1)).page_fault);
+    }
+
+    #[test]
+    fn memory_counts_directory_and_leaves() {
+        let mut s = TwoLevelStore::new(BASE);
+        s.set(0x0, Entry::code(1));
+        assert_eq!(s.memory_bytes(), DIR_PAGE_BYTES + LEAF_BYTES);
+        s.set(512 * 8, Entry::code(1)); // second leaf, same dir page
+        assert_eq!(s.memory_bytes(), DIR_PAGE_BYTES + 2 * LEAF_BYTES);
+    }
+
+    #[test]
+    fn copy_range_moves_entries() {
+        let mut s = TwoLevelStore::new(BASE);
+        s.set(0x1000, Entry::code(0xAA));
+        let (copied, _) = s.copy_range(0x2000, 0x1000, 8);
+        assert_eq!(copied, 1);
+        assert_eq!(s.get(0x2000).0, Some(Entry::code(0xAA)));
+    }
+}

@@ -1,0 +1,162 @@
+//! Model-based property tests: every store organization must agree with
+//! a reference `HashMap` model over arbitrary operation sequences.
+
+use std::collections::HashMap;
+
+use levee_rt::{Entry, StoreKind};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Set { addr: u64, code: u64 },
+    Get { addr: u64 },
+    Clear { addr: u64 },
+    ClearRange { start: u64, len: u64 },
+    CopyRange { dst: u64, src: u64, len: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Keep addresses in a small window so operations collide often.
+    let addr = (0u64..64).prop_map(|s| 0x1_0000 + s * 8);
+    prop_oneof![
+        (addr.clone(), 1u64..100).prop_map(|(addr, code)| Op::Set { addr, code }),
+        addr.clone().prop_map(|addr| Op::Get { addr }),
+        addr.clone().prop_map(|addr| Op::Clear { addr }),
+        (addr.clone(), 0u64..128).prop_map(|(start, len)| Op::ClearRange { start, len }),
+        (addr.clone(), addr, 0u64..96).prop_map(|(dst, src, len)| Op::CopyRange {
+            dst,
+            src,
+            len
+        }),
+    ]
+}
+
+/// Reference semantics, mirroring the PtrStore contract over 8-aligned
+/// slots.
+#[derive(Default)]
+struct Model {
+    map: HashMap<u64, Entry>,
+}
+
+impl Model {
+    fn slots(start: u64, len: u64) -> Vec<u64> {
+        let first = start & !7;
+        let end = start.saturating_add(len);
+        let mut v = Vec::new();
+        let mut a = first;
+        while a < end {
+            v.push(a);
+            a += 8;
+        }
+        v
+    }
+
+    fn apply(&mut self, op: &Op) {
+        match op {
+            Op::Set { addr, code } => {
+                self.map.insert(*addr, Entry::code(*code));
+            }
+            Op::Get { .. } => {}
+            Op::Clear { addr } => {
+                self.map.remove(addr);
+            }
+            Op::ClearRange { start, len } => {
+                for a in Self::slots(*start, *len) {
+                    self.map.remove(&a);
+                }
+            }
+            Op::CopyRange { dst, src, len } => {
+                let pairs: Vec<(u64, Option<Entry>)> = Self::slots(*src, *len)
+                    .into_iter()
+                    .map(|a| (a - (src & !7), self.map.get(&a).copied()))
+                    .collect();
+                for (off, e) in pairs {
+                    let target = (dst & !7) + off;
+                    match e {
+                        Some(e) => {
+                            self.map.insert(target, e);
+                        }
+                        None => {
+                            self.map.remove(&target);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn check_kind(kind: StoreKind, ops: &[Op]) {
+    let mut store = kind.instantiate(0x7000_0000_0000);
+    let mut model = Model::default();
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Op::Set { addr, code } => {
+                store.set(*addr, Entry::code(*code));
+            }
+            Op::Get { addr } => {
+                let got = store.get(*addr).0;
+                let want = model.map.get(addr).copied();
+                assert_eq!(got, want, "{kind:?} op {i}: get({addr:#x}) diverged");
+            }
+            Op::Clear { addr } => {
+                store.clear(*addr);
+            }
+            Op::ClearRange { start, len } => {
+                store.clear_range(*start, *len);
+            }
+            Op::CopyRange { dst, src, len } => {
+                store.copy_range(*dst, *src, *len);
+            }
+        }
+        model.apply(op);
+        assert_eq!(
+            store.entry_count(),
+            model.map.len(),
+            "{kind:?} op {i}: live-count diverged after {op:?}"
+        );
+    }
+    // Full final sweep.
+    for a in (0x1_0000u64..0x1_0000 + 64 * 8).step_by(8) {
+        assert_eq!(store.get(a).0, model.map.get(&a).copied(), "{kind:?} final sweep at {a:#x}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn array4k_matches_model(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        check_kind(StoreKind::Array4K, &ops);
+    }
+
+    #[test]
+    fn array_superpage_matches_model(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        check_kind(StoreKind::ArraySuperpage, &ops);
+    }
+
+    #[test]
+    fn twolevel_matches_model(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        check_kind(StoreKind::TwoLevel, &ops);
+    }
+
+    #[test]
+    fn hash_matches_model(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        check_kind(StoreKind::Hash, &ops);
+    }
+}
+
+#[test]
+fn all_kinds_agree_on_a_fixed_trace() {
+    let ops = vec![
+        Op::Set { addr: 0x1_0000, code: 5 },
+        Op::Set { addr: 0x1_0008, code: 6 },
+        Op::CopyRange { dst: 0x1_0020, src: 0x1_0000, len: 16 },
+        Op::ClearRange { start: 0x1_0004, len: 8 },
+        Op::Get { addr: 0x1_0020 },
+        Op::Get { addr: 0x1_0000 },
+    ];
+    for kind in StoreKind::all() {
+        check_kind(*kind, &ops);
+    }
+}

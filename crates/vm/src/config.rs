@@ -1,0 +1,126 @@
+//! VM configuration: isolation model, runtime defenses and knobs.
+
+use levee_rt::StoreKind;
+
+use crate::cost::CostModel;
+
+/// How the safe region is isolated from regular memory (§3.2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Isolation {
+    /// No isolation — an ablation showing that CPI's guarantees
+    /// *depend* on isolation: regular writes may touch the safe region.
+    None,
+    /// x86-32-style segment limits: regular accesses to the safe region
+    /// trap deterministically, at zero per-access cost.
+    Segmentation,
+    /// x86-64-style information hiding: the safe-region base is
+    /// randomized; regular accesses only reach it by guessing the base,
+    /// and wrong guesses crash (unmapped).
+    InfoHiding,
+    /// Software fault isolation: every regular memory access is masked
+    /// (one extra ALU op), making safe-region access impossible.
+    Sfi,
+}
+
+/// Hardware model for metadata operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HardwareModel {
+    /// Software-only Levee (the paper's evaluated prototype).
+    Software,
+    /// MPX-like hardware assist (§4 "Future MPX-based implementation"):
+    /// cheaper checks and metadata bookkeeping, two-level table.
+    Mpx,
+}
+
+/// Full VM configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct VmConfig {
+    /// Safe-region isolation mechanism.
+    pub isolation: Isolation,
+    /// Safe-pointer-store organization.
+    pub store_kind: StoreKind,
+    /// DEP/NX: writable memory is never executable.
+    pub nx: bool,
+    /// ASLR for the regular region (heap/stack/global bases).
+    pub aslr: bool,
+    /// Enforce temporal id checks on sensitive-pointer dereferences
+    /// (the paper's design supports it; its prototype is spatial-only,
+    /// so this defaults to off).
+    pub temporal: bool,
+    /// Debug mode (§3.2.2): sensitive pointers are stored in *both*
+    /// regions and compared on load.
+    pub debug_dual_store: bool,
+    /// Protect `setjmp` buffers and other runtime-created code pointers
+    /// through the safe store (on when the module is CPI/CPS
+    /// instrumented; the driver sets this).
+    pub protect_runtime_code_ptrs: bool,
+    /// Deterministic seed (layout randomization, cookies).
+    pub seed: u64,
+    /// Fuel: maximum instructions before `Trap::OutOfFuel`.
+    pub max_insts: u64,
+    /// Cycle cost model.
+    pub cost: CostModel,
+    /// Hardware model for metadata ops.
+    pub hardware: HardwareModel,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        VmConfig {
+            isolation: Isolation::InfoHiding,
+            store_kind: StoreKind::ArraySuperpage,
+            nx: true,
+            aslr: false,
+            temporal: false,
+            debug_dual_store: false,
+            protect_runtime_code_ptrs: false,
+            seed: 0,
+            max_insts: 200_000_000,
+            cost: CostModel::default(),
+            hardware: HardwareModel::Software,
+        }
+    }
+}
+
+impl VmConfig {
+    /// A configuration modelling a completely undefended legacy system
+    /// (pre-DEP, pre-ASLR): the "vanilla Ubuntu 6.06" row of §5.1.
+    pub fn legacy_unprotected() -> Self {
+        VmConfig {
+            nx: false,
+            aslr: false,
+            ..Default::default()
+        }
+    }
+
+    /// A configuration modelling a modern deployed baseline:
+    /// DEP + ASLR on (stack cookies are a per-function pass).
+    pub fn modern_baseline() -> Self {
+        VmConfig {
+            nx: true,
+            aslr: true,
+            ..Default::default()
+        }
+    }
+
+    /// Returns self with the given seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        let legacy = VmConfig::legacy_unprotected();
+        assert!(!legacy.nx && !legacy.aslr);
+        let modern = VmConfig::modern_baseline();
+        assert!(modern.nx && modern.aslr);
+        let seeded = VmConfig::default().with_seed(42);
+        assert_eq!(seeded.seed, 42);
+    }
+}

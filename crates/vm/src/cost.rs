@@ -1,0 +1,81 @@
+//! The cycle cost model.
+//!
+//! Deterministic per-operation cycle charges, tuned so the *relative*
+//! overheads of instrumented runs land in the regime the paper reports
+//! (checks are a branch, safe-pointer-store traffic is ordinary cached
+//! memory traffic, page faults are expensive, SFI masking is one ALU op
+//! per memory access).
+
+/// Per-operation cycle costs.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Base cost of any executed instruction.
+    pub inst: u64,
+    /// Extra cost of multiply.
+    pub mul: u64,
+    /// Extra cost of divide/remainder.
+    pub div: u64,
+    /// Cost of a memory access that hits in L1.
+    pub mem_hit: u64,
+    /// Additional cost of an L1 miss.
+    pub mem_miss: u64,
+    /// Additional cost of a page fault (first touch of a page).
+    pub page_fault: u64,
+    /// Extra cost of a call (register shuffle + frame setup).
+    pub call: u64,
+    /// Extra cost of a return.
+    pub ret: u64,
+    /// Cost of a bounds/validity check (compare + predicted branch).
+    pub check: u64,
+    /// Bookkeeping cost of a safe-pointer-store operation on top of its
+    /// memory traffic (address arithmetic, metadata packing).
+    pub store_op: u64,
+    /// Extra unsafe-stack frame setup/teardown cost for functions that
+    /// need a second stack frame (§3.2.4: "the overhead of setting up
+    /// the extra stack frame is non-negligible" for short functions).
+    pub unsafe_frame: u64,
+    /// SFI mask cost added to every regular memory access when SFI
+    /// isolation is selected (§3.2.3: "as small as a single and").
+    pub sfi_mask: u64,
+    /// Hardware-assisted (MPX-like) discount: bounds checks and
+    /// metadata ops run in dedicated units. Expressed as alternative
+    /// check/store costs used when the MPX model is on.
+    pub mpx_check: u64,
+    /// MPX bounds-table access bookkeeping.
+    pub mpx_store_op: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            inst: 1,
+            mul: 2,
+            div: 20,
+            mem_hit: 1,
+            mem_miss: 24,
+            page_fault: 400,
+            call: 3,
+            ret: 2,
+            check: 2,
+            store_op: 5,
+            unsafe_frame: 6,
+            sfi_mask: 1,
+            mpx_check: 1,
+            mpx_store_op: 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = CostModel::default();
+        assert!(c.mem_miss > c.mem_hit);
+        assert!(c.page_fault > c.mem_miss);
+        assert!(c.mpx_check <= c.check);
+        assert!(c.mpx_store_op <= c.store_op);
+    }
+}

@@ -1,0 +1,435 @@
+//! Control flow: calls, returns, indirect-transfer resolution, and the
+//! setjmp/longjmp machinery.
+//!
+//! This is where attacks succeed or die. Every indirect transfer (return,
+//! indirect call, longjmp) resolves its raw target address through
+//! [`Machine::resolve_transfer`], which applies — in order — the NX
+//! policy, the attack-goal check, and finally legitimacy.
+
+use levee_ir::prelude::*;
+
+use crate::config::Isolation;
+use crate::layout;
+use crate::trap::{ExitStatus, Trap};
+
+use super::{Frame, Machine, SetjmpCtx, V, MAIN_RET_SENTINEL};
+
+/// What a resolved indirect transfer may legitimately be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TransferKind {
+    /// An indirect call (target should be a function entry).
+    Call,
+    /// A return (target should be the pushed return site).
+    Ret { expected: u64 },
+    /// A longjmp (target should be a live setjmp token).
+    Longjmp,
+}
+
+impl<'m> Machine<'m> {
+    /// Pushes a frame for `func` and transfers control to its entry.
+    pub(crate) fn enter_function(
+        &mut self,
+        func: FuncId,
+        args: Vec<V>,
+        caller_dest: Option<ValueId>,
+        ret_addr: u64,
+    ) -> Result<(), Trap> {
+        let f = self.module.func(func);
+        assert_eq!(
+            args.len(),
+            f.param_count(),
+            "verifier guarantees call arity"
+        );
+        self.stats.calls += 1;
+        self.stats.cycles += self.config.cost.call;
+        if self.frames.len() > 4096 {
+            return Err(Trap::StackOverflow);
+        }
+
+        let saved_sp = self.sp;
+        let saved_unsafe_sp = self.unsafe_sp;
+        let saved_safe_sp = self.safe_sp;
+        let protection = f.protection;
+
+        // Push the return address. With the safe stack it lives in the
+        // safe region; otherwise on the conventional stack in regular
+        // memory, where overflows can reach it.
+        let (ret_slot, ret_slot_safe) = if protection.safestack {
+            self.safe_sp -= 8;
+            let slot = self.safe_sp;
+            self.charge_mem(slot, false);
+            self.mem
+                .write_uint(slot, ret_addr, 8)
+                .map_err(|_| Trap::StackOverflow)?;
+            (slot, true)
+        } else {
+            self.sp -= 8;
+            let slot = self.sp;
+            self.check_stack_space()?;
+            self.charge_mem(slot, true);
+            self.mem
+                .write_uint(slot, ret_addr, 8)
+                .map_err(|_| Trap::StackOverflow)?;
+            (slot, false)
+        };
+
+        // Stack cookie sits between the return address and the locals.
+        let cookie_slot = if protection.stack_cookie && !protection.safestack {
+            self.sp -= 8;
+            let slot = self.sp;
+            self.charge_mem(slot, true);
+            self.mem
+                .write_uint(slot, self.cookie, 8)
+                .map_err(|_| Trap::StackOverflow)?;
+            Some(slot)
+        } else {
+            None
+        };
+
+        if protection.shadow_stack {
+            self.shadow_stack.push(ret_addr);
+            self.stats.cycles += self.config.cost.mem_hit; // shadow push
+        }
+
+        // Functions that need an unsafe stack frame pay its setup cost.
+        if protection.safestack && self.has_unsafe_alloca[func.0 as usize] {
+            self.stats.cycles += self.config.cost.unsafe_frame;
+            self.stats.unsafe_frames += 1;
+        }
+
+        let mut regs = vec![V::int(0); f.locals.len()];
+        regs[..args.len()].copy_from_slice(&args);
+        self.frames.push(Frame {
+            func,
+            block: BlockId(0),
+            ip: 0,
+            regs,
+            ret_slot,
+            ret_slot_safe,
+            expected_ret: ret_addr,
+            cookie_slot,
+            saved_sp,
+            saved_unsafe_sp,
+            saved_safe_sp,
+            caller_dest,
+        });
+        Ok(())
+    }
+
+    /// Executes a return: epilogue checks, then transfer resolution.
+    pub(crate) fn do_return(&mut self, value: Option<V>) -> Result<Option<ExitStatus>, Trap> {
+        self.stats.cycles += self.config.cost.ret;
+        let f = self.module.func(self.frame().func);
+        let protection = f.protection;
+
+        // 1. Cookie check (epilogue), on the conventional stack only.
+        if let Some(slot) = self.frame().cookie_slot {
+            self.charge_check();
+            self.charge_mem(slot, true);
+            let got = self.mem.read_uint(slot, 8).map_err(|_| Trap::Cookie)?;
+            if got != self.cookie {
+                return Err(Trap::Cookie);
+            }
+        }
+
+        // 2. Load the return address from its memory slot. This is the
+        // value an overflow may have corrupted (unless on safe stack).
+        let frame = self.frames.last().expect("frame");
+        let (slot, slot_safe, expected) =
+            (frame.ret_slot, frame.ret_slot_safe, frame.expected_ret);
+        self.charge_mem(slot, !slot_safe);
+        let loaded = self
+            .mem
+            .read_uint(slot, 8)
+            .map_err(|_| Trap::Unmapped { addr: slot })?;
+
+        // 3. Shadow-stack comparison.
+        if protection.shadow_stack {
+            self.charge_check();
+            let top = self.shadow_stack.pop().unwrap_or(0);
+            if top != loaded {
+                return Err(Trap::ShadowStack {
+                    expected: top,
+                    got: loaded,
+                });
+            }
+        }
+
+        // 4. Coarse CFI return policy: target must be *some* return site.
+        if protection.ret_cfi {
+            self.charge_check();
+            if loaded != MAIN_RET_SENTINEL && !self.ret_sites.contains_key(&loaded) {
+                return Err(Trap::Cfi { addr: loaded });
+            }
+        }
+
+        // 5. Resolve the transfer.
+        if loaded == MAIN_RET_SENTINEL && expected == MAIN_RET_SENTINEL {
+            // Clean exit from main.
+            let code = value.map(|v| v.raw as i64).unwrap_or(0);
+            self.pop_frame();
+            return Ok(Some(ExitStatus::Exited(code)));
+        }
+        match self.resolve_transfer(loaded, TransferKind::Ret { expected })? {
+            ResolvedTarget::ReturnTo => {
+                let caller_dest = self.frame().caller_dest;
+                self.pop_frame();
+                if let (Some(dest), Some(v)) = (caller_dest, value) {
+                    self.set_reg(dest, v);
+                }
+                Ok(None)
+            }
+            ResolvedTarget::Function(_) => unreachable!("rets never resolve to calls"),
+        }
+    }
+
+    fn pop_frame(&mut self) {
+        let frame = self.frames.pop().expect("frame");
+        self.sp = frame.saved_sp;
+        self.unsafe_sp = frame.saved_unsafe_sp;
+        self.safe_sp = frame.saved_safe_sp;
+        // Invalidate setjmp contexts belonging to the popped frame.
+        let depth = self.frames.len();
+        self.setjmp_ctxs.retain(|_, ctx| ctx.frame_depth <= depth);
+    }
+
+    /// Resolves an indirect control transfer to `addr`.
+    ///
+    /// Order matters and mirrors real hardware + deployed defenses:
+    /// 1. If the target is not executable (writable data) and NX is on →
+    ///    [`Trap::Nx`]. With NX off, injected shellcode *runs* if it is
+    ///    an attack goal.
+    /// 2. If the target is a registered attack goal → the attacker wins:
+    ///    [`Trap::Hijacked`].
+    /// 3. Otherwise the target must be legitimate for the transfer kind,
+    ///    or the program crashes.
+    pub(crate) fn resolve_transfer(
+        &mut self,
+        addr: u64,
+        kind: TransferKind,
+    ) -> Result<ResolvedTarget, Trap> {
+        let executable = self.layout.in_code(addr);
+        if !executable {
+            if self.config.nx {
+                return Err(Trap::Nx { addr });
+            }
+            if let Some(goal) = self.goals.get(&addr) {
+                return Err(Trap::Hijacked { goal: *goal, addr });
+            }
+            return Err(Trap::BadControl { addr });
+        }
+        if let Some(goal) = self.goals.get(&addr) {
+            return Err(Trap::Hijacked { goal: *goal, addr });
+        }
+        match kind {
+            TransferKind::Call => match self.entry_to_func.get(&addr) {
+                Some(f) => Ok(ResolvedTarget::Function(*f)),
+                None => Err(Trap::BadControl { addr }),
+            },
+            TransferKind::Ret { expected } => {
+                if addr == expected {
+                    Ok(ResolvedTarget::ReturnTo)
+                } else {
+                    // Divergent return to a non-goal address: the ROP
+                    // chain fizzles — a crash, not a compromise.
+                    Err(Trap::BadControl { addr })
+                }
+            }
+            TransferKind::Longjmp => Err(Trap::BadControl { addr }),
+        }
+    }
+
+    /// Indirect call dispatch, including CFI and goal semantics.
+    pub(crate) fn do_call_indirect(
+        &mut self,
+        callee: V,
+        sig: &FnSig,
+        args: Vec<V>,
+        dest: Option<ValueId>,
+        cfi: Option<CfiPolicy>,
+        ret_addr: u64,
+    ) -> Result<(), Trap> {
+        // CFI check first (it is inline in the code, before the call).
+        if let Some(policy) = cfi {
+            self.charge_check();
+            if !self.cfi_allows(policy, callee.raw, sig) {
+                return Err(Trap::Cfi { addr: callee.raw });
+            }
+        }
+        match self.resolve_transfer(callee.raw, TransferKind::Call)? {
+            ResolvedTarget::Function(f) => {
+                // Signature mismatch at runtime is a crash in practice
+                // (wrong arity smashes the register file); we surface it
+                // as BadControl unless arities happen to agree.
+                let callee_fn = self.module.func(f);
+                if callee_fn.param_count() != args.len() {
+                    return Err(Trap::BadControl { addr: callee.raw });
+                }
+                self.enter_function(f, args, dest, ret_addr)
+            }
+            ResolvedTarget::ReturnTo => unreachable!("calls never resolve to returns"),
+        }
+    }
+
+    /// Does `policy` admit `target` for an indirect call of signature
+    /// `sig`? (The static valid-target sets of §6's CFI row.)
+    pub(crate) fn cfi_allows(&self, policy: CfiPolicy, target: u64, sig: &FnSig) -> bool {
+        let Some(fid) = self.entry_to_func.get(&target) else {
+            return false;
+        };
+        let f = self.module.func(*fid);
+        match policy {
+            CfiPolicy::AnyFunction => true,
+            CfiPolicy::AddressTaken => f.address_taken,
+            CfiPolicy::TypeSignature => {
+                f.address_taken && self.sig_hashes[fid.0 as usize] == sig.type_hash()
+            }
+        }
+    }
+
+    // ---- setjmp / longjmp --------------------------------------------------
+
+    /// `setjmp(buf)`: saves a context and writes the jmp_buf image.
+    ///
+    /// The buffer's first word is a code pointer (the setjmp token);
+    /// under CPI/CPS instrumentation the runtime stores it through the
+    /// safe pointer store (§4: jmp_buf is sensitive), otherwise it sits
+    /// in regular memory where attacks can overwrite it.
+    pub(crate) fn do_setjmp(&mut self, buf: V, dest: Option<ValueId>) -> Result<(), Trap> {
+        let frame = self.frames.last().expect("frame");
+        let token = {
+            // A unique token per dynamic setjmp: a code-segment address
+            // derived from the site, outside function entries.
+            let base = self.func_addrs[frame.func.0 as usize];
+            base + 0x800 + (self.setjmp_ctxs.len() as u64 % 64) * 8
+        };
+        let ctx = SetjmpCtx {
+            frame_depth: self.frames.len(),
+            block: frame.block,
+            ip: frame.ip, // ip already advanced past the setjmp call
+            dest,
+            saved_sp: self.sp,
+            saved_unsafe_sp: self.unsafe_sp,
+            saved_safe_sp: self.safe_sp,
+        };
+        self.setjmp_ctxs.insert(token, ctx);
+        // jmp_buf image: [token][sp][unsafe_sp] — 24 bytes.
+        if self.config.protect_runtime_code_ptrs {
+            let t = self.store.set(buf.raw, levee_rt::Entry::code(token));
+            self.charge_store_touches(t);
+        } else {
+            self.prog_write(buf.raw, token, 8, MemSpace::Regular)?;
+        }
+        self.prog_write(buf.raw + 8, self.sp, 8, MemSpace::Regular)?;
+        self.prog_write(buf.raw + 16, self.unsafe_sp, 8, MemSpace::Regular)?;
+        if let Some(d) = dest {
+            self.set_reg(d, V::int(0));
+        }
+        Ok(())
+    }
+
+    /// `longjmp(buf, val)`: restores a saved context.
+    pub(crate) fn do_longjmp(&mut self, buf: V, val: V) -> Result<(), Trap> {
+        let token = if self.config.protect_runtime_code_ptrs {
+            let (entry, t) = self.store.get(buf.raw);
+            self.charge_store_touches(t);
+            match entry {
+                Some(e) if e.is_code() => e.value,
+                // No (or corrupted) safe-store entry: deterministic abort.
+                _ => {
+                    return Err(Trap::Cpi {
+                        kind: crate::trap::CpiViolationKind::NotACodePointer,
+                        addr: buf.raw,
+                    })
+                }
+            }
+        } else {
+            self.prog_read(buf.raw, 8, MemSpace::Regular)?
+        };
+        let ctx = match self.setjmp_ctxs.get(&token) {
+            Some(c) => *c,
+            None => {
+                // The token is attacker-controlled data here: resolve it
+                // like any hijacked transfer.
+                return match self.resolve_transfer(token, TransferKind::Longjmp) {
+                    Ok(_) => unreachable!("longjmp targets never resolve"),
+                    Err(t) => Err(t),
+                };
+            }
+        };
+        if ctx.frame_depth > self.frames.len() {
+            return Err(Trap::BadControl { addr: token });
+        }
+        // Unwind.
+        while self.frames.len() > ctx.frame_depth {
+            self.pop_frame();
+        }
+        self.sp = ctx.saved_sp;
+        self.unsafe_sp = ctx.saved_unsafe_sp;
+        self.safe_sp = ctx.saved_safe_sp;
+        let frame = self.frames.last_mut().expect("setjmp frame");
+        frame.block = ctx.block;
+        frame.ip = ctx.ip;
+        if let Some(d) = ctx.dest {
+            let v = if val.raw == 0 { 1 } else { val.raw };
+            self.set_reg(d, V::int(v));
+        }
+        Ok(())
+    }
+
+    fn check_stack_space(&self) -> Result<(), Trap> {
+        if self.sp < self.layout.stack_top - layout::STACK_LIMIT + 4096 {
+            return Err(Trap::StackOverflow);
+        }
+        if self.unsafe_sp < self.layout.unsafe_stack_top - layout::UNSAFE_STACK_LIMIT + 4096 {
+            return Err(Trap::StackOverflow);
+        }
+        Ok(())
+    }
+
+    /// Allocates stack storage for an alloca per its stack kind.
+    pub(crate) fn do_alloca(&mut self, size: u64, stack: StackKind) -> Result<u64, Trap> {
+        let aligned = crate::ctx_align(size.max(1), 8);
+        let addr = match stack {
+            StackKind::Conventional => {
+                self.sp -= aligned;
+                self.check_stack_space()?;
+                self.sp
+            }
+            StackKind::Safe => {
+                self.safe_sp -= aligned;
+                self.safe_sp
+            }
+            StackKind::Unsafe => {
+                self.unsafe_sp -= aligned;
+                self.check_stack_space()?;
+                self.unsafe_sp
+            }
+        };
+        Ok(addr)
+    }
+
+    /// Is an address on one of the attacker-reachable stacks? (Exposed
+    /// for attack harnesses that classify corruption targets.)
+    pub fn on_regular_stacks(&self, addr: u64) -> bool {
+        let reg = (self.layout.stack_top - layout::STACK_LIMIT)..self.layout.stack_top;
+        let uns =
+            (self.layout.unsafe_stack_top - layout::UNSAFE_STACK_LIMIT)..self.layout.unsafe_stack_top;
+        reg.contains(&addr) || uns.contains(&addr)
+    }
+
+    /// Would the active isolation mechanism block a regular access to
+    /// `addr`? (Exposed for isolation experiments.)
+    pub fn isolation_blocks(&self, addr: u64) -> bool {
+        self.layout.in_safe_region(addr) && self.config.isolation != Isolation::None
+    }
+}
+
+/// Outcome of [`Machine::resolve_transfer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ResolvedTarget {
+    /// A legitimate function to call.
+    Function(FuncId),
+    /// A legitimate return to the expected site.
+    ReturnTo,
+}

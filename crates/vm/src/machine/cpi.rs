@@ -1,0 +1,229 @@
+//! Execution of the instrumentation intrinsics (§3.2.2's runtime ops).
+
+use levee_ir::prelude::*;
+use levee_rt::Entry;
+
+use crate::trap::{CpiViolationKind, Trap};
+
+use super::{Machine, V};
+
+impl<'m> Machine<'m> {
+    pub(crate) fn exec_cpi(&mut self, op: &CpiOp) -> Result<(), Trap> {
+        match op {
+            CpiOp::PtrStore {
+                policy,
+                ptr,
+                value,
+                universal,
+            } => {
+                let addr = self.eval(*ptr).raw;
+                let v = self.eval(*value);
+                self.stats.cpi_mem_ops += 1;
+                self.ptr_store(*policy, addr, v, *universal)
+            }
+            CpiOp::PtrLoad {
+                policy,
+                dest,
+                ptr,
+                universal,
+            } => {
+                let addr = self.eval(*ptr).raw;
+                self.stats.cpi_mem_ops += 1;
+                let v = self.ptr_load(*policy, addr, *universal)?;
+                self.set_reg(*dest, v);
+                Ok(())
+            }
+            CpiOp::Check { policy, ptr, size } => {
+                let v = self.eval(*ptr);
+                self.charge_check();
+                self.cpi_check(v, *size, *policy)
+            }
+            CpiOp::FnCheck { policy, callee } => {
+                let v = self.eval(*callee);
+                self.charge_check();
+                match v.meta {
+                    Some(e) if e.is_code() && e.value == v.raw => Ok(()),
+                    _ => Err(self.violation(*policy, CpiViolationKind::NotACodePointer, v.raw)),
+                }
+            }
+            CpiOp::SafeMemcpy {
+                policy: _,
+                dst,
+                src,
+                len,
+                moving,
+            } => {
+                let d = self.eval(*dst).raw;
+                let s = self.eval(*src).raw;
+                let n = self.eval(*len).raw;
+                // Regular bytes move as usual…
+                self.bulk_copy(d, s, n, *moving)?;
+                // …and the safe store transfers entries word by word —
+                // the expensive path §5.2 attributes memcpy overhead to.
+                let (copied, t) = self.store.copy_range(d, s, n);
+                self.charge_store_touches(t);
+                self.stats.cycles += (n / 8) * self.config.cost.store_op + copied;
+                Ok(())
+            }
+            CpiOp::SafeMemset {
+                policy: _,
+                dst,
+                byte,
+                len,
+            } => {
+                let d = self.eval(*dst).raw;
+                let b = self.eval(*byte).raw as u8;
+                let n = self.eval(*len).raw;
+                self.bulk_fill(d, b, n)?;
+                let t = self.store.clear_range(d, n);
+                self.charge_store_touches(t);
+                self.stats.cycles += (n / 8) * self.config.cost.store_op;
+                Ok(())
+            }
+        }
+    }
+
+    /// Maps a violation to the policy's trap flavour.
+    pub(crate) fn violation(&self, policy: Policy, kind: CpiViolationKind, addr: u64) -> Trap {
+        match policy {
+            Policy::SoftBound => Trap::SoftBound { addr },
+            _ => Trap::Cpi { kind, addr },
+        }
+    }
+
+    /// Bounds (+ optional temporal) check of a sensitive dereference.
+    pub(crate) fn cpi_check(&mut self, v: V, size: u64, policy: Policy) -> Result<(), Trap> {
+        let Some(meta) = v.meta else {
+            return Err(self.violation(policy, CpiViolationKind::Bounds, v.raw));
+        };
+        if !meta.allows_access(v.raw, size) {
+            return Err(self.violation(policy, CpiViolationKind::Bounds, v.raw));
+        }
+        if self.config.temporal && meta.id != 0 && self.heap.id_is_dead(meta.id) {
+            return Err(self.violation(policy, CpiViolationKind::Temporal, v.raw));
+        }
+        Ok(())
+    }
+
+    /// `cpi_ptr_store` / `cps_ptr_store`: writes a sensitive pointer to
+    /// the safe pointer store, keyed by its regular-region address.
+    fn ptr_store(&mut self, policy: Policy, addr: u64, v: V, universal: bool) -> Result<(), Trap> {
+        let entry = match (policy, v.meta) {
+            // CPS keeps value-only entries for code pointers; storing a
+            // non-code value through a CPS store keeps it regular.
+            (Policy::Cps, Some(e)) if e.is_code() => Some(e),
+            (Policy::Cps, _) => None,
+            (_, Some(mut e)) => {
+                e.value = v.raw;
+                Some(e)
+            }
+            (_, None) => Some(Entry::invalid(v.raw)),
+        };
+        match entry {
+            Some(e) if universal && !e.is_valid() => {
+                // Universal pointer holding a non-sensitive value: store
+                // the raw value in the regular region, mark the safe
+                // store `none` (the paper's dual-storage rule).
+                let t = self.store.clear(addr);
+                self.charge_store_touches(t);
+                self.prog_write(addr, v.raw, 8, MemSpace::Regular)
+            }
+            Some(e) => {
+                let t = self.store.set(addr, e);
+                self.charge_store_touches(t);
+                self.stats.store_entries_peak = self
+                    .stats
+                    .store_entries_peak
+                    .max(self.store.entry_count() as u64);
+                if self.config.debug_dual_store {
+                    // Debug mode: also keep the regular copy in sync.
+                    self.prog_write(addr, v.raw, 8, MemSpace::Regular)?;
+                }
+                Ok(())
+            }
+            None => {
+                // CPS store of a non-code value: plain regular store.
+                let t = self.store.clear(addr);
+                self.charge_store_touches(t);
+                self.prog_write(addr, v.raw, 8, MemSpace::Regular)
+            }
+        }
+    }
+
+    /// `cpi_ptr_load` / `cps_ptr_load`: reads a sensitive pointer and
+    /// its metadata back from the safe pointer store.
+    fn ptr_load(&mut self, policy: Policy, addr: u64, universal: bool) -> Result<V, Trap> {
+        let (entry, t) = self.store.get(addr);
+        self.charge_store_touches(t);
+        match entry {
+            Some(e) => {
+                if self.config.debug_dual_store {
+                    let regular = self.prog_read(addr, 8, MemSpace::Regular)?;
+                    self.charge_check();
+                    if regular != e.value {
+                        // Debug mode detects non-protected-pointer
+                        // corruption attempts instead of silently
+                        // ignoring them (§3.2.2).
+                        return Err(self.violation(
+                            policy,
+                            CpiViolationKind::DebugMismatch,
+                            addr,
+                        ));
+                    }
+                }
+                Ok(V {
+                    raw: e.value,
+                    meta: Some(e),
+                })
+            }
+            None if universal => {
+                // No sensitive value here: fall back to the regular copy.
+                let raw = self.prog_read(addr, 8, MemSpace::Regular)?;
+                Ok(V::int(raw))
+            }
+            None => {
+                // A sensitive-typed location that was never stored
+                // through the safe store (e.g. zero-initialized global):
+                // read the regular image; the value carries no
+                // metadata, so any control use of it will trap.
+                let raw = self.prog_read(addr, 8, MemSpace::Regular)?;
+                Ok(V::int(raw))
+            }
+        }
+    }
+
+    /// Byte-bulk copy with amortized charging (used by memcpy-family).
+    pub(crate) fn bulk_copy(&mut self, dst: u64, src: u64, len: u64, _moving: bool) -> Result<(), Trap> {
+        self.isolation_check(src, MemSpace::Regular)?;
+        self.isolation_check(dst, MemSpace::Regular)?;
+        self.charge_bulk(len, dst, src);
+        self.mem.copy(dst, src, len).map_err(|e| match e {
+            crate::mem::MemError::Unmapped { addr } => Trap::Unmapped { addr },
+            crate::mem::MemError::WriteProtected { addr } => Trap::WriteProtected { addr },
+        })
+    }
+
+    /// Byte-bulk fill with amortized charging (memset).
+    pub(crate) fn bulk_fill(&mut self, dst: u64, byte: u8, len: u64) -> Result<(), Trap> {
+        self.isolation_check(dst, MemSpace::Regular)?;
+        self.charge_bulk(len, dst, dst);
+        self.mem.fill(dst, byte, len).map_err(|e| match e {
+            crate::mem::MemError::Unmapped { addr } => Trap::Unmapped { addr },
+            crate::mem::MemError::WriteProtected { addr } => Trap::WriteProtected { addr },
+        })
+    }
+
+    /// Charges a bulk operation: one cache access per 64-byte line on
+    /// both operands, one instruction per 8 bytes (vectorized copy).
+    fn charge_bulk(&mut self, len: u64, a: u64, b: u64) {
+        let lines = len / 64 + 1;
+        for i in 0..lines {
+            self.charge_mem(a + i * 64, true);
+            if b != a {
+                self.charge_mem(b + i * 64, true);
+            }
+        }
+        self.stats.cycles += len / 8;
+        self.stats.mem_ops += len / 8;
+    }
+}

@@ -1,0 +1,284 @@
+//! The fetch/execute loop: one IR instruction per step.
+
+use levee_ir::prelude::*;
+use levee_rt::Entry;
+
+use crate::trap::{ExitStatus, Trap};
+
+use super::{Machine, V};
+
+impl<'m> Machine<'m> {
+    /// Executes one instruction or terminator. Returns `Some(exit)` when
+    /// the program finished.
+    pub(crate) fn step(&mut self) -> Result<Option<ExitStatus>, Trap> {
+        self.stats.insts += 1;
+        self.stats.cycles += self.config.cost.inst;
+        if self.stats.insts > self.config.max_insts {
+            return Err(Trap::OutOfFuel);
+        }
+
+        let module = self.module;
+        let frame = self.frame();
+        let func = module.func(frame.func);
+        let block = func.block(frame.block);
+
+        if frame.ip >= block.insts.len() {
+            return self.exec_terminator(&block.term);
+        }
+        let inst = &block.insts[frame.ip];
+        self.frame_mut().ip += 1;
+        self.exec_inst(inst)?;
+        Ok(None)
+    }
+
+    fn exec_terminator(&mut self, term: &Terminator) -> Result<Option<ExitStatus>, Trap> {
+        match term {
+            Terminator::Br(b) => {
+                let f = self.frame_mut();
+                f.block = *b;
+                f.ip = 0;
+                Ok(None)
+            }
+            Terminator::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                let c = self.eval(*cond).raw;
+                let target = if c != 0 { *then_bb } else { *else_bb };
+                let f = self.frame_mut();
+                f.block = target;
+                f.ip = 0;
+                Ok(None)
+            }
+            Terminator::Ret(v) => {
+                let value = v.map(|op| self.eval(op));
+                self.do_return(value)
+            }
+            Terminator::Unreachable => Err(Trap::Unreachable),
+        }
+    }
+
+    fn exec_inst(&mut self, inst: &Inst) -> Result<(), Trap> {
+        match inst {
+            Inst::Alloca {
+                dest,
+                ty,
+                count,
+                stack,
+            } => {
+                let size = self.module.types.size_of(ty) * count;
+                let addr = self.do_alloca(size, *stack)?;
+                self.set_reg(*dest, V::data_ptr(addr, addr, addr + size, 0));
+                Ok(())
+            }
+            Inst::Load {
+                dest,
+                ptr,
+                ty,
+                space,
+            } => {
+                let addr = self.eval(*ptr).raw;
+                let size = self.module.types.size_of(ty);
+                self.stats.mem_ops += 1;
+                let raw = self.prog_read(addr, size, *space)?;
+                // Safe-stack slots are trusted storage: provenance
+                // survives the round-trip (like a register spill).
+                let meta = if *space == MemSpace::SafeStack {
+                    self.safe_stack_meta
+                        .get(&addr)
+                        .filter(|e| e.value == raw)
+                        .copied()
+                } else {
+                    None
+                };
+                self.set_reg(*dest, V { raw, meta });
+                Ok(())
+            }
+            Inst::Store {
+                ptr,
+                value,
+                ty,
+                space,
+            } => {
+                let addr = self.eval(*ptr).raw;
+                let v = self.eval(*value);
+                let size = self.module.types.size_of(ty);
+                self.stats.mem_ops += 1;
+                if *space == MemSpace::SafeStack {
+                    match v.meta {
+                        Some(mut e) => {
+                            e.value = v.raw;
+                            self.safe_stack_meta.insert(addr, e);
+                        }
+                        None => {
+                            self.safe_stack_meta.remove(&addr);
+                        }
+                    }
+                }
+                self.prog_write(addr, v.raw, size, *space)
+            }
+            Inst::Gep {
+                dest,
+                base,
+                index,
+                elem,
+                offset,
+                field_of,
+            } => {
+                let b = self.eval(*base);
+                let i = self.eval(*index).raw;
+                let elem_size = self.module.types.size_of(elem);
+                let raw = b
+                    .raw
+                    .wrapping_add(i.wrapping_mul(elem_size))
+                    .wrapping_add(*offset);
+                // Based-on propagation (case iv): derived pointers stay
+                // based on the same object. Field selection narrows the
+                // bounds to the sub-object (§3.2.2 / Appendix A).
+                let meta = b.meta.map(|mut e| {
+                    if field_of.is_some() {
+                        e = Entry::data(raw, raw, raw + elem_size, e.id);
+                    } else {
+                        e.value = raw;
+                    }
+                    e
+                });
+                self.set_reg(*dest, V { raw, meta });
+                Ok(())
+            }
+            Inst::GlobalAddr { dest, global } => {
+                let addr = self.global_addrs[global.0 as usize];
+                let size = self.global_sizes[global.0 as usize];
+                self.set_reg(*dest, V::data_ptr(addr, addr, addr + size, 0));
+                Ok(())
+            }
+            Inst::FuncAddr { dest, func } => {
+                let addr = self.func_addrs[func.0 as usize];
+                self.set_reg(*dest, V::code_ptr(addr));
+                Ok(())
+            }
+            Inst::Bin { dest, op, lhs, rhs } => {
+                let a = self.eval(*lhs);
+                let b = self.eval(*rhs);
+                let raw = self.eval_bin(*op, a.raw, b.raw)?;
+                // Pointer arithmetic done as integer math keeps the
+                // based-on metadata of its single pointer operand (this
+                // is the dataflow-cast relaxation of §3.2.1/§4).
+                let meta = match (*op, a.meta, b.meta) {
+                    (BinOp::Add | BinOp::Sub, Some(mut e), None) => {
+                        e.value = raw;
+                        Some(e)
+                    }
+                    (BinOp::Add, None, Some(mut e)) => {
+                        e.value = raw;
+                        Some(e)
+                    }
+                    _ => None,
+                };
+                self.set_reg(*dest, V { raw, meta });
+                Ok(())
+            }
+            Inst::Cmp { dest, op, lhs, rhs } => {
+                let a = self.eval(*lhs).raw as i64;
+                let b = self.eval(*rhs).raw as i64;
+                let r = match op {
+                    CmpOp::Eq => a == b,
+                    CmpOp::Ne => a != b,
+                    CmpOp::Lt => a < b,
+                    CmpOp::Le => a <= b,
+                    CmpOp::Gt => a > b,
+                    CmpOp::Ge => a >= b,
+                };
+                self.set_reg(*dest, V::int(r as u64));
+                Ok(())
+            }
+            Inst::Cast {
+                dest,
+                kind,
+                value,
+                to,
+            } => {
+                let v = self.eval(*value);
+                let out = match kind {
+                    // Pointer casts (including to/from void*) keep the
+                    // based-on metadata; int→ptr keeps metadata only if
+                    // the dataflow carried some (otherwise "invalid").
+                    CastKind::PtrToPtr | CastKind::PtrToInt | CastKind::IntToPtr => v,
+                    CastKind::IntToInt => {
+                        let size = self.module.types.size_of(to);
+                        let raw = truncate(v.raw, size);
+                        V::int(raw)
+                    }
+                };
+                self.set_reg(*dest, out);
+                Ok(())
+            }
+            Inst::Call { dest, func, args } => {
+                let argv: Vec<V> = args.iter().map(|a| self.eval(*a)).collect();
+                let frame = self.frame();
+                let key = (frame.func.0, frame.block.0, frame.ip - 1);
+                let ret_addr = self.site_of_call[&key];
+                self.enter_function(*func, argv, *dest, ret_addr)
+            }
+            Inst::CallIndirect {
+                dest,
+                callee,
+                sig,
+                args,
+                cfi,
+            } => {
+                let cv = self.eval(*callee);
+                let argv: Vec<V> = args.iter().map(|a| self.eval(*a)).collect();
+                let frame = self.frame();
+                let key = (frame.func.0, frame.block.0, frame.ip - 1);
+                let ret_addr = self.site_of_call[&key];
+                self.do_call_indirect(cv, sig, argv, *dest, *cfi, ret_addr)
+            }
+            Inst::IntrinsicCall { dest, which, args } => {
+                let argv: Vec<V> = args.iter().map(|a| self.eval(*a)).collect();
+                self.exec_intrinsic(*which, argv, *dest)
+            }
+            Inst::Cpi(op) => self.exec_cpi(op),
+        }
+    }
+
+    fn eval_bin(&mut self, op: BinOp, a: u64, b: u64) -> Result<u64, Trap> {
+        Ok(match op {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => {
+                self.stats.cycles += self.config.cost.mul;
+                a.wrapping_mul(b)
+            }
+            BinOp::Div => {
+                self.stats.cycles += self.config.cost.div;
+                if b == 0 {
+                    return Err(Trap::DivByZero);
+                }
+                ((a as i64).wrapping_div(b as i64)) as u64
+            }
+            BinOp::Rem => {
+                self.stats.cycles += self.config.cost.div;
+                if b == 0 {
+                    return Err(Trap::DivByZero);
+                }
+                ((a as i64).wrapping_rem(b as i64)) as u64
+            }
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl => a.wrapping_shl(b as u32),
+            BinOp::Shr => a.wrapping_shr(b as u32),
+        })
+    }
+}
+
+fn truncate(v: u64, size: u64) -> u64 {
+    match size {
+        1 => v as u8 as u64,
+        2 => v as u16 as u64,
+        4 => v as u32 as u64,
+        _ => v,
+    }
+}

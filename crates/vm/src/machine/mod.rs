@@ -1,0 +1,588 @@
+//! The machine: an IR interpreter over the split memory model.
+//!
+//! The machine executes a (possibly instrumented) [`Module`] with:
+//!
+//! * an explicit in-memory image of stack frames — return addresses and
+//!   stack objects live at real simulated addresses, so buffer overflows
+//!   corrupt them exactly as on x86-64,
+//! * the safe region (safe stacks + safe pointer store) reachable only
+//!   through instrumented operations, enforced per the configured
+//!   isolation model (§3.2.3),
+//! * a deterministic cycle/cache cost model producing the overhead
+//!   numbers for the evaluation harness,
+//! * attack goals: addresses that terminate the run with
+//!   [`Trap::Hijacked`] when control reaches them.
+
+mod attacker;
+mod control;
+mod cpi;
+mod exec;
+mod intrinsics;
+
+use std::collections::HashMap;
+
+use levee_ir::prelude::*;
+use levee_rt::{Entry, PtrStore};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cache::Cache;
+use crate::config::{Isolation, VmConfig};
+use crate::heap::Heap;
+use crate::layout::{self, Layout};
+use crate::mem::{MemError, Memory};
+use crate::stats::ExecStats;
+use crate::trap::{ExitStatus, GoalKind, Trap};
+
+pub use attacker::GuessOutcome;
+
+/// A runtime value: a 64-bit word plus optional based-on metadata.
+///
+/// Metadata rides along in virtual registers (the analogue of
+/// SoftBound's shadow registers); whether it is ever *stored*, *loaded*
+/// or *checked* is decided entirely by the instrumentation in the code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct V {
+    /// The raw word.
+    pub raw: u64,
+    /// Based-on metadata, if this value was derived from a pointer to a
+    /// known target object.
+    pub meta: Option<Entry>,
+}
+
+impl V {
+    /// An integer value with no provenance.
+    pub fn int(raw: u64) -> Self {
+        V { raw, meta: None }
+    }
+
+    /// A pointer based on the object `[lower, upper)`.
+    pub fn data_ptr(raw: u64, lower: u64, upper: u64, id: u64) -> Self {
+        V {
+            raw,
+            meta: Some(Entry::data(raw, lower, upper, id)),
+        }
+    }
+
+    /// A code pointer for the control-flow destination `addr`.
+    pub fn code_ptr(addr: u64) -> Self {
+        V {
+            raw: addr,
+            meta: Some(Entry::code(addr)),
+        }
+    }
+}
+
+/// Marker value used as the return address of `main`.
+pub(crate) const MAIN_RET_SENTINEL: u64 = 0x0000_dead_0000;
+
+/// One activation record. The *memory image* of the return address (and
+/// cookie) is what attacks corrupt; the Rust-side fields carry
+/// bookkeeping the hardware would keep in registers.
+pub(crate) struct Frame {
+    pub func: FuncId,
+    pub block: BlockId,
+    pub ip: usize,
+    pub regs: Vec<V>,
+    /// Address of the return-address slot in (regular or safe) memory.
+    pub ret_slot: u64,
+    /// Whether the return slot lives on the safe stack.
+    pub ret_slot_safe: bool,
+    /// The value pushed at call time (for divergence detection only —
+    /// the *loaded* value is what gets used).
+    pub expected_ret: u64,
+    /// Address of the stack cookie slot, if the function has one.
+    pub cookie_slot: Option<u64>,
+    pub saved_sp: u64,
+    pub saved_unsafe_sp: u64,
+    pub saved_safe_sp: u64,
+    /// Register in the *caller* receiving the return value.
+    pub caller_dest: Option<ValueId>,
+}
+
+/// A live `setjmp` context.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SetjmpCtx {
+    pub frame_depth: usize,
+    pub block: BlockId,
+    pub ip: usize,
+    pub dest: Option<ValueId>,
+    pub saved_sp: u64,
+    pub saved_unsafe_sp: u64,
+    pub saved_safe_sp: u64,
+}
+
+/// The result of one run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// How the run ended.
+    pub status: ExitStatus,
+    /// Cycle/cache/instrumentation counters.
+    pub stats: ExecStats,
+    /// Program output (`print_int` / `print_str`), newline-joined.
+    pub output: String,
+}
+
+impl RunOutcome {
+    /// Exit code if the run exited cleanly.
+    pub fn exit_code(&self) -> Option<i64> {
+        match self.status {
+            ExitStatus::Exited(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// The virtual machine.
+pub struct Machine<'m> {
+    pub(crate) module: &'m Module,
+    pub(crate) config: VmConfig,
+    pub(crate) layout: Layout,
+    pub(crate) mem: Memory,
+    pub(crate) cache: Cache,
+    pub(crate) heap: Heap,
+    pub(crate) store: Box<dyn PtrStore>,
+    pub(crate) stats: ExecStats,
+    pub(crate) frames: Vec<Frame>,
+    pub(crate) sp: u64,
+    pub(crate) unsafe_sp: u64,
+    pub(crate) safe_sp: u64,
+    pub(crate) shadow_stack: Vec<u64>,
+    pub(crate) cookie: u64,
+    pub(crate) output: Vec<String>,
+    pub(crate) input: Vec<u8>,
+    pub(crate) input_pos: usize,
+    pub(crate) rng_state: u64,
+    /// FuncId → code entry address.
+    pub(crate) func_addrs: Vec<u64>,
+    /// Entry address → FuncId.
+    pub(crate) entry_to_func: HashMap<u64, FuncId>,
+    /// Return-site address → (callee-side resume is Rust state; the map
+    /// is used to validate loaded return addresses).
+    pub(crate) ret_sites: HashMap<u64, FuncId>,
+    /// (FuncId, BlockId, ip) → return-site address for that call site.
+    pub(crate) site_of_call: HashMap<(u32, u32, usize), u64>,
+    /// GlobalId → data address.
+    pub(crate) global_addrs: Vec<u64>,
+    /// Global sizes (for bounds metadata).
+    pub(crate) global_sizes: Vec<u64>,
+    /// Intrinsic → pseudo entry address (ret2libc targets).
+    pub(crate) intrinsic_addrs: HashMap<Intrinsic, u64>,
+    /// Attack goals: reaching one of these addresses by an indirect
+    /// transfer ends the run with `Trap::Hijacked`.
+    pub(crate) goals: HashMap<u64, GoalKind>,
+    /// Live setjmp contexts keyed by token address.
+    pub(crate) setjmp_ctxs: HashMap<u64, SetjmpCtx>,
+    /// Provenance of values stored on the safe stack. The safe stack is
+    /// trusted storage inside the safe region (like spilled registers),
+    /// so metadata survives a round-trip through it.
+    pub(crate) safe_stack_meta: HashMap<u64, Entry>,
+    /// Count of SFI-masked accesses (for amortized charging).
+    pub(crate) sfi_masked: u64,
+    /// Per-function: does it contain any unsafe-stack alloca?
+    pub(crate) has_unsafe_alloca: Vec<bool>,
+    /// Functions whose signature-hash matches at least one other —
+    /// cached per-callsite CFI target sets are derived lazily.
+    pub(crate) sig_hashes: Vec<u64>,
+}
+
+impl<'m> Machine<'m> {
+    /// Loads `module` into a fresh machine with the given config.
+    pub fn new(module: &'m Module, config: VmConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5afe_5afe);
+        let layout = if config.aslr || config.isolation == Isolation::InfoHiding {
+            Layout::randomized(&mut rng, config.aslr)
+        } else {
+            Layout::fixed()
+        };
+        let mut m = Machine {
+            module,
+            config,
+            layout,
+            mem: Memory::new(),
+            cache: Cache::default_l1(),
+            heap: Heap::new(layout.heap_base, layout::HEAP_LIMIT),
+            store: config.store_kind.instantiate(layout.ptr_store_base()),
+            stats: ExecStats::default(),
+            frames: Vec::new(),
+            sp: layout.stack_top,
+            unsafe_sp: layout.unsafe_stack_top,
+            safe_sp: layout.safe_stack_top(),
+            shadow_stack: Vec::new(),
+            cookie: rng.gen::<u64>() | 1,
+            output: Vec::new(),
+            input: Vec::new(),
+            input_pos: 0,
+            rng_state: config.seed.wrapping_mul(6364136223846793005).wrapping_add(1),
+            func_addrs: Vec::new(),
+            entry_to_func: HashMap::new(),
+            ret_sites: HashMap::new(),
+            site_of_call: HashMap::new(),
+            global_addrs: Vec::new(),
+            global_sizes: Vec::new(),
+            intrinsic_addrs: HashMap::new(),
+            goals: HashMap::new(),
+            setjmp_ctxs: HashMap::new(),
+            safe_stack_meta: HashMap::new(),
+            sfi_masked: 0,
+            has_unsafe_alloca: Vec::new(),
+            sig_hashes: Vec::new(),
+        };
+        m.load();
+        m
+    }
+
+    /// The layout of this execution (fixed or randomized).
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// The entry address of a function, by name.
+    pub fn func_entry(&self, name: &str) -> Option<u64> {
+        self.module
+            .func_by_name(name)
+            .map(|f| self.func_addrs[f.0 as usize])
+    }
+
+    /// The data address of a global, by name.
+    pub fn global_addr(&self, name: &str) -> Option<u64> {
+        self.module
+            .global_by_name(name)
+            .map(|g| self.global_addrs[g.0 as usize])
+    }
+
+    /// The pseudo entry address of a libc intrinsic (`system`, …) — the
+    /// classic return-to-libc target.
+    pub fn intrinsic_entry(&self, which: Intrinsic) -> u64 {
+        self.intrinsic_addrs[&which]
+    }
+
+    /// Registers an attack goal: control reaching `addr` via any
+    /// indirect transfer ends the run as a successful hijack.
+    pub fn add_goal(&mut self, addr: u64, kind: GoalKind) {
+        self.goals.insert(addr, kind);
+    }
+
+    /// All valid return-site addresses — the target set a coarse CFI
+    /// return policy admits (used by CFI-bypass experiments).
+    pub fn ret_site_addrs(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.ret_sites.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Execution statistics accumulated so far.
+    pub fn stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    fn load(&mut self) {
+        // Code layout: program functions low, the libc (intrinsic) block
+        // high — and only the libc block moves under ASLR (non-PIE).
+        let libc_base = layout::CODE_BASE + layout::LIBC_CODE_OFFSET + self.layout.libc_shift;
+        for (i, intr) in Intrinsic::all().iter().enumerate() {
+            let addr = libc_base + 64 + i as u64 * 16;
+            self.intrinsic_addrs.insert(*intr, addr);
+        }
+        let func_area = layout::CODE_BASE + 0x10_000;
+        for (fid, f) in self.module.iter_funcs() {
+            let entry = func_area + fid.0 as u64 * layout::FUNC_STRIDE;
+            self.func_addrs.push(entry);
+            self.entry_to_func.insert(entry, fid);
+            self.sig_hashes.push(f.sig.type_hash());
+            self.has_unsafe_alloca.push(f.iter_insts().any(|i| {
+                matches!(
+                    i,
+                    Inst::Alloca {
+                        stack: StackKind::Unsafe,
+                        ..
+                    }
+                )
+            }));
+            // Assign return sites for every call-shaped instruction.
+            let mut site = 0u32;
+            for (bid, block) in f.iter_blocks() {
+                for (ip, inst) in block.insts.iter().enumerate() {
+                    if matches!(
+                        inst,
+                        Inst::Call { .. } | Inst::CallIndirect { .. } | Inst::IntrinsicCall { .. }
+                    ) {
+                        let addr = entry + 16 * (site as u64 + 1);
+                        self.site_of_call.insert((fid.0, bid.0, ip), addr);
+                        self.ret_sites.insert(addr, fid);
+                        site += 1;
+                    }
+                }
+            }
+        }
+        // Code and rodata are write-protected (threat model §2).
+        self.mem.protect(layout::CODE_BASE, func_area - layout::CODE_BASE
+            + self.module.funcs.len() as u64 * layout::FUNC_STRIDE);
+
+        // Globals.
+        let mut ro_cursor = self.layout.rodata_base;
+        let mut rw_cursor = self.layout.data_base;
+        for g in &self.module.globals {
+            let size = self.module.types.size_of(&g.ty).max(1);
+            let cursor = if g.read_only { &mut ro_cursor } else { &mut rw_cursor };
+            let addr = crate::ctx_align(*cursor, 16);
+            *cursor = addr + size;
+            self.global_addrs.push(addr);
+            self.global_sizes.push(size);
+            // Materialize the initializer.
+            let mut off = addr;
+            for atom in &g.init {
+                match atom {
+                    InitAtom::Int { value, size } => {
+                        self.mem.loader_write_uint(off, *value, *size);
+                        off += size;
+                    }
+                    InitAtom::FuncPtr(fid) => {
+                        let target = func_area + fid.0 as u64 * layout::FUNC_STRIDE;
+                        self.mem.loader_write_uint(off, target, 8);
+                        off += 8;
+                    }
+                    InitAtom::GlobalPtr(_, _) => {
+                        // Resolved in a second pass (forward references).
+                        off += 8;
+                    }
+                    InitAtom::Bytes(b) => {
+                        for (i, byte) in b.iter().enumerate() {
+                            self.mem.loader_write_u8(off + i as u64, *byte);
+                        }
+                        off += b.len() as u64;
+                    }
+                    InitAtom::Zero(n) => {
+                        for i in 0..*n {
+                            self.mem.loader_write_u8(off + i, 0);
+                        }
+                        off += n;
+                    }
+                }
+            }
+            // Zero-fill the tail.
+            while off < addr + size {
+                self.mem.loader_write_u8(off, 0);
+                off += 1;
+            }
+        }
+        // Second pass: global-to-global pointers, and — when the build
+        // protects code pointers — safe-store entries for every pointer
+        // the compiler/linker embedded in initializers (§4 "Binary
+        // level functionality": jump tables, dispatch tables, vtables).
+        for (gid, g) in self.module.globals.iter().enumerate() {
+            let mut off = self.global_addrs[gid];
+            for atom in &g.init {
+                match atom {
+                    InitAtom::GlobalPtr(target, delta) => {
+                        let target_addr = self.global_addrs[target.0 as usize] + delta;
+                        self.mem.loader_write_uint(off, target_addr, 8);
+                        if self.config.protect_runtime_code_ptrs {
+                            let size = self.global_sizes[target.0 as usize];
+                            let base = self.global_addrs[target.0 as usize];
+                            self.store
+                                .set(off, Entry::data(target_addr, base, base + size, 0));
+                        }
+                    }
+                    InitAtom::FuncPtr(fid) => {
+                        if self.config.protect_runtime_code_ptrs {
+                            let entry = func_area + fid.0 as u64 * layout::FUNC_STRIDE;
+                            self.store.set(off, Entry::code(entry));
+                        }
+                    }
+                    _ => {}
+                }
+                off += atom.size();
+            }
+        }
+        // Write-protect read-only globals (jump tables, vtables, GOT).
+        let ro_len = ro_cursor - self.layout.rodata_base;
+        if ro_len > 0 {
+            self.mem.protect(self.layout.rodata_base, ro_len);
+        }
+        // Map the stacks as zero memory, with one slack page above each
+        // top (environment/TCB scratch) so that small overflows running
+        // off a stack corrupt adjacent data instead of faulting.
+        self.mem
+            .map_zero(self.layout.stack_top - layout::STACK_LIMIT, layout::STACK_LIMIT + 4096);
+        self.mem.map_zero(
+            self.layout.unsafe_stack_top - layout::UNSAFE_STACK_LIMIT,
+            layout::UNSAFE_STACK_LIMIT + 4096,
+        );
+        self.mem
+            .map_zero(self.layout.safe_stack_top() - (4 << 20), 4 << 20);
+        // Heap pages map on demand via malloc.
+    }
+
+    /// Runs `main` to completion with the given attacker-controlled
+    /// input payload.
+    pub fn run(&mut self, input: &[u8]) -> RunOutcome {
+        self.input = input.to_vec();
+        self.input_pos = 0;
+        let main = match self.module.func_by_name("main") {
+            Some(f) => f,
+            None => {
+                return RunOutcome {
+                    status: ExitStatus::Trapped(Trap::BadControl { addr: 0 }),
+                    stats: self.stats,
+                    output: String::new(),
+                }
+            }
+        };
+        let status = match self.enter_function(main, vec![], None, MAIN_RET_SENTINEL) {
+            Err(trap) => ExitStatus::Trapped(trap),
+            Ok(()) => self.run_loop(),
+        };
+        self.finalize_stats();
+        RunOutcome {
+            status,
+            stats: self.stats,
+            output: self.output.join("\n"),
+        }
+    }
+
+    fn run_loop(&mut self) -> ExitStatus {
+        loop {
+            match self.step() {
+                Ok(Some(exit)) => return exit,
+                Ok(None) => {}
+                Err(Trap::ProgramExit(code)) => return ExitStatus::Exited(code),
+                Err(trap) => return ExitStatus::Trapped(trap),
+            }
+        }
+    }
+
+    fn finalize_stats(&mut self) {
+        let (h, miss) = self.cache.stats();
+        self.stats.cache_hits = h;
+        self.stats.cache_misses = miss;
+        self.stats.store_bytes = self.store.memory_bytes();
+        self.stats.store_entries_peak = self
+            .stats
+            .store_entries_peak
+            .max(self.store.entry_count() as u64);
+        self.stats.regular_bytes = self.mem.resident_bytes();
+        self.stats.heap_peak = self.heap.peak_bytes();
+        self.stats.input_consumed = self.input_pos as u64;
+    }
+
+    // ---- charging helpers -------------------------------------------------
+
+    /// Charges one data-memory access at `addr` (cache + SFI mask).
+    /// The SFI mask is a single ALU op that pipelines with the access;
+    /// we amortize it as one cycle per three masked accesses.
+    pub(crate) fn charge_mem(&mut self, addr: u64, regular: bool) {
+        self.stats.cycles += self.config.cost.mem_hit;
+        if !self.cache.access(addr) {
+            self.stats.cycles += self.config.cost.mem_miss;
+        }
+        if regular && self.config.isolation == Isolation::Sfi {
+            self.sfi_masked += 1;
+            if self.sfi_masked % 3 == 0 {
+                self.stats.cycles += self.config.cost.sfi_mask;
+            }
+        }
+    }
+
+    /// Charges the safe-store traffic described by `touched`.
+    pub(crate) fn charge_store_touches(&mut self, touched: levee_rt::Touched) {
+        for addr in touched.iter() {
+            self.stats.cycles += self.config.cost.mem_hit;
+            if !self.cache.access(addr) {
+                self.stats.cycles += self.config.cost.mem_miss;
+            }
+        }
+        if touched.page_fault {
+            self.stats.cycles += self.config.cost.page_fault;
+            self.stats.page_faults += 1;
+        }
+        let op_cost = match self.config.hardware {
+            crate::config::HardwareModel::Software => self.config.cost.store_op,
+            crate::config::HardwareModel::Mpx => self.config.cost.mpx_store_op,
+        };
+        self.stats.cycles += op_cost;
+    }
+
+    pub(crate) fn charge_check(&mut self) {
+        self.stats.checks += 1;
+        self.stats.cycles += match self.config.hardware {
+            crate::config::HardwareModel::Software => self.config.cost.check,
+            crate::config::HardwareModel::Mpx => self.config.cost.mpx_check,
+        };
+    }
+
+    // ---- guarded program memory access ------------------------------------
+
+    /// Converts a raw memory error into a trap.
+    fn mem_trap(e: MemError) -> Trap {
+        match e {
+            MemError::Unmapped { addr } => Trap::Unmapped { addr },
+            MemError::WriteProtected { addr } => Trap::WriteProtected { addr },
+        }
+    }
+
+    /// Enforces the isolation invariant for an access from `space`.
+    pub(crate) fn isolation_check(&self, addr: u64, space: MemSpace) -> Result<(), Trap> {
+        if space == MemSpace::Regular && self.layout.in_safe_region(addr) {
+            return match self.config.isolation {
+                Isolation::None => Ok(()),
+                Isolation::Segmentation | Isolation::Sfi => Err(Trap::SafeRegion { addr }),
+                // Under information hiding a regular access to the safe
+                // region means the program (or attacker) somehow forged
+                // an address; it behaves like a wild access.
+                Isolation::InfoHiding => Err(Trap::Unmapped { addr }),
+            };
+        }
+        Ok(())
+    }
+
+    /// Program-level typed read.
+    pub(crate) fn prog_read(&mut self, addr: u64, size: u64, space: MemSpace) -> Result<u64, Trap> {
+        self.isolation_check(addr, space)?;
+        self.charge_mem(addr, space == MemSpace::Regular);
+        self.mem.read_uint(addr, size).map_err(Self::mem_trap)
+    }
+
+    /// Program-level typed write.
+    pub(crate) fn prog_write(
+        &mut self,
+        addr: u64,
+        value: u64,
+        size: u64,
+        space: MemSpace,
+    ) -> Result<(), Trap> {
+        self.isolation_check(addr, space)?;
+        self.charge_mem(addr, space == MemSpace::Regular);
+        self.mem.write_uint(addr, value, size).map_err(Self::mem_trap)
+    }
+
+    // ---- register access ---------------------------------------------------
+
+    pub(crate) fn frame(&self) -> &Frame {
+        self.frames.last().expect("no active frame")
+    }
+
+    pub(crate) fn frame_mut(&mut self) -> &mut Frame {
+        self.frames.last_mut().expect("no active frame")
+    }
+
+    pub(crate) fn eval(&self, op: Operand) -> V {
+        match op {
+            Operand::Const(c) => V::int(c as u64),
+            Operand::Value(v) => self.frame().regs[v.0 as usize],
+        }
+    }
+
+    pub(crate) fn set_reg(&mut self, dest: ValueId, v: V) {
+        self.frame_mut().regs[dest.0 as usize] = v;
+    }
+
+    /// Deterministic LCG for the `rand` intrinsic.
+    pub(crate) fn next_rand(&mut self) -> u64 {
+        self.rng_state = self
+            .rng_state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.rng_state >> 16
+    }
+}

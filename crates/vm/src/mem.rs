@@ -1,0 +1,246 @@
+//! Sparse byte-addressable memory with region permissions.
+//!
+//! One flat 64-bit space backs both the regular region and the safe
+//! region; *who is allowed to touch what* is decided by the caller (the
+//! machine) according to the isolation model — this module only provides
+//! paging, endianness and write protection of code/rodata.
+
+use std::collections::HashMap;
+
+/// Page size of the backing store.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Why a raw memory access failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// Read of a page that was never written or reserved (wild pointer).
+    Unmapped { addr: u64 },
+    /// Write to write-protected memory (code, rodata).
+    WriteProtected { addr: u64 },
+}
+
+/// Sparse paged memory.
+#[derive(Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    /// Write-protected address ranges (code segment, read-only globals).
+    protected: Vec<(u64, u64)>,
+    /// Ranges that reads may touch without an explicit prior write
+    /// (mapped-but-zero regions: stacks, bss). Reads elsewhere fault.
+    mapped: Vec<(u64, u64)>,
+}
+
+impl Memory {
+    /// Creates an empty memory image.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks `[start, start+len)` write-protected (returns nothing; the
+    /// protection is enforced on every subsequent write).
+    pub fn protect(&mut self, start: u64, len: u64) {
+        self.protected.push((start, start.saturating_add(len)));
+    }
+
+    /// Maps `[start, start+len)` as readable zero-initialized memory.
+    pub fn map_zero(&mut self, start: u64, len: u64) {
+        self.mapped.push((start, start.saturating_add(len)));
+    }
+
+    fn is_protected(&self, addr: u64) -> bool {
+        self.protected.iter().any(|(s, e)| (*s..*e).contains(&addr))
+    }
+
+    fn is_mapped(&self, addr: u64) -> bool {
+        self.mapped.iter().any(|(s, e)| (*s..*e).contains(&addr))
+            || self.pages.contains_key(&(addr / PAGE_SIZE))
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> Result<u8, MemError> {
+        if !self.is_mapped(addr) {
+            return Err(MemError::Unmapped { addr });
+        }
+        Ok(self
+            .pages
+            .get(&(addr / PAGE_SIZE))
+            .map(|p| p[(addr % PAGE_SIZE) as usize])
+            .unwrap_or(0))
+    }
+
+    /// Writes one byte. Writes to pages that were never mapped or
+    /// written fault, like a wild store would.
+    pub fn write_u8(&mut self, addr: u64, val: u8) -> Result<(), MemError> {
+        if self.is_protected(addr) {
+            return Err(MemError::WriteProtected { addr });
+        }
+        if !self.is_mapped(addr) {
+            return Err(MemError::Unmapped { addr });
+        }
+        let page = self
+            .pages
+            .entry(addr / PAGE_SIZE)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE as usize]));
+        page[(addr % PAGE_SIZE) as usize] = val;
+        Ok(())
+    }
+
+    /// Writes one byte ignoring write protection — used only when the
+    /// loader materializes the initial image.
+    pub fn loader_write_u8(&mut self, addr: u64, val: u8) {
+        let page = self
+            .pages
+            .entry(addr / PAGE_SIZE)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE as usize]));
+        page[(addr % PAGE_SIZE) as usize] = val;
+    }
+
+    /// Reads a little-endian unsigned integer of `size` ∈ {1,2,4,8}.
+    pub fn read_uint(&self, addr: u64, size: u64) -> Result<u64, MemError> {
+        debug_assert!(matches!(size, 1 | 2 | 4 | 8));
+        let mut v: u64 = 0;
+        for i in 0..size {
+            v |= (self.read_u8(addr + i)? as u64) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    /// Writes a little-endian unsigned integer of `size` ∈ {1,2,4,8}.
+    pub fn write_uint(&mut self, addr: u64, val: u64, size: u64) -> Result<(), MemError> {
+        debug_assert!(matches!(size, 1 | 2 | 4 | 8));
+        for i in 0..size {
+            self.write_u8(addr + i, (val >> (8 * i)) as u8)?;
+        }
+        Ok(())
+    }
+
+    /// Loader variant of [`write_uint`](Self::write_uint).
+    pub fn loader_write_uint(&mut self, addr: u64, val: u64, size: u64) {
+        for i in 0..size {
+            self.loader_write_u8(addr + i, (val >> (8 * i)) as u8);
+        }
+    }
+
+    /// Copies `len` bytes from `src` to `dst` with memmove semantics.
+    pub fn copy(&mut self, dst: u64, src: u64, len: u64) -> Result<(), MemError> {
+        let bytes: Result<Vec<u8>, _> = (0..len).map(|i| self.read_u8(src + i)).collect();
+        let bytes = bytes?;
+        for (i, b) in bytes.into_iter().enumerate() {
+            self.write_u8(dst + i as u64, b)?;
+        }
+        Ok(())
+    }
+
+    /// Fills `[dst, dst+len)` with `byte`.
+    pub fn fill(&mut self, dst: u64, byte: u8, len: u64) -> Result<(), MemError> {
+        for i in 0..len {
+            self.write_u8(dst + i, byte)?;
+        }
+        Ok(())
+    }
+
+    /// Reads a NUL-terminated string of at most `max` bytes.
+    pub fn read_cstr(&self, addr: u64, max: u64) -> Result<Vec<u8>, MemError> {
+        let mut out = Vec::new();
+        for i in 0..max {
+            let b = self.read_u8(addr + i)?;
+            if b == 0 {
+                break;
+            }
+            out.push(b);
+        }
+        Ok(out)
+    }
+
+    /// Number of resident (materialized) pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Resident bytes (pages × page size) — the denominator of the
+    /// memory-overhead experiments.
+    pub fn resident_bytes(&self) -> u64 {
+        self.pages.len() as u64 * PAGE_SIZE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uint_roundtrip_little_endian() {
+        let mut m = Memory::new();
+        m.map_zero(0x1000, 4096);
+        m.write_uint(0x1000, 0x1122_3344_5566_7788, 8).unwrap();
+        assert_eq!(m.read_uint(0x1000, 8).unwrap(), 0x1122_3344_5566_7788);
+        assert_eq!(m.read_u8(0x1000).unwrap(), 0x88); // little-endian
+        assert_eq!(m.read_uint(0x1004, 4).unwrap(), 0x1122_3344);
+    }
+
+    #[test]
+    fn unmapped_read_faults() {
+        let m = Memory::new();
+        assert_eq!(
+            m.read_u8(0xdead),
+            Err(MemError::Unmapped { addr: 0xdead })
+        );
+    }
+
+    #[test]
+    fn mapped_zero_reads_as_zero() {
+        let mut m = Memory::new();
+        m.map_zero(0x8000, 4096);
+        assert_eq!(m.read_uint(0x8000, 8).unwrap(), 0);
+        assert!(m.read_u8(0x7fff).is_err());
+    }
+
+    #[test]
+    fn write_protection_blocks_writes_but_not_loader() {
+        let mut m = Memory::new();
+        m.loader_write_uint(0x40_0000, 0xfeed, 8);
+        m.protect(0x40_0000, 4096);
+        assert_eq!(
+            m.write_u8(0x40_0000, 1),
+            Err(MemError::WriteProtected { addr: 0x40_0000 })
+        );
+        // Unmapped writes fault like wild stores.
+        assert_eq!(m.write_u8(0x9999_0000, 1), Err(MemError::Unmapped { addr: 0x9999_0000 }));
+        m.loader_write_u8(0x40_0000, 7); // loader bypasses protection
+        assert_eq!(m.read_u8(0x40_0000).unwrap(), 7);
+    }
+
+    #[test]
+    fn copy_handles_overlap() {
+        let mut m = Memory::new();
+        m.map_zero(0x100, 256);
+        for i in 0..8u64 {
+            m.write_u8(0x100 + i, i as u8).unwrap();
+        }
+        m.copy(0x102, 0x100, 8).unwrap(); // overlapping forward copy
+        assert_eq!(m.read_u8(0x102).unwrap(), 0);
+        assert_eq!(m.read_u8(0x109).unwrap(), 7);
+        assert_eq!(m.read_u8(0x103).unwrap(), 1);
+    }
+
+    #[test]
+    fn cstr_reading() {
+        let mut m = Memory::new();
+        m.map_zero(0x200, 256);
+        for (i, b) in b"hello\0world".iter().enumerate() {
+            m.write_u8(0x200 + i as u64, *b).unwrap();
+        }
+        assert_eq!(m.read_cstr(0x200, 64).unwrap(), b"hello");
+        assert_eq!(m.read_cstr(0x206, 5).unwrap(), b"world");
+    }
+
+    #[test]
+    fn fill_and_resident_accounting() {
+        let mut m = Memory::new();
+        m.map_zero(0x3000, 4096);
+        m.fill(0x3000, 0xAB, 16).unwrap();
+        assert_eq!(m.read_u8(0x300f).unwrap(), 0xAB);
+        assert_eq!(m.resident_pages(), 1);
+        assert_eq!(m.resident_bytes(), PAGE_SIZE);
+    }
+}

@@ -1,0 +1,128 @@
+//! Execution statistics: the raw material of every table and figure.
+
+/// Counters accumulated during one run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecStats {
+    /// Total simulated cycles (the "time" axis of every overhead table).
+    pub cycles: u64,
+    /// Instructions executed.
+    pub insts: u64,
+    /// Plain memory operations executed (loads + stores).
+    pub mem_ops: u64,
+    /// Instrumented sensitive-pointer loads/stores executed.
+    pub cpi_mem_ops: u64,
+    /// Bounds / code-pointer checks executed.
+    pub checks: u64,
+    /// L1 hits.
+    pub cache_hits: u64,
+    /// L1 misses.
+    pub cache_misses: u64,
+    /// Page faults charged (first touches of store pages).
+    pub page_faults: u64,
+    /// Calls executed.
+    pub calls: u64,
+    /// Calls that had to set up an unsafe stack frame.
+    pub unsafe_frames: u64,
+    /// safe-pointer-store entries at peak.
+    pub store_entries_peak: u64,
+    /// Safe-pointer-store resident bytes at end of run.
+    pub store_bytes: u64,
+    /// Regular-memory resident bytes at end of run.
+    pub regular_bytes: u64,
+    /// Peak heap bytes.
+    pub heap_peak: u64,
+    /// Bytes of attacker payload consumed.
+    pub input_consumed: u64,
+}
+
+impl ExecStats {
+    /// Fraction of memory operations that were instrumented — the MO
+    /// column of Table 2, measured dynamically.
+    pub fn instrumented_mem_fraction(&self) -> f64 {
+        let total = self.mem_ops + self.cpi_mem_ops;
+        if total == 0 {
+            0.0
+        } else {
+            self.cpi_mem_ops as f64 / total as f64
+        }
+    }
+
+    /// Overhead of `self` relative to a baseline run, in percent
+    /// (positive = slower).
+    pub fn overhead_pct(&self, baseline: &ExecStats) -> f64 {
+        if baseline.cycles == 0 {
+            return 0.0;
+        }
+        (self.cycles as f64 / baseline.cycles as f64 - 1.0) * 100.0
+    }
+
+    /// Memory overhead relative to a baseline run, in percent, counting
+    /// safe-region store bytes against the baseline's regular residency.
+    pub fn memory_overhead_pct(&self, baseline: &ExecStats) -> f64 {
+        if baseline.regular_bytes == 0 {
+            return 0.0;
+        }
+        let extra = (self.regular_bytes + self.store_bytes) as f64
+            - baseline.regular_bytes as f64;
+        extra / baseline.regular_bytes as f64 * 100.0
+    }
+
+    /// Safe-pointer-store memory as a fraction of the baseline's
+    /// regular residency — the §5.2 memory-overhead metric (safe stacks
+    /// replace regular stacks one-for-one and are excluded).
+    pub fn store_overhead_pct(&self, baseline: &ExecStats) -> f64 {
+        if baseline.regular_bytes == 0 {
+            return 0.0;
+        }
+        self.store_bytes as f64 / baseline.regular_bytes as f64 * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_computation() {
+        let base = ExecStats {
+            cycles: 1000,
+            ..Default::default()
+        };
+        let run = ExecStats {
+            cycles: 1084,
+            ..Default::default()
+        };
+        assert!((run.overhead_pct(&base) - 8.4).abs() < 1e-9);
+        // Negative overhead (safe stack speedups) is representable.
+        let fast = ExecStats {
+            cycles: 958,
+            ..Default::default()
+        };
+        assert!(fast.overhead_pct(&base) < 0.0);
+    }
+
+    #[test]
+    fn instrumented_fraction() {
+        let s = ExecStats {
+            mem_ops: 935,
+            cpi_mem_ops: 65,
+            ..Default::default()
+        };
+        assert!((s.instrumented_mem_fraction() - 0.065).abs() < 1e-9);
+        assert_eq!(ExecStats::default().instrumented_mem_fraction(), 0.0);
+    }
+
+    #[test]
+    fn memory_overhead() {
+        let base = ExecStats {
+            regular_bytes: 1000,
+            ..Default::default()
+        };
+        let run = ExecStats {
+            regular_bytes: 1000,
+            store_bytes: 139,
+            ..Default::default()
+        };
+        assert!((run.memory_overhead_pct(&base) - 13.9).abs() < 1e-9);
+    }
+}

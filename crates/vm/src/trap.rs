@@ -1,0 +1,156 @@
+//! The trap taxonomy: every way an execution can stop.
+//!
+//! Traps are values, not panics, so every test and every experiment can
+//! assert *which* mechanism fired. The crucial distinction is between
+//! [`Trap::Hijacked`] — the attacker reached their goal, the defense
+//! FAILED — and everything else, which counts as the attack being
+//! prevented (whether detected cleanly or by a crash).
+
+/// What an attacker was trying to reach; attached to attack goals and
+/// reported on success.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GoalKind {
+    /// Execute injected shellcode in a writable region.
+    Shellcode,
+    /// Return-to-libc: reach `system()` (or similar) with attacker args.
+    Ret2Libc,
+    /// Start a ROP/JOP gadget chain in the code segment.
+    RopGadget,
+    /// Divert an indirect call to an existing, unintended function.
+    FuncReuse,
+}
+
+/// Which CPI check detected a violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpiViolationKind {
+    /// Spatial bounds check failed on a sensitive-pointer dereference.
+    Bounds,
+    /// Temporal id check failed (use of a pointer based on a freed
+    /// object).
+    Temporal,
+    /// Indirect-control-transfer operand was not a genuine code pointer.
+    NotACodePointer,
+    /// Debug-mode mismatch between the safe-store copy and the regular
+    /// copy of a sensitive pointer.
+    DebugMismatch,
+}
+
+/// Why a run stopped abnormally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trap {
+    /// THE ATTACK SUCCEEDED: control reached an attacker goal.
+    Hijacked { goal: GoalKind, addr: u64 },
+    /// A CPI/CPS check fired (attack deterministically prevented).
+    Cpi { kind: CpiViolationKind, addr: u64 },
+    /// A CFI check rejected an indirect-transfer target.
+    Cfi { addr: u64 },
+    /// Stack-cookie mismatch on return.
+    Cookie,
+    /// Shadow-stack mismatch on return.
+    ShadowStack { expected: u64, got: u64 },
+    /// Control transferred into non-executable memory with DEP/NX on.
+    Nx { addr: u64 },
+    /// A regular-region memory operation touched the safe region under
+    /// segmentation or SFI isolation.
+    SafeRegion { addr: u64 },
+    /// Write to write-protected memory (code, rodata, GOT).
+    WriteProtected { addr: u64 },
+    /// Wild memory access (unmapped page) — a plain crash.
+    Unmapped { addr: u64 },
+    /// Control transferred to an address that is not valid code.
+    BadControl { addr: u64 },
+    /// SoftBound-style full-memory-safety bounds violation.
+    SoftBound { addr: u64 },
+    /// Integer division by zero.
+    DivByZero,
+    /// Executed an `unreachable` terminator (frontend/lowering bug).
+    Unreachable,
+    /// The program exceeded its fuel budget.
+    OutOfFuel,
+    /// Stack overflow (regular, unsafe or safe stack exhausted).
+    StackOverflow,
+    /// Out of heap memory.
+    OutOfMemory,
+    /// Explicit `abort()` call by the program.
+    ProgramAbort,
+    /// Internal marker: `exit(code)` was called. The run loop converts
+    /// this into [`ExitStatus::Exited`]; it never escapes the machine.
+    ProgramExit(i64),
+}
+
+impl Trap {
+    /// True when the trap means the attacker won.
+    pub fn is_hijack(&self) -> bool {
+        matches!(self, Trap::Hijacked { .. })
+    }
+
+    /// True when a *deployed defense mechanism* (not a plain crash)
+    /// detected and stopped the attack.
+    pub fn is_detection(&self) -> bool {
+        matches!(
+            self,
+            Trap::Cpi { .. }
+                | Trap::Cfi { .. }
+                | Trap::Cookie
+                | Trap::ShadowStack { .. }
+                | Trap::Nx { .. }
+                | Trap::SafeRegion { .. }
+                | Trap::SoftBound { .. }
+        )
+    }
+}
+
+/// How an execution ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExitStatus {
+    /// Normal termination with an exit code.
+    Exited(i64),
+    /// Abnormal termination.
+    Trapped(Trap),
+}
+
+impl ExitStatus {
+    /// True for a clean exit with code 0.
+    pub fn is_success(&self) -> bool {
+        matches!(self, ExitStatus::Exited(0))
+    }
+
+    /// True when the run ended in a successful hijack.
+    pub fn is_hijack(&self) -> bool {
+        matches!(self, ExitStatus::Trapped(t) if t.is_hijack())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hijack_classification() {
+        let h = Trap::Hijacked {
+            goal: GoalKind::Shellcode,
+            addr: 0x1000,
+        };
+        assert!(h.is_hijack());
+        assert!(!h.is_detection());
+        let c = Trap::Cpi {
+            kind: CpiViolationKind::Bounds,
+            addr: 0x1000,
+        };
+        assert!(!c.is_hijack());
+        assert!(c.is_detection());
+        assert!(!Trap::Unmapped { addr: 0 }.is_detection());
+    }
+
+    #[test]
+    fn exit_status_helpers() {
+        assert!(ExitStatus::Exited(0).is_success());
+        assert!(!ExitStatus::Exited(1).is_success());
+        assert!(ExitStatus::Trapped(Trap::Hijacked {
+            goal: GoalKind::RopGadget,
+            addr: 0
+        })
+        .is_hijack());
+        assert!(!ExitStatus::Trapped(Trap::Cookie).is_hijack());
+    }
+}

@@ -1,0 +1,670 @@
+//! End-to-end machine tests with hand-assembled IR: correctness of
+//! execution, and the full attack/defense semantics of the paper's
+//! threat model, exercised without the frontend.
+
+use levee_ir::prelude::*;
+use levee_vm::{
+    CpiViolationKind, ExitStatus, GoalKind, Isolation, Machine, Trap, VmConfig,
+};
+
+/// Builds: `main` prints `6*7`, returns 0.
+fn arithmetic_module() -> Module {
+    let mut m = Module::new("arith");
+    let mut b = FuncBuilder::new("main", FnSig::new(vec![], Ty::I32));
+    let x = b.bin(BinOp::Mul, 6, 7, Ty::I64);
+    b.intrinsic(Intrinsic::PrintInt, vec![x.into()], Ty::Void);
+    b.ret(Some(0.into()));
+    m.add_func(b.finish());
+    m
+}
+
+#[test]
+fn arithmetic_program_runs() {
+    let m = arithmetic_module();
+    let mut vm = Machine::new(&m, VmConfig::default());
+    let out = vm.run(b"");
+    assert_eq!(out.status, ExitStatus::Exited(0));
+    assert_eq!(out.output, "42");
+    assert!(out.stats.insts > 0 && out.stats.cycles > 0);
+}
+
+#[test]
+fn execution_is_deterministic() {
+    let m = arithmetic_module();
+    let a = Machine::new(&m, VmConfig::default().with_seed(9)).run(b"");
+    let b = Machine::new(&m, VmConfig::default().with_seed(9)).run(b"");
+    assert_eq!(a.stats.cycles, b.stats.cycles);
+    assert_eq!(a.stats.insts, b.stats.insts);
+}
+
+/// A loop summing 0..n through memory (exercises load/store/branches).
+fn loop_module(n: i64) -> Module {
+    let mut m = Module::new("loop");
+    let mut b = FuncBuilder::new("main", FnSig::new(vec![], Ty::I32));
+    let acc = b.alloca(Ty::I64, 1);
+    let i = b.alloca(Ty::I64, 1);
+    b.store(acc, 0, Ty::I64);
+    b.store(i, 0, Ty::I64);
+    let header = b.new_block();
+    let body = b.new_block();
+    let exit = b.new_block();
+    b.br(header);
+    b.switch_to(header);
+    let iv = b.load(i, Ty::I64);
+    let c = b.cmp(CmpOp::Lt, iv, n);
+    b.cond_br(c, body, exit);
+    b.switch_to(body);
+    let iv2 = b.load(i, Ty::I64);
+    let av = b.load(acc, Ty::I64);
+    let sum = b.bin(BinOp::Add, av, iv2, Ty::I64);
+    b.store(acc, sum, Ty::I64);
+    let inc = b.bin(BinOp::Add, iv2, 1, Ty::I64);
+    b.store(i, inc, Ty::I64);
+    b.br(header);
+    b.switch_to(exit);
+    let fin = b.load(acc, Ty::I64);
+    b.intrinsic(Intrinsic::PrintInt, vec![fin.into()], Ty::Void);
+    b.ret(Some(0.into()));
+    m.add_func(b.finish());
+    m
+}
+
+#[test]
+fn loop_sums_correctly() {
+    let m = loop_module(100);
+    let out = Machine::new(&m, VmConfig::default()).run(b"");
+    assert_eq!(out.output, "4950");
+    assert_eq!(out.status, ExitStatus::Exited(0));
+}
+
+#[test]
+fn heap_roundtrip_and_free() {
+    let mut m = Module::new("heap");
+    let mut b = FuncBuilder::new("main", FnSig::new(vec![], Ty::I32));
+    let p = b
+        .intrinsic(Intrinsic::Malloc, vec![64.into()], Ty::I64.ptr_to())
+        .unwrap();
+    b.store(p, 1234, Ty::I64);
+    let v = b.load(p, Ty::I64);
+    b.intrinsic(Intrinsic::PrintInt, vec![v.into()], Ty::Void);
+    b.intrinsic(Intrinsic::Free, vec![p.into()], Ty::Void);
+    b.ret(Some(0.into()));
+    m.add_func(b.finish());
+    let out = Machine::new(&m, VmConfig::default()).run(b"");
+    assert_eq!(out.output, "1234");
+    assert_eq!(out.status, ExitStatus::Exited(0));
+}
+
+// ---------------------------------------------------------------------------
+// The classic stack smash: victim() reads unbounded input into a
+// 16-byte stack buffer; the payload overwrites the return address.
+// ---------------------------------------------------------------------------
+
+/// Builds the vulnerable module. `protection` applies to `victim`.
+fn smash_module(protection: Protection) -> Module {
+    let mut m = Module::new("smash");
+    let mut v = FuncBuilder::new("victim", FnSig::new(vec![], Ty::Void));
+    let buf = v.alloca(Ty::Array(Box::new(Ty::I8), 16), 1);
+    v.intrinsic(
+        Intrinsic::ReadInput,
+        vec![buf.into(), Operand::Const(-1)],
+        Ty::I64,
+    );
+    v.ret(None);
+    let mut vf = v.finish();
+    vf.protection = protection;
+    if protection.safestack {
+        // The safe-stack pass would classify this escaping buffer as
+        // unsafe; emulate its output.
+        for block in &mut vf.blocks {
+            for inst in &mut block.insts {
+                if let Inst::Alloca { stack, .. } = inst {
+                    *stack = StackKind::Unsafe;
+                }
+            }
+        }
+    }
+    let victim = m.add_func(vf);
+
+    let mut b = FuncBuilder::new("main", FnSig::new(vec![], Ty::I32));
+    b.call(victim, vec![], Ty::Void);
+    b.intrinsic(Intrinsic::PrintInt, vec![7.into()], Ty::Void);
+    b.ret(Some(0.into()));
+    m.add_func(b.finish());
+    m
+}
+
+/// Payload layout for the unprotected frame: buf[16] | saved ret.
+/// With a cookie there are 8 extra bytes between them.
+fn smash_payload(cookie_gap: bool, target: u64) -> Vec<u8> {
+    let mut p = vec![b'A'; 16];
+    if cookie_gap {
+        p.extend_from_slice(&[b'B'; 8]);
+    }
+    p.extend_from_slice(&target.to_le_bytes());
+    p
+}
+
+/// The buffer's runtime address in the fixed layout:
+/// main ret slot (stack_top-8), victim ret slot (-16), buf (-32).
+fn smash_buf_addr() -> u64 {
+    levee_vm::layout::STACK_TOP - 32
+}
+
+#[test]
+fn stack_smash_wins_without_defenses() {
+    let m = smash_module(Protection::default());
+    let mut vm = Machine::new(&m, VmConfig::legacy_unprotected());
+    let shellcode = smash_buf_addr();
+    vm.add_goal(shellcode, GoalKind::Shellcode);
+    let out = vm.run(&smash_payload(false, shellcode));
+    assert_eq!(
+        out.status,
+        ExitStatus::Trapped(Trap::Hijacked {
+            goal: GoalKind::Shellcode,
+            addr: shellcode
+        })
+    );
+}
+
+#[test]
+fn dep_blocks_code_injection_but_not_ret2libc() {
+    let m = smash_module(Protection::default());
+    // NX on: shellcode in the stack buffer no longer executes.
+    let mut vm = Machine::new(&m, VmConfig::default());
+    let shellcode = smash_buf_addr();
+    vm.add_goal(shellcode, GoalKind::Shellcode);
+    let out = vm.run(&smash_payload(false, shellcode));
+    assert_eq!(out.status, ExitStatus::Trapped(Trap::Nx { addr: shellcode }));
+
+    // …but return-to-libc still works: jump to system()'s entry.
+    let mut vm = Machine::new(&m, VmConfig::default());
+    let system = vm.intrinsic_entry(Intrinsic::System);
+    vm.add_goal(system, GoalKind::Ret2Libc);
+    let out = vm.run(&smash_payload(false, system));
+    assert_eq!(
+        out.status,
+        ExitStatus::Trapped(Trap::Hijacked {
+            goal: GoalKind::Ret2Libc,
+            addr: system
+        })
+    );
+}
+
+#[test]
+fn stack_cookie_detects_contiguous_overflow() {
+    let m = smash_module(Protection {
+        stack_cookie: true,
+        ..Protection::default()
+    });
+    let mut vm = Machine::new(&m, VmConfig::default());
+    let system = vm.intrinsic_entry(Intrinsic::System);
+    vm.add_goal(system, GoalKind::Ret2Libc);
+    let out = vm.run(&smash_payload(true, system));
+    assert_eq!(out.status, ExitStatus::Trapped(Trap::Cookie));
+}
+
+#[test]
+fn shadow_stack_detects_ret_corruption() {
+    let m = smash_module(Protection {
+        shadow_stack: true,
+        ..Protection::default()
+    });
+    let mut vm = Machine::new(&m, VmConfig::default());
+    let system = vm.intrinsic_entry(Intrinsic::System);
+    vm.add_goal(system, GoalKind::Ret2Libc);
+    let out = vm.run(&smash_payload(false, system));
+    assert!(matches!(
+        out.status,
+        ExitStatus::Trapped(Trap::ShadowStack { .. })
+    ));
+}
+
+#[test]
+fn safe_stack_makes_return_address_unreachable() {
+    let m = smash_module(Protection {
+        safestack: true,
+        ..Protection::default()
+    });
+    let mut vm = Machine::new(&m, VmConfig::default());
+    let system = vm.intrinsic_entry(Intrinsic::System);
+    vm.add_goal(system, GoalKind::Ret2Libc);
+    // The overflow now lands on the unsafe stack; the return address is
+    // in the safe region. The program survives, unhijacked.
+    let out = vm.run(&smash_payload(false, system));
+    assert_eq!(out.status, ExitStatus::Exited(0));
+    assert_eq!(out.output, "7");
+}
+
+#[test]
+fn coarse_ret_cfi_blocks_arbitrary_targets_but_not_ret_sites() {
+    // CFI rejects returning to system()'s entry…
+    let m = smash_module(Protection {
+        ret_cfi: true,
+        ..Protection::default()
+    });
+    let mut vm = Machine::new(&m, VmConfig::default());
+    let system = vm.intrinsic_entry(Intrinsic::System);
+    vm.add_goal(system, GoalKind::Ret2Libc);
+    let out = vm.run(&smash_payload(false, system));
+    assert_eq!(out.status, ExitStatus::Trapped(Trap::Cfi { addr: system }));
+
+    // …but a different *valid return site* passes the coarse check —
+    // the principled CFI bypass of Göktaş et al. / Davi et al.
+    let mut vm = Machine::new(&m, VmConfig::default());
+    let sites = vm.ret_site_addrs();
+    let gadget = *sites.last().unwrap();
+    vm.add_goal(gadget, GoalKind::RopGadget);
+    let out = vm.run(&smash_payload(false, gadget));
+    assert_eq!(
+        out.status,
+        ExitStatus::Trapped(Trap::Hijacked {
+            goal: GoalKind::RopGadget,
+            addr: gadget
+        })
+    );
+}
+
+#[test]
+fn divergent_return_to_non_goal_crashes() {
+    let m = smash_module(Protection::default());
+    let mut vm = Machine::new(&m, VmConfig::default());
+    // Target a code address that is neither a goal nor the right site.
+    let sites = vm.ret_site_addrs();
+    let out = vm.run(&smash_payload(false, sites[0]));
+    assert!(matches!(
+        out.status,
+        ExitStatus::Trapped(Trap::BadControl { .. })
+    ));
+}
+
+// ---------------------------------------------------------------------------
+// Global function-pointer overwrite (BSS attack) and CPS protection.
+// ---------------------------------------------------------------------------
+
+/// A module with a global `char buf[16]` directly followed by a global
+/// function pointer. `main` reads input into `buf` (overflowable), then
+/// calls through the pointer. `protected` selects CPS instrumentation.
+fn fptr_module(protected: bool) -> Module {
+    let mut m = Module::new("fptr");
+    let sig = FnSig::new(vec![], Ty::Void);
+
+    let mut good = FuncBuilder::new("good", sig.clone());
+    good.intrinsic(Intrinsic::PrintInt, vec![1.into()], Ty::Void);
+    good.ret(None);
+    let good = m.add_func(good.finish());
+
+    let mut evil = FuncBuilder::new("evil", sig.clone());
+    evil.intrinsic(Intrinsic::PrintInt, vec![666.into()], Ty::Void);
+    evil.ret(None);
+    let evil = m.add_func(evil.finish());
+
+    m.add_global(GlobalDef {
+        name: "buf".into(),
+        ty: Ty::Array(Box::new(Ty::I8), 16),
+        init: vec![],
+        read_only: false,
+    });
+    m.add_global(GlobalDef {
+        name: "handler".into(),
+        ty: Ty::fn_ptr(sig.clone()),
+        init: vec![],
+        read_only: false,
+    });
+
+    let mut b = FuncBuilder::new("main", FnSig::new(vec![], Ty::I32));
+    let buf = m.global_by_name("buf").unwrap();
+    let slot = m.global_by_name("handler").unwrap();
+    let bufp = b.global_addr(buf, Ty::I8.ptr_to());
+    let slotp = b.global_addr(slot, Ty::fn_ptr(sig.clone()).ptr_to());
+    let f = b.func_addr(good, sig.clone());
+    if protected {
+        // CPS instrumentation: code-pointer store/load via safe store.
+        b.func_mut_push(Inst::Cpi(CpiOp::PtrStore {
+            policy: Policy::Cps,
+            ptr: slotp.into(),
+            value: f.into(),
+            universal: false,
+        }));
+    } else {
+        b.store(slotp, f, Ty::fn_ptr(sig.clone()));
+    }
+    // The vulnerability: unbounded read into the 16-byte global.
+    b.intrinsic(
+        Intrinsic::ReadInput,
+        vec![bufp.into(), Operand::Const(-1)],
+        Ty::I64,
+    );
+    let callee = if protected {
+        let dest = b.fresh_local(Ty::fn_ptr(sig.clone()));
+        b.func_mut_push(Inst::Cpi(CpiOp::PtrLoad {
+            policy: Policy::Cps,
+            dest,
+            ptr: slotp.into(),
+            universal: false,
+        }));
+        b.func_mut_push(Inst::Cpi(CpiOp::FnCheck {
+            policy: Policy::Cps,
+            callee: dest.into(),
+        }));
+        dest
+    } else {
+        b.load(slotp, Ty::fn_ptr(sig.clone()))
+    };
+    b.call_indirect(callee, sig, vec![]);
+    b.ret(Some(0.into()));
+    m.add_func(b.finish());
+    m.compute_address_taken();
+    assert!(m.func(good).address_taken);
+    assert!(!m.func(evil).address_taken);
+    let _ = evil;
+    m
+}
+
+/// Payload: 16 filler bytes then the target address (the fptr global is
+/// laid out 16-aligned right after the buffer).
+fn fptr_payload(target: u64) -> Vec<u8> {
+    let mut p = vec![b'A'; 16];
+    p.extend_from_slice(&target.to_le_bytes());
+    p
+}
+
+#[test]
+fn global_fptr_overwrite_hijacks_unprotected_program() {
+    let m = fptr_module(false);
+    let mut vm = Machine::new(&m, VmConfig::default());
+    let evil = vm.func_entry("evil").unwrap();
+    vm.add_goal(evil, GoalKind::FuncReuse);
+    let out = vm.run(&fptr_payload(evil));
+    assert_eq!(
+        out.status,
+        ExitStatus::Trapped(Trap::Hijacked {
+            goal: GoalKind::FuncReuse,
+            addr: evil
+        })
+    );
+}
+
+#[test]
+fn cps_store_makes_global_fptr_overwrite_harmless() {
+    let m = fptr_module(true);
+    let mut vm = Machine::new(&m, VmConfig::default());
+    let evil = vm.func_entry("evil").unwrap();
+    vm.add_goal(evil, GoalKind::FuncReuse);
+    let out = vm.run(&fptr_payload(evil));
+    // Silent prevention: the authentic pointer lives in the safe store.
+    assert_eq!(out.status, ExitStatus::Exited(0));
+    assert_eq!(out.output, "1");
+}
+
+#[test]
+fn type_cfi_blocks_signature_mismatch_but_not_address_taken_reuse() {
+    // CFI(TypeSignature) admits any address-taken function of matching
+    // signature; 'evil' is NOT address-taken here, so CFI stops it.
+    let mut m = fptr_module(false);
+    for f in &mut m.funcs {
+        for block in &mut f.blocks {
+            for inst in &mut block.insts {
+                if let Inst::CallIndirect { cfi, .. } = inst {
+                    *cfi = Some(CfiPolicy::TypeSignature);
+                }
+            }
+        }
+    }
+    let mut vm = Machine::new(&m, VmConfig::default());
+    let evil = vm.func_entry("evil").unwrap();
+    vm.add_goal(evil, GoalKind::FuncReuse);
+    let out = vm.run(&fptr_payload(evil));
+    assert_eq!(out.status, ExitStatus::Trapped(Trap::Cfi { addr: evil }));
+}
+
+// ---------------------------------------------------------------------------
+// setjmp / longjmp
+// ---------------------------------------------------------------------------
+
+fn setjmp_module() -> Module {
+    let mut m = Module::new("sj");
+    m.add_global(GlobalDef {
+        name: "jb".into(),
+        ty: Ty::Array(Box::new(Ty::I64), 3),
+        init: vec![],
+        read_only: false,
+    });
+    m.add_global(GlobalDef {
+        name: "buf".into(),
+        ty: Ty::Array(Box::new(Ty::I8), 8),
+        init: vec![],
+        read_only: false,
+    });
+    let mut b = FuncBuilder::new("main", FnSig::new(vec![], Ty::I32));
+    let jb = m.global_by_name("jb").unwrap();
+    let buf = m.global_by_name("buf").unwrap();
+    let jbp = b.global_addr(jb, Ty::I64.ptr_to());
+    let r = b
+        .intrinsic(Intrinsic::Setjmp, vec![jbp.into()], Ty::I32)
+        .unwrap();
+    let back = b.new_block();
+    let first = b.new_block();
+    let c = b.cmp(CmpOp::Ne, r, 0);
+    b.cond_br(c, back, first);
+    b.switch_to(back);
+    b.intrinsic(Intrinsic::PrintInt, vec![r.into()], Ty::Void);
+    b.ret(Some(0.into()));
+    b.switch_to(first);
+    b.intrinsic(Intrinsic::PrintInt, vec![0.into()], Ty::Void);
+    // Vulnerability between setjmp and longjmp: overflowable global read
+    // (buf sits before jb? order: jb first, buf second — so overflow of
+    // buf cannot reach jb; attack instead reads input straight into jb).
+    let bufp = b.global_addr(buf, Ty::I8.ptr_to());
+    b.intrinsic(
+        Intrinsic::ReadInput,
+        vec![bufp.into(), Operand::Const(-1)],
+        Ty::I64,
+    );
+    let jbp2 = b.global_addr(jb, Ty::I64.ptr_to());
+    b.intrinsic(
+        Intrinsic::Longjmp,
+        vec![jbp2.into(), Operand::Const(42)],
+        Ty::Void,
+    );
+    b.unreachable();
+    m.add_func(b.finish());
+    m
+}
+
+#[test]
+fn setjmp_longjmp_roundtrip() {
+    let m = setjmp_module();
+    let out = Machine::new(&m, VmConfig::default()).run(b"");
+    assert_eq!(out.status, ExitStatus::Exited(0));
+    assert_eq!(out.output, "0\n42");
+}
+
+#[test]
+fn corrupted_jmp_buf_hijacks_unprotected_longjmp() {
+    let m = setjmp_module();
+    let mut vm = Machine::new(&m, VmConfig::default());
+    let system = vm.intrinsic_entry(Intrinsic::System);
+    vm.add_goal(system, GoalKind::Ret2Libc);
+    // buf is 16-aligned after jb (24 bytes → padded to 32)? jb is first
+    // global: jb at DATA_BASE, buf at DATA_BASE+32. Overflow buf
+    // backwards is impossible; instead overflow buf by 0 and corrupt jb
+    // directly with the attacker-write primitive before the longjmp.
+    let jb = vm.global_addr("jb").unwrap();
+    let out = vm.run_with_midpoint_corruption(b"", 6, |vm| {
+        vm.attacker_write(jb, &system.to_le_bytes()).unwrap();
+    });
+    assert_eq!(
+        out.status,
+        ExitStatus::Trapped(Trap::Hijacked {
+            goal: GoalKind::Ret2Libc,
+            addr: system
+        })
+    );
+}
+
+#[test]
+fn protected_jmp_buf_survives_corruption() {
+    let m = setjmp_module();
+    let mut config = VmConfig::default();
+    config.protect_runtime_code_ptrs = true;
+    let mut vm = Machine::new(&m, config);
+    let system = vm.intrinsic_entry(Intrinsic::System);
+    vm.add_goal(system, GoalKind::Ret2Libc);
+    let jb = vm.global_addr("jb").unwrap();
+    let out = vm.run_with_midpoint_corruption(b"", 6, |vm| {
+        vm.attacker_write(jb, &system.to_le_bytes()).unwrap();
+    });
+    // The authentic token lives in the safe store; the longjmp proceeds
+    // normally and the program completes.
+    assert_eq!(out.status, ExitStatus::Exited(0));
+    assert_eq!(out.output, "0\n42");
+}
+
+// ---------------------------------------------------------------------------
+// Isolation
+// ---------------------------------------------------------------------------
+
+#[test]
+fn attacker_cannot_write_safe_region_under_isolation() {
+    let m = arithmetic_module();
+    for iso in [Isolation::Segmentation, Isolation::Sfi, Isolation::InfoHiding] {
+        let mut config = VmConfig::default();
+        config.isolation = iso;
+        let mut vm = Machine::new(&m, config);
+        let target = vm.layout().safe_stack_top() - 8;
+        assert!(
+            vm.attacker_write(target, &[0xff; 8]).is_err(),
+            "isolation {iso:?} must block safe-region writes"
+        );
+    }
+    // Ablation: with isolation off, the safe stack is just memory and
+    // the attacker reaches it — CPI's guarantee depends on isolation.
+    let mut config = VmConfig::default();
+    config.isolation = Isolation::None;
+    let mut vm = Machine::new(&m, config);
+    let target = vm.layout().safe_stack_top() - 8;
+    assert!(vm.attacker_write(target, &[0xff; 8]).is_ok());
+}
+
+#[test]
+fn attacker_cannot_modify_code() {
+    let m = arithmetic_module();
+    let mut vm = Machine::new(&m, VmConfig::default());
+    let entry = vm.func_entry("main").unwrap();
+    assert!(vm.attacker_write(entry, &[0x90; 4]).is_err());
+}
+
+#[test]
+fn guessing_the_safe_region_mostly_crashes() {
+    let m = arithmetic_module();
+    let mut config = VmConfig::default();
+    config.isolation = Isolation::InfoHiding;
+    config.seed = 1234;
+    let vm = Machine::new(&m, config);
+    let mut crashes = 0;
+    let mut hits = 0;
+    // Sweep guesses across the candidate window.
+    for i in 0..1024u64 {
+        let guess = levee_vm::layout::SAFE_REGION_MIN
+            + i * levee_vm::layout::SAFE_REGION_ALIGN;
+        match vm.attacker_guess(guess) {
+            levee_vm::GuessOutcome::Hit => hits += 1,
+            levee_vm::GuessOutcome::Crash => crashes += 1,
+            levee_vm::GuessOutcome::Miss => {}
+        }
+    }
+    assert!(hits <= 8, "window of {hits} hits should be tiny");
+    assert!(crashes > 900, "almost all guesses crash ({crashes})");
+}
+
+#[test]
+fn cpi_check_semantics() {
+    // A direct unit-style exercise of Check/FnCheck through the machine.
+    let mut m = Module::new("check");
+    let sig = FnSig::new(vec![], Ty::Void);
+    let mut cb = FuncBuilder::new("cb", sig.clone());
+    cb.ret(None);
+    let cb = m.add_func(cb.finish());
+    let mut b = FuncBuilder::new("main", FnSig::new(vec![], Ty::I32));
+    // In-bounds check passes:
+    let arr = b.alloca(Ty::Array(Box::new(Ty::I64), 4), 1);
+    b.func_mut_push(Inst::Cpi(CpiOp::Check {
+        policy: Policy::Cpi,
+        ptr: arr.into(),
+        size: 8,
+    }));
+    // Forged pointer (int literal) fails FnCheck:
+    let forged = b.cast(CastKind::IntToPtr, Operand::Const(0x40_0000), Ty::fn_ptr(sig.clone()));
+    let ok = b.func_addr(cb, sig.clone());
+    let _ = ok;
+    b.func_mut_push(Inst::Cpi(CpiOp::FnCheck {
+        policy: Policy::Cpi,
+        callee: forged.into(),
+    }));
+    b.ret(Some(0.into()));
+    m.add_func(b.finish());
+    let out = Machine::new(&m, VmConfig::default()).run(b"");
+    assert_eq!(
+        out.status,
+        ExitStatus::Trapped(Trap::Cpi {
+            kind: CpiViolationKind::NotACodePointer,
+            addr: 0x40_0000
+        })
+    );
+}
+
+#[test]
+fn out_of_bounds_cpi_check_traps() {
+    let mut m = Module::new("oob");
+    let mut b = FuncBuilder::new("main", FnSig::new(vec![], Ty::I32));
+    let arr = b.alloca(Ty::Array(Box::new(Ty::I64), 4), 1);
+    let past = b.gep(arr, 4, Ty::I64, 0); // one past the end
+    b.func_mut_push(Inst::Cpi(CpiOp::Check {
+        policy: Policy::Cpi,
+        ptr: past.into(),
+        size: 8,
+    }));
+    b.ret(Some(0.into()));
+    m.add_func(b.finish());
+    let out = Machine::new(&m, VmConfig::default()).run(b"");
+    assert!(matches!(
+        out.status,
+        ExitStatus::Trapped(Trap::Cpi {
+            kind: CpiViolationKind::Bounds,
+            ..
+        })
+    ));
+}
+
+#[test]
+fn use_after_free_detected_with_temporal_checks() {
+    let mut m = Module::new("uaf");
+    let mut b = FuncBuilder::new("main", FnSig::new(vec![], Ty::I32));
+    let p = b
+        .intrinsic(Intrinsic::Malloc, vec![32.into()], Ty::I64.ptr_to())
+        .unwrap();
+    b.intrinsic(Intrinsic::Free, vec![p.into()], Ty::Void);
+    b.func_mut_push(Inst::Cpi(CpiOp::Check {
+        policy: Policy::Cpi,
+        ptr: p.into(),
+        size: 8,
+    }));
+    b.ret(Some(0.into()));
+    m.add_func(b.finish());
+
+    let mut config = VmConfig::default();
+    config.temporal = true;
+    let out = Machine::new(&m, config).run(b"");
+    assert!(matches!(
+        out.status,
+        ExitStatus::Trapped(Trap::Cpi {
+            kind: CpiViolationKind::Temporal,
+            ..
+        })
+    ));
+
+    // Spatial-only mode (the paper's prototype) lets it pass.
+    let out = Machine::new(&m, VmConfig::default()).run(b"");
+    assert_eq!(out.status, ExitStatus::Exited(0));
+}

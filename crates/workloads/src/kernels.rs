@@ -1,0 +1,297 @@
+//! The mini-C kernel library the workloads are mixed from.
+//!
+//! Each kernel isolates one pointer-behaviour profile from the paper's
+//! benchmark discussion (§5.2):
+//!
+//! * [`DISPATCH`] — perlbench's opcode dispatch: a loop calling through
+//!   an array of function pointers (code-pointer loads on every
+//!   iteration; CPS's worst case);
+//! * [`VCALL`] — C++ virtual calls: objects carrying vtable pointers,
+//!   every object access is a sensitive-pointer dereference (CPI's
+//!   worst case: omnetpp, xalancbmk, dealII);
+//! * [`NUMERIC`] — dense integer array arithmetic (milc, lbm, sjeng:
+//!   nothing sensitive, ~zero overhead);
+//! * [`BIGSTACK`] — a function with a large stack array used through
+//!   many iterations: under the safe stack the array moves off the hot
+//!   stack, which is the namd speedup effect;
+//! * [`STRINGS`] — libc string manipulation (char* heuristics);
+//! * [`GRAPH`] — pointer-chasing over insensitive data pointers (mcf);
+//! * [`CBSTRUCT`] — structs embedding function pointers, copied with
+//!   `memcpy` (gcc's profile; exercises the safe memcpy path);
+//! * [`HEAPCHURN`] — malloc/free churn (temporal behaviour).
+//!
+//! Every kernel accumulates into a checksum that the workload prints, so
+//! differential tests can compare outputs across protection configs.
+
+/// Function-pointer opcode dispatch (perlbench-style).
+pub const DISPATCH: &str = r#"
+long disp_acc;
+void op_add(int x) { disp_acc = disp_acc + x; }
+void op_sub(int x) { disp_acc = disp_acc - x; }
+void op_mul(int x) { disp_acc = disp_acc * 3 + x; }
+void op_xor(int x) { disp_acc = disp_acc ^ x; }
+void op_shl(int x) { disp_acc = (disp_acc << 1) ^ x; }
+void op_and(int x) { disp_acc = (disp_acc & 1023) + x; }
+void op_or(int x) { disp_acc = (disp_acc | 3) + x; }
+void op_ror(int x) { disp_acc = (disp_acc >> 1) + x; }
+void (*disp_table[8])(int) = {op_add, op_sub, op_mul, op_xor,
+                              op_shl, op_and, op_or, op_ror};
+long dispatch_kernel(long iters) {
+    disp_acc = 1;
+    long i;
+    for (i = 0; i < iters; i = i + 1) {
+        disp_table[i & 7]((int)(i & 63));
+        disp_table[(i + 3) & 7]((int)(i & 31));
+        disp_table[(i + 5) & 7]((int)(i & 15));
+    }
+    return disp_acc;
+}
+"#;
+
+/// Virtual calls through vtable pointers (C++-benchmark style).
+pub const VCALL: &str = r#"
+struct vobj;
+struct vvt {
+    long (*area)(struct vobj*);
+    long (*grow)(struct vobj*, long);
+};
+struct vobj { struct vvt* vt; long w; long h; };
+long rect_area(struct vobj* o) { return o->w * o->h + (o->w ^ o->h); }
+long rect_grow(struct vobj* o, long d) { o->w = (o->w + d + o->h) & 1023; return o->w; }
+long tri_area(struct vobj* o) { return ((o->w * o->h) >> 1) + (o->h & 15); }
+long tri_grow(struct vobj* o, long d) { o->h = (o->h + d + o->w) & 1023; return o->h; }
+struct vvt rect_vt = {rect_area, rect_grow};
+struct vvt tri_vt = {tri_area, tri_grow};
+long vcall_kernel(long iters) {
+    struct vobj objs[16];
+    long i;
+    for (i = 0; i < 16; i = i + 1) {
+        if ((i & 1) == 0) { objs[i].vt = &rect_vt; } else { objs[i].vt = &tri_vt; }
+        objs[i].w = i + 1;
+        objs[i].h = i + 2;
+    }
+    long acc = 0;
+    for (i = 0; i < iters; i = i + 1) {
+        struct vobj* o = &objs[i & 15];
+        acc = acc + o->vt->area(o);
+        acc = acc + o->vt->grow(o, i & 7);
+        struct vobj* p = &objs[(i + 5) & 15];
+        acc = acc + p->vt->area(p);
+        acc = acc + p->vt->grow(p, i & 3);
+        acc = acc + o->w + p->h;
+    }
+    return acc;
+}
+"#;
+
+/// Dense integer arithmetic over arrays (no sensitive pointers).
+pub const NUMERIC: &str = r#"
+long num_a[256];
+long num_b[256];
+long numeric_kernel(long iters) {
+    long i;
+    for (i = 0; i < 256; i = i + 1) { num_a[i] = i * 3 + 1; num_b[i] = i ^ 5; }
+    long t;
+    long acc = 0;
+    long j = 0;
+    for (t = 0; t < iters; t = t + 1) {
+        num_a[j + 1] = (num_a[j] + num_b[j + 1] * 3) & 65535;
+        acc = acc + num_a[j + 1];
+        j = (j + 1) & 253;
+    }
+    return acc;
+}
+"#;
+
+/// Hot function with a big stack array (safe-stack locality effect).
+pub const BIGSTACK: &str = r#"
+long bigstack_round(long seed) {
+    long scratch[192];
+    long i;
+    for (i = 0; i < 192; i = i + 1) { scratch[i] = seed + i; }
+    long acc = 0;
+    long hot1 = seed;
+    long hot2 = seed * 2 + 1;
+    for (i = 0; i < 192; i = i + 1) {
+        hot1 = hot1 + scratch[i];
+        hot2 = hot2 ^ (hot1 >> 3);
+        acc = acc + hot2;
+    }
+    return acc & 1048575;
+}
+long bigstack_kernel(long iters) {
+    long acc = 0;
+    long t;
+    for (t = 0; t < iters; t = t + 1) {
+        acc = acc + bigstack_round(t);
+    }
+    return acc & 1048575;
+}
+"#;
+
+/// String manipulation (char* heuristic: should stay uninstrumented).
+pub const STRINGS: &str = r#"
+long string_kernel(long iters) {
+    char word[64];
+    char line[256];
+    long acc = 0;
+    long t;
+    for (t = 0; t < iters; t = t + 1) {
+        strcpy(word, "token");
+        line[0] = '\0';
+        long k;
+        for (k = 0; k < 3; k = k + 1) {
+            strcat(line, word);
+            strcat(line, "-");
+        }
+        acc = acc + strlen(line) + (long)line[t & 15];
+    }
+    return acc;
+}
+"#;
+
+/// Pointer-chasing over insensitive data pointers (mcf-style graph).
+pub const GRAPH: &str = r#"
+struct gnode { long val; struct gnode* next; };
+struct gnode graph_arena[128];
+long graph_kernel(long iters) {
+    long i;
+    for (i = 0; i < 128; i = i + 1) {
+        graph_arena[i].val = (i * 7) & 31;
+        graph_arena[i].next = &graph_arena[(i * 17 + 1) & 127];
+    }
+    struct gnode* cur = &graph_arena[0];
+    long acc = 0;
+    long t;
+    for (t = 0; t < iters; t = t + 1) {
+        acc = acc + cur->val;
+        cur = cur->next;
+    }
+    return acc;
+}
+"#;
+
+/// Structs embedding callbacks, moved around with memcpy (gcc profile).
+pub const CBSTRUCT: &str = r#"
+struct cbrec { long tag; void (*cb)(int); long pad1; long pad2; };
+long cb_hits;
+void cb_alpha(int x) { cb_hits = cb_hits + x; }
+void cb_beta(int x) { cb_hits = cb_hits + 2 * x; }
+struct cbrec cb_pool[8];
+long cbstruct_kernel(long iters) {
+    cb_hits = 0;
+    long i;
+    for (i = 0; i < 8; i = i + 1) {
+        cb_pool[i].tag = i;
+        if (i % 2 == 0) { cb_pool[i].cb = cb_alpha; } else { cb_pool[i].cb = cb_beta; }
+    }
+    struct cbrec tmp;
+    long t;
+    for (t = 0; t < iters; t = t + 1) {
+        memcpy((void*)&tmp, (void*)&cb_pool[t & 7], sizeof(struct cbrec));
+        tmp.cb((int)(t & 15));
+    }
+    return cb_hits;
+}
+"#;
+
+/// malloc/free churn with payload writes.
+pub const HEAPCHURN: &str = r#"
+long heap_kernel(long iters) {
+    long acc = 0;
+    long t;
+    long* slots[8];
+    long s;
+    for (s = 0; s < 8; s = s + 1) { slots[s] = 0; }
+    for (t = 0; t < iters; t = t + 1) {
+        long idx = t & 7;
+        if (slots[idx] != 0) {
+            acc = acc + *slots[idx];
+            free((void*)slots[idx]);
+        }
+        long* p = (long*)malloc(32);
+        *p = t;
+        slots[idx] = p;
+    }
+    for (s = 0; s < 8; s = s + 1) {
+        if (slots[s] != 0) { free((void*)slots[s]); }
+    }
+    return acc;
+}
+"#;
+
+/// Bulk byte copies between plain buffers (bzip2/h264ref style).
+pub const BULKCOPY: &str = r#"
+char bulk_src[512];
+char bulk_dst[512];
+long bulkcopy_kernel(long iters) {
+    long i;
+    for (i = 0; i < 512; i = i + 1) { bulk_src[i] = (char)(i * 31 + 7); }
+    long acc = 0;
+    long t;
+    for (t = 0; t < iters; t = t + 1) {
+        memcpy((void*)bulk_dst, (void*)bulk_src, 256 + (t & 255));
+        acc = acc + (long)bulk_dst[t & 511];
+    }
+    return acc;
+}
+"#;
+
+/// A kernel call line for a workload main().
+pub fn call(kernel_fn: &str, iters: u64) -> String {
+    format!("    checksum = checksum ^ (checksum << 3) ^ {kernel_fn}({iters});\n")
+}
+
+/// Assembles a complete workload program from kernel snippets and the
+/// sequence of `(kernel function, iterations)` calls.
+pub fn assemble(kernels: &[&str], calls: &[(&str, u64)]) -> String {
+    let mut src = String::new();
+    for k in kernels {
+        src.push_str(k);
+    }
+    src.push_str("int main() {\n    long checksum = 7;\n");
+    for (f, iters) in calls {
+        src.push_str(&call(f, *iters));
+    }
+    src.push_str("    print_int(checksum);\n    return 0;\n}\n");
+    src
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use levee_vm::{ExitStatus, Machine, VmConfig};
+
+    fn run_kernel(kernel: &str, f: &str) -> String {
+        let src = assemble(&[kernel], &[(f, 200)]);
+        let module = levee_minic::compile(&src, "k").expect("kernel compiles");
+        let out = Machine::new(&module, VmConfig::default()).run(b"");
+        assert_eq!(out.status, ExitStatus::Exited(0), "{f} must run cleanly");
+        out.output
+    }
+
+    #[test]
+    fn all_kernels_compile_and_run() {
+        for (k, f) in [
+            (DISPATCH, "dispatch_kernel"),
+            (VCALL, "vcall_kernel"),
+            (NUMERIC, "numeric_kernel"),
+            (BIGSTACK, "bigstack_kernel"),
+            (STRINGS, "string_kernel"),
+            (GRAPH, "graph_kernel"),
+            (CBSTRUCT, "cbstruct_kernel"),
+            (HEAPCHURN, "heap_kernel"),
+            (BULKCOPY, "bulkcopy_kernel"),
+        ] {
+            let out = run_kernel(k, f);
+            assert!(!out.is_empty(), "{f} must print a checksum");
+        }
+    }
+
+    #[test]
+    fn kernels_are_deterministic() {
+        let a = run_kernel(DISPATCH, "dispatch_kernel");
+        let b = run_kernel(DISPATCH, "dispatch_kernel");
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,201 @@
+//! Measurement harness: build a workload under a configuration, run it
+//! on the VM's cycle model, and report stats — the machinery behind
+//! Tables 1–4 and Figures 3–4.
+
+use levee_core::{build_source, BuildConfig, BuildStats};
+use levee_vm::{ExecStats, ExitStatus, Machine, StoreKind, VmConfig};
+
+use crate::spec::Workload;
+
+/// One measured run.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Workload name.
+    pub name: String,
+    /// Protection configuration.
+    pub config: BuildConfig,
+    /// Runtime statistics (cycles are the "time" axis).
+    pub exec: ExecStats,
+    /// Compile-time statistics (FNUStack / MO data).
+    pub build: BuildStats,
+    /// Program output, for differential checking.
+    pub output: String,
+}
+
+impl Measurement {
+    /// Runtime overhead relative to `baseline`, in percent.
+    pub fn overhead_pct(&self, baseline: &Measurement) -> f64 {
+        self.exec.overhead_pct(&baseline.exec)
+    }
+
+    /// Memory overhead relative to `baseline`, in percent.
+    pub fn memory_overhead_pct(&self, baseline: &Measurement) -> f64 {
+        self.exec.memory_overhead_pct(&baseline.exec)
+    }
+
+    /// Safe-pointer-store memory as % of baseline residency (§5.2).
+    pub fn store_overhead_pct(&self, baseline: &Measurement) -> f64 {
+        self.exec.store_overhead_pct(&baseline.exec)
+    }
+}
+
+/// Builds and runs `workload` at `scale` under `config`, with the given
+/// safe-pointer-store organization.
+pub fn measure(
+    workload: &Workload,
+    scale: u64,
+    config: BuildConfig,
+    store: StoreKind,
+) -> Measurement {
+    measure_source(workload.name, &workload.source(scale), config, store)
+}
+
+/// Like [`measure`], for raw source text.
+pub fn measure_source(
+    name: &str,
+    src: &str,
+    config: BuildConfig,
+    store: StoreKind,
+) -> Measurement {
+    let built = build_source(src, name, config)
+        .unwrap_or_else(|e| panic!("workload {name} failed to build: {e}"));
+    let mut vm_cfg = built.vm_config(VmConfig::default().with_seed(0xBEEF));
+    vm_cfg.store_kind = store;
+    let mut vm = Machine::new(&built.module, vm_cfg);
+    let out = vm.run(b"");
+    assert_eq!(
+        out.status,
+        ExitStatus::Exited(0),
+        "workload {name} under {} must exit cleanly, got {:?} (output: {})",
+        config.name(),
+        out.status,
+        out.output
+    );
+    Measurement {
+        name: name.to_string(),
+        config,
+        exec: out.stats,
+        build: built.stats,
+        output: out.output,
+    }
+}
+
+/// One row of an overhead table: a workload measured under every config,
+/// with the vanilla run as baseline.
+#[derive(Debug, Clone)]
+pub struct OverheadRow {
+    /// Workload name.
+    pub name: String,
+    /// Whether the original benchmark is C++.
+    pub cpp: bool,
+    /// `(config, overhead %)` pairs, excluding the baseline.
+    pub overheads: Vec<(BuildConfig, f64)>,
+    /// The measurements themselves (baseline first).
+    pub measurements: Vec<Measurement>,
+}
+
+impl OverheadRow {
+    /// The overhead for `config`, if measured.
+    pub fn overhead(&self, config: BuildConfig) -> Option<f64> {
+        self.overheads
+            .iter()
+            .find(|(c, _)| *c == config)
+            .map(|(_, o)| *o)
+    }
+}
+
+/// Measures `workload` under vanilla + `configs`; asserts differential
+/// correctness (identical output under every configuration).
+pub fn overhead_row(
+    workload: &Workload,
+    scale: u64,
+    configs: &[BuildConfig],
+    store: StoreKind,
+) -> OverheadRow {
+    let baseline = measure(workload, scale, BuildConfig::Vanilla, store);
+    let mut overheads = Vec::new();
+    let mut measurements = vec![baseline.clone()];
+    for config in configs {
+        let m = measure(workload, scale, *config, store);
+        assert_eq!(
+            m.output, baseline.output,
+            "{} must compute the same result under {}",
+            workload.name,
+            config.name()
+        );
+        overheads.push((*config, m.overhead_pct(&baseline)));
+        measurements.push(m);
+    }
+    OverheadRow {
+        name: workload.name.to_string(),
+        cpp: workload.cpp,
+        overheads,
+        measurements,
+    }
+}
+
+/// Summary statistics over a set of rows (the Table 1 shape).
+pub fn summarize(rows: &[OverheadRow], config: BuildConfig, cpp_filter: Option<bool>) -> (f64, f64, f64) {
+    let mut values: Vec<f64> = rows
+        .iter()
+        .filter(|r| cpp_filter.is_none_or(|want| (r.cpp || !want) && (!r.cpp || want)))
+        .filter_map(|r| r.overhead(config))
+        .collect();
+    if values.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).expect("overheads are finite"));
+    let avg = values.iter().sum::<f64>() / values.len() as f64;
+    let median = values[values.len() / 2];
+    let max = *values.last().expect("non-empty");
+    (avg, median, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::spec_suite;
+
+    #[test]
+    fn measurement_overheads_are_ordered_sanely() {
+        // perlbench profile: dispatch-heavy → CPS < CPI overhead, both
+        // nonzero; safe stack near zero.
+        let w = &spec_suite()[0];
+        let row = overhead_row(
+            w,
+            2,
+            &[BuildConfig::SafeStack, BuildConfig::Cps, BuildConfig::Cpi],
+            StoreKind::ArraySuperpage,
+        );
+        let ss = row.overhead(BuildConfig::SafeStack).unwrap();
+        let cps = row.overhead(BuildConfig::Cps).unwrap();
+        let cpi = row.overhead(BuildConfig::Cpi).unwrap();
+        assert!(ss.abs() < 5.0, "safe stack ~0%, got {ss:.1}%");
+        assert!(cps > 0.0, "CPS adds overhead on dispatch, got {cps:.1}%");
+        assert!(cpi >= cps, "CPI ({cpi:.1}%) ≥ CPS ({cps:.1}%)");
+    }
+
+    #[test]
+    fn numeric_workload_is_nearly_free_under_cpi() {
+        let suite = spec_suite();
+        let lbm = suite.iter().find(|w| w.name == "lbm").unwrap();
+        let row = overhead_row(lbm, 2, &[BuildConfig::Cpi], StoreKind::ArraySuperpage);
+        let cpi = row.overhead(BuildConfig::Cpi).unwrap();
+        assert!(cpi < 3.0, "numeric code under CPI should be ~free, got {cpi:.1}%");
+    }
+
+    #[test]
+    fn summarize_filters_by_language() {
+        let suite = spec_suite();
+        let rows: Vec<OverheadRow> = suite
+            .iter()
+            .take(3) // perlbench, bzip2, gcc — all C
+            .map(|w| overhead_row(w, 1, &[BuildConfig::Cpi], StoreKind::ArraySuperpage))
+            .collect();
+        let (avg_all, _, _) = summarize(&rows, BuildConfig::Cpi, None);
+        let (avg_c, _, _) = summarize(&rows, BuildConfig::Cpi, Some(false));
+        assert!((avg_all - avg_c).abs() < 1e-9, "all three rows are C");
+        let (avg_cpp, _, _) = summarize(&rows, BuildConfig::Cpi, Some(true));
+        assert_eq!(avg_cpp, 0.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! The Phoronix-like system suite (Fig. 4) and the web-server stack
+//! (Table 4).
+//!
+//! The Phoronix workloads model the server-setting benchmarks the paper
+//! ran on FreeBSD; the web stack models the paper's
+//! Apache + mod_wsgi + Python + SQLite + Django deployment, where the
+//! "dynamic page" path runs through an interpreter — the pattern that
+//! made CPI's overhead spike to 138.8% on dynamic pages (and on
+//! pybench in Fig. 4).
+
+use crate::kernels::*;
+use crate::spec::Workload;
+
+macro_rules! mix {
+    ($(($k:ident, $f:literal, $w:literal)),* $(,)?) => {
+        &[$(($k, $f, $w)),*]
+    };
+}
+
+/// The Phoronix-like suite ("server" setting).
+pub fn phoronix_suite() -> Vec<Workload> {
+    vec![
+        Workload {
+            spec_id: "pts/compress-gzip",
+            name: "compress-gzip",
+            cpp: false,
+            mix: mix![(BULKCOPY, "bulkcopy_kernel", 14), (NUMERIC, "numeric_kernel", 110)],
+        },
+        Workload {
+            spec_id: "pts/openssl",
+            name: "openssl",
+            cpp: false,
+            mix: mix![(NUMERIC, "numeric_kernel", 160), (BIGSTACK, "bigstack_kernel", 3)],
+        },
+        Workload {
+            spec_id: "pts/sqlite",
+            name: "sqlite",
+            cpp: false,
+            mix: mix![
+                (GRAPH, "graph_kernel", 70),
+                (STRINGS, "string_kernel", 10),
+                (HEAPCHURN, "heap_kernel", 10),
+                (NUMERIC, "numeric_kernel", 40),
+            ],
+        },
+        Workload {
+            spec_id: "pts/apache",
+            name: "apache",
+            cpp: false,
+            // Module handler tables: light function-pointer dispatch.
+            mix: mix![
+                (STRINGS, "string_kernel", 16),
+                (DISPATCH, "dispatch_kernel", 8),
+                (NUMERIC, "numeric_kernel", 70),
+                (BULKCOPY, "bulkcopy_kernel", 6),
+            ],
+        },
+        Workload {
+            spec_id: "pts/pybench",
+            name: "pybench",
+            cpp: false,
+            // A bytecode interpreter: the Fig. 4 outlier under CPI.
+            mix: mix![
+                (DISPATCH, "dispatch_kernel", 90),
+                (CBSTRUCT, "cbstruct_kernel", 20),
+                (HEAPCHURN, "heap_kernel", 12),
+                (NUMERIC, "numeric_kernel", 10),
+            ],
+        },
+        Workload {
+            spec_id: "pts/phpbench",
+            name: "phpbench",
+            cpp: false,
+            mix: mix![
+                (DISPATCH, "dispatch_kernel", 40),
+                (STRINGS, "string_kernel", 14),
+                (NUMERIC, "numeric_kernel", 50),
+            ],
+        },
+        Workload {
+            spec_id: "pts/encode-mp3",
+            name: "encode-mp3",
+            cpp: false,
+            mix: mix![(NUMERIC, "numeric_kernel", 150), (BULKCOPY, "bulkcopy_kernel", 4)],
+        },
+        Workload {
+            spec_id: "pts/ffmpeg",
+            name: "ffmpeg",
+            cpp: false,
+            mix: mix![
+                (BULKCOPY, "bulkcopy_kernel", 12),
+                (NUMERIC, "numeric_kernel", 110),
+                (CBSTRUCT, "cbstruct_kernel", 4),
+            ],
+        },
+        Workload {
+            spec_id: "pts/john-the-ripper",
+            name: "john-the-ripper",
+            cpp: false,
+            mix: mix![(NUMERIC, "numeric_kernel", 140), (BIGSTACK, "bigstack_kernel", 6)],
+        },
+        Workload {
+            spec_id: "pts/pgbench",
+            name: "pgbench",
+            cpp: false,
+            mix: mix![
+                (GRAPH, "graph_kernel", 50),
+                (STRINGS, "string_kernel", 10),
+                (HEAPCHURN, "heap_kernel", 12),
+                (VCALL, "vcall_kernel", 8),
+                (NUMERIC, "numeric_kernel", 40),
+            ],
+        },
+    ]
+}
+
+/// The three web-stack workloads of Table 4. Each program handles
+/// `scale` requests; throughput = requests ÷ cycles.
+pub fn web_stack() -> Vec<Workload> {
+    vec![
+        Workload {
+            spec_id: "web/static-page",
+            name: "static-page",
+            cpp: false,
+            // Serve a file: header strings + content copy.
+            mix: mix![
+                (STRINGS, "string_kernel", 8),
+                (BULKCOPY, "bulkcopy_kernel", 14),
+                (NUMERIC, "numeric_kernel", 30),
+            ],
+        },
+        Workload {
+            spec_id: "web/wsgi",
+            name: "wsgi-test-page",
+            cpp: false,
+            // Gateway dispatch into a tiny handler.
+            mix: mix![
+                (STRINGS, "string_kernel", 8),
+                (DISPATCH, "dispatch_kernel", 14),
+                (CBSTRUCT, "cbstruct_kernel", 4),
+                (NUMERIC, "numeric_kernel", 30),
+            ],
+        },
+        Workload {
+            spec_id: "web/dynamic-page",
+            name: "dynamic-page",
+            cpp: false,
+            // Full interpreter path: template rendering in "Python".
+            mix: mix![
+                (DISPATCH, "dispatch_kernel", 70),
+                (CBSTRUCT, "cbstruct_kernel", 30),
+                (HEAPCHURN, "heap_kernel", 14),
+                (VCALL, "vcall_kernel", 10),
+                (STRINGS, "string_kernel", 6),
+            ],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use levee_vm::{ExitStatus, Machine, VmConfig};
+
+    #[test]
+    fn system_workloads_compile_and_run() {
+        for w in phoronix_suite().iter().chain(web_stack().iter()) {
+            let module = levee_minic::compile(&w.source(1), w.name)
+                .unwrap_or_else(|e| panic!("{} fails: {e}", w.name));
+            let out = Machine::new(&module, VmConfig::default()).run(b"");
+            assert_eq!(out.status, ExitStatus::Exited(0), "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn suites_have_expected_sizes() {
+        assert_eq!(phoronix_suite().len(), 10);
+        assert_eq!(web_stack().len(), 3);
+    }
+}

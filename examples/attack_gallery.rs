@@ -1,0 +1,98 @@
+//! A gallery of classic control-flow hijacks from the RIPE-like suite,
+//! run against the paper's protection line-up. Each row is one attack;
+//! each column one defense.
+//!
+//! Run with: `cargo run --example attack_gallery`
+
+use levee::core::BuildConfig;
+use levee::defenses::Deployment;
+use levee::ripe::{
+    run_attack, AbuseFn, Attack, AttackResult, Location, Payload, Profile, Target, Technique,
+};
+
+fn main() {
+    let attacks = [
+        (
+            "stack smash → shellcode",
+            Attack {
+                location: Location::Stack,
+                target: Target::RetAddr,
+                technique: Technique::Direct,
+                abuse: AbuseFn::ReadInput,
+                payload: Payload::Shellcode,
+            },
+        ),
+        (
+            "stack smash → ret2libc",
+            Attack {
+                location: Location::Stack,
+                target: Target::RetAddr,
+                technique: Technique::Direct,
+                abuse: AbuseFn::Memcpy,
+                payload: Payload::Ret2Libc,
+            },
+        ),
+        (
+            "indirect write → ROP",
+            Attack {
+                location: Location::Stack,
+                target: Target::RetAddr,
+                technique: Technique::Indirect,
+                abuse: AbuseFn::ReadInput,
+                payload: Payload::Rop,
+            },
+        ),
+        (
+            "heap fptr overwrite",
+            Attack {
+                location: Location::Heap,
+                target: Target::FuncPtr,
+                technique: Technique::Direct,
+                abuse: AbuseFn::LoopCopy,
+                payload: Payload::FuncReuse,
+            },
+        ),
+        (
+            "longjmp buffer hijack",
+            Attack {
+                location: Location::Bss,
+                target: Target::LongjmpBuf,
+                technique: Technique::Direct,
+                abuse: AbuseFn::ReadInput,
+                payload: Payload::Ret2Libc,
+            },
+        ),
+    ];
+    let profiles = [
+        ("legacy", Profile::Deployment(Deployment::Legacy)),
+        ("deployed", Profile::Deployment(Deployment::Deployed)),
+        ("safestack", Profile::Levee(BuildConfig::SafeStack)),
+        ("CPS", Profile::Levee(BuildConfig::Cps)),
+        ("CPI", Profile::Levee(BuildConfig::Cpi)),
+    ];
+
+    print!("{:<26}", "attack \\ defense");
+    for (name, _) in &profiles {
+        print!("{name:>12}");
+    }
+    println!();
+    println!("{}", "-".repeat(26 + 12 * profiles.len()));
+    for (label, attack) in &attacks {
+        print!("{label:<26}");
+        for (_, profile) in &profiles {
+            let cell = match run_attack(attack, profile, 0xCAFE) {
+                AttackResult::Hijacked => "HIJACKED",
+                AttackResult::Detected(_) => "detected",
+                AttackResult::Crashed(_) => "crashed",
+                AttackResult::Survived => "survived",
+            };
+            print!("{cell:>12}");
+        }
+        println!();
+    }
+    println!(
+        "\nHIJACKED = the attacker reached their goal; anything else = prevented.\n\
+         Note the paper's shape: legacy loses everything, the deployed baseline\n\
+         loses selectively, CPS/CPI lose nothing."
+    );
+}

@@ -1,0 +1,115 @@
+//! The Perl-opcode-dispatch story of §3.3: a bytecode interpreter whose
+//! handler table gets corrupted.
+//!
+//! * Coarse CFI admits *any* function as an indirect-call target — the
+//!   attacker executes an arbitrary "opcode" that is not even a handler.
+//! * CPS admits only code pointers the program actually assigned: the
+//!   corrupted regular copy of the table entry is never consulted.
+//!
+//! Run with: `cargo run --example opcode_dispatch`
+
+use levee::core::{build_source, BuildConfig};
+use levee::defenses::{passes, Deployment};
+use levee::vm::{ExitStatus, GoalKind, Machine, Trap, VmConfig};
+
+/// A tiny bytecode VM: opcode handlers dispatched through a table.
+/// `secret_admin` is a function that exists in the binary but is never
+/// in the table (think: an unexported debug routine).
+const SRC: &str = r#"
+    long acc;
+    void op_push(int v) { acc = acc * 10 + v; }
+    void op_add(int v)  { acc = acc + v; }
+    void op_neg(int v)  { acc = 0 - acc; }
+    void secret_admin(int v) { print_str("ADMIN MODE"); }
+
+    char program[64];
+    void (*optable[3])(int) = {op_push, op_add, op_neg};
+
+    int main() {
+        acc = 0;
+        long n = read_input(program, -1);   /* bytecode... and overflow */
+        long i;
+        for (i = 0; i < 4; i = i + 1) {
+            long op = (long)program[i] & 3;
+            if (op < 3) { optable[op]((int)program[i + 4] & 15); }
+        }
+        print_int(acc);
+        return 0;
+    }
+"#;
+
+fn run_with(name: &str, module: &levee::ir::Module, cfg: VmConfig, payload: &[u8]) {
+    let mut vm = Machine::new(module, cfg);
+    let admin = vm.func_entry("secret_admin").expect("exists");
+    vm.add_goal(admin, GoalKind::FuncReuse);
+    let out = vm.run(payload);
+    let verdict = match &out.status {
+        ExitStatus::Trapped(Trap::Hijacked { .. }) => "HIJACKED — attacker ran secret_admin",
+        ExitStatus::Trapped(t) => &format!("stopped ({t:?})"),
+        ExitStatus::Exited(_) => "survived — corrupted copy ignored",
+    };
+    println!("{name:<28} {verdict}");
+}
+
+fn main() {
+    // Payload: 64 bytes of "bytecode" filler that overflows into
+    // optable[0], redirecting it to secret_admin.
+    let probe = levee::minic::compile(SRC, "probe").expect("compiles");
+    let vm = Machine::new(&probe, VmConfig::default());
+    let admin = vm.func_entry("secret_admin").expect("exists");
+    let mut payload = vec![0u8; 64];
+    payload.extend_from_slice(&admin.to_le_bytes());
+
+    println!("corrupting the interpreter's opcode table:\n");
+
+    // Vanilla.
+    let vanilla = levee::minic::compile(SRC, "interp").unwrap();
+    run_with("no protection", &vanilla, VmConfig::default(), &payload);
+
+    // Coarse CFI: secret_admin is a valid function → bypassed.
+    let mut coarse = levee::minic::compile(SRC, "interp").unwrap();
+    Deployment::CoarseCfi.apply(&mut coarse);
+    run_with(
+        "coarse CFI (any function)",
+        &coarse,
+        Deployment::CoarseCfi.vm_config(VmConfig::default()),
+        &payload,
+    );
+
+    // Type-based CFI: secret_admin has the same signature as the
+    // handlers — whether it is admitted depends on the address-taken
+    // set, the exact imprecision the paper criticizes.
+    let mut typed = levee::minic::compile(SRC, "interp").unwrap();
+    passes::cfi(&mut typed, levee::ir::CfiPolicy::AnyFunction, false);
+    run_with(
+        "CFI, merged target sets",
+        &typed,
+        VmConfig::default(),
+        &payload,
+    );
+
+    // CPS: the table entries live in the safe pointer store.
+    let cps = build_source(SRC, "interp", BuildConfig::Cps).unwrap();
+    run_with(
+        "CPS",
+        &cps.module,
+        cps.vm_config(VmConfig::default()),
+        &payload,
+    );
+
+    // CPI: ditto, plus bounds checks on the table accesses themselves.
+    let cpi = build_source(SRC, "interp", BuildConfig::Cpi).unwrap();
+    run_with(
+        "CPI",
+        &cpi.module,
+        cpi.vm_config(VmConfig::default()),
+        &payload,
+    );
+
+    println!(
+        "\n§3.3: \"a memory bug in a CFI-protected Perl interpreter may permit an\n\
+         attacker to divert control flow and execute any Perl opcode, whereas in a\n\
+         CPS-protected Perl interpreter the attacker could at most execute an\n\
+         opcode that exists in the running Perl program.\""
+    );
+}

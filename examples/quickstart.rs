@@ -1,0 +1,69 @@
+//! Quickstart: compile a vulnerable C program, exploit it, then rebuild
+//! it with `-fcpi` and watch the same exploit die.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use levee::core::{build_source, BuildConfig};
+use levee::ir::Intrinsic;
+use levee::vm::{ExitStatus, GoalKind, Machine, Trap, VmConfig};
+
+/// A server-ish program with a classic bug: an unbounded read into a
+/// global buffer sitting right below a function pointer.
+const SRC: &str = r#"
+    void handle_ok(int code) { print_str("served page"); }
+    char reqbuf[64];
+    void (*on_request)(int);
+
+    int main() {
+        on_request = handle_ok;
+        read_input(reqbuf, -1);     /* the vulnerability */
+        on_request(200);
+        return 0;
+    }
+"#;
+
+fn main() {
+    // --- 1. The unprotected build falls to a ret2libc-style hijack. ---
+    let vanilla = build_source(SRC, "server", BuildConfig::Vanilla).expect("compiles");
+    let mut vm = Machine::new(&vanilla.module, VmConfig::default());
+    let system = vm.intrinsic_entry(Intrinsic::System);
+    vm.add_goal(system, GoalKind::Ret2Libc);
+
+    // 64 filler bytes reach the function-pointer slot; the payload
+    // overwrites it with system()'s address.
+    let mut payload = vec![b'A'; 64];
+    payload.extend_from_slice(&system.to_le_bytes());
+
+    let out = vm.run(&payload);
+    println!("vanilla build:   {:?}", out.status);
+    assert!(
+        matches!(out.status, ExitStatus::Trapped(Trap::Hijacked { .. })),
+        "the unprotected server must be hijackable"
+    );
+
+    // --- 2. Rebuild with -fcpi: same program, same payload. ---
+    let config = BuildConfig::from_flag("-fcpi").expect("levee flag");
+    let cpi = build_source(SRC, "server", config).expect("compiles");
+    let mut vm = Machine::new(&cpi.module, cpi.vm_config(VmConfig::default()));
+    let system = vm.intrinsic_entry(Intrinsic::System);
+    vm.add_goal(system, GoalKind::Ret2Libc);
+
+    let out = vm.run(&payload);
+    println!("CPI build:       {:?} (output: {:?})", out.status, out.output);
+    assert_eq!(
+        out.status,
+        ExitStatus::Exited(0),
+        "under CPI the authentic pointer lives in the safe store; the \
+         corrupted regular copy is never used"
+    );
+    assert_eq!(out.output, "served page");
+
+    // --- 3. What it cost. ---
+    println!(
+        "instrumented {} of {} memory operations ({:.1}%)",
+        cpi.stats.instrumented_mem_ops,
+        cpi.stats.mem_ops,
+        cpi.stats.mo_fraction() * 100.0
+    );
+    println!("quickstart: attack hijacked vanilla, silently defeated by CPI ✓");
+}

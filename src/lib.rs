@@ -1,0 +1,46 @@
+//! # levee — a reproduction of "Code-Pointer Integrity" (OSDI 2014)
+//!
+//! A from-scratch Rust implementation of Kuznetsov et al.'s CPI/CPS/
+//! SafeStack system, complete with the compiler and machine substrate
+//! needed to run and attack protected programs:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`minic`] | mini-C frontend (lexer → parser → IR lowering) |
+//! | [`ir`] | typed IR shared by all passes |
+//! | [`core`] | **the paper's contribution**: sensitivity analysis, safe stack, CPI/CPS/SoftBound instrumentation, the Levee driver |
+//! | [`rt`] | safe pointer store organizations (array / two-level / hash) |
+//! | [`vm`] | execution substrate: split memory, isolation models, cycle+cache cost model, attacker API |
+//! | [`defenses`] | baselines: DEP, ASLR, stack cookies, shadow stack, CFI |
+//! | [`ripe`] | RIPE-like attack benchmark (§5.1) |
+//! | [`workloads`] | SPEC-like / Phoronix-like / web-stack workloads (§5.2–5.3) |
+//! | [`formal`] | Appendix A operational semantics, executable |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use levee::core::{build_source, BuildConfig};
+//! use levee::vm::{ExitStatus, Machine, VmConfig};
+//!
+//! let src = r#"
+//!     void greet(int x) { print_int(x); }
+//!     void (*cb)(int);
+//!     int main() { cb = greet; cb(42); return 0; }
+//! "#;
+//! let built = build_source(src, "demo", BuildConfig::Cpi).unwrap();
+//! let mut vm = Machine::new(&built.module, built.vm_config(VmConfig::default()));
+//! assert_eq!(vm.run(b"").status, ExitStatus::Exited(0));
+//! ```
+//!
+//! See `examples/` for attack/defense walkthroughs and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the experiment index.
+
+pub use levee_core as core;
+pub use levee_defenses as defenses;
+pub use levee_formal as formal;
+pub use levee_ir as ir;
+pub use levee_minic as minic;
+pub use levee_ripe as ripe;
+pub use levee_rt as rt;
+pub use levee_vm as vm;
+pub use levee_workloads as workloads;
