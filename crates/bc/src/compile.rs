@@ -1,0 +1,675 @@
+//! The IR → bytecode compiler.
+//!
+//! Two passes per function: the first measures every instruction to
+//! assign each basic block its word offset in the flat stream, the
+//! second emits words with branch targets resolved to those offsets.
+//! Constants (including pre-computed type sizes and `gep` offsets) are
+//! interned into a per-function pool; call-shaped instructions get their
+//! return-site index assigned in [`Function::iter_call_sites`] order so
+//! the VM loader and this compiler always agree.
+
+use std::collections::HashMap;
+
+use levee_ir::func::Function;
+use levee_ir::prelude::*;
+
+use crate::op::*;
+use crate::{BcFunc, BcModule, SigEntry};
+
+/// Compiles a whole module.
+pub fn compile(module: &Module) -> BcModule {
+    let mut sigs = Vec::new();
+    let funcs = module
+        .funcs
+        .iter()
+        .map(|f| compile_function(module, f, &mut sigs))
+        .collect();
+    BcModule { funcs, sigs }
+}
+
+/// Compiles one function, appending its indirect-call signatures to the
+/// shared table.
+pub fn compile_function(module: &Module, f: &Function, sigs: &mut Vec<SigEntry>) -> BcFunc {
+    // Pass 1: block offsets.
+    let mut block_offsets = Vec::with_capacity(f.blocks.len());
+    let mut pc = 0u32;
+    for (_, block) in f.iter_blocks() {
+        block_offsets.push(pc);
+        for inst in &block.insts {
+            pc += inst_words(inst) as u32;
+        }
+        pc += term_words(&block.term) as u32;
+    }
+
+    // Pass 2: emission.
+    let mut e = Emitter {
+        module,
+        code: Vec::with_capacity(pc as usize),
+        consts: Vec::new(),
+        interned: HashMap::new(),
+        block_offsets: &block_offsets,
+        sites: 0,
+    };
+    for (_, block) in f.iter_blocks() {
+        for inst in &block.insts {
+            e.emit_inst(inst, sigs);
+        }
+        e.emit_term(&block.term);
+    }
+    debug_assert_eq!(e.code.len(), pc as usize, "length pass and emission agree");
+    let (code, consts, sites) = (e.code, e.consts, e.sites);
+    let bcf = BcFunc {
+        code,
+        consts,
+        block_offsets,
+        sites,
+    };
+    validate(&bcf, f.locals.len(), sigs.len());
+    bcf
+}
+
+/// Verifies the stream invariants the VM's dispatch loop relies on for
+/// unchecked indexing: every instruction's words lie within the stream,
+/// register operands index inside the function's register file, constant
+/// operands index inside the pool, and branch targets land on
+/// instruction boundaries.
+///
+/// # Panics
+///
+/// Panics on any violation — these are compiler bugs, not program
+/// errors, and must never reach the engine.
+fn validate(f: &BcFunc, locals: usize, nsigs: usize) {
+    let code = &f.code;
+    let check_reg = |w: u32| {
+        assert!((w as usize) < locals, "register operand {w} out of range");
+    };
+    let check_operand = |w: u32| {
+        if w & OPERAND_CONST_BIT == 0 {
+            check_reg(w);
+        } else {
+            let idx = (w & !OPERAND_CONST_BIT) as usize;
+            assert!(idx < f.consts.len(), "const operand {idx} out of range");
+        }
+    };
+    let check_cidx = |w: u32| {
+        assert!(
+            (w as usize) < f.consts.len(),
+            "const index {w} out of range"
+        );
+    };
+    let check_dest1 = |w: u32| {
+        if w != 0 {
+            check_reg(w - 1);
+        }
+    };
+    // First pass: collect instruction boundaries.
+    let mut starts = vec![false; code.len() + 1];
+    let mut pc = 0usize;
+    while pc < code.len() {
+        starts[pc] = true;
+        let op = Op::from_u32(code[pc]);
+        let len = match op {
+            Op::Alloca | Op::Check => 4,
+            Op::Load
+            | Op::Store
+            | Op::Bin
+            | Op::Cmp
+            | Op::Cast
+            | Op::PtrStore
+            | Op::PtrLoad
+            | Op::SafeMemset => 5,
+            Op::Gep => 7,
+            Op::GlobalAddr | Op::FuncAddr | Op::FnCheck | Op::Ret => 3,
+            Op::SafeMemcpy => 6,
+            Op::Jump => 2,
+            Op::Branch => 4,
+            Op::Unreachable => 1,
+            Op::Call => 5 + code.get(pc + 4).map_or(0, |n| *n as usize),
+            Op::CallIndirect => 6 + code.get(pc + 5).map_or(0, |n| *n as usize),
+            Op::IntrinsicCall => 4 + code.get(pc + 3).map_or(0, |n| *n as usize),
+        };
+        assert!(
+            pc + len <= code.len(),
+            "instruction overruns stream at {pc}"
+        );
+        pc += len;
+    }
+    assert_eq!(pc, code.len(), "stream ends mid-instruction");
+    // Second pass: operand validity.
+    let mut pc = 0usize;
+    while pc < code.len() {
+        let op = Op::from_u32(code[pc]);
+        match op {
+            Op::Alloca => {
+                check_reg(code[pc + 1]);
+                check_cidx(code[pc + 2]);
+                pc += 4;
+            }
+            Op::Load => {
+                check_reg(code[pc + 1]);
+                check_operand(code[pc + 2]);
+                pc += 5;
+            }
+            Op::Store => {
+                check_operand(code[pc + 1]);
+                check_operand(code[pc + 2]);
+                pc += 5;
+            }
+            Op::Gep => {
+                check_reg(code[pc + 1]);
+                check_operand(code[pc + 2]);
+                check_operand(code[pc + 3]);
+                check_cidx(code[pc + 4]);
+                check_cidx(code[pc + 5]);
+                pc += 7;
+            }
+            Op::GlobalAddr | Op::FuncAddr => {
+                check_reg(code[pc + 1]);
+                pc += 3;
+            }
+            Op::Bin | Op::Cmp => {
+                check_reg(code[pc + 1]);
+                check_operand(code[pc + 3]);
+                check_operand(code[pc + 4]);
+                pc += 5;
+            }
+            Op::Cast => {
+                check_reg(code[pc + 1]);
+                check_operand(code[pc + 3]);
+                pc += 5;
+            }
+            Op::Call => {
+                check_dest1(code[pc + 1]);
+                let n = code[pc + 4] as usize;
+                for i in 0..n {
+                    check_operand(code[pc + 5 + i]);
+                }
+                pc += 5 + n;
+            }
+            Op::CallIndirect => {
+                check_dest1(code[pc + 1]);
+                check_operand(code[pc + 2]);
+                assert!((code[pc + 3] as usize) < nsigs, "sig index out of range");
+                let n = code[pc + 5] as usize;
+                for i in 0..n {
+                    check_operand(code[pc + 6 + i]);
+                }
+                pc += 6 + n;
+            }
+            Op::IntrinsicCall => {
+                check_dest1(code[pc + 1]);
+                let n = code[pc + 3] as usize;
+                for i in 0..n {
+                    check_operand(code[pc + 4 + i]);
+                }
+                pc += 4 + n;
+            }
+            Op::PtrStore => {
+                check_operand(code[pc + 2]);
+                check_operand(code[pc + 3]);
+                pc += 5;
+            }
+            Op::PtrLoad => {
+                check_reg(code[pc + 2]);
+                check_operand(code[pc + 3]);
+                pc += 5;
+            }
+            Op::Check => {
+                check_operand(code[pc + 2]);
+                check_cidx(code[pc + 3]);
+                pc += 4;
+            }
+            Op::FnCheck => {
+                check_operand(code[pc + 2]);
+                pc += 3;
+            }
+            Op::SafeMemcpy => {
+                check_operand(code[pc + 2]);
+                check_operand(code[pc + 3]);
+                check_operand(code[pc + 4]);
+                pc += 6;
+            }
+            Op::SafeMemset => {
+                check_operand(code[pc + 2]);
+                check_operand(code[pc + 3]);
+                check_operand(code[pc + 4]);
+                pc += 5;
+            }
+            Op::Jump => {
+                assert!(starts[code[pc + 1] as usize], "jump to non-boundary");
+                pc += 2;
+            }
+            Op::Branch => {
+                check_operand(code[pc + 1]);
+                assert!(starts[code[pc + 2] as usize], "branch to non-boundary");
+                assert!(starts[code[pc + 3] as usize], "branch to non-boundary");
+                pc += 4;
+            }
+            Op::Ret => {
+                if code[pc + 1] != 0 {
+                    check_operand(code[pc + 2]);
+                }
+                pc += 3;
+            }
+            Op::Unreachable => pc += 1,
+        }
+    }
+}
+
+/// Encoded length of one instruction, in words (opcode included).
+fn inst_words(inst: &Inst) -> usize {
+    match inst {
+        Inst::Alloca { .. } => 4,
+        Inst::Load { .. } | Inst::Store { .. } => 5,
+        Inst::Gep { .. } => 7,
+        Inst::GlobalAddr { .. } | Inst::FuncAddr { .. } => 3,
+        Inst::Bin { .. } | Inst::Cmp { .. } | Inst::Cast { .. } => 5,
+        Inst::Call { args, .. } => 5 + args.len(),
+        Inst::CallIndirect { args, .. } => 6 + args.len(),
+        Inst::IntrinsicCall { args, .. } => 4 + args.len(),
+        Inst::Cpi(op) => match op {
+            CpiOp::PtrStore { .. } | CpiOp::PtrLoad { .. } => 5,
+            CpiOp::Check { .. } => 4,
+            CpiOp::FnCheck { .. } => 3,
+            CpiOp::SafeMemcpy { .. } => 6,
+            CpiOp::SafeMemset { .. } => 5,
+        },
+    }
+}
+
+/// Encoded length of one terminator, in words.
+fn term_words(term: &Terminator) -> usize {
+    match term {
+        Terminator::Br(_) => 2,
+        Terminator::CondBr { .. } => 4,
+        Terminator::Ret(_) => 3,
+        Terminator::Unreachable => 1,
+    }
+}
+
+struct Emitter<'a> {
+    module: &'a Module,
+    code: Vec<u32>,
+    consts: Vec<u64>,
+    interned: HashMap<u64, u32>,
+    block_offsets: &'a [u32],
+    sites: u32,
+}
+
+impl<'a> Emitter<'a> {
+    fn intern(&mut self, value: u64) -> u32 {
+        if let Some(idx) = self.interned.get(&value) {
+            return *idx;
+        }
+        let idx = self.consts.len() as u32;
+        assert!(idx < OPERAND_CONST_BIT, "constant pool overflow");
+        self.consts.push(value);
+        self.interned.insert(value, idx);
+        idx
+    }
+
+    fn operand(&mut self, op: Operand) -> u32 {
+        match op {
+            Operand::Value(v) => {
+                assert!(v.0 < OPERAND_CONST_BIT, "register index overflow");
+                v.0
+            }
+            Operand::Const(c) => self.intern(c as u64) | OPERAND_CONST_BIT,
+        }
+    }
+
+    fn push(&mut self, op: Op) {
+        self.code.push(op as u32);
+    }
+
+    fn next_site(&mut self) -> u32 {
+        let s = self.sites;
+        self.sites += 1;
+        s
+    }
+
+    fn emit_inst(&mut self, inst: &Inst, sigs: &mut Vec<SigEntry>) {
+        match inst {
+            Inst::Alloca {
+                dest,
+                ty,
+                count,
+                stack,
+            } => {
+                let size = self.module.types.size_of(ty) * count;
+                let size_cidx = self.intern(size);
+                self.push(Op::Alloca);
+                self.code.push(dest.0);
+                self.code.push(size_cidx);
+                self.code.push(encode_stack(*stack));
+            }
+            Inst::Load {
+                dest,
+                ptr,
+                ty,
+                space,
+            } => {
+                let size = self.module.types.size_of(ty) as u32;
+                let ptr = self.operand(*ptr);
+                self.push(Op::Load);
+                self.code.push(dest.0);
+                self.code.push(ptr);
+                self.code.push(size);
+                self.code.push(encode_space(*space));
+            }
+            Inst::Store {
+                ptr,
+                value,
+                ty,
+                space,
+            } => {
+                let size = self.module.types.size_of(ty) as u32;
+                let ptr = self.operand(*ptr);
+                let value = self.operand(*value);
+                self.push(Op::Store);
+                self.code.push(ptr);
+                self.code.push(value);
+                self.code.push(size);
+                self.code.push(encode_space(*space));
+            }
+            Inst::Gep {
+                dest,
+                base,
+                index,
+                elem,
+                offset,
+                field_of,
+            } => {
+                let elem_size = self.module.types.size_of(elem);
+                let elem_cidx = self.intern(elem_size);
+                let offset_cidx = self.intern(*offset);
+                let base = self.operand(*base);
+                let index = self.operand(*index);
+                self.push(Op::Gep);
+                self.code.push(dest.0);
+                self.code.push(base);
+                self.code.push(index);
+                self.code.push(elem_cidx);
+                self.code.push(offset_cidx);
+                self.code.push(field_of.is_some() as u32);
+            }
+            Inst::GlobalAddr { dest, global } => {
+                self.push(Op::GlobalAddr);
+                self.code.push(dest.0);
+                self.code.push(global.0);
+            }
+            Inst::FuncAddr { dest, func } => {
+                self.push(Op::FuncAddr);
+                self.code.push(dest.0);
+                self.code.push(func.0);
+            }
+            Inst::Bin { dest, op, lhs, rhs } => {
+                let lhs = self.operand(*lhs);
+                let rhs = self.operand(*rhs);
+                self.push(Op::Bin);
+                self.code.push(dest.0);
+                self.code.push(encode_binop(*op));
+                self.code.push(lhs);
+                self.code.push(rhs);
+            }
+            Inst::Cmp { dest, op, lhs, rhs } => {
+                let lhs = self.operand(*lhs);
+                let rhs = self.operand(*rhs);
+                self.push(Op::Cmp);
+                self.code.push(dest.0);
+                self.code.push(encode_cmpop(*op));
+                self.code.push(lhs);
+                self.code.push(rhs);
+            }
+            Inst::Cast {
+                dest,
+                kind,
+                value,
+                to,
+            } => {
+                let size = self.module.types.size_of(to) as u32;
+                let value = self.operand(*value);
+                self.push(Op::Cast);
+                self.code.push(dest.0);
+                self.code.push(encode_cast(*kind));
+                self.code.push(value);
+                self.code.push(size);
+            }
+            Inst::Call { dest, func, args } => {
+                let site = self.next_site();
+                let args: Vec<u32> = args.iter().map(|a| self.operand(*a)).collect();
+                self.push(Op::Call);
+                self.code.push(dest.map_or(0, |d| d.0 + 1));
+                self.code.push(func.0);
+                self.code.push(site);
+                self.code.push(args.len() as u32);
+                self.code.extend(args);
+            }
+            Inst::CallIndirect {
+                dest,
+                callee,
+                sig,
+                args,
+                cfi,
+            } => {
+                let site = self.next_site();
+                let sig_idx = sigs.len() as u32;
+                sigs.push(SigEntry {
+                    sig: sig.clone(),
+                    cfi: *cfi,
+                });
+                let callee = self.operand(*callee);
+                let args: Vec<u32> = args.iter().map(|a| self.operand(*a)).collect();
+                self.push(Op::CallIndirect);
+                self.code.push(dest.map_or(0, |d| d.0 + 1));
+                self.code.push(callee);
+                self.code.push(sig_idx);
+                self.code.push(site);
+                self.code.push(args.len() as u32);
+                self.code.extend(args);
+            }
+            Inst::IntrinsicCall { dest, which, args } => {
+                let _site = self.next_site(); // intrinsics own a ret site too
+                let args: Vec<u32> = args.iter().map(|a| self.operand(*a)).collect();
+                self.push(Op::IntrinsicCall);
+                self.code.push(dest.map_or(0, |d| d.0 + 1));
+                self.code.push(encode_intrinsic(*which));
+                self.code.push(args.len() as u32);
+                self.code.extend(args);
+            }
+            Inst::Cpi(op) => self.emit_cpi(op),
+        }
+    }
+
+    fn emit_cpi(&mut self, op: &CpiOp) {
+        match op {
+            CpiOp::PtrStore {
+                policy,
+                ptr,
+                value,
+                universal,
+            } => {
+                let ptr = self.operand(*ptr);
+                let value = self.operand(*value);
+                self.push(Op::PtrStore);
+                self.code.push(encode_policy(*policy));
+                self.code.push(ptr);
+                self.code.push(value);
+                self.code.push(*universal as u32);
+            }
+            CpiOp::PtrLoad {
+                policy,
+                dest,
+                ptr,
+                universal,
+            } => {
+                let ptr = self.operand(*ptr);
+                self.push(Op::PtrLoad);
+                self.code.push(encode_policy(*policy));
+                self.code.push(dest.0);
+                self.code.push(ptr);
+                self.code.push(*universal as u32);
+            }
+            CpiOp::Check { policy, ptr, size } => {
+                let size_cidx = self.intern(*size);
+                let ptr = self.operand(*ptr);
+                self.push(Op::Check);
+                self.code.push(encode_policy(*policy));
+                self.code.push(ptr);
+                self.code.push(size_cidx);
+            }
+            CpiOp::FnCheck { policy, callee } => {
+                let callee = self.operand(*callee);
+                self.push(Op::FnCheck);
+                self.code.push(encode_policy(*policy));
+                self.code.push(callee);
+            }
+            CpiOp::SafeMemcpy {
+                policy,
+                dst,
+                src,
+                len,
+                moving,
+            } => {
+                let dst = self.operand(*dst);
+                let src = self.operand(*src);
+                let len = self.operand(*len);
+                self.push(Op::SafeMemcpy);
+                self.code.push(encode_policy(*policy));
+                self.code.push(dst);
+                self.code.push(src);
+                self.code.push(len);
+                self.code.push(*moving as u32);
+            }
+            CpiOp::SafeMemset {
+                policy,
+                dst,
+                byte,
+                len,
+            } => {
+                let dst = self.operand(*dst);
+                let byte = self.operand(*byte);
+                let len = self.operand(*len);
+                self.push(Op::SafeMemset);
+                self.code.push(encode_policy(*policy));
+                self.code.push(dst);
+                self.code.push(byte);
+                self.code.push(len);
+            }
+        }
+    }
+
+    fn emit_term(&mut self, term: &Terminator) {
+        match term {
+            Terminator::Br(b) => {
+                self.push(Op::Jump);
+                self.code.push(self.block_offsets[b.0 as usize]);
+            }
+            Terminator::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                let cond = self.operand(*cond);
+                self.push(Op::Branch);
+                self.code.push(cond);
+                self.code.push(self.block_offsets[then_bb.0 as usize]);
+                self.code.push(self.block_offsets[else_bb.0 as usize]);
+            }
+            Terminator::Ret(v) => {
+                let word = v.map(|op| self.operand(op));
+                self.push(Op::Ret);
+                self.code.push(word.is_some() as u32);
+                self.code.push(word.unwrap_or(0));
+            }
+            Terminator::Unreachable => self.push(Op::Unreachable),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use levee_ir::builder::FuncBuilder;
+
+    fn two_block_module() -> Module {
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new("main", FnSig::new(vec![], Ty::I32));
+        let x = b.bin(BinOp::Add, 1, 2, Ty::I64);
+        let c = b.cmp(CmpOp::Gt, x, 0);
+        let then_bb = b.new_block();
+        let else_bb = b.new_block();
+        b.cond_br(c, then_bb, else_bb);
+        b.switch_to(then_bb);
+        b.ret(Some(1.into()));
+        b.switch_to(else_bb);
+        b.ret(Some(0.into()));
+        m.add_func(b.finish());
+        m
+    }
+
+    #[test]
+    fn block_offsets_match_emission() {
+        let m = two_block_module();
+        let bc = compile(&m);
+        let f = &bc.funcs[0];
+        assert_eq!(f.block_offsets.len(), 3);
+        assert_eq!(f.block_offsets[0], 0);
+        // Entry block: Bin (5) + Cmp (5) + Branch (4) = 14 words.
+        assert_eq!(f.block_offsets[1], 14);
+        // then block: Ret (3).
+        assert_eq!(f.block_offsets[2], 17);
+        assert_eq!(f.code.len(), 20);
+    }
+
+    #[test]
+    fn branch_targets_are_pre_resolved() {
+        let m = two_block_module();
+        let bc = compile(&m);
+        let f = &bc.funcs[0];
+        // The branch is the 3rd instruction: words 10..14.
+        assert_eq!(Op::from_u32(f.code[10]), Op::Branch);
+        assert_eq!(f.code[12], f.block_offsets[1]);
+        assert_eq!(f.code[13], f.block_offsets[2]);
+    }
+
+    #[test]
+    fn constants_are_interned_once() {
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new("main", FnSig::new(vec![], Ty::I32));
+        b.bin(BinOp::Add, 7, 7, Ty::I64);
+        b.bin(BinOp::Add, 7, 9, Ty::I64);
+        b.ret(Some(0.into()));
+        m.add_func(b.finish());
+        let bc = compile(&m);
+        let consts = &bc.funcs[0].consts;
+        assert_eq!(consts.iter().filter(|c| **c == 7).count(), 1);
+    }
+
+    #[test]
+    fn call_sites_numbered_in_layout_order() {
+        let mut m = Module::new("t");
+        let mut callee = FuncBuilder::new("callee", FnSig::new(vec![Ty::I64], Ty::I64));
+        callee.ret(Some(ValueId(0).into()));
+        let callee_id = m.add_func(callee.finish());
+        let mut b = FuncBuilder::new("main", FnSig::new(vec![], Ty::I32));
+        b.call(callee_id, vec![1.into()], Ty::I64);
+        b.intrinsic(Intrinsic::PrintInt, vec![2.into()], Ty::Void);
+        b.call(callee_id, vec![3.into()], Ty::I64);
+        b.ret(Some(0.into()));
+        m.add_func(b.finish());
+        let bc = compile(&m);
+        let f = &bc.funcs[1];
+        assert_eq!(f.sites, 3);
+        // First call: site 0; the intrinsic consumes site 1; second
+        // call: site 2 — mirroring the VM loader's numbering.
+        assert_eq!(Op::from_u32(f.code[0]), Op::Call);
+        assert_eq!(f.code[3], 0);
+        let second_call = f
+            .code
+            .iter()
+            .rposition(|w| *w == Op::Call as u32)
+            .expect("second call emitted");
+        assert_eq!(f.code[second_call + 3], 2);
+    }
+}

@@ -1,0 +1,94 @@
+//! # levee-bc — the bytecode tier
+//!
+//! A compiler from [`levee_ir`] modules to a compact linear bytecode,
+//! consumed by the VM's fast-dispatch engine (`levee_vm`'s
+//! `Engine::Bytecode`). The step-walking reference engine interprets the
+//! CFG instruction by instruction — re-resolving block ids, recomputing
+//! type sizes and looking up call-site maps on every step. This crate
+//! does all of that **once, at compile time**:
+//!
+//! * basic blocks are flattened into one `Vec<u32>` stream per function,
+//!   with branch targets pre-resolved to word offsets,
+//! * operands are encoded as register slots or constant-pool indices —
+//!   no per-value map lookups at run time,
+//! * type sizes (`alloca` frame slots, load/store widths, `gep` element
+//!   sizes) are pre-computed into the instruction stream,
+//! * indirect-call signatures and CFI policies live in a per-module
+//!   table ([`BcModule::sigs`]), and every call-shaped instruction
+//!   carries its pre-assigned return-site index (numbered identically to
+//!   the VM loader via [`levee_ir::func::Function::iter_call_sites`]).
+//!
+//! The bytecode preserves the IR's observable semantics *exactly* —
+//! same traps, same instrumentation behaviour, same cost-model charges —
+//! which the `engines` differential suite in `levee-vm` enforces.
+//!
+//! ## Example
+//!
+//! ```
+//! use levee_ir::prelude::*;
+//!
+//! let mut m = Module::new("demo");
+//! let mut b = FuncBuilder::new("main", FnSig::new(vec![], Ty::I32));
+//! b.intrinsic(Intrinsic::PrintInt, vec![Operand::Const(42)], Ty::Void);
+//! b.ret(Some(0.into()));
+//! m.add_func(b.finish());
+//!
+//! let bc = levee_bc::compile(&m);
+//! assert_eq!(bc.funcs.len(), 1);
+//! assert!(!bc.funcs[0].code.is_empty());
+//! ```
+
+pub mod compile;
+pub mod op;
+
+pub use compile::{compile, compile_function};
+pub use op::{
+    decode_binop, decode_cast, decode_cmpop, decode_intrinsic, decode_policy, decode_space,
+    decode_stack, encode_binop, encode_cast, encode_cmpop, encode_intrinsic, encode_policy,
+    encode_space, encode_stack, Op, OPERAND_CONST_BIT,
+};
+
+use levee_ir::prelude::*;
+
+/// One indirect-call site's pre-resolved signature information.
+#[derive(Debug, Clone)]
+pub struct SigEntry {
+    /// The call's expected signature.
+    pub sig: FnSig,
+    /// The CFI policy annotation, if the CFI baseline pass ran.
+    pub cfi: Option<CfiPolicy>,
+}
+
+/// One compiled function: a flat word stream plus its constant pool.
+#[derive(Debug, Clone, Default)]
+pub struct BcFunc {
+    /// The instruction stream. Each instruction is an [`Op`] word
+    /// followed by its fixed operand words (calls append their argument
+    /// operand words after a count).
+    pub code: Vec<u32>,
+    /// 64-bit constants referenced by operand words with
+    /// [`OPERAND_CONST_BIT`] set, and by size/offset index words.
+    pub consts: Vec<u64>,
+    /// Word offset of each basic block in `code` (diagnostics and
+    /// tests; branches embed resolved offsets directly).
+    pub block_offsets: Vec<u32>,
+    /// Number of call-shaped instructions (return sites) in the
+    /// function.
+    pub sites: u32,
+}
+
+/// A whole module compiled to bytecode.
+#[derive(Debug, Clone, Default)]
+pub struct BcModule {
+    /// Compiled functions, indexed by [`levee_ir::FuncId`].
+    pub funcs: Vec<BcFunc>,
+    /// Signature table for indirect calls.
+    pub sigs: Vec<SigEntry>,
+}
+
+impl BcModule {
+    /// Total size of all instruction streams, in words.
+    pub fn code_words(&self) -> usize {
+        self.funcs.iter().map(|f| f.code.len()).sum()
+    }
+}

@@ -1,0 +1,320 @@
+//! Opcodes and enum encodings of the linear bytecode.
+//!
+//! Every instruction is one [`Op`] word followed by fixed operand words;
+//! calls additionally carry an argument count and that many operand
+//! words. Operand words encode either a virtual-register slot or a
+//! constant-pool index (high bit set). The layouts are documented on the
+//! variants; the authoritative consumer is `levee_vm`'s bytecode engine.
+
+use levee_ir::prelude::*;
+
+/// Set on an operand word when it indexes the constant pool instead of a
+/// register slot.
+pub const OPERAND_CONST_BIT: u32 = 0x8000_0000;
+
+/// The opcode of one bytecode instruction.
+///
+/// Operand-word layouts (after the opcode word):
+///
+/// | op | words |
+/// |---|---|
+/// | `Alloca` | dest, size_cidx, stack |
+/// | `Load` | dest, ptr, size, space |
+/// | `Store` | ptr, value, size, space |
+/// | `Gep` | dest, base, index, elem_size_cidx, offset_cidx, is_field |
+/// | `GlobalAddr` | dest, global |
+/// | `FuncAddr` | dest, func |
+/// | `Bin` | dest, binop, lhs, rhs |
+/// | `Cmp` | dest, cmpop, lhs, rhs |
+/// | `Cast` | dest, kind, value, size |
+/// | `Call` | dest+1, func, site, nargs, arg... |
+/// | `CallIndirect` | dest+1, callee, sig_idx, site, nargs, arg... |
+/// | `IntrinsicCall` | dest+1, which, nargs, arg... |
+/// | `PtrStore` | policy, ptr, value, universal |
+/// | `PtrLoad` | policy, dest, ptr, universal |
+/// | `Check` | policy, ptr, size_cidx |
+/// | `FnCheck` | policy, callee |
+/// | `SafeMemcpy` | policy, dst, src, len, moving |
+/// | `SafeMemset` | policy, dst, byte, len |
+/// | `Jump` | target_pc |
+/// | `Branch` | cond, then_pc, else_pc |
+/// | `Ret` | has_value, value |
+/// | `Unreachable` | — |
+///
+/// `*_cidx` words index the function's constant pool (64-bit values);
+/// `dest+1` is zero when the call has no destination register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Op {
+    Alloca = 0,
+    Load = 1,
+    Store = 2,
+    Gep = 3,
+    GlobalAddr = 4,
+    FuncAddr = 5,
+    Bin = 6,
+    Cmp = 7,
+    Cast = 8,
+    Call = 9,
+    CallIndirect = 10,
+    IntrinsicCall = 11,
+    PtrStore = 12,
+    PtrLoad = 13,
+    Check = 14,
+    FnCheck = 15,
+    SafeMemcpy = 16,
+    SafeMemset = 17,
+    Jump = 18,
+    Branch = 19,
+    Ret = 20,
+    Unreachable = 21,
+}
+
+impl Op {
+    /// Decodes an opcode word.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range word — the compiler only emits valid
+    /// opcodes, so this indicates stream corruption.
+    #[inline(always)]
+    pub fn from_u32(w: u32) -> Op {
+        debug_assert!(w <= Op::Unreachable as u32, "bad opcode word {w}");
+        // SAFETY in spirit, checked in practice: emitted by `compile`
+        // from the enum itself; the match keeps this fully safe code.
+        match w {
+            0 => Op::Alloca,
+            1 => Op::Load,
+            2 => Op::Store,
+            3 => Op::Gep,
+            4 => Op::GlobalAddr,
+            5 => Op::FuncAddr,
+            6 => Op::Bin,
+            7 => Op::Cmp,
+            8 => Op::Cast,
+            9 => Op::Call,
+            10 => Op::CallIndirect,
+            11 => Op::IntrinsicCall,
+            12 => Op::PtrStore,
+            13 => Op::PtrLoad,
+            14 => Op::Check,
+            15 => Op::FnCheck,
+            16 => Op::SafeMemcpy,
+            17 => Op::SafeMemset,
+            18 => Op::Jump,
+            19 => Op::Branch,
+            20 => Op::Ret,
+            _ => Op::Unreachable,
+        }
+    }
+}
+
+/// Encodes a binary operator.
+pub fn encode_binop(op: BinOp) -> u32 {
+    match op {
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::Div => 3,
+        BinOp::Rem => 4,
+        BinOp::And => 5,
+        BinOp::Or => 6,
+        BinOp::Xor => 7,
+        BinOp::Shl => 8,
+        BinOp::Shr => 9,
+    }
+}
+
+/// Decodes a binary operator.
+#[inline(always)]
+pub fn decode_binop(w: u32) -> BinOp {
+    match w {
+        0 => BinOp::Add,
+        1 => BinOp::Sub,
+        2 => BinOp::Mul,
+        3 => BinOp::Div,
+        4 => BinOp::Rem,
+        5 => BinOp::And,
+        6 => BinOp::Or,
+        7 => BinOp::Xor,
+        8 => BinOp::Shl,
+        _ => BinOp::Shr,
+    }
+}
+
+/// Encodes a comparison predicate.
+pub fn encode_cmpop(op: CmpOp) -> u32 {
+    match op {
+        CmpOp::Eq => 0,
+        CmpOp::Ne => 1,
+        CmpOp::Lt => 2,
+        CmpOp::Le => 3,
+        CmpOp::Gt => 4,
+        CmpOp::Ge => 5,
+    }
+}
+
+/// Decodes a comparison predicate.
+#[inline(always)]
+pub fn decode_cmpop(w: u32) -> CmpOp {
+    match w {
+        0 => CmpOp::Eq,
+        1 => CmpOp::Ne,
+        2 => CmpOp::Lt,
+        3 => CmpOp::Le,
+        4 => CmpOp::Gt,
+        _ => CmpOp::Ge,
+    }
+}
+
+/// Encodes a cast kind.
+pub fn encode_cast(kind: CastKind) -> u32 {
+    match kind {
+        CastKind::PtrToPtr => 0,
+        CastKind::PtrToInt => 1,
+        CastKind::IntToPtr => 2,
+        CastKind::IntToInt => 3,
+    }
+}
+
+/// Decodes a cast kind.
+#[inline(always)]
+pub fn decode_cast(w: u32) -> CastKind {
+    match w {
+        0 => CastKind::PtrToPtr,
+        1 => CastKind::PtrToInt,
+        2 => CastKind::IntToPtr,
+        _ => CastKind::IntToInt,
+    }
+}
+
+/// Encodes a CPI policy.
+pub fn encode_policy(p: Policy) -> u32 {
+    match p {
+        Policy::Cpi => 0,
+        Policy::Cps => 1,
+        Policy::SoftBound => 2,
+    }
+}
+
+/// Decodes a CPI policy.
+#[inline(always)]
+pub fn decode_policy(w: u32) -> Policy {
+    match w {
+        0 => Policy::Cpi,
+        1 => Policy::Cps,
+        _ => Policy::SoftBound,
+    }
+}
+
+/// Encodes a memory space.
+pub fn encode_space(s: MemSpace) -> u32 {
+    match s {
+        MemSpace::Regular => 0,
+        MemSpace::SafeStack => 1,
+    }
+}
+
+/// Decodes a memory space.
+#[inline(always)]
+pub fn decode_space(w: u32) -> MemSpace {
+    if w == 0 {
+        MemSpace::Regular
+    } else {
+        MemSpace::SafeStack
+    }
+}
+
+/// Encodes a stack kind.
+pub fn encode_stack(s: StackKind) -> u32 {
+    match s {
+        StackKind::Conventional => 0,
+        StackKind::Safe => 1,
+        StackKind::Unsafe => 2,
+    }
+}
+
+/// Decodes a stack kind.
+#[inline(always)]
+pub fn decode_stack(w: u32) -> StackKind {
+    match w {
+        0 => StackKind::Conventional,
+        1 => StackKind::Safe,
+        _ => StackKind::Unsafe,
+    }
+}
+
+/// Encodes an intrinsic as its index in [`Intrinsic::all`].
+pub fn encode_intrinsic(i: Intrinsic) -> u32 {
+    Intrinsic::all()
+        .iter()
+        .position(|x| *x == i)
+        .expect("every intrinsic is in all()") as u32
+}
+
+/// Decodes an intrinsic from its [`Intrinsic::all`] index.
+#[inline(always)]
+pub fn decode_intrinsic(w: u32) -> Intrinsic {
+    Intrinsic::all()[w as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcode_roundtrip() {
+        for w in 0..=21u32 {
+            let op = Op::from_u32(w);
+            assert_eq!(op as u32, w);
+        }
+    }
+
+    #[test]
+    fn enum_roundtrips() {
+        for op in [
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::Div,
+            BinOp::Rem,
+            BinOp::And,
+            BinOp::Or,
+            BinOp::Xor,
+            BinOp::Shl,
+            BinOp::Shr,
+        ] {
+            assert_eq!(decode_binop(encode_binop(op)), op);
+        }
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
+            assert_eq!(decode_cmpop(encode_cmpop(op)), op);
+        }
+        for k in [
+            CastKind::PtrToPtr,
+            CastKind::PtrToInt,
+            CastKind::IntToPtr,
+            CastKind::IntToInt,
+        ] {
+            assert_eq!(decode_cast(encode_cast(k)), k);
+        }
+        for p in [Policy::Cpi, Policy::Cps, Policy::SoftBound] {
+            assert_eq!(decode_policy(encode_policy(p)), p);
+        }
+        for s in [MemSpace::Regular, MemSpace::SafeStack] {
+            assert_eq!(decode_space(encode_space(s)), s);
+        }
+        for s in [StackKind::Conventional, StackKind::Safe, StackKind::Unsafe] {
+            assert_eq!(decode_stack(encode_stack(s)), s);
+        }
+        for i in Intrinsic::all() {
+            assert_eq!(decode_intrinsic(encode_intrinsic(*i)), *i);
+        }
+    }
+}

@@ -60,11 +60,9 @@ fn entry_transfer(kind: StoreKind) -> u64 {
 fn bench_stores(c: &mut Criterion) {
     let mut group = c.benchmark_group("safe_pointer_store");
     for kind in StoreKind::all() {
-        group.bench_with_input(
-            BenchmarkId::new("hot_set", kind.name()),
-            kind,
-            |b, kind| b.iter(|| black_box(hot_set(*kind))),
-        );
+        group.bench_with_input(BenchmarkId::new("hot_set", kind.name()), kind, |b, kind| {
+            b.iter(|| black_box(hot_set(*kind)))
+        });
         group.bench_with_input(
             BenchmarkId::new("sparse_sweep", kind.name()),
             kind,

@@ -9,7 +9,9 @@
 use levee_bench::Table;
 use levee_core::BuildConfig;
 use levee_defenses::Deployment;
-use levee_ripe::{run_attack, AbuseFn, Attack, AttackResult, Location, Payload, Profile, Target, Technique};
+use levee_ripe::{
+    run_attack, AbuseFn, Attack, AttackResult, Location, Payload, Profile, Target, Technique,
+};
 
 fn main() {
     println!("§3.3 / §5.2 — CFI bypass vs CPS/CPI\n");
@@ -26,7 +28,10 @@ fn main() {
     };
     let mut table = Table::new(&["defense", "outcome", "verdict"]);
     for (name, profile) in [
-        ("CFI coarse (any function)", Profile::Deployment(Deployment::CoarseCfi)),
+        (
+            "CFI coarse (any function)",
+            Profile::Deployment(Deployment::CoarseCfi),
+        ),
         ("CFI type-based", Profile::Deployment(Deployment::TypeCfi)),
         ("CPS", Profile::Levee(BuildConfig::Cps)),
         ("CPI", Profile::Levee(BuildConfig::Cpi)),

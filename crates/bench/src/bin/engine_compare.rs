@@ -1,0 +1,169 @@
+//! Engine comparison — the bytecode tier vs the step-walking reference.
+//!
+//! Runs every `levee-workloads` kernel under both engines and both a
+//! vanilla and a CPI build, asserting **identical simulated cycle
+//! counts, instruction counts and output** (the cost model is engine
+//! independent), and reporting wall-clock speedup. Each measurement is
+//! the minimum of several repetitions, which rejects scheduler noise.
+//!
+//! The speedup is bounded by how much of a kernel's wall-clock goes to
+//! interpreter dispatch rather than to the simulation work both engines
+//! share (cache model, memory image, frame setup, intrinsic bodies):
+//! compute-bound kernels approach the dispatch-elimination limit, while
+//! call- and intrinsic-heavy kernels are dominated by shared costs.
+//!
+//! Run with: `cargo run --release -p levee-bench --bin engine_compare`
+
+use std::time::Instant;
+
+use levee_bench::Table;
+use levee_core::{build_source, BuildConfig};
+use levee_vm::{Engine, Machine, VmConfig};
+use levee_workloads::kernels;
+
+/// Repetitions per (kernel, engine); the minimum is reported.
+const REPS: usize = 5;
+
+struct KernelSpec {
+    name: &'static str,
+    source: &'static str,
+    entry: &'static str,
+    iters: u64,
+}
+
+const KERNELS: &[KernelSpec] = &[
+    KernelSpec {
+        name: "dispatch",
+        source: kernels::DISPATCH,
+        entry: "dispatch_kernel",
+        iters: 20_000,
+    },
+    KernelSpec {
+        name: "vcall",
+        source: kernels::VCALL,
+        entry: "vcall_kernel",
+        iters: 20_000,
+    },
+    KernelSpec {
+        name: "numeric",
+        source: kernels::NUMERIC,
+        entry: "numeric_kernel",
+        iters: 100_000,
+    },
+    KernelSpec {
+        name: "bigstack",
+        source: kernels::BIGSTACK,
+        entry: "bigstack_kernel",
+        iters: 400,
+    },
+    KernelSpec {
+        name: "strings",
+        source: kernels::STRINGS,
+        entry: "string_kernel",
+        iters: 2_000,
+    },
+    KernelSpec {
+        name: "graph",
+        source: kernels::GRAPH,
+        entry: "graph_kernel",
+        iters: 100_000,
+    },
+    KernelSpec {
+        name: "cbstruct",
+        source: kernels::CBSTRUCT,
+        entry: "cbstruct_kernel",
+        iters: 10_000,
+    },
+    KernelSpec {
+        name: "heapchurn",
+        source: kernels::HEAPCHURN,
+        entry: "heap_kernel",
+        iters: 20_000,
+    },
+    KernelSpec {
+        name: "bulkcopy",
+        source: kernels::BULKCOPY,
+        entry: "bulkcopy_kernel",
+        iters: 4_000,
+    },
+];
+
+/// Best-of-`REPS` wall-clock for one engine; checks the run every time.
+fn measure(module: &levee_ir::Module, base: VmConfig, engine: Engine) -> (f64, u64, u64, String) {
+    let mut best = f64::INFINITY;
+    let mut cycles = 0;
+    let mut insts = 0;
+    let mut output = String::new();
+    for _ in 0..REPS {
+        let mut vm = Machine::new(module, base.with_engine(engine));
+        let t0 = Instant::now();
+        let out = vm.run(b"");
+        let dt = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(
+            out.status.is_success(),
+            "kernel must exit cleanly under {engine:?}, got {:?}",
+            out.status
+        );
+        best = best.min(dt);
+        cycles = out.stats.cycles;
+        insts = out.stats.insts;
+        output = out.output;
+    }
+    (best, cycles, insts, output)
+}
+
+fn main() {
+    let mut totals = [0.0f64; 2]; // walk, bytecode
+    for config in [BuildConfig::Vanilla, BuildConfig::Cpi] {
+        println!("== build: {} ==", config.name());
+        let mut table = Table::new(&[
+            "kernel",
+            "insts",
+            "cycles",
+            "walk ms",
+            "bytecode ms",
+            "speedup",
+        ]);
+        for spec in KERNELS {
+            let src = kernels::assemble(&[spec.source], &[(spec.entry, spec.iters)]);
+            let built = build_source(&src, spec.name, config).unwrap();
+            let base = built.vm_config(VmConfig::default());
+            let (walk_ms, walk_cycles, walk_insts, walk_out) =
+                measure(&built.module, base, Engine::Walk);
+            let (bc_ms, bc_cycles, bc_insts, bc_out) =
+                measure(&built.module, base, Engine::Bytecode);
+            assert_eq!(
+                walk_cycles, bc_cycles,
+                "{}: cycle counts diverge",
+                spec.name
+            );
+            assert_eq!(
+                walk_insts, bc_insts,
+                "{}: instruction counts diverge",
+                spec.name
+            );
+            assert_eq!(walk_out, bc_out, "{}: output diverges", spec.name);
+            totals[0] += walk_ms;
+            totals[1] += bc_ms;
+            table.row(vec![
+                spec.name.into(),
+                walk_insts.to_string(),
+                walk_cycles.to_string(),
+                format!("{walk_ms:.2}"),
+                format!("{bc_ms:.2}"),
+                format!("{:.2}x", walk_ms / bc_ms),
+            ]);
+        }
+        table.print();
+        println!();
+    }
+    let speedup = totals[0] / totals[1];
+    println!(
+        "aggregate: walk {:.1} ms, bytecode {:.1} ms — {speedup:.2}x at identical cycle counts",
+        totals[0], totals[1]
+    );
+    assert!(
+        speedup >= 1.4,
+        "bytecode engine regressed: expected >=1.4x aggregate, got {speedup:.2}x"
+    );
+}

@@ -20,7 +20,11 @@ fn main() {
 
     println!("§3.2.3 — isolation mechanism cost under CPI (scale {scale})\n");
     let mut table = Table::new(&["isolation", "avg CPI overhead"]);
-    for iso in [Isolation::Segmentation, Isolation::InfoHiding, Isolation::Sfi] {
+    for iso in [
+        Isolation::Segmentation,
+        Isolation::InfoHiding,
+        Isolation::Sfi,
+    ] {
         let mut total = 0.0;
         let mut n = 0.0;
         for w in spec_suite().iter().take(8) {
@@ -53,8 +57,8 @@ fn main() {
     let (mut hits, mut crashes, mut misses) = (0u64, 0u64, 0u64);
     let probes = 2048u64;
     for i in 0..probes {
-        let guess = levee_vm::layout::SAFE_REGION_MIN
-            + i * (levee_vm::layout::SAFE_REGION_WINDOW / probes);
+        let guess =
+            levee_vm::layout::SAFE_REGION_MIN + i * (levee_vm::layout::SAFE_REGION_WINDOW / probes);
         match vm.attacker_guess(guess) {
             GuessOutcome::Hit => hits += 1,
             GuessOutcome::Crash => crashes += 1,

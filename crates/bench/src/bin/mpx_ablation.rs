@@ -16,13 +16,13 @@ fn main() {
         .unwrap_or(4);
     println!("§4 — software-only CPI vs MPX-assisted CPI (scale {scale})\n");
     let mut table = Table::new(&["benchmark", "CPI (software)", "CPI (MPX model)"]);
-    for w in spec_suite().iter().filter(|w| {
-        ["perlbench", "gcc", "dealII", "omnetpp", "xalancbmk", "lbm"].contains(&w.name)
-    }) {
+    for w in spec_suite()
+        .iter()
+        .filter(|w| ["perlbench", "gcc", "dealII", "omnetpp", "xalancbmk", "lbm"].contains(&w.name))
+    {
         let src = w.source(scale);
         let base = build_source(&src, w.name, BuildConfig::Vanilla).expect("builds");
-        let base_run =
-            Machine::new(&base.module, base.vm_config(VmConfig::default())).run(b"");
+        let base_run = Machine::new(&base.module, base.vm_config(VmConfig::default())).run(b"");
 
         let built = build_source(&src, w.name, BuildConfig::Cpi).expect("builds");
         let mut sw_cfg = built.vm_config(VmConfig::default());

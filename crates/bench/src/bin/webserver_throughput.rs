@@ -18,15 +18,14 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(16);
     println!("Table 4 — web stack throughput ({requests} requests per run)\n");
-    let mut table = Table::new(&[
-        "page",
-        "SafeStack",
-        "CPS",
-        "CPI",
-        "baseline req/Mcycle",
-    ]);
+    let mut table = Table::new(&["page", "SafeStack", "CPS", "CPI", "baseline req/Mcycle"]);
     for w in web_stack() {
-        let base = measure(&w, requests, BuildConfig::Vanilla, StoreKind::ArraySuperpage);
+        let base = measure(
+            &w,
+            requests,
+            BuildConfig::Vanilla,
+            StoreKind::ArraySuperpage,
+        );
         let cells: Vec<String> = [BuildConfig::SafeStack, BuildConfig::Cps, BuildConfig::Cpi]
             .iter()
             .map(|c| {

@@ -172,7 +172,11 @@ mod tests {
         let built = build_source(SRC, "t", BuildConfig::Vanilla).unwrap();
         assert_eq!(built.stats.instrumented_mem_ops, 0);
         assert!(built.stats.mem_ops > 0);
-        assert!(!built.vm_config(VmConfig::default()).protect_runtime_code_ptrs);
+        assert!(
+            !built
+                .vm_config(VmConfig::default())
+                .protect_runtime_code_ptrs
+        );
     }
 
     #[test]
@@ -181,7 +185,11 @@ mod tests {
         assert!(built.stats.instrumented_mem_ops > 0);
         assert!(built.stats.fn_checks >= 1);
         assert!(built.stats.fnustack() > 0.0); // main has the input buffer
-        assert!(built.vm_config(VmConfig::default()).protect_runtime_code_ptrs);
+        assert!(
+            built
+                .vm_config(VmConfig::default())
+                .protect_runtime_code_ptrs
+        );
     }
 
     #[test]
@@ -218,6 +226,10 @@ mod tests {
             outputs.push(out.output);
         }
         outputs.dedup();
-        assert_eq!(outputs.len(), 1, "all configs must produce identical output");
+        assert_eq!(
+            outputs.len(),
+            1,
+            "all configs must produce identical output"
+        );
     }
 }

@@ -81,7 +81,7 @@ fn def_map(func: &Function) -> HashMap<ValueId, Inst> {
 }
 
 /// The static type of an operand, if it is a register.
-fn operand_ty<'f>(func: &'f Function, op: Operand) -> Option<&'f Ty> {
+fn operand_ty(func: &Function, op: Operand) -> Option<&Ty> {
     match op {
         Operand::Value(v) => Some(func.local_ty(v)),
         Operand::Const(_) => None,
@@ -318,11 +318,7 @@ fn mem_fn_may_touch_sensitive(
 
 /// Finds the real pointee type of register `v` by unwinding casts to its
 /// defining instruction.
-fn recovered_pointee(
-    defs: &HashMap<ValueId, Inst>,
-    func: &Function,
-    mut v: ValueId,
-) -> Option<Ty> {
+fn recovered_pointee(defs: &HashMap<ValueId, Inst>, func: &Function, mut v: ValueId) -> Option<Ty> {
     for _ in 0..8 {
         match defs.get(&v) {
             Some(Inst::Cast {
@@ -330,7 +326,10 @@ fn recovered_pointee(
                 value: Operand::Value(src),
                 ..
             }) => v = *src,
-            Some(Inst::Gep { base: Operand::Value(src), .. }) => v = *src,
+            Some(Inst::Gep {
+                base: Operand::Value(src),
+                ..
+            }) => v = *src,
             _ => break,
         }
     }

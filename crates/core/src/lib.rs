@@ -39,6 +39,6 @@ pub mod safestack;
 pub mod sensitivity;
 pub mod stats;
 
-pub use driver::{build_module, build_source, Built, BuildConfig};
+pub use driver::{build_module, build_source, BuildConfig, Built};
 pub use sensitivity::{FnFlow, Mode, Sensitivity};
 pub use stats::{BuildStats, FuncInstrStats};

@@ -99,9 +99,11 @@ fn promote_in_function(func: &mut Function) -> usize {
                 Inst::Alloca { dest, .. } if cells.contains_key(&dest) => {
                     // The slot no longer exists; drop the alloca.
                 }
-                Inst::Store { ptr: Operand::Value(slot), value, .. }
-                    if cells.contains_key(&slot) =>
-                {
+                Inst::Store {
+                    ptr: Operand::Value(slot),
+                    value,
+                    ..
+                } if cells.contains_key(&slot) => {
                     new.push(Inst::Bin {
                         dest: cells[&slot],
                         op: BinOp::Add,
@@ -109,9 +111,11 @@ fn promote_in_function(func: &mut Function) -> usize {
                         rhs: Operand::Const(0),
                     });
                 }
-                Inst::Load { dest, ptr: Operand::Value(slot), .. }
-                    if cells.contains_key(&slot) =>
-                {
+                Inst::Load {
+                    dest,
+                    ptr: Operand::Value(slot),
+                    ..
+                } if cells.contains_key(&slot) => {
                     new.push(Inst::Bin {
                         dest,
                         op: BinOp::Add,
@@ -180,9 +184,7 @@ mod tests {
         assert_eq!(out.output, "42");
         // x's alloca must survive in main (its address escapes).
         let main = m.func(m.func_by_name("main").unwrap());
-        assert!(main
-            .iter_insts()
-            .any(|i| matches!(i, Inst::Alloca { .. })));
+        assert!(main.iter_insts().any(|i| matches!(i, Inst::Alloca { .. })));
     }
 
     #[test]
@@ -198,10 +200,7 @@ mod tests {
             }
         "#;
         let built = crate::build_source(src, "t", crate::BuildConfig::Cpi).unwrap();
-        let mut vm = Machine::new(
-            &built.module,
-            built.vm_config(VmConfig::default()),
-        );
+        let mut vm = Machine::new(&built.module, built.vm_config(VmConfig::default()));
         let out = vm.run(b"");
         assert_eq!(out.status, ExitStatus::Exited(0));
         assert_eq!(out.output, "9");

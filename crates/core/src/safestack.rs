@@ -112,19 +112,17 @@ pub fn apply(module: &mut Module) -> usize {
                             StackKind::Unsafe
                         };
                     }
-                    Inst::Load { ptr, space, .. } => {
-                        if let Operand::Value(v) = ptr {
-                            if analysis.safe_allocas.contains(v) {
-                                *space = MemSpace::SafeStack;
-                            }
-                        }
+                    Inst::Load {
+                        ptr: Operand::Value(v),
+                        space,
+                        ..
                     }
-                    Inst::Store { ptr, space, .. } => {
-                        if let Operand::Value(v) = ptr {
-                            if analysis.safe_allocas.contains(v) {
-                                *space = MemSpace::SafeStack;
-                            }
-                        }
+                    | Inst::Store {
+                        ptr: Operand::Value(v),
+                        space,
+                        ..
+                    } if analysis.safe_allocas.contains(v) => {
+                        *space = MemSpace::SafeStack;
                     }
                     _ => {}
                 }
@@ -176,10 +174,22 @@ mod tests {
         let mut safestack_accesses = 0;
         for inst in f.iter_insts() {
             match inst {
-                Inst::Alloca { stack: StackKind::Safe, .. } => safe_allocas += 1,
-                Inst::Alloca { stack: StackKind::Unsafe, .. } => unsafe_allocas += 1,
-                Inst::Load { space: MemSpace::SafeStack, .. }
-                | Inst::Store { space: MemSpace::SafeStack, .. } => safestack_accesses += 1,
+                Inst::Alloca {
+                    stack: StackKind::Safe,
+                    ..
+                } => safe_allocas += 1,
+                Inst::Alloca {
+                    stack: StackKind::Unsafe,
+                    ..
+                } => unsafe_allocas += 1,
+                Inst::Load {
+                    space: MemSpace::SafeStack,
+                    ..
+                }
+                | Inst::Store {
+                    space: MemSpace::SafeStack,
+                    ..
+                } => safestack_accesses += 1,
                 _ => {}
             }
         }

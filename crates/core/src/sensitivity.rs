@@ -114,12 +114,8 @@ impl<'t> Sensitivity<'t> {
         // Least fixpoint: seed with false.
         self.struct_cache.insert(id, false);
         let def = self.types.struct_def(id);
-        let result = def.annotated_sensitive
-            || def
-                .fields
-                .clone()
-                .iter()
-                .any(|f| self.ty_sensitive(&f.ty));
+        let result =
+            def.annotated_sensitive || def.fields.clone().iter().any(|f| self.ty_sensitive(&f.ty));
         self.struct_cache.insert(id, result);
         result
     }
@@ -160,61 +156,53 @@ impl FnFlow {
                         }
                     }
                     // Stack byte buffers are strings, not pointer stores.
-                    Inst::Alloca { dest, ty, .. } => {
-                        if matches!(ty, Ty::Array(e, _) if **e == Ty::I8) || *ty == Ty::I8 {
-                            stringy.insert(*dest);
-                        }
+                    Inst::Alloca { dest, ty, .. }
+                        if (matches!(ty, Ty::Array(e, _) if **e == Ty::I8) || *ty == Ty::I8) =>
+                    {
+                        stringy.insert(*dest);
                     }
                     // Arguments to / results of libc string functions.
-                    Inst::IntrinsicCall { dest, which, args } => {
-                        if which.is_string_fn() {
-                            for a in args {
-                                if let Operand::Value(v) = a {
-                                    stringy.insert(*v);
-                                }
+                    Inst::IntrinsicCall { dest, which, args } if which.is_string_fn() => {
+                        for a in args {
+                            if let Operand::Value(v) = a {
+                                stringy.insert(*v);
                             }
-                            if let Some(d) = dest {
-                                stringy.insert(*d);
-                            }
+                        }
+                        if let Some(d) = dest {
+                            stringy.insert(*d);
                         }
                     }
                     // String-ness propagates through pointer arithmetic
                     // and pointer-to-pointer casts.
-                    Inst::Gep { dest, base, .. } => {
-                        if let Operand::Value(b) = base {
-                            if stringy.contains(b) {
-                                stringy.insert(*dest);
-                            }
-                        }
+                    Inst::Gep {
+                        dest,
+                        base: Operand::Value(b),
+                        ..
+                    } if stringy.contains(b) => {
+                        stringy.insert(*dest);
                     }
                     Inst::Cast {
                         dest,
                         kind: CastKind::PtrToPtr,
-                        value,
+                        value: Operand::Value(v),
                         to,
                     } => {
-                        if let Operand::Value(v) = value {
-                            if stringy.contains(v) {
-                                stringy.insert(*dest);
-                            }
-                            // Cast dataflow: source of a cast *to* a
-                            // sensitive type becomes sensitive.
-                            if sens.value_sensitive(to) {
-                                cast_sensitive.insert(*v);
-                            }
+                        if stringy.contains(v) {
+                            stringy.insert(*dest);
+                        }
+                        // Cast dataflow: source of a cast *to* a
+                        // sensitive type becomes sensitive.
+                        if sens.value_sensitive(to) {
+                            cast_sensitive.insert(*v);
                         }
                     }
                     Inst::Cast {
                         dest: _,
                         kind: CastKind::IntToPtr,
-                        value,
+                        value: Operand::Value(v),
                         to,
-                    } => {
-                        if let Operand::Value(v) = value {
-                            if sens.value_sensitive(to) {
-                                cast_sensitive.insert(*v);
-                            }
-                        }
+                    } if sens.value_sensitive(to) => {
+                        cast_sensitive.insert(*v);
                     }
                     _ => {}
                 }
@@ -270,10 +258,7 @@ mod tests {
     #[test]
     fn struct_with_fnptr_field_is_sensitive() {
         let t = table_with(|t| {
-            t.define_struct(
-                "ops",
-                vec![("x".into(), Ty::I32), ("h".into(), fnptr())],
-            );
+            t.define_struct("ops", vec![("x".into(), Ty::I32), ("h".into(), fnptr())]);
             t.define_struct("plain", vec![("x".into(), Ty::I32)]);
         });
         let ops = t.struct_by_name("ops").unwrap();
@@ -338,7 +323,7 @@ mod tests {
         let mut s = Sensitivity::new(&t, Mode::Cps);
         assert!(s.value_sensitive(&fnptr()));
         assert!(s.value_sensitive(&Ty::VoidPtr)); // universal, runtime-decided
-        // Pointers to code pointers are NOT protected under CPS.
+                                                  // Pointers to code pointers are NOT protected under CPS.
         assert!(!s.value_sensitive(&fnptr().ptr_to()));
         assert!(!s.value_sensitive(&Ty::Struct(ops).ptr_to()));
         // And CPS never bounds-checks.
@@ -373,7 +358,11 @@ mod tests {
         let lit = m.global_by_name("lit").unwrap();
         let sptr = b.global_addr(lit, Ty::I8.ptr_to());
         let buf = b.alloca(Ty::Array(Box::new(Ty::I8), 16), 1);
-        b.intrinsic(Intrinsic::Strcpy, vec![buf.into(), sptr.into()], Ty::I8.ptr_to());
+        b.intrinsic(
+            Intrinsic::Strcpy,
+            vec![buf.into(), sptr.into()],
+            Ty::I8.ptr_to(),
+        );
         let other = b.alloca(Ty::I64, 1); // not a string
         b.ret(Some(0.into()));
         let f = b.finish();

@@ -181,11 +181,7 @@ impl Env {
     pub fn eval_lhs(&mut self, lhs: &Lhs) -> Result<Loc, Outcome> {
         match lhs {
             Lhs::Var(x) => {
-                let (ty, addr) = self
-                    .vars
-                    .get(x)
-                    .cloned()
-                    .ok_or(Outcome::Abort)?;
+                let (ty, addr) = self.vars.get(x).cloned().ok_or(Outcome::Abort)?;
                 let safe = self.sensitive(&ty);
                 Ok(Loc { addr, safe, ty })
             }
@@ -334,26 +330,20 @@ impl Env {
                     Some(l) => Ok(Val::Safe(SafeVal {
                         v: l,
                         b: l,
-                        e: l + words.min(64).max(1),
+                        e: l + words.clamp(1, 64),
                     })),
                     None => Err(Outcome::OutOfMem),
                 }
             }
             Rhs::Addr(lhs) => {
                 let loc = self.eval_lhs(lhs)?;
-                if self.sensitive(&loc.ty) || loc.safe {
-                    Ok(Val::Safe(SafeVal {
-                        v: loc.addr,
-                        b: loc.addr,
-                        e: loc.addr + 1,
-                    }))
-                } else {
-                    Ok(Val::Safe(SafeVal {
-                        v: loc.addr,
-                        b: loc.addr,
-                        e: loc.addr + 1,
-                    }))
-                }
+                // Taking an address yields exact bounds regardless of
+                // the location's sensitivity.
+                Ok(Val::Safe(SafeVal {
+                    v: loc.addr,
+                    b: loc.addr,
+                    e: loc.addr + 1,
+                }))
             }
             Rhs::Add(a, b) => {
                 let va = self.eval_rhs(a)?;
@@ -453,10 +443,7 @@ impl Env {
                     Ok(Val::Safe(sv)) => {
                         // A safe code pointer must be exact (b = e = v
                         // at creation; arithmetic may have moved v).
-                        if sv.v == sv.b && sv.v == sv.e && self.func_addrs.contains(&sv.v) {
-                            self.called.push(sv.v);
-                            Outcome::Ok
-                        } else if self.func_addrs.contains(&sv.v) {
+                        if self.func_addrs.contains(&sv.v) {
                             self.called.push(sv.v);
                             Outcome::Ok
                         } else {

@@ -138,11 +138,7 @@ pub fn sensitive_pty(p: &PTy, structs: &BTreeMap<String, StructDef>) -> bool {
         PTy::Atomic(a) => sensitive_aty(a, structs),
         PTy::Struct(name) => structs
             .get(name)
-            .map(|def| {
-                def.fields
-                    .values()
-                    .any(|(_, a)| sensitive_aty(a, structs))
-            })
+            .map(|def| def.fields.values().any(|(_, a)| sensitive_aty(a, structs)))
             .unwrap_or(false),
     }
 }

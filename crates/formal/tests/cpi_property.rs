@@ -52,8 +52,7 @@ fn cmd_strategy() -> impl Strategy<Value = Cmd> {
     let func = proptest::sample::select(FUNCS.to_vec());
     prop_oneof![
         // Legitimate code-pointer assignments: g = &f_i, h = g, …
-        (fn_var(), func.clone())
-            .prop_map(|(l, f)| Cmd::Assign(l, Rhs::AddrFn(f.to_string()))),
+        (fn_var(), func.clone()).prop_map(|(l, f)| Cmd::Assign(l, Rhs::AddrFn(f.to_string()))),
         (fn_var(), fn_var()).prop_map(|(l, r)| Cmd::Assign(l, Rhs::Read(r))),
         // Laundering attempts through integers and void*:
         (fn_var(), any::<u32>()).prop_map(|(l, v)| Cmd::Assign(
@@ -62,12 +61,10 @@ fn cmd_strategy() -> impl Strategy<Value = Cmd> {
         )),
         (fn_var(),).prop_map(|(l,)| Cmd::Assign(
             l,
-            Rhs::Cast(
-                ATy::fn_ptr(),
-                Box::new(Rhs::Read(Lhs::Var("u".into())))
-            )
+            Rhs::Cast(ATy::fn_ptr(), Box::new(Rhs::Read(Lhs::Var("u".into()))))
         )),
-        func.clone().prop_map(|f| Cmd::Assign(Lhs::Var("u".into()), Rhs::AddrFn(f.to_string()))),
+        func.clone()
+            .prop_map(|f| Cmd::Assign(Lhs::Var("u".into()), Rhs::AddrFn(f.to_string()))),
         any::<u32>().prop_map(|v| Cmd::Assign(Lhs::Var("u".into()), Rhs::Int(v as i64))),
         // Plain data traffic.
         any::<u16>().prop_map(|v| Cmd::Assign(Lhs::Var("x".into()), Rhs::Int(v as i64))),

@@ -254,12 +254,7 @@ impl FuncBuilder {
     }
 
     /// Intrinsic call; `ret` of `Ty::Void` produces no destination.
-    pub fn intrinsic(
-        &mut self,
-        which: Intrinsic,
-        args: Vec<Operand>,
-        ret: Ty,
-    ) -> Option<ValueId> {
+    pub fn intrinsic(&mut self, which: Intrinsic, args: Vec<Operand>, ret: Ty) -> Option<ValueId> {
         let dest = if ret == Ty::Void {
             None
         } else {

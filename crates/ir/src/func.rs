@@ -147,6 +147,24 @@ impl Function {
         self.blocks.iter().flat_map(|b| b.insts.iter())
     }
 
+    /// Iterates over the call-shaped instructions (direct, indirect and
+    /// intrinsic calls) in layout order with their `(block, index)`
+    /// position.
+    ///
+    /// Return-site numbering is defined by this order: the VM's loader
+    /// assigns return-site addresses to call sites by walking this
+    /// iterator, and the bytecode compiler assigns site indices the same
+    /// way, so the two always agree on which call gets which site.
+    pub fn iter_call_sites(&self) -> impl Iterator<Item = (BlockId, usize, &Inst)> {
+        self.iter_blocks().flat_map(|(bid, b)| {
+            b.insts
+                .iter()
+                .enumerate()
+                .filter(|(_, inst)| inst.is_call_shaped())
+                .map(move |(ip, inst)| (bid, ip, inst))
+        })
+    }
+
     /// Total number of instructions (excluding terminators).
     pub fn inst_count(&self) -> usize {
         self.blocks.iter().map(|b| b.insts.len()).sum()

@@ -476,12 +476,25 @@ impl Inst {
         }
     }
 
+    /// True for call-shaped instructions (direct, indirect and intrinsic
+    /// calls) — the instructions that get a return-site address assigned
+    /// by the VM's loader and the bytecode compiler.
+    pub fn is_call_shaped(&self) -> bool {
+        matches!(
+            self,
+            Inst::Call { .. } | Inst::CallIndirect { .. } | Inst::IntrinsicCall { .. }
+        )
+    }
+
     /// True if this is a memory operation (load or store, plain or
     /// instrumented) — the denominator of the paper's MO ratios.
     pub fn is_memory_op(&self) -> bool {
         matches!(
             self,
-            Inst::Load { .. } | Inst::Store { .. } | Inst::Cpi(CpiOp::PtrLoad { .. }) | Inst::Cpi(CpiOp::PtrStore { .. })
+            Inst::Load { .. }
+                | Inst::Store { .. }
+                | Inst::Cpi(CpiOp::PtrLoad { .. })
+                | Inst::Cpi(CpiOp::PtrStore { .. })
         )
     }
 }

@@ -59,10 +59,20 @@ pub fn print_inst(m: &Module, inst: &Inst) -> String {
             count,
             stack,
         } => format!("%{} = alloca {ty} x {count} [{stack:?}]", dest.0),
-        Inst::Load { dest, ptr, ty, space } => {
+        Inst::Load {
+            dest,
+            ptr,
+            ty,
+            space,
+        } => {
             format!("%{} = load {ty}, {} [{space:?}]", dest.0, op_str(ptr))
         }
-        Inst::Store { ptr, value, ty, space } => {
+        Inst::Store {
+            ptr,
+            value,
+            ty,
+            space,
+        } => {
             format!("store {ty} {}, {} [{space:?}]", op_str(value), op_str(ptr))
         }
         Inst::Gep {
@@ -115,7 +125,12 @@ pub fn print_inst(m: &Module, inst: &Inst) -> String {
         Inst::Call { dest, func, args } => {
             let args: Vec<_> = args.iter().map(op_str).collect();
             match dest {
-                Some(d) => format!("%{} = call @{}({})", d.0, m.func(*func).name, args.join(", ")),
+                Some(d) => format!(
+                    "%{} = call @{}({})",
+                    d.0,
+                    m.func(*func).name,
+                    args.join(", ")
+                ),
                 None => format!("call @{}({})", m.func(*func).name, args.join(", ")),
             }
         }

@@ -416,7 +416,10 @@ mod tests {
         let a = FnSig::new(vec![Ty::I32], Ty::Void);
         let b = FnSig::new(vec![Ty::I64], Ty::Void);
         assert_ne!(a.type_hash(), b.type_hash());
-        assert_eq!(a.type_hash(), FnSig::new(vec![Ty::I32], Ty::Void).type_hash());
+        assert_eq!(
+            a.type_hash(),
+            FnSig::new(vec![Ty::I32], Ty::Void).type_hash()
+        );
     }
 
     #[test]

@@ -134,27 +134,20 @@ fn verify_func(m: &Module, f: &Function, errs: &mut Vec<VerifyError>) {
     }
 }
 
-fn verify_inst(
-    m: &Module,
-    f: &Function,
-    bid: BlockId,
-    inst: &Inst,
-    err: &mut impl FnMut(String),
-) {
+fn verify_inst(m: &Module, f: &Function, bid: BlockId, inst: &Inst, err: &mut impl FnMut(String)) {
     match inst {
-        Inst::Load { ty, .. } | Inst::Store { ty, .. } => {
-            if !ty.is_scalar() {
-                err(format!("bb{}: load/store of non-scalar type {ty}", bid.0));
-            }
+        Inst::Load { ty, .. } | Inst::Store { ty, .. } if !ty.is_scalar() => {
+            err(format!("bb{}: load/store of non-scalar type {ty}", bid.0));
         }
-        Inst::Alloca { count, .. } => {
-            if *count == 0 {
-                err(format!("bb{}: zero-sized alloca", bid.0));
-            }
+        Inst::Alloca { count, .. } if *count == 0 => {
+            err(format!("bb{}: zero-sized alloca", bid.0));
         }
         Inst::Call { func, args, .. } => {
             if func.0 as usize >= m.funcs.len() {
-                err(format!("bb{}: call to missing function id {}", bid.0, func.0));
+                err(format!(
+                    "bb{}: call to missing function id {}",
+                    bid.0, func.0
+                ));
                 return;
             }
             let callee = m.func(*func);
@@ -168,30 +161,22 @@ fn verify_inst(
                 ));
             }
         }
-        Inst::CallIndirect { sig, args, .. } => {
-            if sig.params.len() != args.len() {
-                err(format!(
-                    "bb{}: indirect call passes {} args, signature expects {}",
-                    bid.0,
-                    args.len(),
-                    sig.params.len()
-                ));
-            }
+        Inst::CallIndirect { sig, args, .. } if sig.params.len() != args.len() => {
+            err(format!(
+                "bb{}: indirect call passes {} args, signature expects {}",
+                bid.0,
+                args.len(),
+                sig.params.len()
+            ));
         }
-        Inst::GlobalAddr { global, .. } => {
-            if global.0 as usize >= m.globals.len() {
-                err(format!("bb{}: missing global id {}", bid.0, global.0));
-            }
+        Inst::GlobalAddr { global, .. } if global.0 as usize >= m.globals.len() => {
+            err(format!("bb{}: missing global id {}", bid.0, global.0));
         }
-        Inst::FuncAddr { func, .. } => {
-            if func.0 as usize >= m.funcs.len() {
-                err(format!("bb{}: missing function id {}", bid.0, func.0));
-            }
+        Inst::FuncAddr { func, .. } if func.0 as usize >= m.funcs.len() => {
+            err(format!("bb{}: missing function id {}", bid.0, func.0));
         }
-        Inst::Gep { dest, .. } => {
-            if !f.local_ty(*dest).is_pointer() {
-                err(format!("bb{}: gep result must be a pointer", bid.0));
-            }
+        Inst::Gep { dest, .. } if !f.local_ty(*dest).is_pointer() => {
+            err(format!("bb{}: gep result must be a pointer", bid.0));
         }
         _ => {}
     }

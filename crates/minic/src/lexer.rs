@@ -45,9 +45,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let word = &src[start..i];
@@ -236,7 +234,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
                 }
             }
             other => {
-                return Err(CompileError::lex(line, format!("unexpected character {other:?}")))
+                return Err(CompileError::lex(
+                    line,
+                    format!("unexpected character {other:?}"),
+                ))
             }
         }
     }

@@ -136,7 +136,10 @@ impl Cx {
                 f.name.clone(),
                 (
                     id,
-                    f.params.iter().map(|(_, t)| self.decay(t.clone())).collect(),
+                    f.params
+                        .iter()
+                        .map(|(_, t)| self.decay(t.clone()))
+                        .collect(),
                     f.ret.clone(),
                 ),
             );
@@ -168,8 +171,7 @@ impl Cx {
         init: &Init,
         line: u32,
     ) -> Result<Vec<InitAtom>, CompileError> {
-        let atom_err =
-            |msg: &str| Err(CompileError::ty(line, format!("bad initializer: {msg}")));
+        let atom_err = |msg: &str| Err(CompileError::ty(line, format!("bad initializer: {msg}")));
         match (ty, init) {
             (CTy::Char | CTy::Short | CTy::Int | CTy::Long, Init::Int(v)) => {
                 let size = scalar_size(ty);
@@ -306,10 +308,9 @@ impl Cx {
             CTy::Long => Ty::I64,
             CTy::Ptr(inner) if **inner == CTy::Void => Ty::VoidPtr,
             CTy::Ptr(inner) => self.cty_rec(inner, self_name, false, line)?.ptr_to(),
-            CTy::Array(elem, n) => Ty::Array(
-                Box::new(self.cty_rec(elem, self_name, by_value, line)?),
-                *n,
-            ),
+            CTy::Array(elem, n) => {
+                Ty::Array(Box::new(self.cty_rec(elem, self_name, by_value, line)?), *n)
+            }
             CTy::Struct(name) => {
                 let id = self.module.types.struct_by_name(name).ok_or_else(|| {
                     CompileError::ty(line, format!("unknown struct {name} (define before use)"))
@@ -343,7 +344,10 @@ impl Cx {
             Ty::VoidPtr => CTy::Void.ptr(),
             Ty::Ptr(inner) => self.ir_to_cty_approx(inner).ptr(),
             Ty::FnPtr(sig) => CTy::FnPtr(
-                sig.params.iter().map(|p| self.ir_to_cty_approx(p)).collect(),
+                sig.params
+                    .iter()
+                    .map(|p| self.ir_to_cty_approx(p))
+                    .collect(),
                 Box::new(self.ir_to_cty_approx(&sig.ret)),
             ),
             Ty::Array(elem, n) => CTy::Array(Box::new(self.ir_to_cty_approx(elem)), *n),
@@ -475,13 +479,13 @@ impl<'a> FnCx<'a> {
             } => {
                 let ir_ty = self.cx.cty_to_ir(ty, *line)?;
                 let slot = self.b.alloca(ir_ty.clone(), 1);
-                self.scopes
-                    .last_mut()
-                    .expect("scope")
-                    .insert(name.clone(), Var {
+                self.scopes.last_mut().expect("scope").insert(
+                    name.clone(),
+                    Var {
                         slot,
                         ty: ty.clone(),
-                    });
+                    },
+                );
                 if let Some(e) = init {
                     let rv = self.rvalue(e)?;
                     let coerced = self.coerce(rv, ty, *line)?;
@@ -628,10 +632,7 @@ impl<'a> FnCx<'a> {
                     let addr = self.b.global_addr(gid, ir.ptr_to());
                     return Ok((addr.into(), gty));
                 }
-                Err(CompileError::ty(
-                    e.line,
-                    format!("unknown variable {name}"),
-                ))
+                Err(CompileError::ty(e.line, format!("unknown variable {name}")))
             }
             ExprKind::Unary(UnKind::Deref, inner) => {
                 let rv = self.rvalue(inner)?;
@@ -672,12 +673,10 @@ impl<'a> FnCx<'a> {
                         format!("member access on non-struct {struct_ty:?}"),
                     ));
                 };
-                let sid = self
-                    .cx
-                    .module
-                    .types
-                    .struct_by_name(sname)
-                    .ok_or_else(|| CompileError::ty(e.line, format!("unknown struct {sname}")))?;
+                let sid =
+                    self.cx.module.types.struct_by_name(sname).ok_or_else(|| {
+                        CompileError::ty(e.line, format!("unknown struct {sname}"))
+                    })?;
                 let (idx, fld) = self
                     .cx
                     .module
@@ -1005,12 +1004,7 @@ impl<'a> FnCx<'a> {
         }
     }
 
-    fn lower_call(
-        &mut self,
-        callee: &Expr,
-        args: &[Expr],
-        line: u32,
-    ) -> Result<RV, CompileError> {
+    fn lower_call(&mut self, callee: &Expr, args: &[Expr], line: u32) -> Result<RV, CompileError> {
         // Direct call to a named function or intrinsic?
         if let ExprKind::Ident(name) = &callee.kind {
             if self.lookup(name).is_none() && !self.cx.globals.contains_key(name) {
@@ -1104,7 +1098,11 @@ impl<'a> FnCx<'a> {
         if args.len() != arity {
             return Err(CompileError::ty(
                 line,
-                format!("{} expects {arity} arguments, got {}", intr.name(), args.len()),
+                format!(
+                    "{} expects {arity} arguments, got {}",
+                    intr.name(),
+                    args.len()
+                ),
             ));
         }
         let mut ops = Vec::new();

@@ -235,9 +235,8 @@ impl Parser {
             let line = self.line();
             let base = self.base_type()?;
             let (ty, name) = self.declarator(base)?;
-            let name = name.ok_or_else(|| {
-                CompileError::parse(line, "top-level declaration needs a name")
-            })?;
+            let name = name
+                .ok_or_else(|| CompileError::parse(line, "top-level declaration needs a name"))?;
             if matches!(ty, CTy::FnPtr(..) | CTy::Array(..)) || *self.peek() != Tok::LParen {
                 // Global variable.
                 let init = if self.eat(&Tok::Assign) {
@@ -282,9 +281,8 @@ impl Parser {
             let base = self.base_type()?;
             loop {
                 let (ty, fname) = self.declarator(base.clone())?;
-                let fname = fname.ok_or_else(|| {
-                    CompileError::parse(self.line(), "struct field needs a name")
-                })?;
+                let fname = fname
+                    .ok_or_else(|| CompileError::parse(self.line(), "struct field needs a name"))?;
                 fields.push((fname, ty));
                 if !self.eat(&Tok::Comma) {
                     break;
@@ -316,8 +314,7 @@ impl Parser {
             let line = self.line();
             let base = self.base_type()?;
             let (ty, name) = self.declarator(base)?;
-            let name =
-                name.ok_or_else(|| CompileError::parse(line, "parameter needs a name"))?;
+            let name = name.ok_or_else(|| CompileError::parse(line, "parameter needs a name"))?;
             out.push((name, ty));
             if !self.eat(&Tok::Comma) {
                 break;
@@ -588,7 +585,10 @@ impl Parser {
             Tok::Tilde => {
                 self.bump();
                 let e = self.unary_expr()?;
-                Ok(Expr::new(ExprKind::Unary(UnKind::BitNot, Box::new(e)), line))
+                Ok(Expr::new(
+                    ExprKind::Unary(UnKind::BitNot, Box::new(e)),
+                    line,
+                ))
             }
             Tok::Star => {
                 self.bump();
@@ -707,9 +707,7 @@ mod tests {
 
     #[test]
     fn parses_struct_with_fnptr_field() {
-        let p = parse_ok(
-            "struct ops { int x; void (*handler)(int); char name[8]; };",
-        );
+        let p = parse_ok("struct ops { int x; void (*handler)(int); char name[8]; };");
         assert_eq!(p.structs.len(), 1);
         let s = &p.structs[0];
         assert_eq!(s.fields.len(), 3);

@@ -429,8 +429,10 @@ fn output_identical_across_store_kinds() {
     let module = compile(src, "t").unwrap();
     let mut outputs = Vec::new();
     for kind in levee_rt_kinds() {
-        let mut config = VmConfig::default();
-        config.store_kind = kind;
+        let config = VmConfig {
+            store_kind: kind,
+            ..VmConfig::default()
+        };
         let out = Machine::new(&module, config).run(b"");
         outputs.push(out.output);
     }

@@ -141,7 +141,12 @@ impl Attack {
 /// Enumerates every valid attack instance (the benchmark suite).
 pub fn all_attacks() -> Vec<Attack> {
     let mut out = Vec::new();
-    for location in [Location::Stack, Location::Heap, Location::Bss, Location::Data] {
+    for location in [
+        Location::Stack,
+        Location::Heap,
+        Location::Bss,
+        Location::Data,
+    ] {
         for target in [Target::RetAddr, Target::FuncPtr, Target::LongjmpBuf] {
             for technique in [Technique::Direct, Technique::Indirect] {
                 for abuse in [

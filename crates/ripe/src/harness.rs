@@ -55,18 +55,18 @@ impl Profile {
         )
     }
 
-    /// Compiles `src` under this profile.
-    fn prepare(&self, src: &str) -> (levee_ir::Module, VmConfig) {
+    /// Compiles `src` under this profile, layering the profile's
+    /// settings over `base` (engine selection, cost model, …).
+    fn prepare(&self, src: &str, base: VmConfig) -> (levee_ir::Module, VmConfig) {
         match self {
             Profile::Deployment(d) => {
                 let mut module = levee_minic::compile(src, "ripe").expect("template compiles");
                 d.apply(&mut module);
-                (module, d.vm_config(VmConfig::default()))
+                (module, d.vm_config(base))
             }
             Profile::Levee(c) => {
-                let built =
-                    levee_core::build_source(src, "ripe", *c).expect("template compiles");
-                let cfg = built.vm_config(VmConfig::default());
+                let built = levee_core::build_source(src, "ripe", *c).expect("template compiles");
+                let cfg = built.vm_config(base);
                 (built.module, cfg)
             }
         }
@@ -131,7 +131,7 @@ fn build_payload(attack: &Attack, recon: &Recon, cookie_gap: bool) -> Vec<u8> {
                     None => 64,
                 },
             };
-            p.extend(std::iter::repeat(b'A').take(offset));
+            p.extend(std::iter::repeat_n(b'A', offset));
             p.extend_from_slice(&goal.to_le_bytes());
         }
         Technique::Indirect => {
@@ -145,7 +145,7 @@ fn build_payload(attack: &Attack, recon: &Recon, cookie_gap: bool) -> Vec<u8> {
                 // The function-pointer global, leaked directly.
                 _ => recon.leak2.unwrap_or(recon.leak1 + 80),
             };
-            p.extend(std::iter::repeat(b'A').take(64));
+            p.extend(std::iter::repeat_n(b'A', 64));
             p.extend_from_slice(&write_target.to_le_bytes());
         }
     }
@@ -155,8 +155,20 @@ fn build_payload(attack: &Attack, recon: &Recon, cookie_gap: bool) -> Vec<u8> {
 /// Runs one attack against one profile. `seed` feeds the victim's
 /// randomization (ASLR layout, cookie values, safe-region base).
 pub fn run_attack(attack: &Attack, profile: &Profile, seed: u64) -> AttackResult {
+    run_attack_with(attack, profile, seed, VmConfig::default())
+}
+
+/// Like [`run_attack`], but layered over a caller-supplied base
+/// [`VmConfig`] — the engines differential suite uses this to replay
+/// the attack matrix under both execution engines.
+pub fn run_attack_with(
+    attack: &Attack,
+    profile: &Profile,
+    seed: u64,
+    base: VmConfig,
+) -> AttackResult {
     let src = generate(attack);
-    let (module, victim_cfg) = profile.prepare(&src);
+    let (module, victim_cfg) = profile.prepare(&src, base);
 
     // --- Recon: the attacker's own copy, without ASLR. ---
     let mut recon_cfg = victim_cfg;

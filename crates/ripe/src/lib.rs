@@ -27,5 +27,5 @@ pub mod harness;
 pub mod template;
 
 pub use attack::{all_attacks, AbuseFn, Attack, Location, Payload, Target, Technique};
-pub use harness::{evaluate, run_attack, AttackResult, Profile, Tally};
+pub use harness::{evaluate, run_attack, run_attack_with, AttackResult, Profile, Tally};
 pub use template::generate;

@@ -161,9 +161,7 @@ pub fn generate(attack: &Attack) -> String {
         ),
         other => unreachable!("Attack::is_valid rejects {other:?}"),
     };
-    format!(
-        "{PREAMBLE}{body}int main() {{ vuln(); print_int({SENTINEL}); return 0; }}\n"
-    )
+    format!("{PREAMBLE}{body}int main() {{ vuln(); print_int({SENTINEL}); return 0; }}\n")
 }
 
 #[cfg(test)]

@@ -11,14 +11,30 @@
 use std::collections::HashMap;
 
 use crate::entry::{Entry, ENTRY_SIZE};
+use crate::fasthash::FastHash;
 use crate::store::{aligned_slots, PtrStore, Touched};
+
+/// Address span covered by the direct-indexed low tier: the whole low
+/// 4 GB regular region (code, globals, heap, stacks — see the VM's
+/// layout). Keys in this span are looked up through a direct-indexed
+/// table instead of the hash map: safe-store operations run on every
+/// instrumented memory access, so the lookup is hot.
+const LOW_SPAN: u64 = 1 << 32;
 
 /// Sparse linear array of entries, with configurable page size.
 pub struct ArrayStore {
     base: u64,
     page_size: u64,
     entries_per_page: u64,
-    pages: HashMap<u64, Vec<Option<Entry>>>,
+    /// Page indices below this bound (`LOW_SPAN` divided by the address
+    /// span one metadata page covers) use the direct tier.
+    low_pages: u64,
+    /// Direct-indexed storage for the low tier (grown on demand).
+    low: Vec<Option<Vec<Option<Entry>>>>,
+    /// Hash-mapped storage for the sparse high remainder.
+    pages: HashMap<u64, Vec<Option<Entry>>, FastHash>,
+    /// Resident page count across both tiers (memory accounting).
+    resident: usize,
     live: usize,
 }
 
@@ -26,12 +42,19 @@ impl ArrayStore {
     /// Creates an array store based at simulated address `base` with the
     /// given backing page size in bytes (4 KB or 2 MB in the paper).
     pub fn new(base: u64, page_size: u64) -> Self {
-        assert!(page_size >= ENTRY_SIZE && page_size % ENTRY_SIZE == 0);
+        assert!(page_size >= ENTRY_SIZE && page_size.is_multiple_of(ENTRY_SIZE));
+        let entries_per_page = page_size / ENTRY_SIZE;
+        // One metadata page covers entries_per_page 8-byte slots of the
+        // regular address space.
+        let low_pages = LOW_SPAN / (entries_per_page * 8);
         ArrayStore {
             base,
             page_size,
-            entries_per_page: page_size / ENTRY_SIZE,
-            pages: HashMap::new(),
+            entries_per_page,
+            low_pages,
+            low: Vec::new(),
+            pages: HashMap::default(),
+            resident: 0,
             live: 0,
         }
     }
@@ -50,12 +73,49 @@ impl ArrayStore {
         self.base + Self::slot_of(addr) * ENTRY_SIZE
     }
 
+    #[inline]
+    fn page(&self, page_idx: u64) -> Option<&Vec<Option<Entry>>> {
+        if page_idx < self.low_pages {
+            self.low.get(page_idx as usize)?.as_ref()
+        } else {
+            self.pages.get(&page_idx)
+        }
+    }
+
+    /// Returns the page for `page_idx`, materializing it if needed;
+    /// `true` when this touch faulted it in.
+    fn ensure(&mut self, page_idx: u64) -> (&mut Vec<Option<Entry>>, bool) {
+        let epp = self.entries_per_page as usize;
+        let mut fault = false;
+        if page_idx < self.low_pages {
+            let i = page_idx as usize;
+            if self.low.len() <= i {
+                self.low.resize_with(i + 1, || None);
+            }
+            let slot = &mut self.low[i];
+            if slot.is_none() {
+                *slot = Some(vec![None; epp]);
+                fault = true;
+                self.resident += 1;
+            }
+            (slot.as_mut().expect("just ensured"), fault)
+        } else {
+            let resident = &mut self.resident;
+            let page = self.pages.entry(page_idx).or_insert_with(|| {
+                fault = true;
+                *resident += 1;
+                vec![None; epp]
+            });
+            (page, fault)
+        }
+    }
+
     fn slot_ref(&self, addr: u64, touched: &mut Touched) -> Option<Entry> {
         touched.push(self.entry_addr(addr));
         let slot = Self::slot_of(addr);
         let page_idx = slot / self.entries_per_page;
         let in_page = (slot % self.entries_per_page) as usize;
-        self.pages.get(&page_idx).and_then(|p| p[in_page])
+        self.page(page_idx).and_then(|p| p[in_page])
     }
 
     fn set_slot(&mut self, addr: u64, entry: Option<Entry>, t: &mut Touched) {
@@ -63,22 +123,18 @@ impl ArrayStore {
         let slot = Self::slot_of(addr);
         let page_idx = slot / self.entries_per_page;
         let in_page = (slot % self.entries_per_page) as usize;
-        let epp = self.entries_per_page as usize;
-        if entry.is_none() && !self.pages.contains_key(&page_idx) {
+        if entry.is_none() && self.page(page_idx).is_none() {
             // Never fault a page in just to record an absence.
             return;
         }
-        let mut fault = false;
-        let page = self.pages.entry(page_idx).or_insert_with(|| {
-            fault = true;
-            vec![None; epp]
-        });
-        match (&page[in_page], &entry) {
-            (None, Some(_)) => self.live += 1,
-            (Some(_), None) => self.live -= 1,
-            _ => {}
-        }
+        let (page, fault) = self.ensure(page_idx);
+        let delta = match (&page[in_page], &entry) {
+            (None, Some(_)) => 1,
+            (Some(_), None) => -1,
+            _ => 0,
+        };
         page[in_page] = entry;
+        self.live = (self.live as isize + delta) as usize;
         t.page_fault |= fault;
     }
 }
@@ -106,9 +162,7 @@ impl PtrStore for ArrayStore {
         let mut t = Touched::default();
         for a in aligned_slots(start, len) {
             let sub = self.clear(a);
-            if let Some(first) = sub.first() {
-                t.push(first);
-            }
+            t.absorb(&sub);
         }
         t
     }
@@ -118,14 +172,21 @@ impl PtrStore for ArrayStore {
         let mut copied = 0;
         // Gather first so overlapping ranges behave like memmove.
         let entries: Vec<(u64, Option<Entry>)> = aligned_slots(src, len)
-            .map(|a| (a - (src & !7), self.slot_ref(a, &mut Touched::default())))
+            .map(|a| {
+                let mut sub = Touched::default();
+                let e = self.slot_ref(a, &mut sub);
+                t.absorb(&sub);
+                (a - (src & !7), e)
+            })
             .collect();
         for (off, e) in entries {
             let target = (dst & !7) + off;
             if e.is_some() {
                 copied += 1;
             }
-            self.set_slot(target, e, &mut t);
+            let mut sub = Touched::default();
+            self.set_slot(target, e, &mut sub);
+            t.absorb(&sub);
         }
         (copied, t)
     }
@@ -135,7 +196,7 @@ impl PtrStore for ArrayStore {
     }
 
     fn memory_bytes(&self) -> u64 {
-        self.pages.len() as u64 * self.page_size
+        self.resident as u64 * self.page_size
     }
 
     fn base(&self) -> u64 {
@@ -143,7 +204,9 @@ impl PtrStore for ArrayStore {
     }
 
     fn reset(&mut self) {
+        self.low.clear();
         self.pages.clear();
+        self.resident = 0;
         self.live = 0;
     }
 }

@@ -74,10 +74,7 @@ impl Entry {
     /// pointer? (Temporal liveness is checked separately by the VM,
     /// which owns the live-id set.)
     pub fn allows_access(&self, addr: u64, size: u64) -> bool {
-        self.is_valid()
-            && addr >= self.lower
-            && addr <= self.upper
-            && size <= self.upper - addr
+        self.is_valid() && addr >= self.lower && addr <= self.upper && size <= self.upper - addr
     }
 }
 

@@ -1,0 +1,77 @@
+//! A multiply-shift hasher for simulator-internal integer keys.
+//!
+//! The default SipHash dominates execution profiles: the VM performs a
+//! hash-map lookup for nearly every simulated memory access, safe-store
+//! operation and control transfer. Those maps are keyed by simulated
+//! addresses and ids that need no DoS resistance, so a two-instruction
+//! Fibonacci hash is the right trade.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-shift hasher for integer keys.
+#[derive(Default)]
+pub struct FastHasher(u64);
+
+impl Hasher for FastHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for composite keys (tuples hash as byte streams).
+        for b in bytes {
+            self.0 = (self.0 ^ *b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        // Fibonacci multiply, then fold the high bits into the low ones
+        // the hashmap actually uses.
+        let h = (self.0 ^ i).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = h ^ (h >> 32);
+    }
+
+    fn write_u32(&mut self, i: u32) {
+        self.write_u64(i as u64);
+    }
+
+    fn write_usize(&mut self, i: usize) {
+        self.write_u64(i as u64);
+    }
+}
+
+/// `HashMap`/`HashSet` build-hasher for integer keys.
+pub type FastHash = BuildHasherDefault<FastHasher>;
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    use super::FastHash;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: HashMap<u64, u64, FastHash> = HashMap::default();
+        for i in 0..10_000u64 {
+            m.insert(i * 8, i);
+        }
+        for i in 0..10_000u64 {
+            assert_eq!(m.get(&(i * 8)), Some(&i));
+        }
+        assert_eq!(m.len(), 10_000);
+    }
+
+    #[test]
+    fn spreads_aligned_keys() {
+        // 8-aligned keys must not collide in the low bits.
+        use std::hash::{BuildHasher, Hasher};
+        let bh = FastHash::default();
+        let mut low = std::collections::HashSet::new();
+        for i in 0..64u64 {
+            let mut h = bh.build_hasher();
+            h.write_u64(i * 8);
+            low.insert(h.finish() & 63);
+        }
+        assert!(low.len() > 16, "low bits collapse: {}", low.len());
+    }
+}

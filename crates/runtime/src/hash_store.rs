@@ -87,7 +87,8 @@ impl HashStore {
         let mut probes = 0;
         loop {
             probes += 1;
-            t.push(self.bucket_addr(idx));
+            // Probe chains are unbounded by design: sample + spill.
+            t.push_sampled(self.bucket_addr(idx));
             match &self.buckets[idx as usize] {
                 None => return (None, probes),
                 Some(b) if b.key == key => return (Some(idx), probes),
@@ -167,9 +168,7 @@ impl PtrStore for HashStore {
         let mut t = Touched::default();
         for a in aligned_slots(start, len) {
             let sub = self.clear(a);
-            if let Some(first) = sub.first() {
-                t.push(first);
-            }
+            t.absorb(&sub);
         }
         t
     }
@@ -178,20 +177,23 @@ impl PtrStore for HashStore {
         let mut t = Touched::default();
         let mut copied = 0;
         let entries: Vec<(u64, Option<Entry>)> = aligned_slots(src, len)
-            .map(|a| (a - (src & !7), self.get(a).0))
+            .map(|a| {
+                let (e, sub) = self.get(a);
+                t.absorb(&sub);
+                (a - (src & !7), e)
+            })
             .collect();
         for (off, e) in entries {
             let target = (dst & !7) + off;
             match e {
                 Some(entry) => {
                     let sub = self.set(target, entry);
-                    if let Some(first) = sub.first() {
-                        t.push(first);
-                    }
+                    t.absorb(&sub);
                     copied += 1;
                 }
                 None => {
-                    self.clear(target);
+                    let sub = self.clear(target);
+                    t.absorb(&sub);
                 }
             }
         }
@@ -268,7 +270,11 @@ mod tests {
             s.clear(i * 8);
         }
         for i in 0..512u64 {
-            let expect = if i % 2 == 0 { None } else { Some(Entry::code(i)) };
+            let expect = if i % 2 == 0 {
+                None
+            } else {
+                Some(Entry::code(i))
+            };
             assert_eq!(s.get(i * 8).0, expect, "key {i}");
         }
     }
@@ -277,7 +283,7 @@ mod tests {
     fn memory_is_capacity_based_not_page_based() {
         let mut s = HashStore::new(BASE);
         s.set(0x0, Entry::code(1));
-        s.set(0xdead_beef_00, Entry::code(2)); // far-apart keys, same table
+        s.set(0xde_adbe_ef00, Entry::code(2)); // far-apart keys, same table
         assert_eq!(s.memory_bytes(), 64 * BUCKET_BYTES);
         for i in 0..256u64 {
             s.set(i * 8, Entry::code(i));

@@ -34,12 +34,14 @@
 
 pub mod array_store;
 pub mod entry;
+pub mod fasthash;
 pub mod hash_store;
 pub mod store;
 pub mod twolevel;
 
 pub use array_store::ArrayStore;
 pub use entry::{Entry, ENTRY_SIZE};
+pub use fasthash::{FastHash, FastHasher};
 pub use hash_store::HashStore;
 pub use store::{PtrStore, StoreKind, Touched};
 pub use twolevel::TwoLevelStore;

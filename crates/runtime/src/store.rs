@@ -10,12 +10,22 @@
 
 use crate::entry::Entry;
 
-/// Addresses touched by one store operation (at most 4: e.g. a two-level
-/// lookup touches a directory slot and a leaf entry).
+/// Addresses touched by one store operation.
+///
+/// Point operations record at most 4 concrete addresses (e.g. a
+/// two-level lookup touches a directory slot and a leaf entry); paths
+/// that legitimately touch an unbounded number of addresses — range
+/// operations, long hash probe chains — record the first 4 and count
+/// the remainder in [`Touched::spill`], which the VM charges as
+/// additional sequential accesses. Nothing is silently dropped.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Touched {
     addrs: [u64; 4],
     n: u8,
+    /// Touches beyond the recorded sample. The VM's cost model charges
+    /// these as additional entry-sized sequential accesses following the
+    /// last recorded address.
+    pub spill: u32,
     /// Whether the operation faulted in a fresh page (first touch); the
     /// cost model charges a page-fault penalty, which is how the paper's
     /// "many page faults at startup / TLB pressure" observation for the
@@ -24,12 +34,51 @@ pub struct Touched {
 }
 
 impl Touched {
-    /// Records one touched address.
+    /// Records one touched address of a *point* operation.
+    ///
+    /// The capacity bounds the addresses one point operation may touch;
+    /// an organization that exceeds it would under-report traffic to the
+    /// cache model, so overflow here is a bug in the organization: it
+    /// debug-asserts rather than dropping the touch. (In release builds
+    /// the touch is still accounted, via [`Touched::spill`].) Paths that
+    /// touch unboundedly many addresses by design must use
+    /// [`Touched::push_sampled`] instead.
     pub fn push(&mut self, addr: u64) {
+        debug_assert!(
+            (self.n as usize) < self.addrs.len(),
+            "Touched overflow: point store op touched more than {} addresses ({addr:#x}); \
+             use push_sampled for range/probe paths",
+            self.addrs.len(),
+        );
+        self.push_sampled(addr);
+    }
+
+    /// Records a touch from an unbounded path (range operation, probe
+    /// chain): the first addresses are kept exactly, the rest are
+    /// counted in [`Touched::spill`] so the cost model still charges
+    /// them.
+    pub fn push_sampled(&mut self, addr: u64) {
         if (self.n as usize) < self.addrs.len() {
             self.addrs[self.n as usize] = addr;
             self.n += 1;
+        } else {
+            self.spill += 1;
         }
+    }
+
+    /// Folds the touches of a sub-operation into this record (range
+    /// operations are built from point operations).
+    pub fn absorb(&mut self, sub: &Touched) {
+        for a in sub.iter() {
+            self.push_sampled(a);
+        }
+        self.spill += sub.spill;
+        self.page_fault |= sub.page_fault;
+    }
+
+    /// Total number of touches represented, including spilled ones.
+    pub fn total(&self) -> u64 {
+        self.n as u64 + self.spill as u64
     }
 
     /// The touched addresses.
@@ -149,7 +198,9 @@ pub trait PtrStore {
 pub(crate) fn aligned_slots(start: u64, len: u64) -> impl Iterator<Item = u64> {
     let first = start & !7;
     let end = start.saturating_add(len);
-    (0..).map(move |i| first + 8 * i).take_while(move |a| *a < end)
+    (0..)
+        .map(move |i| first + 8 * i)
+        .take_while(move |a| *a < end)
 }
 
 #[cfg(test)]
@@ -159,11 +210,35 @@ mod tests {
     #[test]
     fn touched_capacity() {
         let mut t = Touched::default();
+        for i in 0..4 {
+            t.push(i);
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(t.first(), Some(0));
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "Touched overflow")]
+    fn touched_overflow_is_a_bug() {
+        let mut t = Touched::default();
+        for i in 0..5 {
+            t.push(i);
+        }
+    }
+
+    /// In release builds (no debug assertions) overflow still caps
+    /// rather than corrupting state.
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn touched_overflow_caps_in_release() {
+        let mut t = Touched::default();
         for i in 0..6 {
             t.push(i);
         }
-        assert_eq!(t.len(), 4); // capped, silently
-        assert_eq!(t.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(t.len(), 4);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use std::collections::HashMap;
 
 use crate::entry::{Entry, ENTRY_SIZE};
+use crate::fasthash::FastHash;
 use crate::store::{aligned_slots, PtrStore, Touched};
 
 /// Number of entries per leaf table.
@@ -23,7 +24,7 @@ const DIR_PAGE_BYTES: u64 = 4096;
 pub struct TwoLevelStore {
     base: u64,
     /// Directory index → (leaf sequence number, leaf storage).
-    leaves: HashMap<u64, (u64, Vec<Option<Entry>>)>,
+    leaves: HashMap<u64, (u64, Vec<Option<Entry>>), FastHash>,
     next_leaf_seq: u64,
     live: usize,
     /// Resident directory pages (for memory accounting).
@@ -35,7 +36,7 @@ impl TwoLevelStore {
     pub fn new(base: u64) -> Self {
         TwoLevelStore {
             base,
-            leaves: HashMap::new(),
+            leaves: HashMap::default(),
             next_leaf_seq: 0,
             live: 0,
             dir_pages: std::collections::HashSet::new(),
@@ -120,9 +121,7 @@ impl PtrStore for TwoLevelStore {
         let mut t = Touched::default();
         for a in aligned_slots(start, len) {
             let sub = self.clear(a);
-            if let Some(first) = sub.first() {
-                t.push(first);
-            }
+            t.absorb(&sub);
         }
         t
     }
@@ -131,20 +130,23 @@ impl PtrStore for TwoLevelStore {
         let mut t = Touched::default();
         let mut copied = 0;
         let entries: Vec<(u64, Option<Entry>)> = aligned_slots(src, len)
-            .map(|a| (a - (src & !7), self.get(a).0))
+            .map(|a| {
+                let (e, sub) = self.get(a);
+                t.absorb(&sub);
+                (a - (src & !7), e)
+            })
             .collect();
         for (off, e) in entries {
             let target = (dst & !7) + off;
             match e {
                 Some(entry) => {
                     let sub = self.set(target, entry);
-                    if let Some(first) = sub.first() {
-                        t.push(first);
-                    }
+                    t.absorb(&sub);
                     copied += 1;
                 }
                 None => {
-                    self.clear(target);
+                    let sub = self.clear(target);
+                    t.absorb(&sub);
                 }
             }
         }

@@ -23,11 +23,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         addr.clone().prop_map(|addr| Op::Get { addr }),
         addr.clone().prop_map(|addr| Op::Clear { addr }),
         (addr.clone(), 0u64..128).prop_map(|(start, len)| Op::ClearRange { start, len }),
-        (addr.clone(), addr, 0u64..96).prop_map(|(dst, src, len)| Op::CopyRange {
-            dst,
-            src,
-            len
-        }),
+        (addr.clone(), addr, 0u64..96).prop_map(|(dst, src, len)| Op::CopyRange { dst, src, len }),
     ]
 }
 
@@ -118,7 +114,11 @@ fn check_kind(kind: StoreKind, ops: &[Op]) {
     }
     // Full final sweep.
     for a in (0x1_0000u64..0x1_0000 + 64 * 8).step_by(8) {
-        assert_eq!(store.get(a).0, model.map.get(&a).copied(), "{kind:?} final sweep at {a:#x}");
+        assert_eq!(
+            store.get(a).0,
+            model.map.get(&a).copied(),
+            "{kind:?} final sweep at {a:#x}"
+        );
     }
 }
 
@@ -149,10 +149,23 @@ proptest! {
 #[test]
 fn all_kinds_agree_on_a_fixed_trace() {
     let ops = vec![
-        Op::Set { addr: 0x1_0000, code: 5 },
-        Op::Set { addr: 0x1_0008, code: 6 },
-        Op::CopyRange { dst: 0x1_0020, src: 0x1_0000, len: 16 },
-        Op::ClearRange { start: 0x1_0004, len: 8 },
+        Op::Set {
+            addr: 0x1_0000,
+            code: 5,
+        },
+        Op::Set {
+            addr: 0x1_0008,
+            code: 6,
+        },
+        Op::CopyRange {
+            dst: 0x1_0020,
+            src: 0x1_0000,
+            len: 16,
+        },
+        Op::ClearRange {
+            start: 0x1_0004,
+            len: 8,
+        },
         Op::Get { addr: 0x1_0020 },
         Op::Get { addr: 0x1_0000 },
     ];

@@ -7,13 +7,21 @@
 //! A set-associative LRU cache turns those effects into cycles.
 
 /// Set-associative LRU cache over 64-byte lines.
+///
+/// Tags live in one flat array (`sets × ways`, most-recent last within
+/// each set) — the cache is consulted on every simulated memory access,
+/// so the lookup must not chase per-set heap pointers.
 pub struct Cache {
-    sets: Vec<Vec<u64>>, // each set: tags, most-recent last
+    tags: Vec<u64>, // sets × ways, EMPTY_TAG = invalid
     ways: usize,
     set_mask: u64,
     hits: u64,
     misses: u64,
 }
+
+/// Tag value marking an empty way (no valid line has this tag because
+/// line numbers are addresses shifted right by 6).
+const EMPTY_TAG: u64 = u64::MAX;
 
 /// Default L1D geometry: 32 KB, 8-way, 64-byte lines → 64 sets.
 pub const DEFAULT_SETS: usize = 64;
@@ -27,7 +35,7 @@ impl Cache {
     pub fn new(sets: usize, ways: usize) -> Self {
         assert!(sets.is_power_of_two());
         Cache {
-            sets: vec![Vec::with_capacity(ways); sets],
+            tags: vec![EMPTY_TAG; sets * ways],
             ways,
             set_mask: sets as u64 - 1,
             hits: 0,
@@ -41,20 +49,28 @@ impl Cache {
     }
 
     /// Touches `addr`; returns true on hit.
+    #[inline]
     pub fn access(&mut self, addr: u64) -> bool {
         let line = addr / LINE;
         let set = (line & self.set_mask) as usize;
-        let tags = &mut self.sets[set];
+        let tags = &mut self.tags[set * self.ways..(set + 1) * self.ways];
+        // Most-recently-used fast path: repeated accesses to one line
+        // (loop-local traffic) skip the LRU reshuffle entirely.
+        if tags[self.ways - 1] == line {
+            self.hits += 1;
+            return true;
+        }
         if let Some(pos) = tags.iter().position(|t| *t == line) {
-            let tag = tags.remove(pos);
-            tags.push(tag);
+            // Move to most-recent (slot ways-1), shifting the rest down.
+            tags.copy_within(pos + 1.., pos);
+            tags[self.ways - 1] = line;
             self.hits += 1;
             true
         } else {
-            if tags.len() == self.ways {
-                tags.remove(0);
-            }
-            tags.push(line);
+            // Evict the LRU way (slot 0; empty ways drain first because
+            // they start at the front and shift down like real tags).
+            tags.copy_within(1.., 0);
+            tags[self.ways - 1] = line;
             self.misses += 1;
             false
         }
@@ -77,9 +93,7 @@ impl Cache {
 
     /// Clears contents and counters.
     pub fn reset(&mut self) {
-        for s in &mut self.sets {
-            s.clear();
-        }
+        self.tags.fill(EMPTY_TAG);
         self.hits = 0;
         self.misses = 0;
     }
@@ -102,12 +116,12 @@ mod tests {
     #[test]
     fn lru_eviction() {
         let mut c = Cache::new(1, 2); // one set, two ways
-        c.access(0 * LINE);
-        c.access(1 * LINE);
+        c.access(0);
+        c.access(LINE);
         c.access(0); // refresh line 0
         c.access(2 * LINE); // evicts line 1 (LRU)
         assert!(c.access(0)); // still resident
-        assert!(!c.access(1 * LINE)); // was evicted
+        assert!(!c.access(LINE)); // was evicted
     }
 
     #[test]

@@ -22,6 +22,35 @@ pub enum Isolation {
     Sfi,
 }
 
+/// Which execution engine runs the module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The reference engine: walks CFG instructions one step at a time.
+    /// Kept for differential testing against the bytecode tier.
+    Walk,
+    /// The compiled-bytecode tier: the module is compiled once to a
+    /// linear bytecode (`levee-bc`) and executed by a fast dispatch
+    /// loop. Observable semantics and cost accounting are identical to
+    /// [`Engine::Walk`]; only wall-clock time differs.
+    #[default]
+    Bytecode,
+}
+
+impl Engine {
+    /// Both engines, for differential suites and benches.
+    pub fn all() -> &'static [Engine] {
+        &[Engine::Walk, Engine::Bytecode]
+    }
+
+    /// Human-readable name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Walk => "walk",
+            Engine::Bytecode => "bytecode",
+        }
+    }
+}
+
 /// Hardware model for metadata operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HardwareModel {
@@ -62,6 +91,9 @@ pub struct VmConfig {
     pub cost: CostModel,
     /// Hardware model for metadata ops.
     pub hardware: HardwareModel,
+    /// Execution engine (bytecode tier by default; the step walker is
+    /// the reference for differential testing).
+    pub engine: Engine,
 }
 
 impl Default for VmConfig {
@@ -78,6 +110,7 @@ impl Default for VmConfig {
             max_insts: 200_000_000,
             cost: CostModel::default(),
             hardware: HardwareModel::Software,
+            engine: Engine::default(),
         }
     }
 }
@@ -108,6 +141,12 @@ impl VmConfig {
         self.seed = seed;
         self
     }
+
+    /// Returns self with the given execution engine (builder style).
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -122,5 +161,14 @@ mod tests {
         assert!(modern.nx && modern.aslr);
         let seeded = VmConfig::default().with_seed(42);
         assert_eq!(seeded.seed, 42);
+    }
+
+    #[test]
+    fn bytecode_engine_is_the_default() {
+        assert_eq!(VmConfig::default().engine, Engine::Bytecode);
+        let walk = VmConfig::default().with_engine(Engine::Walk);
+        assert_eq!(walk.engine, Engine::Walk);
+        assert_eq!(Engine::all().len(), 2);
+        assert_ne!(Engine::Walk.name(), Engine::Bytecode.name());
     }
 }

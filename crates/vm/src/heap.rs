@@ -9,6 +9,8 @@
 
 use std::collections::HashMap;
 
+use levee_rt::FastHash;
+
 /// One live or retired allocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Allocation {
@@ -29,10 +31,10 @@ pub struct Heap {
     brk: u64,
     next_id: u64,
     /// Free lists keyed by rounded size class.
-    free: HashMap<u64, Vec<u64>>,
+    free: HashMap<u64, Vec<u64>, FastHash>,
     /// All allocations ever made, keyed by base address of the most
     /// recent allocation at that address.
-    by_addr: HashMap<u64, Allocation>,
+    by_addr: HashMap<u64, Allocation, FastHash>,
     /// Retired ids (freed allocations), for temporal checks.
     dead_ids: std::collections::HashSet<u64>,
     /// Peak bytes in use.
@@ -61,8 +63,8 @@ impl Heap {
             limit,
             brk: base,
             next_id: 1,
-            free: HashMap::new(),
-            by_addr: HashMap::new(),
+            free: HashMap::default(),
+            by_addr: HashMap::default(),
             dead_ids: std::collections::HashSet::new(),
             peak: 0,
             in_use: 0,
@@ -76,9 +78,7 @@ impl Heap {
             Some(addr) => addr,
             None => {
                 let addr = self.brk;
-                let new_brk = addr
-                    .checked_add(class)
-                    .ok_or(HeapError::OutOfMemory)?;
+                let new_brk = addr.checked_add(class).ok_or(HeapError::OutOfMemory)?;
                 if new_brk > self.base + self.limit {
                     return Err(HeapError::OutOfMemory);
                 }

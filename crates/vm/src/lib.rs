@@ -45,7 +45,7 @@ pub mod mem;
 pub mod stats;
 pub mod trap;
 
-pub use config::{HardwareModel, Isolation, VmConfig};
+pub use config::{Engine, HardwareModel, Isolation, VmConfig};
 pub use levee_rt::StoreKind;
 pub use machine::{GuessOutcome, Machine, RunOutcome, V};
 pub use stats::ExecStats;

@@ -53,9 +53,7 @@ impl<'m> Machine<'m> {
                 Err(crate::mem::MemError::WriteProtected { .. }) => {
                     return Err(AttackerError::CodeImmutable)
                 }
-                Err(crate::mem::MemError::Unmapped { .. }) => {
-                    return Err(AttackerError::Unmapped)
-                }
+                Err(crate::mem::MemError::Unmapped { .. }) => return Err(AttackerError::Unmapped),
             }
         }
         Ok(())
@@ -115,6 +113,12 @@ impl<'m> Machine<'m> {
     /// Runs the machine until just before `main` returns, then lets a
     /// closure corrupt memory, then resumes. Used by unit tests that
     /// need surgical mid-execution corruption without a full exploit.
+    ///
+    /// Always executes on the step-walking reference engine regardless
+    /// of `VmConfig::engine`: stopping after exactly `steps_before`
+    /// instructions requires single-stepping, which the bytecode
+    /// engine's dispatch loop does not expose (and the two engines are
+    /// observationally identical, so verdicts are unaffected).
     pub fn run_with_midpoint_corruption<F>(
         &mut self,
         input: &[u8],
@@ -127,9 +131,7 @@ impl<'m> Machine<'m> {
         self.input = input.to_vec();
         self.input_pos = 0;
         let main = self.module.func_by_name("main").expect("main exists");
-        if let Err(trap) =
-            self.enter_function(main, vec![], None, super::MAIN_RET_SENTINEL)
-        {
+        if let Err(trap) = self.enter_function(main, vec![], None, super::MAIN_RET_SENTINEL) {
             return super::RunOutcome {
                 status: crate::trap::ExitStatus::Trapped(trap),
                 stats: self.stats,

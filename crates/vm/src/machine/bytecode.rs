@@ -1,0 +1,500 @@
+//! The fast-dispatch engine: executes `levee-bc` bytecode.
+//!
+//! Semantics are bit-for-bit those of the step walker (`exec.rs`): the
+//! same helper methods perform the same memory accesses, checks and
+//! cost-model charges in the same order, so two runs of one module under
+//! the two engines produce identical traps, output **and cycle counts**
+//! — the differential suite in `tests/engines.rs` enforces this. What
+//! changes is the interpreter overhead per instruction: blocks are flat,
+//! jumps are pre-resolved word offsets, operands are direct register
+//! slots or constant-pool loads, and type sizes were computed at
+//! compile time.
+//!
+//! Two pieces of state are cached in locals across instructions and
+//! synchronized at the points where other components can observe them:
+//!
+//! * `pc` mirrors `Frame::ip` (which, under this engine, holds the word
+//!   offset into the function's code stream; `Frame::block` is unused).
+//!   It is written back before calls (the resume point) and intrinsics
+//!   (`setjmp` captures it, `longjmp` rewrites it).
+//! * `regs` is the current frame's register file, *moved* out of the
+//!   frame (a pointer-sized `Vec` move) so operand reads skip the
+//!   frame-stack indirection, and moved back before any operation that
+//!   can touch frames: calls, returns, intrinsics. If a trap ends the
+//!   run mid-instruction the dead frame keeps its empty register file —
+//!   nothing reads registers after a run ends.
+
+use levee_bc::{BcModule, Op, OPERAND_CONST_BIT};
+use levee_ir::prelude::*;
+use levee_rt::Entry;
+
+use crate::trap::{ExitStatus, Trap};
+
+use super::exec::truncate;
+use super::{Machine, V};
+
+/// Reads an operand word: a register slot or a constant-pool index.
+///
+/// # Safety
+///
+/// `word` must come from a stream produced by `levee_bc::compile`, whose
+/// validator guarantees register words index inside the function's
+/// register file (`regs.len()` equals the IR local count by frame
+/// construction) and constant words index inside the pool.
+#[inline(always)]
+unsafe fn ev(regs: &[V], consts: &[u64], word: u32) -> V {
+    if word & OPERAND_CONST_BIT == 0 {
+        debug_assert!((word as usize) < regs.len());
+        *regs.get_unchecked(word as usize)
+    } else {
+        let idx = (word & !OPERAND_CONST_BIT) as usize;
+        debug_assert!(idx < consts.len());
+        V::int(*consts.get_unchecked(idx))
+    }
+}
+
+impl<'m> Machine<'m> {
+    /// Runs the bytecode engine to completion. Compiles the module on
+    /// first use; recompilation is never needed because the module is
+    /// immutable for the machine's lifetime.
+    pub(crate) fn run_bytecode(&mut self) -> ExitStatus {
+        if self.bc.is_none() {
+            self.bc = Some(levee_bc::compile(self.module));
+        }
+        // Take ownership for the duration of the loop so the code
+        // stream can be borrowed while `&mut self` methods run.
+        let bc = self.bc.take().expect("just compiled");
+        let status = self.dispatch_loop(&bc);
+        self.bc = Some(bc);
+        status
+    }
+
+    fn dispatch_loop(&mut self, bc: &BcModule) -> ExitStatus {
+        let mut fidx = self.frame().func.0 as usize;
+        let mut pc = self.frame().ip;
+        let mut code: &[u32] = &bc.funcs[fidx].code;
+        let mut consts: &[u64] = &bc.funcs[fidx].consts;
+        let mut regs: Vec<V> = std::mem::take(&mut self.frame_mut().regs);
+        let cost_inst = self.config.cost.inst;
+        let max_insts = self.config.max_insts;
+        // Instruction and cycle counters accumulate in locals and flush
+        // to `self.stats` before every point where another component
+        // could observe them: helper calls (which add their own cycle
+        // charges) and every exit from the loop. Totals at observation
+        // points are therefore identical to the walk engine's.
+        let mut insts_l = self.stats.insts;
+        let mut cycles_l: u64 = 0;
+        let mut mem_ops_l: u64 = 0;
+        let cost_mem_hit = self.config.cost.mem_hit;
+        let cost_mem_miss = self.config.cost.mem_miss;
+        let cost_sfi = self.config.cost.sfi_mask;
+        let sfi = self.config.isolation == crate::config::Isolation::Sfi;
+
+        // Re-caches function state after any control transfer that may
+        // have switched frames (call, return, longjmp).
+        macro_rules! reload {
+            () => {{
+                let frame = self.frames.last_mut().expect("active frame");
+                fidx = frame.func.0 as usize;
+                pc = frame.ip;
+                regs = std::mem::take(&mut frame.regs);
+                code = &bc.funcs[fidx].code;
+                consts = &bc.funcs[fidx].consts;
+            }};
+        }
+        // Moves the register file back into its frame before an
+        // operation that may read or write frames.
+        macro_rules! sync_frame {
+            () => {{
+                let frame = self.frames.last_mut().expect("active frame");
+                frame.ip = pc;
+                frame.regs = regs;
+            }};
+        }
+        // Unchecked stream/register accessors. SAFETY: the stream was
+        // produced and validated by `levee_bc::compile` (see its
+        // `validate` pass): `pc` only ever holds instruction-boundary
+        // offsets (entry 0, post-call resume points, validated branch
+        // targets), every instruction fits the stream, register words
+        // index inside the frame's register file and constant words
+        // inside the pool. Debug builds keep the assertions.
+        macro_rules! w {
+            ($i:expr) => {{
+                debug_assert!(pc + $i < code.len());
+                unsafe { *code.get_unchecked(pc + $i) }
+            }};
+        }
+        macro_rules! rd {
+            ($word:expr) => {{
+                let word = $word;
+                unsafe { ev(&regs, consts, word) }
+            }};
+        }
+        macro_rules! cst {
+            ($word:expr) => {{
+                let i = $word as usize;
+                debug_assert!(i < consts.len());
+                unsafe { *consts.get_unchecked(i) }
+            }};
+        }
+        macro_rules! wr {
+            ($dest:expr, $v:expr) => {{
+                let d = $dest as usize;
+                debug_assert!(d < regs.len());
+                unsafe { *regs.get_unchecked_mut(d) = $v };
+            }};
+        }
+        // Publishes the locally-accumulated counters. (The resets are
+        // dead when a flush directly precedes a return; the lint can't
+        // see that only some expansions exit.)
+        macro_rules! flush {
+            () => {{
+                self.stats.insts = insts_l;
+                self.stats.cycles += cycles_l;
+                self.stats.mem_ops += mem_ops_l;
+                #[allow(unused_assignments)]
+                {
+                    cycles_l = 0;
+                    mem_ops_l = 0;
+                }
+            }};
+        }
+        // Inline equivalent of `charge_mem` accumulating into the local
+        // cycle counter (identical charges, enforced by the engines
+        // differential suite).
+        macro_rules! charge_mem_local {
+            ($addr:expr, $regular:expr) => {{
+                cycles_l += cost_mem_hit;
+                if !self.cache.access($addr) {
+                    cycles_l += cost_mem_miss;
+                }
+                if $regular && sfi {
+                    self.sfi_masked += 1;
+                    if self.sfi_masked % 3 == 0 {
+                        cycles_l += cost_sfi;
+                    }
+                }
+            }};
+        }
+        // Runs a fallible helper with counters published, converting a
+        // trap into the run's final status exactly like `run_loop`.
+        macro_rules! bail {
+            ($e:expr) => {{
+                flush!();
+                match $e {
+                    Ok(v) => v,
+                    Err(Trap::ProgramExit(code)) => return ExitStatus::Exited(code),
+                    Err(trap) => return ExitStatus::Trapped(trap),
+                }
+            }};
+        }
+
+        loop {
+            // Per-instruction base charge + fuel, as in `step()`.
+            insts_l += 1;
+            cycles_l += cost_inst;
+            if insts_l > max_insts {
+                flush!();
+                return ExitStatus::Trapped(Trap::OutOfFuel);
+            }
+
+            match Op::from_u32(w!(0)) {
+                Op::Alloca => {
+                    let dest = w!(1);
+                    let size = cst!(w!(2));
+                    let stack = levee_bc::decode_stack(w!(3));
+                    pc += 4;
+                    let addr = bail!(self.do_alloca(size, stack));
+                    wr!(dest, V::data_ptr(addr, addr, addr + size, 0));
+                }
+                Op::Load => {
+                    let dest = w!(1);
+                    let addr = rd!(w!(2)).raw;
+                    let size = w!(3) as u64;
+                    let space = levee_bc::decode_space(w!(4));
+                    pc += 5;
+                    mem_ops_l += 1;
+                    bail!(self.isolation_check(addr, space));
+                    charge_mem_local!(addr, space == MemSpace::Regular);
+                    let raw = bail!(self.mem.read_uint(addr, size).map_err(Self::mem_trap));
+                    let meta = if space == MemSpace::SafeStack {
+                        self.safe_stack_meta
+                            .get(&addr)
+                            .filter(|e| e.value == raw)
+                            .copied()
+                    } else {
+                        None
+                    };
+                    wr!(dest, V { raw, meta });
+                }
+                Op::Store => {
+                    let addr = rd!(w!(1)).raw;
+                    let v = rd!(w!(2));
+                    let size = w!(3) as u64;
+                    let space = levee_bc::decode_space(w!(4));
+                    pc += 5;
+                    mem_ops_l += 1;
+                    if space == MemSpace::SafeStack {
+                        match v.meta {
+                            Some(mut e) => {
+                                e.value = v.raw;
+                                self.safe_stack_meta.insert(addr, e);
+                            }
+                            None => {
+                                self.safe_stack_meta.remove(&addr);
+                            }
+                        }
+                    }
+                    bail!(self.isolation_check(addr, space));
+                    charge_mem_local!(addr, space == MemSpace::Regular);
+                    bail!(self
+                        .mem
+                        .write_uint(addr, v.raw, size)
+                        .map_err(Self::mem_trap));
+                }
+                Op::Gep => {
+                    let dest = w!(1);
+                    let b = rd!(w!(2));
+                    let i = rd!(w!(3)).raw;
+                    let elem_size = cst!(w!(4));
+                    let offset = cst!(w!(5));
+                    let is_field = w!(6) != 0;
+                    pc += 7;
+                    let raw = b
+                        .raw
+                        .wrapping_add(i.wrapping_mul(elem_size))
+                        .wrapping_add(offset);
+                    let meta = b.meta.map(|mut e| {
+                        if is_field {
+                            e = Entry::data(raw, raw, raw + elem_size, e.id);
+                        } else {
+                            e.value = raw;
+                        }
+                        e
+                    });
+                    wr!(dest, V { raw, meta });
+                }
+                Op::GlobalAddr => {
+                    let dest = w!(1);
+                    let gid = w!(2) as usize;
+                    pc += 3;
+                    let addr = self.global_addrs[gid];
+                    let size = self.global_sizes[gid];
+                    wr!(dest, V::data_ptr(addr, addr, addr + size, 0));
+                }
+                Op::FuncAddr => {
+                    let dest = w!(1);
+                    let addr = self.func_addrs[w!(2) as usize];
+                    pc += 3;
+                    wr!(dest, V::code_ptr(addr));
+                }
+                Op::Bin => {
+                    let dest = w!(1);
+                    let op = levee_bc::decode_binop(w!(2));
+                    let a = rd!(w!(3));
+                    let b = rd!(w!(4));
+                    pc += 5;
+                    // Uncharged operators run inline; multiply/divide
+                    // carry cycle charges (and div traps), so they go
+                    // through the shared helper.
+                    let raw = match op {
+                        BinOp::Add => a.raw.wrapping_add(b.raw),
+                        BinOp::Sub => a.raw.wrapping_sub(b.raw),
+                        BinOp::And => a.raw & b.raw,
+                        BinOp::Or => a.raw | b.raw,
+                        BinOp::Xor => a.raw ^ b.raw,
+                        BinOp::Shl => a.raw.wrapping_shl(b.raw as u32),
+                        BinOp::Shr => a.raw.wrapping_shr(b.raw as u32),
+                        BinOp::Mul | BinOp::Div | BinOp::Rem => {
+                            bail!(self.eval_bin(op, a.raw, b.raw))
+                        }
+                    };
+                    let meta = match (op, a.meta, b.meta) {
+                        (BinOp::Add | BinOp::Sub, Some(mut e), None) => {
+                            e.value = raw;
+                            Some(e)
+                        }
+                        (BinOp::Add, None, Some(mut e)) => {
+                            e.value = raw;
+                            Some(e)
+                        }
+                        _ => None,
+                    };
+                    wr!(dest, V { raw, meta });
+                }
+                Op::Cmp => {
+                    let dest = w!(1);
+                    let op = levee_bc::decode_cmpop(w!(2));
+                    let a = rd!(w!(3)).raw as i64;
+                    let b = rd!(w!(4)).raw as i64;
+                    pc += 5;
+                    let r = match op {
+                        CmpOp::Eq => a == b,
+                        CmpOp::Ne => a != b,
+                        CmpOp::Lt => a < b,
+                        CmpOp::Le => a <= b,
+                        CmpOp::Gt => a > b,
+                        CmpOp::Ge => a >= b,
+                    };
+                    wr!(dest, V::int(r as u64));
+                }
+                Op::Cast => {
+                    let dest = w!(1);
+                    let kind = levee_bc::decode_cast(w!(2));
+                    let v = rd!(w!(3));
+                    let size = w!(4) as u64;
+                    pc += 5;
+                    let out = match kind {
+                        CastKind::PtrToPtr | CastKind::PtrToInt | CastKind::IntToPtr => v,
+                        CastKind::IntToInt => V::int(truncate(v.raw, size)),
+                    };
+                    wr!(dest, out);
+                }
+                Op::Call => {
+                    let dest = w!(1);
+                    let func = FuncId(w!(2));
+                    let site = w!(3) as u64;
+                    let nargs = w!(4) as usize;
+                    let mut argv = self.take_vec();
+                    argv.extend((0..nargs).map(|i| rd!(w!(5 + i))));
+                    pc += 5 + nargs;
+                    sync_frame!();
+                    let ret_addr = self.func_addrs[fidx] + 16 * (site + 1);
+                    let dest = (dest != 0).then(|| ValueId(dest - 1));
+                    bail!(self.enter_function(func, argv, dest, ret_addr));
+                    reload!();
+                }
+                Op::CallIndirect => {
+                    let dest = w!(1);
+                    let cv = rd!(w!(2));
+                    let sig_entry = &bc.sigs[w!(3) as usize];
+                    let site = w!(4) as u64;
+                    let nargs = w!(5) as usize;
+                    let mut argv = self.take_vec();
+                    argv.extend((0..nargs).map(|i| rd!(w!(6 + i))));
+                    pc += 6 + nargs;
+                    sync_frame!();
+                    let ret_addr = self.func_addrs[fidx] + 16 * (site + 1);
+                    let dest = (dest != 0).then(|| ValueId(dest - 1));
+                    bail!(self.do_call_indirect(
+                        cv,
+                        &sig_entry.sig,
+                        argv,
+                        dest,
+                        sig_entry.cfi,
+                        ret_addr
+                    ));
+                    reload!();
+                }
+                Op::IntrinsicCall => {
+                    let dest = w!(1);
+                    let which = levee_bc::decode_intrinsic(w!(2));
+                    let nargs = w!(3) as usize;
+                    let mut argv = self.take_vec();
+                    argv.extend((0..nargs).map(|i| rd!(w!(4 + i))));
+                    pc += 4 + nargs;
+                    // Sync the resume point: setjmp captures it, longjmp
+                    // rewrites it, and the intrinsic may write dest.
+                    sync_frame!();
+                    let dest = (dest != 0).then(|| ValueId(dest - 1));
+                    bail!(self.exec_intrinsic(which, argv, dest));
+                    reload!();
+                }
+                Op::PtrStore => {
+                    let policy = levee_bc::decode_policy(w!(1));
+                    let addr = rd!(w!(2)).raw;
+                    let v = rd!(w!(3));
+                    let universal = w!(4) != 0;
+                    pc += 5;
+                    self.stats.cpi_mem_ops += 1;
+                    bail!(self.ptr_store(policy, addr, v, universal));
+                }
+                Op::PtrLoad => {
+                    let policy = levee_bc::decode_policy(w!(1));
+                    let dest = w!(2);
+                    let addr = rd!(w!(3)).raw;
+                    let universal = w!(4) != 0;
+                    pc += 5;
+                    self.stats.cpi_mem_ops += 1;
+                    let v = bail!(self.ptr_load(policy, addr, universal));
+                    wr!(dest, v);
+                }
+                Op::Check => {
+                    let policy = levee_bc::decode_policy(w!(1));
+                    let v = rd!(w!(2));
+                    let size = cst!(w!(3));
+                    pc += 4;
+                    flush!();
+                    self.charge_check();
+                    bail!(self.cpi_check(v, size, policy));
+                }
+                Op::FnCheck => {
+                    let policy = levee_bc::decode_policy(w!(1));
+                    let v = rd!(w!(2));
+                    pc += 3;
+                    flush!();
+                    self.charge_check();
+                    match v.meta {
+                        Some(e) if e.is_code() && e.value == v.raw => {}
+                        _ => {
+                            return ExitStatus::Trapped(self.violation(
+                                policy,
+                                crate::trap::CpiViolationKind::NotACodePointer,
+                                v.raw,
+                            ))
+                        }
+                    }
+                }
+                Op::SafeMemcpy => {
+                    let d = rd!(w!(2)).raw;
+                    let s = rd!(w!(3)).raw;
+                    let n = rd!(w!(4)).raw;
+                    let moving = w!(5) != 0;
+                    pc += 6;
+                    bail!(self.bulk_copy(d, s, n, moving));
+                    let (copied, t) = self.store.copy_range(d, s, n);
+                    self.charge_store_touches(t);
+                    self.stats.cycles += (n / 8) * self.config.cost.store_op + copied;
+                }
+                Op::SafeMemset => {
+                    let d = rd!(w!(2)).raw;
+                    let b = rd!(w!(3)).raw as u8;
+                    let n = rd!(w!(4)).raw;
+                    pc += 5;
+                    bail!(self.bulk_fill(d, b, n));
+                    let t = self.store.clear_range(d, n);
+                    self.charge_store_touches(t);
+                    self.stats.cycles += (n / 8) * self.config.cost.store_op;
+                }
+                Op::Jump => {
+                    pc = w!(1) as usize;
+                }
+                Op::Branch => {
+                    let c = rd!(w!(1)).raw;
+                    pc = if c != 0 { w!(2) } else { w!(3) } as usize;
+                }
+                Op::Ret => {
+                    let value = (w!(1) != 0).then(|| rd!(w!(2)));
+                    flush!();
+                    // The returning frame is popped by do_return with
+                    // an empty (taken) register file; recycle the real
+                    // buffer so the pool keeps serving future calls.
+                    // The caller's file is intact inside its frame and
+                    // re-taken below.
+                    let spent = std::mem::take(&mut regs);
+                    self.recycle_vec(spent);
+                    match self.do_return(value) {
+                        Ok(Some(exit)) => return exit,
+                        Ok(None) => reload!(),
+                        Err(Trap::ProgramExit(c)) => return ExitStatus::Exited(c),
+                        Err(trap) => return ExitStatus::Trapped(trap),
+                    }
+                }
+                Op::Unreachable => {
+                    flush!();
+                    return ExitStatus::Trapped(Trap::Unreachable);
+                }
+            }
+        }
+    }
+}

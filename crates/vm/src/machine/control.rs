@@ -12,7 +12,7 @@ use crate::config::Isolation;
 use crate::layout;
 use crate::trap::{ExitStatus, Trap};
 
-use super::{Frame, Machine, SetjmpCtx, V, MAIN_RET_SENTINEL};
+use super::{Frame, Machine, SetjmpCtx, MAIN_RET_SENTINEL, V};
 
 /// What a resolved indirect transfer may legitimately be.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,8 +97,11 @@ impl<'m> Machine<'m> {
             self.stats.unsafe_frames += 1;
         }
 
-        let mut regs = vec![V::int(0); f.locals.len()];
+        let mut regs = self.reg_pool.pop().unwrap_or_default();
+        regs.clear();
+        regs.resize(f.locals.len(), V::int(0));
         regs[..args.len()].copy_from_slice(&args);
+        self.recycle_vec(args);
         self.frames.push(Frame {
             func,
             block: BlockId(0),
@@ -119,11 +122,18 @@ impl<'m> Machine<'m> {
     /// Executes a return: epilogue checks, then transfer resolution.
     pub(crate) fn do_return(&mut self, value: Option<V>) -> Result<Option<ExitStatus>, Trap> {
         self.stats.cycles += self.config.cost.ret;
-        let f = self.module.func(self.frame().func);
-        let protection = f.protection;
+        let frame = self.frames.last().expect("frame");
+        let (func, cookie_slot, slot, slot_safe, expected) = (
+            frame.func,
+            frame.cookie_slot,
+            frame.ret_slot,
+            frame.ret_slot_safe,
+            frame.expected_ret,
+        );
+        let protection = self.module.func(func).protection;
 
         // 1. Cookie check (epilogue), on the conventional stack only.
-        if let Some(slot) = self.frame().cookie_slot {
+        if let Some(slot) = cookie_slot {
             self.charge_check();
             self.charge_mem(slot, true);
             let got = self.mem.read_uint(slot, 8).map_err(|_| Trap::Cookie)?;
@@ -134,9 +144,6 @@ impl<'m> Machine<'m> {
 
         // 2. Load the return address from its memory slot. This is the
         // value an overflow may have corrupted (unless on safe stack).
-        let frame = self.frames.last().expect("frame");
-        let (slot, slot_safe, expected) =
-            (frame.ret_slot, frame.ret_slot_safe, frame.expected_ret);
         self.charge_mem(slot, !slot_safe);
         let loaded = self
             .mem
@@ -185,12 +192,32 @@ impl<'m> Machine<'m> {
 
     fn pop_frame(&mut self) {
         let frame = self.frames.pop().expect("frame");
+        self.recycle_vec(frame.regs);
         self.sp = frame.saved_sp;
         self.unsafe_sp = frame.saved_unsafe_sp;
         self.safe_sp = frame.saved_safe_sp;
         // Invalidate setjmp contexts belonging to the popped frame.
-        let depth = self.frames.len();
-        self.setjmp_ctxs.retain(|_, ctx| ctx.frame_depth <= depth);
+        if !self.setjmp_ctxs.is_empty() {
+            let depth = self.frames.len();
+            self.setjmp_ctxs.retain(|_, ctx| ctx.frame_depth <= depth);
+        }
+    }
+
+    /// Returns a spent value vector (argument list, register file) to
+    /// the pool for reuse by the next call.
+    #[inline]
+    pub(crate) fn recycle_vec(&mut self, mut v: Vec<V>) {
+        if v.capacity() > 0 && self.reg_pool.len() < 64 {
+            v.clear();
+            self.reg_pool.push(v);
+        }
+    }
+
+    /// Takes an empty value vector from the pool (or a fresh one) for
+    /// building an argument list.
+    #[inline]
+    pub(crate) fn take_vec(&mut self) -> Vec<V> {
+        self.reg_pool.pop().unwrap_or_default()
     }
 
     /// Resolves an indirect control transfer to `addr`.
@@ -413,8 +440,8 @@ impl<'m> Machine<'m> {
     /// for attack harnesses that classify corruption targets.)
     pub fn on_regular_stacks(&self, addr: u64) -> bool {
         let reg = (self.layout.stack_top - layout::STACK_LIMIT)..self.layout.stack_top;
-        let uns =
-            (self.layout.unsafe_stack_top - layout::UNSAFE_STACK_LIMIT)..self.layout.unsafe_stack_top;
+        let uns = (self.layout.unsafe_stack_top - layout::UNSAFE_STACK_LIMIT)
+            ..self.layout.unsafe_stack_top;
         reg.contains(&addr) || uns.contains(&addr)
     }
 

@@ -107,7 +107,13 @@ impl<'m> Machine<'m> {
 
     /// `cpi_ptr_store` / `cps_ptr_store`: writes a sensitive pointer to
     /// the safe pointer store, keyed by its regular-region address.
-    fn ptr_store(&mut self, policy: Policy, addr: u64, v: V, universal: bool) -> Result<(), Trap> {
+    pub(crate) fn ptr_store(
+        &mut self,
+        policy: Policy,
+        addr: u64,
+        v: V,
+        universal: bool,
+    ) -> Result<(), Trap> {
         let entry = match (policy, v.meta) {
             // CPS keeps value-only entries for code pointers; storing a
             // non-code value through a CPS store keeps it regular.
@@ -152,7 +158,12 @@ impl<'m> Machine<'m> {
 
     /// `cpi_ptr_load` / `cps_ptr_load`: reads a sensitive pointer and
     /// its metadata back from the safe pointer store.
-    fn ptr_load(&mut self, policy: Policy, addr: u64, universal: bool) -> Result<V, Trap> {
+    pub(crate) fn ptr_load(
+        &mut self,
+        policy: Policy,
+        addr: u64,
+        universal: bool,
+    ) -> Result<V, Trap> {
         let (entry, t) = self.store.get(addr);
         self.charge_store_touches(t);
         match entry {
@@ -164,11 +175,7 @@ impl<'m> Machine<'m> {
                         // Debug mode detects non-protected-pointer
                         // corruption attempts instead of silently
                         // ignoring them (§3.2.2).
-                        return Err(self.violation(
-                            policy,
-                            CpiViolationKind::DebugMismatch,
-                            addr,
-                        ));
+                        return Err(self.violation(policy, CpiViolationKind::DebugMismatch, addr));
                     }
                 }
                 Ok(V {
@@ -193,7 +200,13 @@ impl<'m> Machine<'m> {
     }
 
     /// Byte-bulk copy with amortized charging (used by memcpy-family).
-    pub(crate) fn bulk_copy(&mut self, dst: u64, src: u64, len: u64, _moving: bool) -> Result<(), Trap> {
+    pub(crate) fn bulk_copy(
+        &mut self,
+        dst: u64,
+        src: u64,
+        len: u64,
+        _moving: bool,
+    ) -> Result<(), Trap> {
         self.isolation_check(src, MemSpace::Regular)?;
         self.isolation_check(dst, MemSpace::Regular)?;
         self.charge_bulk(len, dst, src);

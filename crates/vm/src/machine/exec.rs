@@ -215,7 +215,8 @@ impl<'m> Machine<'m> {
                 Ok(())
             }
             Inst::Call { dest, func, args } => {
-                let argv: Vec<V> = args.iter().map(|a| self.eval(*a)).collect();
+                let mut argv = self.take_vec();
+                argv.extend(args.iter().map(|a| self.eval(*a)));
                 let frame = self.frame();
                 let key = (frame.func.0, frame.block.0, frame.ip - 1);
                 let ret_addr = self.site_of_call[&key];
@@ -229,21 +230,24 @@ impl<'m> Machine<'m> {
                 cfi,
             } => {
                 let cv = self.eval(*callee);
-                let argv: Vec<V> = args.iter().map(|a| self.eval(*a)).collect();
+                let mut argv = self.take_vec();
+                argv.extend(args.iter().map(|a| self.eval(*a)));
                 let frame = self.frame();
                 let key = (frame.func.0, frame.block.0, frame.ip - 1);
                 let ret_addr = self.site_of_call[&key];
                 self.do_call_indirect(cv, sig, argv, *dest, *cfi, ret_addr)
             }
             Inst::IntrinsicCall { dest, which, args } => {
-                let argv: Vec<V> = args.iter().map(|a| self.eval(*a)).collect();
+                let mut argv = self.take_vec();
+                argv.extend(args.iter().map(|a| self.eval(*a)));
                 self.exec_intrinsic(*which, argv, *dest)
             }
             Inst::Cpi(op) => self.exec_cpi(op),
         }
     }
 
-    fn eval_bin(&mut self, op: BinOp, a: u64, b: u64) -> Result<u64, Trap> {
+    #[inline]
+    pub(crate) fn eval_bin(&mut self, op: BinOp, a: u64, b: u64) -> Result<u64, Trap> {
         Ok(match op {
             BinOp::Add => a.wrapping_add(b),
             BinOp::Sub => a.wrapping_sub(b),
@@ -274,7 +278,8 @@ impl<'m> Machine<'m> {
     }
 }
 
-fn truncate(v: u64, size: u64) -> u64 {
+#[inline(always)]
+pub(crate) fn truncate(v: u64, size: u64) -> u64 {
     match size {
         1 => v as u8 as u64,
         2 => v as u16 as u64,

@@ -31,9 +31,7 @@ impl<'m> Machine<'m> {
             Intrinsic::Free => {
                 let addr = args[0].raw;
                 // An invalid free is a heap-corruption bug: crash.
-                self.heap
-                    .free(addr)
-                    .map_err(|_| Trap::Unmapped { addr })?;
+                self.heap.free(addr).map_err(|_| Trap::Unmapped { addr })?;
                 None
             }
             Intrinsic::Memcpy | Intrinsic::Memmove => {
@@ -130,15 +128,12 @@ impl<'m> Machine<'m> {
                 } else {
                     remaining.min(maxlen as usize)
                 };
-                let bytes: Vec<u8> =
-                    self.input[self.input_pos..self.input_pos + n].to_vec();
+                let bytes: Vec<u8> = self.input[self.input_pos..self.input_pos + n].to_vec();
                 self.input_pos += n;
                 self.write_bytes(buf, &bytes)?;
                 Some(V::int(n as u64))
             }
-            Intrinsic::InputLen => {
-                Some(V::int((self.input.len() - self.input_pos) as u64))
-            }
+            Intrinsic::InputLen => Some(V::int((self.input.len() - self.input_pos) as u64)),
             Intrinsic::Setjmp => {
                 self.do_setjmp(args[0], dest)?;
                 return Ok(()); // dest already written
@@ -163,6 +158,7 @@ impl<'m> Machine<'m> {
         if let (Some(d), Some(v)) = (dest, ret) {
             self.set_reg(d, v);
         }
+        self.recycle_vec(args);
         Ok(())
     }
 

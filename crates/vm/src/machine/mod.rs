@@ -14,6 +14,7 @@
 //!   [`Trap::Hijacked`] when control reaches them.
 
 mod attacker;
+mod bytecode;
 mod control;
 mod cpi;
 mod exec;
@@ -22,12 +23,12 @@ mod intrinsics;
 use std::collections::HashMap;
 
 use levee_ir::prelude::*;
-use levee_rt::{Entry, PtrStore};
+use levee_rt::{Entry, FastHash, PtrStore};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::cache::Cache;
-use crate::config::{Isolation, VmConfig};
+use crate::config::{Engine, Isolation, VmConfig};
 use crate::heap::Heap;
 use crate::layout::{self, Layout};
 use crate::mem::{MemError, Memory};
@@ -156,12 +157,12 @@ pub struct Machine<'m> {
     /// FuncId → code entry address.
     pub(crate) func_addrs: Vec<u64>,
     /// Entry address → FuncId.
-    pub(crate) entry_to_func: HashMap<u64, FuncId>,
+    pub(crate) entry_to_func: HashMap<u64, FuncId, FastHash>,
     /// Return-site address → (callee-side resume is Rust state; the map
     /// is used to validate loaded return addresses).
-    pub(crate) ret_sites: HashMap<u64, FuncId>,
+    pub(crate) ret_sites: HashMap<u64, FuncId, FastHash>,
     /// (FuncId, BlockId, ip) → return-site address for that call site.
-    pub(crate) site_of_call: HashMap<(u32, u32, usize), u64>,
+    pub(crate) site_of_call: HashMap<(u32, u32, usize), u64, FastHash>,
     /// GlobalId → data address.
     pub(crate) global_addrs: Vec<u64>,
     /// Global sizes (for bounds metadata).
@@ -170,13 +171,13 @@ pub struct Machine<'m> {
     pub(crate) intrinsic_addrs: HashMap<Intrinsic, u64>,
     /// Attack goals: reaching one of these addresses by an indirect
     /// transfer ends the run with `Trap::Hijacked`.
-    pub(crate) goals: HashMap<u64, GoalKind>,
+    pub(crate) goals: HashMap<u64, GoalKind, FastHash>,
     /// Live setjmp contexts keyed by token address.
-    pub(crate) setjmp_ctxs: HashMap<u64, SetjmpCtx>,
+    pub(crate) setjmp_ctxs: HashMap<u64, SetjmpCtx, FastHash>,
     /// Provenance of values stored on the safe stack. The safe stack is
     /// trusted storage inside the safe region (like spilled registers),
     /// so metadata survives a round-trip through it.
-    pub(crate) safe_stack_meta: HashMap<u64, Entry>,
+    pub(crate) safe_stack_meta: HashMap<u64, Entry, FastHash>,
     /// Count of SFI-masked accesses (for amortized charging).
     pub(crate) sfi_masked: u64,
     /// Per-function: does it contain any unsafe-stack alloca?
@@ -184,6 +185,12 @@ pub struct Machine<'m> {
     /// Functions whose signature-hash matches at least one other —
     /// cached per-callsite CFI target sets are derived lazily.
     pub(crate) sig_hashes: Vec<u64>,
+    /// The module compiled to bytecode, populated on first use by the
+    /// bytecode engine.
+    pub(crate) bc: Option<levee_bc::BcModule>,
+    /// Recycled register files: calls are frequent enough that
+    /// allocating a fresh `Vec<V>` per frame shows up in profiles.
+    pub(crate) reg_pool: Vec<Vec<V>>,
 }
 
 impl<'m> Machine<'m> {
@@ -213,20 +220,25 @@ impl<'m> Machine<'m> {
             output: Vec::new(),
             input: Vec::new(),
             input_pos: 0,
-            rng_state: config.seed.wrapping_mul(6364136223846793005).wrapping_add(1),
+            rng_state: config
+                .seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1),
             func_addrs: Vec::new(),
-            entry_to_func: HashMap::new(),
-            ret_sites: HashMap::new(),
-            site_of_call: HashMap::new(),
+            entry_to_func: HashMap::default(),
+            ret_sites: HashMap::default(),
+            site_of_call: HashMap::default(),
             global_addrs: Vec::new(),
             global_sizes: Vec::new(),
             intrinsic_addrs: HashMap::new(),
-            goals: HashMap::new(),
-            setjmp_ctxs: HashMap::new(),
-            safe_stack_meta: HashMap::new(),
+            goals: HashMap::default(),
+            setjmp_ctxs: HashMap::default(),
+            safe_stack_meta: HashMap::default(),
             sfi_masked: 0,
             has_unsafe_alloca: Vec::new(),
             sig_hashes: Vec::new(),
+            bc: None,
+            reg_pool: Vec::new(),
         };
         m.load();
         m
@@ -299,32 +311,31 @@ impl<'m> Machine<'m> {
                     }
                 )
             }));
-            // Assign return sites for every call-shaped instruction.
-            let mut site = 0u32;
-            for (bid, block) in f.iter_blocks() {
-                for (ip, inst) in block.insts.iter().enumerate() {
-                    if matches!(
-                        inst,
-                        Inst::Call { .. } | Inst::CallIndirect { .. } | Inst::IntrinsicCall { .. }
-                    ) {
-                        let addr = entry + 16 * (site as u64 + 1);
-                        self.site_of_call.insert((fid.0, bid.0, ip), addr);
-                        self.ret_sites.insert(addr, fid);
-                        site += 1;
-                    }
-                }
+            // Assign return sites for every call-shaped instruction, in
+            // `iter_call_sites` order — the same numbering the bytecode
+            // compiler embeds as site indices.
+            for (site, (bid, ip, _)) in f.iter_call_sites().enumerate() {
+                let addr = entry + 16 * (site as u64 + 1);
+                self.site_of_call.insert((fid.0, bid.0, ip), addr);
+                self.ret_sites.insert(addr, fid);
             }
         }
         // Code and rodata are write-protected (threat model §2).
-        self.mem.protect(layout::CODE_BASE, func_area - layout::CODE_BASE
-            + self.module.funcs.len() as u64 * layout::FUNC_STRIDE);
+        self.mem.protect(
+            layout::CODE_BASE,
+            func_area - layout::CODE_BASE + self.module.funcs.len() as u64 * layout::FUNC_STRIDE,
+        );
 
         // Globals.
         let mut ro_cursor = self.layout.rodata_base;
         let mut rw_cursor = self.layout.data_base;
         for g in &self.module.globals {
             let size = self.module.types.size_of(&g.ty).max(1);
-            let cursor = if g.read_only { &mut ro_cursor } else { &mut rw_cursor };
+            let cursor = if g.read_only {
+                &mut ro_cursor
+            } else {
+                &mut rw_cursor
+            };
             let addr = crate::ctx_align(*cursor, 16);
             *cursor = addr + size;
             self.global_addrs.push(addr);
@@ -384,11 +395,9 @@ impl<'m> Machine<'m> {
                                 .set(off, Entry::data(target_addr, base, base + size, 0));
                         }
                     }
-                    InitAtom::FuncPtr(fid) => {
-                        if self.config.protect_runtime_code_ptrs {
-                            let entry = func_area + fid.0 as u64 * layout::FUNC_STRIDE;
-                            self.store.set(off, Entry::code(entry));
-                        }
+                    InitAtom::FuncPtr(fid) if self.config.protect_runtime_code_ptrs => {
+                        let entry = func_area + fid.0 as u64 * layout::FUNC_STRIDE;
+                        self.store.set(off, Entry::code(entry));
                     }
                     _ => {}
                 }
@@ -403,8 +412,10 @@ impl<'m> Machine<'m> {
         // Map the stacks as zero memory, with one slack page above each
         // top (environment/TCB scratch) so that small overflows running
         // off a stack corrupt adjacent data instead of faulting.
-        self.mem
-            .map_zero(self.layout.stack_top - layout::STACK_LIMIT, layout::STACK_LIMIT + 4096);
+        self.mem.map_zero(
+            self.layout.stack_top - layout::STACK_LIMIT,
+            layout::STACK_LIMIT + 4096,
+        );
         self.mem.map_zero(
             self.layout.unsafe_stack_top - layout::UNSAFE_STACK_LIMIT,
             layout::UNSAFE_STACK_LIMIT + 4096,
@@ -431,7 +442,10 @@ impl<'m> Machine<'m> {
         };
         let status = match self.enter_function(main, vec![], None, MAIN_RET_SENTINEL) {
             Err(trap) => ExitStatus::Trapped(trap),
-            Ok(()) => self.run_loop(),
+            Ok(()) => match self.config.engine {
+                Engine::Walk => self.run_loop(),
+                Engine::Bytecode => self.run_bytecode(),
+            },
         };
         self.finalize_stats();
         RunOutcome {
@@ -471,6 +485,7 @@ impl<'m> Machine<'m> {
     /// Charges one data-memory access at `addr` (cache + SFI mask).
     /// The SFI mask is a single ALU op that pipelines with the access;
     /// we amortize it as one cycle per three masked accesses.
+    #[inline]
     pub(crate) fn charge_mem(&mut self, addr: u64, regular: bool) {
         self.stats.cycles += self.config.cost.mem_hit;
         if !self.cache.access(addr) {
@@ -478,7 +493,7 @@ impl<'m> Machine<'m> {
         }
         if regular && self.config.isolation == Isolation::Sfi {
             self.sfi_masked += 1;
-            if self.sfi_masked % 3 == 0 {
+            if self.sfi_masked.is_multiple_of(3) {
                 self.stats.cycles += self.config.cost.sfi_mask;
             }
         }
@@ -492,6 +507,18 @@ impl<'m> Machine<'m> {
                 self.stats.cycles += self.config.cost.mem_miss;
             }
         }
+        // Touches beyond the recorded sample (range operations, probe
+        // chains) are charged as sequential entry-sized accesses
+        // following the last recorded address.
+        if touched.spill > 0 {
+            let base = touched.iter().last().unwrap_or_else(|| self.store.base());
+            for i in 1..=touched.spill as u64 {
+                self.stats.cycles += self.config.cost.mem_hit;
+                if !self.cache.access(base + i * levee_rt::ENTRY_SIZE) {
+                    self.stats.cycles += self.config.cost.mem_miss;
+                }
+            }
+        }
         if touched.page_fault {
             self.stats.cycles += self.config.cost.page_fault;
             self.stats.page_faults += 1;
@@ -503,6 +530,7 @@ impl<'m> Machine<'m> {
         self.stats.cycles += op_cost;
     }
 
+    #[inline]
     pub(crate) fn charge_check(&mut self) {
         self.stats.checks += 1;
         self.stats.cycles += match self.config.hardware {
@@ -514,7 +542,7 @@ impl<'m> Machine<'m> {
     // ---- guarded program memory access ------------------------------------
 
     /// Converts a raw memory error into a trap.
-    fn mem_trap(e: MemError) -> Trap {
+    pub(crate) fn mem_trap(e: MemError) -> Trap {
         match e {
             MemError::Unmapped { addr } => Trap::Unmapped { addr },
             MemError::WriteProtected { addr } => Trap::WriteProtected { addr },
@@ -522,6 +550,7 @@ impl<'m> Machine<'m> {
     }
 
     /// Enforces the isolation invariant for an access from `space`.
+    #[inline]
     pub(crate) fn isolation_check(&self, addr: u64, space: MemSpace) -> Result<(), Trap> {
         if space == MemSpace::Regular && self.layout.in_safe_region(addr) {
             return match self.config.isolation {
@@ -537,6 +566,7 @@ impl<'m> Machine<'m> {
     }
 
     /// Program-level typed read.
+    #[inline]
     pub(crate) fn prog_read(&mut self, addr: u64, size: u64, space: MemSpace) -> Result<u64, Trap> {
         self.isolation_check(addr, space)?;
         self.charge_mem(addr, space == MemSpace::Regular);
@@ -544,6 +574,7 @@ impl<'m> Machine<'m> {
     }
 
     /// Program-level typed write.
+    #[inline]
     pub(crate) fn prog_write(
         &mut self,
         addr: u64,
@@ -553,19 +584,24 @@ impl<'m> Machine<'m> {
     ) -> Result<(), Trap> {
         self.isolation_check(addr, space)?;
         self.charge_mem(addr, space == MemSpace::Regular);
-        self.mem.write_uint(addr, value, size).map_err(Self::mem_trap)
+        self.mem
+            .write_uint(addr, value, size)
+            .map_err(Self::mem_trap)
     }
 
     // ---- register access ---------------------------------------------------
 
+    #[inline]
     pub(crate) fn frame(&self) -> &Frame {
         self.frames.last().expect("no active frame")
     }
 
+    #[inline]
     pub(crate) fn frame_mut(&mut self) -> &mut Frame {
         self.frames.last_mut().expect("no active frame")
     }
 
+    #[inline]
     pub(crate) fn eval(&self, op: Operand) -> V {
         match op {
             Operand::Const(c) => V::int(c as u64),
@@ -573,6 +609,7 @@ impl<'m> Machine<'m> {
         }
     }
 
+    #[inline]
     pub(crate) fn set_reg(&mut self, dest: ValueId, v: V) {
         self.frame_mut().regs[dest.0 as usize] = v;
     }

@@ -7,6 +7,8 @@
 
 use std::collections::HashMap;
 
+use levee_rt::FastHash;
+
 /// Page size of the backing store.
 pub const PAGE_SIZE: u64 = 4096;
 
@@ -19,10 +21,43 @@ pub enum MemError {
     WriteProtected { addr: u64 },
 }
 
+/// One backing page.
+type Page = Box<[u8; PAGE_SIZE as usize]>;
+
+/// Number of directly-indexed page slots covering the low 4 GB — the
+/// whole regular region (code, globals, heap, stacks) lives below this
+/// line. The table is 8 MB of virtual address space per machine, backed
+/// lazily by the host OS (allocated zeroed, so untouched slots cost
+/// nothing physical).
+const LOW_PAGES: u64 = (1 << 32) / PAGE_SIZE;
+
+/// Size-specialized little-endian store into a page.
+#[inline(always)]
+fn write_le(p: &mut [u8; PAGE_SIZE as usize], off: usize, val: u64, size: u64) {
+    match size {
+        8 => p[off..off + 8].copy_from_slice(&val.to_le_bytes()),
+        4 => p[off..off + 4].copy_from_slice(&(val as u32).to_le_bytes()),
+        2 => p[off..off + 2].copy_from_slice(&(val as u16).to_le_bytes()),
+        _ => p[off] = val as u8,
+    }
+}
+
 /// Sparse paged memory.
+///
+/// Page lookup is the hottest operation in the VM — every simulated
+/// load/store performs one — so the low 4 GB (the regular region) is
+/// indexed by a flat direct table: one load, no hashing. High addresses
+/// (the safe region) fall back to a hash map; they are touched far less
+/// often.
 #[derive(Default)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    /// Direct page table for pages below 4 GB, allocated zeroed on
+    /// first touch.
+    low: Vec<Option<Page>>,
+    /// Pages at or above 4 GB (safe region).
+    high_pages: HashMap<u64, Page, FastHash>,
+    /// Resident page count across both tiers.
+    resident: usize,
     /// Write-protected address ranges (code segment, read-only globals).
     protected: Vec<(u64, u64)>,
     /// Ranges that reads may touch without an explicit prior write
@@ -43,33 +78,112 @@ impl Memory {
     }
 
     /// Maps `[start, start+len)` as readable zero-initialized memory.
+    ///
+    /// The range set stays sorted and coalesced: `malloc` maps a range
+    /// per allocation, so lookups must not degrade to a linear scan
+    /// over thousands of entries.
     pub fn map_zero(&mut self, start: u64, len: u64) {
-        self.mapped.push((start, start.saturating_add(len)));
+        let end = start.saturating_add(len);
+        let mut i = self.mapped.partition_point(|&(s, _)| s < start);
+        self.mapped.insert(i, (start, end));
+        if i > 0 && self.mapped[i - 1].1 >= self.mapped[i].0 {
+            self.mapped[i - 1].1 = self.mapped[i - 1].1.max(self.mapped[i].1);
+            self.mapped.remove(i);
+            i -= 1;
+        }
+        while i + 1 < self.mapped.len() && self.mapped[i].1 >= self.mapped[i + 1].0 {
+            self.mapped[i].1 = self.mapped[i].1.max(self.mapped[i + 1].1);
+            self.mapped.remove(i + 1);
+        }
     }
 
     fn is_protected(&self, addr: u64) -> bool {
         self.protected.iter().any(|(s, e)| (*s..*e).contains(&addr))
     }
 
+    /// True if `addr` lies in a mapped-but-possibly-unmaterialized range
+    /// (does not consult resident pages).
+    fn in_mapped_ranges(&self, addr: u64) -> bool {
+        let i = self.mapped.partition_point(|&(s, _)| s <= addr);
+        i > 0 && addr < self.mapped[i - 1].1
+    }
+
+    /// True if the whole span `[start, end)` lies in one mapped range
+    /// (ranges are coalesced, so one range suffices).
+    fn span_mapped(&self, start: u64, end: u64) -> bool {
+        let i = self.mapped.partition_point(|&(s, _)| s <= start);
+        i > 0 && end <= self.mapped[i - 1].1
+    }
+
+    /// True if any protected range overlaps `[start, end)`.
+    fn span_protected(&self, start: u64, end: u64) -> bool {
+        self.protected.iter().any(|&(s, e)| start < e && s < end)
+    }
+
     fn is_mapped(&self, addr: u64) -> bool {
-        self.mapped.iter().any(|(s, e)| (*s..*e).contains(&addr))
-            || self.pages.contains_key(&(addr / PAGE_SIZE))
+        self.in_mapped_ranges(addr) || self.page(addr / PAGE_SIZE).is_some()
+    }
+
+    /// The resident page containing `page_idx`, if materialized.
+    #[inline(always)]
+    fn page(&self, page_idx: u64) -> Option<&[u8; PAGE_SIZE as usize]> {
+        if page_idx < LOW_PAGES {
+            self.low.get(page_idx as usize)?.as_deref()
+        } else {
+            self.high_pages.get(&page_idx).map(|p| &**p)
+        }
+    }
+
+    /// Mutable access to the resident page containing `page_idx`.
+    #[inline(always)]
+    fn page_mut(&mut self, page_idx: u64) -> Option<&mut [u8; PAGE_SIZE as usize]> {
+        if page_idx < LOW_PAGES {
+            self.low.get_mut(page_idx as usize)?.as_deref_mut()
+        } else {
+            self.high_pages.get_mut(&page_idx).map(|p| &mut **p)
+        }
+    }
+
+    /// Materializes (or returns) the page containing `page_idx`.
+    fn ensure_page(&mut self, page_idx: u64) -> &mut [u8; PAGE_SIZE as usize] {
+        if page_idx < LOW_PAGES {
+            if self.low.is_empty() {
+                // One zeroed 8 MB table; the host OS backs it lazily.
+                self.low = vec![None; LOW_PAGES as usize];
+            }
+            let slot = &mut self.low[page_idx as usize];
+            if slot.is_none() {
+                *slot = Some(Box::new([0; PAGE_SIZE as usize]));
+                self.resident += 1;
+            }
+            slot.as_deref_mut().expect("just ensured")
+        } else {
+            let resident = &mut self.resident;
+            self.high_pages.entry(page_idx).or_insert_with(|| {
+                *resident += 1;
+                Box::new([0; PAGE_SIZE as usize])
+            })
+        }
     }
 
     /// Reads one byte.
+    #[inline]
     pub fn read_u8(&self, addr: u64) -> Result<u8, MemError> {
-        if !self.is_mapped(addr) {
-            return Err(MemError::Unmapped { addr });
+        // Fast path: a resident page answers directly (a resident page
+        // is mapped by definition).
+        if let Some(p) = self.page(addr / PAGE_SIZE) {
+            return Ok(p[(addr % PAGE_SIZE) as usize]);
         }
-        Ok(self
-            .pages
-            .get(&(addr / PAGE_SIZE))
-            .map(|p| p[(addr % PAGE_SIZE) as usize])
-            .unwrap_or(0))
+        if self.in_mapped_ranges(addr) {
+            Ok(0)
+        } else {
+            Err(MemError::Unmapped { addr })
+        }
     }
 
     /// Writes one byte. Writes to pages that were never mapped or
     /// written fault, like a wild store would.
+    #[inline]
     pub fn write_u8(&mut self, addr: u64, val: u8) -> Result<(), MemError> {
         if self.is_protected(addr) {
             return Err(MemError::WriteProtected { addr });
@@ -77,27 +191,45 @@ impl Memory {
         if !self.is_mapped(addr) {
             return Err(MemError::Unmapped { addr });
         }
-        let page = self
-            .pages
-            .entry(addr / PAGE_SIZE)
-            .or_insert_with(|| Box::new([0; PAGE_SIZE as usize]));
-        page[(addr % PAGE_SIZE) as usize] = val;
+        self.ensure_page(addr / PAGE_SIZE)[(addr % PAGE_SIZE) as usize] = val;
         Ok(())
     }
 
     /// Writes one byte ignoring write protection — used only when the
     /// loader materializes the initial image.
     pub fn loader_write_u8(&mut self, addr: u64, val: u8) {
-        let page = self
-            .pages
-            .entry(addr / PAGE_SIZE)
-            .or_insert_with(|| Box::new([0; PAGE_SIZE as usize]));
-        page[(addr % PAGE_SIZE) as usize] = val;
+        self.ensure_page(addr / PAGE_SIZE)[(addr % PAGE_SIZE) as usize] = val;
     }
 
     /// Reads a little-endian unsigned integer of `size` ∈ {1,2,4,8}.
+    #[inline]
     pub fn read_uint(&self, addr: u64, size: u64) -> Result<u64, MemError> {
         debug_assert!(matches!(size, 1 | 2 | 4 | 8));
+        let off = addr % PAGE_SIZE;
+        // Fast path: the whole access lies within one resident page —
+        // one lookup instead of one per byte. (A resident page is
+        // mapped for its full extent, so no per-byte check is needed.)
+        if off + size <= PAGE_SIZE {
+            if let Some(p) = self.page(addr / PAGE_SIZE) {
+                let off = off as usize;
+                // Size-specialized little-endian reads: the dynamic
+                // byte loop defeats unrolling and this is the hottest
+                // path in the VM.
+                return Ok(match size {
+                    8 => u64::from_le_bytes(p[off..off + 8].try_into().expect("len 8")),
+                    4 => u32::from_le_bytes(p[off..off + 4].try_into().expect("len 4")) as u64,
+                    2 => u16::from_le_bytes(p[off..off + 2].try_into().expect("len 2")) as u64,
+                    _ => p[off] as u64,
+                });
+            }
+            // Page not materialized: reads as zero iff the *whole*
+            // access is mapped — an access straddling the end of a
+            // mapped range must fault at the exact offending byte,
+            // which the byte loop below reports.
+            if self.span_mapped(addr, addr + size) {
+                return Ok(0);
+            }
+        }
         let mut v: u64 = 0;
         for i in 0..size {
             v |= (self.read_u8(addr + i)? as u64) << (8 * i);
@@ -106,8 +238,26 @@ impl Memory {
     }
 
     /// Writes a little-endian unsigned integer of `size` ∈ {1,2,4,8}.
+    #[inline]
     pub fn write_uint(&mut self, addr: u64, val: u64, size: u64) -> Result<(), MemError> {
         debug_assert!(matches!(size, 1 | 2 | 4 | 8));
+        let off = addr % PAGE_SIZE;
+        // Fast path only when the whole access is trivially clean: no
+        // protected overlap, and either a resident page or a fully
+        // mapped span. Anything else falls through to the per-byte
+        // loop, which reports the exact faulting byte with the same
+        // error the seed semantics produced.
+        if off + size <= PAGE_SIZE && !self.span_protected(addr, addr + size) {
+            if let Some(p) = self.page_mut(addr / PAGE_SIZE) {
+                write_le(p, off as usize, val, size);
+                return Ok(());
+            }
+            if self.span_mapped(addr, addr + size) {
+                let page = self.ensure_page(addr / PAGE_SIZE);
+                write_le(page, off as usize, val, size);
+                return Ok(());
+            }
+        }
         for i in 0..size {
             self.write_u8(addr + i, (val >> (8 * i)) as u8)?;
         }
@@ -121,20 +271,103 @@ impl Memory {
         }
     }
 
-    /// Copies `len` bytes from `src` to `dst` with memmove semantics.
-    pub fn copy(&mut self, dst: u64, src: u64, len: u64) -> Result<(), MemError> {
-        let bytes: Result<Vec<u8>, _> = (0..len).map(|i| self.read_u8(src + i)).collect();
-        let bytes = bytes?;
-        for (i, b) in bytes.into_iter().enumerate() {
-            self.write_u8(dst + i as u64, b)?;
+    /// Checks every byte of `[start, start+len)` is readable, without
+    /// materializing anything; reports the first unmapped byte.
+    fn check_readable(&self, start: u64, len: u64) -> Result<(), MemError> {
+        let mut off = 0u64;
+        while off < len {
+            let addr = start + off;
+            let page_off = addr % PAGE_SIZE;
+            let chunk = (PAGE_SIZE - page_off).min(len - off);
+            if self.page(addr / PAGE_SIZE).is_none() && !self.span_mapped(addr, addr + chunk) {
+                // Mixed chunk: find the exact faulting byte.
+                for i in 0..chunk {
+                    if !self.in_mapped_ranges(addr + i) {
+                        return Err(MemError::Unmapped { addr: addr + i });
+                    }
+                }
+            }
+            off += chunk;
         }
         Ok(())
     }
 
-    /// Fills `[dst, dst+len)` with `byte`.
+    /// Copies `len` bytes from `src` to `dst` with memmove semantics.
+    pub fn copy(&mut self, dst: u64, src: u64, len: u64) -> Result<(), MemError> {
+        // Validate the source *before* allocating the gather buffer: a
+        // corrupted (huge) length must fault at its first unmapped byte
+        // rather than aborting the host with an oversized allocation.
+        self.check_readable(src, len)?;
+        // Gather-then-scatter gives memmove semantics for overlap; the
+        // page-chunked loops avoid per-byte page lookups. The buffer is
+        // bounded by the validated (hence actually mapped) span.
+        let mut bytes = vec![0u8; len as usize];
+        let mut off = 0u64;
+        while off < len {
+            let addr = src + off;
+            let page_off = addr % PAGE_SIZE;
+            let chunk = (PAGE_SIZE - page_off).min(len - off) as usize;
+            let out = &mut bytes[off as usize..off as usize + chunk];
+            if let Some(p) = self.page(addr / PAGE_SIZE) {
+                out.copy_from_slice(&p[page_off as usize..page_off as usize + chunk]);
+            } else {
+                out.fill(0); // validated mapped-but-unmaterialized
+            }
+            off += chunk as u64;
+        }
+        self.write_bytes_chunked(dst, &bytes)
+    }
+
+    /// Fills `[dst, dst+len)` with `byte` — page-chunked, allocation
+    /// free (guest-controlled lengths must not size host allocations).
     pub fn fill(&mut self, dst: u64, byte: u8, len: u64) -> Result<(), MemError> {
-        for i in 0..len {
-            self.write_u8(dst + i, byte)?;
+        let mut off = 0u64;
+        while off < len {
+            let addr = dst + off;
+            let page_off = (addr % PAGE_SIZE) as usize;
+            let chunk = (PAGE_SIZE - page_off as u64).min(len - off) as usize;
+            if self.chunk_cleanly_writable(addr, chunk) {
+                let page = self.ensure_page(addr / PAGE_SIZE);
+                page[page_off..page_off + chunk].fill(byte);
+            } else {
+                // Per-byte semantics: the valid prefix is written, then
+                // the first faulting byte reports its exact address.
+                for i in 0..chunk as u64 {
+                    self.write_u8(addr + i, byte)?;
+                }
+            }
+            off += chunk as u64;
+        }
+        Ok(())
+    }
+
+    /// True when a page-local chunk can be written without per-byte
+    /// checks: no protected overlap, and either fully inside a mapped
+    /// range or on an already-resident page.
+    fn chunk_cleanly_writable(&self, addr: u64, chunk: usize) -> bool {
+        let chunk_end = addr + chunk as u64;
+        !self.span_protected(addr, chunk_end)
+            && (self.span_mapped(addr, chunk_end) || self.page(addr / PAGE_SIZE).is_some())
+    }
+
+    /// Page-chunked write of a byte slice with the same fault semantics
+    /// as per-byte [`write_u8`](Self::write_u8): the error reports the
+    /// first faulting byte's address.
+    fn write_bytes_chunked(&mut self, dst: u64, bytes: &[u8]) -> Result<(), MemError> {
+        let mut off = 0usize;
+        while off < bytes.len() {
+            let addr = dst + off as u64;
+            let page_off = (addr % PAGE_SIZE) as usize;
+            let chunk = (PAGE_SIZE as usize - page_off).min(bytes.len() - off);
+            if self.chunk_cleanly_writable(addr, chunk) {
+                let page = self.ensure_page(addr / PAGE_SIZE);
+                page[page_off..page_off + chunk].copy_from_slice(&bytes[off..off + chunk]);
+            } else {
+                for i in 0..chunk {
+                    self.write_u8(addr + i as u64, bytes[off + i])?;
+                }
+            }
+            off += chunk;
         }
         Ok(())
     }
@@ -154,13 +387,13 @@ impl Memory {
 
     /// Number of resident (materialized) pages.
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.resident
     }
 
     /// Resident bytes (pages × page size) — the denominator of the
     /// memory-overhead experiments.
     pub fn resident_bytes(&self) -> u64 {
-        self.pages.len() as u64 * PAGE_SIZE
+        self.resident as u64 * PAGE_SIZE
     }
 }
 
@@ -181,10 +414,7 @@ mod tests {
     #[test]
     fn unmapped_read_faults() {
         let m = Memory::new();
-        assert_eq!(
-            m.read_u8(0xdead),
-            Err(MemError::Unmapped { addr: 0xdead })
-        );
+        assert_eq!(m.read_u8(0xdead), Err(MemError::Unmapped { addr: 0xdead }));
     }
 
     #[test]
@@ -193,6 +423,63 @@ mod tests {
         m.map_zero(0x8000, 4096);
         assert_eq!(m.read_uint(0x8000, 8).unwrap(), 0);
         assert!(m.read_u8(0x7fff).is_err());
+    }
+
+    #[test]
+    fn word_read_straddling_mapped_range_end_faults() {
+        let mut m = Memory::new();
+        // A byte-granular range, like a small heap allocation's.
+        m.map_zero(0x1000, 8);
+        assert_eq!(m.read_uint(0x1000, 8).unwrap(), 0);
+        // A read crossing the range's end on a non-resident page faults
+        // at the first unmapped byte, exactly like the per-byte path.
+        assert_eq!(
+            m.read_uint(0x1004, 8),
+            Err(MemError::Unmapped { addr: 0x1008 })
+        );
+        // A straddling *write* materializes the page byte by byte: once
+        // the first in-range byte faults the page in, the rest of the
+        // page counts as mapped (the per-byte semantics the VM has
+        // always had), so the write — and subsequent reads through the
+        // now-resident page — succeed.
+        assert_eq!(m.write_uint(0x1004, 0xff, 8), Ok(()));
+        assert_eq!(m.read_uint(0x1004, 8).unwrap(), 0xff);
+    }
+
+    #[test]
+    fn huge_corrupted_lengths_trap_without_host_allocation() {
+        let mut m = Memory::new();
+        m.map_zero(0x1000, 64);
+        // An attacker-corrupted length must fault at the first
+        // unwritable byte, not size a host allocation. (The first
+        // in-range byte materializes the page and page residency counts
+        // as mapped — per-byte seed semantics — so the fault lands at
+        // the next page boundary.)
+        assert_eq!(
+            m.fill(0x1000, 0x41, 1 << 40),
+            Err(MemError::Unmapped { addr: 0x2000 })
+        );
+        // The in-range prefix of the failed fill was written (the seed
+        // wrote until the first fault too), materializing the page —
+        // so the copy below faults at the page boundary.
+        assert_eq!(m.read_u8(0x1000).unwrap(), 0x41);
+        assert_eq!(
+            m.copy(0x9_0000, 0x1000, u64::MAX / 2),
+            Err(MemError::Unmapped { addr: 0x2000 })
+        );
+    }
+
+    #[test]
+    fn word_write_straddling_protection_boundary_faults() {
+        let mut m = Memory::new();
+        m.map_zero(0x2000, 64);
+        m.protect(0x2008, 8);
+        // First byte unprotected, later bytes protected: the write must
+        // fault at the first protected byte.
+        assert_eq!(
+            m.write_uint(0x2004, 1, 8),
+            Err(MemError::WriteProtected { addr: 0x2008 })
+        );
     }
 
     #[test]
@@ -205,7 +492,10 @@ mod tests {
             Err(MemError::WriteProtected { addr: 0x40_0000 })
         );
         // Unmapped writes fault like wild stores.
-        assert_eq!(m.write_u8(0x9999_0000, 1), Err(MemError::Unmapped { addr: 0x9999_0000 }));
+        assert_eq!(
+            m.write_u8(0x9999_0000, 1),
+            Err(MemError::Unmapped { addr: 0x9999_0000 })
+        );
         m.loader_write_u8(0x40_0000, 7); // loader bypasses protection
         assert_eq!(m.read_u8(0x40_0000).unwrap(), 7);
     }

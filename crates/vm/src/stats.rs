@@ -62,8 +62,7 @@ impl ExecStats {
         if baseline.regular_bytes == 0 {
             return 0.0;
         }
-        let extra = (self.regular_bytes + self.store_bytes) as f64
-            - baseline.regular_bytes as f64;
+        let extra = (self.regular_bytes + self.store_bytes) as f64 - baseline.regular_bytes as f64;
         extra / baseline.regular_bytes as f64 * 100.0
     }
 

@@ -1,0 +1,230 @@
+//! Differential suite: the bytecode engine must be observationally
+//! identical to the step-walking reference engine — same output, same
+//! exit status, same traps, same hijack verdicts, and the same
+//! simulated cycle/instruction counts — across every workload kernel,
+//! every build configuration, every store organization and isolation
+//! model, and the whole RIPE attack matrix.
+
+use levee_core::{build_source, BuildConfig};
+use levee_ripe::{all_attacks, run_attack_with, Profile};
+use levee_vm::{Engine, ExitStatus, Isolation, Machine, RunOutcome, StoreKind, Trap, VmConfig};
+use levee_workloads::kernels;
+
+const ALL_CONFIGS: &[BuildConfig] = &[
+    BuildConfig::Vanilla,
+    BuildConfig::SafeStack,
+    BuildConfig::Cps,
+    BuildConfig::Cpi,
+    BuildConfig::SoftBound,
+];
+
+/// Runs `src` built under `config` with both engines and asserts every
+/// observable of the two runs agrees. Returns the (identical) outcome.
+fn differential(src: &str, config: BuildConfig, base: VmConfig, what: &str) -> RunOutcome {
+    let built = build_source(src, "diff", config)
+        .unwrap_or_else(|e| panic!("{what}: failed to build under {}: {e}", config.name()));
+    let base = built.vm_config(base);
+    let run = |engine: Engine| {
+        let mut vm = Machine::new(&built.module, base.with_engine(engine));
+        vm.run(b"")
+    };
+    let walk = run(Engine::Walk);
+    let bc = run(Engine::Bytecode);
+    let ctx = format!("{what} under {}", config.name());
+    assert_eq!(walk.status, bc.status, "{ctx}: exit status diverged");
+    assert_eq!(walk.output, bc.output, "{ctx}: output diverged");
+    assert_eq!(walk.stats.cycles, bc.stats.cycles, "{ctx}: cycles diverged");
+    assert_eq!(
+        walk.stats.insts, bc.stats.insts,
+        "{ctx}: instruction counts diverged"
+    );
+    assert_eq!(
+        walk.stats.mem_ops, bc.stats.mem_ops,
+        "{ctx}: mem-op counts diverged"
+    );
+    assert_eq!(
+        walk.stats.cpi_mem_ops, bc.stats.cpi_mem_ops,
+        "{ctx}: instrumented-op counts diverged"
+    );
+    assert_eq!(
+        walk.stats.checks, bc.stats.checks,
+        "{ctx}: check counts diverged"
+    );
+    assert_eq!(
+        (walk.stats.cache_hits, walk.stats.cache_misses),
+        (bc.stats.cache_hits, bc.stats.cache_misses),
+        "{ctx}: cache behaviour diverged"
+    );
+    assert_eq!(
+        walk.stats.calls, bc.stats.calls,
+        "{ctx}: call counts diverged"
+    );
+    walk
+}
+
+#[test]
+fn every_kernel_agrees_across_engines_and_build_configs() {
+    let kerns: &[(&str, &str)] = &[
+        (kernels::DISPATCH, "dispatch_kernel"),
+        (kernels::VCALL, "vcall_kernel"),
+        (kernels::NUMERIC, "numeric_kernel"),
+        (kernels::BIGSTACK, "bigstack_kernel"),
+        (kernels::STRINGS, "string_kernel"),
+        (kernels::GRAPH, "graph_kernel"),
+        (kernels::CBSTRUCT, "cbstruct_kernel"),
+        (kernels::HEAPCHURN, "heap_kernel"),
+        (kernels::BULKCOPY, "bulkcopy_kernel"),
+    ];
+    for (src, entry) in kerns {
+        let program = kernels::assemble(&[src], &[(entry, 150)]);
+        for config in ALL_CONFIGS {
+            let out = differential(&program, *config, VmConfig::default(), entry);
+            assert_eq!(
+                out.status,
+                ExitStatus::Exited(0),
+                "{entry} must run cleanly"
+            );
+        }
+    }
+}
+
+#[test]
+fn store_organizations_and_isolation_models_agree() {
+    let program = kernels::assemble(
+        &[kernels::VCALL, kernels::HEAPCHURN],
+        &[("vcall_kernel", 100), ("heap_kernel", 100)],
+    );
+    for store in StoreKind::all() {
+        let base = VmConfig {
+            store_kind: *store,
+            ..VmConfig::default()
+        };
+        differential(&program, BuildConfig::Cpi, base, store.name());
+    }
+    for isolation in [
+        Isolation::None,
+        Isolation::Segmentation,
+        Isolation::InfoHiding,
+        Isolation::Sfi,
+    ] {
+        let base = VmConfig {
+            isolation,
+            ..VmConfig::default()
+        };
+        differential(&program, BuildConfig::Cpi, base, "isolation");
+    }
+}
+
+#[test]
+fn traps_agree_across_engines() {
+    // Each program ends in a distinctive trap; both engines must agree
+    // on the exact trap value.
+    let cases: &[(&str, &str)] = &[
+        (
+            "div by zero",
+            r#"
+            int main() {
+                long a = 7; long b = 0;
+                print_int((int)(a / b));
+                return 0;
+            }
+            "#,
+        ),
+        (
+            "out-of-bounds dereference under instrumentation",
+            r#"
+            void (*cb)(int);
+            void h(int x) { print_int(x); }
+            int main() {
+                cb = h;
+                long i;
+                long* p = (long*)malloc(16);
+                for (i = 0; i < 64; i = i + 1) { p[i] = i; }
+                cb(1);
+                return 0;
+            }
+            "#,
+        ),
+        (
+            "stack smash into return address",
+            r#"
+            int main() {
+                char buf[8];
+                read_input(buf, -1);
+                return 0;
+            }
+            "#,
+        ),
+        (
+            "abort",
+            r#"
+            int main() { abort(); return 0; }
+            "#,
+        ),
+        (
+            "setjmp/longjmp round trip",
+            r#"
+            long jb[4];
+            int main() {
+                long r = setjmp((void*)jb);
+                print_int((int)r);
+                if (r == 0) { longjmp((void*)jb, 7); }
+                return (int)r;
+            }
+            "#,
+        ),
+    ];
+    for (what, src) in cases {
+        for config in ALL_CONFIGS {
+            differential(src, *config, VmConfig::default(), what);
+        }
+    }
+}
+
+#[test]
+fn fuel_exhaustion_agrees_across_engines() {
+    let src = r#"
+        int main() {
+            long i = 0;
+            while (1) { i = i + 1; }
+            return 0;
+        }
+    "#;
+    let base = VmConfig {
+        max_insts: 10_000,
+        ..VmConfig::default()
+    };
+    let out = differential(src, BuildConfig::Vanilla, base, "fuel");
+    assert_eq!(out.status, ExitStatus::Trapped(Trap::OutOfFuel));
+}
+
+/// The §5.1 claim, replayed per engine: every attack verdict — hijack,
+/// detection, crash, survival — must be identical under both engines
+/// for every profile of the paper lineup.
+#[test]
+fn ripe_attack_matrix_verdicts_agree_across_engines() {
+    let attacks = all_attacks();
+    for profile in Profile::paper_lineup() {
+        for (i, attack) in attacks.iter().enumerate() {
+            let seed = 0xD1FF ^ (i as u64).wrapping_mul(0x9E37_79B9);
+            let walk = run_attack_with(
+                attack,
+                &profile,
+                seed,
+                VmConfig::default().with_engine(Engine::Walk),
+            );
+            let bc = run_attack_with(
+                attack,
+                &profile,
+                seed,
+                VmConfig::default().with_engine(Engine::Bytecode),
+            );
+            assert_eq!(
+                walk,
+                bc,
+                "attack #{i} {attack:?} against {} diverged between engines",
+                profile.name()
+            );
+        }
+    }
+}

@@ -3,9 +3,7 @@
 //! threat model, exercised without the frontend.
 
 use levee_ir::prelude::*;
-use levee_vm::{
-    CpiViolationKind, ExitStatus, GoalKind, Isolation, Machine, Trap, VmConfig,
-};
+use levee_vm::{CpiViolationKind, ExitStatus, GoalKind, Isolation, Machine, Trap, VmConfig};
 
 /// Builds: `main` prints `6*7`, returns 0.
 fn arithmetic_module() -> Module {
@@ -175,7 +173,10 @@ fn dep_blocks_code_injection_but_not_ret2libc() {
     let shellcode = smash_buf_addr();
     vm.add_goal(shellcode, GoalKind::Shellcode);
     let out = vm.run(&smash_payload(false, shellcode));
-    assert_eq!(out.status, ExitStatus::Trapped(Trap::Nx { addr: shellcode }));
+    assert_eq!(
+        out.status,
+        ExitStatus::Trapped(Trap::Nx { addr: shellcode })
+    );
 
     // …but return-to-libc still works: jump to system()'s entry.
     let mut vm = Machine::new(&m, VmConfig::default());
@@ -506,8 +507,10 @@ fn corrupted_jmp_buf_hijacks_unprotected_longjmp() {
 #[test]
 fn protected_jmp_buf_survives_corruption() {
     let m = setjmp_module();
-    let mut config = VmConfig::default();
-    config.protect_runtime_code_ptrs = true;
+    let config = VmConfig {
+        protect_runtime_code_ptrs: true,
+        ..VmConfig::default()
+    };
     let mut vm = Machine::new(&m, config);
     let system = vm.intrinsic_entry(Intrinsic::System);
     vm.add_goal(system, GoalKind::Ret2Libc);
@@ -528,9 +531,15 @@ fn protected_jmp_buf_survives_corruption() {
 #[test]
 fn attacker_cannot_write_safe_region_under_isolation() {
     let m = arithmetic_module();
-    for iso in [Isolation::Segmentation, Isolation::Sfi, Isolation::InfoHiding] {
-        let mut config = VmConfig::default();
-        config.isolation = iso;
+    for iso in [
+        Isolation::Segmentation,
+        Isolation::Sfi,
+        Isolation::InfoHiding,
+    ] {
+        let config = VmConfig {
+            isolation: iso,
+            ..VmConfig::default()
+        };
         let mut vm = Machine::new(&m, config);
         let target = vm.layout().safe_stack_top() - 8;
         assert!(
@@ -540,8 +549,10 @@ fn attacker_cannot_write_safe_region_under_isolation() {
     }
     // Ablation: with isolation off, the safe stack is just memory and
     // the attacker reaches it — CPI's guarantee depends on isolation.
-    let mut config = VmConfig::default();
-    config.isolation = Isolation::None;
+    let config = VmConfig {
+        isolation: Isolation::None,
+        ..VmConfig::default()
+    };
     let mut vm = Machine::new(&m, config);
     let target = vm.layout().safe_stack_top() - 8;
     assert!(vm.attacker_write(target, &[0xff; 8]).is_ok());
@@ -558,16 +569,17 @@ fn attacker_cannot_modify_code() {
 #[test]
 fn guessing_the_safe_region_mostly_crashes() {
     let m = arithmetic_module();
-    let mut config = VmConfig::default();
-    config.isolation = Isolation::InfoHiding;
-    config.seed = 1234;
+    let config = VmConfig {
+        isolation: Isolation::InfoHiding,
+        seed: 1234,
+        ..VmConfig::default()
+    };
     let vm = Machine::new(&m, config);
     let mut crashes = 0;
     let mut hits = 0;
     // Sweep guesses across the candidate window.
     for i in 0..1024u64 {
-        let guess = levee_vm::layout::SAFE_REGION_MIN
-            + i * levee_vm::layout::SAFE_REGION_ALIGN;
+        let guess = levee_vm::layout::SAFE_REGION_MIN + i * levee_vm::layout::SAFE_REGION_ALIGN;
         match vm.attacker_guess(guess) {
             levee_vm::GuessOutcome::Hit => hits += 1,
             levee_vm::GuessOutcome::Crash => crashes += 1,
@@ -595,7 +607,11 @@ fn cpi_check_semantics() {
         size: 8,
     }));
     // Forged pointer (int literal) fails FnCheck:
-    let forged = b.cast(CastKind::IntToPtr, Operand::Const(0x40_0000), Ty::fn_ptr(sig.clone()));
+    let forged = b.cast(
+        CastKind::IntToPtr,
+        Operand::Const(0x40_0000),
+        Ty::fn_ptr(sig.clone()),
+    );
     let ok = b.func_addr(cb, sig.clone());
     let _ = ok;
     b.func_mut_push(Inst::Cpi(CpiOp::FnCheck {
@@ -653,8 +669,10 @@ fn use_after_free_detected_with_temporal_checks() {
     b.ret(Some(0.into()));
     m.add_func(b.finish());
 
-    let mut config = VmConfig::default();
-    config.temporal = true;
+    let config = VmConfig {
+        temporal: true,
+        ..VmConfig::default()
+    };
     let out = Machine::new(&m, config).run(b"");
     assert!(matches!(
         out.status,

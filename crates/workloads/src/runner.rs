@@ -51,12 +51,7 @@ pub fn measure(
 }
 
 /// Like [`measure`], for raw source text.
-pub fn measure_source(
-    name: &str,
-    src: &str,
-    config: BuildConfig,
-    store: StoreKind,
-) -> Measurement {
+pub fn measure_source(name: &str, src: &str, config: BuildConfig, store: StoreKind) -> Measurement {
     let built = build_source(src, name, config)
         .unwrap_or_else(|e| panic!("workload {name} failed to build: {e}"));
     let mut vm_cfg = built.vm_config(VmConfig::default().with_seed(0xBEEF));
@@ -118,7 +113,8 @@ pub fn overhead_row(
     for config in configs {
         let m = measure(workload, scale, *config, store);
         assert_eq!(
-            m.output, baseline.output,
+            m.output,
+            baseline.output,
             "{} must compute the same result under {}",
             workload.name,
             config.name()
@@ -135,7 +131,11 @@ pub fn overhead_row(
 }
 
 /// Summary statistics over a set of rows (the Table 1 shape).
-pub fn summarize(rows: &[OverheadRow], config: BuildConfig, cpp_filter: Option<bool>) -> (f64, f64, f64) {
+pub fn summarize(
+    rows: &[OverheadRow],
+    config: BuildConfig,
+    cpp_filter: Option<bool>,
+) -> (f64, f64, f64) {
     let mut values: Vec<f64> = rows
         .iter()
         .filter(|r| cpp_filter.is_none_or(|want| (r.cpp || !want) && (!r.cpp || want)))
@@ -181,7 +181,10 @@ mod tests {
         let lbm = suite.iter().find(|w| w.name == "lbm").unwrap();
         let row = overhead_row(lbm, 2, &[BuildConfig::Cpi], StoreKind::ArraySuperpage);
         let cpi = row.overhead(BuildConfig::Cpi).unwrap();
-        assert!(cpi < 3.0, "numeric code under CPI should be ~free, got {cpi:.1}%");
+        assert!(
+            cpi < 3.0,
+            "numeric code under CPI should be ~free, got {cpi:.1}%"
+        );
     }
 
     #[test]

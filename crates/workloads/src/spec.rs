@@ -91,13 +91,19 @@ pub fn spec_suite() -> Vec<Workload> {
             spec_id: "429.mcf",
             name: "mcf",
             cpp: false,
-            mix: mix![(GRAPH, "graph_kernel", 120), (NUMERIC, "numeric_kernel", 60)],
+            mix: mix![
+                (GRAPH, "graph_kernel", 120),
+                (NUMERIC, "numeric_kernel", 60)
+            ],
         },
         Workload {
             spec_id: "433.milc",
             name: "milc",
             cpp: false,
-            mix: mix![(NUMERIC, "numeric_kernel", 160), (BIGSTACK, "bigstack_kernel", 2)],
+            mix: mix![
+                (NUMERIC, "numeric_kernel", 160),
+                (BIGSTACK, "bigstack_kernel", 2)
+            ],
         },
         Workload {
             spec_id: "444.namd",
@@ -254,7 +260,7 @@ mod tests {
         assert_eq!(suite.len(), 19);
         let c_count = suite.iter().filter(|w| !w.cpp).count();
         assert_eq!(c_count, 12, "12 C benchmarks"); // paper: C vs C++ split
-        // Names unique.
+                                                    // Names unique.
         let mut names: Vec<_> = suite.iter().map(|w| w.name).collect();
         names.sort_unstable();
         names.dedup();

@@ -24,13 +24,19 @@ pub fn phoronix_suite() -> Vec<Workload> {
             spec_id: "pts/compress-gzip",
             name: "compress-gzip",
             cpp: false,
-            mix: mix![(BULKCOPY, "bulkcopy_kernel", 14), (NUMERIC, "numeric_kernel", 110)],
+            mix: mix![
+                (BULKCOPY, "bulkcopy_kernel", 14),
+                (NUMERIC, "numeric_kernel", 110)
+            ],
         },
         Workload {
             spec_id: "pts/openssl",
             name: "openssl",
             cpp: false,
-            mix: mix![(NUMERIC, "numeric_kernel", 160), (BIGSTACK, "bigstack_kernel", 3)],
+            mix: mix![
+                (NUMERIC, "numeric_kernel", 160),
+                (BIGSTACK, "bigstack_kernel", 3)
+            ],
         },
         Workload {
             spec_id: "pts/sqlite",
@@ -81,7 +87,10 @@ pub fn phoronix_suite() -> Vec<Workload> {
             spec_id: "pts/encode-mp3",
             name: "encode-mp3",
             cpp: false,
-            mix: mix![(NUMERIC, "numeric_kernel", 150), (BULKCOPY, "bulkcopy_kernel", 4)],
+            mix: mix![
+                (NUMERIC, "numeric_kernel", 150),
+                (BULKCOPY, "bulkcopy_kernel", 4)
+            ],
         },
         Workload {
             spec_id: "pts/ffmpeg",
@@ -97,7 +106,10 @@ pub fn phoronix_suite() -> Vec<Workload> {
             spec_id: "pts/john-the-ripper",
             name: "john-the-ripper",
             cpp: false,
-            mix: mix![(NUMERIC, "numeric_kernel", 140), (BIGSTACK, "bigstack_kernel", 6)],
+            mix: mix![
+                (NUMERIC, "numeric_kernel", 140),
+                (BIGSTACK, "bigstack_kernel", 6)
+            ],
         },
         Workload {
             spec_id: "pts/pgbench",

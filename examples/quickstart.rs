@@ -49,7 +49,10 @@ fn main() {
     vm.add_goal(system, GoalKind::Ret2Libc);
 
     let out = vm.run(&payload);
-    println!("CPI build:       {:?} (output: {:?})", out.status, out.output);
+    println!(
+        "CPI build:       {:?} (output: {:?})",
+        out.status, out.output
+    );
     assert_eq!(
         out.status,
         ExitStatus::Exited(0),

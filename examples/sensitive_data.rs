@@ -45,7 +45,7 @@ fn attack(annotated: bool, config: BuildConfig) -> String {
     let mut payload = Vec::new();
     payload.extend_from_slice(&0u32.to_le_bytes()); // fake uid = 0 (root!)
     payload.extend_from_slice(&0u32.to_le_bytes()); // fake gid
-    payload.extend(std::iter::repeat(b'A').take(64 - 8));
+    payload.extend(std::iter::repeat_n(b'A', 64 - 8));
     payload.extend_from_slice(&reqbuf.to_le_bytes()); // active → fake record
     let out = vm.run(&payload);
     format!("{:?} → uid printed: {}", out.status, out.output)

@@ -17,7 +17,12 @@ fn main() {
         "page", "req/Mcycle", "SafeStack", "CPS", "CPI"
     );
     for w in web_stack() {
-        let base = measure(&w, requests, BuildConfig::Vanilla, StoreKind::ArraySuperpage);
+        let base = measure(
+            &w,
+            requests,
+            BuildConfig::Vanilla,
+            StoreKind::ArraySuperpage,
+        );
         let throughput = requests as f64 / (base.exec.cycles as f64 / 1e6);
         let mut cells = Vec::new();
         for config in [BuildConfig::SafeStack, BuildConfig::Cps, BuildConfig::Cpi] {

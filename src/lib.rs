@@ -8,6 +8,7 @@
 //! |---|---|
 //! | [`minic`] | mini-C frontend (lexer → parser → IR lowering) |
 //! | [`ir`] | typed IR shared by all passes |
+//! | [`bc`] | bytecode tier: IR → compact linear bytecode for the fast engine |
 //! | [`core`] | **the paper's contribution**: sensitivity analysis, safe stack, CPI/CPS/SoftBound instrumentation, the Levee driver |
 //! | [`rt`] | safe pointer store organizations (array / two-level / hash) |
 //! | [`vm`] | execution substrate: split memory, isolation models, cycle+cache cost model, attacker API |
@@ -35,6 +36,7 @@
 //! See `examples/` for attack/defense walkthroughs and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the experiment index.
 
+pub use levee_bc as bc;
 pub use levee_core as core;
 pub use levee_defenses as defenses;
 pub use levee_formal as formal;

@@ -32,7 +32,12 @@ fn every_suite_workload_agrees_across_all_configs() {
         .collect();
     for w in &all {
         let src = w.source(1);
-        let baseline = run(&src, w.name, BuildConfig::Vanilla, StoreKind::ArraySuperpage);
+        let baseline = run(
+            &src,
+            w.name,
+            BuildConfig::Vanilla,
+            StoreKind::ArraySuperpage,
+        );
         for config in [
             BuildConfig::SafeStack,
             BuildConfig::Cps,

@@ -66,7 +66,10 @@ fn table1_cost_ladder() {
         cpi_cpp_avg > cpi_c_avg,
         "C++ pays more under CPI ({cpi_cpp_avg:.1}% vs {cpi_c_avg:.1}%)"
     );
-    assert!(cpi_max > 15.0, "the vtable outlier exists, got {cpi_max:.1}%");
+    assert!(
+        cpi_max > 15.0,
+        "the vtable outlier exists, got {cpi_max:.1}%"
+    );
 }
 
 /// "state-of-the-art memory safety implementations for C/C++ incur ≥2×
@@ -101,8 +104,7 @@ fn table2_mo_ordering_over_the_suite() {
         let src = w.source(1);
         let cps = levee::core::build_source(&src, w.name, BuildConfig::Cps).expect("builds");
         let cpi = levee::core::build_source(&src, w.name, BuildConfig::Cpi).expect("builds");
-        let sb =
-            levee::core::build_source(&src, w.name, BuildConfig::SoftBound).expect("builds");
+        let sb = levee::core::build_source(&src, w.name, BuildConfig::SoftBound).expect("builds");
         assert!(
             cps.stats.mo_fraction() <= cpi.stats.mo_fraction() + 1e-9,
             "{}: MOCPS {:.3} > MOCPI {:.3}",
@@ -165,8 +167,7 @@ fn formal_model_agrees_with_pipeline() {
             return 0;
         }
     "#;
-    let built =
-        levee::core::build_source(src, "forge", BuildConfig::Cpi).expect("builds");
+    let built = levee::core::build_source(src, "forge", BuildConfig::Cpi).expect("builds");
     let mut vm = Machine::new(&built.module, built.vm_config(VmConfig::default()));
     let out = vm.run(b"");
     assert!(

@@ -199,7 +199,11 @@ fn isolation_ablation_cpi_depends_on_isolation() {
         vm.attacker_write(safe_stack_slot, &[0xff; 8]).is_ok(),
         "without isolation the safe region is just memory"
     );
-    for iso in [Isolation::Segmentation, Isolation::Sfi, Isolation::InfoHiding] {
+    for iso in [
+        Isolation::Segmentation,
+        Isolation::Sfi,
+        Isolation::InfoHiding,
+    ] {
         let mut cfg = built.vm_config(VmConfig::default());
         cfg.isolation = iso;
         let mut vm = Machine::new(&built.module, cfg);
