@@ -14,7 +14,7 @@ use levee_ir::func::Function;
 use levee_ir::prelude::*;
 
 use crate::op::*;
-use crate::{BcFunc, BcModule, SigEntry};
+use crate::{BcFunc, BcModule, FrameDesc, SigEntry};
 
 /// Compiles a whole module.
 pub fn compile(module: &Module) -> BcModule {
@@ -63,23 +63,26 @@ pub fn compile_function(module: &Module, f: &Function, sigs: &mut Vec<SigEntry>)
         consts,
         block_offsets,
         sites,
+        frame: FrameDesc::of(f),
     };
-    validate(&bcf, f.locals.len(), sigs.len());
+    validate(&bcf, sigs.len());
     bcf
 }
 
 /// Verifies the stream invariants the VM's dispatch loop relies on for
 /// unchecked indexing: every instruction's words lie within the stream,
-/// register operands index inside the function's register file, constant
-/// operands index inside the pool, and branch targets land on
-/// instruction boundaries.
+/// register operands index inside the function's register file (sized by
+/// the frame descriptor the engine allocates from), constant operands
+/// index inside the pool, and branch targets land on instruction
+/// boundaries.
 ///
 /// # Panics
 ///
 /// Panics on any violation — these are compiler bugs, not program
 /// errors, and must never reach the engine.
-fn validate(f: &BcFunc, locals: usize, nsigs: usize) {
+fn validate(f: &BcFunc, nsigs: usize) {
     let code = &f.code;
+    let locals = f.frame.n_regs as usize;
     let check_reg = |w: u32| {
         assert!((w as usize) < locals, "register operand {w} out of range");
     };
@@ -644,6 +647,35 @@ mod tests {
         let bc = compile(&m);
         let consts = &bc.funcs[0].consts;
         assert_eq!(consts.iter().filter(|c| **c == 7).count(), 1);
+    }
+
+    #[test]
+    fn frame_descriptors_capture_layout() {
+        let mut m = two_block_module();
+        m.funcs[0].protection.stack_cookie = true;
+        let bc = compile(&m);
+        let d = bc.funcs[0].frame;
+        assert_eq!(d.n_regs, m.funcs[0].locals.len() as u32);
+        assert_eq!(d.n_params, 0);
+        assert!(d.cookie && !d.safestack && !d.unsafe_frame);
+
+        // Under the safe stack the cookie is subsumed and allocas on the
+        // unsafe stack surface as the unsafe-frame charge.
+        m.funcs[0].protection.safestack = true;
+        let dest = m.funcs[0].new_local(Ty::Ptr(Box::new(Ty::I64)));
+        m.funcs[0].blocks[0].insts.insert(
+            0,
+            Inst::Alloca {
+                dest,
+                ty: Ty::I64,
+                count: 4,
+                stack: StackKind::Unsafe,
+            },
+        );
+        let bc = compile(&m);
+        let d = bc.funcs[0].frame;
+        assert!(d.safestack && !d.cookie && d.unsafe_frame);
+        assert_eq!(d.n_regs, m.funcs[0].locals.len() as u32);
     }
 
     #[test]

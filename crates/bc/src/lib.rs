@@ -16,7 +16,11 @@
 //! * indirect-call signatures and CFI policies live in a per-module
 //!   table ([`BcModule::sigs`]), and every call-shaped instruction
 //!   carries its pre-assigned return-site index (numbered identically to
-//!   the VM loader via [`levee_ir::func::Function::iter_call_sites`]).
+//!   the VM loader via [`levee_ir::func::Function::iter_call_sites`]),
+//! * each function gets a precomputed [`FrameDesc`] — register-file
+//!   size, argument move plan, cookie/return-slot layout — so the call
+//!   path pushes frames from a descriptor instead of re-deriving the
+//!   layout from the IR on every call.
 //!
 //! The bytecode preserves the IR's observable semantics *exactly* —
 //! same traps, same instrumentation behaviour, same cost-model charges —
@@ -48,7 +52,61 @@ pub use op::{
     encode_space, encode_stack, Op, OPERAND_CONST_BIT,
 };
 
+use levee_ir::func::Function;
 use levee_ir::prelude::*;
+
+/// Per-function frame descriptor: everything `call`/`ret` need, computed
+/// once at compile time instead of re-derived from the IR on every call.
+///
+/// The VM's call path used to chase `Module → Function → Protection`
+/// plus a side table on each of the millions of calls a kernel makes;
+/// with a descriptor the prologue is a handful of flag tests and the
+/// frame push is a bulk register-file fill sized by [`FrameDesc::n_regs`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrameDesc {
+    /// Register-file size: the function's virtual-register count.
+    pub n_regs: u32,
+    /// Leading registers filled from the argument list (the move plan:
+    /// args map 1:1 onto registers `0..n_params`, the rest zero-fill).
+    pub n_params: u32,
+    /// Return slot lives on the safe stack (§3.2.4 safe stack).
+    pub safestack: bool,
+    /// Push + check a stack cookie (already gated on the cookie being
+    /// meaningful, i.e. the return slot is on the conventional stack).
+    pub cookie: bool,
+    /// Mirror the return address onto the shadow stack.
+    pub shadow_stack: bool,
+    /// Returns must target a known return site (coarse CFI).
+    pub ret_cfi: bool,
+    /// Charge the unsafe-stack frame setup cost (the function runs on
+    /// the safe stack but owns unsafe-stack allocas).
+    pub unsafe_frame: bool,
+}
+
+impl FrameDesc {
+    /// Computes the descriptor for one function.
+    pub fn of(f: &Function) -> FrameDesc {
+        let p = f.protection;
+        FrameDesc {
+            n_regs: f.locals.len() as u32,
+            n_params: f.param_count() as u32,
+            safestack: p.safestack,
+            cookie: p.stack_cookie && !p.safestack,
+            shadow_stack: p.shadow_stack,
+            ret_cfi: p.ret_cfi,
+            unsafe_frame: p.safestack
+                && f.iter_insts().any(|i| {
+                    matches!(
+                        i,
+                        Inst::Alloca {
+                            stack: StackKind::Unsafe,
+                            ..
+                        }
+                    )
+                }),
+        }
+    }
+}
 
 /// One indirect-call site's pre-resolved signature information.
 #[derive(Debug, Clone)]
@@ -75,6 +133,8 @@ pub struct BcFunc {
     /// Number of call-shaped instructions (return sites) in the
     /// function.
     pub sites: u32,
+    /// The function's precomputed frame descriptor.
+    pub frame: FrameDesc,
 }
 
 /// A whole module compiled to bytecode.

@@ -86,6 +86,18 @@ const KERNELS: &[KernelSpec] = &[
         entry: "bulkcopy_kernel",
         iters: 4_000,
     },
+    KernelSpec {
+        name: "calltree",
+        source: kernels::CALLTREE,
+        entry: "calltree_kernel",
+        iters: 40_000,
+    },
+    KernelSpec {
+        name: "ptrdense",
+        source: kernels::PTRDENSE,
+        entry: "ptrdense_kernel",
+        iters: 40_000,
+    },
 ];
 
 /// Best-of-`REPS` wall-clock for one engine; checks the run every time.

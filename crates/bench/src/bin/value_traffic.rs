@@ -1,0 +1,168 @@
+//! Value-traffic micro-bench: bytes moved per register/frame copy,
+//! before vs. after the `V` shrink.
+//!
+//! The seed VM carried a 48-byte runtime value (raw word + inline
+//! `Option<Entry>`) through every register file, argument list and
+//! frame copy — the interpreter's hottest memory traffic. The compact
+//! representation (raw word + interned 4-byte `MetaId`) is 16 bytes.
+//! This bench makes the difference concrete: it replays the frame
+//! traffic of a call-heavy run (fill a register file, copy arguments,
+//! push/pop) under both layouts and reports bytes moved per frame and
+//! effective copy throughput.
+//!
+//! Run with: `cargo run --release -p levee-bench --bin value_traffic`
+//! (`--json` emits a machine-readable report; the checked-in baseline
+//! lives in `crates/bench/baselines/value_traffic.json`).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use levee_bench::Table;
+use levee_rt::{Entry, MetaId};
+use levee_vm::V;
+
+/// The seed's value layout, reproduced for comparison: a raw word plus
+/// inline based-on metadata. The fields are never read — only their
+/// size and copy cost matter here.
+#[derive(Clone, Copy)]
+#[allow(dead_code)]
+struct SeedV {
+    raw: u64,
+    meta: Option<Entry>,
+}
+
+/// Frame sizes exercised: a tiny leaf, a typical function, a register
+///-heavy one (matching the kernel suite's range of `locals` counts).
+const FRAME_SIZES: &[usize] = &[8, 32, 128];
+
+/// Frame copies per measurement (enough to dominate timer noise).
+const COPIES: usize = 200_000;
+
+/// Repetitions; the minimum wall-clock is reported.
+const REPS: usize = 5;
+
+struct Measurement {
+    frame_regs: usize,
+    bytes_per_frame: usize,
+    ns_per_frame: f64,
+    gib_per_s: f64,
+}
+
+/// Replays `COPIES` frame pushes of `n`-register frames for one value
+/// layout: fill the argument prefix from a "caller", zero the rest,
+/// then copy the whole file once more (the pop/return path).
+fn measure<T: Copy>(n: usize, zero: T, arg: T) -> Measurement {
+    let caller: Vec<T> = vec![arg; n];
+    let mut callee: Vec<T> = vec![zero; n];
+    let nargs = (n / 4).max(1);
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        for _ in 0..COPIES {
+            callee[..nargs].copy_from_slice(&caller[..nargs]);
+            for slot in callee[nargs..].iter_mut() {
+                *slot = zero;
+            }
+            black_box(&mut callee);
+            callee.copy_from_slice(black_box(&caller));
+            black_box(&mut callee);
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    // Two full-file traversals per iteration (push + pop).
+    let bytes_per_frame = 2 * n * std::mem::size_of::<T>();
+    let total = (bytes_per_frame * COPIES) as f64;
+    Measurement {
+        frame_regs: n,
+        bytes_per_frame,
+        ns_per_frame: best * 1e9 / COPIES as f64,
+        gib_per_s: total / best / (1u64 << 30) as f64,
+    }
+}
+
+fn run() -> (Vec<Measurement>, Vec<Measurement>) {
+    let seed_zero = SeedV { raw: 0, meta: None };
+    let seed_arg = SeedV {
+        raw: 0x1000,
+        meta: Some(Entry::data(0x1000, 0x1000, 0x1040, 7)),
+    };
+    let compact_zero = V::int(0);
+    // Copy traffic depends only on the value's size, not on whether the
+    // 4-byte handle is live, so `NONE` stands in for a provenance
+    // handle here.
+    let compact_arg = V {
+        raw: 0x1000,
+        meta: MetaId::NONE,
+    };
+    let seed: Vec<Measurement> = FRAME_SIZES
+        .iter()
+        .map(|n| measure(*n, seed_zero, seed_arg))
+        .collect();
+    let compact: Vec<Measurement> = FRAME_SIZES
+        .iter()
+        .map(|n| measure(*n, compact_zero, compact_arg))
+        .collect();
+    (seed, compact)
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let seed_bytes = std::mem::size_of::<SeedV>();
+    let compact_bytes = std::mem::size_of::<V>();
+    assert!(
+        compact_bytes <= 16,
+        "compact V regressed past 16 bytes: {compact_bytes}"
+    );
+    let (seed, compact) = run();
+
+    if json {
+        let mut rows = String::new();
+        for (s, c) in seed.iter().zip(&compact) {
+            rows.push_str(&format!(
+                "    {{\"frame_regs\": {}, \"seed_bytes_per_frame\": {}, \
+                 \"compact_bytes_per_frame\": {}, \"seed_ns_per_frame\": {:.1}, \
+                 \"compact_ns_per_frame\": {:.1}, \"seed_gib_per_s\": {:.2}, \
+                 \"compact_gib_per_s\": {:.2}}},\n",
+                s.frame_regs,
+                s.bytes_per_frame,
+                c.bytes_per_frame,
+                s.ns_per_frame,
+                c.ns_per_frame,
+                s.gib_per_s,
+                c.gib_per_s
+            ));
+        }
+        rows.pop();
+        rows.pop(); // trailing ",\n"
+        println!(
+            "{{\n  \"seed_value_bytes\": {seed_bytes},\n  \"compact_value_bytes\": {compact_bytes},\n  \"frames\": [\n{rows}\n  ]\n}}"
+        );
+        return;
+    }
+
+    println!("value size: seed {seed_bytes} B, compact {compact_bytes} B");
+    let mut table = Table::new(&[
+        "frame regs",
+        "seed B/frame",
+        "compact B/frame",
+        "shrink",
+        "seed ns/frame",
+        "compact ns/frame",
+        "speedup",
+    ]);
+    for (s, c) in seed.iter().zip(&compact) {
+        table.row(vec![
+            s.frame_regs.to_string(),
+            s.bytes_per_frame.to_string(),
+            c.bytes_per_frame.to_string(),
+            format!(
+                "{:.1}x",
+                s.bytes_per_frame as f64 / c.bytes_per_frame as f64
+            ),
+            format!("{:.1}", s.ns_per_frame),
+            format!("{:.1}", c.ns_per_frame),
+            format!("{:.2}x", s.ns_per_frame / c.ns_per_frame),
+        ]);
+    }
+    table.print();
+}

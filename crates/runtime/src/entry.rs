@@ -10,7 +10,10 @@
 pub const ENTRY_SIZE: u64 = 32;
 
 /// Metadata for one sensitive pointer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// `Hash` hashes all four fields; the [`crate::meta::MetaTable`] dedup
+/// index relies on it agreeing with `Eq`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Entry {
     /// The pointer value itself (the safe region holds the authoritative
     /// copy; the regular-region location stays unused, per Fig. 2).
@@ -76,6 +79,16 @@ impl Entry {
     pub fn allows_access(&self, addr: u64, size: u64) -> bool {
         self.is_valid() && addr >= self.lower && addr <= self.upper && size <= self.upper - addr
     }
+
+    /// Does this *based-on* metadata authorize a control transfer to
+    /// exactly `addr`? Unlike [`Entry::is_code`] it ignores the `value`
+    /// field, so it works on interned provenance records (whose `value`
+    /// is normalized) with the current pointer word supplied by the
+    /// caller — the §3.3 rule that the pointer value must match the
+    /// destination exactly.
+    pub fn authorizes_code(&self, addr: u64) -> bool {
+        self.lower == self.upper && addr == self.lower
+    }
 }
 
 #[cfg(test)]
@@ -115,6 +128,18 @@ mod tests {
         let e = Entry::data(0x2000, 0x2000, 0x2000, 1);
         assert!(e.allows_access(0x2000, 0));
         assert!(!e.allows_access(0x2000, 1));
+    }
+
+    #[test]
+    fn authorizes_code_ignores_value() {
+        // Provenance records normalize `value`, so the check must rely
+        // only on bounds plus the caller-supplied pointer word.
+        let mut e = Entry::code(0x40_0000);
+        e.value = 0; // normalized form
+        assert!(e.authorizes_code(0x40_0000));
+        assert!(!e.authorizes_code(0x40_0010));
+        let d = Entry::data(0x1000, 0x1000, 0x1040, 7);
+        assert!(!d.authorizes_code(0x1000));
     }
 
     #[test]

@@ -18,6 +18,11 @@
 //! the locality differences between organizations, plus a page-fault
 //! flag feeding the paper's superpage observation.
 //!
+//! The crate also provides [`meta::MetaTable`], the provenance interner
+//! behind the VM's compact 16-byte tagged values: based-on metadata is
+//! stored once per distinct record and referenced by a generation-checked
+//! 4-byte [`meta::MetaId`] instead of riding inline in every value.
+//!
 //! ## Example
 //!
 //! ```
@@ -36,6 +41,7 @@ pub mod array_store;
 pub mod entry;
 pub mod fasthash;
 pub mod hash_store;
+pub mod meta;
 pub mod store;
 pub mod twolevel;
 
@@ -43,5 +49,6 @@ pub use array_store::ArrayStore;
 pub use entry::{Entry, ENTRY_SIZE};
 pub use fasthash::{FastHash, FastHasher};
 pub use hash_store::HashStore;
+pub use meta::{MetaId, MetaTable, META_CAPACITY};
 pub use store::{PtrStore, StoreKind, Touched};
 pub use twolevel::TwoLevelStore;

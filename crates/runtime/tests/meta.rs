@@ -1,0 +1,73 @@
+//! Property tests for the provenance interner: intern→resolve is the
+//! identity, dedup never splits equal records, and handles die with
+//! their generation.
+
+use levee_rt::{Entry, MetaId, MetaTable};
+use proptest::prelude::*;
+
+fn entry_strategy() -> impl Strategy<Value = Entry> {
+    // A mix of realistic records: code entries, data objects (lower
+    // normalized into `value` the way the VM interns provenance), and
+    // the paper's invalid marker. Small windows make collisions common.
+    prop_oneof![
+        (0x40_0000u64..0x40_0100).prop_map(Entry::code),
+        (0x1000u64..0x1040, 1u64..256, 0u64..8).prop_map(|(lower, len, id)| Entry::data(
+            lower,
+            lower,
+            lower + len,
+            id
+        )),
+        Just(Entry::invalid(1)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// intern → resolve (and get) reproduces the interned record
+    /// exactly, for every entry of an arbitrary batch.
+    #[test]
+    fn intern_resolve_is_identity(entries in proptest::collection::vec(entry_strategy(), 1..64)) {
+        let mut t = MetaTable::new();
+        let ids: Vec<MetaId> = entries.iter().map(|e| t.intern(*e)).collect();
+        for (e, id) in entries.iter().zip(&ids) {
+            prop_assert!(id.is_some());
+            prop_assert_eq!(t.resolve(*id), *e);
+            prop_assert_eq!(t.get(*id), Some(*e));
+        }
+    }
+
+    /// Equal entries always receive equal handles, distinct entries
+    /// distinct handles, and the arena holds exactly the distinct set.
+    #[test]
+    fn dedup_partitions_by_equality(entries in proptest::collection::vec(entry_strategy(), 1..64)) {
+        let mut t = MetaTable::new();
+        let ids: Vec<MetaId> = entries.iter().map(|e| t.intern(*e)).collect();
+        for (i, (ea, ia)) in entries.iter().zip(&ids).enumerate() {
+            for (eb, ib) in entries.iter().zip(&ids).skip(i + 1) {
+                prop_assert_eq!(ea == eb, ia == ib, "dedup must mirror equality");
+            }
+        }
+        let mut distinct = entries.clone();
+        distinct.sort_by_key(|e| (e.value, e.lower, e.upper, e.id));
+        distinct.dedup();
+        prop_assert_eq!(t.len(), distinct.len());
+    }
+
+    /// After a reset every pre-reset handle is rejected by `get`, while
+    /// re-interned entries work under fresh handles.
+    #[test]
+    fn reset_invalidates_stale_handles(entries in proptest::collection::vec(entry_strategy(), 1..32)) {
+        let mut t = MetaTable::new();
+        let stale: Vec<MetaId> = entries.iter().map(|e| t.intern(*e)).collect();
+        t.reset();
+        for id in &stale {
+            prop_assert_eq!(t.get(*id), None, "stale handle must not resolve");
+        }
+        for e in &entries {
+            let fresh = t.intern(*e);
+            prop_assert!(!stale.contains(&fresh), "fresh handles are generation-tagged");
+            prop_assert_eq!(t.get(fresh), Some(*e));
+        }
+    }
+}

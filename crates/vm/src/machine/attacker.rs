@@ -103,7 +103,7 @@ impl<'m> Machine<'m> {
     pub fn smash_return_address(&mut self, value: u64) -> Option<u64> {
         let frame = self.frames.last()?;
         let slot = frame.ret_slot;
-        if frame.ret_slot_safe {
+        if frame.desc.safestack {
             return None;
         }
         self.attacker_write(slot, &value.to_le_bytes()).ok()?;

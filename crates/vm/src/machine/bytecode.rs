@@ -26,11 +26,11 @@
 
 use levee_bc::{BcModule, Op, OPERAND_CONST_BIT};
 use levee_ir::prelude::*;
-use levee_rt::Entry;
+use levee_rt::{Entry, MetaId};
 
 use crate::trap::{ExitStatus, Trap};
 
-use super::exec::truncate;
+use super::exec::{bin_meta, truncate};
 use super::{Machine, V};
 
 /// Reads an operand word: a register slot or a constant-pool index.
@@ -205,7 +205,8 @@ impl<'m> Machine<'m> {
                     let stack = levee_bc::decode_stack(w!(3));
                     pc += 4;
                     let addr = bail!(self.do_alloca(size, stack));
-                    wr!(dest, V::data_ptr(addr, addr, addr + size, 0));
+                    let v = self.v_data(addr, addr, addr + size, 0);
+                    wr!(dest, v);
                 }
                 Op::Load => {
                     let dest = w!(1);
@@ -218,12 +219,12 @@ impl<'m> Machine<'m> {
                     charge_mem_local!(addr, space == MemSpace::Regular);
                     let raw = bail!(self.mem.read_uint(addr, size).map_err(Self::mem_trap));
                     let meta = if space == MemSpace::SafeStack {
-                        self.safe_stack_meta
-                            .get(&addr)
-                            .filter(|e| e.value == raw)
-                            .copied()
+                        match self.safe_stack_meta.get(&addr) {
+                            Some(&(spilled, m)) if spilled == raw => m,
+                            _ => MetaId::NONE,
+                        }
                     } else {
-                        None
+                        MetaId::NONE
                     };
                     wr!(dest, V { raw, meta });
                 }
@@ -235,14 +236,10 @@ impl<'m> Machine<'m> {
                     pc += 5;
                     mem_ops_l += 1;
                     if space == MemSpace::SafeStack {
-                        match v.meta {
-                            Some(mut e) => {
-                                e.value = v.raw;
-                                self.safe_stack_meta.insert(addr, e);
-                            }
-                            None => {
-                                self.safe_stack_meta.remove(&addr);
-                            }
+                        if v.meta.is_some() {
+                            self.safe_stack_meta.insert(addr, (v.raw, v.meta));
+                        } else {
+                            self.safe_stack_meta.remove(&addr);
                         }
                     }
                     bail!(self.isolation_check(addr, space));
@@ -264,29 +261,32 @@ impl<'m> Machine<'m> {
                         .raw
                         .wrapping_add(i.wrapping_mul(elem_size))
                         .wrapping_add(offset);
-                    let meta = b.meta.map(|mut e| {
-                        if is_field {
-                            e = Entry::data(raw, raw, raw + elem_size, e.id);
-                        } else {
-                            e.value = raw;
+                    // Derived pointers keep their provenance handle;
+                    // field selection narrows to the sub-object, which
+                    // is new provenance and interns a record.
+                    let meta = match self.meta.get(b.meta) {
+                        Some(prov) if is_field => {
+                            self.intern_prov(Entry::data(raw, raw, raw + elem_size, prov.id))
                         }
-                        e
-                    });
+                        _ => b.meta,
+                    };
                     wr!(dest, V { raw, meta });
                 }
                 Op::GlobalAddr => {
                     let dest = w!(1);
                     let gid = w!(2) as usize;
                     pc += 3;
-                    let addr = self.global_addrs[gid];
-                    let size = self.global_sizes[gid];
-                    wr!(dest, V::data_ptr(addr, addr, addr + size, 0));
+                    let raw = self.global_addrs[gid];
+                    let meta = self.global_meta[gid];
+                    wr!(dest, V { raw, meta });
                 }
                 Op::FuncAddr => {
                     let dest = w!(1);
-                    let addr = self.func_addrs[w!(2) as usize];
+                    let fid = w!(2) as usize;
                     pc += 3;
-                    wr!(dest, V::code_ptr(addr));
+                    let raw = self.func_addrs[fid];
+                    let meta = self.func_meta[fid];
+                    wr!(dest, V { raw, meta });
                 }
                 Op::Bin => {
                     let dest = w!(1);
@@ -309,17 +309,7 @@ impl<'m> Machine<'m> {
                             bail!(self.eval_bin(op, a.raw, b.raw))
                         }
                     };
-                    let meta = match (op, a.meta, b.meta) {
-                        (BinOp::Add | BinOp::Sub, Some(mut e), None) => {
-                            e.value = raw;
-                            Some(e)
-                        }
-                        (BinOp::Add, None, Some(mut e)) => {
-                            e.value = raw;
-                            Some(e)
-                        }
-                        _ => None,
-                    };
+                    let meta = bin_meta(op, a.meta, b.meta);
                     wr!(dest, V { raw, meta });
                 }
                 Op::Cmp => {
@@ -355,13 +345,19 @@ impl<'m> Machine<'m> {
                     let func = FuncId(w!(2));
                     let site = w!(3) as u64;
                     let nargs = w!(4) as usize;
-                    let mut argv = self.take_vec();
-                    argv.extend((0..nargs).map(|i| rd!(w!(5 + i))));
+                    // Descriptor-driven bulk frame push: the callee's
+                    // register file is filled straight from the caller's
+                    // operand words — no intermediate argument vector.
+                    let desc = self.frame_descs[func.0 as usize];
+                    debug_assert_eq!(nargs, desc.n_params as usize);
+                    let mut nregs = self.take_vec();
+                    nregs.extend((0..nargs).map(|i| rd!(w!(5 + i))));
+                    nregs.resize(desc.n_regs as usize, V::int(0));
                     pc += 5 + nargs;
                     sync_frame!();
                     let ret_addr = self.func_addrs[fidx] + 16 * (site + 1);
                     let dest = (dest != 0).then(|| ValueId(dest - 1));
-                    bail!(self.enter_function(func, argv, dest, ret_addr));
+                    bail!(self.push_frame(func, desc, nregs, dest, ret_addr));
                     reload!();
                 }
                 Op::CallIndirect => {
@@ -370,20 +366,20 @@ impl<'m> Machine<'m> {
                     let sig_entry = &bc.sigs[w!(3) as usize];
                     let site = w!(4) as u64;
                     let nargs = w!(5) as usize;
-                    let mut argv = self.take_vec();
-                    argv.extend((0..nargs).map(|i| rd!(w!(6 + i))));
+                    // Resolve (CFI check, goal semantics, arity) first;
+                    // once the callee is known its descriptor drives the
+                    // same direct register-file fill as a direct call.
+                    let func =
+                        bail!(self.resolve_indirect(cv.raw, &sig_entry.sig, sig_entry.cfi, nargs));
+                    let desc = self.frame_descs[func.0 as usize];
+                    let mut nregs = self.take_vec();
+                    nregs.extend((0..nargs).map(|i| rd!(w!(6 + i))));
+                    nregs.resize(desc.n_regs as usize, V::int(0));
                     pc += 6 + nargs;
                     sync_frame!();
                     let ret_addr = self.func_addrs[fidx] + 16 * (site + 1);
                     let dest = (dest != 0).then(|| ValueId(dest - 1));
-                    bail!(self.do_call_indirect(
-                        cv,
-                        &sig_entry.sig,
-                        argv,
-                        dest,
-                        sig_entry.cfi,
-                        ret_addr
-                    ));
+                    bail!(self.push_frame(func, desc, nregs, dest, ret_addr));
                     reload!();
                 }
                 Op::IntrinsicCall => {
@@ -434,8 +430,8 @@ impl<'m> Machine<'m> {
                     pc += 3;
                     flush!();
                     self.charge_check();
-                    match v.meta {
-                        Some(e) if e.is_code() && e.value == v.raw => {}
+                    match self.meta.get(v.meta) {
+                        Some(prov) if prov.authorizes_code(v.raw) => {}
                         _ => {
                             return ExitStatus::Trapped(self.violation(
                                 policy,

@@ -6,6 +6,7 @@
 //! [`Machine::resolve_transfer`], which applies — in order — the NX
 //! policy, the attack-goal check, and finally legitimacy.
 
+use levee_bc::FrameDesc;
 use levee_ir::prelude::*;
 
 use crate::config::Isolation;
@@ -26,7 +27,10 @@ pub(crate) enum TransferKind {
 }
 
 impl<'m> Machine<'m> {
-    /// Pushes a frame for `func` and transfers control to its entry.
+    /// Pushes a frame for `func` from an argument vector: builds the
+    /// register file per the frame descriptor's move plan, then
+    /// delegates to [`Machine::push_frame`]. (The engines' hot call
+    /// paths fill the register file directly and skip this wrapper.)
     pub(crate) fn enter_function(
         &mut self,
         func: FuncId,
@@ -34,12 +38,34 @@ impl<'m> Machine<'m> {
         caller_dest: Option<ValueId>,
         ret_addr: u64,
     ) -> Result<(), Trap> {
-        let f = self.module.func(func);
+        let desc = self.frame_descs[func.0 as usize];
         assert_eq!(
             args.len(),
-            f.param_count(),
+            desc.n_params as usize,
             "verifier guarantees call arity"
         );
+        let mut regs = self.take_vec();
+        regs.extend_from_slice(&args);
+        regs.resize(desc.n_regs as usize, V::int(0));
+        self.recycle_vec(args);
+        self.push_frame(func, desc, regs, caller_dest, ret_addr)
+    }
+
+    /// The descriptor-driven frame push shared by both engines: charges
+    /// the call, runs the prologue the descriptor prescribes (return
+    /// slot, cookie, shadow stack, unsafe-frame setup) and pushes the
+    /// activation record. `regs` must already be the callee's complete
+    /// register file (`desc.n_regs` entries, arguments in the leading
+    /// slots).
+    pub(crate) fn push_frame(
+        &mut self,
+        func: FuncId,
+        desc: FrameDesc,
+        regs: Vec<V>,
+        caller_dest: Option<ValueId>,
+        ret_addr: u64,
+    ) -> Result<(), Trap> {
+        debug_assert_eq!(regs.len(), desc.n_regs as usize);
         self.stats.calls += 1;
         self.stats.cycles += self.config.cost.call;
         if self.frames.len() > 4096 {
@@ -49,19 +75,18 @@ impl<'m> Machine<'m> {
         let saved_sp = self.sp;
         let saved_unsafe_sp = self.unsafe_sp;
         let saved_safe_sp = self.safe_sp;
-        let protection = f.protection;
 
         // Push the return address. With the safe stack it lives in the
         // safe region; otherwise on the conventional stack in regular
         // memory, where overflows can reach it.
-        let (ret_slot, ret_slot_safe) = if protection.safestack {
+        let ret_slot = if desc.safestack {
             self.safe_sp -= 8;
             let slot = self.safe_sp;
             self.charge_mem(slot, false);
             self.mem
                 .write_uint(slot, ret_addr, 8)
                 .map_err(|_| Trap::StackOverflow)?;
-            (slot, true)
+            slot
         } else {
             self.sp -= 8;
             let slot = self.sp;
@@ -70,45 +95,40 @@ impl<'m> Machine<'m> {
             self.mem
                 .write_uint(slot, ret_addr, 8)
                 .map_err(|_| Trap::StackOverflow)?;
-            (slot, false)
+            slot
         };
 
         // Stack cookie sits between the return address and the locals.
-        let cookie_slot = if protection.stack_cookie && !protection.safestack {
+        let cookie_slot = if desc.cookie {
             self.sp -= 8;
             let slot = self.sp;
             self.charge_mem(slot, true);
             self.mem
                 .write_uint(slot, self.cookie, 8)
                 .map_err(|_| Trap::StackOverflow)?;
-            Some(slot)
+            slot
         } else {
-            None
+            0
         };
 
-        if protection.shadow_stack {
+        if desc.shadow_stack {
             self.shadow_stack.push(ret_addr);
             self.stats.cycles += self.config.cost.mem_hit; // shadow push
         }
 
         // Functions that need an unsafe stack frame pay its setup cost.
-        if protection.safestack && self.has_unsafe_alloca[func.0 as usize] {
+        if desc.unsafe_frame {
             self.stats.cycles += self.config.cost.unsafe_frame;
             self.stats.unsafe_frames += 1;
         }
 
-        let mut regs = self.reg_pool.pop().unwrap_or_default();
-        regs.clear();
-        regs.resize(f.locals.len(), V::int(0));
-        regs[..args.len()].copy_from_slice(&args);
-        self.recycle_vec(args);
         self.frames.push(Frame {
             func,
             block: BlockId(0),
             ip: 0,
             regs,
+            desc,
             ret_slot,
-            ret_slot_safe,
             expected_ret: ret_addr,
             cookie_slot,
             saved_sp,
@@ -120,23 +140,26 @@ impl<'m> Machine<'m> {
     }
 
     /// Executes a return: epilogue checks, then transfer resolution.
+    /// The epilogue is driven entirely by the frame's descriptor — no
+    /// IR lookups on the return path.
     pub(crate) fn do_return(&mut self, value: Option<V>) -> Result<Option<ExitStatus>, Trap> {
         self.stats.cycles += self.config.cost.ret;
         let frame = self.frames.last().expect("frame");
-        let (func, cookie_slot, slot, slot_safe, expected) = (
-            frame.func,
+        let (desc, cookie_slot, slot, expected) = (
+            frame.desc,
             frame.cookie_slot,
             frame.ret_slot,
-            frame.ret_slot_safe,
             frame.expected_ret,
         );
-        let protection = self.module.func(func).protection;
 
         // 1. Cookie check (epilogue), on the conventional stack only.
-        if let Some(slot) = cookie_slot {
+        if cookie_slot != 0 {
             self.charge_check();
-            self.charge_mem(slot, true);
-            let got = self.mem.read_uint(slot, 8).map_err(|_| Trap::Cookie)?;
+            self.charge_mem(cookie_slot, true);
+            let got = self
+                .mem
+                .read_uint(cookie_slot, 8)
+                .map_err(|_| Trap::Cookie)?;
             if got != self.cookie {
                 return Err(Trap::Cookie);
             }
@@ -144,14 +167,14 @@ impl<'m> Machine<'m> {
 
         // 2. Load the return address from its memory slot. This is the
         // value an overflow may have corrupted (unless on safe stack).
-        self.charge_mem(slot, !slot_safe);
+        self.charge_mem(slot, !desc.safestack);
         let loaded = self
             .mem
             .read_uint(slot, 8)
             .map_err(|_| Trap::Unmapped { addr: slot })?;
 
         // 3. Shadow-stack comparison.
-        if protection.shadow_stack {
+        if desc.shadow_stack {
             self.charge_check();
             let top = self.shadow_stack.pop().unwrap_or(0);
             if top != loaded {
@@ -163,7 +186,7 @@ impl<'m> Machine<'m> {
         }
 
         // 4. Coarse CFI return policy: target must be *some* return site.
-        if protection.ret_cfi {
+        if desc.ret_cfi {
             self.charge_check();
             if loaded != MAIN_RET_SENTINEL && !self.ret_sites.contains_key(&loaded) {
                 return Err(Trap::Cfi { addr: loaded });
@@ -266,33 +289,34 @@ impl<'m> Machine<'m> {
         }
     }
 
-    /// Indirect call dispatch, including CFI and goal semantics.
-    pub(crate) fn do_call_indirect(
+    /// Resolves an indirect call target, including CFI and goal
+    /// semantics, down to a callee the caller can push a frame for.
+    /// Argument evaluation stays with the caller so the register file
+    /// can be filled directly once the callee (and its frame
+    /// descriptor) is known.
+    pub(crate) fn resolve_indirect(
         &mut self,
-        callee: V,
+        target: u64,
         sig: &FnSig,
-        args: Vec<V>,
-        dest: Option<ValueId>,
         cfi: Option<CfiPolicy>,
-        ret_addr: u64,
-    ) -> Result<(), Trap> {
+        nargs: usize,
+    ) -> Result<FuncId, Trap> {
         // CFI check first (it is inline in the code, before the call).
         if let Some(policy) = cfi {
             self.charge_check();
-            if !self.cfi_allows(policy, callee.raw, sig) {
-                return Err(Trap::Cfi { addr: callee.raw });
+            if !self.cfi_allows(policy, target, sig) {
+                return Err(Trap::Cfi { addr: target });
             }
         }
-        match self.resolve_transfer(callee.raw, TransferKind::Call)? {
+        match self.resolve_transfer(target, TransferKind::Call)? {
             ResolvedTarget::Function(f) => {
                 // Signature mismatch at runtime is a crash in practice
                 // (wrong arity smashes the register file); we surface it
                 // as BadControl unless arities happen to agree.
-                let callee_fn = self.module.func(f);
-                if callee_fn.param_count() != args.len() {
-                    return Err(Trap::BadControl { addr: callee.raw });
+                if self.frame_descs[f.0 as usize].n_params as usize != nargs {
+                    return Err(Trap::BadControl { addr: target });
                 }
-                self.enter_function(f, args, dest, ret_addr)
+                Ok(f)
             }
             ResolvedTarget::ReturnTo => unreachable!("calls never resolve to returns"),
         }

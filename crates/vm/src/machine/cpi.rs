@@ -41,8 +41,8 @@ impl<'m> Machine<'m> {
             CpiOp::FnCheck { policy, callee } => {
                 let v = self.eval(*callee);
                 self.charge_check();
-                match v.meta {
-                    Some(e) if e.is_code() && e.value == v.raw => Ok(()),
+                match self.meta.get(v.meta) {
+                    Some(prov) if prov.authorizes_code(v.raw) => Ok(()),
                     _ => Err(self.violation(*policy, CpiViolationKind::NotACodePointer, v.raw)),
                 }
             }
@@ -92,21 +92,25 @@ impl<'m> Machine<'m> {
     }
 
     /// Bounds (+ optional temporal) check of a sensitive dereference.
+    /// Bounds and temporal id come straight off the interned provenance
+    /// record; the pointer word being checked is `v.raw`.
     pub(crate) fn cpi_check(&mut self, v: V, size: u64, policy: Policy) -> Result<(), Trap> {
-        let Some(meta) = v.meta else {
+        let Some(prov) = self.meta.get(v.meta) else {
             return Err(self.violation(policy, CpiViolationKind::Bounds, v.raw));
         };
-        if !meta.allows_access(v.raw, size) {
+        if !prov.allows_access(v.raw, size) {
             return Err(self.violation(policy, CpiViolationKind::Bounds, v.raw));
         }
-        if self.config.temporal && meta.id != 0 && self.heap.id_is_dead(meta.id) {
+        if self.config.temporal && prov.id != 0 && self.heap.id_is_dead(prov.id) {
             return Err(self.violation(policy, CpiViolationKind::Temporal, v.raw));
         }
         Ok(())
     }
 
     /// `cpi_ptr_store` / `cps_ptr_store`: writes a sensitive pointer to
-    /// the safe pointer store, keyed by its regular-region address.
+    /// the safe pointer store, keyed by its regular-region address. The
+    /// store holds the authoritative full [`Entry`] (Fig. 2), so the
+    /// value's interned provenance is materialized at this boundary.
     pub(crate) fn ptr_store(
         &mut self,
         policy: Policy,
@@ -114,15 +118,12 @@ impl<'m> Machine<'m> {
         v: V,
         universal: bool,
     ) -> Result<(), Trap> {
-        let entry = match (policy, v.meta) {
+        let entry = match (policy, self.meta_entry(v)) {
             // CPS keeps value-only entries for code pointers; storing a
             // non-code value through a CPS store keeps it regular.
             (Policy::Cps, Some(e)) if e.is_code() => Some(e),
             (Policy::Cps, _) => None,
-            (_, Some(mut e)) => {
-                e.value = v.raw;
-                Some(e)
-            }
+            (_, Some(e)) => Some(e),
             (_, None) => Some(Entry::invalid(v.raw)),
         };
         match entry {
@@ -178,10 +179,8 @@ impl<'m> Machine<'m> {
                         return Err(self.violation(policy, CpiViolationKind::DebugMismatch, addr));
                     }
                 }
-                Ok(V {
-                    raw: e.value,
-                    meta: Some(e),
-                })
+                let meta = self.intern_prov(e);
+                Ok(V { raw: e.value, meta })
             }
             None if universal => {
                 // No sensitive value here: fall back to the regular copy.

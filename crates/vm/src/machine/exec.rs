@@ -1,7 +1,7 @@
 //! The fetch/execute loop: one IR instruction per step.
 
 use levee_ir::prelude::*;
-use levee_rt::Entry;
+use levee_rt::{Entry, MetaId};
 
 use crate::trap::{ExitStatus, Trap};
 
@@ -69,7 +69,8 @@ impl<'m> Machine<'m> {
             } => {
                 let size = self.module.types.size_of(ty) * count;
                 let addr = self.do_alloca(size, *stack)?;
-                self.set_reg(*dest, V::data_ptr(addr, addr, addr + size, 0));
+                let v = self.v_data(addr, addr, addr + size, 0);
+                self.set_reg(*dest, v);
                 Ok(())
             }
             Inst::Load {
@@ -83,14 +84,15 @@ impl<'m> Machine<'m> {
                 self.stats.mem_ops += 1;
                 let raw = self.prog_read(addr, size, *space)?;
                 // Safe-stack slots are trusted storage: provenance
-                // survives the round-trip (like a register spill).
+                // survives the round-trip (like a register spill) as
+                // long as the reloaded word matches what was spilled.
                 let meta = if *space == MemSpace::SafeStack {
-                    self.safe_stack_meta
-                        .get(&addr)
-                        .filter(|e| e.value == raw)
-                        .copied()
+                    match self.safe_stack_meta.get(&addr) {
+                        Some(&(spilled, m)) if spilled == raw => m,
+                        _ => MetaId::NONE,
+                    }
                 } else {
-                    None
+                    MetaId::NONE
                 };
                 self.set_reg(*dest, V { raw, meta });
                 Ok(())
@@ -106,14 +108,10 @@ impl<'m> Machine<'m> {
                 let size = self.module.types.size_of(ty);
                 self.stats.mem_ops += 1;
                 if *space == MemSpace::SafeStack {
-                    match v.meta {
-                        Some(mut e) => {
-                            e.value = v.raw;
-                            self.safe_stack_meta.insert(addr, e);
-                        }
-                        None => {
-                            self.safe_stack_meta.remove(&addr);
-                        }
+                    if v.meta.is_some() {
+                        self.safe_stack_meta.insert(addr, (v.raw, v.meta));
+                    } else {
+                        self.safe_stack_meta.remove(&addr);
                     }
                 }
                 self.prog_write(addr, v.raw, size, *space)
@@ -133,29 +131,30 @@ impl<'m> Machine<'m> {
                     .raw
                     .wrapping_add(i.wrapping_mul(elem_size))
                     .wrapping_add(*offset);
-                // Based-on propagation (case iv): derived pointers stay
-                // based on the same object. Field selection narrows the
-                // bounds to the sub-object (§3.2.2 / Appendix A).
-                let meta = b.meta.map(|mut e| {
-                    if field_of.is_some() {
-                        e = Entry::data(raw, raw, raw + elem_size, e.id);
-                    } else {
-                        e.value = raw;
+                // Based-on propagation (case iv): derived pointers keep
+                // their provenance handle — the raw word moves, the
+                // based-on object doesn't. Field selection narrows the
+                // bounds to the sub-object (§3.2.2 / Appendix A), which
+                // is new provenance and interns a record.
+                let meta = match self.meta.get(b.meta) {
+                    Some(prov) if field_of.is_some() => {
+                        self.intern_prov(Entry::data(raw, raw, raw + elem_size, prov.id))
                     }
-                    e
-                });
+                    _ => b.meta,
+                };
                 self.set_reg(*dest, V { raw, meta });
                 Ok(())
             }
             Inst::GlobalAddr { dest, global } => {
                 let addr = self.global_addrs[global.0 as usize];
-                let size = self.global_sizes[global.0 as usize];
-                self.set_reg(*dest, V::data_ptr(addr, addr, addr + size, 0));
+                let meta = self.global_meta[global.0 as usize];
+                self.set_reg(*dest, V { raw: addr, meta });
                 Ok(())
             }
             Inst::FuncAddr { dest, func } => {
                 let addr = self.func_addrs[func.0 as usize];
-                self.set_reg(*dest, V::code_ptr(addr));
+                let meta = self.func_meta[func.0 as usize];
+                self.set_reg(*dest, V { raw: addr, meta });
                 Ok(())
             }
             Inst::Bin { dest, op, lhs, rhs } => {
@@ -164,18 +163,9 @@ impl<'m> Machine<'m> {
                 let raw = self.eval_bin(*op, a.raw, b.raw)?;
                 // Pointer arithmetic done as integer math keeps the
                 // based-on metadata of its single pointer operand (this
-                // is the dataflow-cast relaxation of §3.2.1/§4).
-                let meta = match (*op, a.meta, b.meta) {
-                    (BinOp::Add | BinOp::Sub, Some(mut e), None) => {
-                        e.value = raw;
-                        Some(e)
-                    }
-                    (BinOp::Add, None, Some(mut e)) => {
-                        e.value = raw;
-                        Some(e)
-                    }
-                    _ => None,
-                };
+                // is the dataflow-cast relaxation of §3.2.1/§4) — with
+                // interned provenance that is just handle propagation.
+                let meta = bin_meta(*op, a.meta, b.meta);
                 self.set_reg(*dest, V { raw, meta });
                 Ok(())
             }
@@ -215,12 +205,18 @@ impl<'m> Machine<'m> {
                 Ok(())
             }
             Inst::Call { dest, func, args } => {
-                let mut argv = self.take_vec();
-                argv.extend(args.iter().map(|a| self.eval(*a)));
+                // Descriptor-driven frame push: fill the callee register
+                // file directly from the caller's operands (the argument
+                // move plan), no intermediate argument vector.
+                let desc = self.frame_descs[func.0 as usize];
+                debug_assert_eq!(args.len(), desc.n_params as usize);
+                let mut regs = self.take_vec();
+                regs.extend(args.iter().map(|a| self.eval(*a)));
+                regs.resize(desc.n_regs as usize, V::int(0));
                 let frame = self.frame();
                 let key = (frame.func.0, frame.block.0, frame.ip - 1);
                 let ret_addr = self.site_of_call[&key];
-                self.enter_function(*func, argv, *dest, ret_addr)
+                self.push_frame(*func, desc, regs, *dest, ret_addr)
             }
             Inst::CallIndirect {
                 dest,
@@ -230,12 +226,15 @@ impl<'m> Machine<'m> {
                 cfi,
             } => {
                 let cv = self.eval(*callee);
-                let mut argv = self.take_vec();
-                argv.extend(args.iter().map(|a| self.eval(*a)));
+                let f = self.resolve_indirect(cv.raw, sig, *cfi, args.len())?;
+                let desc = self.frame_descs[f.0 as usize];
+                let mut regs = self.take_vec();
+                regs.extend(args.iter().map(|a| self.eval(*a)));
+                regs.resize(desc.n_regs as usize, V::int(0));
                 let frame = self.frame();
                 let key = (frame.func.0, frame.block.0, frame.ip - 1);
                 let ret_addr = self.site_of_call[&key];
-                self.do_call_indirect(cv, sig, argv, *dest, *cfi, ret_addr)
+                self.push_frame(f, desc, regs, *dest, ret_addr)
             }
             Inst::IntrinsicCall { dest, which, args } => {
                 let mut argv = self.take_vec();
@@ -275,6 +274,19 @@ impl<'m> Machine<'m> {
             BinOp::Shl => a.wrapping_shl(b as u32),
             BinOp::Shr => a.wrapping_shr(b as u32),
         })
+    }
+}
+
+/// Based-on propagation for integer arithmetic (the dataflow-cast
+/// relaxation of §3.2.1/§4): `Add`/`Sub` keep the provenance of a lone
+/// pointer left operand; `Add` also commutes. Everything else — two
+/// pointer operands included — strips provenance.
+#[inline(always)]
+pub(crate) fn bin_meta(op: BinOp, a: MetaId, b: MetaId) -> MetaId {
+    match op {
+        BinOp::Add | BinOp::Sub if a.is_some() && b.is_none() => a,
+        BinOp::Add if a.is_none() && b.is_some() => b,
+        _ => MetaId::NONE,
     }
 }
 

@@ -19,14 +19,14 @@ impl<'m> Machine<'m> {
                 let size = args[0].raw;
                 let a = self.heap.malloc(size).map_err(|_| Trap::OutOfMemory)?;
                 self.mem.map_zero(a.addr, size.max(8).next_power_of_two());
-                Some(V::data_ptr(a.addr, a.addr, a.addr + size, a.id))
+                Some(self.v_data(a.addr, a.addr, a.addr + size, a.id))
             }
             Intrinsic::Calloc => {
                 let size = args[0].raw * args[1].raw;
                 let a = self.heap.malloc(size).map_err(|_| Trap::OutOfMemory)?;
                 self.mem.map_zero(a.addr, size.max(8).next_power_of_two());
                 self.bulk_fill(a.addr, 0, size)?;
-                Some(V::data_ptr(a.addr, a.addr, a.addr + size, a.id))
+                Some(self.v_data(a.addr, a.addr, a.addr + size, a.id))
             }
             Intrinsic::Free => {
                 let addr = args[0].raw;

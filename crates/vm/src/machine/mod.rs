@@ -22,8 +22,9 @@ mod intrinsics;
 
 use std::collections::HashMap;
 
+use levee_bc::FrameDesc;
 use levee_ir::prelude::*;
-use levee_rt::{Entry, FastHash, PtrStore};
+use levee_rt::{Entry, FastHash, MetaId, MetaTable, PtrStore};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -37,39 +38,39 @@ use crate::trap::{ExitStatus, GoalKind, Trap};
 
 pub use attacker::GuessOutcome;
 
-/// A runtime value: a 64-bit word plus optional based-on metadata.
+/// A runtime value: a 64-bit word plus an interned based-on handle.
 ///
 /// Metadata rides along in virtual registers (the analogue of
 /// SoftBound's shadow registers); whether it is ever *stored*, *loaded*
 /// or *checked* is decided entirely by the instrumentation in the code.
+///
+/// The metadata itself lives once in the machine's [`MetaTable`] —
+/// mirroring the paper's safe-region split, where pointer metadata never
+/// travels through the regular data path — so a value is 16 bytes
+/// instead of the 48 an inline `Option<Entry>` needed, and register
+/// files, argument lists and frame copies move 3× less memory.
+///
+/// Invariant: whenever `meta` is live, the interned record describes the
+/// object this word is *based on*; its `value` field is normalized away
+/// (the current pointer word is `raw`). The machine materializes a full
+/// [`Entry`] at the boundaries that need one (safe-store writes,
+/// check failures).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct V {
     /// The raw word.
     pub raw: u64,
-    /// Based-on metadata, if this value was derived from a pointer to a
-    /// known target object.
-    pub meta: Option<Entry>,
+    /// Handle to the based-on metadata, or [`MetaId::NONE`] for plain
+    /// integers.
+    pub meta: MetaId,
 }
 
 impl V {
     /// An integer value with no provenance.
+    #[inline(always)]
     pub fn int(raw: u64) -> Self {
-        V { raw, meta: None }
-    }
-
-    /// A pointer based on the object `[lower, upper)`.
-    pub fn data_ptr(raw: u64, lower: u64, upper: u64, id: u64) -> Self {
         V {
             raw,
-            meta: Some(Entry::data(raw, lower, upper, id)),
-        }
-    }
-
-    /// A code pointer for the control-flow destination `addr`.
-    pub fn code_ptr(addr: u64) -> Self {
-        V {
-            raw: addr,
-            meta: Some(Entry::code(addr)),
+            meta: MetaId::NONE,
         }
     }
 }
@@ -80,20 +81,27 @@ pub(crate) const MAIN_RET_SENTINEL: u64 = 0x0000_dead_0000;
 /// One activation record. The *memory image* of the return address (and
 /// cookie) is what attacks corrupt; the Rust-side fields carry
 /// bookkeeping the hardware would keep in registers.
+///
+/// Frames are pushed from a precomputed [`FrameDesc`] (register-file
+/// size, cookie/return-slot layout, epilogue checks), which the frame
+/// carries so the return path never re-derives protection state from
+/// the IR.
 pub(crate) struct Frame {
     pub func: FuncId,
     pub block: BlockId,
     pub ip: usize,
     pub regs: Vec<V>,
-    /// Address of the return-address slot in (regular or safe) memory.
+    /// The callee's precomputed frame descriptor.
+    pub desc: FrameDesc,
+    /// Address of the return-address slot in (regular or safe) memory;
+    /// `desc.safestack` says which stack it lives on.
     pub ret_slot: u64,
-    /// Whether the return slot lives on the safe stack.
-    pub ret_slot_safe: bool,
     /// The value pushed at call time (for divergence detection only —
     /// the *loaded* value is what gets used).
     pub expected_ret: u64,
-    /// Address of the stack cookie slot, if the function has one.
-    pub cookie_slot: Option<u64>,
+    /// Address of the stack cookie slot (0 when the function has none —
+    /// stack slots are never at address zero).
+    pub cookie_slot: u64,
     pub saved_sp: u64,
     pub saved_unsafe_sp: u64,
     pub saved_safe_sp: u64,
@@ -174,17 +182,26 @@ pub struct Machine<'m> {
     pub(crate) goals: HashMap<u64, GoalKind, FastHash>,
     /// Live setjmp contexts keyed by token address.
     pub(crate) setjmp_ctxs: HashMap<u64, SetjmpCtx, FastHash>,
-    /// Provenance of values stored on the safe stack. The safe stack is
-    /// trusted storage inside the safe region (like spilled registers),
-    /// so metadata survives a round-trip through it.
-    pub(crate) safe_stack_meta: HashMap<u64, Entry, FastHash>,
+    /// Provenance of values stored (spilled) to the safe stack, keyed by
+    /// slot address: the word that was stored plus its metadata handle.
+    /// The safe stack is trusted storage inside the safe region (like
+    /// spilled registers), so metadata survives a round-trip through it
+    /// as long as the reloaded word still matches.
+    pub(crate) safe_stack_meta: HashMap<u64, (u64, MetaId), FastHash>,
     /// Count of SFI-masked accesses (for amortized charging).
     pub(crate) sfi_masked: u64,
-    /// Per-function: does it contain any unsafe-stack alloca?
-    pub(crate) has_unsafe_alloca: Vec<bool>,
     /// Functions whose signature-hash matches at least one other —
     /// cached per-callsite CFI target sets are derived lazily.
     pub(crate) sig_hashes: Vec<u64>,
+    /// The provenance interner: every based-on record lives here once,
+    /// referenced by the [`MetaId`] handles inside values.
+    pub(crate) meta: MetaTable,
+    /// Per-function frame descriptors (shared by both engines).
+    pub(crate) frame_descs: Vec<FrameDesc>,
+    /// Pre-interned code provenance per function (FuncAddr results).
+    pub(crate) func_meta: Vec<MetaId>,
+    /// Pre-interned data provenance per global (GlobalAddr results).
+    pub(crate) global_meta: Vec<MetaId>,
     /// The module compiled to bytecode, populated on first use by the
     /// bytecode engine.
     pub(crate) bc: Option<levee_bc::BcModule>,
@@ -235,8 +252,11 @@ impl<'m> Machine<'m> {
             setjmp_ctxs: HashMap::default(),
             safe_stack_meta: HashMap::default(),
             sfi_masked: 0,
-            has_unsafe_alloca: Vec::new(),
             sig_hashes: Vec::new(),
+            meta: MetaTable::new(),
+            frame_descs: Vec::new(),
+            func_meta: Vec::new(),
+            global_meta: Vec::new(),
             bc: None,
             reg_pool: Vec::new(),
         };
@@ -302,15 +322,9 @@ impl<'m> Machine<'m> {
             self.func_addrs.push(entry);
             self.entry_to_func.insert(entry, fid);
             self.sig_hashes.push(f.sig.type_hash());
-            self.has_unsafe_alloca.push(f.iter_insts().any(|i| {
-                matches!(
-                    i,
-                    Inst::Alloca {
-                        stack: StackKind::Unsafe,
-                        ..
-                    }
-                )
-            }));
+            self.frame_descs.push(FrameDesc::of(f));
+            let code_meta = self.meta.intern(Entry::code(entry));
+            self.func_meta.push(code_meta);
             // Assign return sites for every call-shaped instruction, in
             // `iter_call_sites` order — the same numbering the bytecode
             // compiler embeds as site indices.
@@ -340,6 +354,8 @@ impl<'m> Machine<'m> {
             *cursor = addr + size;
             self.global_addrs.push(addr);
             self.global_sizes.push(size);
+            let data_meta = self.meta.intern(Entry::data(addr, addr, addr + size, 0));
+            self.global_meta.push(data_meta);
             // Materialize the initializer.
             let mut off = addr;
             for atom in &g.init {
@@ -614,6 +630,36 @@ impl<'m> Machine<'m> {
         self.frame_mut().regs[dest.0 as usize] = v;
     }
 
+    // ---- provenance helpers ------------------------------------------------
+
+    /// Materializes the full based-on [`Entry`] of a value: the interned
+    /// provenance record with the value's current word as `value`.
+    #[inline]
+    pub(crate) fn meta_entry(&self, v: V) -> Option<Entry> {
+        self.meta.get(v.meta).map(|e| Entry { value: v.raw, ..e })
+    }
+
+    /// Interns the based-on part of `e`: its `value` field is normalized
+    /// to `lower` so every pointer based on one object shares a record.
+    #[inline]
+    pub(crate) fn intern_prov(&mut self, e: Entry) -> MetaId {
+        self.meta.intern(Entry {
+            value: e.lower,
+            ..e
+        })
+    }
+
+    /// A pointer value based on the object `[lower, upper)`. (Code
+    /// pointers never intern here: `FuncAddr` uses the pre-interned
+    /// [`Machine::func_meta`] handles.)
+    #[inline]
+    pub(crate) fn v_data(&mut self, raw: u64, lower: u64, upper: u64, id: u64) -> V {
+        V {
+            raw,
+            meta: self.meta.intern(Entry::data(lower, lower, upper, id)),
+        }
+    }
+
     /// Deterministic LCG for the `rand` intrinsic.
     pub(crate) fn next_rand(&mut self) -> u64 {
         self.rng_state = self
@@ -621,5 +667,20 @@ impl<'m> Machine<'m> {
             .wrapping_mul(6364136223846793005)
             .wrapping_add(1442695040888963407);
         self.rng_state >> 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The representation guarantee behind the V shrink: a runtime value
+    /// is at most 16 bytes (raw word + interned metadata handle), down
+    /// from the 48 bytes of the inline `Option<Entry>` layout, so every
+    /// register file, argument list and frame copy moves ≤⅓ the memory.
+    #[test]
+    fn value_is_compact() {
+        assert!(std::mem::size_of::<V>() <= 16);
+        assert_eq!(std::mem::size_of::<MetaId>(), 4);
     }
 }

@@ -74,6 +74,8 @@ fn every_kernel_agrees_across_engines_and_build_configs() {
         (kernels::CBSTRUCT, "cbstruct_kernel"),
         (kernels::HEAPCHURN, "heap_kernel"),
         (kernels::BULKCOPY, "bulkcopy_kernel"),
+        (kernels::CALLTREE, "calltree_kernel"),
+        (kernels::PTRDENSE, "ptrdense_kernel"),
     ];
     for (src, entry) in kerns {
         let program = kernels::assemble(&[src], &[(entry, 150)]);

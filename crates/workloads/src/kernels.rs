@@ -18,7 +18,13 @@
 //! * [`GRAPH`] — pointer-chasing over insensitive data pointers (mcf);
 //! * [`CBSTRUCT`] — structs embedding function pointers, copied with
 //!   `memcpy` (gcc's profile; exercises the safe memcpy path);
-//! * [`HEAPCHURN`] — malloc/free churn (temporal behaviour).
+//! * [`HEAPCHURN`] — malloc/free churn (temporal behaviour);
+//! * [`CALLTREE`] — many tiny direct calls per iteration: almost all
+//!   simulated time is frame push/pop, the descriptor-driven call
+//!   path's target;
+//! * [`PTRDENSE`] — pointer-valued arguments and returns flowing
+//!   through a call chain: every register/frame copy moves tagged
+//!   values, the compact-`V` representation's target.
 //!
 //! Every kernel accumulates into a checksum that the workload prints, so
 //! differential tests can compare outputs across protection configs.
@@ -220,6 +226,50 @@ long heap_kernel(long iters) {
 }
 "#;
 
+/// Call-heavy: three-deep trees of tiny functions, multiple round
+/// trips per iteration — frame setup/teardown dominates.
+pub const CALLTREE: &str = r#"
+long ct_leaf(long a, long b) { return (a ^ b) + (a & 7); }
+long ct_pair(long a, long b, long c) {
+    return ct_leaf(a, b) + ct_leaf(b, c);
+}
+long ct_root(long a, long b, long c, long d) {
+    return ct_pair(a, b, c) + ct_pair(b, c, d) + ct_leaf(a, d);
+}
+long calltree_kernel(long iters) {
+    long acc = 0;
+    long t;
+    for (t = 0; t < iters; t = t + 1) {
+        acc = acc + ct_root(t, t + 1, acc & 255, t & 63);
+        acc = acc + ct_leaf(t, acc & 127);
+    }
+    return acc & 1048575;
+}
+"#;
+
+/// Pointer-dense: pointer arguments and pointer returns flow through a
+/// call chain every iteration, so register files and frames are full of
+/// tagged values.
+pub const PTRDENSE: &str = r#"
+long pd_cells[64];
+long* pd_pick(long* base, long i) { return &base[(i * 13 + 5) & 63]; }
+long pd_sum(long* a, long* b, long* c) { return *a + *b + *c; }
+long* pd_bump(long* p, long d) { *p = (*p + d) & 65535; return p; }
+long ptrdense_kernel(long iters) {
+    long i;
+    for (i = 0; i < 64; i = i + 1) { pd_cells[i] = i * 3 + 1; }
+    long acc = 0;
+    long t;
+    for (t = 0; t < iters; t = t + 1) {
+        long* a = pd_pick(pd_cells, t);
+        long* b = pd_pick(pd_cells, t + 7);
+        long* c = pd_bump(&pd_cells[t & 63], t & 15);
+        acc = acc + pd_sum(a, b, c);
+    }
+    return acc & 1048575;
+}
+"#;
+
 /// Bulk byte copies between plain buffers (bzip2/h264ref style).
 pub const BULKCOPY: &str = r#"
 char bulk_src[512];
@@ -282,6 +332,8 @@ mod tests {
             (CBSTRUCT, "cbstruct_kernel"),
             (HEAPCHURN, "heap_kernel"),
             (BULKCOPY, "bulkcopy_kernel"),
+            (CALLTREE, "calltree_kernel"),
+            (PTRDENSE, "ptrdense_kernel"),
         ] {
             let out = run_kernel(k, f);
             assert!(!out.is_empty(), "{f} must print a checksum");

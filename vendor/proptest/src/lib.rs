@@ -4,7 +4,7 @@
 //! minimal, deterministic property-testing harness exposing the subset
 //! of the proptest API the test suites use: [`strategy::Strategy`] with
 //! `prop_map`, range/tuple/`Just`/`any`/`select` strategies, weighted
-//! [`prop_oneof!`], [`collection::vec`], and the [`proptest!`] macro.
+//! [`crate::prop_oneof!`], [`collection::vec`], and the [`proptest!`] macro.
 //!
 //! Differences from real proptest, on purpose:
 //!
@@ -74,7 +74,7 @@ pub mod strategy {
             Map { inner: self, f }
         }
 
-        /// Type-erases the strategy (used by [`prop_oneof!`]).
+        /// Type-erases the strategy (used by [`crate::prop_oneof!`]).
         fn boxed(self) -> BoxedStrategy<Self::Value>
         where
             Self: Sized + 'static,
@@ -171,7 +171,7 @@ pub mod strategy {
         total: u64,
     }
 
-    /// Builds a [`Union`]; used by the [`prop_oneof!`] macro.
+    /// Builds a [`Union`]; used by the [`crate::prop_oneof!`] macro.
     pub fn union<V>(arms: Vec<(u32, BoxedStrategy<V>)>) -> Union<V> {
         let total = arms.iter().map(|(w, _)| *w as u64).sum();
         assert!(total > 0, "prop_oneof! needs at least one weighted arm");
