@@ -74,13 +74,15 @@ pub fn compile_function(module: &Module, f: &Function, sigs: &mut Vec<SigEntry>)
 /// register operands index inside the function's register file (sized by
 /// the frame descriptor the engine allocates from), constant operands
 /// index inside the pool, and branch targets land on instruction
-/// boundaries.
+/// boundaries. Covers both the compiler's base opcodes and the
+/// superinstructions the fusion pass ([`crate::fuse()`]) rewrites in —
+/// fused streams are re-validated after rewriting.
 ///
 /// # Panics
 ///
 /// Panics on any violation — these are compiler bugs, not program
 /// errors, and must never reach the engine.
-fn validate(f: &BcFunc, nsigs: usize) {
+pub(crate) fn validate(f: &BcFunc, nsigs: usize) {
     let code = &f.code;
     let locals = f.frame.n_regs as usize;
     let check_reg = |w: u32| {
@@ -110,27 +112,7 @@ fn validate(f: &BcFunc, nsigs: usize) {
     let mut pc = 0usize;
     while pc < code.len() {
         starts[pc] = true;
-        let op = Op::from_u32(code[pc]);
-        let len = match op {
-            Op::Alloca | Op::Check => 4,
-            Op::Load
-            | Op::Store
-            | Op::Bin
-            | Op::Cmp
-            | Op::Cast
-            | Op::PtrStore
-            | Op::PtrLoad
-            | Op::SafeMemset => 5,
-            Op::Gep => 7,
-            Op::GlobalAddr | Op::FuncAddr | Op::FnCheck | Op::Ret => 3,
-            Op::SafeMemcpy => 6,
-            Op::Jump => 2,
-            Op::Branch => 4,
-            Op::Unreachable => 1,
-            Op::Call => 5 + code.get(pc + 4).map_or(0, |n| *n as usize),
-            Op::CallIndirect => 6 + code.get(pc + 5).map_or(0, |n| *n as usize),
-            Op::IntrinsicCall => 4 + code.get(pc + 3).map_or(0, |n| *n as usize),
-        };
+        let len = op_len(code, pc);
         assert!(
             pc + len <= code.len(),
             "instruction overruns stream at {pc}"
@@ -255,6 +237,54 @@ fn validate(f: &BcFunc, nsigs: usize) {
                 pc += 3;
             }
             Op::Unreachable => pc += 1,
+            Op::CmpBr => {
+                check_reg(code[pc + 1]);
+                check_operand(code[pc + 3]);
+                check_operand(code[pc + 4]);
+                assert!(starts[code[pc + 5] as usize], "branch to non-boundary");
+                assert!(starts[code[pc + 6] as usize], "branch to non-boundary");
+                pc += 7;
+            }
+            Op::GepLoad => {
+                check_reg(code[pc + 1]);
+                check_operand(code[pc + 2]);
+                check_operand(code[pc + 3]);
+                check_cidx(code[pc + 4]);
+                check_cidx(code[pc + 5]);
+                check_reg(code[pc + 7]);
+                pc += 10;
+            }
+            Op::GepStore => {
+                check_reg(code[pc + 1]);
+                check_operand(code[pc + 2]);
+                check_operand(code[pc + 3]);
+                check_cidx(code[pc + 4]);
+                check_cidx(code[pc + 5]);
+                check_operand(code[pc + 7]);
+                pc += 10;
+            }
+            Op::CheckLoad => {
+                check_operand(code[pc + 2]);
+                check_cidx(code[pc + 3]);
+                check_reg(code[pc + 4]);
+                pc += 7;
+            }
+            Op::CheckPtrLoad => {
+                check_operand(code[pc + 2]);
+                check_cidx(code[pc + 3]);
+                check_reg(code[pc + 4]);
+                pc += 6;
+            }
+            Op::CheckedCall => {
+                check_dest1(code[pc + 2]);
+                check_operand(code[pc + 3]);
+                assert!((code[pc + 4] as usize) < nsigs, "sig index out of range");
+                let n = code[pc + 6] as usize;
+                for i in 0..n {
+                    check_operand(code[pc + 7 + i]);
+                }
+                pc += 7 + n;
+            }
         }
     }
 }

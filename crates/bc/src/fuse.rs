@@ -1,0 +1,398 @@
+//! The superinstruction fusion pass.
+//!
+//! A peephole rewrite over validated bytecode streams: adjacent
+//! instruction pairs that form a known producer/consumer idiom are
+//! collapsed into one superinstruction, eliminating one dispatch (opcode
+//! fetch, match, operand decode, pc bump) per pair while preserving the
+//! constituents' observable semantics *exactly* — the engine's fused
+//! dispatch arms perform both constituents' register writes, memory
+//! touches, trap checks and cycle/instruction charges in the original
+//! order, so runs with fusion on and off are bit-identical (the
+//! `diff_fuzz` and `engines` suites in `levee-vm` enforce this).
+//!
+//! Patterns (see the table on [`Op`]):
+//!
+//! * `Cmp` + `Branch` on the compare result → [`Op::CmpBr`] — the
+//!   loop-header idiom;
+//! * `Gep` + `Load`/`Store` through the just-computed address →
+//!   [`Op::GepLoad`] / [`Op::GepStore`] — array and field access;
+//! * `Check` + `Load` / `Check` + `PtrLoad` of the checked pointer →
+//!   [`Op::CheckLoad`] / [`Op::CheckPtrLoad`] — the checked pointer
+//!   load, CPI's analogue of a hardware check+use instruction;
+//! * `FnCheck` + `CallIndirect` of the checked callee →
+//!   [`Op::CheckedCall`] — the instrumented indirect call: check,
+//!   resolve and frame push from one `FrameDesc` lookup in a single
+//!   dispatch.
+//!
+//! A pair never fuses across a basic-block boundary: the second
+//! instruction of a pair must not be a branch target, and the only
+//! in-stream targets are block starts (call-return and `setjmp` resume
+//! points always follow a call-shaped instruction, which no pattern has
+//! as its first constituent). The first constituent *may* be a block
+//! start — the fused instruction simply becomes the block's entry.
+//!
+//! Rewriting shifts every downstream offset, so the pass runs in two
+//! passes per function: plan (decide fusions, map every surviving old
+//! boundary to its new offset) then emit (copy words, translating jump
+//! targets and `block_offsets` through the map). The rewritten stream is
+//! re-validated.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::compile::validate;
+use crate::op::{op_len, Op};
+use crate::{BcFunc, BcModule};
+
+/// How many pairs each pattern fused, per [`fuse`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FuseStats {
+    /// `Cmp`+`Branch` pairs fused.
+    pub cmp_br: u64,
+    /// `Gep`+`Load` pairs fused.
+    pub gep_load: u64,
+    /// `Gep`+`Store` pairs fused.
+    pub gep_store: u64,
+    /// `Check`+`Load` pairs fused.
+    pub check_load: u64,
+    /// `Check`+`PtrLoad` pairs fused.
+    pub check_ptr_load: u64,
+    /// `FnCheck`+`CallIndirect` pairs fused.
+    pub checked_call: u64,
+}
+
+impl FuseStats {
+    /// Total pairs fused.
+    pub fn total(&self) -> u64 {
+        self.cmp_br
+            + self.gep_load
+            + self.gep_store
+            + self.check_load
+            + self.check_ptr_load
+            + self.checked_call
+    }
+
+    fn count(&mut self, op: Op) {
+        match op {
+            Op::CmpBr => self.cmp_br += 1,
+            Op::GepLoad => self.gep_load += 1,
+            Op::GepStore => self.gep_store += 1,
+            Op::CheckLoad => self.check_load += 1,
+            Op::CheckPtrLoad => self.check_ptr_load += 1,
+            Op::CheckedCall => self.checked_call += 1,
+            _ => unreachable!("not a superinstruction: {op:?}"),
+        }
+    }
+}
+
+/// Fuses every function of an already-compiled module in place.
+pub fn fuse(module: &mut BcModule) -> FuseStats {
+    let nsigs = module.sigs.len();
+    let mut stats = FuseStats::default();
+    for f in &mut module.funcs {
+        fuse_function(f, nsigs, &mut stats);
+    }
+    stats
+}
+
+/// Which superinstruction an adjacent pair at (`pc`, `next`) forms, if
+/// any. Matching is purely word-level: the consumer's input operand word
+/// must equal the producer's destination word (operand words are
+/// canonical — registers are slot indices, constants interned indices —
+/// so word equality is operand identity).
+fn match_pair(code: &[u32], pc: usize, next: usize) -> Option<Op> {
+    match (Op::from_u32(code[pc]), Op::from_u32(code[next])) {
+        // Branch condition is the compare's destination register.
+        (Op::Cmp, Op::Branch) if code[next + 1] == code[pc + 1] => Some(Op::CmpBr),
+        // Load/Store address is the gep's destination register.
+        (Op::Gep, Op::Load) if code[next + 2] == code[pc + 1] => Some(Op::GepLoad),
+        (Op::Gep, Op::Store) if code[next + 1] == code[pc + 1] => Some(Op::GepStore),
+        // Loads through a just-checked pointer; policies always agree
+        // (one instrumentation mode per build) but are matched anyway.
+        (Op::Check, Op::Load) if code[next + 2] == code[pc + 2] => Some(Op::CheckLoad),
+        (Op::Check, Op::PtrLoad)
+            if code[next + 3] == code[pc + 2] && code[next + 1] == code[pc + 1] =>
+        {
+            Some(Op::CheckPtrLoad)
+        }
+        // Indirect call of a just-checked callee.
+        (Op::FnCheck, Op::CallIndirect) if code[next + 2] == code[pc + 2] => Some(Op::CheckedCall),
+        _ => None,
+    }
+}
+
+/// Encoded length of the superinstruction fusing the pair at
+/// (`pc`, `next`).
+fn fused_len(op: Op, code: &[u32], next: usize) -> usize {
+    match op {
+        Op::CmpBr | Op::CheckLoad => 7,
+        Op::GepLoad | Op::GepStore => 10,
+        Op::CheckPtrLoad => 6,
+        Op::CheckedCall => 7 + code[next + 5] as usize,
+        _ => unreachable!("not a superinstruction: {op:?}"),
+    }
+}
+
+/// Rewrites one function's stream in place.
+fn fuse_function(f: &mut BcFunc, nsigs: usize, stats: &mut FuseStats) {
+    let code = &f.code;
+    let block_starts: HashSet<u32> = f.block_offsets.iter().copied().collect();
+
+    // Plan pass: walk instruction boundaries left to right, fusing
+    // greedily (a fused pair's second instruction is consumed and can't
+    // start another pair), and record the new offset of every surviving
+    // boundary. Jump targets are always block starts, and block starts
+    // are never consumed as second constituents, so the map covers every
+    // word the emit pass must translate.
+    let mut new_off: HashMap<u32, u32> = HashMap::new();
+    let mut plan: Vec<(usize, Option<Op>)> = Vec::new();
+    let mut pc = 0usize;
+    let mut new_pc = 0u32;
+    while pc < code.len() {
+        let len = op_len(code, pc);
+        let next = pc + len;
+        let fused = if next < code.len() && !block_starts.contains(&(next as u32)) {
+            match_pair(code, pc, next)
+        } else {
+            None
+        };
+        new_off.insert(pc as u32, new_pc);
+        plan.push((pc, fused));
+        match fused {
+            Some(op) => {
+                new_pc += fused_len(op, code, next) as u32;
+                pc = next + op_len(code, next);
+            }
+            None => {
+                new_pc += len as u32;
+                pc = next;
+            }
+        }
+    }
+
+    // Emit pass.
+    let mut out: Vec<u32> = Vec::with_capacity(new_pc as usize);
+    let target = |w: u32| new_off[&w];
+    for (pc, fused) in plan {
+        let len = op_len(code, pc);
+        let next = pc + len;
+        match fused {
+            None => match Op::from_u32(code[pc]) {
+                Op::Jump => {
+                    out.push(Op::Jump as u32);
+                    out.push(target(code[pc + 1]));
+                }
+                Op::Branch => {
+                    out.push(Op::Branch as u32);
+                    out.push(code[pc + 1]);
+                    out.push(target(code[pc + 2]));
+                    out.push(target(code[pc + 3]));
+                }
+                _ => out.extend_from_slice(&code[pc..next]),
+            },
+            Some(op) => {
+                stats.count(op);
+                out.push(op as u32);
+                match op {
+                    Op::CmpBr => {
+                        // dest, cmpop, lhs, rhs from the Cmp; remapped
+                        // then/else targets from the Branch.
+                        out.extend_from_slice(&code[pc + 1..pc + 5]);
+                        out.push(target(code[next + 2]));
+                        out.push(target(code[next + 3]));
+                    }
+                    Op::GepLoad => {
+                        // The Gep's six operand words, then the Load's
+                        // dest/size/space (its ptr word is the gep dest).
+                        out.extend_from_slice(&code[pc + 1..pc + 7]);
+                        out.push(code[next + 1]);
+                        out.push(code[next + 3]);
+                        out.push(code[next + 4]);
+                    }
+                    Op::GepStore => {
+                        // The Gep's six operand words, then the Store's
+                        // value/size/space (its ptr word is the gep dest).
+                        out.extend_from_slice(&code[pc + 1..pc + 7]);
+                        out.push(code[next + 2]);
+                        out.push(code[next + 3]);
+                        out.push(code[next + 4]);
+                    }
+                    Op::CheckLoad => {
+                        // policy, ptr, size_cidx from the Check; the
+                        // Load's dest/size/space.
+                        out.extend_from_slice(&code[pc + 1..pc + 4]);
+                        out.push(code[next + 1]);
+                        out.push(code[next + 3]);
+                        out.push(code[next + 4]);
+                    }
+                    Op::CheckPtrLoad => {
+                        // policy, ptr, size_cidx from the Check; the
+                        // PtrLoad's dest and universal flag.
+                        out.extend_from_slice(&code[pc + 1..pc + 4]);
+                        out.push(code[next + 2]);
+                        out.push(code[next + 4]);
+                    }
+                    Op::CheckedCall => {
+                        // policy from the FnCheck; the CallIndirect's
+                        // dest+1, callee, sig_idx, site, nargs, args.
+                        let n = code[next + 5] as usize;
+                        out.push(code[pc + 1]);
+                        out.extend_from_slice(&code[next + 1..next + 6 + n]);
+                    }
+                    _ => unreachable!("not a superinstruction: {op:?}"),
+                }
+            }
+        }
+    }
+    debug_assert_eq!(out.len(), new_pc as usize, "plan and emission agree");
+
+    f.code = out;
+    for b in &mut f.block_offsets {
+        *b = new_off[b];
+    }
+    validate(f, nsigs);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use levee_ir::builder::FuncBuilder;
+    use levee_ir::prelude::*;
+
+    /// Decoded opcode histogram of one stream.
+    fn ops_of(f: &BcFunc) -> Vec<Op> {
+        let mut pc = 0;
+        let mut ops = Vec::new();
+        while pc < f.code.len() {
+            ops.push(Op::from_u32(f.code[pc]));
+            pc += op_len(&f.code, pc);
+        }
+        ops
+    }
+
+    fn loop_module() -> Module {
+        // while (i < 10) { a[i] = a[i] + 1; i++ } — the cmp+br and
+        // gep+load / gep+store idioms in one function.
+        let mut m = Module::new("t");
+        let arr_ty = Ty::Array(Box::new(Ty::I64), 16);
+        let mut b = FuncBuilder::new("main", FnSig::new(vec![], Ty::I32));
+        let arr = b.alloca(arr_ty, 1);
+        let i_slot = b.alloca(Ty::I64, 1);
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.store(i_slot, 0, Ty::I64);
+        b.br(header);
+        b.switch_to(header);
+        let i = b.load(i_slot, Ty::I64);
+        let c = b.cmp(CmpOp::Lt, i, 10);
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let i2 = b.load(i_slot, Ty::I64);
+        let slot = b.gep(arr, i2, Ty::I64, 0);
+        let v = b.load(slot, Ty::I64);
+        let v2 = b.bin(BinOp::Add, v, 1, Ty::I64);
+        let i3 = b.load(i_slot, Ty::I64);
+        let slot2 = b.gep(arr, i3, Ty::I64, 0);
+        b.store(slot2, v2, Ty::I64);
+        let i4 = b.load(i_slot, Ty::I64);
+        let inc = b.bin(BinOp::Add, i4, 1, Ty::I64);
+        b.store(i_slot, inc, Ty::I64);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(Some(0.into()));
+        m.add_func(b.finish());
+        m
+    }
+
+    #[test]
+    fn fuses_cmp_br_and_gep_memory_idioms() {
+        let m = loop_module();
+        let mut bc = compile(&m);
+        let unfused_words = bc.code_words();
+        let stats = fuse(&mut bc);
+        assert_eq!(stats.cmp_br, 1);
+        assert_eq!(stats.gep_load, 1);
+        assert_eq!(stats.gep_store, 1);
+        assert_eq!(stats.total(), 3);
+        assert!(bc.code_words() < unfused_words);
+        let ops = ops_of(&bc.funcs[0]);
+        assert!(ops.contains(&Op::CmpBr));
+        assert!(ops.contains(&Op::GepLoad));
+        assert!(ops.contains(&Op::GepStore));
+        assert!(!ops.contains(&Op::Gep), "both geps fused away");
+    }
+
+    #[test]
+    fn remapped_targets_land_on_block_starts() {
+        let m = loop_module();
+        let mut bc = compile(&m);
+        fuse(&mut bc);
+        let f = &bc.funcs[0];
+        let boundaries: HashSet<u32> = {
+            let mut s = HashSet::new();
+            let mut pc = 0;
+            while pc < f.code.len() {
+                s.insert(pc as u32);
+                pc += op_len(&f.code, pc);
+            }
+            s
+        };
+        for off in &f.block_offsets {
+            assert!(boundaries.contains(off), "block offset {off} off-boundary");
+        }
+        // Every jump/branch/cmp-br target is a recorded block start.
+        let block_set: HashSet<u32> = f.block_offsets.iter().copied().collect();
+        let mut pc = 0;
+        while pc < f.code.len() {
+            match Op::from_u32(f.code[pc]) {
+                Op::Jump => assert!(block_set.contains(&f.code[pc + 1])),
+                Op::Branch => {
+                    assert!(block_set.contains(&f.code[pc + 2]));
+                    assert!(block_set.contains(&f.code[pc + 3]));
+                }
+                Op::CmpBr => {
+                    assert!(block_set.contains(&f.code[pc + 5]));
+                    assert!(block_set.contains(&f.code[pc + 6]));
+                }
+                _ => {}
+            }
+            pc += op_len(&f.code, pc);
+        }
+    }
+
+    #[test]
+    fn no_fusion_across_block_boundaries() {
+        // The branch consuming the cmp lives in a *different* block
+        // (the cmp's own block ends with an unconditional jump, which
+        // sits between them in the stream): the pair must stay unfused
+        // even though the cmp result feeds the branch.
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new("main", FnSig::new(vec![], Ty::I32));
+        let x = b.bin(BinOp::Add, 1, 2, Ty::I64);
+        let c = b.cmp(CmpOp::Gt, x, 0);
+        let join = b.new_block();
+        let exit = b.new_block();
+        b.br(join);
+        b.switch_to(join);
+        b.cond_br(c, exit, exit);
+        b.switch_to(exit);
+        b.ret(Some(0.into()));
+        m.add_func(b.finish());
+        let mut bc = compile(&m);
+        let stats = fuse(&mut bc);
+        assert_eq!(stats.total(), 0, "nothing fuses across block seams");
+    }
+
+    #[test]
+    fn fused_stream_is_idempotent_under_refusal() {
+        // A second pass finds nothing: superinstructions never chain.
+        let m = loop_module();
+        let mut bc = compile(&m);
+        fuse(&mut bc);
+        let once = bc.funcs[0].code.clone();
+        let again = fuse(&mut bc);
+        assert_eq!(again.total(), 0);
+        assert_eq!(bc.funcs[0].code, once);
+    }
+}

@@ -20,7 +20,11 @@
 //! * each function gets a precomputed [`FrameDesc`] — register-file
 //!   size, argument move plan, cookie/return-slot layout — so the call
 //!   path pushes frames from a descriptor instead of re-deriving the
-//!   layout from the IR on every call.
+//!   layout from the IR on every call,
+//! * an optional peephole pass ([`fuse()`]) rewrites hot adjacent pairs
+//!   (compare+branch, gep+load/store, check+load, fncheck+indirect-call)
+//!   into superinstructions that the engine executes in one dispatch
+//!   while charging the constituents' exact summed cycle cost.
 //!
 //! The bytecode preserves the IR's observable semantics *exactly* —
 //! same traps, same instrumentation behaviour, same cost-model charges —
@@ -43,13 +47,15 @@
 //! ```
 
 pub mod compile;
+pub mod fuse;
 pub mod op;
 
 pub use compile::{compile, compile_function};
+pub use fuse::{fuse, FuseStats};
 pub use op::{
     decode_binop, decode_cast, decode_cmpop, decode_intrinsic, decode_policy, decode_space,
     decode_stack, encode_binop, encode_cast, encode_cmpop, encode_intrinsic, encode_policy,
-    encode_space, encode_stack, Op, OPERAND_CONST_BIT,
+    encode_space, encode_stack, op_len, Op, OPERAND_CONST_BIT,
 };
 
 use levee_ir::func::Function;

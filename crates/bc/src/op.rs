@@ -41,6 +41,19 @@ pub const OPERAND_CONST_BIT: u32 = 0x8000_0000;
 /// | `Ret` | has_value, value |
 /// | `Unreachable` | — |
 ///
+/// Superinstructions (emitted only by the fusion pass, [`crate::fuse()`];
+/// each is semantically the exact sequence of its two constituents and
+/// charges their summed cycle cost):
+///
+/// | op | constituents | words |
+/// |---|---|---|
+/// | `CmpBr` | `Cmp`+`Branch` | dest, cmpop, lhs, rhs, then_pc, else_pc |
+/// | `GepLoad` | `Gep`+`Load` | gdest, base, index, elem_size_cidx, offset_cidx, is_field, ldest, size, space |
+/// | `GepStore` | `Gep`+`Store` | gdest, base, index, elem_size_cidx, offset_cidx, is_field, value, size, space |
+/// | `CheckLoad` | `Check`+`Load` | policy, ptr, size_cidx, ldest, lsize, space |
+/// | `CheckPtrLoad` | `Check`+`PtrLoad` | policy, ptr, size_cidx, dest, universal |
+/// | `CheckedCall` | `FnCheck`+`CallIndirect` | policy, dest+1, callee, sig_idx, site, nargs, arg... |
+///
 /// `*_cidx` words index the function's constant pool (64-bit values);
 /// `dest+1` is zero when the call has no destination register.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +81,12 @@ pub enum Op {
     Branch = 19,
     Ret = 20,
     Unreachable = 21,
+    CmpBr = 22,
+    GepLoad = 23,
+    GepStore = 24,
+    CheckLoad = 25,
+    CheckPtrLoad = 26,
+    CheckedCall = 27,
 }
 
 impl Op {
@@ -79,7 +98,7 @@ impl Op {
     /// opcodes, so this indicates stream corruption.
     #[inline(always)]
     pub fn from_u32(w: u32) -> Op {
-        debug_assert!(w <= Op::Unreachable as u32, "bad opcode word {w}");
+        debug_assert!(w <= Op::CheckedCall as u32, "bad opcode word {w}");
         // SAFETY in spirit, checked in practice: emitted by `compile`
         // from the enum itself; the match keeps this fully safe code.
         match w {
@@ -104,8 +123,49 @@ impl Op {
             18 => Op::Jump,
             19 => Op::Branch,
             20 => Op::Ret,
+            21 => Op::Unreachable,
+            22 => Op::CmpBr,
+            23 => Op::GepLoad,
+            24 => Op::GepStore,
+            25 => Op::CheckLoad,
+            26 => Op::CheckPtrLoad,
+            27 => Op::CheckedCall,
+            // Out-of-range words fail closed: Unreachable traps
+            // immediately, rather than dispatching a variable-length
+            // call arm off garbage operand words.
             _ => Op::Unreachable,
         }
+    }
+}
+
+/// Encoded length, in words, of the instruction starting at `pc`
+/// (opcode included). Call-shaped instructions read their argument
+/// count out of the stream.
+///
+/// Shared by the stream validator, the fusion pass and diagnostics so
+/// instruction boundaries are computed identically everywhere.
+#[inline]
+pub fn op_len(code: &[u32], pc: usize) -> usize {
+    match Op::from_u32(code[pc]) {
+        Op::Alloca | Op::Check | Op::Branch => 4,
+        Op::Load
+        | Op::Store
+        | Op::Bin
+        | Op::Cmp
+        | Op::Cast
+        | Op::PtrStore
+        | Op::PtrLoad
+        | Op::SafeMemset => 5,
+        Op::Gep | Op::CmpBr | Op::CheckLoad => 7,
+        Op::GlobalAddr | Op::FuncAddr | Op::FnCheck | Op::Ret => 3,
+        Op::SafeMemcpy | Op::CheckPtrLoad => 6,
+        Op::Jump => 2,
+        Op::Unreachable => 1,
+        Op::GepLoad | Op::GepStore => 10,
+        Op::Call => 5 + code.get(pc + 4).map_or(0, |n| *n as usize),
+        Op::CallIndirect => 6 + code.get(pc + 5).map_or(0, |n| *n as usize),
+        Op::IntrinsicCall => 4 + code.get(pc + 3).map_or(0, |n| *n as usize),
+        Op::CheckedCall => 7 + code.get(pc + 6).map_or(0, |n| *n as usize),
     }
 }
 
@@ -264,7 +324,7 @@ mod tests {
 
     #[test]
     fn opcode_roundtrip() {
-        for w in 0..=21u32 {
+        for w in 0..=Op::CheckedCall as u32 {
             let op = Op::from_u32(w);
             assert_eq!(op as u32, w);
         }

@@ -1,18 +1,26 @@
-//! Engine comparison — the bytecode tier vs the step-walking reference.
+//! Engine comparison — the bytecode tier (fused and unfused) vs the
+//! step-walking reference.
 //!
-//! Runs every `levee-workloads` kernel under both engines and both a
-//! vanilla and a CPI build, asserting **identical simulated cycle
-//! counts, instruction counts and output** (the cost model is engine
-//! independent), and reporting wall-clock speedup. Each measurement is
-//! the minimum of several repetitions, which rejects scheduler noise.
+//! Runs every `levee-workloads` kernel under three execution
+//! configurations — the walker, the bytecode engine with
+//! superinstruction fusion off, and with fusion on — and both a vanilla
+//! and a CPI build, asserting **identical simulated cycle counts,
+//! instruction counts and output** (the cost model is engine and
+//! fusion independent), and reporting wall-clock speedups. Each
+//! measurement is the minimum of several repetitions, which rejects
+//! scheduler noise.
 //!
-//! The speedup is bounded by how much of a kernel's wall-clock goes to
-//! interpreter dispatch rather than to the simulation work both engines
-//! share (cache model, memory image, frame setup, intrinsic bodies):
-//! compute-bound kernels approach the dispatch-elimination limit, while
-//! call- and intrinsic-heavy kernels are dominated by shared costs.
+//! The walk→bytecode speedup is bounded by how much of a kernel's
+//! wall-clock goes to interpreter dispatch rather than to the
+//! simulation work all engines share (cache model, memory image, frame
+//! setup, intrinsic bodies); fusion then removes a further slice of
+//! the remaining dispatch — one fetch/decode per fused pair — so its
+//! win concentrates in tight-loop kernels (`dispatch`, `numeric`,
+//! `vcall`) where compare+branch and gep+load pairs dominate.
 //!
 //! Run with: `cargo run --release -p levee-bench --bin engine_compare`
+//! (`--json` emits a machine-readable report; the checked-in baseline
+//! lives in `crates/bench/baselines/engine_compare.json`).
 
 use std::time::Instant;
 
@@ -21,8 +29,12 @@ use levee_core::{build_source, BuildConfig};
 use levee_vm::{Engine, Machine, VmConfig};
 use levee_workloads::kernels;
 
-/// Repetitions per (kernel, engine); the minimum is reported.
+/// Repetitions per (kernel, configuration); the minimum is reported.
 const REPS: usize = 5;
+
+/// The kernels on which fusion must show a measurable wall-clock win
+/// (tight loops of fusible pairs).
+const FUSION_KERNELS: &[&str] = &["dispatch", "numeric", "vcall"];
 
 struct KernelSpec {
     name: &'static str,
@@ -100,20 +112,27 @@ const KERNELS: &[KernelSpec] = &[
     },
 ];
 
-/// Best-of-`REPS` wall-clock for one engine; checks the run every time.
-fn measure(module: &levee_ir::Module, base: VmConfig, engine: Engine) -> (f64, u64, u64, String) {
+/// Best-of-`REPS` wall-clock for one configuration; checks the run
+/// every time.
+fn measure(
+    module: &levee_ir::Module,
+    base: VmConfig,
+    engine: Engine,
+    fusion: bool,
+) -> (f64, u64, u64, String) {
     let mut best = f64::INFINITY;
     let mut cycles = 0;
     let mut insts = 0;
     let mut output = String::new();
     for _ in 0..REPS {
-        let mut vm = Machine::new(module, base.with_engine(engine));
+        let mut vm = Machine::new(module, base.with_engine(engine).with_fusion(fusion));
+        vm.precompile(); // one-time compile/fuse stays out of the timing
         let t0 = Instant::now();
         let out = vm.run(b"");
         let dt = t0.elapsed().as_secs_f64() * 1e3;
         assert!(
             out.status.is_success(),
-            "kernel must exit cleanly under {engine:?}, got {:?}",
+            "kernel must exit cleanly under {engine:?}/fusion={fusion}, got {:?}",
             out.status
         );
         best = best.min(dt);
@@ -125,57 +144,119 @@ fn measure(module: &levee_ir::Module, base: VmConfig, engine: Engine) -> (f64, u
 }
 
 fn main() {
-    let mut totals = [0.0f64; 2]; // walk, bytecode
+    let json = std::env::args().any(|a| a == "--json");
+    let mut totals = [0.0f64; 3]; // walk, bytecode unfused, bytecode fused
+    let mut fusion_kernel_totals = [0.0f64; 2]; // unfused, fused on FUSION_KERNELS
+    let mut json_rows = Vec::new();
     for config in [BuildConfig::Vanilla, BuildConfig::Cpi] {
-        println!("== build: {} ==", config.name());
+        if !json {
+            println!("== build: {} ==", config.name());
+        }
         let mut table = Table::new(&[
             "kernel",
             "insts",
             "cycles",
             "walk ms",
-            "bytecode ms",
-            "speedup",
+            "unfused ms",
+            "fused ms",
+            "bc speedup",
+            "fusion speedup",
         ]);
         for spec in KERNELS {
             let src = kernels::assemble(&[spec.source], &[(spec.entry, spec.iters)]);
             let built = build_source(&src, spec.name, config).unwrap();
             let base = built.vm_config(VmConfig::default());
             let (walk_ms, walk_cycles, walk_insts, walk_out) =
-                measure(&built.module, base, Engine::Walk);
-            let (bc_ms, bc_cycles, bc_insts, bc_out) =
-                measure(&built.module, base, Engine::Bytecode);
+                measure(&built.module, base, Engine::Walk, false);
+            let (unfused_ms, unfused_cycles, unfused_insts, unfused_out) =
+                measure(&built.module, base, Engine::Bytecode, false);
+            let (fused_ms, fused_cycles, fused_insts, fused_out) =
+                measure(&built.module, base, Engine::Bytecode, true);
             assert_eq!(
-                walk_cycles, bc_cycles,
+                (walk_cycles, walk_cycles),
+                (unfused_cycles, fused_cycles),
                 "{}: cycle counts diverge",
                 spec.name
             );
             assert_eq!(
-                walk_insts, bc_insts,
+                (walk_insts, walk_insts),
+                (unfused_insts, fused_insts),
                 "{}: instruction counts diverge",
                 spec.name
             );
-            assert_eq!(walk_out, bc_out, "{}: output diverges", spec.name);
+            assert_eq!(walk_out, unfused_out, "{}: output diverges", spec.name);
+            assert_eq!(walk_out, fused_out, "{}: output diverges", spec.name);
             totals[0] += walk_ms;
-            totals[1] += bc_ms;
+            totals[1] += unfused_ms;
+            totals[2] += fused_ms;
+            if FUSION_KERNELS.contains(&spec.name) {
+                fusion_kernel_totals[0] += unfused_ms;
+                fusion_kernel_totals[1] += fused_ms;
+            }
             table.row(vec![
                 spec.name.into(),
                 walk_insts.to_string(),
                 walk_cycles.to_string(),
                 format!("{walk_ms:.2}"),
-                format!("{bc_ms:.2}"),
-                format!("{:.2}x", walk_ms / bc_ms),
+                format!("{unfused_ms:.2}"),
+                format!("{fused_ms:.2}"),
+                format!("{:.2}x", walk_ms / fused_ms),
+                format!("{:.2}x", unfused_ms / fused_ms),
             ]);
+            json_rows.push(format!(
+                "    {{\"build\": \"{}\", \"kernel\": \"{}\", \"insts\": {}, \"cycles\": {}, \
+                 \"walk_ms\": {:.3}, \"unfused_ms\": {:.3}, \"fused_ms\": {:.3}}}",
+                config.name(),
+                spec.name,
+                walk_insts,
+                walk_cycles,
+                walk_ms,
+                unfused_ms,
+                fused_ms,
+            ));
         }
-        table.print();
-        println!();
+        if !json {
+            table.print();
+            println!();
+        }
     }
-    let speedup = totals[0] / totals[1];
-    println!(
-        "aggregate: walk {:.1} ms, bytecode {:.1} ms — {speedup:.2}x at identical cycle counts",
-        totals[0], totals[1]
-    );
+    let bc_speedup = totals[0] / totals[2];
+    let fusion_speedup = totals[1] / totals[2];
+    let fusion_hot_speedup = fusion_kernel_totals[0] / fusion_kernel_totals[1];
+    if json {
+        println!("{{");
+        println!("  \"reps\": {REPS},");
+        println!("  \"rows\": [");
+        println!("{}", json_rows.join(",\n"));
+        println!("  ],");
+        println!("  \"aggregate\": {{");
+        println!("    \"walk_ms\": {:.3},", totals[0]);
+        println!("    \"unfused_ms\": {:.3},", totals[1]);
+        println!("    \"fused_ms\": {:.3},", totals[2]);
+        println!("    \"bc_speedup\": {bc_speedup:.3},");
+        println!("    \"fusion_speedup\": {fusion_speedup:.3},");
+        println!("    \"fusion_hot_kernel_speedup\": {fusion_hot_speedup:.3}");
+        println!("  }}");
+        println!("}}");
+    } else {
+        println!(
+            "aggregate: walk {:.1} ms, bytecode unfused {:.1} ms, fused {:.1} ms — \
+             {bc_speedup:.2}x over walk, fusion {fusion_speedup:.2}x over unfused \
+             ({fusion_hot_speedup:.2}x on {FUSION_KERNELS:?}) at identical cycle counts",
+            totals[0], totals[1], totals[2]
+        );
+    }
     assert!(
-        speedup >= 1.4,
-        "bytecode engine regressed: expected >=1.4x aggregate, got {speedup:.2}x"
+        bc_speedup >= 1.4,
+        "bytecode engine regressed: expected >=1.4x aggregate over walk, got {bc_speedup:.2}x"
+    );
+    // The recorded baseline shows ~1.04-1.05x; the gate sits well below
+    // it so sustained scheduler noise on shared CI runners (which
+    // min-of-REPS cannot reject) doesn't flake the job, while an actual
+    // fusion regression (fused slower than unfused) still fails.
+    assert!(
+        fusion_hot_speedup >= 1.005,
+        "fusion regressed: expected a measurable win over unfused bytecode on \
+         {FUSION_KERNELS:?}, got {fusion_hot_speedup:.3}x"
     );
 }

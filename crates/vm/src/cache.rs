@@ -17,6 +17,14 @@ pub struct Cache {
     set_mask: u64,
     hits: u64,
     misses: u64,
+    /// When enabled, every touched address in access order. Every
+    /// simulated memory touch — program loads/stores, frame slots,
+    /// safe-store traffic charged via `Touched` — funnels through
+    /// [`Cache::access`], so the trace is the machine's complete memory
+    /// touch log. Differential tests diff it to prove two executions
+    /// performed the *same accesses in the same order*, which is a
+    /// strictly stronger claim than equal totals.
+    trace: Option<Vec<u64>>,
 }
 
 /// Tag value marking an empty way (no valid line has this tag because
@@ -40,6 +48,7 @@ impl Cache {
             set_mask: sets as u64 - 1,
             hits: 0,
             misses: 0,
+            trace: None,
         }
     }
 
@@ -48,9 +57,22 @@ impl Cache {
         Cache::new(DEFAULT_SETS, DEFAULT_WAYS)
     }
 
+    /// Starts recording the touch log (see [`Cache::trace`]).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// The recorded touch log, if tracing was enabled.
+    pub fn trace(&self) -> Option<&[u64]> {
+        self.trace.as_deref()
+    }
+
     /// Touches `addr`; returns true on hit.
     #[inline]
     pub fn access(&mut self, addr: u64) -> bool {
+        if let Some(t) = &mut self.trace {
+            t.push(addr);
+        }
         let line = addr / LINE;
         let set = (line & self.set_mask) as usize;
         let tags = &mut self.tags[set * self.ways..(set + 1) * self.ways];
@@ -152,5 +174,18 @@ mod tests {
         c.reset();
         assert_eq!(c.stats(), (0, 0));
         assert!(!c.access(0));
+    }
+
+    #[test]
+    fn trace_records_touch_order() {
+        let mut c = Cache::default_l1();
+        c.access(0x10); // before enabling: not recorded
+        c.enable_trace();
+        c.access(0x1000);
+        c.access(0x1000);
+        c.access(0x2008);
+        assert_eq!(c.trace(), Some(&[0x1000, 0x1000, 0x2008][..]));
+        let untraced = Cache::default_l1();
+        assert!(untraced.trace().is_none());
     }
 }

@@ -94,6 +94,13 @@ pub struct VmConfig {
     /// Execution engine (bytecode tier by default; the step walker is
     /// the reference for differential testing).
     pub engine: Engine,
+    /// Superinstruction fusion in the bytecode tier (`levee_bc::fuse`):
+    /// adjacent pairs like compare+branch, gep+load and check+use
+    /// collapse into one dispatch. Observable semantics and cycle
+    /// accounting are identical either way (the `diff_fuzz` suite
+    /// cross-checks engine × fusion); the knob exists for differential
+    /// testing and overhead attribution. Ignored by [`Engine::Walk`].
+    pub fusion: bool,
 }
 
 impl Default for VmConfig {
@@ -111,6 +118,7 @@ impl Default for VmConfig {
             cost: CostModel::default(),
             hardware: HardwareModel::Software,
             engine: Engine::default(),
+            fusion: true,
         }
     }
 }
@@ -147,6 +155,13 @@ impl VmConfig {
         self.engine = engine;
         self
     }
+
+    /// Returns self with superinstruction fusion on or off (builder
+    /// style).
+    pub fn with_fusion(mut self, fusion: bool) -> Self {
+        self.fusion = fusion;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -170,5 +185,11 @@ mod tests {
         assert_eq!(walk.engine, Engine::Walk);
         assert_eq!(Engine::all().len(), 2);
         assert_ne!(Engine::Walk.name(), Engine::Bytecode.name());
+    }
+
+    #[test]
+    fn fusion_defaults_on_and_toggles() {
+        assert!(VmConfig::default().fusion);
+        assert!(!VmConfig::default().with_fusion(false).fusion);
     }
 }

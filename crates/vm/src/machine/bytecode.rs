@@ -54,13 +54,25 @@ unsafe fn ev(regs: &[V], consts: &[u64], word: u32) -> V {
 }
 
 impl<'m> Machine<'m> {
-    /// Runs the bytecode engine to completion. Compiles the module on
-    /// first use; recompilation is never needed because the module is
-    /// immutable for the machine's lifetime.
-    pub(crate) fn run_bytecode(&mut self) -> ExitStatus {
-        if self.bc.is_none() {
-            self.bc = Some(levee_bc::compile(self.module));
+    /// Compiles the module to bytecode — applying the superinstruction
+    /// fusion pass when `VmConfig::fusion` is on — ahead of the first
+    /// run. Runs lazily otherwise; benches call this explicitly to keep
+    /// one-time compilation out of timed regions. Recompilation is
+    /// never needed because module and config are immutable for the
+    /// machine's lifetime. A no-op under [`crate::Engine::Walk`].
+    pub fn precompile(&mut self) {
+        if self.config.engine == crate::Engine::Bytecode && self.bc.is_none() {
+            let mut bc = levee_bc::compile(self.module);
+            if self.config.fusion {
+                levee_bc::fuse(&mut bc);
+            }
+            self.bc = Some(bc);
         }
+    }
+
+    /// Runs the bytecode engine to completion, compiling on first use.
+    pub(crate) fn run_bytecode(&mut self) -> ExitStatus {
+        self.precompile();
         // Take ownership for the duration of the loop so the code
         // stream can be borrowed while `&mut self` methods run.
         let bc = self.bc.take().expect("just compiled");
@@ -176,6 +188,22 @@ impl<'m> Machine<'m> {
                 }
             }};
         }
+        // The per-instruction base charge + fuel check of `step()`.
+        // Superinstruction arms invoke it once more between their two
+        // constituents, so instruction counts, cycle totals and the
+        // exact out-of-fuel cutoff point are identical to executing the
+        // pair unfused (first constituent's effects land, second's
+        // don't — just as the walker traps between two steps).
+        macro_rules! fuel_step {
+            () => {{
+                insts_l += 1;
+                cycles_l += cost_inst;
+                if insts_l > max_insts {
+                    flush!();
+                    return ExitStatus::Trapped(Trap::OutOfFuel);
+                }
+            }};
+        }
         // Runs a fallible helper with counters published, converting a
         // trap into the run's final status exactly like `run_loop`.
         macro_rules! bail {
@@ -191,12 +219,7 @@ impl<'m> Machine<'m> {
 
         loop {
             // Per-instruction base charge + fuel, as in `step()`.
-            insts_l += 1;
-            cycles_l += cost_inst;
-            if insts_l > max_insts {
-                flush!();
-                return ExitStatus::Trapped(Trap::OutOfFuel);
-            }
+            fuel_step!();
 
             match Op::from_u32(w!(0)) {
                 Op::Alloca => {
@@ -489,6 +512,182 @@ impl<'m> Machine<'m> {
                 Op::Unreachable => {
                     flush!();
                     return ExitStatus::Trapped(Trap::Unreachable);
+                }
+                // ---- superinstructions (emitted by `levee_bc::fuse`) ----
+                //
+                // Each arm is its two constituent arms spliced together:
+                // same register writes, same helper calls, same charge
+                // order, with `fuel_step!()` between them standing in
+                // for the second constituent's dispatch. Only the fetch/
+                // decode overhead of the second instruction disappears.
+                Op::CmpBr => {
+                    let dest = w!(1);
+                    let op = levee_bc::decode_cmpop(w!(2));
+                    let a = rd!(w!(3)).raw as i64;
+                    let b = rd!(w!(4)).raw as i64;
+                    let r = match op {
+                        CmpOp::Eq => a == b,
+                        CmpOp::Ne => a != b,
+                        CmpOp::Lt => a < b,
+                        CmpOp::Le => a <= b,
+                        CmpOp::Gt => a > b,
+                        CmpOp::Ge => a >= b,
+                    };
+                    wr!(dest, V::int(r as u64));
+                    fuel_step!();
+                    pc = if r { w!(5) } else { w!(6) } as usize;
+                }
+                Op::GepLoad => {
+                    let gdest = w!(1);
+                    let b = rd!(w!(2));
+                    let i = rd!(w!(3)).raw;
+                    let elem_size = cst!(w!(4));
+                    let offset = cst!(w!(5));
+                    let is_field = w!(6) != 0;
+                    let ldest = w!(7);
+                    let size = w!(8) as u64;
+                    let space = levee_bc::decode_space(w!(9));
+                    pc += 10;
+                    let addr = b
+                        .raw
+                        .wrapping_add(i.wrapping_mul(elem_size))
+                        .wrapping_add(offset);
+                    let meta = match self.meta.get(b.meta) {
+                        Some(prov) if is_field => {
+                            self.intern_prov(Entry::data(addr, addr, addr + elem_size, prov.id))
+                        }
+                        _ => b.meta,
+                    };
+                    wr!(gdest, V { raw: addr, meta });
+                    fuel_step!();
+                    mem_ops_l += 1;
+                    bail!(self.isolation_check(addr, space));
+                    charge_mem_local!(addr, space == MemSpace::Regular);
+                    let raw = bail!(self.mem.read_uint(addr, size).map_err(Self::mem_trap));
+                    let meta = if space == MemSpace::SafeStack {
+                        match self.safe_stack_meta.get(&addr) {
+                            Some(&(spilled, m)) if spilled == raw => m,
+                            _ => MetaId::NONE,
+                        }
+                    } else {
+                        MetaId::NONE
+                    };
+                    wr!(ldest, V { raw, meta });
+                }
+                Op::GepStore => {
+                    let gdest = w!(1);
+                    let b = rd!(w!(2));
+                    let i = rd!(w!(3)).raw;
+                    let elem_size = cst!(w!(4));
+                    let offset = cst!(w!(5));
+                    let is_field = w!(6) != 0;
+                    let addr = b
+                        .raw
+                        .wrapping_add(i.wrapping_mul(elem_size))
+                        .wrapping_add(offset);
+                    let meta = match self.meta.get(b.meta) {
+                        Some(prov) if is_field => {
+                            self.intern_prov(Entry::data(addr, addr, addr + elem_size, prov.id))
+                        }
+                        _ => b.meta,
+                    };
+                    wr!(gdest, V { raw: addr, meta });
+                    fuel_step!();
+                    // Value read after the gep dest write, exactly like
+                    // the unfused store (the value may *be* that register).
+                    let v = rd!(w!(7));
+                    let size = w!(8) as u64;
+                    let space = levee_bc::decode_space(w!(9));
+                    pc += 10;
+                    mem_ops_l += 1;
+                    if space == MemSpace::SafeStack {
+                        if v.meta.is_some() {
+                            self.safe_stack_meta.insert(addr, (v.raw, v.meta));
+                        } else {
+                            self.safe_stack_meta.remove(&addr);
+                        }
+                    }
+                    bail!(self.isolation_check(addr, space));
+                    charge_mem_local!(addr, space == MemSpace::Regular);
+                    bail!(self
+                        .mem
+                        .write_uint(addr, v.raw, size)
+                        .map_err(Self::mem_trap));
+                }
+                Op::CheckLoad => {
+                    let policy = levee_bc::decode_policy(w!(1));
+                    let pv = rd!(w!(2));
+                    let size = cst!(w!(3));
+                    let ldest = w!(4);
+                    let lsize = w!(5) as u64;
+                    let space = levee_bc::decode_space(w!(6));
+                    pc += 7;
+                    flush!();
+                    self.charge_check();
+                    bail!(self.cpi_check(pv, size, policy));
+                    fuel_step!();
+                    let addr = pv.raw;
+                    mem_ops_l += 1;
+                    bail!(self.isolation_check(addr, space));
+                    charge_mem_local!(addr, space == MemSpace::Regular);
+                    let raw = bail!(self.mem.read_uint(addr, lsize).map_err(Self::mem_trap));
+                    let meta = if space == MemSpace::SafeStack {
+                        match self.safe_stack_meta.get(&addr) {
+                            Some(&(spilled, m)) if spilled == raw => m,
+                            _ => MetaId::NONE,
+                        }
+                    } else {
+                        MetaId::NONE
+                    };
+                    wr!(ldest, V { raw, meta });
+                }
+                Op::CheckPtrLoad => {
+                    let policy = levee_bc::decode_policy(w!(1));
+                    let pv = rd!(w!(2));
+                    let size = cst!(w!(3));
+                    let dest = w!(4);
+                    let universal = w!(5) != 0;
+                    pc += 6;
+                    flush!();
+                    self.charge_check();
+                    bail!(self.cpi_check(pv, size, policy));
+                    fuel_step!();
+                    self.stats.cpi_mem_ops += 1;
+                    let v = bail!(self.ptr_load(policy, pv.raw, universal));
+                    wr!(dest, v);
+                }
+                Op::CheckedCall => {
+                    let policy = levee_bc::decode_policy(w!(1));
+                    let dest = w!(2);
+                    let cv = rd!(w!(3));
+                    let sig_entry = &bc.sigs[w!(4) as usize];
+                    let site = w!(5) as u64;
+                    let nargs = w!(6) as usize;
+                    flush!();
+                    self.charge_check();
+                    match self.meta.get(cv.meta) {
+                        Some(prov) if prov.authorizes_code(cv.raw) => {}
+                        _ => {
+                            return ExitStatus::Trapped(self.violation(
+                                policy,
+                                crate::trap::CpiViolationKind::NotACodePointer,
+                                cv.raw,
+                            ))
+                        }
+                    }
+                    fuel_step!();
+                    let func =
+                        bail!(self.resolve_indirect(cv.raw, &sig_entry.sig, sig_entry.cfi, nargs));
+                    let desc = self.frame_descs[func.0 as usize];
+                    let mut nregs = self.take_vec();
+                    nregs.extend((0..nargs).map(|i| rd!(w!(7 + i))));
+                    nregs.resize(desc.n_regs as usize, V::int(0));
+                    pc += 7 + nargs;
+                    sync_frame!();
+                    let ret_addr = self.func_addrs[fidx] + 16 * (site + 1);
+                    let dest = (dest != 0).then(|| ValueId(dest - 1));
+                    bail!(self.push_frame(func, desc, nregs, dest, ret_addr));
+                    reload!();
                 }
             }
         }

@@ -308,6 +308,21 @@ impl<'m> Machine<'m> {
         self.stats
     }
 
+    /// Starts recording the memory touch log: every simulated memory
+    /// access (program loads/stores, frame slots, safe-store traffic —
+    /// everything the cache model sees) in execution order. Differential
+    /// suites diff the logs of two configurations to prove they perform
+    /// identical access *sequences*, not merely identical totals.
+    pub fn enable_mem_trace(&mut self) {
+        self.cache.enable_trace();
+    }
+
+    /// The recorded memory touch log (empty unless
+    /// [`Machine::enable_mem_trace`] was called before running).
+    pub fn mem_trace(&self) -> &[u64] {
+        self.cache.trace().unwrap_or(&[])
+    }
+
     fn load(&mut self) {
         // Code layout: program functions low, the libc (intrinsic) block
         // high — and only the libc block moves under ASLR (non-PIE).

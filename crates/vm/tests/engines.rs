@@ -1,9 +1,10 @@
-//! Differential suite: the bytecode engine must be observationally
-//! identical to the step-walking reference engine — same output, same
-//! exit status, same traps, same hijack verdicts, and the same
-//! simulated cycle/instruction counts — across every workload kernel,
-//! every build configuration, every store organization and isolation
-//! model, and the whole RIPE attack matrix.
+//! Differential suite: the bytecode engine — with superinstruction
+//! fusion on *and* off — must be observationally identical to the
+//! step-walking reference engine: same output, same exit status, same
+//! traps, same hijack verdicts, and the same simulated
+//! cycle/instruction counts — across every workload kernel, every build
+//! configuration, every store organization and isolation model, and the
+//! whole RIPE attack matrix.
 
 use levee_core::{build_source, BuildConfig};
 use levee_ripe::{all_attacks, run_attack_with, Profile};
@@ -18,47 +19,68 @@ const ALL_CONFIGS: &[BuildConfig] = &[
     BuildConfig::SoftBound,
 ];
 
-/// Runs `src` built under `config` with both engines and asserts every
-/// observable of the two runs agrees. Returns the (identical) outcome.
+/// The three execution configurations every differential case runs:
+/// the reference walker, the bytecode tier unfused, and the bytecode
+/// tier with superinstruction fusion.
+fn lineup(base: VmConfig) -> [(VmConfig, &'static str); 3] {
+    [
+        (base.with_engine(Engine::Walk), "walk"),
+        (
+            base.with_engine(Engine::Bytecode).with_fusion(false),
+            "bytecode/unfused",
+        ),
+        (
+            base.with_engine(Engine::Bytecode).with_fusion(true),
+            "bytecode/fused",
+        ),
+    ]
+}
+
+/// Asserts every observable of two runs agrees.
+fn assert_same(a: &RunOutcome, b: &RunOutcome, ctx: &str) {
+    assert_eq!(a.status, b.status, "{ctx}: exit status diverged");
+    assert_eq!(a.output, b.output, "{ctx}: output diverged");
+    assert_eq!(a.stats.cycles, b.stats.cycles, "{ctx}: cycles diverged");
+    assert_eq!(
+        a.stats.insts, b.stats.insts,
+        "{ctx}: instruction counts diverged"
+    );
+    assert_eq!(
+        a.stats.mem_ops, b.stats.mem_ops,
+        "{ctx}: mem-op counts diverged"
+    );
+    assert_eq!(
+        a.stats.cpi_mem_ops, b.stats.cpi_mem_ops,
+        "{ctx}: instrumented-op counts diverged"
+    );
+    assert_eq!(
+        a.stats.checks, b.stats.checks,
+        "{ctx}: check counts diverged"
+    );
+    assert_eq!(
+        (a.stats.cache_hits, a.stats.cache_misses),
+        (b.stats.cache_hits, b.stats.cache_misses),
+        "{ctx}: cache behaviour diverged"
+    );
+    assert_eq!(a.stats.calls, b.stats.calls, "{ctx}: call counts diverged");
+}
+
+/// Runs `src` built under `config` with the walker and the bytecode
+/// engine (fused and unfused) and asserts every observable of the three
+/// runs agrees. Returns the (identical) outcome.
 fn differential(src: &str, config: BuildConfig, base: VmConfig, what: &str) -> RunOutcome {
     let built = build_source(src, "diff", config)
         .unwrap_or_else(|e| panic!("{what}: failed to build under {}: {e}", config.name()));
     let base = built.vm_config(base);
-    let run = |engine: Engine| {
-        let mut vm = Machine::new(&built.module, base.with_engine(engine));
-        vm.run(b"")
-    };
-    let walk = run(Engine::Walk);
-    let bc = run(Engine::Bytecode);
-    let ctx = format!("{what} under {}", config.name());
-    assert_eq!(walk.status, bc.status, "{ctx}: exit status diverged");
-    assert_eq!(walk.output, bc.output, "{ctx}: output diverged");
-    assert_eq!(walk.stats.cycles, bc.stats.cycles, "{ctx}: cycles diverged");
-    assert_eq!(
-        walk.stats.insts, bc.stats.insts,
-        "{ctx}: instruction counts diverged"
-    );
-    assert_eq!(
-        walk.stats.mem_ops, bc.stats.mem_ops,
-        "{ctx}: mem-op counts diverged"
-    );
-    assert_eq!(
-        walk.stats.cpi_mem_ops, bc.stats.cpi_mem_ops,
-        "{ctx}: instrumented-op counts diverged"
-    );
-    assert_eq!(
-        walk.stats.checks, bc.stats.checks,
-        "{ctx}: check counts diverged"
-    );
-    assert_eq!(
-        (walk.stats.cache_hits, walk.stats.cache_misses),
-        (bc.stats.cache_hits, bc.stats.cache_misses),
-        "{ctx}: cache behaviour diverged"
-    );
-    assert_eq!(
-        walk.stats.calls, bc.stats.calls,
-        "{ctx}: call counts diverged"
-    );
+    let runs = lineup(base).map(|(cfg, name)| {
+        let mut vm = Machine::new(&built.module, cfg);
+        (vm.run(b""), name)
+    });
+    for (run, name) in &runs[1..] {
+        let ctx = format!("{what} under {} [{name}]", config.name());
+        assert_same(&runs[0].0, run, &ctx);
+    }
+    let [(walk, _), _, _] = runs;
     walk
 }
 
@@ -200,33 +222,192 @@ fn fuel_exhaustion_agrees_across_engines() {
     assert_eq!(out.status, ExitStatus::Trapped(Trap::OutOfFuel));
 }
 
-/// The §5.1 claim, replayed per engine: every attack verdict — hijack,
-/// detection, crash, survival — must be identical under both engines
-/// for every profile of the paper lineup.
+/// The §5.1 claim, replayed per engine *and* per fusion setting: every
+/// attack verdict — hijack, detection, crash, survival — must be
+/// identical under the walker and the bytecode tier with fusion on and
+/// off, for every profile of the paper lineup.
 #[test]
 fn ripe_attack_matrix_verdicts_agree_across_engines() {
     let attacks = all_attacks();
     for profile in Profile::paper_lineup() {
         for (i, attack) in attacks.iter().enumerate() {
             let seed = 0xD1FF ^ (i as u64).wrapping_mul(0x9E37_79B9);
-            let walk = run_attack_with(
-                attack,
-                &profile,
-                seed,
-                VmConfig::default().with_engine(Engine::Walk),
-            );
-            let bc = run_attack_with(
-                attack,
-                &profile,
-                seed,
-                VmConfig::default().with_engine(Engine::Bytecode),
-            );
-            assert_eq!(
-                walk,
-                bc,
-                "attack #{i} {attack:?} against {} diverged between engines",
-                profile.name()
-            );
+            let mut verdicts = lineup(VmConfig::default())
+                .into_iter()
+                .map(|(cfg, name)| (run_attack_with(attack, &profile, seed, cfg), name));
+            let (walk, _) = verdicts.next().expect("walk verdict");
+            for (verdict, name) in verdicts {
+                assert_eq!(
+                    walk,
+                    verdict,
+                    "attack #{i} {attack:?} against {} diverged under {name}",
+                    profile.name()
+                );
+            }
+        }
+    }
+}
+
+/// Every superinstruction's charged cycles (and instruction count, and
+/// every other counter) must equal the sum of its constituents'. Each
+/// snippet is chosen so the fused stream provably contains the targeted
+/// superinstruction — asserted via `levee_bc` directly — and then run
+/// fused, unfused and walked: all three must agree on all counters.
+#[test]
+fn superinstruction_cycles_equal_constituent_sums() {
+    use levee_bc::Op;
+
+    // (superinstruction, build config whose instrumentation produces
+    // it, source whose hot path contains the pair).
+    let cases: &[(Op, BuildConfig, &str)] = &[
+        (
+            Op::CmpBr,
+            BuildConfig::Vanilla,
+            r#"
+            int main() {
+                long i; long acc = 0;
+                for (i = 0; i < 50; i = i + 1) { acc = acc + i; }
+                print_int(acc);
+                return 0;
+            }
+            "#,
+        ),
+        (
+            Op::GepLoad,
+            BuildConfig::Vanilla,
+            r#"
+            long a[16];
+            int main() {
+                long i; long acc = 0;
+                for (i = 0; i < 16; i = i + 1) { a[i] = i * 3; }
+                for (i = 0; i < 16; i = i + 1) { acc = acc + a[i]; }
+                print_int(acc);
+                return 0;
+            }
+            "#,
+        ),
+        // Assignment lowers the address before the value, so only
+        // stores of ready operands (constants, registers) leave the
+        // gep/store pair adjacent.
+        (
+            Op::GepStore,
+            BuildConfig::Vanilla,
+            r#"
+            long a[16];
+            int main() {
+                long i;
+                for (i = 0; i < 16; i = i + 1) { a[i] = 7; }
+                print_int(a[7]);
+                return 0;
+            }
+            "#,
+        ),
+        // SoftBound checks every dereference while protecting only
+        // pointer values, so integer loads become check + plain load.
+        (
+            Op::CheckLoad,
+            BuildConfig::SoftBound,
+            r#"
+            long a[16];
+            int main() {
+                long i; long acc = 0;
+                for (i = 0; i < 16; i = i + 1) { a[i] = 7; }
+                for (i = 0; i < 16; i = i + 1) { acc = acc + a[i]; }
+                print_int(acc);
+                return 0;
+            }
+            "#,
+        ),
+        (
+            Op::CheckPtrLoad,
+            BuildConfig::Cpi,
+            r#"
+            struct vt { long (*get)(long); };
+            long id(long x) { return x + 1; }
+            struct vt the_vt = {id};
+            struct vt* vp;
+            int main() {
+                vp = &the_vt;
+                print_int((int)vp->get(41));
+                return 0;
+            }
+            "#,
+        ),
+        (
+            Op::CheckedCall,
+            BuildConfig::Cpi,
+            r#"
+            long id(long x) { return x + 1; }
+            long (*fp)(long);
+            int main() {
+                fp = id;
+                print_int((int)fp(41));
+                return 0;
+            }
+            "#,
+        ),
+    ];
+    for (op, config, src) in cases {
+        let built = build_source(src, "fusepair", *config).expect("snippet builds");
+        let mut bc = levee_bc::compile(&built.module);
+        let stats = levee_bc::fuse(&mut bc);
+        let count = match op {
+            Op::CmpBr => stats.cmp_br,
+            Op::GepLoad => stats.gep_load,
+            Op::GepStore => stats.gep_store,
+            Op::CheckLoad => stats.check_load,
+            Op::CheckPtrLoad => stats.check_ptr_load,
+            Op::CheckedCall => stats.checked_call,
+            _ => unreachable!(),
+        };
+        assert!(
+            count > 0,
+            "{op:?}: snippet must produce the superinstruction"
+        );
+        differential(src, *config, VmConfig::default(), &format!("{op:?} parity"));
+    }
+}
+
+/// The fused engine must perform the *same memory touches in the same
+/// order* as the unfused pair — not merely the same totals. The touch
+/// log covers every simulated access: program loads/stores, frame
+/// slots, and the safe-store traffic recorded through `Touched`.
+#[test]
+fn fused_memory_ops_touch_the_same_sequence() {
+    let program = kernels::assemble(
+        &[kernels::VCALL, kernels::NUMERIC],
+        &[("vcall_kernel", 60), ("numeric_kernel", 200)],
+    );
+    for config in [BuildConfig::Vanilla, BuildConfig::Cpi] {
+        let built = build_source(&program, "trace", config).expect("kernels build");
+        let base = built.vm_config(VmConfig::default());
+        let mut logs = Vec::new();
+        for (cfg, name) in lineup(base) {
+            let mut vm = Machine::new(&built.module, cfg);
+            vm.enable_mem_trace();
+            let out = vm.run(b"");
+            assert_eq!(out.status, ExitStatus::Exited(0), "{name} must succeed");
+            logs.push((vm.mem_trace().to_vec(), name));
+        }
+        assert!(!logs[0].0.is_empty(), "trace must record touches");
+        for (log, name) in &logs[1..] {
+            if log != &logs[0].0 {
+                let (walk, _) = &logs[0];
+                let at = walk
+                    .iter()
+                    .zip(log.iter())
+                    .position(|(a, b)| a != b)
+                    .unwrap_or(walk.len().min(log.len()));
+                panic!(
+                    "{name} touch log diverged from walk under {} at index {at}: \
+                     walk len {}, {name} len {} (walk[{at}..]={:?}, {name}[{at}..]={:?})",
+                    config.name(),
+                    walk.len(),
+                    log.len(),
+                    &walk[at..(at + 4).min(walk.len())],
+                    &log[at..(at + 4).min(log.len())],
+                );
+            }
         }
     }
 }
