@@ -10,19 +10,22 @@
 //! Run with: `cargo bench -p levee-bench --bench store_organizations`
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use levee_rt::{Entry, StoreKind};
+use levee_rt::{Entry, MetaTable, Slot, StoreKind};
 
 /// Clustered working set: 512 hot pointer slots in a 32 KB window, like
-/// the live sensitive pointers of a running program.
+/// the live sensitive pointers of a running program. Slots carry real
+/// interned handles — the compact representation the VM stores.
 fn hot_set(kind: StoreKind) -> u64 {
+    let mut meta = MetaTable::new();
     let mut store = kind.instantiate(0x7000_0000_0000);
     let mut acc = 0u64;
     for round in 0..64u64 {
         for slot in 0..512u64 {
             let addr = 0x1000_0000 + slot * 64;
-            store.set(addr, Entry::data(addr, addr, addr + 64, round));
-            let (e, _) = store.get(addr);
-            acc = acc.wrapping_add(e.map(|e| e.value).unwrap_or(0));
+            let prov = meta.intern(Entry::data(addr, addr, addr + 64, round));
+            let _ = store.set(addr, Slot::new(addr, prov));
+            let (s, _) = store.get(addr);
+            acc = acc.wrapping_add(s.map(|s| s.word).unwrap_or(0));
         }
     }
     acc
@@ -31,22 +34,27 @@ fn hot_set(kind: StoreKind) -> u64 {
 /// Sparse sweep: pointers spread across a 64 MB range (startup /
 /// data-structure build phase — the page-fault-sensitive pattern).
 fn sparse_sweep(kind: StoreKind) -> u64 {
+    let mut meta = MetaTable::new();
     let mut store = kind.instantiate(0x7000_0000_0000);
     let mut acc = 0u64;
     for slot in 0..4096u64 {
         let addr = 0x1000_0000 + slot * 16384;
-        store.set(addr, Entry::code(0x40_0000 + slot));
-        let (e, _) = store.get(addr);
-        acc = acc.wrapping_add(e.map(|e| e.value).unwrap_or(0));
+        let prov = meta.intern(Entry::code(0x40_0000 + slot));
+        let _ = store.set(addr, Slot::new(0x40_0000 + slot, prov));
+        let (s, _) = store.get(addr);
+        acc = acc.wrapping_add(s.map(|s| s.word).unwrap_or(0));
     }
     acc
 }
 
-/// memcpy-style entry transfer (the cpi_memcpy path).
+/// memcpy-style slot transfer (the cpi_memcpy path) — with compact
+/// slots this moves plain (word, handle) pairs.
 fn entry_transfer(kind: StoreKind) -> u64 {
+    let mut meta = MetaTable::new();
     let mut store = kind.instantiate(0x7000_0000_0000);
     for slot in 0..256u64 {
-        store.set(0x2000_0000 + slot * 8, Entry::code(slot + 1));
+        let prov = meta.intern(Entry::code(slot + 1));
+        let _ = store.set(0x2000_0000 + slot * 8, Slot::new(slot + 1, prov));
     }
     let mut copied = 0u64;
     for round in 0..32u64 {

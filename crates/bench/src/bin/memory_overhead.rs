@@ -7,14 +7,138 @@
 //! rounding would swamp the signal; the array ≫ hash ordering is the
 //! reproduced claim).
 //!
+//! The second section measures **simulated safe-region bytes per live
+//! entry** for every organization on a dense population, against the
+//! seed's inline-entry geometry: compact 16-byte `(word, MetaId)` slots
+//! (`levee_rt::SLOT_SIZE`) halve the per-slot footprint the seed's
+//! 32-byte `Entry` records needed, and the bench asserts the shrink is
+//! ≥ 1.8× for *every* organization.
+//!
 //! Usage: `cargo run -p levee-bench --bin memory_overhead [-- scale]`
+//! (`--json` emits the machine-readable bytes-per-entry report; the
+//! checked-in baseline lives in
+//! `crates/bench/baselines/memory_overhead.json`).
 
 use levee_bench::Table;
 use levee_core::BuildConfig;
+use levee_rt::{MetaId, Slot, SLOT_SIZE};
 use levee_vm::StoreKind;
 use levee_workloads::{measure, spec_suite};
 
+/// Dense population size: contiguous pointer slots covering 4 MB of key
+/// space — wide enough that even 2 MB superpage rounding cannot mask
+/// the slot-size ratio (the compact layout needs 4 superpages here, the
+/// seed layout needed 8).
+const DENSE_ENTRIES: u64 = 1 << 19;
+
+/// The seed's inline-entry geometry, kept as the "before" reference:
+/// 32 bytes per slot (`value + lower + upper + id`), and a 40-byte hash
+/// bucket (8-byte key tag + the inline entry).
+const SEED_SLOT: u64 = 32;
+const SEED_HASH_BUCKET: u64 = 8 + SEED_SLOT;
+
+/// Measured bytes per live entry after populating `n` contiguous slots.
+fn dense_bytes_per_entry(kind: StoreKind, n: u64) -> f64 {
+    let mut store = kind.instantiate(0x7000_0000_0000);
+    for i in 0..n {
+        // Handle liveness is irrelevant to geometry; NONE keeps the
+        // bench free of a MetaTable without changing a single byte.
+        let _ = store.set(i * 8, Slot::new(i, MetaId::NONE));
+    }
+    assert_eq!(store.entry_count() as u64, n);
+    store.memory_bytes() as f64 / n as f64
+}
+
+/// What the same dense population cost under the seed geometry,
+/// computed from the organizations' (unchanged) layout rules with the
+/// 32-byte slot plugged back in.
+fn seed_bytes_per_entry(kind: StoreKind, n: u64) -> f64 {
+    let bytes = match kind {
+        StoreKind::Array4K | StoreKind::ArraySuperpage => {
+            // Sparse linear array: pages materialize on touch; n
+            // contiguous slots span n * SEED_SLOT metadata bytes.
+            let page: u64 = if kind == StoreKind::Array4K {
+                4 << 10
+            } else {
+                2 << 20
+            };
+            (n * SEED_SLOT).div_ceil(page) * page
+        }
+        StoreKind::TwoLevel => {
+            // 512-slot leaves plus 4 KB directory pages (the directory
+            // is slot-size independent: 8 bytes per leaf pointer).
+            let leaves = n.div_ceil(512);
+            let dir_pages = (leaves * 8).div_ceil(4096);
+            leaves * 512 * SEED_SLOT + dir_pages * 4096
+        }
+        StoreKind::Hash => {
+            // Replay the (slot-size independent) growth rule: start at
+            // 64 buckets, double when the next insert would push the
+            // load factor past 0.7.
+            let mut cap = 64u64;
+            for live in 0..n {
+                if (live + 1) * 10 > cap * 7 {
+                    cap *= 2;
+                }
+            }
+            cap * SEED_HASH_BUCKET
+        }
+    };
+    bytes as f64 / n as f64
+}
+
+struct Shrink {
+    org: &'static str,
+    seed: f64,
+    compact: f64,
+    shrink: f64,
+}
+
+fn measure_shrinks() -> Vec<Shrink> {
+    StoreKind::all()
+        .iter()
+        .map(|kind| {
+            let seed = seed_bytes_per_entry(*kind, DENSE_ENTRIES);
+            let compact = dense_bytes_per_entry(*kind, DENSE_ENTRIES);
+            let shrink = seed / compact;
+            assert!(
+                shrink >= 1.8,
+                "{}: compact slots must shrink safe-region bytes/entry ≥1.8× \
+                 (seed {seed:.1} B, compact {compact:.1} B, {shrink:.2}x)",
+                kind.name()
+            );
+            Shrink {
+                org: kind.name(),
+                seed,
+                compact,
+                shrink,
+            }
+        })
+        .collect()
+}
+
 fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let shrinks = measure_shrinks();
+
+    if json {
+        let mut rows = String::new();
+        for s in &shrinks {
+            rows.push_str(&format!(
+                "    {{\"org\": \"{}\", \"seed_bytes_per_entry\": {:.2}, \
+                 \"compact_bytes_per_entry\": {:.2}, \"shrink\": {:.2}}},\n",
+                s.org, s.seed, s.compact, s.shrink
+            ));
+        }
+        rows.pop();
+        rows.pop(); // trailing ",\n"
+        println!(
+            "{{\n  \"slot_size\": {SLOT_SIZE},\n  \"seed_slot_size\": {SEED_SLOT},\n  \
+             \"dense_entries\": {DENSE_ENTRIES},\n  \"orgs\": [\n{rows}\n  ]\n}}"
+        );
+        return;
+    }
+
     let scale: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
@@ -42,4 +166,19 @@ fn main() {
     }
     table.print();
     println!("\nExpected shape: array ≫ hash; CPI ≫ CPS ≫ SafeStack ≈ 0.");
+
+    println!(
+        "\nbytes per live entry, dense population of {DENSE_ENTRIES} slots (seed vs compact):\n"
+    );
+    let mut t2 = Table::new(&["store", "seed B/entry", "compact B/entry", "shrink"]);
+    for s in &shrinks {
+        t2.row(vec![
+            s.org.to_string(),
+            format!("{:.1}", s.seed),
+            format!("{:.1}", s.compact),
+            format!("{:.2}x", s.shrink),
+        ]);
+    }
+    t2.print();
+    println!("\nEvery organization must shrink ≥1.8x (asserted above).");
 }

@@ -1,18 +1,22 @@
 //! The "simple array" safe-pointer-store organization.
 //!
-//! The entry for the pointer stored at regular address `A` lives at a
-//! fixed linear offset `(A / 8) * ENTRY_SIZE` from the store base —
+//! The slot for the pointer stored at regular address `A` lives at a
+//! fixed linear offset `(A / 8) * SLOT_SIZE` from the store base —
 //! exactly one memory access per operation. The organization relies on
 //! sparse address-space support: only touched pages materialize. The
 //! paper found this the fastest organization once backed by 2 MB
 //! superpages (fewer page faults and less TLB pressure than 4 KB pages),
 //! at the price of the highest memory overhead (105% for CPI on SPEC).
+//!
+//! Compact 16-byte slots double the slot density of every metadata page
+//! (a 4 KB page covers 256 pointer slots instead of 128), which both
+//! halves the simulated footprint of a dense working set and halves the
+//! page-fault/TLB pressure the 4 KB configuration suffers from.
 
 use std::collections::HashMap;
 
-use crate::entry::{Entry, ENTRY_SIZE};
 use crate::fasthash::FastHash;
-use crate::store::{aligned_slots, PtrStore, Touched};
+use crate::store::{aligned_slots, PtrStore, Slot, Touched, SLOT_SIZE};
 
 /// Address span covered by the direct-indexed low tier: the whole low
 /// 4 GB regular region (code, globals, heap, stacks — see the VM's
@@ -21,18 +25,18 @@ use crate::store::{aligned_slots, PtrStore, Touched};
 /// instrumented memory access, so the lookup is hot.
 const LOW_SPAN: u64 = 1 << 32;
 
-/// Sparse linear array of entries, with configurable page size.
+/// Sparse linear array of slots, with configurable page size.
 pub struct ArrayStore {
     base: u64,
     page_size: u64,
-    entries_per_page: u64,
+    slots_per_page: u64,
     /// Page indices below this bound (`LOW_SPAN` divided by the address
     /// span one metadata page covers) use the direct tier.
     low_pages: u64,
     /// Direct-indexed storage for the low tier (grown on demand).
-    low: Vec<Option<Vec<Option<Entry>>>>,
+    low: Vec<Option<Vec<Option<Slot>>>>,
     /// Hash-mapped storage for the sparse high remainder.
-    pages: HashMap<u64, Vec<Option<Entry>>, FastHash>,
+    pages: HashMap<u64, Vec<Option<Slot>>, FastHash>,
     /// Resident page count across both tiers (memory accounting).
     resident: usize,
     live: usize,
@@ -42,15 +46,15 @@ impl ArrayStore {
     /// Creates an array store based at simulated address `base` with the
     /// given backing page size in bytes (4 KB or 2 MB in the paper).
     pub fn new(base: u64, page_size: u64) -> Self {
-        assert!(page_size >= ENTRY_SIZE && page_size.is_multiple_of(ENTRY_SIZE));
-        let entries_per_page = page_size / ENTRY_SIZE;
-        // One metadata page covers entries_per_page 8-byte slots of the
+        assert!(page_size >= SLOT_SIZE && page_size.is_multiple_of(SLOT_SIZE));
+        let slots_per_page = page_size / SLOT_SIZE;
+        // One metadata page covers slots_per_page 8-byte slots of the
         // regular address space.
-        let low_pages = LOW_SPAN / (entries_per_page * 8);
+        let low_pages = LOW_SPAN / (slots_per_page * 8);
         ArrayStore {
             base,
             page_size,
-            entries_per_page,
+            slots_per_page,
             low_pages,
             low: Vec::new(),
             pages: HashMap::default(),
@@ -68,13 +72,13 @@ impl ArrayStore {
         addr >> 3
     }
 
-    /// Simulated safe-region address of the entry for `addr`.
-    fn entry_addr(&self, addr: u64) -> u64 {
-        self.base + Self::slot_of(addr) * ENTRY_SIZE
+    /// Simulated safe-region address of the slot for `addr`.
+    fn slot_addr(&self, addr: u64) -> u64 {
+        self.base + Self::slot_of(addr) * SLOT_SIZE
     }
 
     #[inline]
-    fn page(&self, page_idx: u64) -> Option<&Vec<Option<Entry>>> {
+    fn page(&self, page_idx: u64) -> Option<&Vec<Option<Slot>>> {
         if page_idx < self.low_pages {
             self.low.get(page_idx as usize)?.as_ref()
         } else {
@@ -84,8 +88,8 @@ impl ArrayStore {
 
     /// Returns the page for `page_idx`, materializing it if needed;
     /// `true` when this touch faulted it in.
-    fn ensure(&mut self, page_idx: u64) -> (&mut Vec<Option<Entry>>, bool) {
-        let epp = self.entries_per_page as usize;
+    fn ensure(&mut self, page_idx: u64) -> (&mut Vec<Option<Slot>>, bool) {
+        let spp = self.slots_per_page as usize;
         let mut fault = false;
         if page_idx < self.low_pages {
             let i = page_idx as usize;
@@ -94,7 +98,7 @@ impl ArrayStore {
             }
             let slot = &mut self.low[i];
             if slot.is_none() {
-                *slot = Some(vec![None; epp]);
+                *slot = Some(vec![None; spp]);
                 fault = true;
                 self.resident += 1;
             }
@@ -104,52 +108,52 @@ impl ArrayStore {
             let page = self.pages.entry(page_idx).or_insert_with(|| {
                 fault = true;
                 *resident += 1;
-                vec![None; epp]
+                vec![None; spp]
             });
             (page, fault)
         }
     }
 
-    fn slot_ref(&self, addr: u64, touched: &mut Touched) -> Option<Entry> {
-        touched.push(self.entry_addr(addr));
+    fn slot_ref(&self, addr: u64, touched: &mut Touched) -> Option<Slot> {
+        touched.push(self.slot_addr(addr));
         let slot = Self::slot_of(addr);
-        let page_idx = slot / self.entries_per_page;
-        let in_page = (slot % self.entries_per_page) as usize;
+        let page_idx = slot / self.slots_per_page;
+        let in_page = (slot % self.slots_per_page) as usize;
         self.page(page_idx).and_then(|p| p[in_page])
     }
 
-    fn set_slot(&mut self, addr: u64, entry: Option<Entry>, t: &mut Touched) {
-        t.push(self.entry_addr(addr));
+    fn set_slot(&mut self, addr: u64, value: Option<Slot>, t: &mut Touched) {
+        t.push(self.slot_addr(addr));
         let slot = Self::slot_of(addr);
-        let page_idx = slot / self.entries_per_page;
-        let in_page = (slot % self.entries_per_page) as usize;
-        if entry.is_none() && self.page(page_idx).is_none() {
+        let page_idx = slot / self.slots_per_page;
+        let in_page = (slot % self.slots_per_page) as usize;
+        if value.is_none() && self.page(page_idx).is_none() {
             // Never fault a page in just to record an absence.
             return;
         }
         let (page, fault) = self.ensure(page_idx);
-        let delta = match (&page[in_page], &entry) {
+        let delta = match (&page[in_page], &value) {
             (None, Some(_)) => 1,
             (Some(_), None) => -1,
             _ => 0,
         };
-        page[in_page] = entry;
+        page[in_page] = value;
         self.live = (self.live as isize + delta) as usize;
         t.page_fault |= fault;
     }
 }
 
 impl PtrStore for ArrayStore {
-    fn set(&mut self, addr: u64, entry: Entry) -> Touched {
+    fn set(&mut self, addr: u64, slot: Slot) -> Touched {
         let mut t = Touched::default();
-        self.set_slot(addr, Some(entry), &mut t);
+        self.set_slot(addr, Some(slot), &mut t);
         t
     }
 
-    fn get(&mut self, addr: u64) -> (Option<Entry>, Touched) {
+    fn get(&mut self, addr: u64) -> (Option<Slot>, Touched) {
         let mut t = Touched::default();
-        let e = self.slot_ref(addr, &mut t);
-        (e, t)
+        let s = self.slot_ref(addr, &mut t);
+        (s, t)
     }
 
     fn clear(&mut self, addr: u64) -> Touched {
@@ -170,22 +174,23 @@ impl PtrStore for ArrayStore {
     fn copy_range(&mut self, dst: u64, src: u64, len: u64) -> (u64, Touched) {
         let mut t = Touched::default();
         let mut copied = 0;
-        // Gather first so overlapping ranges behave like memmove.
-        let entries: Vec<(u64, Option<Entry>)> = aligned_slots(src, len)
+        // Gather first so overlapping ranges behave like memmove. Each
+        // element is a plain 16-byte (word, handle) move.
+        let slots: Vec<(u64, Option<Slot>)> = aligned_slots(src, len)
             .map(|a| {
                 let mut sub = Touched::default();
-                let e = self.slot_ref(a, &mut sub);
+                let s = self.slot_ref(a, &mut sub);
                 t.absorb(&sub);
-                (a - (src & !7), e)
+                (a - (src & !7), s)
             })
             .collect();
-        for (off, e) in entries {
+        for (off, s) in slots {
             let target = (dst & !7) + off;
-            if e.is_some() {
+            if s.is_some() {
                 copied += 1;
             }
             let mut sub = Touched::default();
-            self.set_slot(target, e, &mut sub);
+            self.set_slot(target, s, &mut sub);
             t.absorb(&sub);
         }
         (copied, t)
@@ -214,39 +219,46 @@ impl PtrStore for ArrayStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::meta::MetaId;
 
     const BASE: u64 = 0x7000_0000_0000;
+
+    /// A distinct live-looking handle for tests (the store never
+    /// resolves handles, it only moves them).
+    fn meta(tag: u64) -> Slot {
+        Slot::new(tag, MetaId::NONE)
+    }
 
     #[test]
     fn set_get_clear_roundtrip() {
         let mut s = ArrayStore::new(BASE, 4096);
-        let e = Entry::data(0x1000, 0x1000, 0x1100, 3);
-        s.set(0x5008, e);
+        let e = meta(0x1000);
+        let _ = s.set(0x5008, e);
         assert_eq!(s.get(0x5008).0, Some(e));
         assert_eq!(s.get(0x5010).0, None);
         assert_eq!(s.entry_count(), 1);
-        s.clear(0x5008);
+        let _ = s.clear(0x5008);
         assert_eq!(s.get(0x5008).0, None);
         assert_eq!(s.entry_count(), 0);
     }
 
     #[test]
-    fn entry_addresses_are_linear_in_key() {
+    fn slot_addresses_are_linear_in_key() {
         let mut s = ArrayStore::new(BASE, 4096);
         let (_, t1) = s.get(0x1000);
         let (_, t2) = s.get(0x1008);
         let a1 = t1.iter().next().unwrap();
         let a2 = t2.iter().next().unwrap();
-        assert_eq!(a2 - a1, ENTRY_SIZE);
-        assert_eq!(a1, BASE + (0x1000 >> 3) * ENTRY_SIZE);
+        assert_eq!(a2 - a1, SLOT_SIZE);
+        assert_eq!(a1, BASE + (0x1000 >> 3) * SLOT_SIZE);
     }
 
     #[test]
     fn page_fault_on_first_touch_only() {
         let mut s = ArrayStore::new(BASE, 4096);
-        let t = s.set(0x9000, Entry::code(0x40));
+        let t = s.set(0x9000, meta(0x40));
         assert!(t.page_fault);
-        let t = s.set(0x9008, Entry::code(0x40));
+        let t = s.set(0x9008, meta(0x40));
         assert!(!t.page_fault);
     }
 
@@ -259,10 +271,10 @@ mod tests {
         for i in 0..1024u64 {
             // Spread keys across 64 KB of key space.
             let addr = i * 64 * 8;
-            if small.set(addr, Entry::code(1)).page_fault {
+            if small.set(addr, meta(1)).page_fault {
                 faults_small += 1;
             }
-            if big.set(addr, Entry::code(1)).page_fault {
+            if big.set(addr, meta(1)).page_fault {
                 faults_big += 1;
             }
         }
@@ -272,24 +284,40 @@ mod tests {
     #[test]
     fn memory_is_page_granular() {
         let mut s = ArrayStore::new(BASE, 4096);
-        s.set(0x0, Entry::code(1));
+        let _ = s.set(0x0, meta(1));
         assert_eq!(s.memory_bytes(), 4096);
-        // Same page (entries_per_page = 128 → keys 0..1024 share a page).
-        s.set(0x3f8, Entry::code(1));
+        // Same page (slots_per_page = 256 → keys 0..2048 share a page).
+        let _ = s.set(0x7f8, meta(1));
         assert_eq!(s.memory_bytes(), 4096);
         // Next page.
-        s.set(0x400, Entry::code(1));
+        let _ = s.set(0x800, meta(1));
         assert_eq!(s.memory_bytes(), 8192);
+    }
+
+    /// The compact-slot payoff for the 4 KB configuration: the same
+    /// dense working set materializes half the pages the 32-byte
+    /// inline-entry geometry needed (one page now covers 2048 bytes of
+    /// key space instead of 1024).
+    #[test]
+    fn compact_slots_halve_dense_footprint() {
+        let mut s = ArrayStore::new(BASE, 4096);
+        // 2048 contiguous pointer slots = 16 KB of key space.
+        for i in 0..2048u64 {
+            let _ = s.set(i * 8, meta(i));
+        }
+        // 2048 slots * 16 B = 32 KB = 8 pages (the seed layout needed 16).
+        assert_eq!(s.memory_bytes(), 8 * 4096);
+        assert_eq!(s.memory_bytes() / s.entry_count() as u64, SLOT_SIZE);
     }
 
     #[test]
     fn clear_range_covers_partial_slots() {
         let mut s = ArrayStore::new(BASE, 4096);
-        s.set(0x1000, Entry::code(1));
-        s.set(0x1008, Entry::code(2));
-        s.set(0x1010, Entry::code(3));
+        let _ = s.set(0x1000, meta(1));
+        let _ = s.set(0x1008, meta(2));
+        let _ = s.set(0x1010, meta(3));
         // A 1-byte write at 0x100c invalidates the slot at 0x1008 only.
-        s.clear_range(0x100c, 1);
+        let _ = s.clear_range(0x100c, 1);
         assert!(s.get(0x1000).0.is_some());
         assert!(s.get(0x1008).0.is_none());
         assert!(s.get(0x1010).0.is_some());
@@ -298,20 +326,20 @@ mod tests {
     #[test]
     fn copy_range_transfers_and_clears() {
         let mut s = ArrayStore::new(BASE, 4096);
-        s.set(0x1000, Entry::code(0xAA));
-        s.set(0x1010, Entry::code(0xBB));
-        s.set(0x2008, Entry::code(0xCC)); // stale entry in destination
+        let _ = s.set(0x1000, meta(0xAA));
+        let _ = s.set(0x1010, meta(0xBB));
+        let _ = s.set(0x2008, meta(0xCC)); // stale slot in destination
         let (copied, _) = s.copy_range(0x2000, 0x1000, 24);
         assert_eq!(copied, 2);
-        assert_eq!(s.get(0x2000).0, Some(Entry::code(0xAA)));
+        assert_eq!(s.get(0x2000).0, Some(meta(0xAA)));
         assert_eq!(s.get(0x2008).0, None); // cleared: src slot had none
-        assert_eq!(s.get(0x2010).0, Some(Entry::code(0xBB)));
+        assert_eq!(s.get(0x2010).0, Some(meta(0xBB)));
     }
 
     #[test]
     fn reset_clears_everything() {
         let mut s = ArrayStore::new(BASE, 4096);
-        s.set(0x1000, Entry::code(1));
+        let _ = s.set(0x1000, meta(1));
         s.reset();
         assert_eq!(s.entry_count(), 0);
         assert_eq!(s.memory_bytes(), 0);

@@ -1,13 +1,14 @@
-//! Safe-pointer-store entries: `(value, lower, upper, id)` metadata.
+//! Based-on metadata records: `(value, lower, upper, id)`.
 //!
-//! This is the record of Fig. 2 in the paper: the safe pointer store maps
-//! the *address of a sensitive pointer in the regular region* to the
-//! pointer's value plus the bounds and temporal id of the target object
-//! the pointer is based on.
-
-/// Size of one safe-pointer-store entry in (simulated) bytes:
-/// value + lower + upper + id, 8 bytes each.
-pub const ENTRY_SIZE: u64 = 32;
+//! This is the record of Fig. 2 in the paper: the bounds and temporal id
+//! of the target object a sensitive pointer is based on, plus the
+//! pointer value. Records no longer live *inside* the safe pointer
+//! store: each distinct record is interned once in a
+//! [`crate::meta::MetaTable`] and referenced by a 4-byte
+//! [`crate::meta::MetaId`] handle, both from in-register values and from
+//! the compact [`crate::store::Slot`]s of every
+//! [`crate::store::PtrStore`] organization ([`crate::store::SLOT_SIZE`]
+//! = 16 simulated bytes, half the inline-entry layout).
 
 /// Metadata for one sensitive pointer.
 ///

@@ -6,17 +6,22 @@
 //! behaviour: the hash scatters adjacent pointer slots across the table,
 //! destroying the spatial locality the array organization preserves.
 
-use crate::entry::{Entry, ENTRY_SIZE};
-use crate::store::{aligned_slots, PtrStore, Touched};
+use crate::store::{aligned_slots, PtrStore, Slot, Touched};
 
-/// Simulated bytes per bucket: 8-byte key tag + 32-byte entry.
-const BUCKET_BYTES: u64 = 8 + ENTRY_SIZE;
+/// Simulated bytes per bucket: 8-byte key tag + 8-byte pointer word +
+/// 4-byte provenance handle, tightly packed. Unlike the array
+/// organizations — whose [`crate::store::SLOT_SIZE`] stays a 16-byte
+/// power of two so slot addresses compute with a shift — hash buckets
+/// are only ever reached through a probe, so nothing forces padding the
+/// handle out to a full word; the simulated layout packs the triple
+/// into 20 bytes (the seed's inline-entry bucket was 8 + 32 = 40).
+const BUCKET_BYTES: u64 = 8 + 8 + 4;
 
 #[derive(Debug, Clone, Copy)]
 struct Bucket {
-    /// Key (the regular-region slot address); `u64::MAX` marks empty.
+    /// Key (the regular-region slot address).
     key: u64,
-    entry: Entry,
+    slot: Slot,
 }
 
 /// Open-addressing hash table keyed by pointer slot address.
@@ -59,21 +64,21 @@ impl HashStore {
         self.mask = new_cap as u64 - 1;
         self.live = 0;
         for b in old.into_iter().flatten() {
-            self.insert_no_trace(b.key, b.entry);
+            self.insert_no_trace(b.key, b.slot);
         }
     }
 
-    fn insert_no_trace(&mut self, key: u64, entry: Entry) {
+    fn insert_no_trace(&mut self, key: u64, slot: Slot) {
         let mut idx = self.hash(key);
         loop {
             match &mut self.buckets[idx as usize] {
-                slot @ None => {
-                    *slot = Some(Bucket { key, entry });
+                bucket @ None => {
+                    *bucket = Some(Bucket { key, slot });
                     self.live += 1;
                     return;
                 }
                 Some(b) if b.key == key => {
-                    b.entry = entry;
+                    b.slot = slot;
                     return;
                 }
                 Some(_) => idx = (idx + 1) & self.mask,
@@ -126,7 +131,7 @@ impl HashStore {
 }
 
 impl PtrStore for HashStore {
-    fn set(&mut self, addr: u64, entry: Entry) -> Touched {
+    fn set(&mut self, addr: u64, slot: Slot) -> Touched {
         if (self.live + 1) * 10 > self.buckets.len() * 7 {
             self.grow();
         }
@@ -135,19 +140,19 @@ impl PtrStore for HashStore {
         let (found, _) = self.probe(key, &mut t);
         match found {
             Some(idx) => {
-                self.buckets[idx as usize].as_mut().expect("probed").entry = entry;
+                self.buckets[idx as usize].as_mut().expect("probed").slot = slot;
             }
-            None => self.insert_no_trace(key, entry),
+            None => self.insert_no_trace(key, slot),
         }
         t
     }
 
-    fn get(&mut self, addr: u64) -> (Option<Entry>, Touched) {
+    fn get(&mut self, addr: u64) -> (Option<Slot>, Touched) {
         let key = addr & !7;
         let mut t = Touched::default();
         let (found, _) = self.probe(key, &mut t);
         (
-            found.map(|idx| self.buckets[idx as usize].expect("probed").entry),
+            found.map(|idx| self.buckets[idx as usize].expect("probed").slot),
             t,
         )
     }
@@ -176,18 +181,20 @@ impl PtrStore for HashStore {
     fn copy_range(&mut self, dst: u64, src: u64, len: u64) -> (u64, Touched) {
         let mut t = Touched::default();
         let mut copied = 0;
-        let entries: Vec<(u64, Option<Entry>)> = aligned_slots(src, len)
+        // Gather first so overlapping ranges behave like memmove. Each
+        // element is a plain (word, handle) move.
+        let slots: Vec<(u64, Option<Slot>)> = aligned_slots(src, len)
             .map(|a| {
-                let (e, sub) = self.get(a);
+                let (s, sub) = self.get(a);
                 t.absorb(&sub);
-                (a - (src & !7), e)
+                (a - (src & !7), s)
             })
             .collect();
-        for (off, e) in entries {
+        for (off, s) in slots {
             let target = (dst & !7) + off;
-            match e {
-                Some(entry) => {
-                    let sub = self.set(target, entry);
+            match s {
+                Some(slot) => {
+                    let sub = self.set(target, slot);
                     t.absorb(&sub);
                     copied += 1;
                 }
@@ -213,48 +220,54 @@ impl PtrStore for HashStore {
     }
 
     fn reset(&mut self) {
-        for b in &mut self.buckets {
-            *b = None;
-        }
-        self.live = 0;
+        // Back to the pristine geometry, not just empty buckets: a
+        // reset store must behave bit-identically to a fresh one
+        // (probe addresses depend on capacity via the mask, and the
+        // memory high-water mark restarts).
+        *self = HashStore::new(self.base);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::meta::MetaId;
 
     const BASE: u64 = 0x7200_0000_0000;
+
+    fn slot(word: u64) -> Slot {
+        Slot::new(word, MetaId::NONE)
+    }
 
     #[test]
     fn roundtrip() {
         let mut s = HashStore::new(BASE);
-        let e = Entry::data(1, 1, 9, 2);
-        s.set(0x1000, e);
+        let e = slot(1);
+        let _ = s.set(0x1000, e);
         assert_eq!(s.get(0x1000).0, Some(e));
         assert_eq!(s.get(0x1008).0, None);
-        s.clear(0x1000);
+        let _ = s.clear(0x1000);
         assert_eq!(s.get(0x1000).0, None);
     }
 
     #[test]
     fn overwrite_does_not_duplicate() {
         let mut s = HashStore::new(BASE);
-        s.set(0x10, Entry::code(1));
-        s.set(0x10, Entry::code(2));
+        let _ = s.set(0x10, slot(1));
+        let _ = s.set(0x10, slot(2));
         assert_eq!(s.entry_count(), 1);
-        assert_eq!(s.get(0x10).0, Some(Entry::code(2)));
+        assert_eq!(s.get(0x10).0, Some(slot(2)));
     }
 
     #[test]
     fn grows_past_initial_capacity() {
         let mut s = HashStore::new(BASE);
         for i in 0..4096u64 {
-            s.set(i * 8, Entry::code(i));
+            let _ = s.set(i * 8, slot(i));
         }
         assert_eq!(s.entry_count(), 4096);
         for i in 0..4096u64 {
-            assert_eq!(s.get(i * 8).0, Some(Entry::code(i)), "key {i}");
+            assert_eq!(s.get(i * 8).0, Some(slot(i)), "key {i}");
         }
     }
 
@@ -264,17 +277,13 @@ mod tests {
         // Insert enough keys to force collisions, then delete half and
         // verify the rest are still findable.
         for i in 0..512u64 {
-            s.set(i * 8, Entry::code(i));
+            let _ = s.set(i * 8, slot(i));
         }
         for i in (0..512u64).step_by(2) {
-            s.clear(i * 8);
+            let _ = s.clear(i * 8);
         }
         for i in 0..512u64 {
-            let expect = if i % 2 == 0 {
-                None
-            } else {
-                Some(Entry::code(i))
-            };
+            let expect = if i % 2 == 0 { None } else { Some(slot(i)) };
             assert_eq!(s.get(i * 8).0, expect, "key {i}");
         }
     }
@@ -282,20 +291,53 @@ mod tests {
     #[test]
     fn memory_is_capacity_based_not_page_based() {
         let mut s = HashStore::new(BASE);
-        s.set(0x0, Entry::code(1));
-        s.set(0xde_adbe_ef00, Entry::code(2)); // far-apart keys, same table
+        let _ = s.set(0x0, slot(1));
+        let _ = s.set(0xde_adbe_ef00, slot(2)); // far-apart keys, same table
         assert_eq!(s.memory_bytes(), 64 * BUCKET_BYTES);
         for i in 0..256u64 {
-            s.set(i * 8, Entry::code(i));
+            let _ = s.set(i * 8, slot(i));
         }
         assert!(s.memory_bytes() >= 256 * BUCKET_BYTES); // grew
+    }
+
+    /// The compact-slot payoff: a packed bucket is 20 simulated bytes
+    /// — exactly half the seed's 40-byte (key + inline entry) bucket.
+    #[test]
+    fn buckets_are_half_the_seed_size() {
+        assert_eq!(BUCKET_BYTES, 20);
+        assert_eq!(40 / BUCKET_BYTES, 2);
+    }
+
+    /// Reset restores the pristine geometry: capacity, probe mask and
+    /// the memory high-water mark — a reset store must be
+    /// indistinguishable from a fresh one (probe addresses depend on
+    /// the mask, so retained growth would change the touch trace of a
+    /// replayed run).
+    #[test]
+    fn reset_restores_pristine_geometry() {
+        let mut s = HashStore::new(BASE);
+        for i in 0..4096u64 {
+            let _ = s.set(i * 8, slot(i));
+        }
+        assert!(s.memory_bytes() > 64 * BUCKET_BYTES); // grew
+        s.reset();
+        assert_eq!(s.entry_count(), 0);
+        assert_eq!(s.memory_bytes(), 64 * BUCKET_BYTES);
+        // Probe addresses match a fresh store's.
+        let mut fresh = HashStore::new(BASE);
+        let (_, t_reset) = s.get(0x1000);
+        let (_, t_fresh) = fresh.get(0x1000);
+        assert_eq!(
+            t_reset.iter().collect::<Vec<_>>(),
+            t_fresh.iter().collect::<Vec<_>>()
+        );
     }
 
     #[test]
     fn unaligned_addresses_share_slot() {
         let mut s = HashStore::new(BASE);
-        s.set(0x1000, Entry::code(7));
+        let _ = s.set(0x1000, slot(7));
         // Key normalization: 0x1003 falls in the 0x1000 slot.
-        assert_eq!(s.get(0x1003).0, Some(Entry::code(7)));
+        assert_eq!(s.get(0x1003).0, Some(slot(7)));
     }
 }

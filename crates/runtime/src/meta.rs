@@ -15,6 +15,13 @@
 //! [`MetaTable::reset`] invalidates every outstanding [`MetaId`], and
 //! resolving a stale handle is reported rather than silently yielding
 //! unrelated metadata.
+//!
+//! Handles do not only ride in registers: every safe-pointer-store
+//! organization ([`crate::store::PtrStore`]) holds them inside its
+//! compact [`crate::store::Slot`]s, so the table and the store form one
+//! lifecycle unit. An owner resetting both must clear the store *before*
+//! bumping the table generation (see [`crate::store::PtrStore::reset`]),
+//! or its slots would dangle.
 
 use std::collections::HashMap;
 

@@ -7,8 +7,62 @@
 //! *simulated safe-region addresses it touched* so the VM's cache model
 //! can reproduce the locality differences the paper observed (the sparse
 //! array with superpages being fastest).
+//!
+//! Slots are **compact**: instead of a full 32-byte [`crate::entry::Entry`]
+//! record per pointer, a slot is a [`Slot`] — the pointer word plus a
+//! 4-byte [`MetaId`] handle into the [`crate::meta::MetaTable`] that owns
+//! the based-on record. This halves simulated safe-region memory
+//! ([`SLOT_SIZE`] = 16 vs the 32 bytes of the inline-entry layout) and
+//! makes `copy_range` a plain handle move. The table and the store share
+//! a lifecycle: handles stored here are generation-checked, so resetting
+//! the table without clearing the store first would leave dangling slots
+//! — owners (the VM's `Machine`) must always reset the store *before*
+//! the table.
 
-use crate::entry::Entry;
+use crate::meta::MetaId;
+
+/// Size of one safe-pointer-store slot in (simulated) bytes: the 8-byte
+/// pointer word plus the 4-byte provenance handle, kept at a 16-byte
+/// power-of-two so the array organizations can index with a shift.
+/// Replaces the 32-byte inline-entry layout (`value + lower + upper +
+/// id`) the seed stored per slot.
+pub const SLOT_SIZE: u64 = 16;
+
+/// One compact safe-pointer-store slot: the authoritative pointer word
+/// plus the interned based-on handle.
+///
+/// The handle references the owning machine's
+/// [`crate::meta::MetaTable`]; a slot whose `meta` is
+/// [`MetaId::NONE`] is the paper's *invalid* metadata marker — the word
+/// is authoritative (the safe region holds the value) but no bounds
+/// record backs it, so it never authorizes any access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Slot {
+    /// The pointer value itself (the safe region holds the
+    /// authoritative copy; the regular-region location stays unused,
+    /// per Fig. 2).
+    pub word: u64,
+    /// Handle to the interned based-on record, or [`MetaId::NONE`] for
+    /// a sensitive-typed location holding a non-pointer value.
+    pub meta: MetaId,
+}
+
+impl Slot {
+    /// A slot carrying a word with live provenance.
+    #[inline(always)]
+    pub fn new(word: u64, meta: MetaId) -> Self {
+        Slot { word, meta }
+    }
+
+    /// The *invalid*-metadata slot: word only, no based-on record.
+    #[inline(always)]
+    pub fn invalid(word: u64) -> Self {
+        Slot {
+            word,
+            meta: MetaId::NONE,
+        }
+    }
+}
 
 /// Addresses touched by one store operation.
 ///
@@ -23,7 +77,7 @@ pub struct Touched {
     addrs: [u64; 4],
     n: u8,
     /// Touches beyond the recorded sample. The VM's cost model charges
-    /// these as additional entry-sized sequential accesses following the
+    /// these as additional slot-sized sequential accesses following the
     /// last recorded address.
     pub spill: u32,
     /// Whether the operation faulted in a fresh page (first touch); the
@@ -151,35 +205,47 @@ impl StoreKind {
 }
 
 /// The safe pointer store: a map from the regular-region address of a
-/// sensitive pointer to its [`Entry`].
+/// sensitive pointer to its compact [`Slot`].
 ///
 /// Keys are pointer-aligned (8-byte) regular addresses. The store itself
 /// lives at simulated safe-region addresses — the `Touched` values —
 /// which by construction are never representable in regular memory
 /// (§3.2.3's leak-proof indexing).
+///
+/// Every mutating/probing method returns [`Touched`], and dropping one
+/// silently is unaccounted cache traffic in the VM's cost model — hence
+/// the `#[must_use]` on every method that reports touches. Callers that
+/// genuinely do not charge (the loader populating initializer slots
+/// before execution starts) must opt out with an explicit `let _ =`.
 pub trait PtrStore {
-    /// Inserts or overwrites the entry for `addr`.
-    fn set(&mut self, addr: u64, entry: Entry) -> Touched;
+    /// Inserts or overwrites the slot for `addr`.
+    #[must_use = "dropping a Touched loses safe-store cache traffic; charge it or bind `let _ =`"]
+    fn set(&mut self, addr: u64, slot: Slot) -> Touched;
 
-    /// Looks up the entry for `addr` (`None` is the paper's `none`
+    /// Looks up the slot for `addr` (`None` is the paper's `none`
     /// marker: no sensitive value currently stored there).
-    fn get(&mut self, addr: u64) -> (Option<Entry>, Touched);
+    #[must_use = "dropping a Touched loses safe-store cache traffic; charge it or bind `let _ =`"]
+    fn get(&mut self, addr: u64) -> (Option<Slot>, Touched);
 
-    /// Removes the entry for `addr`, if any.
+    /// Removes the slot for `addr`, if any.
+    #[must_use = "dropping a Touched loses safe-store cache traffic; charge it or bind `let _ =`"]
     fn clear(&mut self, addr: u64) -> Touched;
 
-    /// Removes all entries with `addr ∈ [start, start+len)` — used when
+    /// Removes all slots with `addr ∈ [start, start+len)` — used when
     /// plain memory writes (memset, frees, unsafe-stack reuse) overwrite
     /// regions that used to hold sensitive pointers.
+    #[must_use = "dropping a Touched loses safe-store cache traffic; charge it or bind `let _ =`"]
     fn clear_range(&mut self, start: u64, len: u64) -> Touched;
 
-    /// Copies entries for each pointer-aligned slot from `src` to `dst`
-    /// (the type-aware `cpi_memcpy` of §3.2.2). Slots in the destination
-    /// whose source has no entry are cleared. Returns the number of
-    /// entries copied.
+    /// Copies slots for each pointer-aligned slot address from `src` to
+    /// `dst` (the type-aware `cpi_memcpy` of §3.2.2) — with compact
+    /// slots this is a plain `(word, handle)` move, no metadata
+    /// materialization. Destination slots whose source has no slot are
+    /// cleared. Returns the number of slots copied.
+    #[must_use = "dropping a Touched loses safe-store cache traffic; charge it or bind `let _ =`"]
     fn copy_range(&mut self, dst: u64, src: u64, len: u64) -> (u64, Touched);
 
-    /// Number of live entries.
+    /// Number of live slots.
     fn entry_count(&self) -> usize;
 
     /// Simulated bytes of safe-region memory materialized by this store
@@ -189,7 +255,12 @@ pub trait PtrStore {
     /// The store's base address in the simulated safe region.
     fn base(&self) -> u64;
 
-    /// Removes every entry (used when resetting between runs).
+    /// Removes every slot (used when resetting between runs).
+    ///
+    /// Owners that also reset the [`crate::meta::MetaTable`] must clear
+    /// the store *first*: slots hold generation-checked [`MetaId`]s, and
+    /// bumping the table generation while slots are still live would
+    /// leave them dangling.
     fn reset(&mut self);
 }
 
@@ -250,6 +321,19 @@ mod tests {
         assert_eq!(exact, vec![0x2000, 0x2008]);
         let empty: Vec<u64> = aligned_slots(0x2000, 0).collect();
         assert!(empty.is_empty());
+    }
+
+    /// The representation guarantee behind the slot compaction: a host
+    /// `Slot` fits the simulated [`SLOT_SIZE`], so the simulated
+    /// geometry (16 bytes per slot, half the 32-byte inline-entry
+    /// layout) matches what the host actually moves.
+    #[test]
+    fn slot_is_compact() {
+        assert!(std::mem::size_of::<Slot>() as u64 <= SLOT_SIZE);
+        assert_eq!(SLOT_SIZE, 16);
+        let s = Slot::invalid(0xdead);
+        assert_eq!(s.word, 0xdead);
+        assert!(s.meta.is_none());
     }
 
     #[test]

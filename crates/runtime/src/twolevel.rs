@@ -8,14 +8,15 @@
 
 use std::collections::HashMap;
 
-use crate::entry::{Entry, ENTRY_SIZE};
 use crate::fasthash::FastHash;
-use crate::store::{aligned_slots, PtrStore, Touched};
+use crate::store::{aligned_slots, PtrStore, Slot, Touched, SLOT_SIZE};
 
 /// Number of entries per leaf table.
 const LEAF_SLOTS: u64 = 512;
-/// Simulated size of one leaf table in bytes.
-const LEAF_BYTES: u64 = LEAF_SLOTS * ENTRY_SIZE;
+/// Simulated size of one leaf table in bytes. Compact 16-byte slots
+/// halve it (8 KB instead of the 16 KB the inline-entry layout needed),
+/// so a leaf's hot half fits in half as many cache lines.
+const LEAF_BYTES: u64 = LEAF_SLOTS * SLOT_SIZE;
 /// Simulated size of the (lazily materialized) directory in bytes per
 /// resident directory page.
 const DIR_PAGE_BYTES: u64 = 4096;
@@ -24,7 +25,7 @@ const DIR_PAGE_BYTES: u64 = 4096;
 pub struct TwoLevelStore {
     base: u64,
     /// Directory index → (leaf sequence number, leaf storage).
-    leaves: HashMap<u64, (u64, Vec<Option<Entry>>), FastHash>,
+    leaves: HashMap<u64, (u64, Vec<Option<Slot>>), FastHash>,
     next_leaf_seq: u64,
     live: usize,
     /// Resident directory pages (for memory accounting).
@@ -53,10 +54,10 @@ impl TwoLevelStore {
         self.base + dir_idx * 8
     }
 
-    /// Simulated address of entry `leaf_idx` in leaf number `seq`.
+    /// Simulated address of slot `leaf_idx` in leaf number `seq`.
     fn leaf_addr(&self, seq: u64, leaf_idx: u64) -> u64 {
         // Leaves live above a 1 GB directory window.
-        self.base + (1 << 30) + seq * LEAF_BYTES + leaf_idx * ENTRY_SIZE
+        self.base + (1 << 30) + seq * LEAF_BYTES + leaf_idx * SLOT_SIZE
     }
 
     fn touch_dir(&mut self, dir_idx: u64, t: &mut Touched) {
@@ -66,7 +67,7 @@ impl TwoLevelStore {
 }
 
 impl PtrStore for TwoLevelStore {
-    fn set(&mut self, addr: u64, entry: Entry) -> Touched {
+    fn set(&mut self, addr: u64, slot: Slot) -> Touched {
         let mut t = Touched::default();
         let (dir_idx, leaf_idx) = Self::split(addr);
         self.touch_dir(dir_idx, &mut t);
@@ -86,11 +87,11 @@ impl PtrStore for TwoLevelStore {
         if leaf[leaf_idx as usize].is_none() {
             self.live += 1;
         }
-        leaf[leaf_idx as usize] = Some(entry);
+        leaf[leaf_idx as usize] = Some(slot);
         t
     }
 
-    fn get(&mut self, addr: u64) -> (Option<Entry>, Touched) {
+    fn get(&mut self, addr: u64) -> (Option<Slot>, Touched) {
         let mut t = Touched::default();
         let (dir_idx, leaf_idx) = Self::split(addr);
         self.touch_dir(dir_idx, &mut t);
@@ -129,18 +130,20 @@ impl PtrStore for TwoLevelStore {
     fn copy_range(&mut self, dst: u64, src: u64, len: u64) -> (u64, Touched) {
         let mut t = Touched::default();
         let mut copied = 0;
-        let entries: Vec<(u64, Option<Entry>)> = aligned_slots(src, len)
+        // Gather first so overlapping ranges behave like memmove. Each
+        // element is a plain 16-byte (word, handle) move.
+        let slots: Vec<(u64, Option<Slot>)> = aligned_slots(src, len)
             .map(|a| {
-                let (e, sub) = self.get(a);
+                let (s, sub) = self.get(a);
                 t.absorb(&sub);
-                (a - (src & !7), e)
+                (a - (src & !7), s)
             })
             .collect();
-        for (off, e) in entries {
+        for (off, s) in slots {
             let target = (dst & !7) + off;
-            match e {
-                Some(entry) => {
-                    let sub = self.set(target, entry);
+            match s {
+                Some(slot) => {
+                    let sub = self.set(target, slot);
                     t.absorb(&sub);
                     copied += 1;
                 }
@@ -176,16 +179,21 @@ impl PtrStore for TwoLevelStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::meta::MetaId;
 
     const BASE: u64 = 0x7100_0000_0000;
+
+    fn slot(word: u64) -> Slot {
+        Slot::new(word, MetaId::NONE)
+    }
 
     #[test]
     fn roundtrip() {
         let mut s = TwoLevelStore::new(BASE);
-        let e = Entry::data(0x10, 0x10, 0x20, 1);
-        s.set(0x8000, e);
+        let e = slot(0x10);
+        let _ = s.set(0x8000, e);
         assert_eq!(s.get(0x8000).0, Some(e));
-        s.clear(0x8000);
+        let _ = s.clear(0x8000);
         assert_eq!(s.get(0x8000).0, None);
         assert_eq!(s.entry_count(), 0);
     }
@@ -193,7 +201,7 @@ mod tests {
     #[test]
     fn every_op_touches_two_levels() {
         let mut s = TwoLevelStore::new(BASE);
-        let t = s.set(0x4000, Entry::code(1));
+        let t = s.set(0x4000, slot(1));
         assert_eq!(t.len(), 2); // directory + leaf
         let (_, t) = s.get(0x4000);
         assert_eq!(t.len(), 2);
@@ -210,27 +218,35 @@ mod tests {
     #[test]
     fn leaf_allocation_faults_once() {
         let mut s = TwoLevelStore::new(BASE);
-        assert!(s.set(0x0, Entry::code(1)).page_fault);
-        assert!(!s.set(0x8, Entry::code(1)).page_fault);
+        assert!(s.set(0x0, slot(1)).page_fault);
+        assert!(!s.set(0x8, slot(1)).page_fault);
         // Different leaf (slot 512 → byte address 512*8).
-        assert!(s.set(512 * 8, Entry::code(1)).page_fault);
+        assert!(s.set(512 * 8, slot(1)).page_fault);
     }
 
     #[test]
     fn memory_counts_directory_and_leaves() {
         let mut s = TwoLevelStore::new(BASE);
-        s.set(0x0, Entry::code(1));
+        let _ = s.set(0x0, slot(1));
         assert_eq!(s.memory_bytes(), DIR_PAGE_BYTES + LEAF_BYTES);
-        s.set(512 * 8, Entry::code(1)); // second leaf, same dir page
+        let _ = s.set(512 * 8, slot(1)); // second leaf, same dir page
         assert_eq!(s.memory_bytes(), DIR_PAGE_BYTES + 2 * LEAF_BYTES);
     }
 
+    /// The compact-slot payoff: one leaf is 512 × 16 B = 8 KB, half the
+    /// 16 KB the 32-byte inline-entry layout materialized per leaf.
     #[test]
-    fn copy_range_moves_entries() {
+    fn leaves_are_half_the_seed_size() {
+        assert_eq!(LEAF_BYTES, 512 * SLOT_SIZE);
+        assert_eq!(LEAF_BYTES, 8 << 10);
+    }
+
+    #[test]
+    fn copy_range_moves_slots() {
         let mut s = TwoLevelStore::new(BASE);
-        s.set(0x1000, Entry::code(0xAA));
+        let _ = s.set(0x1000, slot(0xAA));
         let (copied, _) = s.copy_range(0x2000, 0x1000, 8);
         assert_eq!(copied, 1);
-        assert_eq!(s.get(0x2000).0, Some(Entry::code(0xAA)));
+        assert_eq!(s.get(0x2000).0, Some(slot(0xAA)));
     }
 }

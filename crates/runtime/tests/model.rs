@@ -1,14 +1,23 @@
 //! Model-based property tests: every store organization must agree with
-//! a reference `HashMap` model over arbitrary operation sequences.
+//! a reference `BTreeMap` model over arbitrary operation sequences.
+//!
+//! The model is deliberately tiny — an ordered map from 8-aligned slot
+//! address to [`Slot`] plus the trait's range semantics spelled out in
+//! straight-line code — so any divergence indicts the organization, not
+//! the oracle. Slots carry real [`MetaId`] handles minted from a
+//! [`MetaTable`] (not just `MetaId::NONE`): the organizations must move
+//! handles around *opaquely*, and a handle surviving a
+//! `set → copy_range → get` round trip must still resolve to the record
+//! it was interned from.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
-use levee_rt::{Entry, StoreKind};
+use levee_rt::{Entry, MetaId, MetaTable, Slot, StoreKind};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Set { addr: u64, code: u64 },
+    Set { addr: u64, word: u64, prov: u64 },
     Get { addr: u64 },
     Clear { addr: u64 },
     ClearRange { start: u64, len: u64 },
@@ -19,7 +28,11 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     // Keep addresses in a small window so operations collide often.
     let addr = (0u64..64).prop_map(|s| 0x1_0000 + s * 8);
     prop_oneof![
-        (addr.clone(), 1u64..100).prop_map(|(addr, code)| Op::Set { addr, code }),
+        (addr.clone(), 1u64..100, 0u64..8).prop_map(|(addr, word, prov)| Op::Set {
+            addr,
+            word,
+            prov
+        }),
         addr.clone().prop_map(|addr| Op::Get { addr }),
         addr.clone().prop_map(|addr| Op::Clear { addr }),
         (addr.clone(), 0u64..128).prop_map(|(start, len)| Op::ClearRange { start, len }),
@@ -28,10 +41,10 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 }
 
 /// Reference semantics, mirroring the PtrStore contract over 8-aligned
-/// slots.
+/// slots with an ordered-map oracle.
 #[derive(Default)]
 struct Model {
-    map: HashMap<u64, Entry>,
+    map: BTreeMap<u64, Slot>,
 }
 
 impl Model {
@@ -47,10 +60,10 @@ impl Model {
         v
     }
 
-    fn apply(&mut self, op: &Op) {
+    fn apply(&mut self, op: &Op, slot_of: impl Fn(u64, u64) -> Slot) {
         match op {
-            Op::Set { addr, code } => {
-                self.map.insert(*addr, Entry::code(*code));
+            Op::Set { addr, word, prov } => {
+                self.map.insert(*addr, slot_of(*word, *prov));
             }
             Op::Get { .. } => {}
             Op::Clear { addr } => {
@@ -62,15 +75,15 @@ impl Model {
                 }
             }
             Op::CopyRange { dst, src, len } => {
-                let pairs: Vec<(u64, Option<Entry>)> = Self::slots(*src, *len)
+                let pairs: Vec<(u64, Option<Slot>)> = Self::slots(*src, *len)
                     .into_iter()
                     .map(|a| (a - (src & !7), self.map.get(&a).copied()))
                     .collect();
-                for (off, e) in pairs {
+                for (off, s) in pairs {
                     let target = (dst & !7) + off;
-                    match e {
-                        Some(e) => {
-                            self.map.insert(target, e);
+                    match s {
+                        Some(s) => {
+                            self.map.insert(target, s);
                         }
                         None => {
                             self.map.remove(&target);
@@ -82,13 +95,28 @@ impl Model {
     }
 }
 
+/// A small palette of distinct interned provenance records; ops pick
+/// handles from it so the stores shuttle several different live
+/// handles (and `MetaId::NONE`) around at once.
+fn mint_handles(meta: &mut MetaTable) -> Vec<MetaId> {
+    let mut v = vec![MetaId::NONE];
+    for i in 0..7u64 {
+        let base = 0x4000 + i * 0x100;
+        v.push(meta.intern(Entry::data(base, base, base + 0x80, i)));
+    }
+    v
+}
+
 fn check_kind(kind: StoreKind, ops: &[Op]) {
+    let mut meta = MetaTable::new();
+    let handles = mint_handles(&mut meta);
+    let slot_of = |word: u64, prov: u64| Slot::new(word, handles[prov as usize]);
     let mut store = kind.instantiate(0x7000_0000_0000);
     let mut model = Model::default();
     for (i, op) in ops.iter().enumerate() {
         match op {
-            Op::Set { addr, code } => {
-                store.set(*addr, Entry::code(*code));
+            Op::Set { addr, word, prov } => {
+                let _ = store.set(*addr, slot_of(*word, *prov));
             }
             Op::Get { addr } => {
                 let got = store.get(*addr).0;
@@ -96,29 +124,39 @@ fn check_kind(kind: StoreKind, ops: &[Op]) {
                 assert_eq!(got, want, "{kind:?} op {i}: get({addr:#x}) diverged");
             }
             Op::Clear { addr } => {
-                store.clear(*addr);
+                let _ = store.clear(*addr);
             }
             Op::ClearRange { start, len } => {
-                store.clear_range(*start, *len);
+                let _ = store.clear_range(*start, *len);
             }
             Op::CopyRange { dst, src, len } => {
-                store.copy_range(*dst, *src, *len);
+                let _ = store.copy_range(*dst, *src, *len);
             }
         }
-        model.apply(op);
+        model.apply(op, slot_of);
         assert_eq!(
             store.entry_count(),
             model.map.len(),
             "{kind:?} op {i}: live-count diverged after {op:?}"
         );
     }
-    // Full final sweep.
+    // Full final sweep: words, handle identity, and handle liveness.
     for a in (0x1_0000u64..0x1_0000 + 64 * 8).step_by(8) {
+        let got = store.get(a).0;
         assert_eq!(
-            store.get(a).0,
+            got,
             model.map.get(&a).copied(),
             "{kind:?} final sweep at {a:#x}"
         );
+        if let Some(slot) = got {
+            if slot.meta.is_some() {
+                // Handles that came back out must still resolve.
+                assert!(
+                    meta.get(slot.meta).is_some(),
+                    "{kind:?}: slot at {a:#x} holds a dangling handle"
+                );
+            }
+        }
     }
 }
 
@@ -151,11 +189,13 @@ fn all_kinds_agree_on_a_fixed_trace() {
     let ops = vec![
         Op::Set {
             addr: 0x1_0000,
-            code: 5,
+            word: 5,
+            prov: 1,
         },
         Op::Set {
             addr: 0x1_0008,
-            code: 6,
+            word: 6,
+            prov: 2,
         },
         Op::CopyRange {
             dst: 0x1_0020,

@@ -366,7 +366,10 @@ impl<'m> Machine<'m> {
         self.setjmp_ctxs.insert(token, ctx);
         // jmp_buf image: [token][sp][unsafe_sp] — 24 bytes.
         if self.config.protect_runtime_code_ptrs {
-            let t = self.store.set(buf.raw, levee_rt::Entry::code(token));
+            // The slot carries the interned code provenance of the
+            // token, like any other sensitive pointer.
+            let meta = self.meta.intern(levee_rt::Entry::code(token));
+            let t = self.store.set(buf.raw, levee_rt::Slot::new(token, meta));
             self.charge_store_touches(t);
         } else {
             self.prog_write(buf.raw, token, 8, MemSpace::Regular)?;
@@ -382,12 +385,20 @@ impl<'m> Machine<'m> {
     /// `longjmp(buf, val)`: restores a saved context.
     pub(crate) fn do_longjmp(&mut self, buf: V, val: V) -> Result<(), Trap> {
         let token = if self.config.protect_runtime_code_ptrs {
-            let (entry, t) = self.store.get(buf.raw);
+            let (slot, t) = self.store.get(buf.raw);
             self.charge_store_touches(t);
-            match entry {
-                Some(e) if e.is_code() => e.value,
-                // No (or corrupted) safe-store entry: deterministic abort.
-                _ => {
+            // The loaded slot must still carry live code provenance for
+            // its word (the §3.3 exact-match rule, off the handle).
+            let code = slot.and_then(|s| {
+                self.meta
+                    .get(s.meta)
+                    .is_some_and(|p| p.authorizes_code(s.word))
+                    .then_some(s.word)
+            });
+            match code {
+                Some(token) => token,
+                // No (or corrupted) safe-store slot: deterministic abort.
+                None => {
                     return Err(Trap::Cpi {
                         kind: crate::trap::CpiViolationKind::NotACodePointer,
                         addr: buf.raw,

@@ -1,7 +1,7 @@
 //! Execution of the instrumentation intrinsics (§3.2.2's runtime ops).
 
 use levee_ir::prelude::*;
-use levee_rt::Entry;
+use levee_rt::Slot;
 
 use crate::trap::{CpiViolationKind, Trap};
 
@@ -58,8 +58,9 @@ impl<'m> Machine<'m> {
                 let n = self.eval(*len).raw;
                 // Regular bytes move as usual…
                 self.bulk_copy(d, s, n, *moving)?;
-                // …and the safe store transfers entries word by word —
-                // the expensive path §5.2 attributes memcpy overhead to.
+                // …and the safe store transfers compact slots word by
+                // word — plain (word, handle) moves, but still the path
+                // §5.2 attributes memcpy overhead to.
                 let (copied, t) = self.store.copy_range(d, s, n);
                 self.charge_store_touches(t);
                 self.stats.cycles += (n / 8) * self.config.cost.store_op + copied;
@@ -109,8 +110,9 @@ impl<'m> Machine<'m> {
 
     /// `cpi_ptr_store` / `cps_ptr_store`: writes a sensitive pointer to
     /// the safe pointer store, keyed by its regular-region address. The
-    /// store holds the authoritative full [`Entry`] (Fig. 2), so the
-    /// value's interned provenance is materialized at this boundary.
+    /// store's compact slot carries the word plus the value's interned
+    /// provenance handle ([`Slot`]) — the handle moves as-is; no full
+    /// `Entry` is materialized at this boundary.
     pub(crate) fn ptr_store(
         &mut self,
         policy: Policy,
@@ -118,25 +120,27 @@ impl<'m> Machine<'m> {
         v: V,
         universal: bool,
     ) -> Result<(), Trap> {
-        let entry = match (policy, self.meta_entry(v)) {
-            // CPS keeps value-only entries for code pointers; storing a
+        // Resolve the handle once to classify the value; the slot still
+        // stores the handle, not the resolved record.
+        let prov = self.meta.get(v.meta);
+        let slot = match policy {
+            // CPS keeps slots only for code pointers; storing a
             // non-code value through a CPS store keeps it regular.
-            (Policy::Cps, Some(e)) if e.is_code() => Some(e),
-            (Policy::Cps, _) => None,
-            (_, Some(e)) => Some(e),
-            (_, None) => Some(Entry::invalid(v.raw)),
+            Policy::Cps => match prov {
+                Some(p) if p.authorizes_code(v.raw) => Some(Slot::new(v.raw, v.meta)),
+                _ => None,
+            },
+            _ => match prov {
+                Some(p) if p.is_valid() => Some(Slot::new(v.raw, v.meta)),
+                // No live provenance: the paper's *invalid* metadata —
+                // a word-only slot that never authorizes any access.
+                _ if !universal => Some(Slot::invalid(v.raw)),
+                _ => None,
+            },
         };
-        match entry {
-            Some(e) if universal && !e.is_valid() => {
-                // Universal pointer holding a non-sensitive value: store
-                // the raw value in the regular region, mark the safe
-                // store `none` (the paper's dual-storage rule).
-                let t = self.store.clear(addr);
-                self.charge_store_touches(t);
-                self.prog_write(addr, v.raw, 8, MemSpace::Regular)
-            }
-            Some(e) => {
-                let t = self.store.set(addr, e);
+        match slot {
+            Some(s) => {
+                let t = self.store.set(addr, s);
                 self.charge_store_touches(t);
                 self.stats.store_entries_peak = self
                     .stats
@@ -149,7 +153,10 @@ impl<'m> Machine<'m> {
                 Ok(())
             }
             None => {
-                // CPS store of a non-code value: plain regular store.
+                // Universal pointer holding a non-sensitive value (or a
+                // CPS store of a non-code value): store the raw value in
+                // the regular region, mark the safe store `none` (the
+                // paper's dual-storage rule).
                 let t = self.store.clear(addr);
                 self.charge_store_touches(t);
                 self.prog_write(addr, v.raw, 8, MemSpace::Regular)
@@ -158,29 +165,33 @@ impl<'m> Machine<'m> {
     }
 
     /// `cpi_ptr_load` / `cps_ptr_load`: reads a sensitive pointer and
-    /// its metadata back from the safe pointer store.
+    /// its metadata back from the safe pointer store. The slot's handle
+    /// goes straight into the register value — no re-interning on the
+    /// hot path.
     pub(crate) fn ptr_load(
         &mut self,
         policy: Policy,
         addr: u64,
         universal: bool,
     ) -> Result<V, Trap> {
-        let (entry, t) = self.store.get(addr);
+        let (slot, t) = self.store.get(addr);
         self.charge_store_touches(t);
-        match entry {
-            Some(e) => {
+        match slot {
+            Some(s) => {
                 if self.config.debug_dual_store {
                     let regular = self.prog_read(addr, 8, MemSpace::Regular)?;
                     self.charge_check();
-                    if regular != e.value {
+                    if regular != s.word {
                         // Debug mode detects non-protected-pointer
                         // corruption attempts instead of silently
                         // ignoring them (§3.2.2).
                         return Err(self.violation(policy, CpiViolationKind::DebugMismatch, addr));
                     }
                 }
-                let meta = self.intern_prov(e);
-                Ok(V { raw: e.value, meta })
+                Ok(V {
+                    raw: s.word,
+                    meta: s.meta,
+                })
             }
             None if universal => {
                 // No sensitive value here: fall back to the regular copy.

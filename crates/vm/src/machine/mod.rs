@@ -52,9 +52,10 @@ pub use attacker::GuessOutcome;
 ///
 /// Invariant: whenever `meta` is live, the interned record describes the
 /// object this word is *based on*; its `value` field is normalized away
-/// (the current pointer word is `raw`). The machine materializes a full
-/// [`Entry`] at the boundaries that need one (safe-store writes,
-/// check failures).
+/// (the current pointer word is `raw`). The handle travels end-to-end:
+/// the safe pointer store's compact slots (`levee_rt::Slot`) carry the
+/// same `(word, MetaId)` pair, so `ptr_store`/`ptr_load` move handles
+/// with no `Entry` materialization or re-interning on the hot path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct V {
     /// The raw word.
@@ -213,6 +214,14 @@ pub struct Machine<'m> {
 impl<'m> Machine<'m> {
     /// Loads `module` into a fresh machine with the given config.
     pub fn new(module: &'m Module, config: VmConfig) -> Self {
+        Self::boot(module, config, MetaTable::new())
+    }
+
+    /// Shared constructor behind [`Machine::new`] and [`Machine::reset`]:
+    /// builds a freshly-loaded machine around an existing provenance
+    /// table (reset passes the old table with its generation already
+    /// bumped, so handles minted before the reset stay invalid).
+    fn boot(module: &'m Module, config: VmConfig, meta: MetaTable) -> Self {
         let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5afe_5afe);
         let layout = if config.aslr || config.isolation == Isolation::InfoHiding {
             Layout::randomized(&mut rng, config.aslr)
@@ -253,7 +262,7 @@ impl<'m> Machine<'m> {
             safe_stack_meta: HashMap::default(),
             sfi_masked: 0,
             sig_hashes: Vec::new(),
-            meta: MetaTable::new(),
+            meta,
             frame_descs: Vec::new(),
             func_meta: Vec::new(),
             global_meta: Vec::new(),
@@ -321,6 +330,43 @@ impl<'m> Machine<'m> {
     /// [`Machine::enable_mem_trace`] was called before running).
     pub fn mem_trace(&self) -> &[u64] {
         self.cache.trace().unwrap_or(&[])
+    }
+
+    /// Resets the machine to its freshly-loaded state so [`Machine::run`]
+    /// can be called again: frames, stacks, the memory image, heap,
+    /// cache, stats and output are torn down and the module is
+    /// re-loaded. Attack goals, the compiled bytecode and the mem-trace
+    /// setting survive (they depend only on the module and config,
+    /// which do not change).
+    ///
+    /// The safe pointer store and the provenance table form one
+    /// lifecycle unit — store slots hold generation-checked [`MetaId`]s
+    /// into the table — and the reset keeps them coherent: the old
+    /// store (slots included) is discarded wholesale by the rebuild,
+    /// while the table survives with its generation bumped, so any
+    /// handle a caller kept across the reset (in a [`V`]) resolves to
+    /// `None` (trapping as metadata-less) instead of silently aliasing
+    /// a record of the new generation. Everything else is rebuilt
+    /// through the same constructor as [`Machine::new`], so a reset
+    /// machine replays bit-identically to a fresh one.
+    pub fn reset(&mut self) {
+        // Bump the generation before the rebuild: `boot` re-interns the
+        // loader's handles into the surviving table, so they (and
+        // nothing minted earlier) are the only live handles afterwards.
+        self.meta.reset();
+        // Survivors: the bumped table (generation sequence continues),
+        // the compiled bytecode (depends only on the module), attack
+        // goals (layout is config-deterministic) and the trace setting.
+        let meta = std::mem::take(&mut self.meta);
+        let bc = self.bc.take();
+        let goals = std::mem::take(&mut self.goals);
+        let tracing = self.cache.trace().is_some();
+        *self = Self::boot(self.module, self.config, meta);
+        self.bc = bc;
+        self.goals = goals;
+        if tracing {
+            self.cache.enable_trace();
+        }
     }
 
     fn load(&mut self) {
@@ -420,15 +466,17 @@ impl<'m> Machine<'m> {
                         let target_addr = self.global_addrs[target.0 as usize] + delta;
                         self.mem.loader_write_uint(off, target_addr, 8);
                         if self.config.protect_runtime_code_ptrs {
-                            let size = self.global_sizes[target.0 as usize];
-                            let base = self.global_addrs[target.0 as usize];
-                            self.store
-                                .set(off, Entry::data(target_addr, base, base + size, 0));
+                            // The pre-interned per-global handle is the
+                            // based-on record of the initializer pointer.
+                            let meta = self.global_meta[target.0 as usize];
+                            // Loader traffic predates execution: not charged.
+                            let _ = self.store.set(off, levee_rt::Slot::new(target_addr, meta));
                         }
                     }
                     InitAtom::FuncPtr(fid) if self.config.protect_runtime_code_ptrs => {
                         let entry = func_area + fid.0 as u64 * layout::FUNC_STRIDE;
-                        self.store.set(off, Entry::code(entry));
+                        let meta = self.func_meta[fid.0 as usize];
+                        let _ = self.store.set(off, levee_rt::Slot::new(entry, meta));
                     }
                     _ => {}
                 }
@@ -539,13 +587,13 @@ impl<'m> Machine<'m> {
             }
         }
         // Touches beyond the recorded sample (range operations, probe
-        // chains) are charged as sequential entry-sized accesses
+        // chains) are charged as sequential slot-sized accesses
         // following the last recorded address.
         if touched.spill > 0 {
             let base = touched.iter().last().unwrap_or_else(|| self.store.base());
             for i in 1..=touched.spill as u64 {
                 self.stats.cycles += self.config.cost.mem_hit;
-                if !self.cache.access(base + i * levee_rt::ENTRY_SIZE) {
+                if !self.cache.access(base + i * levee_rt::SLOT_SIZE) {
                     self.stats.cycles += self.config.cost.mem_miss;
                 }
             }
@@ -646,13 +694,6 @@ impl<'m> Machine<'m> {
     }
 
     // ---- provenance helpers ------------------------------------------------
-
-    /// Materializes the full based-on [`Entry`] of a value: the interned
-    /// provenance record with the value's current word as `value`.
-    #[inline]
-    pub(crate) fn meta_entry(&self, v: V) -> Option<Entry> {
-        self.meta.get(v.meta).map(|e| Entry { value: v.raw, ..e })
-    }
 
     /// Interns the based-on part of `e`: its `value` field is normalized
     /// to `lower` so every pointer based on one object shares a record.

@@ -13,9 +13,17 @@
 //! * bytecode, fusion off        (the PR-1 differential claim)
 //! * bytecode, fusion on         (the superinstruction tier)
 //!
-//! Every observable — output, exit status/trap, simulated cycle,
-//! instruction, memory-op, check, cache and call counters — must be
-//! bit-identical across the four. Programs are free to trap (wild
+//! …and the whole lineup repeats for every safe-pointer-store
+//! organization (`DIFF_FUZZ_STORES` selects a subset by name, e.g.
+//! `DIFF_FUZZ_STORES=array-2M,hashtable`; default all four). Every
+//! observable — output, exit status/trap, simulated cycle, instruction,
+//! memory-op, check, cache and call counters — must be bit-identical
+//! across the four engine configurations *within* each store kind.
+//! Across store kinds only locality-dependent counters (cycles, cache,
+//! page faults) may differ: status, output and the architectural
+//! counters (instructions, memory ops, CPI ops, checks, calls) must
+//! agree store-for-store too, which pins the compact-slot store
+//! geometry as cost-model-only. Programs are free to trap (wild
 //! indexes, division, clobbered function-pointer tables, fuel
 //! exhaustion): a trap is just another observable that must agree.
 //!
@@ -28,7 +36,7 @@
 //! code).
 
 use levee_core::{build_source, BuildConfig};
-use levee_vm::{Engine, Machine, RunOutcome, VmConfig};
+use levee_vm::{Engine, Machine, RunOutcome, StoreKind, VmConfig};
 use proptest::prelude::*;
 
 // ---- deterministic program generator -----------------------------------
@@ -319,10 +327,34 @@ const LINEUP: [(Engine, bool, &str); 4] = [
     (Engine::Bytecode, true, "bytecode/fused"),
 ];
 
-/// Builds `src` under `config` and runs it under the full lineup,
-/// asserting all observables are bit-identical. `fuel` bounds the run
-/// (small values probe the out-of-fuel cutoff, including between the
-/// halves of a fused pair).
+/// Store organizations to fuzz: `DIFF_FUZZ_STORES` is a comma-separated
+/// list of organization names (`array-4K`, `array-2M`, `two-level`,
+/// `hashtable`) or `all`; unset defaults to all four.
+fn fuzz_stores() -> Vec<StoreKind> {
+    match std::env::var("DIFF_FUZZ_STORES") {
+        Err(_) => StoreKind::all().to_vec(),
+        Ok(s) if s == "all" || s.is_empty() => StoreKind::all().to_vec(),
+        Ok(s) => s
+            .split(',')
+            .map(|name| {
+                *StoreKind::all()
+                    .iter()
+                    .find(|k| k.name() == name.trim())
+                    .unwrap_or_else(|| {
+                        panic!("DIFF_FUZZ_STORES: unknown organization {name:?} (want one of array-4K, array-2M, two-level, hashtable)")
+                    })
+            })
+            .collect(),
+    }
+}
+
+/// Builds `src` under `config` and runs it under the full engine ×
+/// fusion lineup for every selected store organization, asserting all
+/// observables are bit-identical within each organization — and that
+/// status, output and the architectural counters also agree *across*
+/// organizations (only cycles/cache/page-fault counters may depend on
+/// store geometry). `fuel` bounds the run (small values probe the
+/// out-of-fuel cutoff, including between the halves of a fused pair).
 fn differential(src: &str, config: BuildConfig, fuel: u64, what: &str) {
     let built = build_source(src, "fuzz", config).unwrap_or_else(|e| {
         panic!(
@@ -332,55 +364,99 @@ fn differential(src: &str, config: BuildConfig, fuel: u64, what: &str) {
     });
     let mut base = built.vm_config(VmConfig::default());
     base.max_insts = fuel;
-    let runs: Vec<(RunOutcome, &str)> = LINEUP
-        .iter()
-        .map(|&(engine, fusion, name)| {
-            let mut vm = Machine::new(&built.module, base.with_engine(engine).with_fusion(fusion));
-            (vm.run(b""), name)
-        })
-        .collect();
-    let (reference, ref_name) = &runs[0];
-    for (run, name) in &runs[1..] {
-        let agree = run.status == reference.status
-            && run.output == reference.output
-            && run.stats.cycles == reference.stats.cycles
-            && run.stats.insts == reference.stats.insts
-            && run.stats.mem_ops == reference.stats.mem_ops
-            && run.stats.cpi_mem_ops == reference.stats.cpi_mem_ops
-            && run.stats.checks == reference.stats.checks
-            && run.stats.cache_hits == reference.stats.cache_hits
-            && run.stats.cache_misses == reference.stats.cache_misses
-            && run.stats.calls == reference.stats.calls;
-        assert!(
-            agree,
-            "{what} under {} fuel {fuel}: {name} diverged from {ref_name}\n\
-             {ref_name}: {:?} cycles {} insts {} out {:?}\n\
-             {name}: {:?} cycles {} insts {} out {:?}\n--- source ---\n{src}",
-            config.name(),
-            reference.status,
-            reference.stats.cycles,
-            reference.stats.insts,
-            reference.output,
-            run.status,
-            run.stats.cycles,
-            run.stats.insts,
-            run.output,
-        );
+    let mut across: Option<(RunOutcome, StoreKind)> = None;
+    for store in fuzz_stores() {
+        base.store_kind = store;
+        let runs: Vec<(RunOutcome, &str)> = LINEUP
+            .iter()
+            .map(|&(engine, fusion, name)| {
+                let mut vm =
+                    Machine::new(&built.module, base.with_engine(engine).with_fusion(fusion));
+                (vm.run(b""), name)
+            })
+            .collect();
+        let (reference, ref_name) = &runs[0];
+        for (run, name) in &runs[1..] {
+            let agree = run.status == reference.status
+                && run.output == reference.output
+                && run.stats.cycles == reference.stats.cycles
+                && run.stats.insts == reference.stats.insts
+                && run.stats.mem_ops == reference.stats.mem_ops
+                && run.stats.cpi_mem_ops == reference.stats.cpi_mem_ops
+                && run.stats.checks == reference.stats.checks
+                && run.stats.cache_hits == reference.stats.cache_hits
+                && run.stats.cache_misses == reference.stats.cache_misses
+                && run.stats.calls == reference.stats.calls;
+            assert!(
+                agree,
+                "{what} under {} store {} fuel {fuel}: {name} diverged from {ref_name}\n\
+                 {ref_name}: {:?} cycles {} insts {} out {:?}\n\
+                 {name}: {:?} cycles {} insts {} out {:?}\n--- source ---\n{src}",
+                config.name(),
+                store.name(),
+                reference.status,
+                reference.stats.cycles,
+                reference.stats.insts,
+                reference.output,
+                run.status,
+                run.stats.cycles,
+                run.stats.insts,
+                run.output,
+            );
+        }
+        // Store geometry must be cost-model-only: semantics and
+        // architectural counters agree with the first organization run.
+        if let Some((first, first_kind)) = &across {
+            let agree = reference.status == first.status
+                && reference.output == first.output
+                && reference.stats.insts == first.stats.insts
+                && reference.stats.mem_ops == first.stats.mem_ops
+                && reference.stats.cpi_mem_ops == first.stats.cpi_mem_ops
+                && reference.stats.checks == first.stats.checks
+                && reference.stats.calls == first.stats.calls;
+            assert!(
+                agree,
+                "{what} under {} fuel {fuel}: store {} diverged architecturally from {}\n\
+                 {}: {:?} insts {} out {:?}\n{}: {:?} insts {} out {:?}\n--- source ---\n{src}",
+                config.name(),
+                store.name(),
+                first_kind.name(),
+                first_kind.name(),
+                first.status,
+                first.stats.insts,
+                first.output,
+                store.name(),
+                reference.status,
+                reference.stats.insts,
+                reference.output,
+            );
+        } else {
+            across = Some((reference.clone(), store));
+        }
     }
 }
+
+/// Default proptest case count. The store matrix multiplied the work
+/// per case by four, so debug builds (the local `cargo test` loop)
+/// default to a quarter of the release count — total differential work
+/// stays what it was before the matrix — while release runs (CI's
+/// `diff-fuzz` job) take the full 1000 cases × 4 organizations.
+/// `DIFF_FUZZ_CASES` overrides either.
+const DEFAULT_CASES: u32 = if cfg!(debug_assertions) { 250 } else { 1000 };
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(
         std::env::var("DIFF_FUZZ_CASES")
             .ok()
             .and_then(|s| s.parse().ok())
-            .unwrap_or(1000)
+            .unwrap_or(DEFAULT_CASES)
     ))]
 
-    /// The headline property: 1000 random programs (default; override
-    /// with `DIFF_FUZZ_CASES`), each run under all four engine × fusion
-    /// configurations, must be observably identical — output, traps,
-    /// and every simulated counter.
+    /// The headline property: 1000 random programs (release default;
+    /// override with `DIFF_FUZZ_CASES`), each run under all four
+    /// engine × fusion configurations on every selected store
+    /// organization, must be observably identical — output, traps, and
+    /// every simulated counter.
     #[test]
     fn random_programs_agree_across_engines_and_fusion(
         seed in proptest::arbitrary::any::<u64>(),

@@ -686,3 +686,87 @@ fn use_after_free_detected_with_temporal_checks() {
     let out = Machine::new(&m, VmConfig::default()).run(b"");
     assert_eq!(out.status, ExitStatus::Exited(0));
 }
+
+// ---------------------------------------------------------------------------
+// Machine::reset — store ↔ provenance-table lifecycle coherence
+// ---------------------------------------------------------------------------
+
+/// A reset machine replays bit-identically to its first run on every
+/// store organization: every observable counter, the output, and the
+/// exit status. The module here is CPS-protected, so the first run
+/// populates the safe store with slots holding generation-checked
+/// provenance handles; reset clears those slots *before* the table's
+/// generation bump (no slot may dangle) and re-interns the loader's
+/// handles at the new generation. The hash organization is the
+/// interesting case: its probe addresses depend on the table capacity,
+/// so a reset that retained growth would diverge in cache counters.
+#[test]
+fn reset_replays_bit_identically() {
+    for store_kind in levee_vm::StoreKind::all() {
+        let m = fptr_module(true);
+        let config = VmConfig {
+            store_kind: *store_kind,
+            ..VmConfig::default()
+        };
+        let mut vm = Machine::new(&m, config);
+        let evil = vm.func_entry("evil").unwrap();
+        vm.add_goal(evil, GoalKind::FuncReuse);
+        let first = vm.run(&fptr_payload(evil));
+        assert_eq!(first.status, ExitStatus::Exited(0));
+        vm.reset();
+        let second = vm.run(&fptr_payload(evil));
+        let kind = store_kind.name();
+        assert_eq!(second.status, first.status, "{kind}");
+        assert_eq!(second.output, first.output, "{kind}");
+        assert_eq!(second.stats.cycles, first.stats.cycles, "{kind}");
+        assert_eq!(second.stats.insts, first.stats.insts, "{kind}");
+        assert_eq!(second.stats.checks, first.stats.checks, "{kind}");
+        assert_eq!(second.stats.cache_hits, first.stats.cache_hits, "{kind}");
+        assert_eq!(
+            second.stats.cache_misses, first.stats.cache_misses,
+            "{kind}"
+        );
+        assert_eq!(second.stats.store_bytes, first.stats.store_bytes, "{kind}");
+        assert_eq!(
+            second.stats.store_entries_peak, first.stats.store_entries_peak,
+            "{kind}"
+        );
+    }
+}
+
+/// Reset also restores the safe store's initializer slots (jump
+/// tables / vtables written by the loader), at the *new* table
+/// generation: the protected program still silently survives the
+/// pointer overwrite on its second run.
+#[test]
+fn reset_reloads_protected_initializer_slots() {
+    let m = fptr_module(true);
+    let mut vm = Machine::new(&m, VmConfig::default());
+    let evil = vm.func_entry("evil").unwrap();
+    vm.add_goal(evil, GoalKind::FuncReuse);
+    assert_eq!(vm.run(&fptr_payload(evil)).status, ExitStatus::Exited(0));
+    vm.reset();
+    let out = vm.run(&fptr_payload(evil));
+    assert_eq!(out.status, ExitStatus::Exited(0));
+    assert_eq!(out.output, "1");
+}
+
+/// setjmp writes a runtime-created code pointer through the safe store
+/// mid-run; a reset between runs must not leave that slot (or its
+/// handle) behind.
+#[test]
+fn reset_clears_runtime_created_store_slots() {
+    let m = setjmp_module();
+    let config = VmConfig {
+        protect_runtime_code_ptrs: true,
+        ..VmConfig::default()
+    };
+    let mut vm = Machine::new(&m, config);
+    let first = vm.run(b"");
+    assert_eq!(first.status, ExitStatus::Exited(0));
+    vm.reset();
+    let second = vm.run(b"");
+    assert_eq!(second.status, first.status);
+    assert_eq!(second.output, first.output);
+    assert_eq!(second.stats.cycles, first.stats.cycles);
+}
