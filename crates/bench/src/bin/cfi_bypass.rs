@@ -4,9 +4,10 @@
 //! code pointers the program actually assigned — and the corrupted
 //! regular-memory copy is simply never used.
 //!
-//! Usage: `cargo run -p levee-bench --bin cfi_bypass`
+//! Usage: `cargo run -p levee-bench --bin cfi_bypass [--json]`
 
-use levee_bench::Table;
+use levee_bench::{print_json_rows, BenchArgs, Table};
+use levee_core::session::json_str;
 use levee_core::BuildConfig;
 use levee_defenses::Deployment;
 use levee_ripe::{
@@ -14,7 +15,10 @@ use levee_ripe::{
 };
 
 fn main() {
-    println!("§3.3 / §5.2 — CFI bypass vs CPS/CPI\n");
+    let args = BenchArgs::parse();
+    if !args.json {
+        println!("§3.3 / §5.2 — CFI bypass vs CPS/CPI\n");
+    }
     // The attack: corrupt a global function pointer (a dispatch-table
     // slot) and redirect it to an existing function of the SAME type
     // signature that the program never assigned to it — precisely what
@@ -27,6 +31,7 @@ fn main() {
         payload: Payload::FuncReuse,
     };
     let mut table = Table::new(&["defense", "outcome", "verdict"]);
+    let mut json_rows = Vec::new();
     for (name, profile) in [
         (
             "CFI coarse (any function)",
@@ -43,14 +48,14 @@ fn main() {
             AttackResult::Crashed(why) => (format!("crashed ({why})"), "stopped"),
             AttackResult::Survived => ("program survived".to_string(), "stopped silently"),
         };
+        json_rows.push(format!(
+            "{{\"defense\": {}, \"outcome\": {}, \"verdict\": {}}}",
+            json_str(name),
+            json_str(&outcome),
+            json_str(verdict)
+        ));
         table.row(vec![name.to_string(), outcome, verdict.to_string()]);
     }
-    table.print();
-    println!(
-        "\nExpected: both CFI variants are bypassed (the target is a valid,\n\
-         matching-signature function); CPS and CPI stop the attack because\n\
-         the authentic pointer lives in the safe store."
-    );
 
     // And a ROP-style bypass of the coarse return policy.
     let rop = Attack {
@@ -62,6 +67,24 @@ fn main() {
     };
     let coarse = run_attack(&rop, &Profile::Deployment(Deployment::CoarseCfi), 99);
     let cpi = run_attack(&rop, &Profile::Levee(BuildConfig::Cpi), 99);
+
+    if args.json {
+        // AttackResult's payload variants carry free-form trap names —
+        // escape the Debug renderings so the row stays valid JSON.
+        json_rows.push(format!(
+            "{{\"rop\": {{\"coarse_cfi\": {}, \"cpi\": {}}}}}",
+            json_str(&format!("{coarse:?}")),
+            json_str(&format!("{cpi:?}"))
+        ));
+        print_json_rows("cfi_bypass", &json_rows);
+        return;
+    }
+    table.print();
+    println!(
+        "\nExpected: both CFI variants are bypassed (the target is a valid,\n\
+         matching-signature function); CPS and CPI stop the attack because\n\
+         the authentic pointer lives in the safe store."
+    );
     println!(
         "\nReturn-to-gadget (valid return site): coarse CFI → {:?}; CPI safe stack → {:?}",
         coarse, cpi

@@ -2,26 +2,58 @@
 //! FNUStack (fraction of functions needing an unsafe stack frame),
 //! MOCPS and MOCPI (fraction of memory operations instrumented).
 //!
-//! Usage: `cargo run -p levee-bench --bin compilation_stats`
+//! Usage: `cargo run -p levee-bench --bin compilation_stats [--json]`
+//! (`--json` runs each build once at scale 1 and emits the
+//! `levee::RunReport` rows — build statistics ride on the report.)
 
-use levee_bench::Table;
-use levee_core::{build_source, BuildConfig};
+use levee_bench::{print_json_rows, BenchArgs, Table};
+use levee_core::{BuildConfig, LeveeError, Session};
 use levee_workloads::spec_suite;
 
-fn main() {
+fn main() -> Result<(), LeveeError> {
+    let args = BenchArgs::parse();
+    if args.json {
+        // Quick mode: one checked run per (workload, config) — the
+        // build stats every table below reads live on the reports.
+        let mut json_rows = Vec::new();
+        for w in spec_suite() {
+            for config in [BuildConfig::SafeStack, BuildConfig::Cps, BuildConfig::Cpi] {
+                let mut session = Session::builder()
+                    .source(&w.source(1))
+                    .name(w.name)
+                    .protection(config)
+                    .build()?;
+                json_rows.push(session.run_ok(b"")?.to_json());
+            }
+        }
+        print_json_rows("compilation_stats", &json_rows);
+        return Ok(());
+    }
+
     println!("Table 2 — compilation statistics (paper: FNUStack <25% typical,");
     println!("MOCPS ≪ MOCPI ≪ 100%, omnetpp/xalancbmk as MOCPI outliers)\n");
     let mut table = Table::new(&["benchmark", "FNUStack", "MOCPS", "MOCPI"]);
+    // Compile-time statistics only — no machine is needed, so this
+    // path stays on the driver (`build_source`) rather than paying a
+    // module load per (workload, config) through a session.
+    let build = |w: &levee_workloads::Workload, config| -> Result<_, LeveeError> {
+        let built = levee_core::build_source(&w.source(1), w.name, config).map_err(|error| {
+            LeveeError::Compile {
+                name: w.name.to_string(),
+                error,
+            }
+        })?;
+        Ok(built.stats)
+    };
     for w in spec_suite() {
-        let src = w.source(1);
-        let ss = build_source(&src, w.name, BuildConfig::SafeStack).expect("builds");
-        let cps = build_source(&src, w.name, BuildConfig::Cps).expect("builds");
-        let cpi = build_source(&src, w.name, BuildConfig::Cpi).expect("builds");
+        let ss = build(&w, BuildConfig::SafeStack)?;
+        let cps = build(&w, BuildConfig::Cps)?;
+        let cpi = build(&w, BuildConfig::Cpi)?;
         table.row(vec![
             w.spec_id.to_string(),
-            format!("{:.1}%", ss.stats.fnustack() * 100.0),
-            format!("{:.1}%", cps.stats.mo_fraction() * 100.0),
-            format!("{:.1}%", cpi.stats.mo_fraction() * 100.0),
+            format!("{:.1}%", ss.fnustack() * 100.0),
+            format!("{:.1}%", cps.mo_fraction() * 100.0),
+            format!("{:.1}%", cpi.mo_fraction() * 100.0),
         ]);
     }
     table.print();
@@ -30,13 +62,14 @@ fn main() {
     let mut mem = 0u64;
     let mut inst = 0u64;
     for w in spec_suite() {
-        let cpi = build_source(&w.source(1), w.name, BuildConfig::Cpi).expect("builds");
-        mem += cpi.stats.mem_ops;
-        inst += cpi.stats.instrumented_mem_ops;
+        let cpi = build(&w, BuildConfig::Cpi)?;
+        mem += cpi.mem_ops;
+        inst += cpi.instrumented_mem_ops;
     }
     println!(
         "  CPI instruments {inst}/{mem} = {:.1}% of memory operations \
          (paper: 6.5% of pointer operations on SPEC)",
         inst as f64 / mem as f64 * 100.0
     );
+    Ok(())
 }

@@ -3,80 +3,111 @@
 //! hijacks (measured against the RIPE-like suite), and what does it
 //! cost (measured on the SPEC-like suite)?
 //!
-//! Usage: `cargo run -p levee-bench --bin defense_matrix [-- scale]`
+//! Usage: `cargo run -p levee-bench --bin defense_matrix [-- scale] [--json]`
+//! (`--json` emits one row per mechanism at a quick scale.)
 
-use levee_bench::Table;
-use levee_core::BuildConfig;
+use levee_bench::{print_json_rows, BenchArgs, Table};
+use levee_core::{BuildConfig, LeveeError, Session};
 use levee_defenses::Deployment;
 use levee_ripe::{all_attacks, evaluate, Profile};
 use levee_vm::{StoreKind, VmConfig};
 use levee_workloads::spec_suite;
 
-/// Average overhead of a Deployment's passes over a few workloads.
-fn deployment_overhead(d: Deployment, scale: u64) -> f64 {
+/// Average overhead of a Deployment's passes over a few workloads —
+/// each (baseline, deployed) pair served through `Session`s.
+fn deployment_overhead(d: Deployment, scale: u64) -> Result<f64, LeveeError> {
     let mut total = 0.0;
     let mut n = 0.0;
     for w in spec_suite().iter().take(6) {
         let src = w.source(scale);
         let base_module = levee_minic::compile(&src, w.name).expect("compiles");
-        let mut base_vm = levee_vm::Machine::new(&base_module, VmConfig::default());
-        let base = base_vm.run(b"");
+        let base = Session::builder()
+            .module(base_module)
+            .name(w.name)
+            .vm_config(VmConfig::default())
+            .build()?
+            .run_ok(b"")?;
 
         let mut module = levee_minic::compile(&src, w.name).expect("compiles");
         d.apply(&mut module);
-        let mut vm = levee_vm::Machine::new(&module, d.vm_config(VmConfig::default()));
-        let run = vm.run(b"");
-        total += run.stats.overhead_pct(&base.stats);
+        let run = Session::builder()
+            .module(module)
+            .name(w.name)
+            .vm_config(d.vm_config(VmConfig::default()))
+            .build()?
+            .run_ok(b"")?;
+        total += run.overhead_pct(&base);
         n += 1.0;
     }
-    total / n
+    Ok(total / n)
 }
 
 /// Average overhead of a Levee config over a few workloads.
-fn levee_overhead(c: BuildConfig, scale: u64) -> f64 {
+fn levee_overhead(c: BuildConfig, scale: u64) -> Result<f64, LeveeError> {
     let mut total = 0.0;
     let mut n = 0.0;
     for w in spec_suite().iter().take(6) {
-        let row = levee_workloads::overhead_row(w, scale, &[c], StoreKind::ArraySuperpage);
+        let row = levee_workloads::overhead_row(w, scale, &[c], StoreKind::ArraySuperpage)?;
         total += row.overhead(c).expect("measured");
         n += 1.0;
     }
-    total / n
+    Ok(total / n)
 }
 
-fn main() {
-    let scale: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2);
+fn main() -> Result<(), LeveeError> {
+    let args = BenchArgs::parse();
+    let scale = args.scale_or(2, 1);
     let attacks = all_attacks();
-    println!(
-        "Figure 5 — defense mechanisms vs {} hijack attempts + average overhead\n",
-        attacks.len()
-    );
+    if !args.json {
+        println!(
+            "Figure 5 — defense mechanisms vs {} hijack attempts + average overhead\n",
+            attacks.len()
+        );
+    }
     let mut table = Table::new(&["mechanism", "hijacks leaked", "stops all?", "avg overhead"]);
+    let mut json_rows = Vec::new();
+    let mut record = |table: &mut Table, name: String, leaked: usize, overhead: f64| {
+        json_rows.push(format!(
+            "{{\"mechanism\": \"{name}\", \"hijacks_leaked\": {leaked}, \
+             \"stops_all\": {}, \"avg_overhead_pct\": {overhead:.2}}}",
+            leaked == 0
+        ));
+        table.row(vec![
+            name,
+            leaked.to_string(),
+            if leaked == 0 { "yes" } else { "NO" }.to_string(),
+            format!("{overhead:+.1}%"),
+        ]);
+    };
 
     for d in Deployment::all() {
         let tally = evaluate(&attacks, &Profile::Deployment(*d), 7);
-        table.row(vec![
+        let overhead = deployment_overhead(*d, scale)?;
+        record(
+            &mut table,
             d.name().to_string(),
-            tally.successes().to_string(),
-            if tally.successes() == 0 { "yes" } else { "NO" }.to_string(),
-            format!("{:+.1}%", deployment_overhead(*d, scale)),
-        ]);
+            tally.successes(),
+            overhead,
+        );
     }
     for c in [BuildConfig::SafeStack, BuildConfig::Cps, BuildConfig::Cpi] {
         let tally = evaluate(&attacks, &Profile::Levee(c), 7);
-        table.row(vec![
+        let overhead = levee_overhead(c, scale)?;
+        record(
+            &mut table,
             c.name().to_string(),
-            tally.successes().to_string(),
-            if tally.successes() == 0 { "yes" } else { "NO" }.to_string(),
-            format!("{:+.1}%", levee_overhead(c, scale)),
-        ]);
+            tally.successes(),
+            overhead,
+        );
     }
-    table.print();
-    println!(
-        "\nExpected shape (Fig. 5): only CPI stops all hijacks by construction;\n\
-         CPS stops all observed ones at ~2% cost; baselines each leak a class."
-    );
+    if args.json {
+        print_json_rows("defense_matrix", &json_rows);
+    } else {
+        table.print();
+        println!(
+            "\nExpected shape (Fig. 5): only CPI stops all hijacks by construction;\n\
+             CPS stops all observed ones at ~2% cost; baselines each leak a class."
+        );
+    }
+    Ok(())
 }

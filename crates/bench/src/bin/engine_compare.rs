@@ -25,8 +25,8 @@
 use std::time::Instant;
 
 use levee_bench::Table;
-use levee_core::{build_source, BuildConfig};
-use levee_vm::{Engine, Machine, VmConfig};
+use levee_core::{BuildConfig, Session};
+use levee_vm::{Engine, VmConfig};
 use levee_workloads::kernels;
 
 /// Repetitions per (kernel, configuration); the minimum is reported.
@@ -113,31 +113,35 @@ const KERNELS: &[KernelSpec] = &[
 ];
 
 /// Best-of-`REPS` wall-clock for one configuration; checks the run
-/// every time.
+/// every time. The session's resident machine serves every rep —
+/// `Session::reset` re-arms it outside the timed window (bit-identical
+/// to a fresh machine), and compile/fuse happens once via
+/// `Session::precompile`.
 fn measure(
-    module: &levee_ir::Module,
+    session: &mut Session,
     base: VmConfig,
     engine: Engine,
     fusion: bool,
 ) -> (f64, u64, u64, String) {
+    session.reconfigure(|cfg| *cfg = base.with_engine(engine).with_fusion(fusion));
+    session.precompile(); // one-time compile/fuse stays out of the timing
     let mut best = f64::INFINITY;
     let mut cycles = 0;
     let mut insts = 0;
     let mut output = String::new();
     for _ in 0..REPS {
-        let mut vm = Machine::new(module, base.with_engine(engine).with_fusion(fusion));
-        vm.precompile(); // one-time compile/fuse stays out of the timing
+        session.reset();
         let t0 = Instant::now();
-        let out = vm.run(b"");
+        let out = session.run(b"");
         let dt = t0.elapsed().as_secs_f64() * 1e3;
         assert!(
-            out.status.is_success(),
+            out.success(),
             "kernel must exit cleanly under {engine:?}/fusion={fusion}, got {:?}",
             out.status
         );
         best = best.min(dt);
-        cycles = out.stats.cycles;
-        insts = out.stats.insts;
+        cycles = out.exec.cycles;
+        insts = out.exec.insts;
         output = out.output;
     }
     (best, cycles, insts, output)
@@ -164,14 +168,22 @@ fn main() {
         ]);
         for spec in KERNELS {
             let src = kernels::assemble(&[spec.source], &[(spec.entry, spec.iters)]);
-            let built = build_source(&src, spec.name, config).unwrap();
-            let base = built.vm_config(VmConfig::default());
+            // One session per (kernel, build config): compiled once,
+            // reconfigured per engine, machine reused across reps.
+            let mut session = Session::builder()
+                .source(&src)
+                .name(spec.name)
+                .protection(config)
+                .vm_config(VmConfig::default())
+                .build()
+                .unwrap_or_else(|e| panic!("kernel builds: {e}"));
+            let base = session.vm_config();
             let (walk_ms, walk_cycles, walk_insts, walk_out) =
-                measure(&built.module, base, Engine::Walk, false);
+                measure(&mut session, base, Engine::Walk, false);
             let (unfused_ms, unfused_cycles, unfused_insts, unfused_out) =
-                measure(&built.module, base, Engine::Bytecode, false);
+                measure(&mut session, base, Engine::Bytecode, false);
             let (fused_ms, fused_cycles, fused_insts, fused_out) =
-                measure(&built.module, base, Engine::Bytecode, true);
+                measure(&mut session, base, Engine::Bytecode, true);
             assert_eq!(
                 (walk_cycles, walk_cycles),
                 (unfused_cycles, fused_cycles),

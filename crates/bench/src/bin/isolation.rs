@@ -5,21 +5,23 @@
 //! Paper: SFI adds <5%; under information hiding "most failed guessing
 //! attempts would crash the program".
 //!
-//! Usage: `cargo run -p levee-bench --bin isolation [-- scale]`
+//! Usage: `cargo run -p levee-bench --bin isolation [-- scale] [--json]`
+//! (`--json` runs the quick profile and emits per-isolation rows.)
 
-use levee_bench::{pct, Table};
-use levee_core::{build_source, BuildConfig};
-use levee_vm::{GuessOutcome, Isolation, Machine, StoreKind, VmConfig};
+use levee_bench::{pct, print_json_rows, BenchArgs, Table};
+use levee_core::{BuildConfig, LeveeError, Session};
+use levee_vm::{GuessOutcome, Isolation, StoreKind};
 use levee_workloads::spec_suite;
 
-fn main() {
-    let scale: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(4);
+fn main() -> Result<(), LeveeError> {
+    let args = BenchArgs::parse();
+    let scale = args.scale_or(4, 1);
 
-    println!("§3.2.3 — isolation mechanism cost under CPI (scale {scale})\n");
+    if !args.json {
+        println!("§3.2.3 — isolation mechanism cost under CPI (scale {scale})\n");
+    }
     let mut table = Table::new(&["isolation", "avg CPI overhead"]);
+    let mut json_rows = Vec::new();
     for iso in [
         Isolation::Segmentation,
         Isolation::InfoHiding,
@@ -29,41 +31,64 @@ fn main() {
         let mut n = 0.0;
         for w in spec_suite().iter().take(8) {
             let src = w.source(scale);
-            let base = build_source(&src, w.name, BuildConfig::Vanilla).expect("builds");
-            let mut base_cfg = base.vm_config(VmConfig::default());
-            base_cfg.isolation = Isolation::Segmentation; // plain baseline
-            let base_run = Machine::new(&base.module, base_cfg).run(b"");
+            let base_run = Session::builder()
+                .source(&src)
+                .name(w.name)
+                .protection(BuildConfig::Vanilla)
+                .configure(|cfg| cfg.isolation = Isolation::Segmentation) // plain baseline
+                .build()?
+                .run_ok(b"")?;
 
-            let built = build_source(&src, w.name, BuildConfig::Cpi).expect("builds");
-            let mut cfg = built.vm_config(VmConfig::default());
-            cfg.isolation = iso;
-            cfg.store_kind = StoreKind::ArraySuperpage;
-            let run = Machine::new(&built.module, cfg).run(b"");
-            total += run.stats.overhead_pct(&base_run.stats);
+            let run = Session::builder()
+                .source(&src)
+                .name(w.name)
+                .protection(BuildConfig::Cpi)
+                .store(StoreKind::ArraySuperpage)
+                .configure(move |cfg| cfg.isolation = iso)
+                .build()?
+                .run_ok(b"")?;
+            total += run.overhead_pct(&base_run);
             n += 1.0;
         }
+        json_rows.push(format!(
+            "{{\"isolation\": \"{iso:?}\", \"avg_cpi_overhead_pct\": {:.2}}}",
+            total / n
+        ));
         table.row(vec![format!("{iso:?}"), pct(total / n)]);
     }
-    table.print();
-    println!("\nExpected: SFI ≈ segmentation + a few % (one mask per memory access).\n");
+    if !args.json {
+        table.print();
+        println!("\nExpected: SFI ≈ segmentation + a few % (one mask per memory access).\n");
+    }
 
     // Guessing attack against information hiding.
     let src = spec_suite()[0].source(1);
-    let built = build_source(&src, "victim", BuildConfig::Cpi).expect("builds");
-    let mut cfg = built.vm_config(VmConfig::default());
-    cfg.isolation = Isolation::InfoHiding;
-    cfg.seed = 0xFEE1;
-    let vm = Machine::new(&built.module, cfg);
+    let session = Session::builder()
+        .source(&src)
+        .name("victim")
+        .protection(BuildConfig::Cpi)
+        .seed(0xFEE1)
+        .configure(|cfg| cfg.isolation = Isolation::InfoHiding)
+        .build()?;
     let (mut hits, mut crashes, mut misses) = (0u64, 0u64, 0u64);
     let probes = 2048u64;
     for i in 0..probes {
         let guess =
             levee_vm::layout::SAFE_REGION_MIN + i * (levee_vm::layout::SAFE_REGION_WINDOW / probes);
-        match vm.attacker_guess(guess) {
+        match session.attacker_guess(guess) {
             GuessOutcome::Hit => hits += 1,
             GuessOutcome::Crash => crashes += 1,
             GuessOutcome::Miss => misses += 1,
         }
+    }
+    if args.json {
+        json_rows.push(format!(
+            "{{\"guessing\": {{\"probes\": {probes}, \"hits\": {hits}, \"crashes\": {crashes}, \
+             \"misses\": {misses}, \"guess_space\": {}}}}}",
+            session.guess_space()
+        ));
+        print_json_rows("isolation", &json_rows);
+        return Ok(());
     }
     println!(
         "Guessing the hidden safe region: {probes} probes → {hits} hits, \
@@ -72,7 +97,8 @@ fn main() {
     println!(
         "Guess space: {} equally likely bases → every probe is ~{:.2}% likely to hit,\n\
          and every miss crashes the process (detectable crash storm).",
-        vm.guess_space(),
-        100.0 / vm.guess_space() as f64
+        session.guess_space(),
+        100.0 / session.guess_space() as f64
     );
+    Ok(())
 }

@@ -149,8 +149,9 @@ fn main() {
         for store in [StoreKind::Hash, StoreKind::Array4K] {
             let mut overheads: Vec<f64> = Vec::new();
             for w in spec_suite() {
-                let base = measure(&w, scale, BuildConfig::Vanilla, store);
-                let m = measure(&w, scale, config, store);
+                let base = measure(&w, scale, BuildConfig::Vanilla, store)
+                    .unwrap_or_else(|e| panic!("{e}"));
+                let m = measure(&w, scale, config, store).unwrap_or_else(|e| panic!("{e}"));
                 overheads.push(m.store_overhead_pct(&base));
             }
             overheads.sort_by(|a, b| a.partial_cmp(b).expect("finite"));

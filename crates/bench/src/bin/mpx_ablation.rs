@@ -2,45 +2,64 @@
 //! costs if bounds checks and metadata bookkeeping run in MPX-like
 //! hardware (dedicated bounds registers + hardware two-level table).
 //!
-//! Usage: `cargo run -p levee-bench --bin mpx_ablation [-- scale]`
+//! Usage: `cargo run -p levee-bench --bin mpx_ablation [-- scale] [--json]`
+//! (`--json` emits one `levee::RunReport` row per run at a quick scale.)
 
-use levee_bench::{pct, Table};
-use levee_core::{build_source, BuildConfig};
-use levee_vm::{HardwareModel, Machine, StoreKind, VmConfig};
+use levee_bench::{pct, print_json_rows, BenchArgs, Table};
+use levee_core::{BuildConfig, LeveeError, Session};
+use levee_vm::{HardwareModel, StoreKind};
 use levee_workloads::spec_suite;
 
-fn main() {
-    let scale: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(4);
-    println!("§4 — software-only CPI vs MPX-assisted CPI (scale {scale})\n");
+fn main() -> Result<(), LeveeError> {
+    let args = BenchArgs::parse();
+    let scale = args.scale_or(4, 1);
+    if !args.json {
+        println!("§4 — software-only CPI vs MPX-assisted CPI (scale {scale})\n");
+    }
     let mut table = Table::new(&["benchmark", "CPI (software)", "CPI (MPX model)"]);
+    let mut json_rows = Vec::new();
     for w in spec_suite()
         .iter()
         .filter(|w| ["perlbench", "gcc", "dealII", "omnetpp", "xalancbmk", "lbm"].contains(&w.name))
     {
         let src = w.source(scale);
-        let base = build_source(&src, w.name, BuildConfig::Vanilla).expect("builds");
-        let base_run = Machine::new(&base.module, base.vm_config(VmConfig::default())).run(b"");
+        let base_run = Session::builder()
+            .source(&src)
+            .name(w.name)
+            .protection(BuildConfig::Vanilla)
+            .build()?
+            .run_ok(b"")?;
 
-        let built = build_source(&src, w.name, BuildConfig::Cpi).expect("builds");
-        let mut sw_cfg = built.vm_config(VmConfig::default());
-        sw_cfg.hardware = HardwareModel::Software;
-        sw_cfg.store_kind = StoreKind::ArraySuperpage;
-        let sw = Machine::new(&built.module, sw_cfg).run(b"");
+        let sw = Session::builder()
+            .source(&src)
+            .name(w.name)
+            .protection(BuildConfig::Cpi)
+            .store(StoreKind::ArraySuperpage)
+            .configure(|cfg| cfg.hardware = HardwareModel::Software)
+            .build()?
+            .run_ok(b"")?;
 
-        let mut hw_cfg = built.vm_config(VmConfig::default());
-        hw_cfg.hardware = HardwareModel::Mpx;
-        hw_cfg.store_kind = StoreKind::TwoLevel; // MPX's bounds tables
-        let hw = Machine::new(&built.module, hw_cfg).run(b"");
+        let hw = Session::builder()
+            .source(&src)
+            .name(w.name)
+            .protection(BuildConfig::Cpi)
+            .store(StoreKind::TwoLevel) // MPX's bounds tables
+            .configure(|cfg| cfg.hardware = HardwareModel::Mpx)
+            .build()?
+            .run_ok(b"")?;
 
         table.row(vec![
             w.spec_id.to_string(),
-            pct(sw.stats.overhead_pct(&base_run.stats)),
-            pct(hw.stats.overhead_pct(&base_run.stats)),
+            pct(sw.overhead_pct(&base_run)),
+            pct(hw.overhead_pct(&base_run)),
         ]);
+        json_rows.extend([base_run.to_json(), sw.to_json(), hw.to_json()]);
     }
-    table.print();
-    println!("\nExpected: the MPX model reduces (but does not erase) CPI's overhead.");
+    if args.json {
+        print_json_rows("mpx_ablation", &json_rows);
+    } else {
+        table.print();
+        println!("\nExpected: the MPX model reduces (but does not erase) CPI's overhead.");
+    }
+    Ok(())
 }

@@ -4,29 +4,38 @@
 //! Expected shape: most overheads small; the interpreter-bound pybench
 //! is the CPI outlier, exactly as in the paper's Fig. 4.
 //!
-//! Usage: `cargo run -p levee-bench --bin phoronix [-- scale]`
+//! Usage: `cargo run -p levee-bench --bin phoronix [-- scale] [--json]`
+//! (`--json` emits one `levee::RunReport` row per measured run at a
+//! quick scale.)
 
-use levee_bench::{pct, Table};
-use levee_core::BuildConfig;
+use levee_bench::{pct, print_json_rows, BenchArgs, Table};
+use levee_core::{BuildConfig, LeveeError};
 use levee_vm::StoreKind;
 use levee_workloads::{overhead_row, phoronix_suite};
 
-fn main() {
-    let scale: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(8);
+fn main() -> Result<(), LeveeError> {
+    let args = BenchArgs::parse();
+    let scale = args.scale_or(8, 1);
     let configs = [BuildConfig::SafeStack, BuildConfig::Cps, BuildConfig::Cpi];
-    println!("Figure 4 — Phoronix-like suite overheads (scale {scale})\n");
+    if !args.json {
+        println!("Figure 4 — Phoronix-like suite overheads (scale {scale})\n");
+    }
     let mut table = Table::new(&["benchmark", "SafeStack", "CPS", "CPI"]);
+    let mut json_rows = Vec::new();
     for w in phoronix_suite() {
-        let row = overhead_row(&w, scale, &configs, StoreKind::ArraySuperpage);
+        let row = overhead_row(&w, scale, &configs, StoreKind::ArraySuperpage)?;
         table.row(vec![
             w.name.to_string(),
             pct(row.overhead(BuildConfig::SafeStack).unwrap()),
             pct(row.overhead(BuildConfig::Cps).unwrap()),
             pct(row.overhead(BuildConfig::Cpi).unwrap()),
         ]);
+        json_rows.extend(row.measurements.iter().map(|m| m.to_json()));
     }
-    table.print();
+    if args.json {
+        print_json_rows("phoronix", &json_rows);
+    } else {
+        table.print();
+    }
+    Ok(())
 }

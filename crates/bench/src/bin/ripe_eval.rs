@@ -5,22 +5,23 @@
 //! DEP+ASLR+cookies 43–49; CPS/CPI 0; safe stack stops all stack-based
 //! attacks.
 //!
-//! Usage: `cargo run -p levee-bench --bin ripe_eval [-- seed]`
+//! Usage: `cargo run -p levee-bench --bin ripe_eval [-- seed] [--json]`
+//! (`--json` emits one verdict-tally row per profile.)
 
-use levee_bench::Table;
+use levee_bench::{print_json_rows, BenchArgs, Table};
 use levee_ripe::{all_attacks, evaluate, Profile, Target};
 
 fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0xD1CE);
+    let args = BenchArgs::parse();
+    let seed = args.scale.unwrap_or(0xD1CE);
     let attacks = all_attacks();
-    println!(
-        "§5.1 — RIPE-like evaluation: {} attack instances (location × target\n\
-         × technique × abused function × payload), seed {seed}\n",
-        attacks.len()
-    );
+    if !args.json {
+        println!(
+            "§5.1 — RIPE-like evaluation: {} attack instances (location × target\n\
+             × technique × abused function × payload), seed {seed}\n",
+            attacks.len()
+        );
+    }
     let mut table = Table::new(&[
         "profile",
         "hijacked",
@@ -29,6 +30,7 @@ fn main() {
         "survived",
         "ret-addr hijacks",
     ]);
+    let mut json_rows = Vec::new();
     for profile in Profile::paper_lineup() {
         let tally = evaluate(&attacks, &profile, seed);
         let ret_hijacks = tally
@@ -36,6 +38,17 @@ fn main() {
             .iter()
             .filter(|a| a.target == Target::RetAddr)
             .count();
+        json_rows.push(format!(
+            "{{\"profile\": \"{}\", \"attacks\": {}, \"hijacked\": {}, \"detected\": {}, \
+             \"crashed\": {}, \"survived\": {}, \"ret_addr_hijacks\": {}}}",
+            profile.name(),
+            tally.total(),
+            tally.successes(),
+            tally.detected,
+            tally.crashed,
+            tally.survived,
+            ret_hijacks
+        ));
         table.row(vec![
             profile.name(),
             tally.successes().to_string(),
@@ -45,6 +58,10 @@ fn main() {
             ret_hijacks.to_string(),
         ]);
     }
-    table.print();
-    println!("\nExpected shape: legacy ≫ deployed > 0; safestack ret-addr = 0; CPS = CPI = 0.");
+    if args.json {
+        print_json_rows("ripe_eval", &json_rows);
+    } else {
+        table.print();
+        println!("\nExpected shape: legacy ≫ deployed > 0; safestack ret-addr = 0; CPS = CPI = 0.");
+    }
 }

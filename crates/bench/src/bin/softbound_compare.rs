@@ -4,21 +4,24 @@
 //! Paper: bzip2 2.8% vs 90.2%; dealII 3.7% vs 60.2%; sjeng 2.6% vs
 //! 79.0%; h264ref 5.8% vs 249.4%.
 //!
-//! Usage: `cargo run -p levee-bench --bin softbound_compare [-- scale]`
+//! Usage: `cargo run -p levee-bench --bin softbound_compare [-- scale] [--json]`
+//! (`--json` emits one `levee::RunReport` row per measured run at a
+//! quick scale.)
 
-use levee_bench::{pct, Table};
-use levee_core::BuildConfig;
+use levee_bench::{pct, print_json_rows, BenchArgs, Table};
+use levee_core::{BuildConfig, LeveeError};
 use levee_vm::StoreKind;
 use levee_workloads::{overhead_row, spec_suite};
 
-fn main() {
-    let scale: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(8);
+fn main() -> Result<(), LeveeError> {
+    let args = BenchArgs::parse();
+    let scale = args.scale_or(8, 1);
     let names = ["bzip2", "dealII", "sjeng", "h264ref"];
-    println!("Table 3 — Levee vs SoftBound-style full memory safety (scale {scale})\n");
+    if !args.json {
+        println!("Table 3 — Levee vs SoftBound-style full memory safety (scale {scale})\n");
+    }
     let mut table = Table::new(&["benchmark", "SafeStack", "CPS", "CPI", "SoftBound"]);
+    let mut json_rows = Vec::new();
     for w in spec_suite().iter().filter(|w| names.contains(&w.name)) {
         let row = overhead_row(
             w,
@@ -30,7 +33,7 @@ fn main() {
                 BuildConfig::SoftBound,
             ],
             StoreKind::ArraySuperpage,
-        );
+        )?;
         table.row(vec![
             w.spec_id.to_string(),
             pct(row.overhead(BuildConfig::SafeStack).unwrap()),
@@ -38,7 +41,13 @@ fn main() {
             pct(row.overhead(BuildConfig::Cpi).unwrap()),
             pct(row.overhead(BuildConfig::SoftBound).unwrap()),
         ]);
+        json_rows.extend(row.measurements.iter().map(|m| m.to_json()));
     }
-    table.print();
-    println!("\nExpected shape: SoftBound ≫ CPI (the paper's 16–44× selectivity win).");
+    if args.json {
+        print_json_rows("softbound_compare", &json_rows);
+    } else {
+        table.print();
+        println!("\nExpected shape: SoftBound ≫ CPI (the paper's 16–44× selectivity win).");
+    }
+    Ok(())
 }

@@ -2,25 +2,28 @@
 //! SafeStack / CPS / CPI per benchmark, with C-only and C/C++ summary
 //! rows.
 //!
-//! Usage: `cargo run -p levee-bench --bin spec_overhead [-- scale]`
+//! Usage: `cargo run -p levee-bench --bin spec_overhead [-- scale] [--json]`
+//! (`--json` emits one `levee::RunReport` row per measured run at a
+//! quick scale — the CI `bench-smoke` shape.)
 
-use levee_bench::{pct, Table};
-use levee_core::BuildConfig;
+use levee_bench::{pct, print_json_rows, BenchArgs, Table};
+use levee_core::{BuildConfig, LeveeError};
 use levee_vm::StoreKind;
 use levee_workloads::{overhead_row, spec_suite, summarize};
 
-fn main() {
-    let scale: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(8);
+fn main() -> Result<(), LeveeError> {
+    let args = BenchArgs::parse();
+    let scale = args.scale_or(8, 1);
     let configs = [BuildConfig::SafeStack, BuildConfig::Cps, BuildConfig::Cpi];
-    println!("Figure 3 / Table 1 — SPEC CPU2006-like overheads (scale {scale})\n");
+    if !args.json {
+        println!("Figure 3 / Table 1 — SPEC CPU2006-like overheads (scale {scale})\n");
+    }
 
     let mut table = Table::new(&["benchmark", "lang", "SafeStack", "CPS", "CPI"]);
     let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
     for w in spec_suite() {
-        let row = overhead_row(&w, scale, &configs, StoreKind::ArraySuperpage);
+        let row = overhead_row(&w, scale, &configs, StoreKind::ArraySuperpage)?;
         table.row(vec![
             w.spec_id.to_string(),
             if w.cpp { "C++" } else { "C" }.to_string(),
@@ -28,7 +31,12 @@ fn main() {
             pct(row.overhead(BuildConfig::Cps).unwrap()),
             pct(row.overhead(BuildConfig::Cpi).unwrap()),
         ]);
+        json_rows.extend(row.measurements.iter().map(|m| m.to_json()));
         rows.push(row);
+    }
+    if args.json {
+        print_json_rows("spec_overhead", &json_rows);
+        return Ok(());
     }
     table.print();
 
@@ -58,4 +66,5 @@ fn main() {
         ]);
     }
     summary.print();
+    Ok(())
 }

@@ -5,35 +5,175 @@
 //! 1.4/15.9/138.8% — the dynamic (interpreter) path is where CPI
 //! explodes.
 //!
-//! Usage: `cargo run -p levee-bench --bin webserver_throughput [-- requests]`
+//! The second section is the embedding-API scale win: a server does
+//! not rebuild its program per request. One resident `levee::Session`
+//! serves every request via `Session::run_batch` — one compile, one
+//! module load, then `Machine::reset` per request (bit-identical to a
+//! fresh build, proven by the session proptest suite) — and is
+//! compared against the old one-session-per-request wiring. The
+//! measured requests/sec improvement is asserted and recorded in
+//! `crates/bench/baselines/webserver_throughput.json`.
+//!
+//! Usage: `cargo run --release -p levee-bench --bin webserver_throughput
+//! [-- requests] [--json]`
 
-use levee_bench::{pct, Table};
-use levee_core::BuildConfig;
+use std::time::Instant;
+
+use levee_bench::{pct, print_json_rows, BenchArgs, Table};
+use levee_core::{BuildConfig, LeveeError, RunReport, Session};
 use levee_vm::StoreKind;
-use levee_workloads::{measure, web_stack};
+use levee_workloads::{measure, web_stack, Workload};
 
-fn main() {
-    let requests: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(16);
-    println!("Table 4 — web stack throughput ({requests} requests per run)\n");
+/// Requests served per throughput measurement (wall-clock section).
+const SERVED_REQUESTS: usize = 64;
+
+/// Aggregated over the three page types, the resident session must
+/// serve requests at least this much faster than
+/// fresh-session-per-request. What reuse saves is the fixed
+/// per-request setup — source build, instrumentation, bytecode
+/// compile+fuse — measured ≈1.1–1.3× per page in release (see
+/// `baselines/webserver_throughput.json`). Per-page wall-clock is
+/// scheduler-noisy, so the gate is on the aggregate, which is stable;
+/// a real reuse regression (resident no faster than rebuild) still
+/// fails it.
+const MIN_REUSE_SPEEDUP: f64 = 1.08;
+
+/// The gate used in `--json` (CI `bench-smoke`) mode: shared runners
+/// are far noisier than a quiet box, so CI only fails when reuse shows
+/// *no* win at all — an actual regression — while the interactive gate
+/// keeps the measured margin.
+const MIN_REUSE_SPEEDUP_CI: f64 = 1.0;
+
+struct Throughput {
+    page: &'static str,
+    fresh_rps: f64,
+    resident_rps: f64,
+    speedup: f64,
+}
+
+/// Serves `n` requests by building a fresh session per request — the
+/// pre-`Session` wiring every consumer hand-rolled.
+fn serve_fresh(w: &Workload, n: usize) -> Result<(f64, Vec<RunReport>), LeveeError> {
+    let src = w.source(1);
+    let t0 = Instant::now();
+    let mut reports = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut session = Session::builder()
+            .source(&src)
+            .name(w.name)
+            .protection(BuildConfig::Cpi)
+            .store(StoreKind::ArraySuperpage)
+            .build()?;
+        reports.push(session.run_ok(b"")?);
+    }
+    Ok((t0.elapsed().as_secs_f64(), reports))
+}
+
+/// Serves `n` requests from one resident session (`run_batch` resets
+/// the machine between requests; the module compiles and loads once).
+fn serve_resident(w: &Workload, n: usize) -> Result<(f64, Vec<RunReport>), LeveeError> {
+    let src = w.source(1);
+    let t0 = Instant::now();
+    let mut session = Session::builder()
+        .source(&src)
+        .name(w.name)
+        .protection(BuildConfig::Cpi)
+        .store(StoreKind::ArraySuperpage)
+        .build()?;
+    let reports = session.run_batch(std::iter::repeat_n(b"", n));
+    Ok((t0.elapsed().as_secs_f64(), reports))
+}
+
+/// Repetitions per (page, serving mode); the minimum wall-clock is
+/// used, which rejects scheduler noise (same policy as
+/// `engine_compare`).
+const REPS: usize = 3;
+
+fn measure_reuse(n: usize, min_speedup: f64) -> Result<(Vec<Throughput>, f64), LeveeError> {
+    let mut rows = Vec::new();
+    let mut total_fresh_s = 0.0;
+    let mut total_resident_s = 0.0;
+    for w in web_stack() {
+        let mut fresh_s = f64::INFINITY;
+        let mut resident_s = f64::INFINITY;
+        let mut fresh_reports = Vec::new();
+        let mut resident_reports = Vec::new();
+        for _ in 0..REPS {
+            let (s, reports) = serve_fresh(&w, n)?;
+            if s < fresh_s {
+                fresh_s = s;
+                fresh_reports = reports;
+            }
+            let (s, reports) = serve_resident(&w, n)?;
+            if s < resident_s {
+                resident_s = s;
+                resident_reports = reports;
+            }
+        }
+        // Reuse must be invisible to the served results: every resident
+        // request is bit-identical to a freshly built session's run.
+        for (f, r) in fresh_reports.iter().zip(&resident_reports) {
+            assert_eq!(
+                f.output, r.output,
+                "{}: output diverged under reuse",
+                w.name
+            );
+            assert_eq!(
+                f.exec.cycles, r.exec.cycles,
+                "{}: cycles diverged under reuse",
+                w.name
+            );
+            assert_eq!(
+                f.exec.checks, r.exec.checks,
+                "{}: checks diverged under reuse",
+                w.name
+            );
+        }
+        let fresh_rps = n as f64 / fresh_s;
+        let resident_rps = n as f64 / resident_s;
+        rows.push(Throughput {
+            page: w.name,
+            fresh_rps,
+            resident_rps,
+            speedup: resident_rps / fresh_rps,
+        });
+        total_fresh_s += fresh_s;
+        total_resident_s += resident_s;
+    }
+    let aggregate = total_fresh_s / total_resident_s;
+    assert!(
+        aggregate >= min_speedup,
+        "resident sessions must serve the web stack ≥{min_speedup}x faster than \
+         rebuild-per-request in aggregate, got {aggregate:.2}x \
+         ({total_fresh_s:.3}s vs {total_resident_s:.3}s for {} pages × {n} requests)",
+        rows.len()
+    );
+    Ok((rows, aggregate))
+}
+
+fn main() -> Result<(), LeveeError> {
+    let args = BenchArgs::parse();
+    let requests = args.scale_or(16, 4);
+    let served = if args.json { 48 } else { SERVED_REQUESTS };
+
+    // --- Table 4: simulated-cycle overheads per page type. ---
     let mut table = Table::new(&["page", "SafeStack", "CPS", "CPI", "baseline req/Mcycle"]);
+    let mut json_rows = Vec::new();
     for w in web_stack() {
         let base = measure(
             &w,
             requests,
             BuildConfig::Vanilla,
             StoreKind::ArraySuperpage,
-        );
-        let cells: Vec<String> = [BuildConfig::SafeStack, BuildConfig::Cps, BuildConfig::Cpi]
-            .iter()
-            .map(|c| {
-                let m = measure(&w, requests, *c, StoreKind::ArraySuperpage);
-                pct(m.overhead_pct(&base))
-            })
-            .collect();
+        )?;
+        let mut cells = Vec::new();
+        for c in [BuildConfig::SafeStack, BuildConfig::Cps, BuildConfig::Cpi] {
+            let m = measure(&w, requests, c, StoreKind::ArraySuperpage)?;
+            cells.push(pct(m.overhead_pct(&base)));
+            json_rows.push(m.to_json());
+        }
         let throughput = requests as f64 / (base.exec.cycles as f64 / 1.0e6);
+        json_rows.push(base.to_json());
         table.row(vec![
             w.name.to_string(),
             cells[0].clone(),
@@ -42,6 +182,47 @@ fn main() {
             format!("{throughput:.1}"),
         ]);
     }
+
+    // --- The reuse win: resident session vs rebuild-per-request. ---
+    let gate = if args.json {
+        MIN_REUSE_SPEEDUP_CI
+    } else {
+        MIN_REUSE_SPEEDUP
+    };
+    let (reuse, aggregate) = measure_reuse(served, gate)?;
+
+    if args.json {
+        for t in &reuse {
+            json_rows.push(format!(
+                "{{\"page\": \"{}\", \"served_requests\": {served}, \
+                 \"fresh_rps\": {:.1}, \"resident_rps\": {:.1}, \"reuse_speedup\": {:.2}}}",
+                t.page, t.fresh_rps, t.resident_rps, t.speedup
+            ));
+        }
+        json_rows.push(format!("{{\"aggregate_reuse_speedup\": {aggregate:.2}}}"));
+        print_json_rows("webserver_throughput", &json_rows);
+        return Ok(());
+    }
+
+    println!("Table 4 — web stack throughput ({requests} requests per run)\n");
     table.print();
     println!("\nExpected shape: dynamic-page CPI ≫ wsgi ≫ static (interpreter dispatch cost).");
+
+    println!("\nResident-session reuse under CPI ({served} requests per page, wall-clock):\n");
+    let mut t2 = Table::new(&["page", "rebuild/req req/s", "resident req/s", "speedup"]);
+    for t in &reuse {
+        t2.row(vec![
+            t.page.to_string(),
+            format!("{:.0}", t.fresh_rps),
+            format!("{:.0}", t.resident_rps),
+            format!("{:.2}x", t.speedup),
+        ]);
+    }
+    t2.print();
+    println!(
+        "\naggregate reuse speedup: {aggregate:.2}x — one compile + one module load serve\n\
+         every request (Machine::reset between runs, bit-identical to a fresh build);\n\
+         baseline recorded in crates/bench/baselines/webserver_throughput.json."
+    );
+    Ok(())
 }

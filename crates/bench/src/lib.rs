@@ -25,6 +25,53 @@ pub fn pct(x: f64) -> String {
     format!("{x:+.1}%")
 }
 
+/// Shared command-line convention of every bench binary:
+/// `[-- [scale] [--json]]`. `--json` selects the machine-readable
+/// report *and* the binary's quick profile (a small default scale), so
+/// CI's `bench-smoke` job can run all thirteen binaries on every push;
+/// an explicit scale always wins.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BenchArgs {
+    /// Emit machine-readable JSON (rows read off `levee::RunReport`).
+    pub json: bool,
+    /// Explicit scale/size argument, if one was given.
+    pub scale: Option<u64>,
+}
+
+impl BenchArgs {
+    /// Parses the process arguments.
+    pub fn parse() -> Self {
+        let mut args = BenchArgs::default();
+        for a in std::env::args().skip(1) {
+            if a == "--json" {
+                args.json = true;
+            } else if let Ok(n) = a.parse() {
+                args.scale = Some(n);
+            }
+        }
+        args
+    }
+
+    /// The effective scale: explicit wins, then the quick default under
+    /// `--json`, then the interactive default.
+    pub fn scale_or(&self, interactive: u64, quick: u64) -> u64 {
+        self.scale
+            .unwrap_or(if self.json { quick } else { interactive })
+    }
+}
+
+/// Renders `rows` of pre-serialized JSON objects as one top-level
+/// object: `{"<bin>": [row, row, …]}` — the uniform shape of every
+/// bench binary's `--json` output.
+pub fn print_json_rows(bin: &str, rows: &[String]) {
+    println!("{{\"{bin}\": [");
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        println!("  {row}{comma}");
+    }
+    println!("]}}");
+}
+
 /// A fixed-width text table, printed in the paper's style.
 pub struct Table {
     headers: Vec<String>,

@@ -30,7 +30,11 @@ pub enum BuildConfig {
 }
 
 impl BuildConfig {
-    /// Parses Levee's compiler flag spelling.
+    /// Parses Levee's compiler flag spelling — the inverse of
+    /// [`BuildConfig::flag`]. Total over the documented spellings
+    /// (`-fcpi`, `-fcps`, `-fstack-protector-safe`, `-fsoftbound`, and
+    /// the empty string for an unprotected build); anything else is
+    /// `None`.
     pub fn from_flag(flag: &str) -> Option<BuildConfig> {
         Some(match flag {
             "-fcpi" => BuildConfig::Cpi,
@@ -40,6 +44,32 @@ impl BuildConfig {
             "" => BuildConfig::Vanilla,
             _ => return None,
         })
+    }
+
+    /// The compiler flag that selects this configuration (§4's user
+    /// interface) — the inverse of [`BuildConfig::from_flag`].
+    /// [`BuildConfig::Vanilla`] spells as the empty string: no flag, no
+    /// protection.
+    pub fn flag(self) -> &'static str {
+        match self {
+            BuildConfig::Vanilla => "",
+            BuildConfig::SafeStack => "-fstack-protector-safe",
+            BuildConfig::Cps => "-fcps",
+            BuildConfig::Cpi => "-fcpi",
+            BuildConfig::SoftBound => "-fsoftbound",
+        }
+    }
+
+    /// Every configuration, including the SoftBound full-memory-safety
+    /// baseline (compare [`BuildConfig::evaluated`], the paper's four).
+    pub fn all() -> &'static [BuildConfig] {
+        &[
+            BuildConfig::Vanilla,
+            BuildConfig::SafeStack,
+            BuildConfig::Cps,
+            BuildConfig::Cpi,
+            BuildConfig::SoftBound,
+        ]
     }
 
     /// Human-readable name used in reports.
@@ -78,6 +108,10 @@ impl BuildConfig {
 }
 
 /// A built (possibly instrumented) module plus its statistics.
+///
+/// Most embedders never touch this directly: [`crate::Session`] owns
+/// the `Built` and the [`VmConfig`] derivation below, and serves runs
+/// from a resident machine.
 pub struct Built {
     /// The protected module, ready for the VM.
     pub module: Module,
@@ -164,7 +198,34 @@ mod tests {
             BuildConfig::from_flag("-fstack-protector-safe"),
             Some(BuildConfig::SafeStack)
         );
+        assert_eq!(
+            BuildConfig::from_flag("-fsoftbound"),
+            Some(BuildConfig::SoftBound)
+        );
+        assert_eq!(BuildConfig::from_flag(""), Some(BuildConfig::Vanilla));
         assert_eq!(BuildConfig::from_flag("-fwhatever"), None);
+        assert_eq!(BuildConfig::from_flag("-fcpi "), None, "no trimming");
+    }
+
+    #[test]
+    fn flag_round_trips_for_every_config() {
+        // from_flag ∘ flag = id over all five configurations — SoftBound
+        // included, which no spelling test covered before.
+        assert_eq!(BuildConfig::all().len(), 5);
+        for config in BuildConfig::all() {
+            assert_eq!(
+                BuildConfig::from_flag(config.flag()),
+                Some(*config),
+                "{} must round-trip through its flag {:?}",
+                config.name(),
+                config.flag()
+            );
+        }
+        // Spellings are distinct (the inverse is well-defined).
+        let mut flags: Vec<_> = BuildConfig::all().iter().map(|c| c.flag()).collect();
+        flags.sort_unstable();
+        flags.dedup();
+        assert_eq!(flags.len(), 5);
     }
 
     #[test]
@@ -204,25 +265,17 @@ mod tests {
 
     #[test]
     fn built_modules_run_and_agree_on_output() {
-        use levee_vm::{ExitStatus, Machine, VmConfig};
         let mut outputs = Vec::new();
-        for config in [
-            BuildConfig::Vanilla,
-            BuildConfig::SafeStack,
-            BuildConfig::Cps,
-            BuildConfig::Cpi,
-            BuildConfig::SoftBound,
-        ] {
-            let built = build_source(SRC, "t", config).unwrap();
-            let vm_config = built.vm_config(VmConfig::default());
-            let mut vm = Machine::new(&built.module, vm_config);
-            let out = vm.run(b"hello");
-            assert_eq!(
-                out.status,
-                ExitStatus::Exited(0),
-                "{} should run cleanly",
-                config.name()
-            );
+        for config in BuildConfig::all() {
+            let mut session = crate::Session::builder()
+                .source(SRC)
+                .name("t")
+                .protection(*config)
+                .build()
+                .unwrap();
+            let out = session
+                .run_ok(b"hello")
+                .unwrap_or_else(|e| panic!("{} should run cleanly: {e}", config.name()));
             outputs.push(out.output);
         }
         outputs.dedup();

@@ -14,22 +14,31 @@
 //!   redirection, bounds checks, indirect-call checks, safe
 //!   memcpy/memset variants);
 //! * [`driver`] — the `-fcpi` / `-fcps` / `-fstack-protector-safe`
-//!   entry points and build statistics (Table 2's FNUStack / MO).
+//!   entry points and build statistics (Table 2's FNUStack / MO);
+//! * [`session`] — the embedding front door: [`Session`] builds a
+//!   protected program once, keeps a resident machine, and serves
+//!   repeated runs from it.
 //!
-//! ## Example: protect and attack a program
+//! ## Example: build once, run many times
 //!
 //! ```
-//! use levee_core::{build_source, BuildConfig};
-//! use levee_vm::{ExitStatus, Machine, VmConfig};
+//! use levee_core::{BuildConfig, Session};
 //!
 //! let src = r#"
 //!     void greet(int x) { print_int(x); }
 //!     void (*cb)(int);
 //!     int main() { cb = greet; cb(42); return 0; }
 //! "#;
-//! let built = build_source(src, "demo", BuildConfig::Cpi).unwrap();
-//! let mut vm = Machine::new(&built.module, built.vm_config(VmConfig::default()));
-//! assert_eq!(vm.run(b"").status, ExitStatus::Exited(0));
+//! let mut session = Session::builder()
+//!     .source(src)
+//!     .name("demo")
+//!     .protection(BuildConfig::Cpi)
+//!     .build()
+//!     .expect("valid mini-C");
+//! for report in session.run_batch([b"", b""]) {
+//!     assert!(report.success());
+//!     assert_eq!(report.output, "42");
+//! }
 //! ```
 
 pub mod driver;
@@ -37,8 +46,10 @@ pub mod instrument;
 pub mod promote;
 pub mod safestack;
 pub mod sensitivity;
+pub mod session;
 pub mod stats;
 
 pub use driver::{build_module, build_source, BuildConfig, Built};
 pub use sensitivity::{FnFlow, Mode, Sensitivity};
+pub use session::{LeveeError, RunReport, Session, SessionBuilder, DEFAULT_SEED};
 pub use stats::{BuildStats, FuncInstrStats};

@@ -10,10 +10,12 @@
 //! The transformation is sound in this non-SSA register IR because
 //! registers are mutable cells: a promoted alloca simply becomes a
 //! dedicated register, stores become register copies, loads become
-//! copies out. Copies use `Add cell, 0`, which the VM's based-on
-//! propagation rule treats as pointer arithmetic — so provenance
-//! metadata survives promotion exactly like it survives in real
-//! registers.
+//! copies out. Word-wide copies use `Add cell, 0`, which the VM's
+//! based-on propagation rule treats as pointer arithmetic — so
+//! provenance metadata survives promotion exactly like it survives in
+//! real registers. Stores to narrow slots (`char`, `short`, `int`)
+//! instead use a truncating `IntToInt` cast, reproducing the width
+//! truncation the memory store performed.
 //!
 //! Promotion runs for *every* build configuration, including the
 //! vanilla baseline, so comparisons stay fair.
@@ -104,12 +106,29 @@ fn promote_in_function(func: &mut Function) -> usize {
                     value,
                     ..
                 } if cells.contains_key(&slot) => {
-                    new.push(Inst::Bin {
-                        dest: cells[&slot],
-                        op: BinOp::Add,
-                        lhs: value,
-                        rhs: Operand::Const(0),
-                    });
+                    // A memory store truncates to the slot's width; the
+                    // register cell must reproduce that, or `char c =
+                    // 300` would keep all 64 bits after promotion. Only
+                    // narrow integers need it — for word-wide scalars
+                    // (longs, pointers) the copy is an `Add 0`, which
+                    // the VM's based-on rule treats as pointer
+                    // arithmetic, so provenance metadata survives.
+                    let ty = &candidates[&slot];
+                    if matches!(ty, Ty::I8 | Ty::I16 | Ty::I32) {
+                        new.push(Inst::Cast {
+                            dest: cells[&slot],
+                            kind: CastKind::IntToInt,
+                            value,
+                            to: ty.clone(),
+                        });
+                    } else {
+                        new.push(Inst::Bin {
+                            dest: cells[&slot],
+                            op: BinOp::Add,
+                            lhs: value,
+                            rhs: Operand::Const(0),
+                        });
+                    }
                 }
                 Inst::Load {
                     dest,
@@ -135,7 +154,6 @@ fn promote_in_function(func: &mut Function) -> usize {
 mod tests {
     use super::*;
     use levee_minic::compile;
-    use levee_vm::{ExitStatus, Machine, VmConfig};
 
     fn mem_ops(m: &Module) -> usize {
         m.funcs
@@ -162,8 +180,8 @@ mod tests {
         levee_ir::verify::assert_valid(&m);
         assert!(promoted >= 2, "acc and i should promote");
         assert!(mem_ops(&m) < before);
-        let out = Machine::new(&m, VmConfig::default()).run(b"");
-        assert_eq!(out.status, ExitStatus::Exited(0));
+        let mut session = crate::Session::builder().module(m).build().expect("builds");
+        let out = session.run_ok(b"").expect("runs cleanly");
         assert_eq!(out.output, "4950");
     }
 
@@ -180,11 +198,11 @@ mod tests {
         "#;
         let mut m = compile(src, "t").unwrap();
         promote_scalars(&mut m);
-        let out = Machine::new(&m, VmConfig::default()).run(b"");
-        assert_eq!(out.output, "42");
         // x's alloca must survive in main (its address escapes).
         let main = m.func(m.func_by_name("main").unwrap());
         assert!(main.iter_insts().any(|i| matches!(i, Inst::Alloca { .. })));
+        let mut session = crate::Session::builder().module(m).build().expect("builds");
+        assert_eq!(session.run(b"").output, "42");
     }
 
     #[test]
@@ -199,11 +217,39 @@ mod tests {
                 return 0;
             }
         "#;
-        let built = crate::build_source(src, "t", crate::BuildConfig::Cpi).unwrap();
-        let mut vm = Machine::new(&built.module, built.vm_config(VmConfig::default()));
-        let out = vm.run(b"");
-        assert_eq!(out.status, ExitStatus::Exited(0));
+        let mut session = crate::Session::builder()
+            .source(src)
+            .name("t")
+            .protection(crate::BuildConfig::Cpi)
+            .build()
+            .unwrap();
+        let out = session.run_ok(b"").expect("runs cleanly under CPI");
         assert_eq!(out.output, "9");
+    }
+
+    #[test]
+    fn narrow_promoted_locals_still_truncate_at_stores() {
+        // `char c = 300` must print 44 whether c lives in memory (store
+        // truncates to the slot width) or in a promoted register cell
+        // (the cast reproduces it). Caught by the Session port of the
+        // end-to-end suite, which routed these programs through the
+        // build pipeline for the first time.
+        let src = r#"
+            int main() {
+                char c = 300;
+                print_int(c);
+                int i = 4294967298;
+                print_int(i == 2);
+                return 0;
+            }
+        "#;
+        let mut m = compile(src, "t").unwrap();
+        let promoted = promote_scalars(&mut m);
+        levee_ir::verify::assert_valid(&m);
+        assert!(promoted >= 2, "c and i should promote");
+        let mut session = crate::Session::builder().module(m).build().expect("builds");
+        let out = session.run_ok(b"").expect("runs");
+        assert_eq!(out.output, "44\n1");
     }
 
     #[test]

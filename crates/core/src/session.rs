@@ -1,0 +1,864 @@
+//! `Session` — the embedding front door: build a protected program once,
+//! keep a resident machine, run it many times.
+//!
+//! The paper pitches CPI as a *drop-in* pipeline: "one just needs to
+//! pass additional flags to the compiler" (§4). This module is that
+//! pitch as an API. A [`Session`] owns the whole source → [`Built`]
+//! module → [`VmConfig`] derivation → resident [`Machine`] chain that
+//! every consumer used to re-wire by hand, and serves repeated runs
+//! from the same machine via [`Machine::reset`] — proven bit-identical
+//! to a fresh build by the `session` proptest suite.
+//!
+//! ```
+//! use levee_core::{BuildConfig, Session};
+//!
+//! let mut session = Session::builder()
+//!     .source("int main() { print_int(42); return 0; }")
+//!     .protection(BuildConfig::Cpi)
+//!     .build()
+//!     .expect("valid mini-C");
+//! let report = session.run(b"");
+//! assert!(report.status.is_success());
+//! assert_eq!(report.output, "42");
+//! ```
+//!
+//! Configuration knobs mirror the driver's compiler flags
+//! ([`BuildConfig`], see `driver.rs`) on the build side and the VM's
+//! [`VmConfig`] (see `levee_vm::config`) on the execution side; the
+//! session derives the latter from the former exactly as
+//! [`Built::vm_config`] does, so CPI/CPS builds automatically protect
+//! runtime-created code pointers.
+
+use std::fmt;
+
+use levee_ir::{Intrinsic, Module};
+use levee_minic::CompileError;
+use levee_vm::{
+    AttackerError, Engine, ExecStats, ExitStatus, GoalKind, GuessOutcome, Machine, StoreKind,
+    VmConfig,
+};
+
+use crate::driver::{build_source, BuildConfig, Built};
+use crate::stats::BuildStats;
+
+/// The default deterministic seed of every session (layout
+/// randomization, stack cookies, safe-region base). Historically the
+/// workloads harness hard-coded this value; it is now the documented
+/// API-wide default, overridden with [`SessionBuilder::seed`] or
+/// wholesale via [`SessionBuilder::vm_config`].
+pub const DEFAULT_SEED: u64 = 0xBEEF;
+
+/// Everything that can go wrong while building or running a session.
+///
+/// The embedding API never panics on malformed input: compile errors,
+/// builder misuse and required-success runs that trapped all surface
+/// here.
+#[derive(Debug)]
+pub enum LeveeError {
+    /// The mini-C source failed to compile.
+    Compile {
+        /// The program name given to the builder.
+        name: String,
+        /// The frontend's error.
+        error: CompileError,
+    },
+    /// The builder was finished without a program (neither
+    /// [`SessionBuilder::source`] nor [`SessionBuilder::module`]).
+    NoProgram,
+    /// A run that was required to exit cleanly (via
+    /// [`Session::run_ok`]) trapped or exited nonzero.
+    Run {
+        /// The program name.
+        name: String,
+        /// How the run actually ended.
+        status: ExitStatus,
+        /// The output produced up to that point.
+        output: String,
+    },
+}
+
+impl fmt::Display for LeveeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LeveeError::Compile { name, error } => {
+                write!(f, "{name}: compile error: {error}")
+            }
+            LeveeError::NoProgram => {
+                write!(
+                    f,
+                    "session builder needs a program: call .source() or .module()"
+                )
+            }
+            LeveeError::Run {
+                name,
+                status,
+                output,
+            } => {
+                write!(f, "{name}: run did not exit cleanly: {status:?}")?;
+                if !output.is_empty() {
+                    write!(f, " (output: {output:?})")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for LeveeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LeveeError::Compile { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+/// The unified result of one [`Session::run`]: exit status, program
+/// output, runtime statistics and the build statistics of the module
+/// that produced them, plus the configuration axes every report table
+/// keys on — one serializable struct where consumers used to pass
+/// `(ExitStatus, String, ExecStats, BuildStats)` tuples around.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Program name (from [`SessionBuilder::name`]).
+    pub name: String,
+    /// Protection configuration the module was built with.
+    pub config: BuildConfig,
+    /// Execution engine that served the run.
+    pub engine: Engine,
+    /// Safe-pointer-store organization.
+    pub store: StoreKind,
+    /// Whether superinstruction fusion was enabled.
+    pub fusion: bool,
+    /// The deterministic seed the run used.
+    pub seed: u64,
+    /// How the run ended.
+    pub status: ExitStatus,
+    /// Everything the program printed.
+    pub output: String,
+    /// Runtime counters (cycles are the "time" axis of every table).
+    pub exec: ExecStats,
+    /// Compile-time statistics (Table 2's FNUStack / MO data).
+    pub build: BuildStats,
+}
+
+impl RunReport {
+    /// True for a clean `exit(0)`.
+    pub fn success(&self) -> bool {
+        self.status.is_success()
+    }
+
+    /// The exit code, if the program exited (rather than trapped).
+    pub fn exit_code(&self) -> Option<i64> {
+        match self.status {
+            ExitStatus::Exited(c) => Some(c),
+            ExitStatus::Trapped(_) => None,
+        }
+    }
+
+    /// Runtime overhead relative to `baseline`, in percent (simulated
+    /// cycles — the "time" axis of every overhead table).
+    pub fn overhead_pct(&self, baseline: &RunReport) -> f64 {
+        self.exec.overhead_pct(&baseline.exec)
+    }
+
+    /// Memory overhead relative to `baseline`, in percent.
+    pub fn memory_overhead_pct(&self, baseline: &RunReport) -> f64 {
+        self.exec.memory_overhead_pct(&baseline.exec)
+    }
+
+    /// Safe-pointer-store memory as % of baseline residency (§5.2).
+    pub fn store_overhead_pct(&self, baseline: &RunReport) -> f64 {
+        self.exec.store_overhead_pct(&baseline.exec)
+    }
+
+    /// Renders the report as one JSON object — the shared machine-
+    /// readable row every bench binary's `--json` mode emits.
+    pub fn to_json(&self) -> String {
+        let status = match &self.status {
+            ExitStatus::Exited(c) => format!("{{\"exited\": {c}}}"),
+            ExitStatus::Trapped(t) => format!("{{\"trapped\": {}}}", json_str(&format!("{t:?}"))),
+        };
+        format!(
+            "{{\"name\": {}, \"config\": {}, \"engine\": {}, \"store\": {}, \
+             \"fusion\": {}, \"seed\": {}, \"status\": {status}, \"output\": {}, \
+             \"cycles\": {}, \"insts\": {}, \"mem_ops\": {}, \"cpi_mem_ops\": {}, \
+             \"checks\": {}, \"calls\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"store_bytes\": {}, \"regular_bytes\": {}, \"build\": {{\
+             \"funcs\": {}, \"unsafe_frames\": {}, \"mem_ops\": {}, \
+             \"instrumented_mem_ops\": {}, \"checks\": {}, \"fn_checks\": {}, \
+             \"fnustack\": {:.4}, \"mo_fraction\": {:.4}}}}}",
+            json_str(&self.name),
+            json_str(self.config.name()),
+            json_str(self.engine.name()),
+            json_str(self.store.name()),
+            self.fusion,
+            self.seed,
+            json_str(&self.output),
+            self.exec.cycles,
+            self.exec.insts,
+            self.exec.mem_ops,
+            self.exec.cpi_mem_ops,
+            self.exec.checks,
+            self.exec.calls,
+            self.exec.cache_hits,
+            self.exec.cache_misses,
+            self.exec.store_bytes,
+            self.exec.regular_bytes,
+            self.build.funcs,
+            self.build.unsafe_frames,
+            self.build.mem_ops,
+            self.build.instrumented_mem_ops,
+            self.build.checks,
+            self.build.fn_checks,
+            self.build.fnustack(),
+            self.build.mo_fraction(),
+        )
+    }
+}
+
+/// Escapes `s` as a JSON string literal (quotes included) — the
+/// escaper behind [`RunReport::to_json`], public so bench binaries
+/// embedding free-form text (trap names, `Debug` renderings) in their
+/// `--json` rows stay well-formed.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A deferred configuration adjustment (see [`SessionBuilder::configure`]).
+type ConfigTweak = Box<dyn FnOnce(&mut VmConfig)>;
+
+/// Fluent constructor for [`Session`]; obtained from
+/// [`Session::builder`].
+///
+/// The VM configuration starts from [`VmConfig::default`] with the
+/// documented [`DEFAULT_SEED`]; individual knobs ([`store`], [`engine`],
+/// [`fusion`], [`seed`], [`fuel`]) override single fields, while
+/// [`vm_config`] replaces the whole base — *including the seed* — for
+/// callers that already carry a configuration.
+///
+/// [`store`]: SessionBuilder::store
+/// [`engine`]: SessionBuilder::engine
+/// [`fusion`]: SessionBuilder::fusion
+/// [`seed`]: SessionBuilder::seed
+/// [`fuel`]: SessionBuilder::fuel
+/// [`vm_config`]: SessionBuilder::vm_config
+pub struct SessionBuilder {
+    name: String,
+    source: Option<String>,
+    module: Option<Module>,
+    protection: BuildConfig,
+    vm: VmConfig,
+    tweak: Option<ConfigTweak>,
+}
+
+impl SessionBuilder {
+    fn new() -> Self {
+        SessionBuilder {
+            name: "program".to_string(),
+            source: None,
+            module: None,
+            protection: BuildConfig::Vanilla,
+            vm: VmConfig::default().with_seed(DEFAULT_SEED),
+            tweak: None,
+        }
+    }
+
+    /// Mini-C source to compile and protect. The usual entry point.
+    pub fn source(mut self, src: &str) -> Self {
+        self.source = Some(src.to_string());
+        self
+    }
+
+    /// Program name used in reports and error messages.
+    pub fn name(mut self, name: &str) -> Self {
+        self.name = name.to_string();
+        self
+    }
+
+    /// A pre-lowered (and possibly externally instrumented) module,
+    /// taken verbatim: the driver's protection passes do **not** run
+    /// and the VM configuration is used exactly as given rather than
+    /// derived — this is the escape hatch for baseline-defense
+    /// deployments (`levee_defenses::Deployment::apply`) and hand-built
+    /// IR. Takes precedence over [`SessionBuilder::source`].
+    pub fn module(mut self, module: Module) -> Self {
+        self.module = Some(module);
+        self
+    }
+
+    /// Protection configuration (the compiler flag: `-fcpi`, `-fcps`,
+    /// `-fstack-protector-safe`, `-fsoftbound` or none). Defaults to
+    /// [`BuildConfig::Vanilla`] — like the real compiler, protection is
+    /// opt-in.
+    pub fn protection(mut self, config: BuildConfig) -> Self {
+        self.protection = config;
+        self
+    }
+
+    /// Safe-pointer-store organization.
+    pub fn store(mut self, store: StoreKind) -> Self {
+        self.vm.store_kind = store;
+        self
+    }
+
+    /// Execution engine (bytecode tier by default).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.vm.engine = engine;
+        self
+    }
+
+    /// Superinstruction fusion in the bytecode tier (default on).
+    pub fn fusion(mut self, fusion: bool) -> Self {
+        self.vm.fusion = fusion;
+        self
+    }
+
+    /// Deterministic seed (layout randomization, cookies, safe-region
+    /// base). Defaults to [`DEFAULT_SEED`].
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.vm.seed = seed;
+        self
+    }
+
+    /// Fuel: maximum instructions before `Trap::OutOfFuel`.
+    pub fn fuel(mut self, max_insts: u64) -> Self {
+        self.vm.max_insts = max_insts;
+        self
+    }
+
+    /// Replaces the whole base [`VmConfig`] (seed included). For
+    /// source-built sessions the build still derives its
+    /// runtime-protection settings over this base, exactly as
+    /// [`Built::vm_config`] does; for [`SessionBuilder::module`]
+    /// sessions it is used verbatim.
+    pub fn vm_config(mut self, config: VmConfig) -> Self {
+        self.vm = config;
+        self
+    }
+
+    /// Arbitrary last-word adjustment of the final [`VmConfig`],
+    /// applied *after* the build derivation — for knobs without a
+    /// dedicated builder method (isolation model, hardware model,
+    /// ASLR). Calling it repeatedly composes: every registered closure
+    /// runs, in registration order.
+    pub fn configure(mut self, f: impl FnOnce(&mut VmConfig) + 'static) -> Self {
+        self.tweak = Some(match self.tweak.take() {
+            Some(prev) => Box::new(move |cfg| {
+                prev(cfg);
+                f(cfg);
+            }),
+            None => Box::new(f),
+        });
+        self
+    }
+
+    /// Compiles, protects and loads the program into a resident
+    /// machine. Malformed source returns [`LeveeError::Compile`];
+    /// a builder without a program returns [`LeveeError::NoProgram`].
+    pub fn build(self) -> Result<Session, LeveeError> {
+        let (built, mut cfg) = match (self.module, self.source) {
+            (Some(module), _) => {
+                // Verbatim module: no passes, no config derivation.
+                let built = Built {
+                    module,
+                    config: self.protection,
+                    stats: BuildStats::default(),
+                };
+                (built, self.vm)
+            }
+            (None, Some(src)) => {
+                let built = build_source(&src, &self.name, self.protection).map_err(|error| {
+                    LeveeError::Compile {
+                        name: self.name.clone(),
+                        error,
+                    }
+                })?;
+                let cfg = built.vm_config(self.vm);
+                (built, cfg)
+            }
+            (None, None) => return Err(LeveeError::NoProgram),
+        };
+        if let Some(tweak) = self.tweak {
+            tweak(&mut cfg);
+        }
+        Ok(Session::from_parts(self.name, built, cfg))
+    }
+}
+
+/// A built program with a resident machine: the system's front door for
+/// "run a protected program".
+///
+/// The session owns the [`Built`] module and one loaded [`Machine`].
+/// Every [`run`] serves a fresh program execution from that resident
+/// machine — the first run uses it as loaded, later runs re-arm it
+/// with [`Machine::reset`], which is bit-identical to a fresh machine
+/// (store and provenance-table lifetimes stay coherent across the
+/// reset; the compiled bytecode and attack goals survive). That makes
+/// [`run_batch`] the cheap way to serve many inputs: one compile, one
+/// module load, N executions.
+///
+/// [`run`]: Session::run
+/// [`run_batch`]: Session::run_batch
+pub struct Session {
+    // SAFETY: the machine borrows the `Built` behind `built`, a heap
+    // allocation this session owns through a raw pointer. A raw
+    // pointer (rather than a `Box` field) keeps the aliasing model
+    // happy: moving the `Session` copies the pointer without retagging
+    // the allocation, so the machine's promoted `'static` borrow stays
+    // valid for the session's whole life. The allocation is created in
+    // `from_parts`, never mutated or replaced (no `&mut Built` access
+    // exists anywhere), and freed in `Drop` strictly *after* the
+    // machine — the only borrower — has been dropped (hence the
+    // `ManuallyDrop`, which lets `drop` order the teardown explicitly).
+    machine: std::mem::ManuallyDrop<Machine<'static>>,
+    built: *mut Built,
+    name: String,
+    cfg: VmConfig,
+    ran: bool,
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        // SAFETY: drop the borrower first, then free the allocation it
+        // borrowed. `self.machine` is never touched again (we are in
+        // drop), and `self.built` came from `Box::into_raw` in
+        // `from_parts` and is freed exactly once.
+        unsafe {
+            std::mem::ManuallyDrop::drop(&mut self.machine);
+            drop(Box::from_raw(self.built));
+        }
+    }
+}
+
+impl Session {
+    /// Starts a fluent builder.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::new()
+    }
+
+    fn from_parts(name: String, built: Built, cfg: VmConfig) -> Session {
+        let built = Box::into_raw(Box::new(built));
+        // SAFETY: `built` is a live heap allocation with a stable
+        // address; the reference is valid until `Drop` frees it, which
+        // happens only after the machine is gone (see the field and
+        // `Drop` comments above).
+        let module: &'static Module = unsafe { &(*built).module };
+        let machine = std::mem::ManuallyDrop::new(Machine::new(module, cfg));
+        Session {
+            machine,
+            built,
+            name,
+            cfg,
+            ran: false,
+        }
+    }
+
+    /// The owned `Built` (see the `SAFETY` notes on the struct: live
+    /// for the session's whole life, never mutated).
+    fn built_ref(&self) -> &Built {
+        // SAFETY: `self.built` is valid until `Drop` and only ever
+        // shared immutably.
+        unsafe { &*self.built }
+    }
+
+    /// Runs the program to completion on the attacker-controlled input
+    /// `payload`, serving the run from the resident machine (re-armed
+    /// with [`Machine::reset`] on every run after the first).
+    pub fn run(&mut self, input: &[u8]) -> RunReport {
+        if self.ran {
+            self.machine.reset();
+        }
+        self.ran = true;
+        let out = self.machine.run(input);
+        RunReport {
+            name: self.name.clone(),
+            config: self.built_ref().config,
+            engine: self.cfg.engine,
+            store: self.cfg.store_kind,
+            fusion: self.cfg.fusion,
+            seed: self.cfg.seed,
+            status: out.status,
+            output: out.output,
+            exec: out.stats,
+            build: self.built_ref().stats.clone(),
+        }
+    }
+
+    /// Like [`Session::run`], but requires a clean `exit(0)`: anything
+    /// else becomes [`LeveeError::Run`] instead of a report the caller
+    /// must remember to check.
+    pub fn run_ok(&mut self, input: &[u8]) -> Result<RunReport, LeveeError> {
+        let report = self.run(input);
+        if report.success() {
+            Ok(report)
+        } else {
+            Err(LeveeError::Run {
+                name: report.name,
+                status: report.status,
+                output: report.output,
+            })
+        }
+    }
+
+    /// Runs every input through the resident machine — one compile, one
+    /// module load, N executions, each bit-identical to a fresh
+    /// session's run (the reuse claim the `session` proptest pins
+    /// down).
+    pub fn run_batch<I, B>(&mut self, inputs: I) -> Vec<RunReport>
+    where
+        I: IntoIterator<Item = B>,
+        B: AsRef<[u8]>,
+    {
+        inputs
+            .into_iter()
+            .map(|input| self.run(input.as_ref()))
+            .collect()
+    }
+
+    /// Rebuilds the resident machine under an adjusted configuration
+    /// (same built module). The next [`Session::run`] starts from the
+    /// freshly-loaded state; attack goals and the memory-trace setting
+    /// do **not** carry over (they belong to the torn-down machine).
+    pub fn reconfigure(&mut self, f: impl FnOnce(&mut VmConfig)) {
+        f(&mut self.cfg);
+        // SAFETY: same allocation-liveness argument as `from_parts`;
+        // the old machine (the only other borrower) is dropped by the
+        // assignment below before anything can observe a stale borrow.
+        let module: &'static Module = unsafe { &(*self.built).module };
+        *self.machine = Machine::new(module, self.cfg);
+        self.ran = false;
+    }
+
+    /// Re-arms the resident machine to its freshly-loaded state without
+    /// running — for callers that time [`Session::run`] and want the
+    /// reset cost outside the measured window.
+    pub fn reset(&mut self) {
+        self.machine.reset();
+        self.ran = false;
+    }
+
+    /// Compiles (and fuses, if enabled) the bytecode ahead of the first
+    /// run, so one-time compilation stays out of timed windows.
+    pub fn precompile(&mut self) {
+        self.machine.precompile();
+    }
+
+    // ---- introspection pass-throughs ----------------------------------
+
+    /// The program name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The built module and its statistics.
+    pub fn built(&self) -> &Built {
+        self.built_ref()
+    }
+
+    /// Compile-time statistics of the build.
+    pub fn build_stats(&self) -> &BuildStats {
+        &self.built_ref().stats
+    }
+
+    /// The machine's effective configuration.
+    pub fn vm_config(&self) -> VmConfig {
+        self.cfg
+    }
+
+    /// Registers an attack goal: reaching `addr` by an indirect
+    /// transfer ends a run with `Trap::Hijacked`. Goals survive the
+    /// between-run reset (but not [`Session::reconfigure`]).
+    pub fn add_goal(&mut self, addr: u64, kind: GoalKind) {
+        self.machine.add_goal(addr, kind);
+    }
+
+    /// Code entry address of the named function, if it exists.
+    pub fn func_entry(&self, name: &str) -> Option<u64> {
+        self.machine.func_entry(name)
+    }
+
+    /// Data address of the named global, if it exists.
+    pub fn global_addr(&self, name: &str) -> Option<u64> {
+        self.machine.global_addr(name)
+    }
+
+    /// Pseudo entry address of a libc intrinsic (ret2libc targets).
+    pub fn intrinsic_entry(&self, which: Intrinsic) -> u64 {
+        self.machine.intrinsic_entry(which)
+    }
+
+    /// Every valid return-site address, in layout order.
+    pub fn ret_site_addrs(&self) -> Vec<u64> {
+        self.machine.ret_site_addrs()
+    }
+
+    /// The machine's memory layout (region bases, stack tops).
+    pub fn layout(&self) -> levee_vm::layout::Layout {
+        self.machine.layout()
+    }
+
+    /// Models one direct attacker write to an arbitrary address —
+    /// the isolation-ablation probe (§3.2.3).
+    pub fn attacker_write(&mut self, addr: u64, bytes: &[u8]) -> Result<(), AttackerError> {
+        self.machine.attacker_write(addr, bytes)
+    }
+
+    /// Models one attacker probe at the hidden safe region (§3.2.3).
+    pub fn attacker_guess(&self, addr: u64) -> GuessOutcome {
+        self.machine.attacker_guess(addr)
+    }
+
+    /// Number of equally likely safe-region bases under info-hiding.
+    pub fn guess_space(&self) -> u64 {
+        self.machine.guess_space()
+    }
+
+    /// Starts recording the memory touch log (see
+    /// `Machine::enable_mem_trace`). Call again after
+    /// [`Session::reconfigure`]; the setting survives between-run
+    /// resets.
+    pub fn enable_mem_trace(&mut self) {
+        self.machine.enable_mem_trace();
+    }
+
+    /// The recorded memory touch log of the last run.
+    pub fn mem_trace(&self) -> &[u64] {
+        self.machine.mem_trace()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+        void handler(int x) { print_int(x); }
+        void (*h)(int);
+        int main() {
+            h = handler;
+            char buf[16];
+            long n = read_input(buf, 15);
+            h((int)n);
+            return 0;
+        }
+    "#;
+
+    #[test]
+    fn builder_without_program_errors() {
+        match Session::builder().build() {
+            Err(LeveeError::NoProgram) => {}
+            other => panic!("expected NoProgram, got {other:?}", other = other.err()),
+        }
+    }
+
+    #[test]
+    fn malformed_source_is_a_typed_error_not_a_panic() {
+        let err = Session::builder()
+            .source("int main() { return undefined; }")
+            .name("broken")
+            .build()
+            .err()
+            .expect("must not compile");
+        match &err {
+            LeveeError::Compile { name, .. } => assert_eq!(name, "broken"),
+            other => panic!("expected Compile, got {other:?}"),
+        }
+        // Display is usable in a bench binary's error path.
+        assert!(err.to_string().contains("broken"));
+    }
+
+    #[test]
+    fn run_reports_carry_the_whole_configuration() {
+        let mut s = Session::builder()
+            .source(SRC)
+            .name("demo")
+            .protection(BuildConfig::Cpi)
+            .store(StoreKind::Hash)
+            .engine(Engine::Bytecode)
+            .fusion(true)
+            .seed(7)
+            .build()
+            .expect("builds");
+        let r = s.run(b"xx");
+        assert!(r.success());
+        assert_eq!(r.output, "2");
+        assert_eq!(r.name, "demo");
+        assert_eq!(r.config, BuildConfig::Cpi);
+        assert_eq!(r.store, StoreKind::Hash);
+        assert_eq!(r.engine, Engine::Bytecode);
+        assert!(r.fusion);
+        assert_eq!(r.seed, 7);
+        assert!(
+            r.build.instrumented_mem_ops > 0,
+            "CPI build is instrumented"
+        );
+        assert!(r.exec.insts > 0);
+    }
+
+    #[test]
+    fn default_seed_is_documented_and_applied() {
+        let s = Session::builder().source(SRC).build().expect("builds");
+        assert_eq!(s.vm_config().seed, DEFAULT_SEED);
+        let s = Session::builder()
+            .source(SRC)
+            .vm_config(VmConfig::default())
+            .build()
+            .expect("builds");
+        assert_eq!(s.vm_config().seed, 0, "vm_config replaces the seed too");
+    }
+
+    #[test]
+    fn batch_runs_are_bit_identical_to_fresh_sessions() {
+        let inputs: [&[u8]; 4] = [b"", b"a", b"hello", b"0123456789abcd"];
+        let mut resident = Session::builder()
+            .source(SRC)
+            .protection(BuildConfig::Cpi)
+            .build()
+            .expect("builds");
+        let batch = resident.run_batch(inputs);
+        for (input, batched) in inputs.iter().zip(&batch) {
+            let fresh = Session::builder()
+                .source(SRC)
+                .protection(BuildConfig::Cpi)
+                .build()
+                .expect("builds")
+                .run(input);
+            assert_eq!(batched.status, fresh.status);
+            assert_eq!(batched.output, fresh.output);
+            assert_eq!(batched.exec.cycles, fresh.exec.cycles);
+            assert_eq!(batched.exec.insts, fresh.exec.insts);
+            assert_eq!(batched.exec.checks, fresh.exec.checks);
+        }
+    }
+
+    #[test]
+    fn reconfigure_switches_engines_on_the_same_build() {
+        let mut s = Session::builder()
+            .source(SRC)
+            .protection(BuildConfig::Cpi)
+            .build()
+            .expect("builds");
+        let bc = s.run(b"ab");
+        s.reconfigure(|cfg| cfg.engine = Engine::Walk);
+        let walk = s.run(b"ab");
+        assert_eq!(walk.engine, Engine::Walk);
+        assert_eq!(bc.output, walk.output);
+        assert_eq!(bc.exec.cycles, walk.exec.cycles);
+    }
+
+    #[test]
+    fn configure_composes_in_registration_order() {
+        use levee_vm::Isolation;
+        let s = Session::builder()
+            .source(SRC)
+            .configure(|cfg| {
+                cfg.isolation = Isolation::Sfi;
+                cfg.aslr = true;
+            })
+            .configure(|cfg| cfg.aslr = false)
+            .build()
+            .expect("builds");
+        let cfg = s.vm_config();
+        assert_eq!(cfg.isolation, Isolation::Sfi, "first tweak survives");
+        assert!(!cfg.aslr, "later tweak wins on the contested field");
+    }
+
+    #[test]
+    fn run_ok_surfaces_traps_as_errors() {
+        let mut s = Session::builder()
+            .source("int main() { long a = 1; long b = 0; print_int((int)(a / b)); return 0; }")
+            .name("divzero")
+            .build()
+            .expect("builds");
+        match s.run_ok(b"") {
+            Err(LeveeError::Run { name, status, .. }) => {
+                assert_eq!(name, "divzero");
+                assert!(matches!(status, ExitStatus::Trapped(_)));
+            }
+            other => panic!("expected Run error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn report_json_is_well_formed_enough_to_round_trip_keys() {
+        let mut s = Session::builder()
+            .source(SRC)
+            .name("json \"quoted\"\nname")
+            .protection(BuildConfig::Cps)
+            .build()
+            .expect("builds");
+        let j = s.run(b"x").to_json();
+        for key in [
+            "\"name\"",
+            "\"config\"",
+            "\"engine\"",
+            "\"store\"",
+            "\"fusion\"",
+            "\"seed\"",
+            "\"status\"",
+            "\"output\"",
+            "\"cycles\"",
+            "\"insts\"",
+            "\"checks\"",
+            "\"build\"",
+            "\"fnustack\"",
+            "\"mo_fraction\"",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        assert!(j.contains("json \\\"quoted\\\"\\nname"), "escaping: {j}");
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn goals_survive_reset_between_runs() {
+        use levee_vm::Trap;
+        // Overflowable global buffer sitting right below a function
+        // pointer — the quickstart's vulnerable server in miniature.
+        let mut s = Session::builder()
+            .source(
+                r#"
+                void handle(int code) { print_str("ok"); }
+                char reqbuf[64];
+                void (*cb)(int);
+                int main() {
+                    cb = handle;
+                    read_input(reqbuf, -1);
+                    cb(200);
+                    return 0;
+                }
+            "#,
+            )
+            .build()
+            .expect("builds");
+        let system = s.intrinsic_entry(Intrinsic::System);
+        s.add_goal(system, GoalKind::Ret2Libc);
+        // First run: benign input, no hijack.
+        assert!(s.run(b"hi").success());
+        // Second run (machine reset in between): overflow into the
+        // function pointer redirects dispatch to system().
+        let mut payload = vec![b'A'; 64];
+        payload.extend_from_slice(&system.to_le_bytes());
+        let out = s.run(&payload);
+        assert!(
+            matches!(out.status, ExitStatus::Trapped(Trap::Hijacked { .. })),
+            "vanilla build must be hijackable after a reset too, got {:?}",
+            out.status
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Session-reuse property suite: `Session::run_batch` over N generated
+//! inputs must be **bit-identical** to N freshly built sessions — for
+//! every counter (status, output, instructions, cycles, checks), across
+//! both execution engines and all four safe-pointer-store
+//! organizations.
+//!
+//! This is the gate on the API redesign's central claim: serving many
+//! runs from one resident machine (`Machine::reset` between runs) is
+//! observationally indistinguishable from the old
+//! build-per-run wiring, so consumers can adopt the cheap path without
+//! auditing for state leaks. Programs are generated from a template
+//! with proptest-drawn knobs (loop trip counts, array strides, dispatch
+//! mix) plus proptest-drawn input payloads, so the machine state the
+//! reset must tear down — register files, heap churn, safe-store
+//! entries, provenance handles, output buffers — varies case to case.
+
+use levee_core::{BuildConfig, RunReport, Session};
+use levee_vm::{Engine, StoreKind};
+use proptest::prelude::*;
+
+/// A small program family: input-dependent control flow, array and
+/// heap traffic, and function-pointer dispatch (so CPI instrumentation
+/// and the safe store are genuinely exercised between resets).
+fn program(iters: u64, stride: u64, mix: u64) -> String {
+    format!(
+        r#"
+        long acc;
+        void op_add(int v) {{ acc = acc + v; }}
+        void op_mul(int v) {{ acc = acc * 3 + v; }}
+        void op_xor(int v) {{ acc = acc ^ v; }}
+        void (*ops[3])(int) = {{op_add, op_mul, op_xor}};
+        long table[32];
+        char input[64];
+
+        int main() {{
+            long n = read_input(input, 63);
+            acc = n;
+            long i;
+            for (i = 0; i < 32; i = i + 1) {{ table[i] = i * {stride}; }}
+            long* heap = (long*)malloc(128);
+            for (i = 0; i < {iters}; i = i + 1) {{
+                long op = (i + {mix}) % 3;
+                ops[op]((int)(table[(i * {stride}) % 32] & 255));
+                heap[i % 16] = acc;
+                if (n > 0) {{ acc = acc + (long)input[i % n]; }}
+            }}
+            print_int(acc);
+            print_int(heap[7]);
+            free((void*)heap);
+            return 0;
+        }}
+    "#
+    )
+}
+
+/// Every observable the ISSUE names, asserted bit-identical.
+fn assert_identical(batch: &RunReport, fresh: &RunReport, ctx: &str) {
+    assert_eq!(batch.status, fresh.status, "{ctx}: status diverged");
+    assert_eq!(batch.output, fresh.output, "{ctx}: output diverged");
+    assert_eq!(
+        batch.exec.insts, fresh.exec.insts,
+        "{ctx}: instruction counts diverged"
+    );
+    assert_eq!(
+        batch.exec.cycles, fresh.exec.cycles,
+        "{ctx}: cycles diverged"
+    );
+    assert_eq!(
+        batch.exec.checks, fresh.exec.checks,
+        "{ctx}: check counts diverged"
+    );
+    // Beyond the ISSUE's five: the rest of the counter set, which
+    // costs nothing extra and pins the reset completely.
+    assert_eq!(
+        (batch.exec.mem_ops, batch.exec.cpi_mem_ops, batch.exec.calls),
+        (fresh.exec.mem_ops, fresh.exec.cpi_mem_ops, fresh.exec.calls),
+        "{ctx}: memory/call counters diverged"
+    );
+    assert_eq!(
+        (batch.exec.cache_hits, batch.exec.cache_misses),
+        (fresh.exec.cache_hits, fresh.exec.cache_misses),
+        "{ctx}: cache behaviour diverged"
+    );
+}
+
+const CASES: u32 = if cfg!(debug_assertions) { 12 } else { 48 };
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+    /// run_batch(N inputs) ≡ N fresh sessions, engine × store matrix.
+    #[test]
+    fn run_batch_is_bit_identical_to_fresh_sessions(
+        iters in 1u64..40,
+        stride in 1u64..7,
+        mix in 0u64..3,
+        inputs in proptest::collection::vec(
+            proptest::collection::vec(proptest::arbitrary::any::<u8>(), 0..24),
+            1..4,
+        ),
+    ) {
+        let src = program(iters, stride, mix);
+        for engine in Engine::all() {
+            for store in StoreKind::all() {
+                let build = || {
+                    Session::builder()
+                        .source(&src)
+                        .name("reuse")
+                        .protection(BuildConfig::Cpi)
+                        .engine(*engine)
+                        .store(*store)
+                        .build()
+                        .expect("template builds")
+                };
+                let batch = build().run_batch(inputs.iter());
+                for (input, batched) in inputs.iter().zip(&batch) {
+                    let fresh = build().run(input);
+                    let ctx = format!(
+                        "engine {} store {} input {input:?}",
+                        engine.name(),
+                        store.name()
+                    );
+                    assert_identical(batched, &fresh, &ctx);
+                }
+            }
+        }
+    }
+
+    /// The same property under the vanilla build: reuse must also be
+    /// invisible when no instrumentation or safe store is involved.
+    #[test]
+    fn vanilla_run_batch_matches_fresh_sessions(
+        iters in 1u64..40,
+        inputs in proptest::collection::vec(
+            proptest::collection::vec(proptest::arbitrary::any::<u8>(), 0..24),
+            1..4,
+        ),
+    ) {
+        let src = program(iters, 3, 1);
+        let build = || {
+            Session::builder()
+                .source(&src)
+                .name("reuse")
+                .build()
+                .expect("template builds")
+        };
+        let batch = build().run_batch(inputs.iter());
+        for (input, batched) in inputs.iter().zip(&batch) {
+            let fresh = build().run(input);
+            assert_identical(batched, &fresh, &format!("vanilla input {input:?}"));
+        }
+    }
+}

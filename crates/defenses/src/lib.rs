@@ -180,18 +180,18 @@ mod tests {
 
     #[test]
     fn deployments_run_programs_unchanged() {
-        use levee_vm::{ExitStatus, Machine};
         for d in Deployment::all() {
             let mut m = compile(SRC, "t").unwrap();
             d.apply(&mut m);
-            let config = d.vm_config(VmConfig::default());
-            let out = Machine::new(&m, config).run(b"");
-            assert_eq!(
-                out.status,
-                ExitStatus::Exited(0),
-                "{} must not break benign programs",
-                d.name()
-            );
+            let mut session = levee_core::Session::builder()
+                .module(m)
+                .name("t")
+                .vm_config(d.vm_config(VmConfig::default()))
+                .build()
+                .expect("deployment session builds");
+            let out = session
+                .run_ok(b"")
+                .unwrap_or_else(|e| panic!("{} must not break benign programs: {e}", d.name()));
             assert_eq!(out.output, "1");
         }
     }

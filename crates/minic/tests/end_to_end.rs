@@ -1,7 +1,9 @@
-//! End-to-end frontend tests: compile mini-C and execute on the VM.
+//! End-to-end frontend tests: compile mini-C and execute on the VM,
+//! through the `levee_core::Session` embedding API.
 
+use levee_core::{LeveeError, Session};
 use levee_minic::compile;
-use levee_vm::{ExitStatus, Machine, VmConfig};
+use levee_vm::ExitStatus;
 
 /// Compiles and runs, asserting clean exit; returns the output.
 fn run(src: &str) -> String {
@@ -9,16 +11,15 @@ fn run(src: &str) -> String {
 }
 
 fn run_with_input(src: &str, input: &[u8]) -> String {
-    let module = compile(src, "test").expect("compiles");
-    let mut vm = Machine::new(&module, VmConfig::default());
-    let out = vm.run(input);
-    assert_eq!(
-        out.status,
-        ExitStatus::Exited(0),
-        "program should exit cleanly; output so far: {:?}",
-        out.output
-    );
-    out.output
+    let mut session = Session::builder()
+        .source(src)
+        .name("test")
+        .build()
+        .expect("compiles");
+    session
+        .run_ok(input)
+        .expect("program should exit cleanly")
+        .output
 }
 
 #[test]
@@ -376,24 +377,34 @@ fn sensitive_struct_annotation_is_recorded() {
 
 #[test]
 fn exit_intrinsic() {
-    let module = compile(
-        r#"int main() { print_int(3); exit(7); print_int(9); return 0; }"#,
-        "t",
-    )
-    .unwrap();
-    let mut vm = Machine::new(&module, VmConfig::default());
-    let out = vm.run(b"");
+    let mut session = Session::builder()
+        .source(r#"int main() { print_int(3); exit(7); print_int(9); return 0; }"#)
+        .name("t")
+        .build()
+        .unwrap();
+    let out = session.run(b"");
     assert_eq!(out.status, ExitStatus::Exited(7));
     assert_eq!(out.output, "3");
 }
 
 #[test]
 fn compile_errors_are_reported() {
-    assert!(compile("int main() { return undefined_var; }", "t").is_err());
-    assert!(compile("int main() { int x; return x(); }", "t").is_err());
-    assert!(compile("int f(int a); int main() { return f(1, 2); }", "t").is_err());
-    assert!(compile("struct s { struct s inner; };", "t").is_err());
-    assert!(compile("int malloc(int x) { return x; }", "t").is_err());
+    // Malformed source is a typed LeveeError through the Session front
+    // door — never a panic.
+    for bad in [
+        "int main() { return undefined_var; }",
+        "int main() { int x; return x(); }",
+        "int f(int a); int main() { return f(1, 2); }",
+        "struct s { struct s inner; };",
+        "int malloc(int x) { return x; }",
+    ] {
+        assert!(compile(bad, "t").is_err());
+        match Session::builder().source(bad).name("t").build() {
+            Err(LeveeError::Compile { name, .. }) => assert_eq!(name, "t"),
+            Err(other) => panic!("expected Compile error, got {other}"),
+            Ok(_) => panic!("must not build: {bad}"),
+        }
+    }
 }
 
 #[test]
@@ -426,20 +437,16 @@ fn output_identical_across_store_kinds() {
         }
         int main() { print_int(work(50)); return 0; }
     "#;
-    let module = compile(src, "t").unwrap();
     let mut outputs = Vec::new();
-    for kind in levee_rt_kinds() {
-        let config = VmConfig {
-            store_kind: kind,
-            ..VmConfig::default()
-        };
-        let out = Machine::new(&module, config).run(b"");
-        outputs.push(out.output);
+    for kind in levee_vm::StoreKind::all() {
+        let mut session = Session::builder()
+            .source(src)
+            .name("t")
+            .store(*kind)
+            .build()
+            .unwrap();
+        outputs.push(session.run(b"").output);
     }
     outputs.dedup();
     assert_eq!(outputs.len(), 1);
-}
-
-fn levee_rt_kinds() -> Vec<levee_vm::StoreKind> {
-    levee_vm::StoreKind::all().to_vec()
 }

@@ -8,10 +8,10 @@
 //! globals); CPI/CPS/SafeStack change where the authoritative copies of
 //! code pointers live.
 
-use levee_core::BuildConfig;
+use levee_core::{BuildConfig, Session};
 use levee_defenses::Deployment;
 use levee_ir::Intrinsic;
-use levee_vm::{ExitStatus, Machine, Trap, VmConfig};
+use levee_vm::{ExitStatus, Trap, VmConfig};
 
 use crate::attack::{Attack, Payload, Target, Technique};
 use crate::template::{generate, SENTINEL};
@@ -55,20 +55,29 @@ impl Profile {
         )
     }
 
-    /// Compiles `src` under this profile, layering the profile's
-    /// settings over `base` (engine selection, cost model, …).
-    fn prepare(&self, src: &str, base: VmConfig) -> (levee_ir::Module, VmConfig) {
+    /// Builds `src` under this profile into a [`Session`], layering the
+    /// profile's settings over `base` (engine selection, cost model, …).
+    /// One session serves the whole recon → dry-run → exploit pipeline,
+    /// re-armed between phases.
+    fn session(&self, src: &str, base: VmConfig) -> Session {
         match self {
             Profile::Deployment(d) => {
                 let mut module = levee_minic::compile(src, "ripe").expect("template compiles");
                 d.apply(&mut module);
-                (module, d.vm_config(base))
+                Session::builder()
+                    .module(module)
+                    .name("ripe")
+                    .vm_config(d.vm_config(base))
+                    .build()
+                    .expect("deployment session builds")
             }
-            Profile::Levee(c) => {
-                let built = levee_core::build_source(src, "ripe", *c).expect("template compiles");
-                let cfg = built.vm_config(base);
-                (built.module, cfg)
-            }
+            Profile::Levee(c) => Session::builder()
+                .source(src)
+                .name("ripe")
+                .protection(*c)
+                .vm_config(base)
+                .build()
+                .expect("template compiles"),
         }
     }
 }
@@ -168,20 +177,21 @@ pub fn run_attack_with(
     base: VmConfig,
 ) -> AttackResult {
     let src = generate(attack);
-    let (module, victim_cfg) = profile.prepare(&src, base);
+    let mut session = profile.session(&src, base);
+    let victim_cfg = session.vm_config().with_seed(seed);
 
     // --- Recon: the attacker's own copy, without ASLR. ---
-    let mut recon_cfg = victim_cfg;
-    recon_cfg.aslr = false;
-    recon_cfg.seed = 0xA77AC4E4;
-    let mut recon_vm = Machine::new(&module, recon_cfg);
-    let recon_system = recon_vm.intrinsic_entry(Intrinsic::System);
-    let recon_rop = *recon_vm
+    session.reconfigure(|cfg| {
+        cfg.aslr = false;
+        cfg.seed = 0xA77AC4E4;
+    });
+    let recon_system = session.intrinsic_entry(Intrinsic::System);
+    let recon_rop = *session
         .ret_site_addrs()
         .last()
         .expect("templates contain calls");
-    let recon_evil = recon_vm.func_entry("evil_cb").expect("preamble function");
-    let recon_out = recon_vm.run(b"");
+    let recon_evil = session.func_entry("evil_cb").expect("preamble function");
+    let recon_out = session.run(b"");
     let (leak1, leak2) = parse_leaks(&recon_out.output);
     let recon = Recon {
         leak1,
@@ -194,18 +204,18 @@ pub fn run_attack_with(
 
     // --- Victim dry run: learn the *actual* goal addresses for this
     // seed (what the attacker hopes to reach; the VM needs them to
-    // detect success). ---
-    let victim_cfg = victim_cfg.with_seed(seed);
-    let mut dry = Machine::new(&module, victim_cfg);
-    let dry_system = dry.intrinsic_entry(Intrinsic::System);
-    let dry_rop = *dry.ret_site_addrs().last().expect("calls exist");
-    let dry_evil = dry.func_entry("evil_cb").expect("preamble function");
-    let dry_out = dry.run(b"");
+    // detect success). The same session pivots to the victim's
+    // configuration; the built module never recompiles. ---
+    session.reconfigure(|cfg| *cfg = victim_cfg);
+    let dry_system = session.intrinsic_entry(Intrinsic::System);
+    let dry_rop = *session.ret_site_addrs().last().expect("calls exist");
+    let dry_evil = session.func_entry("evil_cb").expect("preamble function");
+    let dry_out = session.run(b"");
     let (dry_leak1, _) = parse_leaks(&dry_out.output);
 
-    // --- The exploit. ---
-    let mut vm = Machine::new(&module, victim_cfg);
-    vm.add_goal(
+    // --- The exploit: same configuration, so the resident machine is
+    // simply re-armed (goals survive the between-run reset). ---
+    session.add_goal(
         match attack.payload {
             Payload::Shellcode => dry_leak1,
             Payload::Ret2Libc => dry_system,
@@ -214,7 +224,7 @@ pub fn run_attack_with(
         },
         attack.payload.goal_kind(),
     );
-    let out = vm.run(&payload);
+    let out = session.run(&payload);
     classify(out.status, &out.output)
 }
 

@@ -182,18 +182,17 @@ mod tests {
 
     #[test]
     fn benign_runs_reach_the_sentinel() {
-        use levee_vm::{ExitStatus, Machine, VmConfig};
         for attack in all_attacks() {
             let src = generate(&attack);
             let module = compile(&src, "ripe").unwrap();
-            let out = Machine::new(&module, VmConfig::default()).run(b"");
-            assert_eq!(
-                out.status,
-                ExitStatus::Exited(0),
-                "benign {} must exit cleanly: {:?}",
-                attack.id(),
-                out.status
-            );
+            let mut session = levee_core::Session::builder()
+                .module(module)
+                .name("ripe")
+                .build()
+                .expect("module session builds");
+            let out = session
+                .run_ok(b"")
+                .unwrap_or_else(|e| panic!("benign {} must exit cleanly: {e}", attack.id()));
             assert!(
                 out.output.ends_with(SENTINEL),
                 "benign {} must reach the sentinel",

@@ -47,7 +47,7 @@ pub mod trap;
 
 pub use config::{Engine, HardwareModel, Isolation, VmConfig};
 pub use levee_rt::StoreKind;
-pub use machine::{GuessOutcome, Machine, RunOutcome, V};
+pub use machine::{AttackerError, GuessOutcome, Machine, RunOutcome, V};
 pub use stats::ExecStats;
 pub use trap::{CpiViolationKind, ExitStatus, GoalKind, Trap};
 

@@ -36,7 +36,7 @@ use crate::mem::{MemError, Memory};
 use crate::stats::ExecStats;
 use crate::trap::{ExitStatus, GoalKind, Trap};
 
-pub use attacker::GuessOutcome;
+pub use attacker::{AttackerError, GuessOutcome};
 
 /// A runtime value: a 64-bit word plus an interned based-on handle.
 ///

@@ -6,9 +6,9 @@
 //! configuration, every store organization and isolation model, and the
 //! whole RIPE attack matrix.
 
-use levee_core::{build_source, BuildConfig};
+use levee_core::{build_source, BuildConfig, RunReport, Session};
 use levee_ripe::{all_attacks, run_attack_with, Profile};
-use levee_vm::{Engine, ExitStatus, Isolation, Machine, RunOutcome, StoreKind, Trap, VmConfig};
+use levee_vm::{Engine, ExitStatus, Isolation, StoreKind, Trap, VmConfig};
 use levee_workloads::kernels;
 
 const ALL_CONFIGS: &[BuildConfig] = &[
@@ -37,44 +37,48 @@ fn lineup(base: VmConfig) -> [(VmConfig, &'static str); 3] {
 }
 
 /// Asserts every observable of two runs agrees.
-fn assert_same(a: &RunOutcome, b: &RunOutcome, ctx: &str) {
+fn assert_same(a: &RunReport, b: &RunReport, ctx: &str) {
     assert_eq!(a.status, b.status, "{ctx}: exit status diverged");
     assert_eq!(a.output, b.output, "{ctx}: output diverged");
-    assert_eq!(a.stats.cycles, b.stats.cycles, "{ctx}: cycles diverged");
+    assert_eq!(a.exec.cycles, b.exec.cycles, "{ctx}: cycles diverged");
     assert_eq!(
-        a.stats.insts, b.stats.insts,
+        a.exec.insts, b.exec.insts,
         "{ctx}: instruction counts diverged"
     );
     assert_eq!(
-        a.stats.mem_ops, b.stats.mem_ops,
+        a.exec.mem_ops, b.exec.mem_ops,
         "{ctx}: mem-op counts diverged"
     );
     assert_eq!(
-        a.stats.cpi_mem_ops, b.stats.cpi_mem_ops,
+        a.exec.cpi_mem_ops, b.exec.cpi_mem_ops,
         "{ctx}: instrumented-op counts diverged"
     );
+    assert_eq!(a.exec.checks, b.exec.checks, "{ctx}: check counts diverged");
     assert_eq!(
-        a.stats.checks, b.stats.checks,
-        "{ctx}: check counts diverged"
-    );
-    assert_eq!(
-        (a.stats.cache_hits, a.stats.cache_misses),
-        (b.stats.cache_hits, b.stats.cache_misses),
+        (a.exec.cache_hits, a.exec.cache_misses),
+        (b.exec.cache_hits, b.exec.cache_misses),
         "{ctx}: cache behaviour diverged"
     );
-    assert_eq!(a.stats.calls, b.stats.calls, "{ctx}: call counts diverged");
+    assert_eq!(a.exec.calls, b.exec.calls, "{ctx}: call counts diverged");
 }
 
 /// Runs `src` built under `config` with the walker and the bytecode
 /// engine (fused and unfused) and asserts every observable of the three
-/// runs agrees. Returns the (identical) outcome.
-fn differential(src: &str, config: BuildConfig, base: VmConfig, what: &str) -> RunOutcome {
-    let built = build_source(src, "diff", config)
+/// runs agrees. One session serves all three configurations — the
+/// module is compiled once and the resident machine is rebuilt per
+/// engine via `Session::reconfigure`. Returns the (identical) report.
+fn differential(src: &str, config: BuildConfig, base: VmConfig, what: &str) -> RunReport {
+    let mut session = Session::builder()
+        .source(src)
+        .name("diff")
+        .protection(config)
+        .vm_config(base)
+        .build()
         .unwrap_or_else(|e| panic!("{what}: failed to build under {}: {e}", config.name()));
-    let base = built.vm_config(base);
-    let runs = lineup(base).map(|(cfg, name)| {
-        let mut vm = Machine::new(&built.module, cfg);
-        (vm.run(b""), name)
+    let derived = session.vm_config();
+    let runs = lineup(derived).map(|(cfg, name)| {
+        session.reconfigure(|c| *c = cfg);
+        (session.run(b""), name)
     });
     for (run, name) in &runs[1..] {
         let ctx = format!("{what} under {} [{name}]", config.name());
@@ -379,15 +383,22 @@ fn fused_memory_ops_touch_the_same_sequence() {
         &[("vcall_kernel", 60), ("numeric_kernel", 200)],
     );
     for config in [BuildConfig::Vanilla, BuildConfig::Cpi] {
-        let built = build_source(&program, "trace", config).expect("kernels build");
-        let base = built.vm_config(VmConfig::default());
+        let mut session = Session::builder()
+            .source(&program)
+            .name("trace")
+            .protection(config)
+            .build()
+            .expect("kernels build");
+        let base = session.vm_config();
         let mut logs = Vec::new();
         for (cfg, name) in lineup(base) {
-            let mut vm = Machine::new(&built.module, cfg);
-            vm.enable_mem_trace();
-            let out = vm.run(b"");
+            // reconfigure rebuilds the machine, so tracing re-arms per
+            // engine configuration.
+            session.reconfigure(|c| *c = cfg);
+            session.enable_mem_trace();
+            let out = session.run(b"");
             assert_eq!(out.status, ExitStatus::Exited(0), "{name} must succeed");
-            logs.push((vm.mem_trace().to_vec(), name));
+            logs.push((session.mem_trace().to_vec(), name));
         }
         assert!(!logs[0].0.is_empty(), "trace must record touches");
         for (log, name) in &logs[1..] {

@@ -310,14 +310,17 @@ pub fn assemble(kernels: &[&str], calls: &[(&str, u64)]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use levee_vm::{ExitStatus, Machine, VmConfig};
+    use levee_core::Session;
 
     fn run_kernel(kernel: &str, f: &str) -> String {
         let src = assemble(&[kernel], &[(f, 200)]);
-        let module = levee_minic::compile(&src, "k").expect("kernel compiles");
-        let out = Machine::new(&module, VmConfig::default()).run(b"");
-        assert_eq!(out.status, ExitStatus::Exited(0), "{f} must run cleanly");
-        out.output
+        let mut session = Session::builder()
+            .source(&src)
+            .name("k")
+            .build()
+            .expect("kernel compiles");
+        let report = session.run_ok(b"").expect("kernel runs cleanly");
+        report.output
     }
 
     #[test]

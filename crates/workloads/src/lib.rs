@@ -19,6 +19,9 @@ pub mod runner;
 pub mod spec;
 pub mod system;
 
-pub use runner::{measure, measure_source, overhead_row, summarize, Measurement, OverheadRow};
+pub use runner::{
+    measure, measure_source, measure_source_seeded, overhead_row, summarize, Measurement,
+    OverheadRow,
+};
 pub use spec::{spec_suite, Workload};
 pub use system::{phoronix_suite, web_stack};

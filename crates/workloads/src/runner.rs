@@ -1,43 +1,23 @@
 //! Measurement harness: build a workload under a configuration, run it
 //! on the VM's cycle model, and report stats — the machinery behind
 //! Tables 1–4 and Figures 3–4.
+//!
+//! Since the `levee::Session` redesign this module is a thin veneer:
+//! [`measure_source`] is one session build plus one checked run, and
+//! build/run failures surface as typed [`LeveeError`]s instead of
+//! panics.
 
-use levee_core::{build_source, BuildConfig, BuildStats};
-use levee_vm::{ExecStats, ExitStatus, Machine, StoreKind, VmConfig};
+use levee_core::{BuildConfig, LeveeError, RunReport, Session};
+use levee_vm::StoreKind;
 
 use crate::spec::Workload;
 
-/// One measured run.
-#[derive(Debug, Clone)]
-pub struct Measurement {
-    /// Workload name.
-    pub name: String,
-    /// Protection configuration.
-    pub config: BuildConfig,
-    /// Runtime statistics (cycles are the "time" axis).
-    pub exec: ExecStats,
-    /// Compile-time statistics (FNUStack / MO data).
-    pub build: BuildStats,
-    /// Program output, for differential checking.
-    pub output: String,
-}
-
-impl Measurement {
-    /// Runtime overhead relative to `baseline`, in percent.
-    pub fn overhead_pct(&self, baseline: &Measurement) -> f64 {
-        self.exec.overhead_pct(&baseline.exec)
-    }
-
-    /// Memory overhead relative to `baseline`, in percent.
-    pub fn memory_overhead_pct(&self, baseline: &Measurement) -> f64 {
-        self.exec.memory_overhead_pct(&baseline.exec)
-    }
-
-    /// Safe-pointer-store memory as % of baseline residency (§5.2).
-    pub fn store_overhead_pct(&self, baseline: &Measurement) -> f64 {
-        self.exec.store_overhead_pct(&baseline.exec)
-    }
-}
+/// One measured run. Since the `Session` redesign this *is* the
+/// unified [`RunReport`] — name, configuration axes, seed, exit
+/// status, output, runtime and build statistics in one serializable
+/// struct (`RunReport::to_json` feeds every bench binary's `--json`
+/// mode); the alias keeps the harness's historical vocabulary.
+pub type Measurement = RunReport;
 
 /// Builds and runs `workload` at `scale` under `config`, with the given
 /// safe-pointer-store organization.
@@ -46,33 +26,39 @@ pub fn measure(
     scale: u64,
     config: BuildConfig,
     store: StoreKind,
-) -> Measurement {
+) -> Result<Measurement, LeveeError> {
     measure_source(workload.name, &workload.source(scale), config, store)
 }
 
-/// Like [`measure`], for raw source text.
-pub fn measure_source(name: &str, src: &str, config: BuildConfig, store: StoreKind) -> Measurement {
-    let built = build_source(src, name, config)
-        .unwrap_or_else(|e| panic!("workload {name} failed to build: {e}"));
-    let mut vm_cfg = built.vm_config(VmConfig::default().with_seed(0xBEEF));
-    vm_cfg.store_kind = store;
-    let mut vm = Machine::new(&built.module, vm_cfg);
-    let out = vm.run(b"");
-    assert_eq!(
-        out.status,
-        ExitStatus::Exited(0),
-        "workload {name} under {} must exit cleanly, got {:?} (output: {})",
-        config.name(),
-        out.status,
-        out.output
-    );
-    Measurement {
-        name: name.to_string(),
-        config,
-        exec: out.stats,
-        build: built.stats,
-        output: out.output,
-    }
+/// Like [`measure`], for raw source text. Runs with the session
+/// default seed ([`levee_core::DEFAULT_SEED`]).
+pub fn measure_source(
+    name: &str,
+    src: &str,
+    config: BuildConfig,
+    store: StoreKind,
+) -> Result<Measurement, LeveeError> {
+    measure_source_seeded(name, src, config, store, levee_core::DEFAULT_SEED)
+}
+
+/// Like [`measure_source`], with an explicit deterministic seed. The
+/// seed flows through the session builder and is recorded on the
+/// returned [`Measurement`].
+pub fn measure_source_seeded(
+    name: &str,
+    src: &str,
+    config: BuildConfig,
+    store: StoreKind,
+    seed: u64,
+) -> Result<Measurement, LeveeError> {
+    let mut session = Session::builder()
+        .source(src)
+        .name(name)
+        .protection(config)
+        .store(store)
+        .seed(seed)
+        .build()?;
+    session.run_ok(b"")
 }
 
 /// One row of an overhead table: a workload measured under every config,
@@ -106,12 +92,12 @@ pub fn overhead_row(
     scale: u64,
     configs: &[BuildConfig],
     store: StoreKind,
-) -> OverheadRow {
-    let baseline = measure(workload, scale, BuildConfig::Vanilla, store);
+) -> Result<OverheadRow, LeveeError> {
+    let baseline = measure(workload, scale, BuildConfig::Vanilla, store)?;
     let mut overheads = Vec::new();
     let mut measurements = vec![baseline.clone()];
     for config in configs {
-        let m = measure(workload, scale, *config, store);
+        let m = measure(workload, scale, *config, store)?;
         assert_eq!(
             m.output,
             baseline.output,
@@ -122,12 +108,12 @@ pub fn overhead_row(
         overheads.push((*config, m.overhead_pct(&baseline)));
         measurements.push(m);
     }
-    OverheadRow {
+    Ok(OverheadRow {
         name: workload.name.to_string(),
         cpp: workload.cpp,
         overheads,
         measurements,
-    }
+    })
 }
 
 /// Summary statistics over a set of rows (the Table 1 shape).
@@ -166,7 +152,8 @@ mod tests {
             2,
             &[BuildConfig::SafeStack, BuildConfig::Cps, BuildConfig::Cpi],
             StoreKind::ArraySuperpage,
-        );
+        )
+        .expect("suite workloads measure cleanly");
         let ss = row.overhead(BuildConfig::SafeStack).unwrap();
         let cps = row.overhead(BuildConfig::Cps).unwrap();
         let cpi = row.overhead(BuildConfig::Cpi).unwrap();
@@ -179,7 +166,8 @@ mod tests {
     fn numeric_workload_is_nearly_free_under_cpi() {
         let suite = spec_suite();
         let lbm = suite.iter().find(|w| w.name == "lbm").unwrap();
-        let row = overhead_row(lbm, 2, &[BuildConfig::Cpi], StoreKind::ArraySuperpage);
+        let row =
+            overhead_row(lbm, 2, &[BuildConfig::Cpi], StoreKind::ArraySuperpage).expect("measures");
         let cpi = row.overhead(BuildConfig::Cpi).unwrap();
         assert!(
             cpi < 3.0,
@@ -193,12 +181,45 @@ mod tests {
         let rows: Vec<OverheadRow> = suite
             .iter()
             .take(3) // perlbench, bzip2, gcc — all C
-            .map(|w| overhead_row(w, 1, &[BuildConfig::Cpi], StoreKind::ArraySuperpage))
+            .map(|w| {
+                overhead_row(w, 1, &[BuildConfig::Cpi], StoreKind::ArraySuperpage)
+                    .expect("measures")
+            })
             .collect();
         let (avg_all, _, _) = summarize(&rows, BuildConfig::Cpi, None);
         let (avg_c, _, _) = summarize(&rows, BuildConfig::Cpi, Some(false));
         assert!((avg_all - avg_c).abs() < 1e-9, "all three rows are C");
         let (avg_cpp, _, _) = summarize(&rows, BuildConfig::Cpi, Some(true));
         assert_eq!(avg_cpp, 0.0);
+    }
+
+    #[test]
+    fn measurements_record_their_seed() {
+        let w = &spec_suite()[1];
+        let m = measure(w, 1, BuildConfig::Vanilla, StoreKind::ArraySuperpage).expect("measures");
+        assert_eq!(m.seed, levee_core::DEFAULT_SEED);
+        let seeded = measure_source_seeded(
+            w.name,
+            &w.source(1),
+            BuildConfig::Vanilla,
+            StoreKind::ArraySuperpage,
+            42,
+        )
+        .expect("measures");
+        assert_eq!(seeded.seed, 42);
+        // Same program, same output, whatever the seed.
+        assert_eq!(m.output, seeded.output);
+    }
+
+    #[test]
+    fn malformed_workload_source_is_an_error_not_a_panic() {
+        let err = measure_source(
+            "broken",
+            "int main() { return undefined; }",
+            BuildConfig::Cpi,
+            StoreKind::ArraySuperpage,
+        )
+        .expect_err("must fail to build");
+        assert!(matches!(err, LeveeError::Compile { .. }), "{err}");
     }
 }

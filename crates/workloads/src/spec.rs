@@ -252,7 +252,6 @@ pub fn spec_suite() -> Vec<Workload> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use levee_vm::{ExitStatus, Machine, VmConfig};
 
     #[test]
     fn suite_has_nineteen_benchmarks() {
@@ -270,17 +269,14 @@ mod tests {
     #[test]
     fn every_workload_compiles_and_runs() {
         for w in spec_suite() {
-            let src = w.source(1);
-            let module = levee_minic::compile(&src, w.name)
-                .unwrap_or_else(|e| panic!("{} fails to compile: {e}", w.name));
-            let out = Machine::new(&module, VmConfig::default()).run(b"");
-            assert_eq!(
-                out.status,
-                ExitStatus::Exited(0),
-                "{} must run cleanly: {:?}",
-                w.name,
-                out.status
-            );
+            let mut session = levee_core::Session::builder()
+                .source(&w.source(1))
+                .name(w.name)
+                .build()
+                .unwrap_or_else(|e| panic!("{} fails to build: {e}", w.name));
+            session
+                .run_ok(b"")
+                .unwrap_or_else(|e| panic!("{} must run cleanly: {e}", w.name));
         }
     }
 
@@ -288,8 +284,12 @@ mod tests {
     fn workload_output_is_scale_dependent_but_deterministic() {
         let w = &spec_suite()[0];
         let run = |scale| {
-            let module = levee_minic::compile(&w.source(scale), w.name).unwrap();
-            Machine::new(&module, VmConfig::default()).run(b"").output
+            let mut session = levee_core::Session::builder()
+                .source(&w.source(scale))
+                .name(w.name)
+                .build()
+                .expect("builds");
+            session.run(b"").output
         };
         assert_eq!(run(2), run(2));
         assert_ne!(run(1), run(3));

@@ -172,15 +172,17 @@ pub fn web_stack() -> Vec<Workload> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use levee_vm::{ExitStatus, Machine, VmConfig};
-
     #[test]
     fn system_workloads_compile_and_run() {
         for w in phoronix_suite().iter().chain(web_stack().iter()) {
-            let module = levee_minic::compile(&w.source(1), w.name)
+            let mut session = levee_core::Session::builder()
+                .source(&w.source(1))
+                .name(w.name)
+                .build()
                 .unwrap_or_else(|e| panic!("{} fails: {e}", w.name));
-            let out = Machine::new(&module, VmConfig::default()).run(b"");
-            assert_eq!(out.status, ExitStatus::Exited(0), "{}", w.name);
+            session
+                .run_ok(b"")
+                .unwrap_or_else(|e| panic!("{} must run cleanly: {e}", w.name));
         }
     }
 

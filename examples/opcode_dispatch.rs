@@ -15,13 +15,16 @@
 //!    opcode loop under both engines at identical cycle counts; the
 //!    wall-clock difference is pure interpreter-overhead elimination.
 //!
+//! Each configuration is one `levee::Session`; the engine pivot is a
+//! `Session::reconfigure` on the same built module.
+//!
 //! Run with: `cargo run --release --example opcode_dispatch`
 
 use std::time::Instant;
 
-use levee::core::{build_source, BuildConfig};
 use levee::defenses::Deployment;
-use levee::vm::{Engine, ExitStatus, GoalKind, Machine, Trap, VmConfig};
+use levee::vm::{Engine, ExitStatus, GoalKind, Trap, VmConfig};
+use levee::{BuildConfig, Session};
 
 /// A tiny bytecode VM: opcode handlers dispatched through a table.
 /// `secret_admin` is a function that exists in the binary but is never
@@ -67,68 +70,82 @@ const HOT: &str = r#"
     }
 "#;
 
-fn verdict(module: &levee::ir::Module, cfg: VmConfig, payload: &[u8]) -> (String, u64) {
-    let mut vm = Machine::new(module, cfg);
-    let admin = vm.func_entry("secret_admin").expect("exists");
-    vm.add_goal(admin, GoalKind::FuncReuse);
-    let out = vm.run(payload);
+/// One session per protection profile; built once, replayed per engine.
+fn profile_session(name: &str) -> Session {
+    match name {
+        "no protection" => Session::builder()
+            .source(SRC)
+            .name("interp")
+            .vm_config(VmConfig::default())
+            .build()
+            .expect("compiles"),
+        "coarse CFI (any function)" => {
+            let mut m = levee::minic::compile(SRC, "interp").unwrap();
+            Deployment::CoarseCfi.apply(&mut m);
+            Session::builder()
+                .module(m)
+                .name("interp")
+                .vm_config(Deployment::CoarseCfi.vm_config(VmConfig::default()))
+                .build()
+                .expect("compiles")
+        }
+        "CPS" => Session::builder()
+            .source(SRC)
+            .name("interp")
+            .protection(BuildConfig::Cps)
+            .vm_config(VmConfig::default())
+            .build()
+            .expect("compiles"),
+        _ => Session::builder()
+            .source(SRC)
+            .name("interp")
+            .protection(BuildConfig::Cpi)
+            .vm_config(VmConfig::default())
+            .build()
+            .expect("compiles"),
+    }
+}
+
+fn verdict(session: &mut Session, engine: Engine, payload: &[u8]) -> (String, u64) {
+    session.reconfigure(move |cfg| cfg.engine = engine);
+    let admin = session.func_entry("secret_admin").expect("exists");
+    session.add_goal(admin, GoalKind::FuncReuse);
+    let out = session.run(payload);
     let v = match &out.status {
         ExitStatus::Trapped(Trap::Hijacked { .. }) => "HIJACKED — attacker ran secret_admin".into(),
         ExitStatus::Trapped(t) => format!("stopped ({t:?})"),
         ExitStatus::Exited(_) => "survived — corrupted copy ignored".into(),
     };
-    (v, out.stats.cycles)
+    (v, out.exec.cycles)
 }
 
 fn main() {
     // Payload: 64 bytes of "bytecode" filler that overflows into
     // optable[0], redirecting it to secret_admin.
-    let probe = levee::minic::compile(SRC, "probe").expect("compiles");
-    let vm = Machine::new(&probe, VmConfig::default());
-    let admin = vm.func_entry("secret_admin").expect("exists");
+    let probe = Session::builder()
+        .source(SRC)
+        .name("probe")
+        .vm_config(VmConfig::default())
+        .build()
+        .expect("compiles");
+    let admin = probe.func_entry("secret_admin").expect("exists");
     let mut payload = vec![0u8; 64];
     payload.extend_from_slice(&admin.to_le_bytes());
 
     println!("corrupting the guest interpreter's opcode table:\n");
     println!("{:<28} {:<44} {:<44}", "", "walk engine", "bytecode engine");
 
-    let lineup: Vec<(&str, levee::ir::Module, VmConfig)> = vec![
-        (
-            "no protection",
-            levee::minic::compile(SRC, "interp").unwrap(),
-            VmConfig::default(),
-        ),
-        (
-            "coarse CFI (any function)",
-            {
-                let mut m = levee::minic::compile(SRC, "interp").unwrap();
-                Deployment::CoarseCfi.apply(&mut m);
-                m
-            },
-            Deployment::CoarseCfi.vm_config(VmConfig::default()),
-        ),
-        {
-            let b = build_source(SRC, "interp", BuildConfig::Cps).unwrap();
-            let cfg = b.vm_config(VmConfig::default());
-            ("CPS", b.module, cfg)
-        },
-        {
-            let b = build_source(SRC, "interp", BuildConfig::Cpi).unwrap();
-            let cfg = b.vm_config(VmConfig::default());
-            ("CPI", b.module, cfg)
-        },
-    ];
-
-    for (name, module, cfg) in &lineup {
-        let (wv, wc) = verdict(module, cfg.with_engine(Engine::Walk), &payload);
-        let (bv, bcles) = verdict(module, cfg.with_engine(Engine::Bytecode), &payload);
+    for name in ["no protection", "coarse CFI (any function)", "CPS", "CPI"] {
+        let mut session = profile_session(name);
+        let (wv, wc) = verdict(&mut session, Engine::Walk, &payload);
+        let (bv, bcles) = verdict(&mut session, Engine::Bytecode, &payload);
         assert_eq!(wv, bv, "engines must agree on the security verdict");
         assert_eq!(wc, bcles, "engines must agree on simulated cycles");
         println!("{name:<28} {wv:<44} {bv:<44}");
     }
 
     // The compiled form of the guest, for the curious.
-    let built = build_source(SRC, "interp", BuildConfig::Cpi).unwrap();
+    let built = levee::core::build_source(SRC, "interp", BuildConfig::Cpi).unwrap();
     let compiled = levee::bc::compile(&built.module);
     println!(
         "\nguest compiled to bytecode: {} functions, {} words of code, {} signature entries",
@@ -137,19 +154,26 @@ fn main() {
         compiled.sigs.len(),
     );
 
-    // Wall-clock: same cycles, less time.
+    // Wall-clock: same cycles, less time. One session, one build; the
+    // engine flip is a reconfigure.
     println!("\nhot dispatch loop (300k table calls), identical simulated cycles:");
-    let hot = build_source(HOT, "hot", BuildConfig::Cpi).unwrap();
-    let base = hot.vm_config(VmConfig::default());
+    let mut hot = Session::builder()
+        .source(HOT)
+        .name("hot")
+        .protection(BuildConfig::Cpi)
+        .vm_config(VmConfig::default())
+        .build()
+        .unwrap();
     let mut wall = [0.0f64; 2];
     let mut cycles = [0u64; 2];
     for (i, engine) in [Engine::Walk, Engine::Bytecode].iter().enumerate() {
-        let mut vm = Machine::new(&hot.module, base.with_engine(*engine));
+        hot.reconfigure(|cfg| cfg.engine = *engine);
+        hot.precompile();
         let t0 = Instant::now();
-        let out = vm.run(b"");
+        let out = hot.run(b"");
         wall[i] = t0.elapsed().as_secs_f64() * 1e3;
-        cycles[i] = out.stats.cycles;
-        assert!(out.status.is_success());
+        cycles[i] = out.exec.cycles;
+        assert!(out.success());
         println!(
             "  {:<10} {:>8.1} ms   {} cycles",
             engine.name(),

@@ -1,11 +1,12 @@
 //! Quickstart: compile a vulnerable C program, exploit it, then rebuild
-//! it with `-fcpi` and watch the same exploit die.
+//! it with `-fcpi` and watch the same exploit die — all through
+//! `levee::Session`, the embedding front door.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use levee::core::{build_source, BuildConfig};
 use levee::ir::Intrinsic;
-use levee::vm::{ExitStatus, GoalKind, Machine, Trap, VmConfig};
+use levee::vm::{ExitStatus, GoalKind, Trap};
+use levee::{BuildConfig, Session};
 
 /// A server-ish program with a classic bug: an unbounded read into a
 /// global buffer sitting right below a function pointer.
@@ -24,17 +25,20 @@ const SRC: &str = r#"
 
 fn main() {
     // --- 1. The unprotected build falls to a ret2libc-style hijack. ---
-    let vanilla = build_source(SRC, "server", BuildConfig::Vanilla).expect("compiles");
-    let mut vm = Machine::new(&vanilla.module, VmConfig::default());
-    let system = vm.intrinsic_entry(Intrinsic::System);
-    vm.add_goal(system, GoalKind::Ret2Libc);
+    let mut vanilla = Session::builder()
+        .source(SRC)
+        .name("server")
+        .build()
+        .expect("compiles");
+    let system = vanilla.intrinsic_entry(Intrinsic::System);
+    vanilla.add_goal(system, GoalKind::Ret2Libc);
 
     // 64 filler bytes reach the function-pointer slot; the payload
     // overwrites it with system()'s address.
     let mut payload = vec![b'A'; 64];
     payload.extend_from_slice(&system.to_le_bytes());
 
-    let out = vm.run(&payload);
+    let out = vanilla.run(&payload);
     println!("vanilla build:   {:?}", out.status);
     assert!(
         matches!(out.status, ExitStatus::Trapped(Trap::Hijacked { .. })),
@@ -43,12 +47,16 @@ fn main() {
 
     // --- 2. Rebuild with -fcpi: same program, same payload. ---
     let config = BuildConfig::from_flag("-fcpi").expect("levee flag");
-    let cpi = build_source(SRC, "server", config).expect("compiles");
-    let mut vm = Machine::new(&cpi.module, cpi.vm_config(VmConfig::default()));
-    let system = vm.intrinsic_entry(Intrinsic::System);
-    vm.add_goal(system, GoalKind::Ret2Libc);
+    let mut cpi = Session::builder()
+        .source(SRC)
+        .name("server")
+        .protection(config)
+        .build()
+        .expect("compiles");
+    let system = cpi.intrinsic_entry(Intrinsic::System);
+    cpi.add_goal(system, GoalKind::Ret2Libc);
 
-    let out = vm.run(&payload);
+    let out = cpi.run(&payload);
     println!(
         "CPI build:       {:?} (output: {:?})",
         out.status, out.output
@@ -61,12 +69,22 @@ fn main() {
     );
     assert_eq!(out.output, "served page");
 
-    // --- 3. What it cost. ---
+    // --- 3. The server keeps serving: the resident machine is reset
+    // between runs, so one session handles request after request. ---
+    let followups = cpi.run_batch([&payload[..], b"GET /", b"GET /again"]);
+    assert!(followups.iter().all(|r| r.success()));
+    println!(
+        "served {} more requests from the resident session",
+        followups.len()
+    );
+
+    // --- 4. What it cost. ---
+    let stats = cpi.build_stats();
     println!(
         "instrumented {} of {} memory operations ({:.1}%)",
-        cpi.stats.instrumented_mem_ops,
-        cpi.stats.mem_ops,
-        cpi.stats.mo_fraction() * 100.0
+        stats.instrumented_mem_ops,
+        stats.mem_ops,
+        stats.mo_fraction() * 100.0
     );
     println!("quickstart: attack hijacked vanilla, silently defeated by CPI ✓");
 }

@@ -10,8 +10,7 @@
 //!
 //! Run with: `cargo run --example sensitive_data`
 
-use levee::core::{build_source, BuildConfig};
-use levee::vm::{Machine, VmConfig};
+use levee::{BuildConfig, Session};
 
 fn program(annotated: bool) -> String {
     let kw = if annotated { "__sensitive " } else { "" };
@@ -35,19 +34,22 @@ fn program(annotated: bool) -> String {
 }
 
 fn attack(annotated: bool, config: BuildConfig) -> String {
-    let src = program(annotated);
-    let built = build_source(&src, "ucred", config).expect("compiles");
-    let mut vm = Machine::new(&built.module, built.vm_config(VmConfig::default()));
+    let mut session = Session::builder()
+        .source(&program(annotated))
+        .name("ucred")
+        .protection(config)
+        .build()
+        .expect("compiles");
     // Forge a ucred with uid 0 *inside the request buffer*, then point
     // `active` at it: 8 bytes of fake record, padding, then the forged
     // pointer value (reqbuf's own address, learned from the binary).
-    let reqbuf = vm.global_addr("reqbuf").expect("global");
+    let reqbuf = session.global_addr("reqbuf").expect("global");
     let mut payload = Vec::new();
     payload.extend_from_slice(&0u32.to_le_bytes()); // fake uid = 0 (root!)
     payload.extend_from_slice(&0u32.to_le_bytes()); // fake gid
     payload.extend(std::iter::repeat_n(b'A', 64 - 8));
     payload.extend_from_slice(&reqbuf.to_le_bytes()); // active → fake record
-    let out = vm.run(&payload);
+    let out = session.run(&payload);
     format!("{:?} → uid printed: {}", out.status, out.output)
 }
 

@@ -19,22 +19,33 @@
 //!
 //! ## Quickstart
 //!
+//! [`Session`] is the front door: compile once, keep a resident
+//! machine, run as often as you like (the machine is re-armed with
+//! `Machine::reset` between runs — bit-identical to a fresh build, at
+//! none of the per-run build cost):
+//!
 //! ```
-//! use levee::core::{build_source, BuildConfig};
-//! use levee::vm::{ExitStatus, Machine, VmConfig};
+//! use levee::{BuildConfig, Session};
 //!
 //! let src = r#"
 //!     void greet(int x) { print_int(x); }
 //!     void (*cb)(int);
 //!     int main() { cb = greet; cb(42); return 0; }
 //! "#;
-//! let built = build_source(src, "demo", BuildConfig::Cpi).unwrap();
-//! let mut vm = Machine::new(&built.module, built.vm_config(VmConfig::default()));
-//! assert_eq!(vm.run(b"").status, ExitStatus::Exited(0));
+//! let mut session = Session::builder()
+//!     .source(src)
+//!     .protection(BuildConfig::Cpi)
+//!     .build()
+//!     .expect("valid mini-C");
+//! let report = session.run(b"");
+//! assert!(report.success());
+//! assert_eq!(report.output, "42");
 //! ```
 //!
 //! See `examples/` for attack/defense walkthroughs and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the experiment index.
+
+pub use levee_core::{BuildConfig, LeveeError, RunReport, Session, SessionBuilder};
 
 pub use levee_bc as bc;
 pub use levee_core as core;

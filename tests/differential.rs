@@ -5,21 +5,22 @@
 //! compiled and worked in the CPI, CPS and SafeStack versions" claim of
 //! §5.3, made mechanical.
 
-use levee::core::{build_source, BuildConfig};
-use levee::vm::{ExitStatus, Machine, StoreKind, VmConfig};
+use levee::vm::StoreKind;
 use levee::workloads::{phoronix_suite, spec_suite, web_stack};
+use levee::{BuildConfig, Session};
 
 fn run(src: &str, name: &str, config: BuildConfig, store: StoreKind) -> String {
-    let built = build_source(src, name, config).expect("builds");
-    let mut cfg = built.vm_config(VmConfig::default().with_seed(7));
-    cfg.store_kind = store;
-    let out = Machine::new(&built.module, cfg).run(b"");
-    assert_eq!(
-        out.status,
-        ExitStatus::Exited(0),
-        "{name} under {} ({store:?})",
-        config.name()
-    );
+    let mut session = Session::builder()
+        .source(src)
+        .name(name)
+        .protection(config)
+        .store(store)
+        .seed(7)
+        .build()
+        .expect("builds");
+    let out = session
+        .run_ok(b"")
+        .unwrap_or_else(|e| panic!("{name} under {} ({store:?}): {e}", config.name()));
     out.output
 }
 

@@ -48,7 +48,7 @@ fn table1_cost_ladder() {
     let configs = [BuildConfig::SafeStack, BuildConfig::Cps, BuildConfig::Cpi];
     let rows: Vec<_> = spec_suite()
         .iter()
-        .map(|w| overhead_row(w, 1, &configs, StoreKind::ArraySuperpage))
+        .map(|w| overhead_row(w, 1, &configs, StoreKind::ArraySuperpage).expect("measures"))
         .collect();
     let (ss_avg, _, _) = summarize(&rows, BuildConfig::SafeStack, None);
     let (cps_avg, _, _) = summarize(&rows, BuildConfig::Cps, None);
@@ -84,7 +84,8 @@ fn softbound_costs_a_multiple_of_cpi() {
         2,
         &[BuildConfig::Cpi, BuildConfig::SoftBound],
         StoreKind::ArraySuperpage,
-    );
+    )
+    .expect("measures");
     let cpi = row.overhead(BuildConfig::Cpi).expect("measured");
     let sb = row.overhead(BuildConfig::SoftBound).expect("measured");
     assert!(
@@ -144,7 +145,8 @@ fn fnustack_is_a_minority() {
 #[test]
 fn formal_model_agrees_with_pipeline() {
     use levee::formal::{ATy, Cmd, Env, Lhs, Outcome, Rhs};
-    use levee::vm::{ExitStatus, Machine, Trap, VmConfig};
+    use levee::vm::{ExitStatus, Trap};
+    use levee::Session;
     use std::collections::BTreeMap;
 
     // Formal model: g = (f*)(int)1234; (*g)() → Abort.
@@ -167,9 +169,13 @@ fn formal_model_agrees_with_pipeline() {
             return 0;
         }
     "#;
-    let built = levee::core::build_source(src, "forge", BuildConfig::Cpi).expect("builds");
-    let mut vm = Machine::new(&built.module, built.vm_config(VmConfig::default()));
-    let out = vm.run(b"");
+    let mut session = Session::builder()
+        .source(src)
+        .name("forge")
+        .protection(BuildConfig::Cpi)
+        .build()
+        .expect("builds");
+    let out = session.run(b"");
     assert!(
         matches!(out.status, ExitStatus::Trapped(Trap::Cpi { .. })),
         "pipeline must also abort, got {:?}",

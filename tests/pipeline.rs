@@ -1,8 +1,10 @@
 //! Cross-crate integration: source → protection passes → VM, across
-//! every configuration, with differential output checks.
+//! every configuration, with differential output checks — driven
+//! through `levee::Session`, the embedding front door.
 
-use levee::core::{build_source, BuildConfig};
-use levee::vm::{ExitStatus, Isolation, Machine, StoreKind, VmConfig};
+use levee::core::build_source;
+use levee::vm::{ExitStatus, Isolation, StoreKind, VmConfig};
+use levee::{BuildConfig, Session};
 
 /// A program touching every subsystem: structs, vtables, dispatch
 /// tables, heap, strings, setjmp, recursion.
@@ -54,52 +56,44 @@ const KITCHEN_SINK: &str = r#"
 
 const EXPECTED: &str = "42\n72\n720\npipeline\n9";
 
-fn all_configs() -> [BuildConfig; 5] {
-    [
-        BuildConfig::Vanilla,
-        BuildConfig::SafeStack,
-        BuildConfig::Cps,
-        BuildConfig::Cpi,
-        BuildConfig::SoftBound,
-    ]
+fn sink_session(config: BuildConfig) -> Session {
+    Session::builder()
+        .source(KITCHEN_SINK)
+        .name("sink")
+        .protection(config)
+        .vm_config(VmConfig::default())
+        .build()
+        .expect("builds")
 }
 
 #[test]
 fn kitchen_sink_runs_identically_under_every_config() {
-    for config in all_configs() {
-        let built = build_source(KITCHEN_SINK, "sink", config).expect("builds");
-        let mut vm = Machine::new(&built.module, built.vm_config(VmConfig::default()));
-        let out = vm.run(b"");
-        assert_eq!(
-            out.status,
-            ExitStatus::Exited(0),
-            "{}: {:?} (output {:?})",
-            config.name(),
-            out.status,
-            out.output
-        );
+    for config in BuildConfig::all() {
+        let out = sink_session(*config)
+            .run_ok(b"")
+            .unwrap_or_else(|e| panic!("{}: {e}", config.name()));
         assert_eq!(out.output, EXPECTED, "{} diverged", config.name());
     }
 }
 
 #[test]
 fn kitchen_sink_runs_under_every_store_and_isolation() {
-    let built = build_source(KITCHEN_SINK, "sink", BuildConfig::Cpi).expect("builds");
+    // One session; every (store, isolation) pair is a reconfigure of
+    // the same built module.
+    let mut session = sink_session(BuildConfig::Cpi);
     for store in StoreKind::all() {
         for iso in [
             Isolation::Segmentation,
             Isolation::InfoHiding,
             Isolation::Sfi,
         ] {
-            let mut cfg = built.vm_config(VmConfig::default());
-            cfg.store_kind = *store;
-            cfg.isolation = iso;
-            let out = Machine::new(&built.module, cfg).run(b"");
-            assert_eq!(
-                out.status,
-                ExitStatus::Exited(0),
-                "store {store:?} isolation {iso:?}"
-            );
+            session.reconfigure(|cfg| {
+                cfg.store_kind = *store;
+                cfg.isolation = iso;
+            });
+            let out = session
+                .run_ok(b"")
+                .unwrap_or_else(|e| panic!("store {store:?} isolation {iso:?}: {e}"));
             assert_eq!(out.output, EXPECTED);
         }
     }
@@ -108,17 +102,9 @@ fn kitchen_sink_runs_under_every_store_and_isolation() {
 #[test]
 fn overhead_ordering_holds_on_the_kitchen_sink() {
     let mut cycles = Vec::new();
-    for config in [
-        BuildConfig::Vanilla,
-        BuildConfig::SafeStack,
-        BuildConfig::Cps,
-        BuildConfig::Cpi,
-        BuildConfig::SoftBound,
-    ] {
-        let built = build_source(KITCHEN_SINK, "sink", config).expect("builds");
-        let mut vm = Machine::new(&built.module, built.vm_config(VmConfig::default()));
-        let out = vm.run(b"");
-        cycles.push((config, out.stats.cycles));
+    for config in BuildConfig::all() {
+        let out = sink_session(*config).run(b"");
+        cycles.push((*config, out.exec.cycles));
     }
     let get = |c: BuildConfig| cycles.iter().find(|(k, _)| *k == c).expect("ran").1;
     // The paper's cost ladder: safestack ≈ vanilla ≤ CPS ≤ CPI ≤ SoftBound.
@@ -155,13 +141,17 @@ fn debug_mode_detects_regular_copy_divergence() {
             return 0;
         }
     "#;
-    let built = build_source(src, "dbg", BuildConfig::Cpi).expect("builds");
-    let mut cfg = built.vm_config(VmConfig::default());
-    cfg.debug_dual_store = true;
-    let mut vm = Machine::new(&built.module, cfg);
+    let mut session = Session::builder()
+        .source(src)
+        .name("dbg")
+        .protection(BuildConfig::Cpi)
+        .vm_config(VmConfig::default())
+        .configure(|cfg| cfg.debug_dual_store = true)
+        .build()
+        .expect("builds");
     let mut payload = vec![b'A'; 64];
     payload.extend_from_slice(&0xdead_beefu64.to_le_bytes());
-    let out = vm.run(&payload);
+    let out = session.run(&payload);
     assert!(
         matches!(
             out.status,
@@ -174,9 +164,10 @@ fn debug_mode_detects_regular_copy_divergence() {
         out.status
     );
 
-    // Default mode: silent prevention (the call still goes to h).
-    let mut vm = Machine::new(&built.module, built.vm_config(VmConfig::default()));
-    let out = vm.run(&payload);
+    // Default mode: silent prevention (the call still goes to h) — the
+    // same session, reconfigured out of debug mode.
+    session.reconfigure(|cfg| cfg.debug_dual_store = false);
+    let out = session.run(&payload);
     assert_eq!(out.status, ExitStatus::Exited(0));
     assert_eq!(out.output, "5");
 }
@@ -185,18 +176,18 @@ fn debug_mode_detects_regular_copy_divergence() {
 fn isolation_ablation_cpi_depends_on_isolation() {
     // With isolation off, the attacker can reach the safe region —
     // the guarantee evaporates (§3.2.3 made falsifiable).
-    let built = build_source(
-        r#"int main() { print_int(1); return 0; }"#,
-        "abl",
-        BuildConfig::Cpi,
-    )
-    .expect("builds");
-    let mut cfg = built.vm_config(VmConfig::default());
-    cfg.isolation = Isolation::None;
-    let mut vm = Machine::new(&built.module, cfg);
-    let safe_stack_slot = vm.layout().safe_stack_top() - 8;
+    let src = r#"int main() { print_int(1); return 0; }"#;
+    let mut session = Session::builder()
+        .source(src)
+        .name("abl")
+        .protection(BuildConfig::Cpi)
+        .vm_config(VmConfig::default())
+        .configure(|cfg| cfg.isolation = Isolation::None)
+        .build()
+        .expect("builds");
+    let safe_stack_slot = session.layout().safe_stack_top() - 8;
     assert!(
-        vm.attacker_write(safe_stack_slot, &[0xff; 8]).is_ok(),
+        session.attacker_write(safe_stack_slot, &[0xff; 8]).is_ok(),
         "without isolation the safe region is just memory"
     );
     for iso in [
@@ -204,10 +195,8 @@ fn isolation_ablation_cpi_depends_on_isolation() {
         Isolation::Sfi,
         Isolation::InfoHiding,
     ] {
-        let mut cfg = built.vm_config(VmConfig::default());
-        cfg.isolation = iso;
-        let mut vm = Machine::new(&built.module, cfg);
-        let slot = vm.layout().safe_stack_top() - 8;
-        assert!(vm.attacker_write(slot, &[0xff; 8]).is_err(), "{iso:?}");
+        session.reconfigure(|cfg| cfg.isolation = iso);
+        let slot = session.layout().safe_stack_top() - 8;
+        assert!(session.attacker_write(slot, &[0xff; 8]).is_err(), "{iso:?}");
     }
 }
