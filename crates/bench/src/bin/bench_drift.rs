@@ -1,0 +1,193 @@
+//! Bench drift gate — compares a fresh deterministic measurement
+//! against the recorded baselines in `crates/bench/baselines/` and
+//! exits non-zero on regression.
+//!
+//! What is gated (all *simulated*, hence deterministic, counters):
+//!
+//! * `engine_compare.json` — instruction and cycle counts of every
+//!   (build, kernel) cell, re-run fresh at the recorded iteration
+//!   counts. More than `--threshold` percent growth (default 5%)
+//!   fails.
+//! * `memory_overhead.json` — safe-region bytes per live entry per
+//!   store organization, re-measured on the same dense population.
+//! * `value_traffic.json` — the compact slot size itself.
+//!
+//! Wall-clock columns in the baselines are machine-dependent and never
+//! gated; `webserver_throughput.json` therefore only gets a shape
+//! check (it must parse and carry its pages).
+//!
+//! Usage: `cargo run --release -p levee-bench --bin bench_drift
+//! [-- --threshold N] [--warn-only]`. `LEVEE_DRIFT_THRESHOLD` and
+//! `LEVEE_DRIFT_WARN_ONLY=1` override from the environment (CI runs
+//! warn-only first so a deliberate cost-model change can land together
+//! with its baseline refresh).
+
+use std::path::PathBuf;
+
+use levee_bench::drift::{
+    check_engine_compare, check_memory_overhead, DriftCase, DriftReport, FreshCounters,
+    DEFAULT_THRESHOLD_PCT,
+};
+use levee_bench::geometry::{dense_bytes_per_entry, DENSE_ENTRIES};
+use levee_bench::json::Json;
+use levee_bench::kernels::KERNELS;
+use levee_core::{BuildConfig, Session};
+use levee_rt::SLOT_SIZE;
+use levee_vm::{StoreKind, VmConfig};
+
+fn baseline(name: &str) -> Result<Json, String> {
+    let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "baselines", name]
+        .iter()
+        .collect();
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Re-runs every (build, kernel) cell of the engine-comparison lineup
+/// once and collects its deterministic counters. The engine does not
+/// matter — the differential suites pin cycle counts as engine- and
+/// fusion-independent — so the default bytecode tier serves.
+fn fresh_engine_counters() -> Vec<FreshCounters> {
+    let mut out = Vec::new();
+    for config in [BuildConfig::Vanilla, BuildConfig::Cpi] {
+        for spec in KERNELS {
+            let mut session = Session::builder()
+                .source(&spec.program())
+                .name(spec.name)
+                .protection(config)
+                .vm_config(VmConfig::default())
+                .build()
+                .unwrap_or_else(|e| panic!("{}: kernel builds: {e}", spec.name));
+            let run = session.run(b"");
+            assert!(
+                run.success(),
+                "{}/{}: kernel must exit cleanly, got {:?}",
+                config.name(),
+                spec.name,
+                run.status
+            );
+            out.push(FreshCounters {
+                build: config.name().to_string(),
+                kernel: spec.name.to_string(),
+                insts: run.exec.insts,
+                cycles: run.exec.cycles,
+            });
+        }
+    }
+    out
+}
+
+/// The slot-size gate off `value_traffic.json`: the recorded
+/// `compact_value_bytes` must equal the live `levee_rt::SLOT_SIZE`.
+fn check_value_traffic(baseline: &Json) -> DriftReport {
+    let mut report = DriftReport::default();
+    match baseline.get("compact_value_bytes").and_then(Json::as_f64) {
+        Some(b) => report.cases.push(DriftCase {
+            key: "value_traffic".into(),
+            metric: "slot_bytes".into(),
+            baseline: b,
+            current: SLOT_SIZE as f64,
+        }),
+        None => report
+            .errors
+            .push("value_traffic baseline: no compact_value_bytes".into()),
+    }
+    report
+}
+
+/// Shape-only check of the wall-clock baseline: it must parse and
+/// carry its page rows (throughput itself is machine-dependent).
+fn check_webserver_shape(baseline: &Json) -> DriftReport {
+    let mut report = DriftReport::default();
+    match baseline.get("pages").and_then(Json::as_arr) {
+        Some(pages) if !pages.is_empty() => {
+            for p in pages {
+                if p.get("page").and_then(Json::as_str).is_none()
+                    || p.get("resident_rps").and_then(Json::as_f64).is_none()
+                {
+                    report
+                        .errors
+                        .push("webserver_throughput baseline: malformed page row".into());
+                }
+            }
+        }
+        _ => report
+            .errors
+            .push("webserver_throughput baseline: no pages array".into()),
+    }
+    report
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threshold = std::env::var("LEVEE_DRIFT_THRESHOLD")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_THRESHOLD_PCT);
+    let mut warn_only = std::env::var("LEVEE_DRIFT_WARN_ONLY").is_ok_and(|v| v == "1");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => {
+                i += 1;
+                threshold = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| panic!("--threshold needs a number"));
+            }
+            "--warn-only" => warn_only = true,
+            other => panic!("unknown argument {other:?} (want --threshold N | --warn-only)"),
+        }
+        i += 1;
+    }
+
+    let mut combined = DriftReport::default();
+    let mut absorb = |what: &str, r: Result<DriftReport, String>| match r {
+        Ok(mut rep) => {
+            combined.cases.append(&mut rep.cases);
+            combined.errors.append(&mut rep.errors);
+        }
+        Err(e) => combined.errors.push(format!("{what}: {e}")),
+    };
+
+    println!("re-running the engine-comparison lineup (deterministic counters)...");
+    let fresh = fresh_engine_counters();
+    absorb(
+        "engine_compare",
+        baseline("engine_compare.json").map(|b| check_engine_compare(&b, &fresh)),
+    );
+
+    println!("re-measuring store geometry ({DENSE_ENTRIES} dense entries)...");
+    let geometry: Vec<(String, f64)> = StoreKind::all()
+        .iter()
+        .map(|k| {
+            (
+                k.name().to_string(),
+                dense_bytes_per_entry(*k, DENSE_ENTRIES),
+            )
+        })
+        .collect();
+    absorb(
+        "memory_overhead",
+        baseline("memory_overhead.json").map(|b| check_memory_overhead(&b, &geometry)),
+    );
+    absorb(
+        "value_traffic",
+        baseline("value_traffic.json").map(|b| check_value_traffic(&b)),
+    );
+    absorb(
+        "webserver_throughput",
+        baseline("webserver_throughput.json").map(|b| check_webserver_shape(&b)),
+    );
+
+    println!();
+    print!("{}", combined.render(threshold));
+    if combined.ok(threshold) {
+        println!("drift gate: PASS");
+    } else if warn_only {
+        println!("drift gate: FAIL (warn-only mode, not failing the build)");
+    } else {
+        println!("drift gate: FAIL");
+        std::process::exit(1);
+    }
+}

@@ -4,8 +4,11 @@
 //! code pointers the program actually assigned — and the corrupted
 //! regular-memory copy is simply never used.
 //!
-//! Usage: `cargo run -p levee-bench --bin cfi_bypass [--json]`
+//! Usage: `cargo run -p levee-bench --bin cfi_bypass [--json]
+//! [--profile]` (`--profile` prints execution attribution for the
+//! dispatch-table victim built under CPI.)
 
+use levee_bench::profile::profile_run;
 use levee_bench::{print_json_rows, BenchArgs, Table};
 use levee_core::session::json_str;
 use levee_core::BuildConfig;
@@ -89,4 +92,13 @@ fn main() {
         "\nReturn-to-gadget (valid return site): coarse CFI → {:?}; CPI safe stack → {:?}",
         coarse, cpi
     );
+    if args.profile {
+        profile_run(
+            &format!("cfi_bypass: victim {} under CPI", attack.id()),
+            "cfi-victim",
+            &levee_ripe::generate(&attack),
+            BuildConfig::Cpi,
+            levee_vm::StoreKind::ArraySuperpage,
+        );
+    }
 }

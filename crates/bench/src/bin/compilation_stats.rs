@@ -2,12 +2,17 @@
 //! FNUStack (fraction of functions needing an unsafe stack frame),
 //! MOCPS and MOCPI (fraction of memory operations instrumented).
 //!
-//! Usage: `cargo run -p levee-bench --bin compilation_stats [--json]`
-//! (`--json` runs each build once at scale 1 and emits the
-//! `levee::RunReport` rows — build statistics ride on the report.)
+//! Usage: `cargo run -p levee-bench --bin compilation_stats [--json]
+//! [--profile]` (`--json` runs each build once at scale 1 and emits the
+//! `levee::RunReport` rows — build statistics ride on the report;
+//! `--profile` additionally prints execution attribution for the first
+//! workload's CPI build, connecting the static MOCPI fraction to the
+//! dynamic check-site counters.)
 
+use levee_bench::profile::profile_run;
 use levee_bench::{print_json_rows, BenchArgs, Table};
 use levee_core::{BuildConfig, LeveeError, Session};
+use levee_vm::StoreKind;
 use levee_workloads::spec_suite;
 
 fn main() -> Result<(), LeveeError> {
@@ -71,5 +76,15 @@ fn main() -> Result<(), LeveeError> {
          (paper: 6.5% of pointer operations on SPEC)",
         inst as f64 / mem as f64 * 100.0
     );
+    if args.profile {
+        let w = &spec_suite()[0];
+        profile_run(
+            &format!("compilation_stats: {}/CPI (scale 1)", w.name),
+            w.name,
+            &w.source(1),
+            BuildConfig::Cpi,
+            StoreKind::ArraySuperpage,
+        );
+    }
     Ok(())
 }

@@ -3,10 +3,14 @@
 //! hijacks (measured against the RIPE-like suite), and what does it
 //! cost (measured on the SPEC-like suite)?
 //!
-//! Usage: `cargo run -p levee-bench --bin defense_matrix [-- scale] [--json]`
-//! (`--json` emits one row per mechanism at a quick scale.)
+//! Usage: `cargo run -p levee-bench --bin defense_matrix [-- scale]
+//! [--json] [--profile]` (`--json` emits one row per mechanism at a
+//! quick scale; `--profile` prints execution attribution for the first
+//! suite workload under CPI — the only mechanism that stops every
+//! hijack.)
 
-use levee_bench::{print_json_rows, BenchArgs, Table};
+use levee_bench::profile::profile_run;
+use levee_bench::{pct, print_json_rows, BenchArgs, Table};
 use levee_core::{BuildConfig, LeveeError, Session};
 use levee_defenses::Deployment;
 use levee_ripe::{all_attacks, evaluate, Profile};
@@ -76,7 +80,7 @@ fn main() -> Result<(), LeveeError> {
             name,
             leaked.to_string(),
             if leaked == 0 { "yes" } else { "NO" }.to_string(),
-            format!("{overhead:+.1}%"),
+            pct(overhead),
         ]);
     };
 
@@ -108,6 +112,16 @@ fn main() -> Result<(), LeveeError> {
             "\nExpected shape (Fig. 5): only CPI stops all hijacks by construction;\n\
              CPS stops all observed ones at ~2% cost; baselines each leak a class."
         );
+        if args.profile {
+            let w = &spec_suite()[0];
+            profile_run(
+                &format!("defense_matrix: {}/CPI (scale {scale})", w.name),
+                w.name,
+                &w.source(scale),
+                BuildConfig::Cpi,
+                StoreKind::ArraySuperpage,
+            );
+        }
     }
     Ok(())
 }

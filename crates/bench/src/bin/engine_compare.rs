@@ -20,97 +20,23 @@
 //!
 //! Run with: `cargo run --release -p levee-bench --bin engine_compare`
 //! (`--json` emits a machine-readable report; the checked-in baseline
-//! lives in `crates/bench/baselines/engine_compare.json`).
+//! lives in `crates/bench/baselines/engine_compare.json`; `--profile`
+//! additionally runs each kernel with the execution profiler on,
+//! prints per-opcode/per-function attribution, and gates the
+//! profiler's invariants: attribution partitions the cycle count
+//! exactly, and superinstruction dispatch counts are consistent with
+//! the fusion planner).
 
 use std::time::Instant;
 
-use levee_bench::Table;
+use levee_bench::kernels::{KernelSpec, FUSION_KERNELS, KERNELS};
+use levee_bench::profile::print_profile;
+use levee_bench::{BenchArgs, Table};
 use levee_core::{BuildConfig, Session};
 use levee_vm::{Engine, VmConfig};
-use levee_workloads::kernels;
 
 /// Repetitions per (kernel, configuration); the minimum is reported.
 const REPS: usize = 5;
-
-/// The kernels on which fusion must show a measurable wall-clock win
-/// (tight loops of fusible pairs).
-const FUSION_KERNELS: &[&str] = &["dispatch", "numeric", "vcall"];
-
-struct KernelSpec {
-    name: &'static str,
-    source: &'static str,
-    entry: &'static str,
-    iters: u64,
-}
-
-const KERNELS: &[KernelSpec] = &[
-    KernelSpec {
-        name: "dispatch",
-        source: kernels::DISPATCH,
-        entry: "dispatch_kernel",
-        iters: 20_000,
-    },
-    KernelSpec {
-        name: "vcall",
-        source: kernels::VCALL,
-        entry: "vcall_kernel",
-        iters: 20_000,
-    },
-    KernelSpec {
-        name: "numeric",
-        source: kernels::NUMERIC,
-        entry: "numeric_kernel",
-        iters: 100_000,
-    },
-    KernelSpec {
-        name: "bigstack",
-        source: kernels::BIGSTACK,
-        entry: "bigstack_kernel",
-        iters: 400,
-    },
-    KernelSpec {
-        name: "strings",
-        source: kernels::STRINGS,
-        entry: "string_kernel",
-        iters: 2_000,
-    },
-    KernelSpec {
-        name: "graph",
-        source: kernels::GRAPH,
-        entry: "graph_kernel",
-        iters: 100_000,
-    },
-    KernelSpec {
-        name: "cbstruct",
-        source: kernels::CBSTRUCT,
-        entry: "cbstruct_kernel",
-        iters: 10_000,
-    },
-    KernelSpec {
-        name: "heapchurn",
-        source: kernels::HEAPCHURN,
-        entry: "heap_kernel",
-        iters: 20_000,
-    },
-    KernelSpec {
-        name: "bulkcopy",
-        source: kernels::BULKCOPY,
-        entry: "bulkcopy_kernel",
-        iters: 4_000,
-    },
-    KernelSpec {
-        name: "calltree",
-        source: kernels::CALLTREE,
-        entry: "calltree_kernel",
-        iters: 40_000,
-    },
-    KernelSpec {
-        name: "ptrdense",
-        source: kernels::PTRDENSE,
-        entry: "ptrdense_kernel",
-        iters: 40_000,
-    },
-];
 
 /// Best-of-`REPS` wall-clock for one configuration; checks the run
 /// every time. The session's resident machine serves every rep —
@@ -147,8 +73,76 @@ fn measure(
     (best, cycles, insts, output)
 }
 
+/// The `--profile` pass for one kernel: re-runs it (fused bytecode,
+/// profiler on, outside any timed window), prints the attribution
+/// tables, and gates the profiler's invariants against the counters the
+/// timed passes just measured.
+fn profile_pass(
+    session: &mut Session,
+    base: VmConfig,
+    spec: &KernelSpec,
+    config: BuildConfig,
+    timed_cycles: u64,
+    timed_insts: u64,
+) {
+    session.reconfigure(|cfg| {
+        *cfg = base
+            .with_engine(Engine::Bytecode)
+            .with_fusion(true)
+            .with_profile(true)
+    });
+    session.precompile();
+    let fuse = session.fuse_stats().expect("bytecode tier compiled");
+    let run = session.run(b"");
+    assert!(
+        run.success(),
+        "{}: profiled run must exit cleanly",
+        spec.name
+    );
+    let report = run.profile.as_ref().expect("profiler on");
+    // Cycle-neutrality + exact attribution: the profiled run reproduces
+    // the timed passes' counters, and the per-opcode table partitions
+    // them without remainder.
+    assert_eq!(
+        (run.exec.cycles, run.exec.insts),
+        (timed_cycles, timed_insts),
+        "{}: profiler must be cycle-neutral",
+        spec.name
+    );
+    assert_eq!(
+        report.op_cycle_total(),
+        run.exec.cycles,
+        "{}: per-op cycles must partition the run",
+        spec.name
+    );
+    // On the fusion-hot kernels the planner's pair counts must be
+    // consistent with what actually dispatched: every planned pattern
+    // executes, and nothing executes unplanned.
+    if FUSION_KERNELS.contains(&spec.name) {
+        for (op, planned) in [
+            ("CmpBr", fuse.cmp_br),
+            ("GepLoad", fuse.gep_load),
+            ("GepStore", fuse.gep_store),
+            ("CheckLoad", fuse.check_load),
+            ("CheckPtrLoad", fuse.check_ptr_load),
+            ("CheckedCall", fuse.checked_call),
+        ] {
+            assert_eq!(
+                planned > 0,
+                report.op_count(op) > 0,
+                "{}: planner fused {planned} {op} pairs but the profiler \
+                 counted {} dispatches",
+                spec.name,
+                report.op_count(op)
+            );
+        }
+    }
+    print_profile(&format!("{}/{}", config.name(), spec.name), report);
+}
+
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
+    let args = BenchArgs::parse();
+    let json = args.json;
     let mut totals = [0.0f64; 3]; // walk, bytecode unfused, bytecode fused
     let mut fusion_kernel_totals = [0.0f64; 2]; // unfused, fused on FUSION_KERNELS
     let mut json_rows = Vec::new();
@@ -167,11 +161,10 @@ fn main() {
             "fusion speedup",
         ]);
         for spec in KERNELS {
-            let src = kernels::assemble(&[spec.source], &[(spec.entry, spec.iters)]);
             // One session per (kernel, build config): compiled once,
             // reconfigured per engine, machine reused across reps.
             let mut session = Session::builder()
-                .source(&src)
+                .source(&spec.program())
                 .name(spec.name)
                 .protection(config)
                 .vm_config(VmConfig::default())
@@ -226,6 +219,9 @@ fn main() {
                 unfused_ms,
                 fused_ms,
             ));
+            if args.profile {
+                profile_pass(&mut session, base, spec, config, walk_cycles, walk_insts);
+            }
         }
         if !json {
             table.print();

@@ -5,9 +5,12 @@
 //! Paper: SFI adds <5%; under information hiding "most failed guessing
 //! attempts would crash the program".
 //!
-//! Usage: `cargo run -p levee-bench --bin isolation [-- scale] [--json]`
-//! (`--json` runs the quick profile and emits per-isolation rows.)
+//! Usage: `cargo run -p levee-bench --bin isolation [-- scale] [--json]
+//! [--profile]` (`--json` runs the quick profile and emits
+//! per-isolation rows; `--profile` prints execution attribution for
+//! the first suite workload under CPI.)
 
+use levee_bench::profile::profile_run;
 use levee_bench::{pct, print_json_rows, BenchArgs, Table};
 use levee_core::{BuildConfig, LeveeError, Session};
 use levee_vm::{GuessOutcome, Isolation, StoreKind};
@@ -100,5 +103,15 @@ fn main() -> Result<(), LeveeError> {
         session.guess_space(),
         100.0 / session.guess_space() as f64
     );
+    if args.profile {
+        let w = &spec_suite()[0];
+        profile_run(
+            &format!("isolation: {}/CPI (scale {scale})", w.name),
+            w.name,
+            &w.source(scale),
+            BuildConfig::Cpi,
+            StoreKind::ArraySuperpage,
+        );
+    }
     Ok(())
 }

@@ -14,78 +14,22 @@
 //! 32-byte `Entry` records needed, and the bench asserts the shrink is
 //! ≥ 1.8× for *every* organization.
 //!
-//! Usage: `cargo run -p levee-bench --bin memory_overhead [-- scale]`
-//! (`--json` emits the machine-readable bytes-per-entry report; the
-//! checked-in baseline lives in
-//! `crates/bench/baselines/memory_overhead.json`).
+//! Usage: `cargo run -p levee-bench --bin memory_overhead [-- scale]
+//! [--json] [--profile]` (`--json` emits the machine-readable
+//! bytes-per-entry report; the checked-in baseline lives in
+//! `crates/bench/baselines/memory_overhead.json`; `--profile` prints
+//! execution attribution for a representative CPI run against the
+//! hashtable organization).
 
-use levee_bench::Table;
+use levee_bench::geometry::{
+    dense_bytes_per_entry, seed_bytes_per_entry, DENSE_ENTRIES, SEED_SLOT,
+};
+use levee_bench::profile::profile_run;
+use levee_bench::{pct, BenchArgs, Table};
 use levee_core::BuildConfig;
-use levee_rt::{MetaId, Slot, SLOT_SIZE};
+use levee_rt::SLOT_SIZE;
 use levee_vm::StoreKind;
 use levee_workloads::{measure, spec_suite};
-
-/// Dense population size: contiguous pointer slots covering 4 MB of key
-/// space — wide enough that even 2 MB superpage rounding cannot mask
-/// the slot-size ratio (the compact layout needs 4 superpages here, the
-/// seed layout needed 8).
-const DENSE_ENTRIES: u64 = 1 << 19;
-
-/// The seed's inline-entry geometry, kept as the "before" reference:
-/// 32 bytes per slot (`value + lower + upper + id`), and a 40-byte hash
-/// bucket (8-byte key tag + the inline entry).
-const SEED_SLOT: u64 = 32;
-const SEED_HASH_BUCKET: u64 = 8 + SEED_SLOT;
-
-/// Measured bytes per live entry after populating `n` contiguous slots.
-fn dense_bytes_per_entry(kind: StoreKind, n: u64) -> f64 {
-    let mut store = kind.instantiate(0x7000_0000_0000);
-    for i in 0..n {
-        // Handle liveness is irrelevant to geometry; NONE keeps the
-        // bench free of a MetaTable without changing a single byte.
-        let _ = store.set(i * 8, Slot::new(i, MetaId::NONE));
-    }
-    assert_eq!(store.entry_count() as u64, n);
-    store.memory_bytes() as f64 / n as f64
-}
-
-/// What the same dense population cost under the seed geometry,
-/// computed from the organizations' (unchanged) layout rules with the
-/// 32-byte slot plugged back in.
-fn seed_bytes_per_entry(kind: StoreKind, n: u64) -> f64 {
-    let bytes = match kind {
-        StoreKind::Array4K | StoreKind::ArraySuperpage => {
-            // Sparse linear array: pages materialize on touch; n
-            // contiguous slots span n * SEED_SLOT metadata bytes.
-            let page: u64 = if kind == StoreKind::Array4K {
-                4 << 10
-            } else {
-                2 << 20
-            };
-            (n * SEED_SLOT).div_ceil(page) * page
-        }
-        StoreKind::TwoLevel => {
-            // 512-slot leaves plus 4 KB directory pages (the directory
-            // is slot-size independent: 8 bytes per leaf pointer).
-            let leaves = n.div_ceil(512);
-            let dir_pages = (leaves * 8).div_ceil(4096);
-            leaves * 512 * SEED_SLOT + dir_pages * 4096
-        }
-        StoreKind::Hash => {
-            // Replay the (slot-size independent) growth rule: start at
-            // 64 buckets, double when the next insert would push the
-            // load factor past 0.7.
-            let mut cap = 64u64;
-            for live in 0..n {
-                if (live + 1) * 10 > cap * 7 {
-                    cap *= 2;
-                }
-            }
-            cap * SEED_HASH_BUCKET
-        }
-    };
-    bytes as f64 / n as f64
-}
 
 struct Shrink {
     org: &'static str,
@@ -118,7 +62,8 @@ fn measure_shrinks() -> Vec<Shrink> {
 }
 
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
+    let args = BenchArgs::parse();
+    let json = args.json;
     let shrinks = measure_shrinks();
 
     if json {
@@ -139,10 +84,7 @@ fn main() {
         return;
     }
 
-    let scale: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(4);
+    let scale: u64 = args.scale.unwrap_or(4);
     println!("§5.2 memory overhead — safe-region bytes vs baseline residency (scale {scale})\n");
     let mut table = Table::new(&["config", "store", "median mem overhead", "max"]);
     for config in [BuildConfig::SafeStack, BuildConfig::Cps, BuildConfig::Cpi] {
@@ -154,14 +96,16 @@ fn main() {
                 let m = measure(&w, scale, config, store).unwrap_or_else(|e| panic!("{e}"));
                 overheads.push(m.store_overhead_pct(&base));
             }
-            overheads.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            // total_cmp: a NaN overhead (degenerate baseline) sorts
+            // last and shows up as "n/a" instead of aborting the table.
+            overheads.sort_by(|a, b| a.total_cmp(b));
             let median = overheads[overheads.len() / 2];
             let max = *overheads.last().expect("non-empty");
             table.row(vec![
                 config.name().to_string(),
                 store.name().to_string(),
-                format!("{median:.1}%"),
-                format!("{max:.1}%"),
+                pct(median),
+                pct(max),
             ]);
         }
     }
@@ -182,4 +126,17 @@ fn main() {
     }
     t2.print();
     println!("\nEvery organization must shrink ≥1.8x (asserted above).");
+    if args.profile {
+        let w = &spec_suite()[0];
+        profile_run(
+            &format!(
+                "memory_overhead: {}/CPI on hashtable (scale {scale})",
+                w.name
+            ),
+            w.name,
+            &w.source(scale),
+            BuildConfig::Cpi,
+            StoreKind::Hash,
+        );
+    }
 }

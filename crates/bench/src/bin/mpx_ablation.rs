@@ -2,9 +2,12 @@
 //! costs if bounds checks and metadata bookkeeping run in MPX-like
 //! hardware (dedicated bounds registers + hardware two-level table).
 //!
-//! Usage: `cargo run -p levee-bench --bin mpx_ablation [-- scale] [--json]`
-//! (`--json` emits one `levee::RunReport` row per run at a quick scale.)
+//! Usage: `cargo run -p levee-bench --bin mpx_ablation [-- scale]
+//! [--json] [--profile]` (`--json` emits one `levee::RunReport` row per
+//! run at a quick scale; `--profile` prints execution attribution for
+//! perlbench under software CPI — the cost the MPX model ablates.)
 
+use levee_bench::profile::profile_run;
 use levee_bench::{pct, print_json_rows, BenchArgs, Table};
 use levee_core::{BuildConfig, LeveeError, Session};
 use levee_vm::{HardwareModel, StoreKind};
@@ -60,6 +63,20 @@ fn main() -> Result<(), LeveeError> {
     } else {
         table.print();
         println!("\nExpected: the MPX model reduces (but does not erase) CPI's overhead.");
+        if args.profile {
+            let suite = spec_suite();
+            let w = suite
+                .iter()
+                .find(|w| w.name == "perlbench")
+                .expect("suite has perlbench");
+            profile_run(
+                &format!("mpx_ablation: {}/CPI software (scale {scale})", w.name),
+                w.name,
+                &w.source(scale),
+                BuildConfig::Cpi,
+                StoreKind::ArraySuperpage,
+            );
+        }
     }
     Ok(())
 }

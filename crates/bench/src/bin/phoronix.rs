@@ -4,10 +4,13 @@
 //! Expected shape: most overheads small; the interpreter-bound pybench
 //! is the CPI outlier, exactly as in the paper's Fig. 4.
 //!
-//! Usage: `cargo run -p levee-bench --bin phoronix [-- scale] [--json]`
-//! (`--json` emits one `levee::RunReport` row per measured run at a
-//! quick scale.)
+//! Usage: `cargo run -p levee-bench --bin phoronix [-- scale] [--json]
+//! [--profile]` (`--json` emits one `levee::RunReport` row per measured
+//! run at a quick scale; `--profile` prints execution attribution for
+//! pybench under CPI — the Fig. 4 outlier — showing where its
+//! interpreter-dispatch cycles go.)
 
+use levee_bench::profile::profile_run;
 use levee_bench::{pct, print_json_rows, BenchArgs, Table};
 use levee_core::{BuildConfig, LeveeError};
 use levee_vm::StoreKind;
@@ -36,6 +39,20 @@ fn main() -> Result<(), LeveeError> {
         print_json_rows("phoronix", &json_rows);
     } else {
         table.print();
+        if args.profile {
+            let suite = phoronix_suite();
+            let w = suite
+                .iter()
+                .find(|w| w.name == "pybench")
+                .expect("suite has pybench");
+            profile_run(
+                &format!("phoronix: {}/CPI (scale {scale})", w.name),
+                w.name,
+                &w.source(scale),
+                BuildConfig::Cpi,
+                StoreKind::ArraySuperpage,
+            );
+        }
     }
     Ok(())
 }

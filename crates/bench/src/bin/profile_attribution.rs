@@ -1,0 +1,154 @@
+//! Profile-attribution recorder — per-opcode and top-function
+//! attribution for every engine-comparison kernel, under the fused
+//! bytecode tier with the execution profiler on.
+//!
+//! The deterministic attribution tables are the observability
+//! counterpart of `engine_compare`'s counters: `--json` emits the
+//! machine-readable report recorded as
+//! `crates/bench/baselines/profile_attribution.json`; the default mode
+//! prints the attribution tables. Either way the bin gates the
+//! profiler's invariants on every kernel:
+//!
+//! * per-opcode cycle attribution sums *exactly* to the run's
+//!   `ExecStats::cycles` (attribution is a partition, not a sample),
+//! * the fused superinstructions that the fusion planner reports for
+//!   the program (`FuseStats`) show up in the dispatch counts, and no
+//!   superinstruction executes that the planner did not plan.
+//!
+//! Usage: `cargo run --release -p levee-bench --bin profile_attribution
+//! [-- --json]`.
+
+use levee_bench::kernels::KERNELS;
+use levee_bench::profile::print_profile;
+use levee_bench::BenchArgs;
+use levee_core::session::json_str;
+use levee_core::{BuildConfig, Session};
+use levee_vm::{Engine, ProfileReport, VmConfig};
+
+/// The six superinstruction patterns: (dispatch-count op name, the
+/// planner counter).
+fn fused_pairs(stats: &levee_vm::FuseStats) -> [(&'static str, u64); 6] {
+    [
+        ("CmpBr", stats.cmp_br),
+        ("GepLoad", stats.gep_load),
+        ("GepStore", stats.gep_store),
+        ("CheckLoad", stats.check_load),
+        ("CheckPtrLoad", stats.check_ptr_load),
+        ("CheckedCall", stats.checked_call),
+    ]
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let mut rows = Vec::new();
+    for config in [BuildConfig::Vanilla, BuildConfig::Cpi] {
+        for spec in KERNELS {
+            let mut session = Session::builder()
+                .source(&spec.program())
+                .name(spec.name)
+                .protection(config)
+                .vm_config(VmConfig::default())
+                .engine(Engine::Bytecode)
+                .fusion(true)
+                .profile(true)
+                .build()
+                .unwrap_or_else(|e| panic!("{}: kernel builds: {e}", spec.name));
+            session.precompile();
+            let fuse = session.fuse_stats().expect("bytecode tier compiled");
+            let run = session.run(b"");
+            assert!(run.success(), "{}: kernel must exit cleanly", spec.name);
+            let report = run.profile.as_ref().expect("profiler on");
+            assert_eq!(
+                report.op_cycle_total(),
+                run.exec.cycles,
+                "{}/{}: per-op cycles must partition the run",
+                config.name(),
+                spec.name
+            );
+            // Planner/runtime consistency: a superinstruction pattern
+            // executes iff the planner fused it somewhere reachable —
+            // on these kernels every fused pattern sits in the driver
+            // loop, so planned implies executed, and an executed
+            // superinstruction without a plan would mean the stream
+            // was rewritten behind the planner's back.
+            for (op, planned) in fused_pairs(&fuse) {
+                let executed = report.op_count(op);
+                assert_eq!(
+                    planned > 0,
+                    executed > 0,
+                    "{}/{}: fusion planner reports {planned} {op} pairs but \
+                     the profiler counted {executed} dispatches",
+                    config.name(),
+                    spec.name
+                );
+            }
+            if args.json {
+                rows.push(render_row(config, spec.name, &fuse, report));
+            } else {
+                print_profile(&format!("{}/{}", config.name(), spec.name), report);
+            }
+        }
+    }
+    if args.json {
+        println!("{{\"profile_attribution\": [");
+        println!("{}", rows.join(",\n"));
+        println!("]}}");
+    }
+}
+
+/// One baseline row: identity, totals, fused-pair counts, per-opcode
+/// table and the top-5 functions by inclusive cycles.
+fn render_row(
+    config: BuildConfig,
+    kernel: &str,
+    fuse: &levee_vm::FuseStats,
+    report: &ProfileReport,
+) -> String {
+    let ops: Vec<String> = report
+        .ops
+        .iter()
+        .map(|o| {
+            format!(
+                "{{\"op\": {}, \"count\": {}, \"cycles\": {}}}",
+                json_str(&o.name),
+                o.count,
+                o.cycles
+            )
+        })
+        .collect();
+    let funcs: Vec<String> = report
+        .funcs
+        .iter()
+        .take(5)
+        .map(|f| {
+            format!(
+                "{{\"func\": {}, \"calls\": {}, \"incl_cycles\": {}, \"excl_cycles\": {}}}",
+                json_str(&f.name),
+                f.calls,
+                f.incl_cycles,
+                f.excl_cycles
+            )
+        })
+        .collect();
+    let pairs: Vec<String> = fused_pairs(fuse)
+        .iter()
+        .map(|(op, planned)| {
+            format!(
+                "{{\"op\": {}, \"planned\": {planned}, \"dispatches\": {}}}",
+                json_str(op),
+                report.op_count(op)
+            )
+        })
+        .collect();
+    format!(
+        "  {{\"build\": {}, \"kernel\": {}, \"cycles\": {}, \"insts\": {}, \
+         \"fused\": [{}],\n   \"ops\": [{}],\n   \"top_funcs\": [{}]}}",
+        json_str(config.name()),
+        json_str(kernel),
+        report.total_cycles,
+        report.total_insts,
+        pairs.join(", "),
+        ops.join(", "),
+        funcs.join(", ")
+    )
+}

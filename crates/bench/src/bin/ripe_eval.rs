@@ -5,11 +5,16 @@
 //! DEP+ASLR+cookies 43–49; CPS/CPI 0; safe stack stops all stack-based
 //! attacks.
 //!
-//! Usage: `cargo run -p levee-bench --bin ripe_eval [-- seed] [--json]`
-//! (`--json` emits one verdict-tally row per profile.)
+//! Usage: `cargo run -p levee-bench --bin ripe_eval [-- seed] [--json]
+//! [--profile]` (`--json` emits one verdict-tally row per profile;
+//! `--profile` additionally prints execution attribution for a
+//! representative victim program under CPI.)
 
+use levee_bench::profile::profile_run;
 use levee_bench::{print_json_rows, BenchArgs, Table};
+use levee_core::BuildConfig;
 use levee_ripe::{all_attacks, evaluate, Profile, Target};
+use levee_vm::StoreKind;
 
 fn main() {
     let args = BenchArgs::parse();
@@ -63,5 +68,18 @@ fn main() {
     } else {
         table.print();
         println!("\nExpected shape: legacy ≫ deployed > 0; safestack ret-addr = 0; CPS = CPI = 0.");
+        if args.profile {
+            // A representative victim build: the first attack's template
+            // under CPI, on benign input — the check-site table shows
+            // which sites guard its indirect control flow.
+            let attack = &attacks[0];
+            profile_run(
+                &format!("ripe_eval: victim {} under CPI", attack.id()),
+                "ripe-victim",
+                &levee_ripe::generate(attack),
+                BuildConfig::Cpi,
+                StoreKind::ArraySuperpage,
+            );
+        }
     }
 }

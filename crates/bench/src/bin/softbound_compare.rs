@@ -4,10 +4,13 @@
 //! Paper: bzip2 2.8% vs 90.2%; dealII 3.7% vs 60.2%; sjeng 2.6% vs
 //! 79.0%; h264ref 5.8% vs 249.4%.
 //!
-//! Usage: `cargo run -p levee-bench --bin softbound_compare [-- scale] [--json]`
-//! (`--json` emits one `levee::RunReport` row per measured run at a
-//! quick scale.)
+//! Usage: `cargo run -p levee-bench --bin softbound_compare [-- scale]
+//! [--json] [--profile]` (`--json` emits one `levee::RunReport` row per
+//! measured run at a quick scale; `--profile` prints execution
+//! attribution for bzip2 under full memory safety — where the 16–44×
+//! selectivity win comes from is visible in the check-site table.)
 
+use levee_bench::profile::profile_run;
 use levee_bench::{pct, print_json_rows, BenchArgs, Table};
 use levee_core::{BuildConfig, LeveeError};
 use levee_vm::StoreKind;
@@ -48,6 +51,26 @@ fn main() -> Result<(), LeveeError> {
     } else {
         table.print();
         println!("\nExpected shape: SoftBound ≫ CPI (the paper's 16–44× selectivity win).");
+        if args.profile {
+            let w = spec_suite();
+            let w = w
+                .iter()
+                .find(|w| w.name == "bzip2")
+                .expect("suite has bzip2");
+            for config in [BuildConfig::Cpi, BuildConfig::SoftBound] {
+                profile_run(
+                    &format!(
+                        "softbound_compare: {}/{} (scale {scale})",
+                        w.name,
+                        config.name()
+                    ),
+                    w.name,
+                    &w.source(scale),
+                    config,
+                    StoreKind::ArraySuperpage,
+                );
+            }
+        }
     }
     Ok(())
 }

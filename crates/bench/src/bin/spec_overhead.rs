@@ -2,10 +2,13 @@
 //! SafeStack / CPS / CPI per benchmark, with C-only and C/C++ summary
 //! rows.
 //!
-//! Usage: `cargo run -p levee-bench --bin spec_overhead [-- scale] [--json]`
-//! (`--json` emits one `levee::RunReport` row per measured run at a
-//! quick scale — the CI `bench-smoke` shape.)
+//! Usage: `cargo run -p levee-bench --bin spec_overhead [-- scale]
+//! [--json] [--profile]` (`--json` emits one `levee::RunReport` row per
+//! measured run at a quick scale — the CI `bench-smoke` shape;
+//! `--profile` additionally prints execution attribution for the
+//! representative CPI run.)
 
+use levee_bench::profile::profile_run;
 use levee_bench::{pct, print_json_rows, BenchArgs, Table};
 use levee_core::{BuildConfig, LeveeError};
 use levee_vm::StoreKind;
@@ -66,5 +69,15 @@ fn main() -> Result<(), LeveeError> {
         ]);
     }
     summary.print();
+    if args.profile {
+        let w = &spec_suite()[0];
+        profile_run(
+            &format!("spec_overhead: {}/CPI (scale {scale})", w.name),
+            w.name,
+            &w.source(scale),
+            BuildConfig::Cpi,
+            StoreKind::ArraySuperpage,
+        );
+    }
     Ok(())
 }

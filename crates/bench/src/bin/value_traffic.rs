@@ -12,12 +12,15 @@
 //!
 //! Run with: `cargo run --release -p levee-bench --bin value_traffic`
 //! (`--json` emits a machine-readable report; the checked-in baseline
-//! lives in `crates/bench/baselines/value_traffic.json`).
+//! lives in `crates/bench/baselines/value_traffic.json`; `--profile`
+//! prints execution attribution for the call-heaviest kernel — the
+//! workload whose frame traffic this bench isolates).
 
 use std::hint::black_box;
 use std::time::Instant;
 
-use levee_bench::Table;
+use levee_bench::profile::profile_run;
+use levee_bench::{BenchArgs, Table};
 use levee_rt::{Entry, MetaId};
 use levee_vm::V;
 
@@ -106,7 +109,8 @@ fn run() -> (Vec<Measurement>, Vec<Measurement>) {
 }
 
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
+    let args = BenchArgs::parse();
+    let json = args.json;
     let seed_bytes = std::mem::size_of::<SeedV>();
     let compact_bytes = std::mem::size_of::<V>();
     assert!(
@@ -165,4 +169,17 @@ fn main() {
         ]);
     }
     table.print();
+    if args.profile {
+        // The value-copy traffic this bench isolates is driven by call
+        // frames — profile the call-heaviest kernel so the function
+        // table shows the frames behind it.
+        let spec = levee_bench::kernels::kernel("calltree").expect("kernel exists");
+        profile_run(
+            "value_traffic: calltree kernel (vanilla)",
+            spec.name,
+            &spec.program(),
+            levee_core::BuildConfig::Vanilla,
+            levee_vm::StoreKind::ArraySuperpage,
+        );
+    }
 }

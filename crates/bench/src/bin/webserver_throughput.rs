@@ -15,10 +15,13 @@
 //! `crates/bench/baselines/webserver_throughput.json`.
 //!
 //! Usage: `cargo run --release -p levee-bench --bin webserver_throughput
-//! [-- requests] [--json]`
+//! [-- requests] [--json] [--profile]` (`--profile` prints execution
+//! attribution for the dynamic page under CPI — the Table 4 blow-up
+//! row).
 
 use std::time::Instant;
 
+use levee_bench::profile::profile_run;
 use levee_bench::{pct, print_json_rows, BenchArgs, Table};
 use levee_core::{BuildConfig, LeveeError, RunReport, Session};
 use levee_vm::StoreKind;
@@ -224,5 +227,19 @@ fn main() -> Result<(), LeveeError> {
          every request (Machine::reset between runs, bit-identical to a fresh build);\n\
          baseline recorded in crates/bench/baselines/webserver_throughput.json."
     );
+    if args.profile {
+        let stack = web_stack();
+        let w = stack
+            .iter()
+            .find(|w| w.name == "dynamic-page")
+            .expect("web stack has a dynamic page");
+        profile_run(
+            &format!("webserver_throughput: {}/CPI ({requests} requests)", w.name),
+            w.name,
+            &w.source(requests),
+            BuildConfig::Cpi,
+            StoreKind::ArraySuperpage,
+        );
+    }
     Ok(())
 }

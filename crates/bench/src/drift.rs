@@ -1,0 +1,319 @@
+//! Bench drift gates: compare a fresh deterministic measurement against
+//! the recorded baselines in `crates/bench/baselines/`.
+//!
+//! The simulated counters (cycles, instructions, per-entry store bytes)
+//! are deterministic, so *any* divergence from the recorded baseline is
+//! a real cost-model or instrumentation change, not noise — the checker
+//! still takes a threshold (default 5%) so intentional small cost-model
+//! tweaks can land together with refreshed baselines rather than
+//! blocking on a 0.1% wobble. Wall-clock columns in the baselines are
+//! machine-dependent and are *never* gated.
+//!
+//! The library half (this module) is pure comparison logic over parsed
+//! [`Json`] so it can be unit-tested with doctored baselines; the
+//! `bench_drift` binary wires it to fresh `levee::Session` runs.
+
+use crate::json::Json;
+
+/// Default regression threshold, percent.
+pub const DEFAULT_THRESHOLD_PCT: f64 = 5.0;
+
+/// One compared metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftCase {
+    /// What was compared, e.g. `engine_compare/CPI/dispatch`.
+    pub key: String,
+    /// The metric name, e.g. `cycles`.
+    pub metric: String,
+    /// Recorded baseline value.
+    pub baseline: f64,
+    /// Freshly measured value.
+    pub current: f64,
+}
+
+impl DriftCase {
+    /// Relative change in percent (positive = the metric grew).
+    /// `NaN` on a degenerate (zero/NaN) baseline — degenerate baselines
+    /// are reported, never silently passed (see
+    /// `levee_vm::ExecStats::overhead_pct` for the same convention).
+    pub fn delta_pct(&self) -> f64 {
+        if self.baseline == 0.0 || self.baseline.is_nan() {
+            return f64::NAN;
+        }
+        (self.current / self.baseline - 1.0) * 100.0
+    }
+
+    /// Whether this case regresses past `threshold_pct`. A `NaN` delta
+    /// (degenerate baseline) counts as a regression: a gate that cannot
+    /// compute its metric must fail loudly.
+    pub fn regressed(&self, threshold_pct: f64) -> bool {
+        let d = self.delta_pct();
+        d.is_nan() || d > threshold_pct
+    }
+}
+
+/// The checker's outcome over all compared metrics.
+#[derive(Debug, Clone, Default)]
+pub struct DriftReport {
+    /// Every compared metric, in comparison order.
+    pub cases: Vec<DriftCase>,
+    /// Problems that prevented a comparison (missing baseline rows,
+    /// malformed entries). Always failures: a gate that cannot run
+    /// must not pass.
+    pub errors: Vec<String>,
+}
+
+impl DriftReport {
+    /// The cases regressing past `threshold_pct`.
+    pub fn regressions(&self, threshold_pct: f64) -> Vec<&DriftCase> {
+        self.cases
+            .iter()
+            .filter(|c| c.regressed(threshold_pct))
+            .collect()
+    }
+
+    /// True when the gate passes at `threshold_pct`.
+    pub fn ok(&self, threshold_pct: f64) -> bool {
+        self.errors.is_empty() && self.regressions(threshold_pct).is_empty()
+    }
+
+    /// Renders a human-readable summary.
+    pub fn render(&self, threshold_pct: f64) -> String {
+        let mut out = String::new();
+        for c in &self.cases {
+            let d = c.delta_pct();
+            let flag = if c.regressed(threshold_pct) {
+                "  <-- REGRESSION"
+            } else {
+                ""
+            };
+            let delta = if d.is_nan() {
+                "n/a".to_string()
+            } else {
+                format!("{d:+.2}%")
+            };
+            out.push_str(&format!(
+                "{:<40} {:<8} baseline {:>14.1} current {:>14.1} {:>9}{}\n",
+                c.key, c.metric, c.baseline, c.current, delta, flag
+            ));
+        }
+        for e in &self.errors {
+            out.push_str(&format!("error: {e}\n"));
+        }
+        let n = self.regressions(threshold_pct).len();
+        out.push_str(&format!(
+            "{} metrics compared, {} regression(s), {} error(s) at threshold {threshold_pct}%\n",
+            self.cases.len(),
+            n,
+            self.errors.len()
+        ));
+        out
+    }
+}
+
+/// A fresh engine-comparison measurement: the deterministic counters of
+/// one (build, kernel) cell.
+#[derive(Debug, Clone)]
+pub struct FreshCounters {
+    /// Build configuration name, as the baseline records it.
+    pub build: String,
+    /// Kernel name.
+    pub kernel: String,
+    /// Instructions executed.
+    pub insts: u64,
+    /// Simulated cycles.
+    pub cycles: u64,
+}
+
+/// Compares fresh engine-comparison counters against the recorded
+/// `engine_compare.json` baseline. Every baseline row must find a
+/// fresh counterpart (a missing one is an error — the gate must not
+/// quietly shrink its coverage); wall-clock columns are ignored.
+pub fn check_engine_compare(baseline: &Json, fresh: &[FreshCounters]) -> DriftReport {
+    let mut report = DriftReport::default();
+    let Some(rows) = baseline.get("rows").and_then(Json::as_arr) else {
+        report
+            .errors
+            .push("engine_compare baseline: no \"rows\" array".into());
+        return report;
+    };
+    for row in rows {
+        let (Some(build), Some(kernel)) = (
+            row.get("build").and_then(Json::as_str),
+            row.get("kernel").and_then(Json::as_str),
+        ) else {
+            report
+                .errors
+                .push("engine_compare baseline: row without build/kernel".into());
+            continue;
+        };
+        let key = format!("engine_compare/{build}/{kernel}");
+        let Some(f) = fresh
+            .iter()
+            .find(|f| f.build == build && f.kernel == kernel)
+        else {
+            report
+                .errors
+                .push(format!("{key}: no fresh measurement for this baseline row"));
+            continue;
+        };
+        for (metric, current) in [("insts", f.insts as f64), ("cycles", f.cycles as f64)] {
+            match row.get(metric).and_then(Json::as_f64) {
+                Some(baseline_v) => report.cases.push(DriftCase {
+                    key: key.clone(),
+                    metric: metric.into(),
+                    baseline: baseline_v,
+                    current,
+                }),
+                None => report
+                    .errors
+                    .push(format!("{key}: baseline row lacks \"{metric}\"")),
+            }
+        }
+    }
+    if report.cases.is_empty() && report.errors.is_empty() {
+        report
+            .errors
+            .push("engine_compare baseline: empty rows array".into());
+    }
+    report
+}
+
+/// Compares fresh per-entry store-residency numbers against the
+/// `memory_overhead.json` baseline: `(org name, compact bytes/entry)`.
+pub fn check_memory_overhead(baseline: &Json, fresh: &[(String, f64)]) -> DriftReport {
+    let mut report = DriftReport::default();
+    let Some(orgs) = baseline.get("orgs").and_then(Json::as_arr) else {
+        report
+            .errors
+            .push("memory_overhead baseline: no \"orgs\" array".into());
+        return report;
+    };
+    for row in orgs {
+        let Some(org) = row.get("org").and_then(Json::as_str) else {
+            report
+                .errors
+                .push("memory_overhead baseline: org row without name".into());
+            continue;
+        };
+        let key = format!("memory_overhead/{org}");
+        let Some(&(_, current)) = fresh.iter().find(|(name, _)| name == org) else {
+            report
+                .errors
+                .push(format!("{key}: no fresh measurement for this baseline row"));
+            continue;
+        };
+        match row.get("compact_bytes_per_entry").and_then(Json::as_f64) {
+            Some(b) => report.cases.push(DriftCase {
+                key,
+                metric: "bytes_per_entry".into(),
+                baseline: b,
+                current,
+            }),
+            None => report
+                .errors
+                .push(format!("{key}: baseline row lacks compact_bytes_per_entry")),
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline() -> Json {
+        Json::parse(
+            r#"{
+              "rows": [
+                {"build": "vanilla", "kernel": "dispatch", "insts": 1000000, "cycles": 2000000, "walk_ms": 14.9},
+                {"build": "CPI", "kernel": "dispatch", "insts": 1100000, "cycles": 2600000, "walk_ms": 16.4}
+              ]
+            }"#,
+        )
+        .expect("doctored baseline parses")
+    }
+
+    fn fresh(c_vanilla: u64, c_cpi: u64) -> Vec<FreshCounters> {
+        vec![
+            FreshCounters {
+                build: "vanilla".into(),
+                kernel: "dispatch".into(),
+                insts: 1_000_000,
+                cycles: c_vanilla,
+            },
+            FreshCounters {
+                build: "CPI".into(),
+                kernel: "dispatch".into(),
+                insts: 1_100_000,
+                cycles: c_cpi,
+            },
+        ]
+    }
+
+    #[test]
+    fn identical_counters_pass() {
+        let r = check_engine_compare(&baseline(), &fresh(2_000_000, 2_600_000));
+        assert!(r.ok(DEFAULT_THRESHOLD_PCT), "{}", r.render(5.0));
+        assert_eq!(r.cases.len(), 4);
+    }
+
+    #[test]
+    fn a_six_percent_cycle_regression_fails_the_five_percent_gate() {
+        // 2_000_000 -> 2_120_000 is +6%: past the 5% default gate.
+        let r = check_engine_compare(&baseline(), &fresh(2_120_000, 2_600_000));
+        assert!(!r.ok(DEFAULT_THRESHOLD_PCT));
+        let regs = r.regressions(DEFAULT_THRESHOLD_PCT);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].key, "engine_compare/vanilla/dispatch");
+        assert_eq!(regs[0].metric, "cycles");
+        assert!((regs[0].delta_pct() - 6.0).abs() < 1e-9);
+        // …and passes a loosened gate.
+        assert!(r.ok(10.0));
+    }
+
+    #[test]
+    fn improvements_do_not_trip_the_gate() {
+        let r = check_engine_compare(&baseline(), &fresh(1_500_000, 2_500_000));
+        assert!(r.ok(DEFAULT_THRESHOLD_PCT), "{}", r.render(5.0));
+    }
+
+    #[test]
+    fn missing_fresh_rows_and_shapes_are_errors_not_passes() {
+        let r = check_engine_compare(&baseline(), &fresh(2_000_000, 2_600_000)[..1]);
+        assert!(!r.ok(DEFAULT_THRESHOLD_PCT));
+        assert_eq!(r.errors.len(), 1);
+
+        let r = check_engine_compare(&Json::parse("{}").unwrap(), &fresh(1, 1));
+        assert!(!r.ok(DEFAULT_THRESHOLD_PCT));
+    }
+
+    #[test]
+    fn degenerate_baselines_are_flagged_not_ignored() {
+        let doctored = Json::parse(
+            r#"{"rows": [{"build": "vanilla", "kernel": "dispatch", "insts": 0, "cycles": 0}]}"#,
+        )
+        .unwrap();
+        let r = check_engine_compare(&doctored, &fresh(2_000_000, 2_600_000));
+        assert!(!r.ok(DEFAULT_THRESHOLD_PCT));
+        assert!(r.regressions(DEFAULT_THRESHOLD_PCT).len() == 2);
+        assert!(r.render(5.0).contains("n/a"));
+    }
+
+    #[test]
+    fn memory_overhead_comparison_reads_per_entry_bytes() {
+        let b = Json::parse(
+            r#"{"orgs": [
+                {"org": "array-4K", "compact_bytes_per_entry": 16.0},
+                {"org": "hashtable", "compact_bytes_per_entry": 40.0}
+            ]}"#,
+        )
+        .unwrap();
+        let ok =
+            check_memory_overhead(&b, &[("array-4K".into(), 16.0), ("hashtable".into(), 40.0)]);
+        assert!(ok.ok(DEFAULT_THRESHOLD_PCT), "{}", ok.render(5.0));
+        let bad =
+            check_memory_overhead(&b, &[("array-4K".into(), 18.0), ("hashtable".into(), 40.0)]);
+        assert!(!bad.ok(DEFAULT_THRESHOLD_PCT));
+    }
+}

@@ -18,22 +18,44 @@
 //! | `mpx_ablation` | §4 MPX discussion |
 //!
 //! plus the criterion bench `store_organizations` (§4's array /
-//! two-level / hashtable comparison).
+//! two-level / hashtable comparison), the `bench_drift` baseline gate
+//! and the `profile_attribution` recorder (see [`drift`] and
+//! [`profile`]).
 
-/// Formats a percentage with sign, one decimal.
+pub mod drift;
+pub mod geometry;
+pub mod json;
+pub mod kernels;
+pub mod profile;
+
+/// Formats a percentage with sign, one decimal. `NaN` — the overhead
+/// helpers' "degenerate baseline" signal (see
+/// `levee_vm::ExecStats::overhead_pct`) — renders as `n/a`, so a broken
+/// baseline is visible in a table instead of reading as `+NaN%` noise
+/// or, worse, zero overhead.
 pub fn pct(x: f64) -> String {
-    format!("{x:+.1}%")
+    if x.is_nan() {
+        "n/a".to_string()
+    } else {
+        format!("{x:+.1}%")
+    }
 }
 
 /// Shared command-line convention of every bench binary:
-/// `[-- [scale] [--json]]`. `--json` selects the machine-readable
-/// report *and* the binary's quick profile (a small default scale), so
-/// CI's `bench-smoke` job can run all thirteen binaries on every push;
-/// an explicit scale always wins.
+/// `[-- [scale] [--json] [--profile]]`. `--json` selects the
+/// machine-readable report *and* the binary's quick profile (a small
+/// default scale), so CI's `bench-smoke` job can run all thirteen
+/// binaries on every push; an explicit scale always wins. `--profile`
+/// turns on the VM's execution profiler and makes the binary print
+/// per-opcode/per-function attribution tables for its runs (simulated
+/// counters are bit-identical with the profiler on — see
+/// `levee_vm::VmConfig::profile`).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BenchArgs {
     /// Emit machine-readable JSON (rows read off `levee::RunReport`).
     pub json: bool,
+    /// Profile the runs and print attribution tables.
+    pub profile: bool,
     /// Explicit scale/size argument, if one was given.
     pub scale: Option<u64>,
 }
@@ -45,6 +67,8 @@ impl BenchArgs {
         for a in std::env::args().skip(1) {
             if a == "--json" {
                 args.json = true;
+            } else if a == "--profile" {
+                args.profile = true;
             } else if let Ok(n) = a.parse() {
                 args.scale = Some(n);
             }
@@ -62,14 +86,21 @@ impl BenchArgs {
 
 /// Renders `rows` of pre-serialized JSON objects as one top-level
 /// object: `{"<bin>": [row, row, …]}` — the uniform shape of every
-/// bench binary's `--json` output.
-pub fn print_json_rows(bin: &str, rows: &[String]) {
-    println!("{{\"{bin}\": [");
+/// bench binary's `--json` output. (Split from [`print_json_rows`] so
+/// tests can round-trip the exact bytes the binaries emit.)
+pub fn render_json_rows(bin: &str, rows: &[String]) -> String {
+    let mut out = format!("{{\"{bin}\": [\n");
     for (i, row) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
-        println!("  {row}{comma}");
+        out.push_str(&format!("  {row}{comma}\n"));
     }
-    println!("]}}");
+    out.push_str("]}\n");
+    out
+}
+
+/// Prints [`render_json_rows`] to stdout.
+pub fn print_json_rows(bin: &str, rows: &[String]) {
+    print!("{}", render_json_rows(bin, rows));
 }
 
 /// A fixed-width text table, printed in the paper's style.
@@ -152,5 +183,18 @@ mod tests {
     fn pct_formats() {
         assert_eq!(pct(8.4), "+8.4%");
         assert_eq!(pct(-0.4), "-0.4%");
+    }
+
+    #[test]
+    fn pct_renders_degenerate_baselines_as_na() {
+        assert_eq!(pct(f64::NAN), "n/a");
+        let run = levee_vm::ExecStats {
+            cycles: 100,
+            ..Default::default()
+        };
+        assert_eq!(
+            pct(run.overhead_pct(&levee_vm::ExecStats::default())),
+            "n/a"
+        );
     }
 }

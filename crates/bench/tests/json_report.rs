@@ -1,0 +1,119 @@
+//! Round-trip of the bench binaries' `--json` report path.
+//!
+//! Every bench binary's machine-readable mode is `RunReport::to_json`
+//! rows wrapped by `levee_bench::render_json_rows` — hand-rolled
+//! serialization on both ends (the workspace carries no serde). This
+//! suite drives adversarial content through the exact same two layers
+//! and re-parses the bytes with [`levee_bench::json::Json`], so an
+//! escaping bug in either layer (a raw quote in a program name, a
+//! control character in program output, an unescaped profile function
+//! name) breaks a test here before it breaks a CI artifact consumer.
+
+use levee_bench::json::Json;
+use levee_bench::render_json_rows;
+use levee_core::{BuildConfig, Session};
+
+/// Names chosen to break naive JSON emission: quotes, backslashes
+/// (including a trailing one), control characters, and non-ASCII.
+const ADVERSARIAL_NAMES: &[&str] = &[
+    "quote\" backslash\\ name",
+    "tabs\tnewlines\nreturns\r",
+    "control \u{1}\u{1f} chars",
+    "non-ascii π — 名前",
+    "trailing backslash \\",
+];
+
+/// A program whose *output* also carries JSON-hostile bytes.
+const HOSTILE_SOURCE: &str = r#"
+void h(int x) { print_int(x); }
+void (*cb)(int);
+int main() {
+    print_str("say \"hi\"\\\n");
+    cb = h;
+    cb(42);
+    return 0;
+}
+"#;
+
+#[test]
+fn adversarial_names_round_trip_through_the_bin_json_path() {
+    let mut rows = Vec::new();
+    for name in ADVERSARIAL_NAMES {
+        let mut session = Session::builder()
+            .source(HOSTILE_SOURCE)
+            .name(name)
+            .protection(BuildConfig::Cpi)
+            .profile(true)
+            .build()
+            .expect("program builds");
+        let report = session.run_ok(b"").expect("program runs");
+        rows.push(report.to_json());
+    }
+    // The exact bytes a bench bin prints under `--json`.
+    let text = render_json_rows("adversarial", &rows);
+    let parsed = Json::parse(&text).expect("bin-shaped report must stay parseable");
+    let arr = parsed
+        .get("adversarial")
+        .and_then(Json::as_arr)
+        .expect("top-level rows array");
+    assert_eq!(arr.len(), ADVERSARIAL_NAMES.len());
+    for (row, name) in arr.iter().zip(ADVERSARIAL_NAMES) {
+        assert_eq!(
+            row.get("name").and_then(Json::as_str),
+            Some(*name),
+            "name must survive the escape/unescape round trip"
+        );
+        let output = row.get("output").and_then(Json::as_str).expect("output");
+        assert!(
+            output.contains("say \"hi\"\\"),
+            "hostile program output must round-trip, got {output:?}"
+        );
+        // The profile object rides on the same row: check its shape and
+        // that its totals agree with the row's own counters.
+        let profile = row.get("profile").expect("profiler was on");
+        assert_eq!(
+            profile.get("total_cycles").and_then(Json::as_u64),
+            row.get("cycles").and_then(Json::as_u64),
+            "profile totals must match the run's counters"
+        );
+        let ops = profile.get("ops").and_then(Json::as_arr).expect("ops");
+        let op_cycles: u64 = ops
+            .iter()
+            .map(|o| o.get("cycles").and_then(Json::as_u64).expect("op cycles"))
+            .sum();
+        assert_eq!(
+            Some(op_cycles),
+            profile.get("total_cycles").and_then(Json::as_u64),
+            "per-op attribution must partition the run even after a round trip"
+        );
+        assert!(
+            profile
+                .get("check_sites")
+                .and_then(Json::as_arr)
+                .is_some_and(|s| !s.is_empty()),
+            "a CPI build carries check sites"
+        );
+    }
+}
+
+#[test]
+fn rows_without_profile_round_trip_too() {
+    let mut session = Session::builder()
+        .source(HOSTILE_SOURCE)
+        .name("plain \"row\"")
+        .protection(BuildConfig::Vanilla)
+        .build()
+        .expect("program builds");
+    let row = session.run_ok(b"").expect("program runs").to_json();
+    let text = render_json_rows("plain", &[row]);
+    let parsed = Json::parse(&text).expect("parses");
+    let row = &parsed.get("plain").and_then(Json::as_arr).expect("rows")[0];
+    assert_eq!(
+        row.get("name").and_then(Json::as_str),
+        Some("plain \"row\"")
+    );
+    assert!(
+        row.get("profile").is_none(),
+        "no profile key when the profiler is off"
+    );
+}

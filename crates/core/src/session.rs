@@ -34,8 +34,8 @@ use std::fmt;
 use levee_ir::{Intrinsic, Module};
 use levee_minic::CompileError;
 use levee_vm::{
-    AttackerError, Engine, ExecStats, ExitStatus, GoalKind, GuessOutcome, Machine, StoreKind,
-    VmConfig,
+    AttackerError, Engine, ExecStats, ExitStatus, GoalKind, GuessOutcome, Machine, ProfileReport,
+    StoreKind, TouchRecord, VmConfig,
 };
 
 use crate::driver::{build_source, BuildConfig, Built};
@@ -140,6 +140,14 @@ pub struct RunReport {
     pub exec: ExecStats,
     /// Compile-time statistics (Table 2's FNUStack / MO data).
     pub build: BuildStats,
+    /// Execution profile of the run — per-opcode, per-function and
+    /// per-check-site attribution (see [`ProfileReport`]). `None`
+    /// unless the session was built with [`SessionBuilder::profile`]
+    /// or [`Session::enable_profile`] was called. Profiling is a
+    /// host-side observation: the run's simulated cycles, instruction
+    /// counts, traps and touch sequences are bit-identical with the
+    /// profiler on or off.
+    pub profile: Option<ProfileReport>,
 }
 
 impl RunReport {
@@ -179,7 +187,7 @@ impl RunReport {
             ExitStatus::Exited(c) => format!("{{\"exited\": {c}}}"),
             ExitStatus::Trapped(t) => format!("{{\"trapped\": {}}}", json_str(&format!("{t:?}"))),
         };
-        format!(
+        let mut out = format!(
             "{{\"name\": {}, \"config\": {}, \"engine\": {}, \"store\": {}, \
              \"fusion\": {}, \"seed\": {}, \"status\": {status}, \"output\": {}, \
              \"cycles\": {}, \"insts\": {}, \"mem_ops\": {}, \"cpi_mem_ops\": {}, \
@@ -213,7 +221,16 @@ impl RunReport {
             self.build.fn_checks,
             self.build.fnustack(),
             self.build.mo_fraction(),
-        )
+        );
+        if let Some(profile) = &self.profile {
+            // Splice the profile object in before the closing brace so
+            // the row stays one JSON object.
+            out.truncate(out.len() - 1);
+            out.push_str(", \"profile\": ");
+            out.push_str(&profile.to_json());
+            out.push('}');
+        }
+        out
     }
 }
 
@@ -338,6 +355,16 @@ impl SessionBuilder {
     /// Fuel: maximum instructions before `Trap::OutOfFuel`.
     pub fn fuel(mut self, max_insts: u64) -> Self {
         self.vm.max_insts = max_insts;
+        self
+    }
+
+    /// Execution profiling (default off). When on, every
+    /// [`RunReport`] carries a [`ProfileReport`] with per-opcode,
+    /// per-function and per-check-site attribution. Profiling never
+    /// perturbs the simulation: cycles, instruction counts, traps and
+    /// touch sequences are bit-identical with the profiler on or off.
+    pub fn profile(mut self, profile: bool) -> Self {
+        self.vm.profile = profile;
         self
     }
 
@@ -485,6 +512,7 @@ impl Session {
         }
         self.ran = true;
         let out = self.machine.run(input);
+        let profile = self.machine.profile_report();
         RunReport {
             name: self.name.clone(),
             config: self.built_ref().config,
@@ -496,6 +524,7 @@ impl Session {
             output: out.output,
             exec: out.stats,
             build: self.built_ref().stats.clone(),
+            profile,
         }
     }
 
@@ -636,9 +665,32 @@ impl Session {
         self.machine.enable_mem_trace();
     }
 
-    /// The recorded memory touch log of the last run.
-    pub fn mem_trace(&self) -> &[u64] {
+    /// The recorded memory touch log of the last run: tagged
+    /// read/write records in access order.
+    pub fn mem_trace(&self) -> &[TouchRecord] {
         self.machine.mem_trace()
+    }
+
+    /// The touch log's address sequence alone, tags stripped — the
+    /// projection the cross-engine sequence-diff tests compare.
+    pub fn mem_trace_addrs(&self) -> Vec<u64> {
+        self.machine.mem_trace_addrs()
+    }
+
+    /// Turns on execution profiling for subsequent runs (see
+    /// [`SessionBuilder::profile`]). Unlike the mem-trace knob the
+    /// setting rides in the [`VmConfig`], so it *does* survive
+    /// [`Session::reconfigure`] as well as between-run resets.
+    pub fn enable_profile(&mut self) {
+        self.cfg.profile = true;
+        self.machine.enable_profile();
+    }
+
+    /// Superinstruction-fusion statistics of the compiled bytecode, if
+    /// the bytecode tier has compiled it (after [`Session::precompile`]
+    /// or the first bytecode-engine run).
+    pub fn fuse_stats(&self) -> Option<levee_vm::FuseStats> {
+        self.machine.fuse_stats()
     }
 }
 

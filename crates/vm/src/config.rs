@@ -101,6 +101,13 @@ pub struct VmConfig {
     /// cross-checks engine × fusion); the knob exists for differential
     /// testing and overhead attribution. Ignored by [`Engine::Walk`].
     pub fusion: bool,
+    /// Attach the execution profiler ([`crate::probe`]): per-opcode,
+    /// per-function and per-check-site attribution plus a trace-event
+    /// ring. Host-side observation only — a profiled run is
+    /// bit-identical in simulated cycles, insts, traps and touch
+    /// sequences to an unprofiled one (the differential suites enforce
+    /// this).
+    pub profile: bool,
 }
 
 impl Default for VmConfig {
@@ -119,6 +126,7 @@ impl Default for VmConfig {
             hardware: HardwareModel::Software,
             engine: Engine::default(),
             fusion: true,
+            profile: false,
         }
     }
 }
@@ -162,6 +170,13 @@ impl VmConfig {
         self.fusion = fusion;
         self
     }
+
+    /// Returns self with the execution profiler on or off (builder
+    /// style).
+    pub fn with_profile(mut self, profile: bool) -> Self {
+        self.profile = profile;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -191,5 +206,11 @@ mod tests {
     fn fusion_defaults_on_and_toggles() {
         assert!(VmConfig::default().fusion);
         assert!(!VmConfig::default().with_fusion(false).fusion);
+    }
+
+    #[test]
+    fn profile_defaults_off_and_toggles() {
+        assert!(!VmConfig::default().profile);
+        assert!(VmConfig::default().with_profile(true).profile);
     }
 }

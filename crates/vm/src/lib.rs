@@ -42,12 +42,18 @@ pub mod heap;
 pub mod layout;
 pub mod machine;
 pub mod mem;
+pub mod probe;
 pub mod stats;
 pub mod trap;
 
 pub use config::{Engine, HardwareModel, Isolation, VmConfig};
+pub use levee_bc::FuseStats;
 pub use levee_rt::StoreKind;
 pub use machine::{AttackerError, GuessOutcome, Machine, RunOutcome, V};
+pub use probe::{
+    touch_addrs, CheckSiteProfile, FuncProfile, OpProfile, ProfileReport, TouchKind, TouchRecord,
+    TraceEvent, TraceEventKind,
+};
 pub use stats::ExecStats;
 pub use trap::{CpiViolationKind, ExitStatus, GoalKind, Trap};
 

@@ -28,6 +28,7 @@ use levee_bc::{BcModule, Op, OPERAND_CONST_BIT};
 use levee_ir::prelude::*;
 use levee_rt::{Entry, MetaId};
 
+use crate::probe::TouchKind;
 use crate::trap::{ExitStatus, Trap};
 
 use super::exec::{bin_meta, truncate};
@@ -63,9 +64,12 @@ impl<'m> Machine<'m> {
     pub fn precompile(&mut self) {
         if self.config.engine == crate::Engine::Bytecode && self.bc.is_none() {
             let mut bc = levee_bc::compile(self.module);
-            if self.config.fusion {
-                levee_bc::fuse(&mut bc);
-            }
+            let fuse_stats = if self.config.fusion {
+                levee_bc::fuse(&mut bc)
+            } else {
+                levee_bc::FuseStats::default()
+            };
+            self.fuse_stats = Some(fuse_stats);
             self.bc = Some(bc);
         }
     }
@@ -76,6 +80,9 @@ impl<'m> Machine<'m> {
         // Take ownership for the duration of the loop so the code
         // stream can be borrowed while `&mut self` methods run.
         let bc = self.bc.take().expect("just compiled");
+        if let Some(p) = self.probe.as_deref_mut() {
+            p.attach_bc(&bc);
+        }
         let status = self.dispatch_loop(&bc);
         self.bc = Some(bc);
         status
@@ -173,11 +180,11 @@ impl<'m> Machine<'m> {
         }
         // Inline equivalent of `charge_mem` accumulating into the local
         // cycle counter (identical charges, enforced by the engines
-        // differential suite).
+        // differential suite). Kind/width only tag the touch log.
         macro_rules! charge_mem_local {
-            ($addr:expr, $regular:expr) => {{
+            ($addr:expr, $regular:expr, $kind:expr, $width:expr) => {{
                 cycles_l += cost_mem_hit;
-                if !self.cache.access($addr) {
+                if !self.cache.access($addr, $kind, $width) {
                     cycles_l += cost_mem_miss;
                 }
                 if $regular && sfi {
@@ -218,10 +225,22 @@ impl<'m> Machine<'m> {
         }
 
         loop {
+            let op = Op::from_u32(w!(0));
+            // Profiler dispatch seam: close the previous op's cycle
+            // window at the current total (flushed + local) and open
+            // this one's. Observation only — decoding the opcode before
+            // the fuel check is semantically inert (the word is
+            // re-matched below either way).
+            if self.probe.is_some() {
+                let now = self.stats.cycles + cycles_l;
+                if let Some(p) = self.probe.as_deref_mut() {
+                    p.dispatch(op as usize, now);
+                }
+            }
             // Per-instruction base charge + fuel, as in `step()`.
             fuel_step!();
 
-            match Op::from_u32(w!(0)) {
+            match op {
                 Op::Alloca => {
                     let dest = w!(1);
                     let size = cst!(w!(2));
@@ -239,7 +258,12 @@ impl<'m> Machine<'m> {
                     pc += 5;
                     mem_ops_l += 1;
                     bail!(self.isolation_check(addr, space));
-                    charge_mem_local!(addr, space == MemSpace::Regular);
+                    charge_mem_local!(
+                        addr,
+                        space == MemSpace::Regular,
+                        TouchKind::Read,
+                        size as u8
+                    );
                     let raw = bail!(self.mem.read_uint(addr, size).map_err(Self::mem_trap));
                     let meta = if space == MemSpace::SafeStack {
                         match self.safe_stack_meta.get(&addr) {
@@ -266,7 +290,12 @@ impl<'m> Machine<'m> {
                         }
                     }
                     bail!(self.isolation_check(addr, space));
-                    charge_mem_local!(addr, space == MemSpace::Regular);
+                    charge_mem_local!(
+                        addr,
+                        space == MemSpace::Regular,
+                        TouchKind::Write,
+                        size as u8
+                    );
                     bail!(self
                         .mem
                         .write_uint(addr, v.raw, size)
@@ -442,19 +471,26 @@ impl<'m> Machine<'m> {
                     let policy = levee_bc::decode_policy(w!(1));
                     let v = rd!(w!(2));
                     let size = cst!(w!(3));
+                    let site_pc = pc as u32;
                     pc += 4;
                     flush!();
+                    self.probe_check_attempt_bc(fidx as u32, site_pc);
                     self.charge_check();
                     bail!(self.cpi_check(v, size, policy));
+                    self.probe_check_pass_bc(fidx as u32, site_pc);
                 }
                 Op::FnCheck => {
                     let policy = levee_bc::decode_policy(w!(1));
                     let v = rd!(w!(2));
+                    let site_pc = pc as u32;
                     pc += 3;
                     flush!();
+                    self.probe_check_attempt_bc(fidx as u32, site_pc);
                     self.charge_check();
                     match self.meta.get(v.meta) {
-                        Some(prov) if prov.authorizes_code(v.raw) => {}
+                        Some(prov) if prov.authorizes_code(v.raw) => {
+                            self.probe_check_pass_bc(fidx as u32, site_pc);
+                        }
                         _ => {
                             return ExitStatus::Trapped(self.violation(
                                 policy,
@@ -472,7 +508,7 @@ impl<'m> Machine<'m> {
                     pc += 6;
                     bail!(self.bulk_copy(d, s, n, moving));
                     let (copied, t) = self.store.copy_range(d, s, n);
-                    self.charge_store_touches(t);
+                    self.charge_store_touches(t, TouchKind::Write);
                     self.stats.cycles += (n / 8) * self.config.cost.store_op + copied;
                 }
                 Op::SafeMemset => {
@@ -482,7 +518,7 @@ impl<'m> Machine<'m> {
                     pc += 5;
                     bail!(self.bulk_fill(d, b, n));
                     let t = self.store.clear_range(d, n);
-                    self.charge_store_touches(t);
+                    self.charge_store_touches(t, TouchKind::Write);
                     self.stats.cycles += (n / 8) * self.config.cost.store_op;
                 }
                 Op::Jump => {
@@ -562,7 +598,12 @@ impl<'m> Machine<'m> {
                     fuel_step!();
                     mem_ops_l += 1;
                     bail!(self.isolation_check(addr, space));
-                    charge_mem_local!(addr, space == MemSpace::Regular);
+                    charge_mem_local!(
+                        addr,
+                        space == MemSpace::Regular,
+                        TouchKind::Read,
+                        size as u8
+                    );
                     let raw = bail!(self.mem.read_uint(addr, size).map_err(Self::mem_trap));
                     let meta = if space == MemSpace::SafeStack {
                         match self.safe_stack_meta.get(&addr) {
@@ -608,7 +649,12 @@ impl<'m> Machine<'m> {
                         }
                     }
                     bail!(self.isolation_check(addr, space));
-                    charge_mem_local!(addr, space == MemSpace::Regular);
+                    charge_mem_local!(
+                        addr,
+                        space == MemSpace::Regular,
+                        TouchKind::Write,
+                        size as u8
+                    );
                     bail!(self
                         .mem
                         .write_uint(addr, v.raw, size)
@@ -621,15 +667,23 @@ impl<'m> Machine<'m> {
                     let ldest = w!(4);
                     let lsize = w!(5) as u64;
                     let space = levee_bc::decode_space(w!(6));
+                    let site_pc = pc as u32;
                     pc += 7;
                     flush!();
+                    self.probe_check_attempt_bc(fidx as u32, site_pc);
                     self.charge_check();
                     bail!(self.cpi_check(pv, size, policy));
+                    self.probe_check_pass_bc(fidx as u32, site_pc);
                     fuel_step!();
                     let addr = pv.raw;
                     mem_ops_l += 1;
                     bail!(self.isolation_check(addr, space));
-                    charge_mem_local!(addr, space == MemSpace::Regular);
+                    charge_mem_local!(
+                        addr,
+                        space == MemSpace::Regular,
+                        TouchKind::Read,
+                        lsize as u8
+                    );
                     let raw = bail!(self.mem.read_uint(addr, lsize).map_err(Self::mem_trap));
                     let meta = if space == MemSpace::SafeStack {
                         match self.safe_stack_meta.get(&addr) {
@@ -647,10 +701,13 @@ impl<'m> Machine<'m> {
                     let size = cst!(w!(3));
                     let dest = w!(4);
                     let universal = w!(5) != 0;
+                    let site_pc = pc as u32;
                     pc += 6;
                     flush!();
+                    self.probe_check_attempt_bc(fidx as u32, site_pc);
                     self.charge_check();
                     bail!(self.cpi_check(pv, size, policy));
+                    self.probe_check_pass_bc(fidx as u32, site_pc);
                     fuel_step!();
                     self.stats.cpi_mem_ops += 1;
                     let v = bail!(self.ptr_load(policy, pv.raw, universal));
@@ -663,10 +720,14 @@ impl<'m> Machine<'m> {
                     let sig_entry = &bc.sigs[w!(4) as usize];
                     let site = w!(5) as u64;
                     let nargs = w!(6) as usize;
+                    let site_pc = pc as u32;
                     flush!();
+                    self.probe_check_attempt_bc(fidx as u32, site_pc);
                     self.charge_check();
                     match self.meta.get(cv.meta) {
-                        Some(prov) if prov.authorizes_code(cv.raw) => {}
+                        Some(prov) if prov.authorizes_code(cv.raw) => {
+                            self.probe_check_pass_bc(fidx as u32, site_pc);
+                        }
                         _ => {
                             return ExitStatus::Trapped(self.violation(
                                 policy,

@@ -11,6 +11,7 @@ use levee_ir::prelude::*;
 
 use crate::config::Isolation;
 use crate::layout;
+use crate::probe::TouchKind;
 use crate::trap::{ExitStatus, Trap};
 
 use super::{Frame, Machine, SetjmpCtx, MAIN_RET_SENTINEL, V};
@@ -82,7 +83,7 @@ impl<'m> Machine<'m> {
         let ret_slot = if desc.safestack {
             self.safe_sp -= 8;
             let slot = self.safe_sp;
-            self.charge_mem(slot, false);
+            self.charge_mem(slot, false, TouchKind::Write, 8);
             self.mem
                 .write_uint(slot, ret_addr, 8)
                 .map_err(|_| Trap::StackOverflow)?;
@@ -91,7 +92,7 @@ impl<'m> Machine<'m> {
             self.sp -= 8;
             let slot = self.sp;
             self.check_stack_space()?;
-            self.charge_mem(slot, true);
+            self.charge_mem(slot, true, TouchKind::Write, 8);
             self.mem
                 .write_uint(slot, ret_addr, 8)
                 .map_err(|_| Trap::StackOverflow)?;
@@ -102,7 +103,7 @@ impl<'m> Machine<'m> {
         let cookie_slot = if desc.cookie {
             self.sp -= 8;
             let slot = self.sp;
-            self.charge_mem(slot, true);
+            self.charge_mem(slot, true, TouchKind::Write, 8);
             self.mem
                 .write_uint(slot, self.cookie, 8)
                 .map_err(|_| Trap::StackOverflow)?;
@@ -136,6 +137,9 @@ impl<'m> Machine<'m> {
             saved_safe_sp,
             caller_dest,
         });
+        // Profiler seam: the frame is live and all call-setup charges
+        // have landed, so setup cost attributes to the caller.
+        self.probe_enter(func.0);
         Ok(())
     }
 
@@ -155,7 +159,7 @@ impl<'m> Machine<'m> {
         // 1. Cookie check (epilogue), on the conventional stack only.
         if cookie_slot != 0 {
             self.charge_check();
-            self.charge_mem(cookie_slot, true);
+            self.charge_mem(cookie_slot, true, TouchKind::Read, 8);
             let got = self
                 .mem
                 .read_uint(cookie_slot, 8)
@@ -167,7 +171,7 @@ impl<'m> Machine<'m> {
 
         // 2. Load the return address from its memory slot. This is the
         // value an overflow may have corrupted (unless on safe stack).
-        self.charge_mem(slot, !desc.safestack);
+        self.charge_mem(slot, !desc.safestack, TouchKind::Read, 8);
         let loaded = self
             .mem
             .read_uint(slot, 8)
@@ -214,6 +218,11 @@ impl<'m> Machine<'m> {
     }
 
     fn pop_frame(&mut self) {
+        // Profiler seam: all return-sequence charges (cookie check,
+        // return-slot load, CFI) have landed, so they attribute to the
+        // exiting callee. Covers returns, longjmp unwinds and the clean
+        // exit from `main` alike.
+        self.probe_exit();
         let frame = self.frames.pop().expect("frame");
         self.recycle_vec(frame.regs);
         self.sp = frame.saved_sp;
@@ -370,7 +379,7 @@ impl<'m> Machine<'m> {
             // token, like any other sensitive pointer.
             let meta = self.meta.intern(levee_rt::Entry::code(token));
             let t = self.store.set(buf.raw, levee_rt::Slot::new(token, meta));
-            self.charge_store_touches(t);
+            self.charge_store_touches(t, TouchKind::Write);
         } else {
             self.prog_write(buf.raw, token, 8, MemSpace::Regular)?;
         }
@@ -386,7 +395,7 @@ impl<'m> Machine<'m> {
     pub(crate) fn do_longjmp(&mut self, buf: V, val: V) -> Result<(), Trap> {
         let token = if self.config.protect_runtime_code_ptrs {
             let (slot, t) = self.store.get(buf.raw);
-            self.charge_store_touches(t);
+            self.charge_store_touches(t, TouchKind::Read);
             // The loaded slot must still carry live code provenance for
             // its word (the §3.3 exact-match rule, off the handle).
             let code = slot.and_then(|s| {

@@ -3,6 +3,7 @@
 use levee_ir::prelude::*;
 use levee_rt::Slot;
 
+use crate::probe::TouchKind;
 use crate::trap::{CpiViolationKind, Trap};
 
 use super::{Machine, V};
@@ -35,14 +36,33 @@ impl<'m> Machine<'m> {
             }
             CpiOp::Check { policy, ptr, size } => {
                 let v = self.eval(*ptr);
+                // Check-site key: ip was already advanced past this
+                // instruction, so the site is at ip - 1.
+                let site = self.probe.is_some().then(|| self.current_site_key());
+                if let Some(key) = site {
+                    self.probe_check_attempt_ir(key);
+                }
                 self.charge_check();
-                self.cpi_check(v, *size, *policy)
+                self.cpi_check(v, *size, *policy)?;
+                if let Some(key) = site {
+                    self.probe_check_pass_ir(key);
+                }
+                Ok(())
             }
             CpiOp::FnCheck { policy, callee } => {
                 let v = self.eval(*callee);
+                let site = self.probe.is_some().then(|| self.current_site_key());
+                if let Some(key) = site {
+                    self.probe_check_attempt_ir(key);
+                }
                 self.charge_check();
                 match self.meta.get(v.meta) {
-                    Some(prov) if prov.authorizes_code(v.raw) => Ok(()),
+                    Some(prov) if prov.authorizes_code(v.raw) => {
+                        if let Some(key) = site {
+                            self.probe_check_pass_ir(key);
+                        }
+                        Ok(())
+                    }
                     _ => Err(self.violation(*policy, CpiViolationKind::NotACodePointer, v.raw)),
                 }
             }
@@ -62,7 +82,7 @@ impl<'m> Machine<'m> {
                 // word — plain (word, handle) moves, but still the path
                 // §5.2 attributes memcpy overhead to.
                 let (copied, t) = self.store.copy_range(d, s, n);
-                self.charge_store_touches(t);
+                self.charge_store_touches(t, TouchKind::Write);
                 self.stats.cycles += (n / 8) * self.config.cost.store_op + copied;
                 Ok(())
             }
@@ -77,7 +97,7 @@ impl<'m> Machine<'m> {
                 let n = self.eval(*len).raw;
                 self.bulk_fill(d, b, n)?;
                 let t = self.store.clear_range(d, n);
-                self.charge_store_touches(t);
+                self.charge_store_touches(t, TouchKind::Write);
                 self.stats.cycles += (n / 8) * self.config.cost.store_op;
                 Ok(())
             }
@@ -141,7 +161,8 @@ impl<'m> Machine<'m> {
         match slot {
             Some(s) => {
                 let t = self.store.set(addr, s);
-                self.charge_store_touches(t);
+                self.charge_store_touches(t, TouchKind::Write);
+                self.probe_store_op(addr, false);
                 self.stats.store_entries_peak = self
                     .stats
                     .store_entries_peak
@@ -158,7 +179,8 @@ impl<'m> Machine<'m> {
                 // the regular region, mark the safe store `none` (the
                 // paper's dual-storage rule).
                 let t = self.store.clear(addr);
-                self.charge_store_touches(t);
+                self.charge_store_touches(t, TouchKind::Write);
+                self.probe_store_op(addr, false);
                 self.prog_write(addr, v.raw, 8, MemSpace::Regular)
             }
         }
@@ -175,7 +197,8 @@ impl<'m> Machine<'m> {
         universal: bool,
     ) -> Result<V, Trap> {
         let (slot, t) = self.store.get(addr);
-        self.charge_store_touches(t);
+        self.charge_store_touches(t, TouchKind::Read);
+        self.probe_store_op(addr, true);
         match slot {
             Some(s) => {
                 if self.config.debug_dual_store {
@@ -241,9 +264,9 @@ impl<'m> Machine<'m> {
     fn charge_bulk(&mut self, len: u64, a: u64, b: u64) {
         let lines = len / 64 + 1;
         for i in 0..lines {
-            self.charge_mem(a + i * 64, true);
+            self.charge_mem(a + i * 64, true, TouchKind::Write, 8);
             if b != a {
-                self.charge_mem(b + i * 64, true);
+                self.charge_mem(b + i * 64, true, TouchKind::Read, 8);
             }
         }
         self.stats.cycles += len / 8;

@@ -1,5 +1,6 @@
 //! The fetch/execute loop: one IR instruction per step.
 
+use levee_bc::Op;
 use levee_ir::prelude::*;
 use levee_rt::{Entry, MetaId};
 
@@ -11,6 +12,15 @@ impl<'m> Machine<'m> {
     /// Executes one instruction or terminator. Returns `Some(exit)` when
     /// the program finished.
     pub(crate) fn step(&mut self) -> Result<Option<ExitStatus>, Trap> {
+        // Profiler dispatch seam (mirrors the bytecode loop's): close
+        // the previous op's cycle window, open this one's. Observation
+        // only — no charge depends on it.
+        if self.probe.is_some() {
+            let (op, now) = (self.current_op_index(), self.stats.cycles);
+            if let Some(p) = self.probe.as_deref_mut() {
+                p.dispatch(op, now);
+            }
+        }
         self.stats.insts += 1;
         self.stats.cycles += self.config.cost.inst;
         if self.stats.insts > self.config.max_insts {
@@ -29,6 +39,47 @@ impl<'m> Machine<'m> {
         self.frame_mut().ip += 1;
         self.exec_inst(inst)?;
         Ok(None)
+    }
+
+    /// Maps the walker's in-flight instruction or terminator onto the
+    /// shared opcode space (`levee_bc::Op`) so both engines report
+    /// per-opcode attribution in the same vocabulary. The walker never
+    /// executes fused superinstructions, so those slots stay zero.
+    fn current_op_index(&self) -> usize {
+        let frame = self.frame();
+        let block = self.module.func(frame.func).block(frame.block);
+        let op = if frame.ip >= block.insts.len() {
+            match &block.term {
+                Terminator::Br(_) => Op::Jump,
+                Terminator::CondBr { .. } => Op::Branch,
+                Terminator::Ret(_) => Op::Ret,
+                Terminator::Unreachable => Op::Unreachable,
+            }
+        } else {
+            match &block.insts[frame.ip] {
+                Inst::Alloca { .. } => Op::Alloca,
+                Inst::Load { .. } => Op::Load,
+                Inst::Store { .. } => Op::Store,
+                Inst::Gep { .. } => Op::Gep,
+                Inst::GlobalAddr { .. } => Op::GlobalAddr,
+                Inst::FuncAddr { .. } => Op::FuncAddr,
+                Inst::Bin { .. } => Op::Bin,
+                Inst::Cmp { .. } => Op::Cmp,
+                Inst::Cast { .. } => Op::Cast,
+                Inst::Call { .. } => Op::Call,
+                Inst::CallIndirect { .. } => Op::CallIndirect,
+                Inst::IntrinsicCall { .. } => Op::IntrinsicCall,
+                Inst::Cpi(cpi) => match cpi {
+                    CpiOp::PtrStore { .. } => Op::PtrStore,
+                    CpiOp::PtrLoad { .. } => Op::PtrLoad,
+                    CpiOp::Check { .. } => Op::Check,
+                    CpiOp::FnCheck { .. } => Op::FnCheck,
+                    CpiOp::SafeMemcpy { .. } => Op::SafeMemcpy,
+                    CpiOp::SafeMemset { .. } => Op::SafeMemset,
+                },
+            }
+        };
+        op as usize
     }
 
     fn exec_terminator(&mut self, term: &Terminator) -> Result<Option<ExitStatus>, Trap> {

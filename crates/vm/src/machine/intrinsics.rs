@@ -3,6 +3,7 @@
 
 use levee_ir::prelude::*;
 
+use crate::probe::TouchKind;
 use crate::trap::Trap;
 
 use super::{Machine, V};
@@ -166,7 +167,7 @@ impl<'m> Machine<'m> {
 
     pub(crate) fn read_byte(&mut self, addr: u64) -> Result<u8, Trap> {
         self.isolation_check(addr, MemSpace::Regular)?;
-        self.charge_mem(addr, true);
+        self.charge_mem(addr, true, TouchKind::Read, 1);
         self.stats.mem_ops += 1;
         self.mem.read_u8(addr).map_err(|e| match e {
             crate::mem::MemError::Unmapped { addr } => Trap::Unmapped { addr },
@@ -176,7 +177,7 @@ impl<'m> Machine<'m> {
 
     pub(crate) fn write_byte(&mut self, addr: u64, b: u8) -> Result<(), Trap> {
         self.isolation_check(addr, MemSpace::Regular)?;
-        self.charge_mem(addr, true);
+        self.charge_mem(addr, true, TouchKind::Write, 1);
         self.stats.mem_ops += 1;
         self.mem.write_u8(addr, b).map_err(|e| match e {
             crate::mem::MemError::Unmapped { addr } => Trap::Unmapped { addr },

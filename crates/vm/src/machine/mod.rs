@@ -33,6 +33,7 @@ use crate::config::{Engine, Isolation, VmConfig};
 use crate::heap::Heap;
 use crate::layout::{self, Layout};
 use crate::mem::{MemError, Memory};
+use crate::probe::{touch_addrs, ProfileReport, Profiler, TouchKind, TouchRecord};
 use crate::stats::ExecStats;
 use crate::trap::{ExitStatus, GoalKind, Trap};
 
@@ -206,6 +207,14 @@ pub struct Machine<'m> {
     /// The module compiled to bytecode, populated on first use by the
     /// bytecode engine.
     pub(crate) bc: Option<levee_bc::BcModule>,
+    /// Fusion plan counts recorded when the bytecode was compiled
+    /// (`Some` once compiled; all-zero when fusion was off). Survives
+    /// reset along with the bytecode itself.
+    pub(crate) fuse_stats: Option<levee_bc::FuseStats>,
+    /// The execution profiler ([`crate::probe`]), attached when
+    /// [`VmConfig::profile`] is set. Host-side observation only: no
+    /// probe method touches the simulated cost model.
+    pub(crate) probe: Option<Box<Profiler>>,
     /// Recycled register files: calls are frequent enough that
     /// allocating a fresh `Vec<V>` per frame shows up in profiles.
     pub(crate) reg_pool: Vec<Vec<V>>,
@@ -267,6 +276,8 @@ impl<'m> Machine<'m> {
             func_meta: Vec::new(),
             global_meta: Vec::new(),
             bc: None,
+            fuse_stats: None,
+            probe: config.profile.then(|| Box::new(Profiler::new(module))),
             reg_pool: Vec::new(),
         };
         m.load();
@@ -326,10 +337,42 @@ impl<'m> Machine<'m> {
         self.cache.enable_trace();
     }
 
-    /// The recorded memory touch log (empty unless
-    /// [`Machine::enable_mem_trace`] was called before running).
-    pub fn mem_trace(&self) -> &[u64] {
+    /// The recorded memory touch log — tagged [`TouchRecord`]s (empty
+    /// unless [`Machine::enable_mem_trace`] was called before running).
+    pub fn mem_trace(&self) -> &[TouchRecord] {
         self.cache.trace().unwrap_or(&[])
+    }
+
+    /// The address projection of the touch log — the shape the
+    /// touch-log *sequence* diff tests compare (see
+    /// [`crate::probe::touch_addrs`]).
+    pub fn mem_trace_addrs(&self) -> Vec<u64> {
+        touch_addrs(self.mem_trace())
+    }
+
+    /// Attaches the execution profiler for subsequent runs (equivalent
+    /// to constructing with [`VmConfig::profile`] set; the knob rides
+    /// in the config, so it survives [`Machine::reset`]).
+    pub fn enable_profile(&mut self) {
+        self.config.profile = true;
+        if self.probe.is_none() {
+            self.probe = Some(Box::new(Profiler::new(self.module)));
+        }
+    }
+
+    /// The profiling report of the last run (`None` unless profiling
+    /// was enabled before it).
+    pub fn profile_report(&self) -> Option<ProfileReport> {
+        self.probe
+            .as_ref()
+            .map(|p| p.report(self.module, &self.stats))
+    }
+
+    /// Superinstruction fusion plan counts, recorded when the module
+    /// was compiled to bytecode (`None` until then; all-zero when
+    /// fusion is off).
+    pub fn fuse_stats(&self) -> Option<levee_bc::FuseStats> {
+        self.fuse_stats
     }
 
     /// Resets the machine to its freshly-loaded state so [`Machine::run`]
@@ -359,10 +402,12 @@ impl<'m> Machine<'m> {
         // goals (layout is config-deterministic) and the trace setting.
         let meta = std::mem::take(&mut self.meta);
         let bc = self.bc.take();
+        let fuse_stats = self.fuse_stats.take();
         let goals = std::mem::take(&mut self.goals);
         let tracing = self.cache.trace().is_some();
         *self = Self::boot(self.module, self.config, meta);
         self.bc = bc;
+        self.fuse_stats = fuse_stats;
         self.goals = goals;
         if tracing {
             self.cache.enable_trace();
@@ -519,6 +564,9 @@ impl<'m> Machine<'m> {
                 }
             }
         };
+        if let Some(p) = self.probe.as_deref_mut() {
+            p.begin_run(self.stats.cycles);
+        }
         let status = match self.enter_function(main, vec![], None, MAIN_RET_SENTINEL) {
             Err(trap) => ExitStatus::Trapped(trap),
             Ok(()) => match self.config.engine {
@@ -526,6 +574,14 @@ impl<'m> Machine<'m> {
                 Engine::Bytecode => self.run_bytecode(),
             },
         };
+        if let Some(p) = self.probe.as_deref_mut() {
+            p.end_run(
+                self.stats.cycles,
+                self.stats.insts,
+                self.stats.checks,
+                matches!(status, ExitStatus::Trapped(_)),
+            );
+        }
         self.finalize_stats();
         RunOutcome {
             status,
@@ -564,10 +620,13 @@ impl<'m> Machine<'m> {
     /// Charges one data-memory access at `addr` (cache + SFI mask).
     /// The SFI mask is a single ALU op that pipelines with the access;
     /// we amortize it as one cycle per three masked accesses.
+    ///
+    /// `kind`/`width` tag the touch-log record only — they never affect
+    /// the charge.
     #[inline]
-    pub(crate) fn charge_mem(&mut self, addr: u64, regular: bool) {
+    pub(crate) fn charge_mem(&mut self, addr: u64, regular: bool, kind: TouchKind, width: u8) {
         self.stats.cycles += self.config.cost.mem_hit;
-        if !self.cache.access(addr) {
+        if !self.cache.access(addr, kind, width) {
             self.stats.cycles += self.config.cost.mem_miss;
         }
         if regular && self.config.isolation == Isolation::Sfi {
@@ -578,11 +637,14 @@ impl<'m> Machine<'m> {
         }
     }
 
-    /// Charges the safe-store traffic described by `touched`.
-    pub(crate) fn charge_store_touches(&mut self, touched: levee_rt::Touched) {
+    /// Charges the safe-store traffic described by `touched`; `kind`
+    /// tags the touch log (store writes vs lookups read the same slot
+    /// addresses).
+    pub(crate) fn charge_store_touches(&mut self, touched: levee_rt::Touched, kind: TouchKind) {
+        const SLOT_W: u8 = levee_rt::SLOT_SIZE as u8;
         for addr in touched.iter() {
             self.stats.cycles += self.config.cost.mem_hit;
-            if !self.cache.access(addr) {
+            if !self.cache.access(addr, kind, SLOT_W) {
                 self.stats.cycles += self.config.cost.mem_miss;
             }
         }
@@ -593,7 +655,10 @@ impl<'m> Machine<'m> {
             let base = touched.iter().last().unwrap_or_else(|| self.store.base());
             for i in 1..=touched.spill as u64 {
                 self.stats.cycles += self.config.cost.mem_hit;
-                if !self.cache.access(base + i * levee_rt::SLOT_SIZE) {
+                if !self
+                    .cache
+                    .access(base + i * levee_rt::SLOT_SIZE, kind, SLOT_W)
+                {
                     self.stats.cycles += self.config.cost.mem_miss;
                 }
             }
@@ -601,6 +666,15 @@ impl<'m> Machine<'m> {
         if touched.page_fault {
             self.stats.cycles += self.config.cost.page_fault;
             self.stats.page_faults += 1;
+            if self.probe.is_some() {
+                let (cycles, addr) = (
+                    self.stats.cycles,
+                    touched.iter().last().unwrap_or_else(|| self.store.base()),
+                );
+                if let Some(p) = self.probe.as_deref_mut() {
+                    p.page_fault(cycles, addr);
+                }
+            }
         }
         let op_cost = match self.config.hardware {
             crate::config::HardwareModel::Software => self.config.cost.store_op,
@@ -616,6 +690,89 @@ impl<'m> Machine<'m> {
             crate::config::HardwareModel::Software => self.config.cost.check,
             crate::config::HardwareModel::Mpx => self.config.cost.mpx_check,
         };
+    }
+
+    // ---- probe glue --------------------------------------------------------
+    //
+    // Thin forwarding wrappers around the optional profiler. All of them
+    // are inert no-ops when profiling is off, and none touches the cost
+    // model when it is on — the cycle/inst/check values they pass are
+    // *read* from `stats` at call time.
+
+    /// A frame was pushed for `func` (called at the end of `push_frame`,
+    /// after all call-setup charges, so setup cost stays with the
+    /// caller).
+    #[inline]
+    pub(crate) fn probe_enter(&mut self, func: u32) {
+        if self.probe.is_some() {
+            let (c, i, k) = (self.stats.cycles, self.stats.insts, self.stats.checks);
+            if let Some(p) = self.probe.as_deref_mut() {
+                p.enter(func, c, i, k);
+            }
+        }
+    }
+
+    /// A frame is being popped (called at the top of `pop_frame`, after
+    /// the return-sequence charges, so return cost stays with the
+    /// callee).
+    #[inline]
+    pub(crate) fn probe_exit(&mut self) {
+        if self.probe.is_some() {
+            let (c, i, k) = (self.stats.cycles, self.stats.insts, self.stats.checks);
+            if let Some(p) = self.probe.as_deref_mut() {
+                p.exit(c, i, k);
+            }
+        }
+    }
+
+    /// A walker CPI check at `(func, block, ip)` is about to run.
+    #[inline]
+    pub(crate) fn probe_check_attempt_ir(&mut self, key: (u32, u32, u32)) {
+        if self.probe.is_some() {
+            let now = self.stats.cycles;
+            if let Some(p) = self.probe.as_deref_mut() {
+                p.check_attempt_ir(key, now);
+            }
+        }
+    }
+
+    /// The walker CPI check at `(func, block, ip)` passed.
+    #[inline]
+    pub(crate) fn probe_check_pass_ir(&mut self, key: (u32, u32, u32)) {
+        if let Some(p) = self.probe.as_deref_mut() {
+            p.check_pass_ir(key);
+        }
+    }
+
+    /// A bytecode CPI check at `func`'s stream offset `pc` is about to
+    /// run.
+    #[inline]
+    pub(crate) fn probe_check_attempt_bc(&mut self, func: u32, pc: u32) {
+        if self.probe.is_some() {
+            let now = self.stats.cycles;
+            if let Some(p) = self.probe.as_deref_mut() {
+                p.check_attempt_bc(func, pc, now);
+            }
+        }
+    }
+
+    /// The bytecode CPI check at (`func`, `pc`) passed.
+    #[inline]
+    pub(crate) fn probe_check_pass_bc(&mut self, func: u32, pc: u32) {
+        if let Some(p) = self.probe.as_deref_mut() {
+            p.check_pass_bc(func, pc);
+        }
+    }
+
+    /// A safe-pointer-store operation executed at `addr`.
+    #[inline]
+    pub(crate) fn probe_store_op(&mut self, addr: u64, is_load: bool) {
+        if self.probe.is_some() {
+            let now = self.stats.cycles;
+            if let Some(p) = self.probe.as_deref_mut() {
+                p.store_op(now, addr, is_load);
+            }
+        }
     }
 
     // ---- guarded program memory access ------------------------------------
@@ -648,7 +805,12 @@ impl<'m> Machine<'m> {
     #[inline]
     pub(crate) fn prog_read(&mut self, addr: u64, size: u64, space: MemSpace) -> Result<u64, Trap> {
         self.isolation_check(addr, space)?;
-        self.charge_mem(addr, space == MemSpace::Regular);
+        self.charge_mem(
+            addr,
+            space == MemSpace::Regular,
+            TouchKind::Read,
+            size as u8,
+        );
         self.mem.read_uint(addr, size).map_err(Self::mem_trap)
     }
 
@@ -662,7 +824,12 @@ impl<'m> Machine<'m> {
         space: MemSpace,
     ) -> Result<(), Trap> {
         self.isolation_check(addr, space)?;
-        self.charge_mem(addr, space == MemSpace::Regular);
+        self.charge_mem(
+            addr,
+            space == MemSpace::Regular,
+            TouchKind::Write,
+            size as u8,
+        );
         self.mem
             .write_uint(addr, value, size)
             .map_err(Self::mem_trap)
@@ -678,6 +845,15 @@ impl<'m> Machine<'m> {
     #[inline]
     pub(crate) fn frame_mut(&mut self) -> &mut Frame {
         self.frames.last_mut().expect("no active frame")
+    }
+
+    /// The `(func, block, ip)` key of the walker's in-flight
+    /// instruction (`ip` has already advanced past it when an
+    /// instruction executes).
+    #[inline]
+    pub(crate) fn current_site_key(&self) -> (u32, u32, u32) {
+        let f = self.frame();
+        (f.func.0, f.block.0, f.ip as u32 - 1)
     }
 
     #[inline]

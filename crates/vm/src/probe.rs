@@ -1,0 +1,959 @@
+//! `levee-probe` — the host-side execution profiler and structured
+//! tracer behind [`crate::VmConfig::profile`].
+//!
+//! The paper's whole evaluation is *attribution*: which functions,
+//! which check sites and which memory classes pay the protection
+//! overhead (Tables 2–3, §5.2). This module turns a run's aggregate
+//! [`crate::ExecStats`] into that shape:
+//!
+//! * **per-opcode** dispatch counts and cycle attribution (the six
+//!   fused superinstructions included, so fusion coverage is
+//!   measurable at runtime, not just in `levee_bc::FuseStats` plans),
+//! * **per-function** inclusive/exclusive cycle + instruction + check
+//!   attribution, driven off the `push_frame`/`pop_frame` seam shared
+//!   by both engines,
+//! * **per-CPI-check-site** hit/miss counters, keyed by a deterministic
+//!   per-function numbering of the instrumentation's `Check`/`FnCheck`
+//!   ops (identical between the step walker and the — possibly fused —
+//!   bytecode stream, because compilation and fusion both preserve
+//!   program order),
+//! * a bounded **ring buffer of typed trace events** (call, return,
+//!   trap, check, store op, page fault), exportable as Chrome
+//!   trace-event JSON for flamegraph-style inspection.
+//!
+//! The non-negotiable invariant: the profiler is *observation only*.
+//! Every hook reads machine state (`stats`, frame identity) and writes
+//! exclusively into the (crate-private) `Profiler`'s own buffers —
+//! never into the cost
+//! model, the cache, the store or the provenance table — so a run with
+//! profiling on is bit-identical in simulated cycles, instructions,
+//! traps and touch sequences to the same run with profiling off. The
+//! `diff_fuzz` and `engines` differential suites enforce this
+//! counter-for-counter.
+
+use std::collections::HashMap;
+
+use levee_bc::{op_len, BcModule, Op};
+use levee_ir::prelude::*;
+
+use crate::stats::ExecStats;
+
+/// Number of bytecode opcodes (`levee_bc::Op` discriminants `0..28`).
+pub const N_OPS: usize = 28;
+
+/// Pseudo-opcode slot attributing the cycles charged before the first
+/// dispatch (loading `main`'s frame: call cost, return-slot write…).
+const STARTUP_SLOT: usize = N_OPS;
+
+/// Default capacity of the trace-event ring buffer.
+pub const DEFAULT_RING_CAPACITY: usize = 65_536;
+
+// ---------------------------------------------------------------------------
+// Tagged memory-touch records (the promoted `Machine::mem_trace`)
+// ---------------------------------------------------------------------------
+
+/// Direction of one simulated memory touch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TouchKind {
+    /// The touch read simulated memory.
+    Read,
+    /// The touch wrote simulated memory.
+    Write,
+}
+
+impl TouchKind {
+    /// Short label used in reports ("R" / "W").
+    pub fn label(self) -> &'static str {
+        match self {
+            TouchKind::Read => "R",
+            TouchKind::Write => "W",
+        }
+    }
+}
+
+/// One entry of the memory touch log: every simulated access the cache
+/// model sees, tagged with its direction and access width in bytes.
+///
+/// Differential suites diff the *address projection* of two logs (see
+/// [`touch_addrs`]) to prove two configurations perform identical
+/// access sequences; the tags exist for attribution — classifying
+/// traffic as loads vs stores and by width without re-running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TouchRecord {
+    /// The touched simulated address.
+    pub addr: u64,
+    /// Read or write.
+    pub kind: TouchKind,
+    /// Access width in bytes (1–16; safe-store slots are 16).
+    pub width: u8,
+}
+
+/// Projects a tagged touch log onto its address sequence — the shape
+/// the touch-log *sequence* diff tests compare (tags are attribution
+/// metadata; the architectural claim is about addresses in order).
+pub fn touch_addrs(records: &[TouchRecord]) -> Vec<u64> {
+    records.iter().map(|r| r.addr).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Typed trace events
+// ---------------------------------------------------------------------------
+
+/// The kind of one [`TraceEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// A frame was pushed (`a` = callee `FuncId`, `b` = stack depth).
+    Call,
+    /// A frame was popped (`a` = returning `FuncId`, `b` = stack depth
+    /// before the pop).
+    Return,
+    /// The run ended in a trap (`a`/`b` unused; recorded at run end).
+    Trap,
+    /// A CPI check-site execution (`a` = `FuncId`, `b` = site index).
+    Check,
+    /// A safe-pointer-store operation (`a` = address, `b` = 0 for a
+    /// store, 1 for a load).
+    StoreOp,
+    /// A safe-store page fault was charged (`a` = approximate address).
+    PageFault,
+}
+
+impl TraceEventKind {
+    /// Event name used in the Chrome trace export.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceEventKind::Call => "call",
+            TraceEventKind::Return => "return",
+            TraceEventKind::Trap => "trap",
+            TraceEventKind::Check => "check",
+            TraceEventKind::StoreOp => "store_op",
+            TraceEventKind::PageFault => "page_fault",
+        }
+    }
+}
+
+/// One structured trace event, timestamped in simulated cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// What happened.
+    pub kind: TraceEventKind,
+    /// Simulated-cycle timestamp at the moment of the event.
+    pub cycles: u64,
+    /// First payload word (meaning depends on [`TraceEvent::kind`]).
+    pub a: u64,
+    /// Second payload word.
+    pub b: u64,
+}
+
+/// Bounded ring of [`TraceEvent`]s: the newest `capacity` events are
+/// kept; older ones are dropped (and counted) rather than growing the
+/// buffer without bound on long runs.
+#[derive(Debug, Clone)]
+struct TraceRing {
+    buf: Vec<TraceEvent>,
+    cap: usize,
+    /// Index of the oldest event once the buffer has wrapped.
+    start: usize,
+    dropped: u64,
+}
+
+impl TraceRing {
+    fn new(cap: usize) -> Self {
+        TraceRing {
+            buf: Vec::new(),
+            cap: cap.max(1),
+            start: 0,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, ev: TraceEvent) {
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.start] = ev;
+            self.start = (self.start + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Events in chronological order.
+    fn events(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.start..]);
+        out.extend_from_slice(&self.buf[..self.start]);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The profiler
+// ---------------------------------------------------------------------------
+
+/// One live frame on the profiler's shadow stack.
+#[derive(Debug, Clone, Copy)]
+struct ProbeFrame {
+    func: u32,
+    entry_cycles: u64,
+    entry_insts: u64,
+    entry_checks: u64,
+    /// Inclusive totals of direct callees, accumulated as they return
+    /// (inclusive − children = exclusive).
+    child_cycles: u64,
+    child_insts: u64,
+    child_checks: u64,
+}
+
+/// Per-function accumulator.
+#[derive(Debug, Clone, Copy, Default)]
+struct FuncAcc {
+    calls: u64,
+    incl_cycles: u64,
+    excl_cycles: u64,
+    incl_insts: u64,
+    excl_insts: u64,
+    incl_checks: u64,
+    excl_checks: u64,
+    /// Live occurrences on the shadow stack (recursion guard: inclusive
+    /// totals count only the outermost occurrence).
+    active: u32,
+}
+
+/// The execution profiler: host-side observation state attached to a
+/// machine when [`crate::VmConfig::profile`] is on.
+///
+/// All methods are cheap bookkeeping on the profiler's own buffers;
+/// none touches the simulated cost model (see the module docs for the
+/// neutrality argument).
+#[derive(Debug, Clone)]
+pub(crate) struct Profiler {
+    op_counts: [u64; N_OPS + 1],
+    op_cycles: [u64; N_OPS + 1],
+    /// The op currently executing and the cycle count at its dispatch;
+    /// closed (its cycle delta attributed) by the next dispatch.
+    pending: Option<(usize, u64)>,
+    funcs: Vec<FuncAcc>,
+    stack: Vec<ProbeFrame>,
+    /// `(func, block, ip) → site index` for the step walker's CPI
+    /// `Check`/`FnCheck` ops, numbered per function in program order.
+    ir_sites: HashMap<(u32, u32, u32), u32>,
+    /// Per-function `pc → site index` maps for the (possibly fused)
+    /// bytecode stream — the same numbering as [`Profiler::ir_sites`],
+    /// because compilation and fusion preserve program order. Built on
+    /// first contact with the compiled module.
+    bc_sites: Option<Vec<HashMap<u32, u32>>>,
+    /// `(func, site) → (attempts, passes)`.
+    site_hits: HashMap<(u32, u32), (u64, u64)>,
+    ring: TraceRing,
+}
+
+impl Profiler {
+    /// Builds a profiler for `module`: numbers every CPI check site
+    /// (per function, in program order) so the walker's `(block, ip)`
+    /// coordinates resolve to stable site ids.
+    pub(crate) fn new(module: &Module) -> Self {
+        let mut ir_sites = HashMap::new();
+        for (fid, f) in module.iter_funcs() {
+            let mut next = 0u32;
+            for (bid, block) in f.iter_blocks() {
+                for (ip, inst) in block.insts.iter().enumerate() {
+                    if let Inst::Cpi(CpiOp::Check { .. } | CpiOp::FnCheck { .. }) = inst {
+                        ir_sites.insert((fid.0, bid.0, ip as u32), next);
+                        next += 1;
+                    }
+                }
+            }
+        }
+        Profiler {
+            op_counts: [0; N_OPS + 1],
+            op_cycles: [0; N_OPS + 1],
+            pending: None,
+            funcs: vec![FuncAcc::default(); module.funcs.len()],
+            stack: Vec::new(),
+            ir_sites,
+            bc_sites: None,
+            site_hits: HashMap::new(),
+            ring: TraceRing::new(DEFAULT_RING_CAPACITY),
+        }
+    }
+
+    /// Numbers check sites in the compiled (possibly fused) bytecode:
+    /// walks each function's stream by [`op_len`] and assigns site
+    /// indices to check-shaped opcodes in stream order. Stream order
+    /// equals IR program order (the compiler flattens blocks in order;
+    /// fusion replaces adjacent pairs in place), so the ids agree with
+    /// [`Profiler::ir_sites`].
+    pub(crate) fn attach_bc(&mut self, bc: &BcModule) {
+        if self.bc_sites.is_some() {
+            return;
+        }
+        let mut per_func = Vec::with_capacity(bc.funcs.len());
+        for f in &bc.funcs {
+            let mut sites = HashMap::new();
+            let mut next = 0u32;
+            let mut pc = 0usize;
+            while pc < f.code.len() {
+                if matches!(
+                    Op::from_u32(f.code[pc]),
+                    Op::Check | Op::FnCheck | Op::CheckLoad | Op::CheckPtrLoad | Op::CheckedCall
+                ) {
+                    sites.insert(pc as u32, next);
+                    next += 1;
+                }
+                pc += op_len(&f.code, pc);
+            }
+            per_func.push(sites);
+        }
+        self.bc_sites = Some(per_func);
+    }
+
+    fn close_pending(&mut self, now: u64) {
+        if let Some((op, start)) = self.pending.take() {
+            self.op_cycles[op] += now.saturating_sub(start);
+        }
+    }
+
+    /// Marks the start of a run: cycles charged before the first
+    /// dispatch (entering `main`) accrue to the startup pseudo-op, so
+    /// per-op cycle totals sum exactly to the run's final cycle count.
+    pub(crate) fn begin_run(&mut self, now: u64) {
+        self.op_counts[STARTUP_SLOT] += 1;
+        self.pending = Some((STARTUP_SLOT, now));
+    }
+
+    /// One dispatch: closes the previous op's cycle window at `now` and
+    /// opens this one's. `op` is the `levee_bc::Op` discriminant (the
+    /// walker maps IR instructions onto the same space).
+    #[inline]
+    pub(crate) fn dispatch(&mut self, op: usize, now: u64) {
+        self.close_pending(now);
+        self.op_counts[op] += 1;
+        self.pending = Some((op, now));
+    }
+
+    /// A frame was pushed for `func` (hooked at the end of
+    /// `push_frame`, so call-setup cost stays with the caller).
+    pub(crate) fn enter(&mut self, func: u32, cycles: u64, insts: u64, checks: u64) {
+        self.funcs[func as usize].calls += 1;
+        self.funcs[func as usize].active += 1;
+        self.ring.push(TraceEvent {
+            kind: TraceEventKind::Call,
+            cycles,
+            a: func as u64,
+            b: self.stack.len() as u64 + 1,
+        });
+        self.stack.push(ProbeFrame {
+            func,
+            entry_cycles: cycles,
+            entry_insts: insts,
+            entry_checks: checks,
+            child_cycles: 0,
+            child_insts: 0,
+            child_checks: 0,
+        });
+    }
+
+    /// A frame was popped (hooked in `pop_frame`, which covers returns,
+    /// longjmp unwinds and the clean exit from `main`; return-sequence
+    /// cost therefore stays with the callee).
+    pub(crate) fn exit(&mut self, cycles: u64, insts: u64, checks: u64) {
+        let Some(fr) = self.stack.pop() else {
+            return;
+        };
+        let incl_c = cycles.saturating_sub(fr.entry_cycles);
+        let incl_i = insts.saturating_sub(fr.entry_insts);
+        let incl_k = checks.saturating_sub(fr.entry_checks);
+        let acc = &mut self.funcs[fr.func as usize];
+        if acc.active == 1 {
+            // Outermost occurrence: recursion contributes inclusive
+            // time exactly once.
+            acc.incl_cycles += incl_c;
+            acc.incl_insts += incl_i;
+            acc.incl_checks += incl_k;
+        }
+        acc.active -= 1;
+        acc.excl_cycles += incl_c.saturating_sub(fr.child_cycles);
+        acc.excl_insts += incl_i.saturating_sub(fr.child_insts);
+        acc.excl_checks += incl_k.saturating_sub(fr.child_checks);
+        if let Some(parent) = self.stack.last_mut() {
+            parent.child_cycles += incl_c;
+            parent.child_insts += incl_i;
+            parent.child_checks += incl_k;
+        }
+        self.ring.push(TraceEvent {
+            kind: TraceEventKind::Return,
+            cycles,
+            a: fr.func as u64,
+            b: self.stack.len() as u64 + 1,
+        });
+    }
+
+    /// Ends the run: closes the pending op at the final cycle count and
+    /// force-exits frames that never returned (trap unwind), so every
+    /// call has a matching return and attribution sums telescope.
+    pub(crate) fn end_run(&mut self, cycles: u64, insts: u64, checks: u64, trapped: bool) {
+        self.close_pending(cycles);
+        while !self.stack.is_empty() {
+            self.exit(cycles, insts, checks);
+        }
+        if trapped {
+            self.ring.push(TraceEvent {
+                kind: TraceEventKind::Trap,
+                cycles,
+                a: 0,
+                b: 0,
+            });
+        }
+    }
+
+    fn check_attempt(&mut self, func: u32, site: u32, now: u64) {
+        let e = self.site_hits.entry((func, site)).or_default();
+        e.0 += 1;
+        self.ring.push(TraceEvent {
+            kind: TraceEventKind::Check,
+            cycles: now,
+            a: func as u64,
+            b: site as u64,
+        });
+    }
+
+    fn check_pass(&mut self, func: u32, site: u32) {
+        if let Some(e) = self.site_hits.get_mut(&(func, site)) {
+            e.1 += 1;
+        }
+    }
+
+    /// A walker CPI check is about to run at `(func, block, ip)`.
+    pub(crate) fn check_attempt_ir(&mut self, key: (u32, u32, u32), now: u64) {
+        if let Some(&site) = self.ir_sites.get(&key) {
+            self.check_attempt(key.0, site, now);
+        }
+    }
+
+    /// The walker CPI check at `(func, block, ip)` passed.
+    pub(crate) fn check_pass_ir(&mut self, key: (u32, u32, u32)) {
+        if let Some(&site) = self.ir_sites.get(&key) {
+            self.check_pass(key.0, site);
+        }
+    }
+
+    /// A bytecode CPI check is about to run at `func`'s stream offset
+    /// `pc` (the opcode word of a check-shaped instruction).
+    pub(crate) fn check_attempt_bc(&mut self, func: u32, pc: u32, now: u64) {
+        let site = self
+            .bc_sites
+            .as_ref()
+            .and_then(|per| per.get(func as usize))
+            .and_then(|m| m.get(&pc))
+            .copied();
+        if let Some(site) = site {
+            self.check_attempt(func, site, now);
+        }
+    }
+
+    /// The bytecode CPI check at (`func`, `pc`) passed.
+    pub(crate) fn check_pass_bc(&mut self, func: u32, pc: u32) {
+        let site = self
+            .bc_sites
+            .as_ref()
+            .and_then(|per| per.get(func as usize))
+            .and_then(|m| m.get(&pc))
+            .copied();
+        if let Some(site) = site {
+            self.check_pass(func, site);
+        }
+    }
+
+    /// A safe-pointer-store operation executed at `addr`.
+    pub(crate) fn store_op(&mut self, cycles: u64, addr: u64, is_load: bool) {
+        self.ring.push(TraceEvent {
+            kind: TraceEventKind::StoreOp,
+            cycles,
+            a: addr,
+            b: is_load as u64,
+        });
+    }
+
+    /// A safe-store page fault was charged near `addr`.
+    pub(crate) fn page_fault(&mut self, cycles: u64, addr: u64) {
+        self.ring.push(TraceEvent {
+            kind: TraceEventKind::PageFault,
+            cycles,
+            a: addr,
+            b: 0,
+        });
+    }
+
+    /// Snapshots the accumulated attribution into a serializable
+    /// report, resolving function names through `module`.
+    pub(crate) fn report(&self, module: &Module, stats: &ExecStats) -> ProfileReport {
+        let mut ops: Vec<OpProfile> = (0..=N_OPS)
+            .filter(|&i| self.op_counts[i] > 0 || self.op_cycles[i] > 0)
+            .map(|i| OpProfile {
+                name: if i == STARTUP_SLOT {
+                    "(startup)".to_string()
+                } else {
+                    format!("{:?}", Op::from_u32(i as u32))
+                },
+                count: self.op_counts[i],
+                cycles: self.op_cycles[i],
+            })
+            .collect();
+        ops.sort_by(|a, b| b.cycles.cmp(&a.cycles).then(a.name.cmp(&b.name)));
+
+        let func_names: Vec<String> = module.iter_funcs().map(|(_, f)| f.name.clone()).collect();
+        let mut funcs: Vec<FuncProfile> = self
+            .funcs
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.calls > 0)
+            .map(|(i, a)| FuncProfile {
+                name: func_names[i].clone(),
+                calls: a.calls,
+                incl_cycles: a.incl_cycles,
+                excl_cycles: a.excl_cycles,
+                incl_insts: a.incl_insts,
+                excl_insts: a.excl_insts,
+                incl_checks: a.incl_checks,
+                excl_checks: a.excl_checks,
+            })
+            .collect();
+        funcs.sort_by(|a, b| b.incl_cycles.cmp(&a.incl_cycles).then(a.name.cmp(&b.name)));
+
+        let mut check_sites: Vec<CheckSiteProfile> = self
+            .site_hits
+            .iter()
+            .map(|(&(func, site), &(attempts, passes))| CheckSiteProfile {
+                func: func_names
+                    .get(func as usize)
+                    .cloned()
+                    .unwrap_or_else(|| format!("f{func}")),
+                site,
+                attempts,
+                passes,
+            })
+            .collect();
+        check_sites.sort_by(|a, b| {
+            b.attempts
+                .cmp(&a.attempts)
+                .then(a.func.cmp(&b.func))
+                .then(a.site.cmp(&b.site))
+        });
+
+        ProfileReport {
+            total_cycles: stats.cycles,
+            total_insts: stats.insts,
+            ops,
+            funcs,
+            check_sites,
+            func_names,
+            events: self.ring.events(),
+            dropped_events: self.ring.dropped,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The report
+// ---------------------------------------------------------------------------
+
+/// Per-opcode attribution row (see [`ProfileReport::ops`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpProfile {
+    /// Opcode name (`levee_bc::Op` debug name, or `"(startup)"` for the
+    /// pre-dispatch prologue pseudo-row).
+    pub name: String,
+    /// Dispatch count.
+    pub count: u64,
+    /// Cycles attributed to this opcode's dispatch windows.
+    pub cycles: u64,
+}
+
+/// Per-function attribution row (see [`ProfileReport::funcs`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncProfile {
+    /// Function name.
+    pub name: String,
+    /// Frames pushed for this function.
+    pub calls: u64,
+    /// Cycles inside this function including its callees (recursion
+    /// counted once, at the outermost occurrence).
+    pub incl_cycles: u64,
+    /// Cycles inside this function excluding its callees.
+    pub excl_cycles: u64,
+    /// Instructions, inclusive.
+    pub incl_insts: u64,
+    /// Instructions, exclusive.
+    pub excl_insts: u64,
+    /// Checks executed, inclusive.
+    pub incl_checks: u64,
+    /// Checks executed, exclusive.
+    pub excl_checks: u64,
+}
+
+/// Per-CPI-check-site hit/miss counters (see
+/// [`ProfileReport::check_sites`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckSiteProfile {
+    /// Enclosing function.
+    pub func: String,
+    /// Site index within the function (program order).
+    pub site: u32,
+    /// Times the check was reached.
+    pub attempts: u64,
+    /// Times it passed.
+    pub passes: u64,
+}
+
+impl CheckSiteProfile {
+    /// Failed attempts (at most one per run: a failed check traps).
+    pub fn misses(&self) -> u64 {
+        self.attempts - self.passes
+    }
+}
+
+/// The profiling result of one run: per-opcode, per-function and
+/// per-check-site attribution plus the trace-event ring.
+///
+/// Obtained from `Machine::profile_report` (or
+/// `levee_core::session::RunReport::profile` at the embedding layer;
+/// see also [`crate::ExecStats`] for the whole-run aggregates these
+/// tables decompose). The invariant the differential suites pin down:
+/// [`ProfileReport::op_cycle_total`] equals [`crate::ExecStats::cycles`]
+/// exactly — attribution is a partition of the run, not a sample.
+#[derive(Debug, Clone)]
+pub struct ProfileReport {
+    /// Final cycle count of the run (equals the sum over
+    /// [`ProfileReport::ops`]).
+    pub total_cycles: u64,
+    /// Final instruction count of the run.
+    pub total_insts: u64,
+    /// Per-opcode rows, sorted by cycles descending.
+    pub ops: Vec<OpProfile>,
+    /// Per-function rows, sorted by inclusive cycles descending.
+    pub funcs: Vec<FuncProfile>,
+    /// Per-check-site rows, sorted by attempts descending.
+    pub check_sites: Vec<CheckSiteProfile>,
+    /// Function names by `FuncId` (resolves trace-event payloads).
+    pub func_names: Vec<String>,
+    /// The retained trace events, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Events dropped because the ring wrapped.
+    pub dropped_events: u64,
+}
+
+impl ProfileReport {
+    /// Sum of per-opcode cycle attribution — equals
+    /// [`ProfileReport::total_cycles`] exactly (enforced by the
+    /// `engine_compare --profile` gate).
+    pub fn op_cycle_total(&self) -> u64 {
+        self.ops.iter().map(|o| o.cycles).sum()
+    }
+
+    /// Dispatch count of the named opcode (0 when it never ran).
+    pub fn op_count(&self, name: &str) -> u64 {
+        self.ops
+            .iter()
+            .find(|o| o.name == name)
+            .map_or(0, |o| o.count)
+    }
+
+    /// Renders the attribution tables as one JSON object (hand-rolled,
+    /// like every serializer in this codebase). Trace events are *not*
+    /// included — export them with
+    /// [`ProfileReport::chrome_trace_json`].
+    pub fn to_json(&self) -> String {
+        let esc = |s: &str| {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        };
+        let ops: Vec<String> = self
+            .ops
+            .iter()
+            .map(|o| {
+                format!(
+                    "{{\"op\": {}, \"count\": {}, \"cycles\": {}}}",
+                    esc(&o.name),
+                    o.count,
+                    o.cycles
+                )
+            })
+            .collect();
+        let funcs: Vec<String> = self
+            .funcs
+            .iter()
+            .map(|f| {
+                format!(
+                    "{{\"func\": {}, \"calls\": {}, \"incl_cycles\": {}, \
+                     \"excl_cycles\": {}, \"incl_insts\": {}, \"excl_insts\": {}, \
+                     \"incl_checks\": {}, \"excl_checks\": {}}}",
+                    esc(&f.name),
+                    f.calls,
+                    f.incl_cycles,
+                    f.excl_cycles,
+                    f.incl_insts,
+                    f.excl_insts,
+                    f.incl_checks,
+                    f.excl_checks
+                )
+            })
+            .collect();
+        let sites: Vec<String> = self
+            .check_sites
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"func\": {}, \"site\": {}, \"attempts\": {}, \"passes\": {}, \
+                     \"misses\": {}}}",
+                    esc(&s.func),
+                    s.site,
+                    s.attempts,
+                    s.passes,
+                    s.misses()
+                )
+            })
+            .collect();
+        format!(
+            "{{\"total_cycles\": {}, \"total_insts\": {}, \"dropped_events\": {}, \
+             \"ops\": [{}], \"funcs\": [{}], \"check_sites\": [{}]}}",
+            self.total_cycles,
+            self.total_insts,
+            self.dropped_events,
+            ops.join(", "),
+            funcs.join(", "),
+            sites.join(", ")
+        )
+    }
+
+    /// Exports the trace-event ring in the Chrome trace-event format
+    /// (load the output in `chrome://tracing`, Perfetto or `speedscope`
+    /// for a flamegraph): calls/returns become duration begin/end
+    /// events, everything else instant events, with the simulated cycle
+    /// count as the microsecond timestamp.
+    pub fn chrome_trace_json(&self) -> String {
+        let name_of = |id: u64| -> String {
+            self.func_names
+                .get(id as usize)
+                .cloned()
+                .unwrap_or_else(|| format!("f{id}"))
+        };
+        let mut rows = Vec::with_capacity(self.events.len());
+        for ev in &self.events {
+            let row = match ev.kind {
+                TraceEventKind::Call => format!(
+                    "{{\"name\": \"{}\", \"ph\": \"B\", \"ts\": {}, \"pid\": 1, \"tid\": 1}}",
+                    name_of(ev.a).replace('"', ""),
+                    ev.cycles
+                ),
+                TraceEventKind::Return => format!(
+                    "{{\"name\": \"{}\", \"ph\": \"E\", \"ts\": {}, \"pid\": 1, \"tid\": 1}}",
+                    name_of(ev.a).replace('"', ""),
+                    ev.cycles
+                ),
+                kind => format!(
+                    "{{\"name\": \"{}\", \"ph\": \"i\", \"s\": \"t\", \"ts\": {}, \
+                     \"pid\": 1, \"tid\": 1, \"args\": {{\"a\": {}, \"b\": {}}}}}",
+                    kind.name(),
+                    ev.cycles,
+                    ev.a,
+                    ev.b
+                ),
+            };
+            rows.push(row);
+        }
+        format!(
+            "{{\"traceEvents\": [{}], \"displayTimeUnit\": \"ms\"}}",
+            rows.join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn touch_projection_strips_tags() {
+        let recs = [
+            TouchRecord {
+                addr: 0x10,
+                kind: TouchKind::Read,
+                width: 8,
+            },
+            TouchRecord {
+                addr: 0x20,
+                kind: TouchKind::Write,
+                width: 1,
+            },
+        ];
+        assert_eq!(touch_addrs(&recs), vec![0x10, 0x20]);
+        assert_eq!(TouchKind::Read.label(), "R");
+        assert_eq!(TouchKind::Write.label(), "W");
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_counts_drops() {
+        let mut r = TraceRing::new(3);
+        for i in 0..5u64 {
+            r.push(TraceEvent {
+                kind: TraceEventKind::Check,
+                cycles: i,
+                a: i,
+                b: 0,
+            });
+        }
+        let evs = r.events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(
+            evs.iter().map(|e| e.cycles).collect::<Vec<_>>(),
+            vec![2, 3, 4],
+            "oldest events drop first"
+        );
+        assert_eq!(r.dropped, 2);
+    }
+
+    #[test]
+    fn op_attribution_telescopes_to_the_final_cycle_count() {
+        let module = Module::new("t");
+        let mut p = Profiler::new(&module);
+        p.begin_run(0);
+        p.dispatch(Op::Load as usize, 10); // startup window: 10 cycles
+        p.dispatch(Op::Store as usize, 25); // Load window: 15
+        p.end_run(40, 3, 0, false); // Store window: 15
+        let stats = ExecStats {
+            cycles: 40,
+            insts: 3,
+            ..Default::default()
+        };
+        let report = p.report(&module, &stats);
+        assert_eq!(report.op_cycle_total(), 40);
+        assert_eq!(report.op_count("Load"), 1);
+        assert_eq!(report.op_count("Store"), 1);
+        assert_eq!(report.op_count("(startup)"), 1);
+    }
+
+    #[test]
+    fn function_attribution_splits_inclusive_and_exclusive() {
+        let mut module = Module::new("t");
+        let f = |name: &str| {
+            let mut b = FuncBuilder::new(name, FnSig::new(vec![], Ty::Void));
+            b.ret(None);
+            b.finish()
+        };
+        module.add_func(f("outer"));
+        module.add_func(f("inner"));
+        let mut p = Profiler::new(&module);
+        p.begin_run(0);
+        p.enter(0, 10, 1, 0); // outer at cycle 10
+        p.enter(1, 30, 3, 0); // inner at cycle 30
+        p.exit(70, 7, 0); // inner: incl 40
+        p.exit(100, 10, 0); // outer: incl 90, excl 50
+        p.end_run(100, 10, 0, false);
+        let stats = ExecStats {
+            cycles: 100,
+            ..Default::default()
+        };
+        let r = p.report(&module, &stats);
+        let outer = r.funcs.iter().find(|f| f.name == "outer").unwrap();
+        let inner = r.funcs.iter().find(|f| f.name == "inner").unwrap();
+        assert_eq!(outer.incl_cycles, 90);
+        assert_eq!(outer.excl_cycles, 50);
+        assert_eq!(inner.incl_cycles, 40);
+        assert_eq!(inner.excl_cycles, 40);
+        assert_eq!(outer.calls, 1);
+    }
+
+    #[test]
+    fn recursion_counts_inclusive_once() {
+        let mut module = Module::new("t");
+        let mut b = FuncBuilder::new("rec", FnSig::new(vec![], Ty::Void));
+        b.ret(None);
+        module.add_func(b.finish());
+        let mut p = Profiler::new(&module);
+        p.begin_run(0);
+        p.enter(0, 0, 0, 0);
+        p.enter(0, 10, 0, 0); // recursive call
+        p.exit(20, 0, 0); // inner: incl 10 (not added: still active below)
+        p.exit(30, 0, 0); // outer: incl 30
+        p.end_run(30, 0, 0, false);
+        let stats = ExecStats::default();
+        let r = p.report(&module, &stats);
+        let rec = &r.funcs[0];
+        assert_eq!(rec.calls, 2);
+        assert_eq!(rec.incl_cycles, 30, "recursion counted once, outermost");
+        assert_eq!(rec.excl_cycles, 30, "all cycles are exclusive to rec");
+    }
+
+    #[test]
+    fn trap_unwind_closes_open_frames() {
+        let mut module = Module::new("t");
+        let mut b = FuncBuilder::new("main", FnSig::new(vec![], Ty::Void));
+        b.ret(None);
+        module.add_func(b.finish());
+        let mut p = Profiler::new(&module);
+        p.begin_run(0);
+        p.enter(0, 5, 1, 0);
+        p.end_run(50, 9, 2, true);
+        let stats = ExecStats {
+            cycles: 50,
+            ..Default::default()
+        };
+        let r = p.report(&module, &stats);
+        assert_eq!(r.funcs[0].incl_cycles, 45);
+        assert!(matches!(
+            r.events.last().map(|e| e.kind),
+            Some(TraceEventKind::Trap)
+        ));
+        // Balanced call/return events even on the trap path.
+        let calls = r
+            .events
+            .iter()
+            .filter(|e| e.kind == TraceEventKind::Call)
+            .count();
+        let rets = r
+            .events
+            .iter()
+            .filter(|e| e.kind == TraceEventKind::Return)
+            .count();
+        assert_eq!(calls, rets);
+    }
+
+    #[test]
+    fn report_json_is_balanced_and_chrome_export_shapes_up() {
+        let module = Module::new("t");
+        let mut p = Profiler::new(&module);
+        p.begin_run(0);
+        p.dispatch(Op::Check as usize, 4);
+        p.store_op(5, 0x1000, false);
+        p.page_fault(6, 0x2000);
+        p.end_run(10, 2, 1, true);
+        let stats = ExecStats {
+            cycles: 10,
+            insts: 2,
+            ..Default::default()
+        };
+        let r = p.report(&module, &stats);
+        let j = r.to_json();
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(j.contains("\"total_cycles\": 10"));
+        let c = r.chrome_trace_json();
+        assert_eq!(c.matches('{').count(), c.matches('}').count());
+        assert!(c.contains("\"traceEvents\""));
+        assert!(c.contains("store_op"));
+        assert!(c.contains("page_fault"));
+        assert!(c.contains("trap"));
+    }
+}

@@ -1,6 +1,13 @@
 //! Execution statistics: the raw material of every table and figure.
 
 /// Counters accumulated during one run.
+///
+/// These are the whole-run aggregates; the execution profiler
+/// ([`crate::ProfileReport`], enabled via [`crate::VmConfig::profile`]
+/// or `levee_core::session::SessionBuilder::profile` at the embedding
+/// layer) decomposes [`cycles`](ExecStats::cycles) into per-opcode,
+/// per-function and per-check-site attribution without perturbing any
+/// counter here.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ExecStats {
     /// Total simulated cycles (the "time" axis of every overhead table).
@@ -48,19 +55,24 @@ impl ExecStats {
     }
 
     /// Overhead of `self` relative to a baseline run, in percent
-    /// (positive = slower).
+    /// (positive = slower). A degenerate baseline (zero cycles) yields
+    /// `f64::NAN`, *not* `0.0` — a broken baseline must not read as "no
+    /// overhead" in a results table (formatters render it as `n/a`; see
+    /// `levee-core`'s `RunReport` and the bench table helpers).
     pub fn overhead_pct(&self, baseline: &ExecStats) -> f64 {
         if baseline.cycles == 0 {
-            return 0.0;
+            return f64::NAN;
         }
         (self.cycles as f64 / baseline.cycles as f64 - 1.0) * 100.0
     }
 
     /// Memory overhead relative to a baseline run, in percent, counting
     /// safe-region store bytes against the baseline's regular residency.
+    /// `f64::NAN` on a degenerate (zero-residency) baseline, like
+    /// [`ExecStats::overhead_pct`].
     pub fn memory_overhead_pct(&self, baseline: &ExecStats) -> f64 {
         if baseline.regular_bytes == 0 {
-            return 0.0;
+            return f64::NAN;
         }
         let extra = (self.regular_bytes + self.store_bytes) as f64 - baseline.regular_bytes as f64;
         extra / baseline.regular_bytes as f64 * 100.0
@@ -68,10 +80,11 @@ impl ExecStats {
 
     /// Safe-pointer-store memory as a fraction of the baseline's
     /// regular residency — the §5.2 memory-overhead metric (safe stacks
-    /// replace regular stacks one-for-one and are excluded).
+    /// replace regular stacks one-for-one and are excluded). `f64::NAN`
+    /// on a degenerate baseline, like [`ExecStats::overhead_pct`].
     pub fn store_overhead_pct(&self, baseline: &ExecStats) -> f64 {
         if baseline.regular_bytes == 0 {
-            return 0.0;
+            return f64::NAN;
         }
         self.store_bytes as f64 / baseline.regular_bytes as f64 * 100.0
     }
@@ -123,5 +136,19 @@ mod tests {
             ..Default::default()
         };
         assert!((run.memory_overhead_pct(&base) - 13.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_baselines_are_nan_not_zero() {
+        let empty = ExecStats::default();
+        let run = ExecStats {
+            cycles: 1000,
+            regular_bytes: 1000,
+            store_bytes: 100,
+            ..Default::default()
+        };
+        assert!(run.overhead_pct(&empty).is_nan());
+        assert!(run.memory_overhead_pct(&empty).is_nan());
+        assert!(run.store_overhead_pct(&empty).is_nan());
     }
 }

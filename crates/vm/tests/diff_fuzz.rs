@@ -12,6 +12,8 @@
 //! * walker, fusion on           (fusion must be a no-op here)
 //! * bytecode, fusion off        (the PR-1 differential claim)
 //! * bytecode, fusion on         (the superinstruction tier)
+//! * bytecode, fusion on, profiler on  (profiling is host-side
+//!   observation: every counter must be bit-identical with it on)
 //!
 //! …and the whole lineup repeats for every safe-pointer-store
 //! organization (`DIFF_FUZZ_STORES` selects a subset by name, e.g.
@@ -319,12 +321,13 @@ const ALL_CONFIGS: &[BuildConfig] = &[
     BuildConfig::SoftBound,
 ];
 
-/// The four (engine × fusion) configurations under test.
-const LINEUP: [(Engine, bool, &str); 4] = [
-    (Engine::Walk, false, "walk/unfused"),
-    (Engine::Walk, true, "walk/fused"),
-    (Engine::Bytecode, false, "bytecode/unfused"),
-    (Engine::Bytecode, true, "bytecode/fused"),
+/// The (engine × fusion × profiler) configurations under test.
+const LINEUP: [(Engine, bool, bool, &str); 5] = [
+    (Engine::Walk, false, false, "walk/unfused"),
+    (Engine::Walk, true, false, "walk/fused"),
+    (Engine::Bytecode, false, false, "bytecode/unfused"),
+    (Engine::Bytecode, true, false, "bytecode/fused"),
+    (Engine::Bytecode, true, true, "bytecode/fused profile-on"),
 ];
 
 /// Store organizations to fuzz: `DIFF_FUZZ_STORES` is a comma-separated
@@ -369,9 +372,12 @@ fn differential(src: &str, config: BuildConfig, fuel: u64, what: &str) {
         base.store_kind = store;
         let runs: Vec<(RunOutcome, &str)> = LINEUP
             .iter()
-            .map(|&(engine, fusion, name)| {
-                let mut vm =
-                    Machine::new(&built.module, base.with_engine(engine).with_fusion(fusion));
+            .map(|&(engine, fusion, profile, name)| {
+                let cfg = base
+                    .with_engine(engine)
+                    .with_fusion(fusion)
+                    .with_profile(profile);
+                let mut vm = Machine::new(&built.module, cfg);
                 (vm.run(b""), name)
             })
             .collect();

@@ -66,7 +66,11 @@ fn assert_same(a: &RunReport, b: &RunReport, ctx: &str) {
 /// engine (fused and unfused) and asserts every observable of the three
 /// runs agrees. One session serves all three configurations — the
 /// module is compiled once and the resident machine is rebuilt per
-/// engine via `Session::reconfigure`. Returns the (identical) report.
+/// engine via `Session::reconfigure`. Every configuration also runs a
+/// profile-on twin: the profiler is host-side observation only, so all
+/// simulated counters must be bit-identical with it on, and its per-op
+/// cycle attribution must telescope to exactly the run's cycle total.
+/// Returns the (identical) report.
 fn differential(src: &str, config: BuildConfig, base: VmConfig, what: &str) -> RunReport {
     let mut session = Session::builder()
         .source(src)
@@ -76,16 +80,37 @@ fn differential(src: &str, config: BuildConfig, base: VmConfig, what: &str) -> R
         .build()
         .unwrap_or_else(|e| panic!("{what}: failed to build under {}: {e}", config.name()));
     let derived = session.vm_config();
-    let runs = lineup(derived).map(|(cfg, name)| {
+    let mut runs = Vec::new();
+    for (cfg, name) in lineup(derived) {
         session.reconfigure(|c| *c = cfg);
-        (session.run(b""), name)
-    });
+        let plain = session.run(b"");
+        session.reconfigure(|c| {
+            *c = cfg;
+            c.profile = true;
+        });
+        let profiled = session.run(b"");
+        let ctx = format!("{what} under {} [{name} profile-on]", config.name());
+        assert_same(&plain, &profiled, &ctx);
+        let report = profiled
+            .profile
+            .as_ref()
+            .expect("profiled run must carry a report");
+        assert_eq!(
+            report.op_cycle_total(),
+            profiled.exec.cycles,
+            "{ctx}: per-op cycle attribution must telescope to the run total"
+        );
+        assert_eq!(
+            report.total_insts, profiled.exec.insts,
+            "{ctx}: instruction attribution must match the run total"
+        );
+        runs.push((plain, name));
+    }
     for (run, name) in &runs[1..] {
         let ctx = format!("{what} under {} [{name}]", config.name());
         assert_same(&runs[0].0, run, &ctx);
     }
-    let [(walk, _), _, _] = runs;
-    walk
+    runs.swap_remove(0).0
 }
 
 #[test]
@@ -236,8 +261,15 @@ fn ripe_attack_matrix_verdicts_agree_across_engines() {
     for profile in Profile::paper_lineup() {
         for (i, attack) in attacks.iter().enumerate() {
             let seed = 0xD1FF ^ (i as u64).wrapping_mul(0x9E37_79B9);
+            // The fused bytecode tier also runs with the profiler on:
+            // profiling must never change an attack's verdict.
+            let profiled_cfg = VmConfig::default()
+                .with_engine(Engine::Bytecode)
+                .with_fusion(true)
+                .with_profile(true);
             let mut verdicts = lineup(VmConfig::default())
                 .into_iter()
+                .chain(std::iter::once((profiled_cfg, "bytecode/fused profile-on")))
                 .map(|(cfg, name)| (run_attack_with(attack, &profile, seed, cfg), name));
             let (walk, _) = verdicts.next().expect("walk verdict");
             for (verdict, name) in verdicts {
@@ -375,9 +407,15 @@ fn superinstruction_cycles_equal_constituent_sums() {
 /// The fused engine must perform the *same memory touches in the same
 /// order* as the unfused pair — not merely the same totals. The touch
 /// log covers every simulated access: program loads/stores, frame
-/// slots, and the safe-store traffic recorded through `Touched`.
+/// slots, and the safe-store traffic recorded through `Touched`. The
+/// log records tagged (read/write + width) entries; the cross-engine
+/// claim is about the *address sequence*, so the diff runs on the
+/// `mem_trace_addrs` projection. Each configuration also logs with the
+/// profiler on — the touch sequence must not move by a single entry.
 #[test]
 fn fused_memory_ops_touch_the_same_sequence() {
+    use levee_vm::TouchKind;
+
     let program = kernels::assemble(
         &[kernels::VCALL, kernels::NUMERIC],
         &[("vcall_kernel", 60), ("numeric_kernel", 200)],
@@ -390,15 +428,32 @@ fn fused_memory_ops_touch_the_same_sequence() {
             .build()
             .expect("kernels build");
         let base = session.vm_config();
-        let mut logs = Vec::new();
+        let mut logs: Vec<(Vec<u64>, String)> = Vec::new();
         for (cfg, name) in lineup(base) {
-            // reconfigure rebuilds the machine, so tracing re-arms per
-            // engine configuration.
-            session.reconfigure(|c| *c = cfg);
-            session.enable_mem_trace();
-            let out = session.run(b"");
-            assert_eq!(out.status, ExitStatus::Exited(0), "{name} must succeed");
-            logs.push((session.mem_trace().to_vec(), name));
+            for profile in [false, true] {
+                // reconfigure rebuilds the machine, so tracing re-arms
+                // per engine configuration.
+                session.reconfigure(|c| {
+                    *c = cfg;
+                    c.profile = profile;
+                });
+                session.enable_mem_trace();
+                let out = session.run(b"");
+                assert_eq!(out.status, ExitStatus::Exited(0), "{name} must succeed");
+                let tagged = session.mem_trace();
+                assert!(
+                    tagged.iter().any(|r| r.kind == TouchKind::Read)
+                        && tagged.iter().any(|r| r.kind == TouchKind::Write),
+                    "{name}: tagged log must classify reads and writes"
+                );
+                assert_eq!(
+                    session.mem_trace_addrs(),
+                    levee_vm::touch_addrs(tagged),
+                    "projection helpers must agree"
+                );
+                let tag = if profile { " profile-on" } else { "" };
+                logs.push((session.mem_trace_addrs(), format!("{name}{tag}")));
+            }
         }
         assert!(!logs[0].0.is_empty(), "trace must record touches");
         for (log, name) in &logs[1..] {

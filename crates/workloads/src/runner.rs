@@ -130,7 +130,11 @@ pub fn summarize(
     if values.is_empty() {
         return (0.0, 0.0, 0.0);
     }
-    values.sort_by(|a, b| a.partial_cmp(b).expect("overheads are finite"));
+    // total_cmp: a NaN overhead (degenerate zero-cycle baseline, see
+    // `ExecStats::overhead_pct`) sorts last instead of panicking, so it
+    // surfaces as the maximum ("n/a" once formatted) rather than
+    // aborting the whole table.
+    values.sort_by(|a, b| a.total_cmp(b));
     let avg = values.iter().sum::<f64>() / values.len() as f64;
     let median = values[values.len() / 2];
     let max = *values.last().expect("non-empty");
