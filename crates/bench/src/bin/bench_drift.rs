@@ -12,21 +12,25 @@
 //!   store organization, re-measured on the same dense population.
 //! * `value_traffic.json` — the compact slot size itself.
 //!
-//! Wall-clock columns in the baselines are machine-dependent and never
-//! gated; `webserver_throughput.json` therefore only gets a shape
-//! check (it must parse and carry its pages).
+//! * `webserver_throughput.json` — the deterministic per-request
+//!   snapshot-reset cost of each web-stack page (`pages_dirtied`,
+//!   `bytes_restored`): growth means the copy-on-write restore got
+//!   genuinely more expensive. Wall-clock columns in the baselines are
+//!   machine-dependent and never gated; the throughput numbers
+//!   themselves only get a shape check.
 //!
 //! Usage: `cargo run --release -p levee-bench --bin bench_drift
 //! [-- --threshold N] [--warn-only]`. `LEVEE_DRIFT_THRESHOLD` and
-//! `LEVEE_DRIFT_WARN_ONLY=1` override from the environment (CI runs
-//! warn-only first so a deliberate cost-model change can land together
-//! with its baseline refresh).
+//! `LEVEE_DRIFT_WARN_ONLY=1` override from the environment. CI runs
+//! this *enforcing*: a deliberate cost-model change lands together
+//! with its baseline refresh, and the env overrides are the escape
+//! hatch for the rare change whose refresh must follow separately.
 
 use std::path::PathBuf;
 
 use levee_bench::drift::{
-    check_engine_compare, check_memory_overhead, DriftCase, DriftReport, FreshCounters,
-    DEFAULT_THRESHOLD_PCT,
+    check_engine_compare, check_memory_overhead, check_webserver_reset, DriftCase, DriftReport,
+    FreshCounters, DEFAULT_THRESHOLD_PCT,
 };
 use levee_bench::geometry::{dense_bytes_per_entry, DENSE_ENTRIES};
 use levee_bench::json::Json;
@@ -34,6 +38,7 @@ use levee_bench::kernels::KERNELS;
 use levee_core::{BuildConfig, Session};
 use levee_rt::SLOT_SIZE;
 use levee_vm::{StoreKind, VmConfig};
+use levee_workloads::web_stack;
 
 fn baseline(name: &str) -> Result<Json, String> {
     let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "baselines", name]
@@ -118,6 +123,38 @@ fn check_webserver_shape(baseline: &Json) -> DriftReport {
     report
 }
 
+/// Measures the deterministic per-request snapshot-reset cost of every
+/// web-stack page: one resident session, two requests, the second
+/// request's [`levee_vm::ResetStats`] — `(page, pages dirtied, bytes
+/// restored)`. Mirrors `webserver_throughput`'s serving setup (CPI
+/// build, superpage store, snapshot resets are the default).
+fn fresh_reset_costs() -> Vec<(String, u64, u64)> {
+    web_stack()
+        .iter()
+        .map(|w| {
+            let mut session = Session::builder()
+                .source(&w.source(1))
+                .name(w.name)
+                .protection(BuildConfig::Cpi)
+                .store(StoreKind::ArraySuperpage)
+                .build()
+                .unwrap_or_else(|e| panic!("{}: page builds: {e}", w.name));
+            let reports = session.run_batch([b"".as_slice(), b"".as_slice()]);
+            let reset = reports[1].reset;
+            assert!(
+                reset.used_snapshot,
+                "{}: second request must recycle via the snapshot path",
+                w.name
+            );
+            (
+                w.name.to_string(),
+                reset.pages_dirtied,
+                reset.bytes_restored,
+            )
+        })
+        .collect()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut threshold = std::env::var("LEVEE_DRIFT_THRESHOLD")
@@ -175,9 +212,17 @@ fn main() {
         "value_traffic",
         baseline("value_traffic.json").map(|b| check_value_traffic(&b)),
     );
+    println!("re-measuring per-request snapshot-reset costs (web stack)...");
+    let reset_costs = fresh_reset_costs();
     absorb(
         "webserver_throughput",
-        baseline("webserver_throughput.json").map(|b| check_webserver_shape(&b)),
+        baseline("webserver_throughput.json").map(|b| {
+            let mut rep = check_webserver_shape(&b);
+            let mut reset = check_webserver_reset(&b, &reset_costs);
+            rep.cases.append(&mut reset.cases);
+            rep.errors.append(&mut reset.errors);
+            rep
+        }),
     );
 
     println!();

@@ -26,16 +26,69 @@ use levee_bench::geometry::{
 };
 use levee_bench::profile::profile_run;
 use levee_bench::{pct, BenchArgs, Table};
-use levee_core::BuildConfig;
+use levee_core::{BuildConfig, Session};
 use levee_rt::SLOT_SIZE;
 use levee_vm::StoreKind;
-use levee_workloads::{measure, spec_suite};
+use levee_workloads::{measure, spec_suite, web_stack};
 
 struct Shrink {
     org: &'static str,
     seed: f64,
     compact: f64,
     shrink: f64,
+}
+
+struct SnapshotFootprint {
+    page: &'static str,
+    snapshot_pages: usize,
+    snapshot_bytes: u64,
+    private_after_run: u64,
+    private_after_reset: u64,
+}
+
+/// The copy-on-write snapshot's residency cost per web-stack page: the
+/// post-load image is `Arc`-shared with live memory, so its *extra*
+/// cost is only the pages a run dirtied (each split into a private
+/// copy). After `reset` re-shares them, the snapshot is free again —
+/// asserted, because a leak here would grow every resident session by
+/// its full image size.
+fn measure_snapshot_footprint() -> Vec<SnapshotFootprint> {
+    web_stack()
+        .iter()
+        .map(|w| {
+            let mut session = Session::builder()
+                .source(&w.source(1))
+                .name(w.name)
+                .protection(BuildConfig::Cpi)
+                .store(StoreKind::ArraySuperpage)
+                .build()
+                .unwrap_or_else(|e| panic!("{}: page builds: {e}", w.name));
+            let snapshot_pages = session.snapshot_pages();
+            assert!(snapshot_pages > 0, "{}: boot captures a snapshot", w.name);
+            assert_eq!(
+                session.snapshot_private_bytes(),
+                0,
+                "{}: the fresh snapshot is fully shared with live memory",
+                w.name
+            );
+            session.run(b"");
+            let private_after_run = session.snapshot_private_bytes();
+            session.reset();
+            let private_after_reset = session.snapshot_private_bytes();
+            assert_eq!(
+                private_after_reset, 0,
+                "{}: reset must re-share every dirtied page",
+                w.name
+            );
+            SnapshotFootprint {
+                page: w.name,
+                snapshot_pages,
+                snapshot_bytes: snapshot_pages as u64 * levee_vm::mem::PAGE_SIZE,
+                private_after_run,
+                private_after_reset,
+            }
+        })
+        .collect()
 }
 
 fn measure_shrinks() -> Vec<Shrink> {
@@ -65,6 +118,7 @@ fn main() {
     let args = BenchArgs::parse();
     let json = args.json;
     let shrinks = measure_shrinks();
+    let footprints = measure_snapshot_footprint();
 
     if json {
         let mut rows = String::new();
@@ -77,9 +131,24 @@ fn main() {
         }
         rows.pop();
         rows.pop(); // trailing ",\n"
+        let mut snaps = String::new();
+        for f in &footprints {
+            snaps.push_str(&format!(
+                "    {{\"page\": \"{}\", \"snapshot_pages\": {}, \"snapshot_bytes\": {}, \
+                 \"private_after_run\": {}, \"private_after_reset\": {}}},\n",
+                f.page,
+                f.snapshot_pages,
+                f.snapshot_bytes,
+                f.private_after_run,
+                f.private_after_reset
+            ));
+        }
+        snaps.pop();
+        snaps.pop();
         println!(
             "{{\n  \"slot_size\": {SLOT_SIZE},\n  \"seed_slot_size\": {SEED_SLOT},\n  \
-             \"dense_entries\": {DENSE_ENTRIES},\n  \"orgs\": [\n{rows}\n  ]\n}}"
+             \"dense_entries\": {DENSE_ENTRIES},\n  \"orgs\": [\n{rows}\n  ],\n  \
+             \"snapshot_footprint\": [\n{snaps}\n  ]\n}}"
         );
         return;
     }
@@ -126,6 +195,29 @@ fn main() {
     }
     t2.print();
     println!("\nEvery organization must shrink ≥1.8x (asserted above).");
+
+    println!(
+        "\ncopy-on-write snapshot footprint (CPI web stack): the post-load image is\n\
+         Arc-shared with live memory, so its extra residency is only the pages a run\n\
+         dirtied; reset re-shares them (asserted to return to 0):\n"
+    );
+    let mut t3 = Table::new(&[
+        "page",
+        "snapshot pages",
+        "image bytes",
+        "private after run",
+        "after reset",
+    ]);
+    for f in &footprints {
+        t3.row(vec![
+            f.page.to_string(),
+            f.snapshot_pages.to_string(),
+            f.snapshot_bytes.to_string(),
+            f.private_after_run.to_string(),
+            f.private_after_reset.to_string(),
+        ]);
+    }
+    t3.print();
     if args.profile {
         let w = &spec_suite()[0];
         profile_run(

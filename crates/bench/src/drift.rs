@@ -218,6 +218,63 @@ pub fn check_memory_overhead(baseline: &Json, fresh: &[(String, f64)]) -> DriftR
     report
 }
 
+/// Compares fresh per-request snapshot-reset costs against the
+/// `webserver_throughput.json` baseline: `(page, pages dirtied per
+/// request, bytes restored per request)`. Throughput columns in that
+/// baseline are wall-clock and stay ungated; the reset cost is a
+/// *deterministic* counter (the same request dirties the same pages
+/// every time — the in-bin assert pins that), so growth here means the
+/// copy-on-write restore got genuinely more expensive, e.g. a new
+/// always-dirty page crept into the request path.
+pub fn check_webserver_reset(baseline: &Json, fresh: &[(String, u64, u64)]) -> DriftReport {
+    let mut report = DriftReport::default();
+    let Some(pages) = baseline.get("pages").and_then(Json::as_arr) else {
+        report
+            .errors
+            .push("webserver_throughput baseline: no \"pages\" array".into());
+        return report;
+    };
+    for row in pages {
+        let Some(page) = row.get("page").and_then(Json::as_str) else {
+            report
+                .errors
+                .push("webserver_throughput baseline: page row without name".into());
+            continue;
+        };
+        let key = format!("webserver_throughput/{page}");
+        let Some(&(_, pages_dirtied, bytes_restored)) =
+            fresh.iter().find(|(name, _, _)| name == page)
+        else {
+            report
+                .errors
+                .push(format!("{key}: no fresh measurement for this baseline row"));
+            continue;
+        };
+        for (metric, current) in [
+            ("pages_dirtied", pages_dirtied as f64),
+            ("bytes_restored", bytes_restored as f64),
+        ] {
+            match row.get(metric).and_then(Json::as_f64) {
+                Some(b) => report.cases.push(DriftCase {
+                    key: key.clone(),
+                    metric: metric.into(),
+                    baseline: b,
+                    current,
+                }),
+                None => report
+                    .errors
+                    .push(format!("{key}: baseline row lacks \"{metric}\"")),
+            }
+        }
+    }
+    if report.cases.is_empty() && report.errors.is_empty() {
+        report
+            .errors
+            .push("webserver_throughput baseline: empty pages array".into());
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,6 +355,60 @@ mod tests {
         assert!(!r.ok(DEFAULT_THRESHOLD_PCT));
         assert!(r.regressions(DEFAULT_THRESHOLD_PCT).len() == 2);
         assert!(r.render(5.0).contains("n/a"));
+    }
+
+    #[test]
+    fn webserver_reset_cost_gates_dirty_page_growth() {
+        let b = Json::parse(
+            r#"{"pages": [
+                {"page": "static-page", "resident_rps": 834, "pages_dirtied": 4, "bytes_restored": 8192},
+                {"page": "dynamic-page", "resident_rps": 572, "pages_dirtied": 4, "bytes_restored": 4096}
+            ]}"#,
+        )
+        .unwrap();
+        let ok = check_webserver_reset(
+            &b,
+            &[
+                ("static-page".into(), 4, 8192),
+                ("dynamic-page".into(), 4, 4096),
+            ],
+        );
+        assert!(ok.ok(DEFAULT_THRESHOLD_PCT), "{}", ok.render(5.0));
+        assert_eq!(ok.cases.len(), 4);
+
+        // One extra always-dirty page (4 -> 5 is +25%) trips the gate.
+        let grew = check_webserver_reset(
+            &b,
+            &[
+                ("static-page".into(), 5, 12288),
+                ("dynamic-page".into(), 4, 4096),
+            ],
+        );
+        assert!(!grew.ok(DEFAULT_THRESHOLD_PCT));
+        assert_eq!(grew.regressions(DEFAULT_THRESHOLD_PCT).len(), 2);
+
+        // A shrink is an improvement, not a regression.
+        let shrank = check_webserver_reset(
+            &b,
+            &[
+                ("static-page".into(), 3, 4096),
+                ("dynamic-page".into(), 4, 4096),
+            ],
+        );
+        assert!(shrank.ok(DEFAULT_THRESHOLD_PCT), "{}", shrank.render(5.0));
+
+        // A baseline page with no fresh twin is an error, not a pass.
+        let missing = check_webserver_reset(&b, &[("static-page".into(), 4, 8192)]);
+        assert!(!missing.ok(DEFAULT_THRESHOLD_PCT));
+        assert_eq!(missing.errors.len(), 1);
+
+        // Pre-snapshot baselines (no reset columns) are flagged so the
+        // baseline refresh cannot be forgotten.
+        let stale =
+            Json::parse(r#"{"pages": [{"page": "static-page", "resident_rps": 834}]}"#).unwrap();
+        let r = check_webserver_reset(&stale, &[("static-page".into(), 4, 8192)]);
+        assert!(!r.ok(DEFAULT_THRESHOLD_PCT));
+        assert_eq!(r.errors.len(), 2);
     }
 
     #[test]

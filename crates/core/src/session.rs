@@ -35,7 +35,7 @@ use levee_ir::{Intrinsic, Module};
 use levee_minic::CompileError;
 use levee_vm::{
     AttackerError, Engine, ExecStats, ExitStatus, GoalKind, GuessOutcome, Machine, ProfileReport,
-    StoreKind, TouchRecord, VmConfig,
+    ResetStats, StoreKind, TouchRecord, VmConfig,
 };
 
 use crate::driver::{build_source, BuildConfig, Built};
@@ -148,6 +148,14 @@ pub struct RunReport {
     /// counts, traps and touch sequences are bit-identical with the
     /// profiler on or off.
     pub profile: Option<ProfileReport>,
+    /// What re-arming the resident machine for this run cost
+    /// ([`Machine::last_reset_stats`]): pages dirtied by the *previous*
+    /// run, bytes copied back from the snapshot, store bytes restored.
+    /// All-zero for the first run of a session (no reset happened) and
+    /// `used_snapshot == false` whenever the loader path served the
+    /// reset. Kept outside [`ExecStats`] so recycled runs stay
+    /// bit-identical to fresh ones in every simulated counter.
+    pub reset: ResetStats,
 }
 
 impl RunReport {
@@ -222,9 +230,22 @@ impl RunReport {
             self.build.fnustack(),
             self.build.mo_fraction(),
         );
+        // Splice the reset-cost object in before the closing brace so
+        // the row stays one JSON object (the drift gate keys on these
+        // counters in the webserver baseline).
+        out.truncate(out.len() - 1);
+        out.push_str(&format!(
+            ", \"reset\": {{\"used_snapshot\": {}, \"pages_dirtied\": {}, \
+             \"bytes_restored\": {}, \"store_bytes_restored\": {}, \
+             \"meta_entries_dropped\": {}}}}}",
+            self.reset.used_snapshot,
+            self.reset.pages_dirtied,
+            self.reset.bytes_restored,
+            self.reset.store_bytes_restored,
+            self.reset.meta_entries_dropped,
+        ));
         if let Some(profile) = &self.profile {
-            // Splice the profile object in before the closing brace so
-            // the row stays one JSON object.
+            // Same splice for the profile object.
             out.truncate(out.len() - 1);
             out.push_str(", \"profile\": ");
             out.push_str(&profile.to_json());
@@ -511,6 +532,7 @@ impl Session {
             self.machine.reset();
         }
         self.ran = true;
+        let reset = self.machine.last_reset_stats();
         let out = self.machine.run(input);
         let profile = self.machine.profile_report();
         RunReport {
@@ -525,6 +547,7 @@ impl Session {
             exec: out.stats,
             build: self.built_ref().stats.clone(),
             profile,
+            reset,
         }
     }
 
@@ -548,6 +571,15 @@ impl Session {
     /// module load, N executions, each bit-identical to a fresh
     /// session's run (the reuse claim the `session` proptest pins
     /// down).
+    ///
+    /// Between items the machine is re-armed by [`Machine::reset`],
+    /// which by default restores from the copy-on-write post-load
+    /// snapshot captured at build time (`levee_vm::ResetMode::Snapshot`;
+    /// the dirty-page tracking lives in `levee_vm::mem::Memory`): each
+    /// recycle copies back only the pages, store entries and heap state
+    /// the previous request dirtied — the fork-per-request serving
+    /// model, without the fork. Each item's [`RunReport::reset`] says
+    /// what its re-arm cost.
     pub fn run_batch<I, B>(&mut self, inputs: I) -> Vec<RunReport>
     where
         I: IntoIterator<Item = B>,
@@ -691,6 +723,28 @@ impl Session {
     /// or the first bytecode-engine run).
     pub fn fuse_stats(&self) -> Option<levee_vm::FuseStats> {
         self.machine.fuse_stats()
+    }
+
+    /// What the most recent between-run [`Machine::reset`] cost
+    /// (all-zero before the first reset). The same value rides on
+    /// [`RunReport::reset`].
+    pub fn last_reset_stats(&self) -> ResetStats {
+        self.machine.last_reset_stats()
+    }
+
+    /// Pages held by the machine's post-load snapshot (0 under
+    /// `levee_vm::ResetMode::Loader`). Snapshot pages are shared
+    /// copy-on-write with the live image, so this is *not* extra
+    /// residency — see [`Session::snapshot_private_bytes`].
+    pub fn snapshot_pages(&self) -> usize {
+        self.machine.snapshot_pages()
+    }
+
+    /// Bytes the snapshot holds privately (pre-write copies of pages
+    /// the current run dirtied) — the snapshot's true incremental
+    /// memory footprint, reported by the `memory_overhead` bench.
+    pub fn snapshot_private_bytes(&self) -> u64 {
+        self.machine.snapshot_private_bytes()
     }
 }
 

@@ -1,8 +1,9 @@
 //! Session-reuse property suite: `Session::run_batch` over N generated
 //! inputs must be **bit-identical** to N freshly built sessions — for
 //! every counter (status, output, instructions, cycles, checks), across
-//! both execution engines and all four safe-pointer-store
-//! organizations.
+//! both execution engines, all four safe-pointer-store organizations,
+//! and both machine-recycling paths (copy-on-write snapshot restore —
+//! the default — and the full loader rebuild).
 //!
 //! This is the gate on the API redesign's central claim: serving many
 //! runs from one resident machine (`Machine::reset` between runs) is
@@ -15,7 +16,7 @@
 //! entries, provenance handles, output buffers — varies case to case.
 
 use levee_core::{BuildConfig, RunReport, Session};
-use levee_vm::{Engine, StoreKind};
+use levee_vm::{Engine, ResetMode, StoreKind};
 use proptest::prelude::*;
 
 /// A small program family: input-dependent control flow, array and
@@ -112,8 +113,17 @@ proptest! {
                         .build()
                         .expect("template builds")
                 };
+                // The default batch recycles through copy-on-write
+                // snapshot resets; a loader-reset twin batch replays
+                // the same inputs through the full rebuild path. Both
+                // must be bit-identical to fresh sessions — and hence
+                // to each other — pinning the snapshot restore as a
+                // perfect stand-in for a re-load.
                 let batch = build().run_batch(inputs.iter());
-                for (input, batched) in inputs.iter().zip(&batch) {
+                let mut loader = build();
+                loader.reconfigure(|c| c.reset_mode = ResetMode::Loader);
+                let loader_batch = loader.run_batch(inputs.iter());
+                for (i, (input, batched)) in inputs.iter().zip(&batch).enumerate() {
                     let fresh = build().run(input);
                     let ctx = format!(
                         "engine {} store {} input {input:?}",
@@ -121,6 +131,19 @@ proptest! {
                         store.name()
                     );
                     assert_identical(batched, &fresh, &ctx);
+                    assert_identical(&loader_batch[i], &fresh, &format!("{ctx} [loader-reset]"));
+                    // Every run after the first was served off a reset;
+                    // the reset-cost report must name the path taken.
+                    if i > 0 {
+                        assert!(
+                            batched.reset.used_snapshot,
+                            "{ctx}: recycled run must report a snapshot reset"
+                        );
+                        assert!(
+                            !loader_batch[i].reset.used_snapshot,
+                            "{ctx}: loader-mode run must not report a snapshot reset"
+                        );
+                    }
                 }
             }
         }

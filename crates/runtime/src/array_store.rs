@@ -14,9 +14,24 @@
 //! page-fault/TLB pressure the 4 KB configuration suffers from.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::fasthash::FastHash;
 use crate::store::{aligned_slots, PtrStore, Slot, Touched, SLOT_SIZE};
+
+/// One materialized metadata page, shared copy-on-write with the
+/// captured baseline: `Arc::strong_count > 1` means the page is
+/// clean-shared with the snapshot, and the first write after a capture
+/// splits it (recording the page index in the dirty list).
+type PageArc = Arc<Vec<Option<Slot>>>;
+
+/// The post-`load()` baseline: every then-resident page (both tiers,
+/// keyed by page index) plus the accounting scalars.
+struct Baseline {
+    pages: HashMap<u64, PageArc, FastHash>,
+    resident: usize,
+    live: usize,
+}
 
 /// Address span covered by the direct-indexed low tier: the whole low
 /// 4 GB regular region (code, globals, heap, stacks — see the VM's
@@ -34,12 +49,19 @@ pub struct ArrayStore {
     /// span one metadata page covers) use the direct tier.
     low_pages: u64,
     /// Direct-indexed storage for the low tier (grown on demand).
-    low: Vec<Option<Vec<Option<Slot>>>>,
+    low: Vec<Option<PageArc>>,
     /// Hash-mapped storage for the sparse high remainder.
-    pages: HashMap<u64, Vec<Option<Slot>>, FastHash>,
+    pages: HashMap<u64, PageArc, FastHash>,
     /// Resident page count across both tiers (memory accounting).
     resident: usize,
     live: usize,
+    /// The captured post-load image ([`PtrStore::capture_snapshot`]).
+    baseline: Option<Baseline>,
+    /// Page indices diverged from the baseline since the last capture
+    /// or restore. Maintained only while a baseline exists; no page
+    /// index repeats (a page is pushed exactly when it stops being
+    /// clean-shared: on materialization or on its first CoW split).
+    dirty: Vec<u64>,
 }
 
 impl ArrayStore {
@@ -60,6 +82,8 @@ impl ArrayStore {
             pages: HashMap::default(),
             resident: 0,
             live: 0,
+            baseline: None,
+            dirty: Vec::new(),
         }
     }
 
@@ -80,38 +104,53 @@ impl ArrayStore {
     #[inline]
     fn page(&self, page_idx: u64) -> Option<&Vec<Option<Slot>>> {
         if page_idx < self.low_pages {
-            self.low.get(page_idx as usize)?.as_ref()
+            self.low.get(page_idx as usize)?.as_deref()
         } else {
-            self.pages.get(&page_idx)
+            self.pages.get(&page_idx).map(|p| &**p)
         }
     }
 
-    /// Returns the page for `page_idx`, materializing it if needed;
-    /// `true` when this touch faulted it in.
+    /// Returns the page for `page_idx` write-ready, materializing it if
+    /// needed; `true` when this touch faulted it in. The write path of
+    /// the dirty tracking: a page still clean-shared with the baseline
+    /// (`Arc::strong_count > 1`) is recorded dirty and split before the
+    /// caller mutates it; a freshly materialized page is dirty by
+    /// definition.
     fn ensure(&mut self, page_idx: u64) -> (&mut Vec<Option<Slot>>, bool) {
         let spp = self.slots_per_page as usize;
         let mut fault = false;
-        if page_idx < self.low_pages {
+        let tracking = self.baseline.is_some();
+        let page: &mut PageArc = if page_idx < self.low_pages {
             let i = page_idx as usize;
             if self.low.len() <= i {
                 self.low.resize_with(i + 1, || None);
             }
             let slot = &mut self.low[i];
             if slot.is_none() {
-                *slot = Some(vec![None; spp]);
+                *slot = Some(Arc::new(vec![None; spp]));
                 fault = true;
                 self.resident += 1;
+                if tracking {
+                    self.dirty.push(page_idx);
+                }
             }
-            (slot.as_mut().expect("just ensured"), fault)
+            slot.as_mut().expect("just ensured")
         } else {
             let resident = &mut self.resident;
-            let page = self.pages.entry(page_idx).or_insert_with(|| {
+            let dirty = &mut self.dirty;
+            self.pages.entry(page_idx).or_insert_with(|| {
                 fault = true;
                 *resident += 1;
-                vec![None; spp]
-            });
-            (page, fault)
+                if tracking {
+                    dirty.push(page_idx);
+                }
+                Arc::new(vec![None; spp])
+            })
+        };
+        if tracking && !fault && Arc::strong_count(page) > 1 {
+            self.dirty.push(page_idx);
         }
+        (Arc::make_mut(page), fault)
     }
 
     fn slot_ref(&self, addr: u64, touched: &mut Touched) -> Option<Slot> {
@@ -213,6 +252,52 @@ impl PtrStore for ArrayStore {
         self.pages.clear();
         self.resident = 0;
         self.live = 0;
+        self.baseline = None;
+        self.dirty.clear();
+    }
+
+    fn capture_snapshot(&mut self) {
+        let mut pages: HashMap<u64, PageArc, FastHash> = HashMap::default();
+        for (i, page) in self.low.iter().enumerate() {
+            if let Some(p) = page {
+                pages.insert(i as u64, Arc::clone(p));
+            }
+        }
+        for (&i, p) in &self.pages {
+            pages.insert(i, Arc::clone(p));
+        }
+        self.baseline = Some(Baseline {
+            pages,
+            resident: self.resident,
+            live: self.live,
+        });
+        self.dirty.clear();
+    }
+
+    fn restore_snapshot(&mut self) -> u64 {
+        let baseline = self.baseline.as_ref().expect("no baseline captured");
+        let mut reverted = 0u64;
+        for idx in std::mem::take(&mut self.dirty) {
+            let restored = baseline.pages.get(&idx).cloned();
+            if restored.is_some() {
+                reverted += 1;
+            }
+            if idx < self.low_pages {
+                self.low[idx as usize] = restored;
+            } else {
+                match restored {
+                    Some(p) => {
+                        self.pages.insert(idx, p);
+                    }
+                    None => {
+                        self.pages.remove(&idx);
+                    }
+                }
+            }
+        }
+        self.resident = baseline.resident;
+        self.live = baseline.live;
+        reverted * self.page_size
     }
 }
 
@@ -344,5 +429,57 @@ mod tests {
         assert_eq!(s.entry_count(), 0);
         assert_eq!(s.memory_bytes(), 0);
         assert_eq!(s.get(0x1000).0, None);
+    }
+
+    #[test]
+    fn snapshot_restore_reverts_only_dirtied_pages() {
+        let mut s = ArrayStore::new(BASE, 4096);
+        let _ = s.set(0x1000, meta(1)); // "loader" slot
+        s.capture_snapshot();
+
+        // A clean restore copies nothing back.
+        assert_eq!(s.restore_snapshot(), 0);
+        assert_eq!(s.get(0x1000).0, Some(meta(1)));
+
+        // Dirty the baseline page and materialize a fresh one.
+        let _ = s.set(0x1008, meta(2));
+        let _ = s.clear(0x1000);
+        let _ = s.set(0x80_0000, meta(3));
+        assert_eq!(s.entry_count(), 2);
+
+        // Exactly one page came back from the baseline (the fresh one
+        // is dropped, not copied).
+        assert_eq!(s.restore_snapshot(), 4096);
+        assert_eq!(s.get(0x1000).0, Some(meta(1)));
+        assert_eq!(s.get(0x1008).0, None);
+        assert_eq!(s.get(0x80_0000).0, None);
+        assert_eq!(s.entry_count(), 1);
+        assert_eq!(s.memory_bytes(), 4096);
+    }
+
+    #[test]
+    fn snapshot_restore_is_repeatable_and_observably_fresh() {
+        // Restored state must be bit-identical to the captured one in
+        // every observable, round after round.
+        let mut s = ArrayStore::new(BASE, 2 << 20);
+        let _ = s.set(0x2000, meta(7));
+        s.capture_snapshot();
+        let baseline_bytes = s.memory_bytes();
+        for round in 0..3u64 {
+            let _ = s.set(0x2000, meta(100 + round));
+            let _ = s.set(0x9_0000, meta(round));
+            assert!(s.restore_snapshot() > 0);
+            assert_eq!(s.get(0x2000).0, Some(meta(7)));
+            assert_eq!(s.get(0x9_0000).0, None);
+            assert_eq!(s.entry_count(), 1);
+            assert_eq!(s.memory_bytes(), baseline_bytes);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no baseline captured")]
+    fn restore_without_capture_is_a_lifecycle_bug() {
+        let mut s = ArrayStore::new(BASE, 4096);
+        let _ = s.restore_snapshot();
     }
 }

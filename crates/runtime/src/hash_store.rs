@@ -24,6 +24,18 @@ struct Bucket {
     slot: Slot,
 }
 
+/// The post-`load()` baseline image: the whole table (it is tiny at
+/// load time — the loader's protected initializer slots in the initial
+/// 64-bucket geometry) plus the geometry scalars. Restoring the
+/// capacity and mask keeps probe addresses bit-identical to a fresh
+/// load.
+struct Baseline {
+    buckets: Vec<Option<Bucket>>,
+    mask: u64,
+    live: usize,
+    max_capacity: usize,
+}
+
 /// Open-addressing hash table keyed by pointer slot address.
 pub struct HashStore {
     base: u64,
@@ -32,6 +44,13 @@ pub struct HashStore {
     live: usize,
     /// High-water mark of resident buckets, for memory accounting.
     max_capacity: usize,
+    /// The captured post-load image ([`PtrStore::capture_snapshot`]).
+    /// Unlike the page/leaf organizations there is no useful sub-
+    /// structure to track dirt at — growth rehashes every bucket — so
+    /// the dirty granularity is the whole (tiny) baseline table.
+    baseline: Option<Box<Baseline>>,
+    /// Whether any mutation diverged the table from the baseline.
+    dirty: bool,
 }
 
 impl HashStore {
@@ -45,6 +64,8 @@ impl HashStore {
             mask: cap as u64 - 1,
             live: 0,
             max_capacity: cap,
+            baseline: None,
+            dirty: false,
         }
     }
 
@@ -138,6 +159,7 @@ impl PtrStore for HashStore {
         let key = addr & !7;
         let mut t = Touched::default();
         let (found, _) = self.probe(key, &mut t);
+        self.dirty = true;
         match found {
             Some(idx) => {
                 self.buckets[idx as usize].as_mut().expect("probed").slot = slot;
@@ -162,6 +184,7 @@ impl PtrStore for HashStore {
         let mut t = Touched::default();
         let (found, _) = self.probe(key, &mut t);
         if let Some(idx) = found {
+            self.dirty = true;
             self.buckets[idx as usize] = None;
             self.live -= 1;
             self.backward_shift(idx);
@@ -225,6 +248,31 @@ impl PtrStore for HashStore {
         // (probe addresses depend on capacity via the mask, and the
         // memory high-water mark restarts).
         *self = HashStore::new(self.base);
+    }
+
+    fn capture_snapshot(&mut self) {
+        self.baseline = Some(Box::new(Baseline {
+            buckets: self.buckets.clone(),
+            mask: self.mask,
+            live: self.live,
+            max_capacity: self.max_capacity,
+        }));
+        self.dirty = false;
+    }
+
+    fn restore_snapshot(&mut self) -> u64 {
+        let baseline = self.baseline.as_ref().expect("no baseline captured");
+        if !self.dirty {
+            return 0;
+        }
+        self.buckets = baseline.buckets.clone();
+        self.mask = baseline.mask;
+        self.live = baseline.live;
+        // Restoring the high-water mark too: a restored store must
+        // report the same memory_bytes as a freshly loaded one.
+        self.max_capacity = baseline.max_capacity;
+        self.dirty = false;
+        baseline.max_capacity as u64 * BUCKET_BYTES
     }
 }
 
@@ -329,6 +377,38 @@ mod tests {
         let (_, t_fresh) = fresh.get(0x1000);
         assert_eq!(
             t_reset.iter().collect::<Vec<_>>(),
+            t_fresh.iter().collect::<Vec<_>>()
+        );
+    }
+
+    /// Snapshot restore must recover pristine geometry exactly like
+    /// reset does — including the capacity/mask a run's growth changed,
+    /// since probe addresses (the simulated touch trace) depend on it.
+    #[test]
+    fn snapshot_restore_recovers_geometry_and_contents() {
+        let mut s = HashStore::new(BASE);
+        let _ = s.set(0x1000, slot(7)); // "loader" slot
+        s.capture_snapshot();
+        assert_eq!(s.restore_snapshot(), 0, "clean restore copies nothing");
+        assert_eq!(s.get(0x1000).0, Some(slot(7)));
+
+        // Grow the table past the baseline geometry, then restore.
+        for i in 0..4096u64 {
+            let _ = s.set(0x10_0000 + i * 8, slot(i));
+        }
+        assert!(s.memory_bytes() > 64 * BUCKET_BYTES);
+        assert_eq!(s.restore_snapshot(), 64 * BUCKET_BYTES);
+        assert_eq!(s.entry_count(), 1);
+        assert_eq!(s.get(0x1000).0, Some(slot(7)));
+        assert_eq!(s.memory_bytes(), 64 * BUCKET_BYTES);
+
+        // Probe addresses match a fresh store carrying the same slot.
+        let mut fresh = HashStore::new(BASE);
+        let _ = fresh.set(0x1000, slot(7));
+        let (_, t_restored) = s.get(0x2000);
+        let (_, t_fresh) = fresh.get(0x2000);
+        assert_eq!(
+            t_restored.iter().collect::<Vec<_>>(),
             t_fresh.iter().collect::<Vec<_>>()
         );
     }

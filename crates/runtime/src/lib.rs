@@ -58,6 +58,6 @@ pub use array_store::ArrayStore;
 pub use entry::Entry;
 pub use fasthash::{FastHash, FastHasher};
 pub use hash_store::HashStore;
-pub use meta::{MetaId, MetaTable, META_CAPACITY};
+pub use meta::{MetaId, MetaMark, MetaTable, META_CAPACITY};
 pub use store::{PtrStore, Slot, StoreKind, Touched, SLOT_SIZE};
 pub use twolevel::TwoLevelStore;

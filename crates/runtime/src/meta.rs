@@ -171,14 +171,16 @@ impl MetaTable {
         id
     }
 
-    /// Looks up a handle: `None` for [`MetaId::NONE`] and for handles
-    /// minted before the last [`MetaTable::reset`].
+    /// Looks up a handle: `None` for [`MetaId::NONE`], for handles
+    /// minted before the last [`MetaTable::reset`], and for handles
+    /// dropped by a [`MetaTable::truncate_to`] rewind (same generation,
+    /// index past the truncated extent).
     #[inline(always)]
     pub fn get(&self, id: MetaId) -> Option<Entry> {
         if id.is_none() || id.generation() != self.generation {
             return None;
         }
-        Some(self.entries[id.index()])
+        self.entries.get(id.index()).copied()
     }
 
     /// Resolves a handle that is known to be live.
@@ -191,10 +193,11 @@ impl MetaTable {
     #[inline]
     pub fn resolve(&self, id: MetaId) -> Entry {
         assert!(
-            id.is_some() && id.generation() == self.generation,
-            "stale or empty MetaId {:?} (table generation {})",
+            id.is_some() && id.generation() == self.generation && id.index() < self.entries.len(),
+            "stale or empty MetaId {:?} (table generation {}, {} entries)",
             id,
-            self.generation
+            self.generation,
+            self.entries.len()
         );
         self.entries[id.index()]
     }
@@ -233,6 +236,50 @@ impl MetaTable {
         self.recent = [(Entry::invalid(0), MetaId::NONE); RECENT_SLOTS];
         self.generation = (self.generation + 1) & 0xf;
     }
+
+    /// Records the table's current extent so a later
+    /// [`MetaTable::truncate_to`] can rewind to it.
+    ///
+    /// This is the snapshot-restore half of the lifecycle: unlike
+    /// [`MetaTable::reset`], rewinding does *not* bump the generation,
+    /// so every handle minted **before** the mark (the loader's
+    /// `func_meta` / `global_meta` handles and the baseline slots held
+    /// by the safe-pointer store) stays valid across the rewind.
+    pub fn mark(&self) -> MetaMark {
+        MetaMark {
+            len: self.entries.len(),
+            recent: self.recent,
+        }
+    }
+
+    /// Rewinds the arena to a previously taken [`MetaMark`]: every
+    /// entry interned after the mark is dropped (and removed from the
+    /// dedup index), the front-cache is restored to its state at the
+    /// mark, and the generation is left untouched. Returns the number
+    /// of entries dropped.
+    ///
+    /// Post-mark entries are necessarily distinct from pre-mark ones
+    /// (interning dedups), so removing them from the index can never
+    /// evict a surviving record.
+    pub fn truncate_to(&mut self, mark: &MetaMark) -> u64 {
+        debug_assert!(mark.len <= self.entries.len(), "mark is from this table");
+        let dropped = (self.entries.len() - mark.len) as u64;
+        for entry in self.entries.drain(mark.len..) {
+            self.dedup.remove(&entry);
+        }
+        self.recent = mark.recent;
+        dropped
+    }
+}
+
+/// An opaque rewind point for [`MetaTable::truncate_to`]: the arena
+/// length plus a copy of the front-cache at the moment of the mark.
+/// Taken by the VM right after `load()` as part of its post-load
+/// snapshot (see `levee_vm`'s `Machine::reset`).
+#[derive(Debug, Clone)]
+pub struct MetaMark {
+    len: usize,
+    recent: [(Entry, MetaId); RECENT_SLOTS],
 }
 
 impl Default for MetaTable {
@@ -327,6 +374,57 @@ mod tests {
     fn resolve_panics_on_none() {
         let t = MetaTable::new();
         t.resolve(MetaId::NONE);
+    }
+
+    #[test]
+    fn truncate_to_keeps_pre_mark_handles_valid() {
+        let mut t = MetaTable::new();
+        let loader = t.intern(Entry::code(0x40));
+        let mark = t.mark();
+        let run = t.intern(Entry::data(0x10, 0x10, 0x50, 3));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.truncate_to(&mark), 1);
+        // Pre-mark handles survive (generation untouched)…
+        assert_eq!(t.get(loader), Some(Entry::code(0x40)));
+        assert_eq!(t.generation(), 0);
+        // …post-mark ones are gone, from the arena and the index.
+        assert_eq!(t.get(run), None);
+        assert_eq!(t.len(), 1);
+        // Re-interning the dropped record mints a fresh (post-mark)
+        // handle rather than resurrecting the dropped one.
+        let again = t.intern(Entry::data(0x10, 0x10, 0x50, 3));
+        assert_eq!(again, run, "same arena position, same generation");
+        assert_eq!(t.get(again), Some(Entry::data(0x10, 0x10, 0x50, 3)));
+    }
+
+    #[test]
+    fn truncate_to_restores_the_front_cache() {
+        let mut t = MetaTable::new();
+        let e_pre = Entry::code(0x40);
+        let pre = t.intern(e_pre);
+        let mark = t.mark();
+        // Evict e_pre's front-cache slot with a colliding post-mark
+        // entry, then rewind: the cache must serve the pre-mark
+        // mapping again, not the dropped one.
+        let e_post = Entry::code(0x40 ^ (16 << 3));
+        t.intern(e_post);
+        t.truncate_to(&mark);
+        assert_eq!(t.intern(e_pre), pre);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn repeated_rewinds_are_idempotent() {
+        let mut t = MetaTable::new();
+        t.intern(Entry::code(1));
+        let mark = t.mark();
+        for round in 0..4 {
+            t.intern(Entry::code(100 + round));
+            t.intern(Entry::code(200 + round));
+            assert_eq!(t.truncate_to(&mark), 2);
+            assert_eq!(t.len(), 1);
+        }
+        assert_eq!(t.truncate_to(&mark), 0, "clean rewind drops nothing");
     }
 
     #[test]

@@ -260,8 +260,32 @@ pub trait PtrStore {
     /// Owners that also reset the [`crate::meta::MetaTable`] must clear
     /// the store *first*: slots hold generation-checked [`MetaId`]s, and
     /// bumping the table generation while slots are still live would
-    /// leave them dangling.
+    /// leave them dangling. Also discards any baseline captured by
+    /// [`PtrStore::capture_snapshot`].
     fn reset(&mut self);
+
+    /// Captures the store's current contents as its immutable baseline:
+    /// the per-structure half of the VM's post-`load()` memory-image
+    /// snapshot (see `levee_vm`'s `Machine::reset`). At capture time a
+    /// store holds only the loader's protected initializer slots, so
+    /// the baseline is small; the handles inside it are minted *before*
+    /// the owning `MetaTable`'s mark and therefore survive the
+    /// snapshot rewind (`MetaTable::truncate_to`).
+    fn capture_snapshot(&mut self);
+
+    /// Rewinds the store to the captured baseline, returning the number
+    /// of simulated safe-region bytes that had to be copied back (0
+    /// when the last run never dirtied the structure). Restoring is
+    /// bit-identical to a freshly loaded store in every observable:
+    /// slot contents, entry count, memory footprint *and* geometry-
+    /// derived simulated addresses (leaf sequence numbers, hash
+    /// capacity, probe order).
+    ///
+    /// # Panics
+    ///
+    /// Panics when no baseline was captured — restoring without a
+    /// snapshot is an owner lifecycle bug.
+    fn restore_snapshot(&mut self) -> u64;
 }
 
 /// Shared helper: iterate the 8-aligned slots that overlap

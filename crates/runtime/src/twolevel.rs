@@ -6,7 +6,8 @@
 //! memory accesses — one directory probe, one leaf probe — which is why
 //! the paper found it slower than the superpage-backed array.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use crate::fasthash::FastHash;
 use crate::store::{aligned_slots, PtrStore, Slot, Touched, SLOT_SIZE};
@@ -21,15 +22,37 @@ const LEAF_BYTES: u64 = LEAF_SLOTS * SLOT_SIZE;
 /// resident directory page.
 const DIR_PAGE_BYTES: u64 = 4096;
 
+/// One leaf table, shared copy-on-write with the captured baseline
+/// (`Arc::strong_count > 1` ⟺ clean-shared; the first mutation after
+/// a capture splits it and records the directory index dirty).
+type LeafArc = Arc<Vec<Option<Slot>>>;
+
+/// The post-`load()` baseline image: leaves (with their sequence
+/// numbers — restoring them keeps simulated leaf addresses
+/// bit-identical to a fresh load), directory pages and the scalars.
+struct Baseline {
+    leaves: HashMap<u64, (u64, LeafArc), FastHash>,
+    dir_pages: HashSet<u64>,
+    next_leaf_seq: u64,
+    live: usize,
+}
+
 /// Two-level directory + leaf-table store.
 pub struct TwoLevelStore {
     base: u64,
     /// Directory index → (leaf sequence number, leaf storage).
-    leaves: HashMap<u64, (u64, Vec<Option<Slot>>), FastHash>,
+    leaves: HashMap<u64, (u64, LeafArc), FastHash>,
     next_leaf_seq: u64,
     live: usize,
     /// Resident directory pages (for memory accounting).
-    dir_pages: std::collections::HashSet<u64>,
+    dir_pages: HashSet<u64>,
+    /// The captured post-load image ([`PtrStore::capture_snapshot`]).
+    baseline: Option<Baseline>,
+    /// Directory indices whose leaves diverged from the baseline.
+    dirty: Vec<u64>,
+    /// Whether the directory itself grew since the capture — set when a
+    /// probe (reads included) materializes a new directory page.
+    dir_dirty: bool,
 }
 
 impl TwoLevelStore {
@@ -40,7 +63,10 @@ impl TwoLevelStore {
             leaves: HashMap::default(),
             next_leaf_seq: 0,
             live: 0,
-            dir_pages: std::collections::HashSet::new(),
+            dir_pages: HashSet::new(),
+            baseline: None,
+            dirty: Vec::new(),
+            dir_dirty: false,
         }
     }
 
@@ -62,7 +88,12 @@ impl TwoLevelStore {
 
     fn touch_dir(&mut self, dir_idx: u64, t: &mut Touched) {
         t.push(self.dir_addr(dir_idx));
-        self.dir_pages.insert(dir_idx * 8 / DIR_PAGE_BYTES);
+        if self.dir_pages.insert(dir_idx * 8 / DIR_PAGE_BYTES) && self.baseline.is_some() {
+            // Even reads grow the directory (a probe materializes its
+            // page), so the baseline divergence is flagged here, not
+            // just on the leaf write paths.
+            self.dir_dirty = true;
+        }
     }
 }
 
@@ -77,13 +108,21 @@ impl PtrStore for TwoLevelStore {
                 let seq = self.next_leaf_seq;
                 self.next_leaf_seq += 1;
                 self.leaves
-                    .insert(dir_idx, (seq, vec![None; LEAF_SLOTS as usize]));
+                    .insert(dir_idx, (seq, Arc::new(vec![None; LEAF_SLOTS as usize])));
+                if self.baseline.is_some() {
+                    self.dirty.push(dir_idx);
+                }
                 t.page_fault = true;
                 seq
             }
         };
         t.push(self.leaf_addr(seq, leaf_idx));
-        let leaf = &mut self.leaves.get_mut(&dir_idx).expect("leaf just ensured").1;
+        let tracking = self.baseline.is_some();
+        let leaf_arc = &mut self.leaves.get_mut(&dir_idx).expect("leaf just ensured").1;
+        if tracking && Arc::strong_count(leaf_arc) > 1 {
+            self.dirty.push(dir_idx);
+        }
+        let leaf = Arc::make_mut(leaf_arc);
         if leaf[leaf_idx as usize].is_none() {
             self.live += 1;
         }
@@ -108,9 +147,17 @@ impl PtrStore for TwoLevelStore {
         let mut t = Touched::default();
         let (dir_idx, leaf_idx) = Self::split(addr);
         self.touch_dir(dir_idx, &mut t);
-        if let Some((seq, leaf)) = self.leaves.get_mut(&dir_idx) {
+        let tracking = self.baseline.is_some();
+        if let Some((seq, leaf_arc)) = self.leaves.get_mut(&dir_idx) {
             let seq = *seq;
-            if leaf[leaf_idx as usize].take().is_some() {
+            // Split the leaf only when there is something to remove: a
+            // clear over an empty span (memset, stack reuse) must not
+            // un-share clean baseline leaves.
+            if leaf_arc[leaf_idx as usize].is_some() {
+                if tracking && Arc::strong_count(leaf_arc) > 1 {
+                    self.dirty.push(dir_idx);
+                }
+                Arc::make_mut(leaf_arc)[leaf_idx as usize] = None;
                 self.live -= 1;
             }
             t.push(self.leaf_addr(seq, leaf_idx));
@@ -173,6 +220,51 @@ impl PtrStore for TwoLevelStore {
         self.dir_pages.clear();
         self.next_leaf_seq = 0;
         self.live = 0;
+        self.baseline = None;
+        self.dirty.clear();
+        self.dir_dirty = false;
+    }
+
+    fn capture_snapshot(&mut self) {
+        let leaves = self
+            .leaves
+            .iter()
+            .map(|(&d, (seq, leaf))| (d, (*seq, Arc::clone(leaf))))
+            .collect();
+        self.baseline = Some(Baseline {
+            leaves,
+            dir_pages: self.dir_pages.clone(),
+            next_leaf_seq: self.next_leaf_seq,
+            live: self.live,
+        });
+        self.dirty.clear();
+        self.dir_dirty = false;
+    }
+
+    fn restore_snapshot(&mut self) -> u64 {
+        let baseline = self.baseline.as_ref().expect("no baseline captured");
+        let mut bytes = 0u64;
+        for dir_idx in std::mem::take(&mut self.dirty) {
+            match baseline.leaves.get(&dir_idx) {
+                Some((seq, leaf)) => {
+                    self.leaves.insert(dir_idx, (*seq, Arc::clone(leaf)));
+                    bytes += LEAF_BYTES;
+                }
+                None => {
+                    self.leaves.remove(&dir_idx);
+                }
+            }
+        }
+        if self.dir_dirty {
+            self.dir_pages = baseline.dir_pages.clone();
+            bytes += baseline.dir_pages.len() as u64 * DIR_PAGE_BYTES;
+            self.dir_dirty = false;
+        }
+        // Rewinding the sequence counter keeps simulated leaf addresses
+        // of post-restore allocations bit-identical to a fresh load.
+        self.next_leaf_seq = baseline.next_leaf_seq;
+        self.live = baseline.live;
+        bytes
     }
 }
 
@@ -248,5 +340,49 @@ mod tests {
         let (copied, _) = s.copy_range(0x2000, 0x1000, 8);
         assert_eq!(copied, 1);
         assert_eq!(s.get(0x2000).0, Some(slot(0xAA)));
+    }
+
+    /// Leaf sequence numbers feed simulated leaf addresses, so restore
+    /// must rewind the allocator: a leaf allocated after a restore must
+    /// land at the same simulated address as after a fresh load.
+    #[test]
+    fn snapshot_restore_rewinds_leaf_sequencing() {
+        let mut s = TwoLevelStore::new(BASE);
+        let _ = s.set(0x1000, slot(1)); // loader leaf, seq 0
+        s.capture_snapshot();
+        assert_eq!(s.restore_snapshot(), 0, "clean restore copies nothing");
+
+        // Run 1: dirty the loader leaf, allocate a run-only leaf
+        // (0x4000 is 2048 slots in — a different directory entry).
+        let _ = s.set(0x1008, slot(2));
+        let run1 = s.set(0x4000, slot(3));
+        let run1_leaf = run1.iter().nth(1).unwrap();
+        assert!(s.restore_snapshot() > 0);
+        assert_eq!(s.get(0x1000).0, Some(slot(1)));
+        assert_eq!(s.get(0x1008).0, None);
+        assert_eq!(s.get(0x4000).0, None);
+        assert_eq!(s.entry_count(), 1);
+
+        // Run 2: the same allocation sequence reproduces the same
+        // simulated leaf address.
+        let run2 = s.set(0x4000, slot(3));
+        let run2_leaf = run2.iter().nth(1).unwrap();
+        assert_eq!(run1_leaf, run2_leaf);
+    }
+
+    /// Reads materialize directory pages; a restore must revert that
+    /// growth so `memory_bytes` matches a fresh load.
+    #[test]
+    fn snapshot_restore_reverts_read_grown_directory() {
+        let mut s = TwoLevelStore::new(BASE);
+        let _ = s.set(0x1000, slot(1));
+        s.capture_snapshot();
+        let baseline_bytes = s.memory_bytes();
+        // A miss probe far away touches a fresh directory page.
+        let (absent, _) = s.get(0x4000_0000);
+        assert_eq!(absent, None);
+        assert!(s.memory_bytes() > baseline_bytes);
+        assert!(s.restore_snapshot() > 0);
+        assert_eq!(s.memory_bytes(), baseline_bytes);
     }
 }

@@ -118,11 +118,17 @@ impl Cache {
         }
     }
 
-    /// Clears contents and counters.
+    /// Clears contents, counters, and any recorded touch log —
+    /// tracing stays *enabled* so a machine recycled by snapshot
+    /// restore (`Machine::reset` in `levee-vm`) keeps logging exactly
+    /// like a freshly booted one with tracing turned on.
     pub fn reset(&mut self) {
         self.tags.fill(EMPTY_TAG);
         self.hits = 0;
         self.misses = 0;
+        if let Some(t) = &mut self.trace {
+            t.clear();
+        }
     }
 }
 
@@ -185,6 +191,17 @@ mod tests {
         c.reset();
         assert_eq!(c.stats(), (0, 0));
         assert!(!acc(&mut c, 0));
+    }
+
+    #[test]
+    fn reset_empties_trace_but_keeps_it_enabled() {
+        let mut c = Cache::default_l1();
+        c.enable_trace();
+        acc(&mut c, 0x40);
+        c.reset();
+        assert_eq!(c.trace().unwrap(), &[]);
+        acc(&mut c, 0x80); // still recording after reset
+        assert_eq!(touch_addrs(c.trace().unwrap()), vec![0x80]);
     }
 
     #[test]

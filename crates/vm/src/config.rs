@@ -51,6 +51,32 @@ impl Engine {
     }
 }
 
+/// How `Machine::reset` re-arms a machine between runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResetMode {
+    /// Restore from the copy-on-write memory-image snapshot captured
+    /// right after `load()`: only pages and store entries the last run
+    /// dirtied are copied back. Observable semantics are bit-identical
+    /// to [`ResetMode::Loader`] (the differential suites enforce it);
+    /// only host wall-clock differs.
+    #[default]
+    Snapshot,
+    /// Re-run the loader from the module image (the pre-snapshot
+    /// behavior). Kept as the reference for differential testing and
+    /// as the fallback when no snapshot exists.
+    Loader,
+}
+
+impl ResetMode {
+    /// Human-readable name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ResetMode::Snapshot => "snapshot",
+            ResetMode::Loader => "loader",
+        }
+    }
+}
+
 /// Hardware model for metadata operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HardwareModel {
@@ -108,6 +134,11 @@ pub struct VmConfig {
     /// sequences to an unprofiled one (the differential suites enforce
     /// this).
     pub profile: bool,
+    /// How [`Machine::reset`](crate::Machine::reset) re-arms the
+    /// machine between runs: copy-on-write snapshot restore (default)
+    /// or a full loader re-boot. Bit-identical observable behavior
+    /// either way.
+    pub reset_mode: ResetMode,
 }
 
 impl Default for VmConfig {
@@ -127,6 +158,7 @@ impl Default for VmConfig {
             engine: Engine::default(),
             fusion: true,
             profile: false,
+            reset_mode: ResetMode::default(),
         }
     }
 }
@@ -177,6 +209,12 @@ impl VmConfig {
         self.profile = profile;
         self
     }
+
+    /// Returns self with the given reset mode (builder style).
+    pub fn with_reset_mode(mut self, reset_mode: ResetMode) -> Self {
+        self.reset_mode = reset_mode;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -212,5 +250,13 @@ mod tests {
     fn profile_defaults_off_and_toggles() {
         assert!(!VmConfig::default().profile);
         assert!(VmConfig::default().with_profile(true).profile);
+    }
+
+    #[test]
+    fn snapshot_reset_is_the_default() {
+        assert_eq!(VmConfig::default().reset_mode, ResetMode::Snapshot);
+        let loader = VmConfig::default().with_reset_mode(ResetMode::Loader);
+        assert_eq!(loader.reset_mode, ResetMode::Loader);
+        assert_ne!(ResetMode::Snapshot.name(), ResetMode::Loader.name());
     }
 }

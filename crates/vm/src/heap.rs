@@ -40,6 +40,25 @@ pub struct Heap {
     /// Peak bytes in use.
     peak: u64,
     in_use: u64,
+    /// Post-load baseline for snapshot resets; see
+    /// [`capture_snapshot`](Self::capture_snapshot).
+    baseline: Option<Box<HeapBaseline>>,
+    /// True once `malloc`/`free` ran after the last capture/restore.
+    dirty: bool,
+}
+
+/// Complete allocator state at capture time. The heap right after
+/// `load()` holds at most a handful of loader allocations, so a full
+/// clone is cheap — and restores are cheaper still: a run that never
+/// touched the allocator restores nothing (see the `dirty` flag).
+struct HeapBaseline {
+    brk: u64,
+    next_id: u64,
+    free: HashMap<u64, Vec<u64>, FastHash>,
+    by_addr: HashMap<u64, Allocation, FastHash>,
+    dead_ids: std::collections::HashSet<u64>,
+    peak: u64,
+    in_use: u64,
 }
 
 /// Heap errors.
@@ -68,11 +87,57 @@ impl Heap {
             dead_ids: std::collections::HashSet::new(),
             peak: 0,
             in_use: 0,
+            baseline: None,
+            dirty: false,
         }
+    }
+
+    /// Captures the complete allocator state as the restore baseline.
+    ///
+    /// Called once right after `load()`, when the heap holds only the
+    /// loader's allocations (usually none), so the clone is tiny.
+    pub fn capture_snapshot(&mut self) {
+        self.baseline = Some(Box::new(HeapBaseline {
+            brk: self.brk,
+            next_id: self.next_id,
+            free: self.free.clone(),
+            by_addr: self.by_addr.clone(),
+            dead_ids: self.dead_ids.clone(),
+            peak: self.peak,
+            in_use: self.in_use,
+        }));
+        self.dirty = false;
+    }
+
+    /// Reverts the allocator to the captured baseline; a run that never
+    /// called `malloc`/`free` restores nothing. Rewinding `next_id`
+    /// deliberately reissues the same temporal ids the previous run
+    /// drew — that is what makes a restored machine's use-after-free
+    /// verdicts bit-identical to a fresh boot's. Returns whether any
+    /// state was copied back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`capture_snapshot`](Self::capture_snapshot) never ran.
+    pub fn restore_snapshot(&mut self) -> bool {
+        let baseline = self.baseline.as_ref().expect("no baseline captured");
+        if !self.dirty {
+            return false;
+        }
+        self.brk = baseline.brk;
+        self.next_id = baseline.next_id;
+        self.free = baseline.free.clone();
+        self.by_addr = baseline.by_addr.clone();
+        self.dead_ids = baseline.dead_ids.clone();
+        self.peak = baseline.peak;
+        self.in_use = baseline.in_use;
+        self.dirty = false;
+        true
     }
 
     /// Allocates `size` bytes (8-aligned); returns the allocation record.
     pub fn malloc(&mut self, size: u64) -> Result<Allocation, HeapError> {
+        self.dirty = true;
         let class = size_class(size);
         let addr = match self.free.get_mut(&class).and_then(|v| v.pop()) {
             Some(addr) => addr,
@@ -107,6 +172,7 @@ impl Heap {
         }
         match self.by_addr.get_mut(&addr) {
             Some(a) if a.live => {
+                self.dirty = true;
                 a.live = false;
                 let (id, size) = (a.id, a.size);
                 self.dead_ids.insert(id);
@@ -206,6 +272,30 @@ mod tests {
         assert!(h.containing(a.addr + 1000).is_none());
         h.free(a.addr).unwrap();
         assert!(h.containing(a.addr + 50).is_none());
+    }
+
+    #[test]
+    fn snapshot_restore_reissues_identical_temporal_ids() {
+        let mut h = Heap::new(0x1000_0000, 1 << 20);
+        let loader = h.malloc(64).unwrap(); // a loader-time allocation
+        h.capture_snapshot();
+        assert!(!h.restore_snapshot()); // clean: nothing to copy back
+
+        let a1 = h.malloc(100).unwrap();
+        h.free(a1.addr).unwrap();
+        let b1 = h.malloc(100).unwrap();
+        assert!(h.restore_snapshot());
+
+        // Replay the same allocation sequence: addresses, ids, and
+        // dead-id verdicts must be bit-identical to the first run.
+        let a2 = h.malloc(100).unwrap();
+        assert_eq!(a2, a1);
+        h.free(a2.addr).unwrap();
+        let b2 = h.malloc(100).unwrap();
+        assert_eq!(b2, b1);
+        assert!(h.id_is_dead(a2.id));
+        assert!(!h.id_is_dead(b2.id));
+        assert_eq!(h.containing(loader.addr).unwrap().id, loader.id);
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod probe;
 pub mod stats;
 pub mod trap;
 
-pub use config::{Engine, HardwareModel, Isolation, VmConfig};
+pub use config::{Engine, HardwareModel, Isolation, ResetMode, VmConfig};
 pub use levee_bc::FuseStats;
 pub use levee_rt::StoreKind;
 pub use machine::{AttackerError, GuessOutcome, Machine, RunOutcome, V};
@@ -54,7 +54,7 @@ pub use probe::{
     touch_addrs, CheckSiteProfile, FuncProfile, OpProfile, ProfileReport, TouchKind, TouchRecord,
     TraceEvent, TraceEventKind,
 };
-pub use stats::ExecStats;
+pub use stats::{ExecStats, ResetStats};
 pub use trap::{CpiViolationKind, ExitStatus, GoalKind, Trap};
 
 /// Rounds `x` up to a multiple of `align`.

@@ -24,17 +24,17 @@ use std::collections::HashMap;
 
 use levee_bc::FrameDesc;
 use levee_ir::prelude::*;
-use levee_rt::{Entry, FastHash, MetaId, MetaTable, PtrStore};
+use levee_rt::{Entry, FastHash, MetaId, MetaMark, MetaTable, PtrStore};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::cache::Cache;
-use crate::config::{Engine, Isolation, VmConfig};
+use crate::config::{Engine, Isolation, ResetMode, VmConfig};
 use crate::heap::Heap;
 use crate::layout::{self, Layout};
 use crate::mem::{MemError, Memory};
 use crate::probe::{touch_addrs, ProfileReport, Profiler, TouchKind, TouchRecord};
-use crate::stats::ExecStats;
+use crate::stats::{ExecStats, ResetStats};
 use crate::trap::{ExitStatus, GoalKind, Trap};
 
 pub use attacker::{AttackerError, GuessOutcome};
@@ -218,6 +218,35 @@ pub struct Machine<'m> {
     /// Recycled register files: calls are frequent enough that
     /// allocating a fresh `Vec<V>` per frame shows up in profiles.
     pub(crate) reg_pool: Vec<Vec<V>>,
+    /// Machine-level scalars of the post-load snapshot (the bulky state
+    /// — memory pages, store slots, heap maps — is held copy-on-write
+    /// *inside* [`Memory`], the store and [`Heap`]). `Some` whenever
+    /// [`VmConfig::reset_mode`] is [`ResetMode::Snapshot`]; captured at
+    /// the end of [`Machine::boot`].
+    snapshot: Option<Snapshot>,
+    /// What the most recent [`Machine::reset`] cost; all-zero before
+    /// the first reset.
+    last_reset: ResetStats,
+}
+
+/// Machine-level state of the post-`load()` image that is not already
+/// held by a component baseline: the provenance-table high-water
+/// [`MetaMark`] plus the post-load RNG scalars. Everything else a
+/// restore re-establishes is either component-owned
+/// ([`Memory::capture_snapshot`], `PtrStore::capture_snapshot`,
+/// [`Heap::capture_snapshot`]) or recomputed from `config`/`layout`.
+struct Snapshot {
+    /// Rewind point for the provenance interner: entries minted by a
+    /// run are dropped, loader-minted handles (`func_meta`,
+    /// `global_meta`) stay valid — no generation bump, unlike the
+    /// loader reset path.
+    meta: MetaMark,
+    /// Post-load deterministic RNG state (the run's `rand` intrinsic
+    /// advances it).
+    rng_state: u64,
+    /// The stack cookie drawn at boot (config-deterministic; kept here
+    /// so a restore never has to replay the boot RNG sequence).
+    cookie: u64,
 }
 
 impl<'m> Machine<'m> {
@@ -279,8 +308,26 @@ impl<'m> Machine<'m> {
             fuse_stats: None,
             probe: config.profile.then(|| Box::new(Profiler::new(module))),
             reg_pool: Vec::new(),
+            snapshot: None,
+            last_reset: ResetStats::default(),
         };
         m.load();
+        // Capture the complete post-load image as the reset baseline:
+        // memory pages and store slots are shared copy-on-write, the
+        // (tiny) heap maps are cloned, and the provenance table records
+        // its high-water mark. From here on, `reset` restores in time
+        // proportional to what a run dirtied instead of re-running the
+        // loader.
+        if config.reset_mode == ResetMode::Snapshot {
+            m.mem.capture_snapshot();
+            m.heap.capture_snapshot();
+            m.store.capture_snapshot();
+            m.snapshot = Some(Snapshot {
+                meta: m.meta.mark(),
+                rng_state: m.rng_state,
+                cookie: m.cookie,
+            });
+        }
         m
     }
 
@@ -361,11 +408,16 @@ impl<'m> Machine<'m> {
     }
 
     /// The profiling report of the last run (`None` unless profiling
-    /// was enabled before it).
+    /// was enabled before it). The report carries
+    /// [`Machine::last_reset_stats`] in [`ProfileReport::reset`] so
+    /// `--profile` renderings can show what recycling the machine for
+    /// this run cost.
     pub fn profile_report(&self) -> Option<ProfileReport> {
-        self.probe
-            .as_ref()
-            .map(|p| p.report(self.module, &self.stats))
+        self.probe.as_ref().map(|p| {
+            let mut report = p.report(self.module, &self.stats);
+            report.reset = self.last_reset;
+            report
+        })
     }
 
     /// Superinstruction fusion plan counts, recorded when the module
@@ -376,23 +428,43 @@ impl<'m> Machine<'m> {
     }
 
     /// Resets the machine to its freshly-loaded state so [`Machine::run`]
-    /// can be called again: frames, stacks, the memory image, heap,
-    /// cache, stats and output are torn down and the module is
-    /// re-loaded. Attack goals, the compiled bytecode and the mem-trace
-    /// setting survive (they depend only on the module and config,
-    /// which do not change).
+    /// can be called again. Attack goals, the compiled bytecode and the
+    /// mem-trace setting survive (they depend only on the module and
+    /// config, which do not change); everything a run can move —
+    /// frames, stacks, the memory image, heap, store, cache, stats,
+    /// output — is re-armed. However the reset is performed, the result
+    /// replays bit-identically to a fresh [`Machine::new`] in every
+    /// simulated counter (the differential suites and the session
+    /// proptest in `levee-core` enforce this).
+    ///
+    /// Two mechanisms, selected by [`VmConfig::reset_mode`]:
+    ///
+    /// * [`ResetMode::Snapshot`] (the default): restore from the
+    ///   copy-on-write post-load image captured at boot, copying back
+    ///   only what the last run dirtied (`restore_from_snapshot`). This
+    ///   is what makes per-request machine recycling
+    ///   (`levee_core::session::Session::run_batch`) nearly free.
+    /// * [`ResetMode::Loader`], or any boot that captured no snapshot:
+    ///   tear down and re-run the loader from the module image.
+    ///
+    /// [`Machine::last_reset_stats`] reports what the reset cost.
     ///
     /// The safe pointer store and the provenance table form one
     /// lifecycle unit — store slots hold generation-checked [`MetaId`]s
-    /// into the table — and the reset keeps them coherent: the old
-    /// store (slots included) is discarded wholesale by the rebuild,
-    /// while the table survives with its generation bumped, so any
-    /// handle a caller kept across the reset (in a [`V`]) resolves to
-    /// `None` (trapping as metadata-less) instead of silently aliasing
-    /// a record of the new generation. Everything else is rebuilt
-    /// through the same constructor as [`Machine::new`], so a reset
-    /// machine replays bit-identically to a fresh one.
+    /// into the table — and both reset paths keep them coherent. The
+    /// loader path discards the store wholesale while the table
+    /// survives with its generation bumped, so any handle a caller kept
+    /// across the reset (in a [`V`]) resolves to `None` (trapping as
+    /// metadata-less) instead of silently aliasing a record of the new
+    /// generation. The snapshot path rewinds the table to its post-load
+    /// mark instead: loader-minted handles (the ones store slots can
+    /// hold at the restore point) stay valid, while run-minted handles
+    /// point past the arena and likewise resolve to `None`.
     pub fn reset(&mut self) {
+        if self.config.reset_mode == ResetMode::Snapshot && self.snapshot.is_some() {
+            self.restore_from_snapshot();
+            return;
+        }
         // Bump the generation before the rebuild: `boot` re-interns the
         // loader's handles into the surviving table, so they (and
         // nothing minted earlier) are the only live handles afterwards.
@@ -412,6 +484,85 @@ impl<'m> Machine<'m> {
         if tracing {
             self.cache.enable_trace();
         }
+        self.last_reset = ResetStats::default();
+    }
+
+    /// The snapshot arm of [`Machine::reset`]: reverts exactly what the
+    /// last run dirtied and re-establishes the handful of scalars a
+    /// fresh boot would compute, without touching the loader.
+    ///
+    /// The heavy state restores itself component by component —
+    /// [`Memory::restore_snapshot`] re-shares dirty pages,
+    /// `PtrStore::restore_snapshot` reverts dirty store structure,
+    /// [`Heap::restore_snapshot`] copies the allocator maps back only
+    /// if the run allocated, and [`MetaTable::truncate_to`] drops
+    /// run-interned provenance. Everything else (stacks, cache, stats,
+    /// output, setjmp contexts) is cleared or recomputed here exactly
+    /// as [`Machine::boot`] would have produced it.
+    fn restore_from_snapshot(&mut self) {
+        let snap = self.snapshot.take().expect("snapshot present");
+        let (pages_dirtied, bytes_restored) = self.mem.restore_snapshot();
+        let store_bytes_restored = self.store.restore_snapshot();
+        self.heap.restore_snapshot();
+        let meta_entries_dropped = self.meta.truncate_to(&snap.meta);
+        // Cache reset empties the touch log but keeps tracing enabled,
+        // matching the loader path's re-enable.
+        self.cache.reset();
+        self.stats = ExecStats::default();
+        // Frames left by a trapped run recycle through the same pool as
+        // completed calls — `recycle_vec` clears them, upholding
+        // `take_vec`'s invariant that pooled vectors are empty.
+        let leftovers: Vec<_> = self.frames.drain(..).map(|f| f.regs).collect();
+        for regs in leftovers {
+            self.recycle_vec(regs);
+        }
+        self.shadow_stack.clear();
+        self.sp = self.layout.stack_top;
+        self.unsafe_sp = self.layout.unsafe_stack_top;
+        self.safe_sp = self.layout.safe_stack_top();
+        self.cookie = snap.cookie;
+        self.output.clear();
+        self.input.clear();
+        self.input_pos = 0;
+        self.rng_state = snap.rng_state;
+        self.setjmp_ctxs.clear();
+        self.safe_stack_meta.clear();
+        self.sfi_masked = 0;
+        // A fresh profiler, like a fresh boot's (profiling may also
+        // have been enabled after boot via `enable_profile`).
+        if self.config.profile {
+            self.probe = Some(Box::new(Profiler::new(self.module)));
+        }
+        self.last_reset = ResetStats {
+            used_snapshot: true,
+            pages_dirtied,
+            bytes_restored,
+            store_bytes_restored,
+            meta_entries_dropped,
+        };
+        self.snapshot = Some(snap);
+    }
+
+    /// What the most recent [`Machine::reset`] cost (all-zero before
+    /// the first reset). Reset cost lives outside [`ExecStats`] so the
+    /// simulated counters of a recycled run stay bit-identical to a
+    /// fresh machine's.
+    pub fn last_reset_stats(&self) -> ResetStats {
+        self.last_reset
+    }
+
+    /// Pages held by the post-load snapshot (0 when booted with
+    /// [`ResetMode::Loader`]).
+    pub fn snapshot_pages(&self) -> usize {
+        self.mem.snapshot_pages()
+    }
+
+    /// Bytes the snapshot holds privately — pre-write copies of pages
+    /// the current run has dirtied. Clean pages are shared with the
+    /// live image and counted once, by the regular residency; see
+    /// [`Memory::snapshot_private_bytes`].
+    pub fn snapshot_private_bytes(&self) -> u64 {
+        self.mem.snapshot_private_bytes()
     }
 
     fn load(&mut self) {

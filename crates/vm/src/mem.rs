@@ -6,6 +6,7 @@
 //! paging, endianness and write protection of code/rodata.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use levee_rt::FastHash;
 
@@ -22,7 +23,14 @@ pub enum MemError {
 }
 
 /// One backing page.
-type Page = Box<[u8; PAGE_SIZE as usize]>;
+///
+/// Pages are reference-counted so a captured snapshot (see
+/// [`Memory::capture_snapshot`]) can share clean pages with the live
+/// image copy-on-write: a page whose `Arc` is shared with the baseline
+/// is split by [`Arc::make_mut`] on first write and recorded in the
+/// dirty list, so [`Memory::restore_snapshot`] only touches what a run
+/// actually wrote.
+type Page = Arc<[u8; PAGE_SIZE as usize]>;
 
 /// Number of directly-indexed page slots covering the low 4 GB — the
 /// whole regular region (code, globals, heap, stacks) lives below this
@@ -63,6 +71,33 @@ pub struct Memory {
     /// Ranges that reads may touch without an explicit prior write
     /// (mapped-but-zero regions: stacks, bss). Reads elsewhere fault.
     mapped: Vec<(u64, u64)>,
+    /// Post-load baseline image shared copy-on-write with the live
+    /// pages. `Some` turns on dirty tracking in the write chokepoints.
+    baseline: Option<Box<MemBaseline>>,
+    /// Page indices dirtied since the last capture/restore. No dedup
+    /// needed: the first write to a shared page splits its `Arc`
+    /// (strong count drops to 1 on the live side), so later writes
+    /// skip the push; run-materialized pages are pushed exactly once,
+    /// at materialization.
+    dirty: Vec<u64>,
+    /// True when `protect`/`map_zero` ran after capture — the range
+    /// sets must then be cloned back from the baseline on restore.
+    ranges_dirty: bool,
+}
+
+/// Immutable post-load image backing [`Memory::restore_snapshot`].
+///
+/// Holds an `Arc` clone of every page resident at capture time (both
+/// tiers, keyed by page index) plus the scalars and range sets a run
+/// can move. Clean pages stay physically shared with the live image —
+/// the snapshot's only private memory is the pre-write copy of pages
+/// the current run has dirtied (see
+/// [`Memory::snapshot_private_bytes`]).
+struct MemBaseline {
+    pages: HashMap<u64, Page, FastHash>,
+    resident: usize,
+    protected: Vec<(u64, u64)>,
+    mapped: Vec<(u64, u64)>,
 }
 
 impl Memory {
@@ -74,6 +109,9 @@ impl Memory {
     /// Marks `[start, start+len)` write-protected (returns nothing; the
     /// protection is enforced on every subsequent write).
     pub fn protect(&mut self, start: u64, len: u64) {
+        if self.baseline.is_some() {
+            self.ranges_dirty = true;
+        }
         self.protected.push((start, start.saturating_add(len)));
     }
 
@@ -83,6 +121,9 @@ impl Memory {
     /// per allocation, so lookups must not degrade to a linear scan
     /// over thousands of entries.
     pub fn map_zero(&mut self, start: u64, len: u64) {
+        if self.baseline.is_some() {
+            self.ranges_dirty = true;
+        }
         let end = start.saturating_add(len);
         let mut i = self.mapped.partition_point(|&(s, _)| s < start);
         self.mapped.insert(i, (start, end));
@@ -135,34 +176,73 @@ impl Memory {
     }
 
     /// Mutable access to the resident page containing `page_idx`.
+    ///
+    /// This is one of the two write chokepoints (with
+    /// [`ensure_page`](Self::ensure_page)): when a snapshot is live and
+    /// the page is still shared with it, the page is recorded dirty and
+    /// split copy-on-write before the caller writes through it.
     #[inline(always)]
     fn page_mut(&mut self, page_idx: u64) -> Option<&mut [u8; PAGE_SIZE as usize]> {
         if page_idx < LOW_PAGES {
-            self.low.get_mut(page_idx as usize)?.as_deref_mut()
+            let page = self.low.get_mut(page_idx as usize)?.as_mut()?;
+            if self.baseline.is_some() && Arc::strong_count(page) > 1 {
+                self.dirty.push(page_idx);
+            }
+            Some(Arc::make_mut(page))
         } else {
-            self.high_pages.get_mut(&page_idx).map(|p| &mut **p)
+            let page = self.high_pages.get_mut(&page_idx)?;
+            if self.baseline.is_some() && Arc::strong_count(page) > 1 {
+                self.dirty.push(page_idx);
+            }
+            Some(Arc::make_mut(page))
         }
     }
 
-    /// Materializes (or returns) the page containing `page_idx`.
+    /// Materializes (or returns) the page containing `page_idx` — the
+    /// second write chokepoint; see [`page_mut`](Self::page_mut) for
+    /// the dirty-tracking contract. Pages materialized while a snapshot
+    /// is live are dirty by construction (the baseline doesn't hold
+    /// them) and recorded here, at materialization.
     fn ensure_page(&mut self, page_idx: u64) -> &mut [u8; PAGE_SIZE as usize] {
+        let tracking = self.baseline.is_some();
         if page_idx < LOW_PAGES {
             if self.low.is_empty() {
                 // One zeroed 8 MB table; the host OS backs it lazily.
                 self.low = vec![None; LOW_PAGES as usize];
             }
             let slot = &mut self.low[page_idx as usize];
-            if slot.is_none() {
-                *slot = Some(Box::new([0; PAGE_SIZE as usize]));
-                self.resident += 1;
+            match slot {
+                Some(page) => {
+                    if tracking && Arc::strong_count(page) > 1 {
+                        self.dirty.push(page_idx);
+                    }
+                    Arc::make_mut(page)
+                }
+                None => {
+                    if tracking {
+                        self.dirty.push(page_idx);
+                    }
+                    self.resident += 1;
+                    Arc::make_mut(slot.insert(Arc::new([0; PAGE_SIZE as usize])))
+                }
             }
-            slot.as_deref_mut().expect("just ensured")
         } else {
-            let resident = &mut self.resident;
-            self.high_pages.entry(page_idx).or_insert_with(|| {
-                *resident += 1;
-                Box::new([0; PAGE_SIZE as usize])
-            })
+            match self.high_pages.entry(page_idx) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let page = e.into_mut();
+                    if tracking && Arc::strong_count(page) > 1 {
+                        self.dirty.push(page_idx);
+                    }
+                    Arc::make_mut(page)
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    if tracking {
+                        self.dirty.push(page_idx);
+                    }
+                    self.resident += 1;
+                    Arc::make_mut(e.insert(Arc::new([0; PAGE_SIZE as usize])))
+                }
+            }
         }
     }
 
@@ -385,13 +465,126 @@ impl Memory {
         Ok(out)
     }
 
-    /// Number of resident (materialized) pages.
+    /// Captures the current image as the restore baseline and turns on
+    /// dirty tracking in the write chokepoints.
+    ///
+    /// Cheap in memory: every resident page is shared with the
+    /// baseline by `Arc` clone, so capture costs one refcount bump and
+    /// one map entry per page, not a byte copy. The scalars and range
+    /// sets (`protected`, `mapped`) are cloned since runs can grow
+    /// them (`malloc` maps a range per allocation).
+    ///
+    /// Called by the machine once, right after `load()` — see
+    /// `Machine::boot` in `levee-vm` — and recapturing simply replaces
+    /// the baseline with the current image.
+    pub fn capture_snapshot(&mut self) {
+        let mut pages = HashMap::with_capacity_and_hasher(self.resident, FastHash::default());
+        for (idx, slot) in self.low.iter().enumerate() {
+            if let Some(page) = slot {
+                pages.insert(idx as u64, Arc::clone(page));
+            }
+        }
+        for (&idx, page) in &self.high_pages {
+            pages.insert(idx, Arc::clone(page));
+        }
+        self.baseline = Some(Box::new(MemBaseline {
+            pages,
+            resident: self.resident,
+            protected: self.protected.clone(),
+            mapped: self.mapped.clone(),
+        }));
+        self.dirty.clear();
+        self.ranges_dirty = false;
+    }
+
+    /// Reverts every page the last run dirtied back to the captured
+    /// baseline, leaving the image bit-identical to the moment of
+    /// [`capture_snapshot`](Self::capture_snapshot).
+    ///
+    /// Cost is proportional to what the run touched, not to the image:
+    /// baseline pages are re-shared by `Arc` clone (the run's private
+    /// copy is dropped), run-materialized pages are unmapped. Returns
+    /// `(pages_dirtied, bytes_restored)` where `bytes_restored` counts
+    /// a page size per baseline page reverted (dropped run-only pages
+    /// restore no bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no snapshot was captured — restoring without a
+    /// baseline is a machine lifecycle bug, not a recoverable state.
+    pub fn restore_snapshot(&mut self) -> (u64, u64) {
+        let baseline = self.baseline.take().expect("no baseline captured");
+        let pages_dirtied = self.dirty.len() as u64;
+        let mut bytes_restored = 0u64;
+        for idx in std::mem::take(&mut self.dirty) {
+            let restored = baseline.pages.get(&idx).map(Arc::clone);
+            if restored.is_some() {
+                bytes_restored += PAGE_SIZE;
+            }
+            if idx < LOW_PAGES {
+                // Dirty low pages were materialized, so the table is
+                // allocated and covers `idx`.
+                self.low[idx as usize] = restored;
+            } else {
+                match restored {
+                    Some(page) => drop(self.high_pages.insert(idx, page)),
+                    None => drop(self.high_pages.remove(&idx)),
+                }
+            }
+        }
+        self.resident = baseline.resident;
+        if self.ranges_dirty {
+            self.protected = baseline.protected.clone();
+            self.mapped = baseline.mapped.clone();
+            self.ranges_dirty = false;
+        }
+        self.baseline = Some(baseline);
+        (pages_dirtied, bytes_restored)
+    }
+
+    /// True once [`capture_snapshot`](Self::capture_snapshot) has run.
+    pub fn has_snapshot(&self) -> bool {
+        self.baseline.is_some()
+    }
+
+    /// Number of pages held by the captured baseline (0 without one).
+    pub fn snapshot_pages(&self) -> usize {
+        self.baseline.as_ref().map_or(0, |b| b.pages.len())
+    }
+
+    /// Bytes the snapshot holds *privately* — baseline pages no longer
+    /// shared with the live image because the current run dirtied them
+    /// (their `Arc` strong count dropped to 1, the baseline's own).
+    ///
+    /// This is the snapshot's true incremental footprint: clean pages
+    /// are physically shared and already counted by
+    /// [`resident_bytes`](Self::resident_bytes), so
+    /// `resident_bytes() + snapshot_private_bytes()` is the whole
+    /// image's cost with no double counting.
+    pub fn snapshot_private_bytes(&self) -> u64 {
+        self.baseline.as_ref().map_or(0, |b| {
+            b.pages
+                .values()
+                .filter(|p| Arc::strong_count(p) == 1)
+                .count() as u64
+                * PAGE_SIZE
+        })
+    }
+
+    /// Number of resident (materialized) pages in the live image.
+    ///
+    /// Pages shared copy-on-write with a captured snapshot are counted
+    /// once: the baseline's `Arc` clones alias the same allocations,
+    /// so residency here *is* the physical footprint of the live image
+    /// (see [`snapshot_private_bytes`](Self::snapshot_private_bytes)
+    /// for the snapshot's own increment).
     pub fn resident_pages(&self) -> usize {
         self.resident
     }
 
     /// Resident bytes (pages × page size) — the denominator of the
-    /// memory-overhead experiments.
+    /// memory-overhead experiments. Snapshot-shared pages are counted
+    /// once; see [`resident_pages`](Self::resident_pages).
     pub fn resident_bytes(&self) -> u64 {
         self.resident as u64 * PAGE_SIZE
     }
@@ -532,5 +725,106 @@ mod tests {
         assert_eq!(m.read_u8(0x300f).unwrap(), 0xAB);
         assert_eq!(m.resident_pages(), 1);
         assert_eq!(m.resident_bytes(), PAGE_SIZE);
+    }
+
+    #[test]
+    fn snapshot_restore_reverts_only_dirtied_pages() {
+        let mut m = Memory::new();
+        m.map_zero(0x1000, 3 * 4096);
+        m.write_uint(0x1000, 0xAAAA, 8).unwrap(); // page 1: baseline data
+        m.write_uint(0x2000, 0xBBBB, 8).unwrap(); // page 2: baseline data
+        m.capture_snapshot();
+        assert!(m.has_snapshot());
+        assert_eq!(m.snapshot_pages(), 2);
+
+        // A clean run restores nothing.
+        assert_eq!(m.restore_snapshot(), (0, 0));
+
+        // Dirty one baseline page and materialize one run-only page.
+        m.write_uint(0x1000, 0xDEAD, 8).unwrap();
+        m.write_uint(0x3000, 0xC0DE, 8).unwrap();
+        let (pages_dirtied, bytes_restored) = m.restore_snapshot();
+        assert_eq!(pages_dirtied, 2);
+        assert_eq!(bytes_restored, PAGE_SIZE); // only page 1 came from the baseline
+        assert_eq!(m.read_uint(0x1000, 8).unwrap(), 0xAAAA);
+        assert_eq!(m.read_uint(0x2000, 8).unwrap(), 0xBBBB);
+        // The run-only page is gone; its mapped range reads as zero again.
+        assert_eq!(m.read_uint(0x3000, 8).unwrap(), 0);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn snapshot_restore_reverts_run_mapped_ranges_and_protection() {
+        let mut m = Memory::new();
+        m.map_zero(0x1000, 4096);
+        m.write_u8(0x1000, 1).unwrap();
+        m.capture_snapshot();
+
+        // A run maps a fresh range (like malloc does) and writes it.
+        m.map_zero(0x8000, 4096);
+        m.write_u8(0x8000, 7).unwrap();
+        assert_eq!(m.read_u8(0x8000).unwrap(), 7);
+        m.restore_snapshot();
+        // After restore the range is unmapped again: reads fault.
+        assert_eq!(m.read_u8(0x8000), Err(MemError::Unmapped { addr: 0x8000 }));
+
+        // Same for a high-tier (safe region) page.
+        let high = 1u64 << 33;
+        m.map_zero(high, 4096);
+        m.write_u8(high, 9).unwrap();
+        m.restore_snapshot();
+        assert_eq!(m.read_u8(high), Err(MemError::Unmapped { addr: high }));
+        assert_eq!(m.resident_pages(), 1);
+    }
+
+    #[test]
+    fn snapshot_restore_is_repeatable_and_bit_identical() {
+        let mut m = Memory::new();
+        m.map_zero(0x1000, 8 * 4096);
+        for p in 0..8u64 {
+            m.write_uint(0x1000 + p * 4096, 0x100 + p, 8).unwrap();
+        }
+        m.capture_snapshot();
+        for round in 0..3u64 {
+            for p in 0..8u64 {
+                m.write_uint(0x1000 + p * 4096, round.wrapping_mul(p), 8)
+                    .unwrap();
+            }
+            let (pages_dirtied, bytes_restored) = m.restore_snapshot();
+            assert_eq!(pages_dirtied, 8);
+            assert_eq!(bytes_restored, 8 * PAGE_SIZE);
+            for p in 0..8u64 {
+                assert_eq!(m.read_uint(0x1000 + p * 4096, 8).unwrap(), 0x100 + p);
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_shared_pages_are_counted_once() {
+        let mut m = Memory::new();
+        m.map_zero(0x1000, 2 * 4096);
+        m.write_u8(0x1000, 1).unwrap();
+        m.write_u8(0x2000, 2).unwrap();
+        let before = m.resident_bytes();
+        m.capture_snapshot();
+        // Capture shares pages instead of copying: residency is
+        // unchanged and the snapshot holds nothing private yet.
+        assert_eq!(m.resident_bytes(), before);
+        assert_eq!(m.snapshot_private_bytes(), 0);
+        // Dirtying a page splits it: the baseline's pre-write copy is
+        // now the snapshot's own.
+        m.write_u8(0x1000, 0xFF).unwrap();
+        assert_eq!(m.snapshot_private_bytes(), PAGE_SIZE);
+        assert_eq!(m.resident_bytes(), before);
+        // Restore re-shares it.
+        m.restore_snapshot();
+        assert_eq!(m.snapshot_private_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no baseline captured")]
+    fn restore_without_capture_is_a_lifecycle_bug() {
+        let mut m = Memory::new();
+        m.restore_snapshot();
     }
 }

@@ -549,6 +549,9 @@ impl Profiler {
             func_names,
             events: self.ring.events(),
             dropped_events: self.ring.dropped,
+            // The profiler doesn't see machine recycling; the machine
+            // stamps its `last_reset_stats` in `profile_report`.
+            reset: crate::stats::ResetStats::default(),
         }
     }
 }
@@ -640,6 +643,11 @@ pub struct ProfileReport {
     pub events: Vec<TraceEvent>,
     /// Events dropped because the ring wrapped.
     pub dropped_events: u64,
+    /// What re-arming the machine for this run cost (the machine's
+    /// `last_reset_stats` at report time; all-zero when the machine
+    /// was never reset). Host-side bookkeeping — reset cost never
+    /// enters the cycle attribution above.
+    pub reset: crate::stats::ResetStats,
 }
 
 impl ProfileReport {
@@ -728,10 +736,18 @@ impl ProfileReport {
             .collect();
         format!(
             "{{\"total_cycles\": {}, \"total_insts\": {}, \"dropped_events\": {}, \
+             \"reset\": {{\"used_snapshot\": {}, \"pages_dirtied\": {}, \
+             \"bytes_restored\": {}, \"store_bytes_restored\": {}, \
+             \"meta_entries_dropped\": {}}}, \
              \"ops\": [{}], \"funcs\": [{}], \"check_sites\": [{}]}}",
             self.total_cycles,
             self.total_insts,
             self.dropped_events,
+            self.reset.used_snapshot,
+            self.reset.pages_dirtied,
+            self.reset.bytes_restored,
+            self.reset.store_bytes_restored,
+            self.reset.meta_entries_dropped,
             ops.join(", "),
             funcs.join(", "),
             sites.join(", ")

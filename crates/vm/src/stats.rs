@@ -8,7 +8,7 @@
 /// layer) decomposes [`cycles`](ExecStats::cycles) into per-opcode,
 /// per-function and per-check-site attribution without perturbing any
 /// counter here.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExecStats {
     /// Total simulated cycles (the "time" axis of every overhead table).
     pub cycles: u64,
@@ -40,6 +40,32 @@ pub struct ExecStats {
     pub heap_peak: u64,
     /// Bytes of attacker payload consumed.
     pub input_consumed: u64,
+}
+
+/// What the last `Machine::reset` cost, in host work — deliberately
+/// *outside* [`ExecStats`]: reset cost is a property of machine
+/// recycling, not of the simulated run, and folding it into the run
+/// counters would break the bit-identical-replay invariant the
+/// differential suites enforce.
+///
+/// Populated by `Machine::reset` (see `machine/mod.rs`) and surfaced
+/// per run on `levee_core::session::RunReport` and in `--profile`
+/// renderings. All-default (zero) until the first reset.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResetStats {
+    /// True when the reset restored from the copy-on-write snapshot;
+    /// false for a full loader re-boot
+    /// ([`crate::config::ResetMode::Loader`] or no snapshot yet).
+    pub used_snapshot: bool,
+    /// Memory pages the previous run dirtied (reverted or unmapped).
+    pub pages_dirtied: u64,
+    /// Bytes copied back from the snapshot's memory image.
+    pub bytes_restored: u64,
+    /// Simulated safe-pointer-store bytes copied back.
+    pub store_bytes_restored: u64,
+    /// Provenance-table entries interned by the run and dropped by the
+    /// rewind.
+    pub meta_entries_dropped: u64,
 }
 
 impl ExecStats {

@@ -14,6 +14,9 @@
 //! * bytecode, fusion on         (the superinstruction tier)
 //! * bytecode, fusion on, profiler on  (profiling is host-side
 //!   observation: every counter must be bit-identical with it on)
+//! * bytecode, fusion on, snapshot-recycled  (run → copy-on-write
+//!   snapshot reset → run again on one machine: recycling must replay
+//!   bit-identically against a fresh boot)
 //!
 //! …and the whole lineup repeats for every safe-pointer-store
 //! organization (`DIFF_FUZZ_STORES` selects a subset by name, e.g.
@@ -408,6 +411,49 @@ fn differential(src: &str, config: BuildConfig, fuel: u64, what: &str) {
                 run.stats.cycles,
                 run.stats.insts,
                 run.output,
+            );
+        }
+        // Snapshot-recycled twin: run the fused bytecode configuration
+        // twice through one machine with a copy-on-write snapshot reset
+        // between the runs. The recycled second run must be
+        // bit-identical to a fresh machine's — the reset restores the
+        // post-load memory image, safe-pointer store, heap clock and
+        // provenance arena exactly (see `levee_vm::mem::Memory`).
+        {
+            let cfg = base.with_engine(Engine::Bytecode).with_fusion(true);
+            let mut vm = Machine::new(&built.module, cfg);
+            vm.run(b"");
+            vm.reset();
+            assert!(
+                vm.last_reset_stats().used_snapshot,
+                "{what}: default reset must take the snapshot path"
+            );
+            let recycled = vm.run(b"");
+            let agree = recycled.status == reference.status
+                && recycled.output == reference.output
+                && recycled.stats.cycles == reference.stats.cycles
+                && recycled.stats.insts == reference.stats.insts
+                && recycled.stats.mem_ops == reference.stats.mem_ops
+                && recycled.stats.cpi_mem_ops == reference.stats.cpi_mem_ops
+                && recycled.stats.checks == reference.stats.checks
+                && recycled.stats.cache_hits == reference.stats.cache_hits
+                && recycled.stats.cache_misses == reference.stats.cache_misses
+                && recycled.stats.calls == reference.stats.calls;
+            assert!(
+                agree,
+                "{what} under {} store {} fuel {fuel}: snapshot-recycled run diverged from fresh\n\
+                 fresh: {:?} cycles {} insts {} out {:?}\n\
+                 recycled: {:?} cycles {} insts {} out {:?}\n--- source ---\n{src}",
+                config.name(),
+                store.name(),
+                reference.status,
+                reference.stats.cycles,
+                reference.stats.insts,
+                reference.output,
+                recycled.status,
+                recycled.stats.cycles,
+                recycled.stats.insts,
+                recycled.output,
             );
         }
         // Store geometry must be cost-model-only: semantics and

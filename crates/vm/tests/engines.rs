@@ -8,7 +8,7 @@
 
 use levee_core::{build_source, BuildConfig, RunReport, Session};
 use levee_ripe::{all_attacks, run_attack_with, Profile};
-use levee_vm::{Engine, ExitStatus, Isolation, StoreKind, Trap, VmConfig};
+use levee_vm::{Engine, ExitStatus, Isolation, ResetMode, StoreKind, Trap, VmConfig};
 use levee_workloads::kernels;
 
 const ALL_CONFIGS: &[BuildConfig] = &[
@@ -267,9 +267,21 @@ fn ripe_attack_matrix_verdicts_agree_across_engines() {
                 .with_engine(Engine::Bytecode)
                 .with_fusion(true)
                 .with_profile(true);
+            // The harness chains a dry run and the exploit run through
+            // one machine with a reset between them, so the default
+            // lineup already exercises snapshot-reset recycling. A
+            // loader-reset twin pins the other recycling path to the
+            // same verdict.
+            let loader_cfg = VmConfig::default()
+                .with_engine(Engine::Bytecode)
+                .with_fusion(true)
+                .with_reset_mode(ResetMode::Loader);
             let mut verdicts = lineup(VmConfig::default())
                 .into_iter()
-                .chain(std::iter::once((profiled_cfg, "bytecode/fused profile-on")))
+                .chain([
+                    (profiled_cfg, "bytecode/fused profile-on"),
+                    (loader_cfg, "bytecode/fused loader-reset"),
+                ])
                 .map(|(cfg, name)| (run_attack_with(attack, &profile, seed, cfg), name));
             let (walk, _) = verdicts.next().expect("walk verdict");
             for (verdict, name) in verdicts {

@@ -770,3 +770,105 @@ fn reset_clears_runtime_created_store_slots() {
     assert_eq!(second.output, first.output);
     assert_eq!(second.stats.cycles, first.stats.cycles);
 }
+
+// ---------------------------------------------------------------------------
+// Machine::reset — snapshot restore vs loader re-boot
+// ---------------------------------------------------------------------------
+
+/// The two reset mechanisms are observably interchangeable: for every
+/// store organization, a machine recycled by snapshot restore (the
+/// default) produces exactly the counters of one recycled by a full
+/// loader re-boot, which in turn match a fresh machine. Only the
+/// host-side [`Machine::last_reset_stats`] may differ.
+#[test]
+fn snapshot_and_loader_resets_are_bit_identical() {
+    use levee_vm::ResetMode;
+    for store_kind in levee_vm::StoreKind::all() {
+        let m = fptr_module(true);
+        let kind = store_kind.name();
+        let base = VmConfig {
+            store_kind: *store_kind,
+            ..VmConfig::default()
+        };
+        let mut runs = Vec::new();
+        for mode in [ResetMode::Snapshot, ResetMode::Loader] {
+            let mut vm = Machine::new(&m, base.with_reset_mode(mode));
+            let evil = vm.func_entry("evil").unwrap();
+            vm.add_goal(evil, GoalKind::FuncReuse);
+            let first = vm.run(&fptr_payload(evil));
+            vm.reset();
+            assert_eq!(
+                vm.last_reset_stats().used_snapshot,
+                mode == ResetMode::Snapshot,
+                "{kind}: reset must use the configured mechanism"
+            );
+            let second = vm.run(&fptr_payload(evil));
+            runs.push((first, second));
+        }
+        let (snap_first, snap_second) = &runs[0];
+        let (loader_first, loader_second) = &runs[1];
+        assert_eq!(snap_first.status, snap_second.status, "{kind}");
+        for (a, b) in [
+            (snap_first, loader_first),
+            (snap_second, loader_second),
+            (snap_first, snap_second),
+        ] {
+            assert_eq!(a.status, b.status, "{kind}");
+            assert_eq!(a.output, b.output, "{kind}");
+            assert_eq!(a.stats.cycles, b.stats.cycles, "{kind}");
+            assert_eq!(a.stats.insts, b.stats.insts, "{kind}");
+            assert_eq!(a.stats.mem_ops, b.stats.mem_ops, "{kind}");
+            assert_eq!(a.stats.cpi_mem_ops, b.stats.cpi_mem_ops, "{kind}");
+            assert_eq!(a.stats.checks, b.stats.checks, "{kind}");
+            assert_eq!(a.stats.cache_hits, b.stats.cache_hits, "{kind}");
+            assert_eq!(a.stats.cache_misses, b.stats.cache_misses, "{kind}");
+            assert_eq!(a.stats.calls, b.stats.calls, "{kind}");
+            assert_eq!(a.stats.store_bytes, b.stats.store_bytes, "{kind}");
+            assert_eq!(
+                a.stats.store_entries_peak, b.stats.store_entries_peak,
+                "{kind}"
+            );
+            assert_eq!(a.stats.regular_bytes, b.stats.regular_bytes, "{kind}");
+            assert_eq!(a.stats.heap_peak, b.stats.heap_peak, "{kind}");
+        }
+    }
+}
+
+/// The snapshot reset's cost accounting is real and stable: a run
+/// dirties pages, the restore reports them, and repeated
+/// run-reset-run cycles report the same work each round (the restore
+/// leaves the machine exactly where the capture did).
+#[test]
+fn snapshot_reset_reports_stable_costs() {
+    let m = fptr_module(true);
+    let mut vm = Machine::new(&m, VmConfig::default());
+    assert!(vm.snapshot_pages() > 0, "boot captured a snapshot");
+    assert_eq!(
+        vm.snapshot_private_bytes(),
+        0,
+        "pre-run, every snapshot page is shared with the live image"
+    );
+    let evil = vm.func_entry("evil").unwrap();
+    let first = vm.run(&fptr_payload(evil));
+    assert!(
+        vm.snapshot_private_bytes() > 0,
+        "the run dirtied shared pages, splitting them"
+    );
+    let mut costs = Vec::new();
+    for _ in 0..3 {
+        vm.reset();
+        let stats = vm.last_reset_stats();
+        assert!(stats.used_snapshot);
+        assert!(stats.pages_dirtied > 0, "the run wrote stack pages");
+        assert_eq!(
+            vm.snapshot_private_bytes(),
+            0,
+            "restore re-shares every dirtied page"
+        );
+        costs.push(stats);
+        let again = vm.run(&fptr_payload(evil));
+        assert_eq!(again.stats.cycles, first.stats.cycles);
+    }
+    assert_eq!(costs[0], costs[1], "identical runs dirty identical state");
+    assert_eq!(costs[1], costs[2]);
+}
