@@ -15,9 +15,16 @@
 //! * `webserver_throughput.json` — the deterministic per-request
 //!   snapshot-reset cost of each web-stack page (`pages_dirtied`,
 //!   `bytes_restored`): growth means the copy-on-write restore got
-//!   genuinely more expensive. Wall-clock columns in the baselines are
-//!   machine-dependent and never gated; the throughput numbers
-//!   themselves only get a shape check.
+//!   genuinely more expensive. Also the `pool_pages` rows: per-request
+//!   instruction and cycle counts of each page served through a
+//!   2-worker `SessionPool`, which must match serial serving exactly.
+//!   Wall-clock columns in the baselines are machine-dependent and
+//!   never gated; the throughput numbers themselves only get a shape
+//!   check.
+//!
+//! Every gate is *two-sided*: unexplained shrink fails just like
+//! growth, because on deterministic counters a drop means the fresh
+//! run stopped counting something (see `drift.rs`).
 //!
 //! Usage: `cargo run --release -p levee-bench --bin bench_drift
 //! [-- --threshold N] [--warn-only]`. `LEVEE_DRIFT_THRESHOLD` and
@@ -29,13 +36,13 @@
 use std::path::PathBuf;
 
 use levee_bench::drift::{
-    check_engine_compare, check_memory_overhead, check_webserver_reset, DriftCase, DriftReport,
-    FreshCounters, DEFAULT_THRESHOLD_PCT,
+    check_engine_compare, check_memory_overhead, check_webserver_pool, check_webserver_reset,
+    DriftCase, DriftReport, FreshCounters, DEFAULT_THRESHOLD_PCT,
 };
 use levee_bench::geometry::{dense_bytes_per_entry, DENSE_ENTRIES};
 use levee_bench::json::Json;
 use levee_bench::kernels::KERNELS;
-use levee_core::{BuildConfig, Session};
+use levee_core::{BuildConfig, Session, SessionPool};
 use levee_rt::SLOT_SIZE;
 use levee_vm::{StoreKind, VmConfig};
 use levee_workloads::web_stack;
@@ -155,6 +162,39 @@ fn fresh_reset_costs() -> Vec<(String, u64, u64)> {
         .collect()
 }
 
+/// Measures the deterministic per-request execution counters of every
+/// web-stack page served through a 2-worker [`SessionPool`] —
+/// `(page, insts, cycles)` — gated against the baseline's `pool_pages`
+/// rows. Requests within the batch are also asserted bit-identical to
+/// each other, so a worker whose forked machine diverged from its
+/// siblings fails here even before the counter comparison.
+fn fresh_pool_counters() -> Vec<(String, u64, u64)> {
+    web_stack()
+        .iter()
+        .map(|w| {
+            let mut pool = SessionPool::builder()
+                .source(&w.source(1))
+                .name(w.name)
+                .protection(BuildConfig::Cpi)
+                .store(StoreKind::ArraySuperpage)
+                .workers(2)
+                .build()
+                .unwrap_or_else(|e| panic!("{}: page builds: {e}", w.name));
+            let reports = pool.run_batch(std::iter::repeat_n(b"", 4));
+            let first = &reports[0];
+            for r in &reports[1..] {
+                assert_eq!(
+                    (r.output.as_str(), r.exec),
+                    (first.output.as_str(), first.exec),
+                    "{}: pooled requests must be bit-identical across workers",
+                    w.name
+                );
+            }
+            (w.name.to_string(), first.exec.insts, first.exec.cycles)
+        })
+        .collect()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut threshold = std::env::var("LEVEE_DRIFT_THRESHOLD")
@@ -214,13 +254,19 @@ fn main() {
     );
     println!("re-measuring per-request snapshot-reset costs (web stack)...");
     let reset_costs = fresh_reset_costs();
+    println!("re-serving the web stack through a 2-worker pool (deterministic counters)...");
+    let pool_counters = fresh_pool_counters();
     absorb(
         "webserver_throughput",
         baseline("webserver_throughput.json").map(|b| {
             let mut rep = check_webserver_shape(&b);
-            let mut reset = check_webserver_reset(&b, &reset_costs);
-            rep.cases.append(&mut reset.cases);
-            rep.errors.append(&mut reset.errors);
+            for mut part in [
+                check_webserver_reset(&b, &reset_costs),
+                check_webserver_pool(&b, &pool_counters),
+            ] {
+                rep.cases.append(&mut part.cases);
+                rep.errors.append(&mut part.errors);
+            }
             rep
         }),
     );

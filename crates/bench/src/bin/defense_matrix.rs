@@ -11,7 +11,7 @@
 
 use levee_bench::profile::profile_run;
 use levee_bench::{pct, print_json_rows, BenchArgs, Table};
-use levee_core::{BuildConfig, LeveeError, Session};
+use levee_core::{json_f64, BuildConfig, LeveeError, Session};
 use levee_defenses::Deployment;
 use levee_ripe::{all_attacks, evaluate, Profile};
 use levee_vm::{StoreKind, VmConfig};
@@ -73,8 +73,9 @@ fn main() -> Result<(), LeveeError> {
     let mut record = |table: &mut Table, name: String, leaked: usize, overhead: f64| {
         json_rows.push(format!(
             "{{\"mechanism\": \"{name}\", \"hijacks_leaked\": {leaked}, \
-             \"stops_all\": {}, \"avg_overhead_pct\": {overhead:.2}}}",
-            leaked == 0
+             \"stops_all\": {}, \"avg_overhead_pct\": {}}}",
+            leaked == 0,
+            json_f64(overhead, 2)
         ));
         table.row(vec![
             name,

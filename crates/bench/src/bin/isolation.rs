@@ -12,7 +12,7 @@
 
 use levee_bench::profile::profile_run;
 use levee_bench::{pct, print_json_rows, BenchArgs, Table};
-use levee_core::{BuildConfig, LeveeError, Session};
+use levee_core::{json_f64, BuildConfig, LeveeError, Session};
 use levee_vm::{GuessOutcome, Isolation, StoreKind};
 use levee_workloads::spec_suite;
 
@@ -54,8 +54,8 @@ fn main() -> Result<(), LeveeError> {
             n += 1.0;
         }
         json_rows.push(format!(
-            "{{\"isolation\": \"{iso:?}\", \"avg_cpi_overhead_pct\": {:.2}}}",
-            total / n
+            "{{\"isolation\": \"{iso:?}\", \"avg_cpi_overhead_pct\": {}}}",
+            json_f64(total / n, 2)
         ));
         table.row(vec![format!("{iso:?}"), pct(total / n)]);
     }

@@ -19,6 +19,14 @@
 //! deterministic per-request reset cost (pages dirtied, bytes
 //! restored) the `bench_drift` gate tracks.
 //!
+//! The third section is the multi-worker scale-out: a `SessionPool`
+//! compiles the page once, forks N resident machines from the shared
+//! copy-on-write boot snapshot, and shards the request batch across
+//! them. Every pooled request is asserted bit-identical to serial
+//! snapshot-reset serving, and on a ≥4-core host the 4-worker
+//! aggregate req/s is gated ≥2.5× the 1-worker rate. The deterministic
+//! per-page counters land in the baseline as `pool_pages`.
+//!
 //! Usage: `cargo run --release -p levee-bench --bin webserver_throughput
 //! [-- requests] [--json] [--profile]` (`--profile` prints execution
 //! attribution for the dynamic page under CPI — the Table 4 blow-up
@@ -28,7 +36,7 @@ use std::time::Instant;
 
 use levee_bench::profile::profile_run;
 use levee_bench::{pct, print_json_rows, BenchArgs, Table};
-use levee_core::{BuildConfig, LeveeError, RunReport, Session};
+use levee_core::{json_f64, json_str, BuildConfig, LeveeError, RunReport, Session, SessionPool};
 use levee_vm::{ResetMode, StoreKind};
 use levee_workloads::{measure, web_stack, Workload};
 
@@ -63,6 +71,20 @@ const MIN_SNAPSHOT_SPEEDUP: f64 = 2.0;
 /// path must still clearly beat the loader-reset resident path, not
 /// merely match rebuild-per-request.
 const MIN_SNAPSHOT_SPEEDUP_CI: f64 = 1.3;
+
+/// The ISSUE-8 multi-worker gate: on a host with ≥4 cores, the
+/// 4-worker `SessionPool` must serve the aggregate web stack at ≥2.5×
+/// the 1-worker snapshot-reset request rate (near-linear scaling over
+/// shared copy-on-write snapshots; the gap to 4.0× absorbs
+/// cross-worker memory-bandwidth contention and sharding overhead).
+const MIN_POOL_SCALING_4W: f64 = 2.5;
+
+/// Fallback scaling gate for hosts without 4 real cores (CI shared
+/// runners, small containers): wall-clock scaling is physically
+/// impossible without cores, but sharding must never *collapse* —
+/// N workers over one shared snapshot must stay within a small factor
+/// of the 1-worker rate even when time-sliced onto one core.
+const MIN_POOL_SCALING_FLOOR: f64 = 0.5;
 
 struct Throughput {
     page: &'static str,
@@ -231,6 +253,106 @@ fn measure_reuse(
     Ok((rows, aggregate, snapshot_aggregate))
 }
 
+struct PoolThroughput {
+    workers: usize,
+    aggregate_rps: f64,
+    /// Aggregate req/s relative to this run's 1-worker pool row (the
+    /// 1-worker snapshot-reset number the ISSUE-8 gate is phrased
+    /// against).
+    scaling: f64,
+}
+
+/// Serves `n` requests of one page through an N-worker `SessionPool`.
+/// Pool construction (one compile, one boot snapshot, N−1 forks) sits
+/// outside the timed window — a server pays it once at startup, and
+/// keeping it out of every row makes the scaling ratio a pure measure
+/// of sharded serving.
+fn serve_pool(w: &Workload, n: usize, workers: usize) -> Result<(f64, Vec<RunReport>), LeveeError> {
+    let src = w.source(1);
+    let mut pool = SessionPool::builder()
+        .source(&src)
+        .name(w.name)
+        .protection(BuildConfig::Cpi)
+        .store(StoreKind::ArraySuperpage)
+        .workers(workers)
+        .build()?;
+    let t0 = Instant::now();
+    let reports = pool.run_batch(std::iter::repeat_n(b"", n));
+    Ok((t0.elapsed().as_secs_f64(), reports))
+}
+
+/// The multi-worker section: serves the web stack through a
+/// `SessionPool` at each worker count in `worker_counts` (which must
+/// start at 1 — the scaling base) and asserts every per-request report
+/// — output, every simulated counter, and the per-request reset cost —
+/// bit-identical to serial snapshot-reset `run_batch` serving,
+/// regardless of how requests interleave across workers.
+///
+/// The deterministic `(page, insts, cycles)` counters of a pooled
+/// request, recorded in the baseline as `pool_pages` and gated
+/// two-sided by `bench_drift`.
+type PoolPageCounters = Vec<(String, u64, u64)>;
+
+/// Returns the wall-clock rows plus the deterministic per-page
+/// (insts, cycles) counters of a pooled request, which the baseline
+/// records as `pool_pages` and `bench_drift` gates two-sided.
+fn measure_pool(
+    n: usize,
+    worker_counts: &[usize],
+) -> Result<(Vec<PoolThroughput>, PoolPageCounters), LeveeError> {
+    assert_eq!(worker_counts.first(), Some(&1), "scaling base is 1 worker");
+    // Serial snapshot-reset reference: the bit-identity target.
+    let mut serial: Vec<(&'static str, Vec<RunReport>)> = Vec::new();
+    for w in web_stack() {
+        let (_, reports) = serve_resident(&w, n, ResetMode::Snapshot)?;
+        serial.push((w.name, reports));
+    }
+    let mut rows = Vec::new();
+    for &workers in worker_counts {
+        let mut total_s = 0.0;
+        for (w, (page, serial_reports)) in web_stack().iter().zip(&serial) {
+            let mut best = f64::INFINITY;
+            for _ in 0..REPS {
+                let (s, reports) = serve_pool(w, n, workers)?;
+                assert_eq!(reports.len(), serial_reports.len());
+                for (p, twin) in reports.iter().zip(serial_reports) {
+                    assert_eq!(
+                        p.output, twin.output,
+                        "{page}: output diverged under {workers}-worker sharding"
+                    );
+                    assert_eq!(
+                        p.exec, twin.exec,
+                        "{page}: simulated counters diverged under {workers}-worker sharding"
+                    );
+                    assert_eq!(
+                        p.reset, twin.reset,
+                        "{page}: per-request reset cost diverged under {workers}-worker sharding"
+                    );
+                }
+                best = best.min(s);
+            }
+            total_s += best;
+        }
+        rows.push(PoolThroughput {
+            workers,
+            aggregate_rps: (serial.len() * n) as f64 / total_s,
+            scaling: 0.0,
+        });
+    }
+    let base = rows[0].aggregate_rps;
+    for r in &mut rows {
+        r.scaling = r.aggregate_rps / base;
+    }
+    let pool_pages = serial
+        .iter()
+        .map(|(page, reports)| {
+            let r = &reports[0];
+            (page.to_string(), r.exec.insts, r.exec.cycles)
+        })
+        .collect();
+    Ok((rows, pool_pages))
+}
+
 fn main() -> Result<(), LeveeError> {
     let args = BenchArgs::parse();
     let requests = args.scale_or(16, 4);
@@ -271,27 +393,72 @@ fn main() -> Result<(), LeveeError> {
     };
     let (reuse, aggregate, snapshot_aggregate) = measure_reuse(served, gate, snapshot_gate)?;
 
+    // --- Multi-worker sharding over the shared CoW boot snapshot. ---
+    // CI (`--json`) stays at 2 workers — shared runners rarely expose 4
+    // quiet cores; interactive runs sweep 1/2/4. The near-linear 4-worker
+    // gate only applies where 4 real cores exist; elsewhere the floor
+    // gate still catches a sharding collapse.
+    let pool_counts: &[usize] = if args.json { &[1, 2] } else { &[1, 2, 4] };
+    let (pool_rows, pool_pages) = measure_pool(served, pool_counts)?;
+    let host_cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    let four = pool_rows.iter().find(|r| r.workers == 4);
+    if let (Some(four), true) = (four, host_cores >= 4) {
+        assert!(
+            four.scaling >= MIN_POOL_SCALING_4W,
+            "4-worker pool must serve ≥{MIN_POOL_SCALING_4W}x the 1-worker snapshot-reset \
+             aggregate rate on a {host_cores}-core host, got {:.2}x",
+            four.scaling
+        );
+    } else if let Some(last) = pool_rows.last() {
+        assert!(
+            last.scaling >= MIN_POOL_SCALING_FLOOR,
+            "{}-worker pool collapsed to {:.2}x the 1-worker aggregate rate \
+             (floor {MIN_POOL_SCALING_FLOOR}x on a {host_cores}-core host)",
+            last.workers,
+            last.scaling
+        );
+    }
+
     if args.json {
         for t in &reuse {
             json_rows.push(format!(
-                "{{\"page\": \"{}\", \"served_requests\": {served}, \
-                 \"fresh_rps\": {:.1}, \"resident_rps\": {:.1}, \"snapshot_rps\": {:.1}, \
-                 \"reuse_speedup\": {:.2}, \"snapshot_speedup\": {:.2}, \
+                "{{\"page\": {}, \"served_requests\": {served}, \
+                 \"fresh_rps\": {}, \"resident_rps\": {}, \"snapshot_rps\": {}, \
+                 \"reuse_speedup\": {}, \"snapshot_speedup\": {}, \
                  \"pages_dirtied\": {}, \"bytes_restored\": {}}}",
-                t.page,
-                t.fresh_rps,
-                t.resident_rps,
-                t.snapshot_rps,
-                t.speedup,
-                t.snapshot_speedup,
+                json_str(t.page),
+                json_f64(t.fresh_rps, 1),
+                json_f64(t.resident_rps, 1),
+                json_f64(t.snapshot_rps, 1),
+                json_f64(t.speedup, 2),
+                json_f64(t.snapshot_speedup, 2),
                 t.pages_dirtied,
                 t.bytes_restored
             ));
         }
         json_rows.push(format!(
-            "{{\"aggregate_reuse_speedup\": {aggregate:.2}, \
-             \"aggregate_snapshot_speedup\": {snapshot_aggregate:.2}}}"
+            "{{\"aggregate_reuse_speedup\": {}, \
+             \"aggregate_snapshot_speedup\": {}}}",
+            json_f64(aggregate, 2),
+            json_f64(snapshot_aggregate, 2)
         ));
+        for r in &pool_rows {
+            json_rows.push(format!(
+                "{{\"pool_workers\": {}, \"pool_aggregate_rps\": {}, \
+                 \"pool_scaling_vs_1w\": {}}}",
+                r.workers,
+                json_f64(r.aggregate_rps, 1),
+                json_f64(r.scaling, 2)
+            ));
+        }
+        for (page, insts, cycles) in &pool_pages {
+            json_rows.push(format!(
+                "{{\"pool_page\": {}, \"insts\": {insts}, \"cycles\": {cycles}}}",
+                json_str(page)
+            ));
+        }
         print_json_rows("webserver_throughput", &json_rows);
         return Ok(());
     }
@@ -332,6 +499,34 @@ fn main() -> Result<(), LeveeError> {
          request dirtied instead of re-running the loader (the fork-per-request model);\n\
          baseline recorded in crates/bench/baselines/webserver_throughput.json."
     );
+
+    println!(
+        "\nSessionPool sharding over the shared CoW snapshot \
+         ({served} requests per page, {host_cores} host cores):\n"
+    );
+    let mut t3 = Table::new(&["workers", "aggregate req/s", "scaling vs 1 worker"]);
+    for r in &pool_rows {
+        t3.row(vec![
+            r.workers.to_string(),
+            format!("{:.0}", r.aggregate_rps),
+            format!("{:.2}x", r.scaling),
+        ]);
+    }
+    t3.print();
+    if host_cores >= 4 {
+        println!(
+            "\n— every pooled request is bit-identical to serial snapshot-reset serving\n\
+             (output, simulated counters, per-request reset cost); the 4-worker row is\n\
+             gated ≥{MIN_POOL_SCALING_4W}x the 1-worker rate."
+        );
+    } else {
+        println!(
+            "\n— every pooled request is bit-identical to serial snapshot-reset serving\n\
+             (output, simulated counters, per-request reset cost). Only {host_cores} host\n\
+             core(s): the near-linear ≥{MIN_POOL_SCALING_4W}x gate needs 4 real cores, so\n\
+             this run applies the ≥{MIN_POOL_SCALING_FLOOR}x no-collapse floor instead."
+        );
+    }
     if args.profile {
         let stack = web_stack();
         let w = stack

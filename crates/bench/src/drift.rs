@@ -6,7 +6,12 @@
 //! a real cost-model or instrumentation change, not noise — the checker
 //! still takes a threshold (default 5%) so intentional small cost-model
 //! tweaks can land together with refreshed baselines rather than
-//! blocking on a 0.1% wobble. Wall-clock columns in the baselines are
+//! blocking on a 0.1% wobble. The gate is **two-sided**: an unexplained
+//! drop past the threshold fails just like growth, because on
+//! deterministic counters a drop is the signature of an under-counting
+//! bug (dropped `Touched` records, un-charged checks) at least as often
+//! as of a genuine win — a real improvement lands together with its
+//! refreshed baseline. Wall-clock columns in the baselines are
 //! machine-dependent and are *never* gated.
 //!
 //! The library half (this module) is pure comparison logic over parsed
@@ -43,12 +48,16 @@ impl DriftCase {
         (self.current / self.baseline - 1.0) * 100.0
     }
 
-    /// Whether this case regresses past `threshold_pct`. A `NaN` delta
-    /// (degenerate baseline) counts as a regression: a gate that cannot
-    /// compute its metric must fail loudly.
+    /// Whether this case drifts past `threshold_pct` in **either**
+    /// direction. Growth is a regression; an unexplained drop on a
+    /// deterministic counter is just as suspect (under-counting bugs
+    /// shrink counters silently) and must be acknowledged by
+    /// re-recording the baseline. A `NaN` delta (degenerate baseline)
+    /// counts as drift: a gate that cannot compute its metric must
+    /// fail loudly.
     pub fn regressed(&self, threshold_pct: f64) -> bool {
         let d = self.delta_pct();
-        d.is_nan() || d > threshold_pct
+        d.is_nan() || d.abs() > threshold_pct
     }
 }
 
@@ -83,7 +92,7 @@ impl DriftReport {
         for c in &self.cases {
             let d = c.delta_pct();
             let flag = if c.regressed(threshold_pct) {
-                "  <-- REGRESSION"
+                "  <-- DRIFT"
             } else {
                 ""
             };
@@ -102,7 +111,7 @@ impl DriftReport {
         }
         let n = self.regressions(threshold_pct).len();
         out.push_str(&format!(
-            "{} metrics compared, {} regression(s), {} error(s) at threshold {threshold_pct}%\n",
+            "{} metrics compared, {} drift(s), {} error(s) at threshold ±{threshold_pct}%\n",
             self.cases.len(),
             n,
             self.errors.len()
@@ -275,6 +284,58 @@ pub fn check_webserver_reset(baseline: &Json, fresh: &[(String, u64, u64)]) -> D
     report
 }
 
+/// Compares fresh pool-served per-request counters against the
+/// `webserver_throughput.json` baseline's `pool_pages` rows: `(page,
+/// insts per request, cycles per request)`, measured through a
+/// multi-worker `SessionPool`. These are deterministic (pool serving
+/// is bit-identical to serial serving at any worker count — the pool
+/// proptest pins that), so drift here means sharded serving diverged
+/// from the serial cost model. The per-worker-count rps rows in the
+/// same baseline are wall-clock and stay ungated.
+pub fn check_webserver_pool(baseline: &Json, fresh: &[(String, u64, u64)]) -> DriftReport {
+    let mut report = DriftReport::default();
+    let Some(pages) = baseline.get("pool_pages").and_then(Json::as_arr) else {
+        report
+            .errors
+            .push("webserver_throughput baseline: no \"pool_pages\" array".into());
+        return report;
+    };
+    for row in pages {
+        let Some(page) = row.get("page").and_then(Json::as_str) else {
+            report
+                .errors
+                .push("webserver_throughput baseline: pool_pages row without name".into());
+            continue;
+        };
+        let key = format!("webserver_throughput/pool/{page}");
+        let Some(&(_, insts, cycles)) = fresh.iter().find(|(name, _, _)| name == page) else {
+            report
+                .errors
+                .push(format!("{key}: no fresh measurement for this baseline row"));
+            continue;
+        };
+        for (metric, current) in [("insts", insts as f64), ("cycles", cycles as f64)] {
+            match row.get(metric).and_then(Json::as_f64) {
+                Some(b) => report.cases.push(DriftCase {
+                    key: key.clone(),
+                    metric: metric.into(),
+                    baseline: b,
+                    current,
+                }),
+                None => report
+                    .errors
+                    .push(format!("{key}: baseline row lacks \"{metric}\"")),
+            }
+        }
+    }
+    if report.cases.is_empty() && report.errors.is_empty() {
+        report
+            .errors
+            .push("webserver_throughput baseline: empty pool_pages array".into());
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -330,9 +391,29 @@ mod tests {
     }
 
     #[test]
-    fn improvements_do_not_trip_the_gate() {
-        let r = check_engine_compare(&baseline(), &fresh(1_500_000, 2_500_000));
+    fn small_in_threshold_improvements_pass() {
+        // 2_600_000 -> 2_500_000 is -3.8%: inside the ±5% gate.
+        let r = check_engine_compare(&baseline(), &fresh(2_000_000, 2_500_000));
         assert!(r.ok(DEFAULT_THRESHOLD_PCT), "{}", r.render(5.0));
+    }
+
+    /// The gate is two-sided: on a deterministic counter an
+    /// unexplained drop is the signature of an under-counting bug and
+    /// must fail until the baseline is re-recorded alongside the
+    /// change that explains it.
+    #[test]
+    fn an_unexplained_drop_fails_like_growth() {
+        // 2_000_000 -> 1_500_000 is -25%: far past the ±5% gate.
+        let r = check_engine_compare(&baseline(), &fresh(1_500_000, 2_600_000));
+        assert!(!r.ok(DEFAULT_THRESHOLD_PCT));
+        let regs = r.regressions(DEFAULT_THRESHOLD_PCT);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "cycles");
+        assert!(regs[0].delta_pct() < 0.0, "the drift is a drop");
+        // A -6% drop also fails at 5% but passes a loosened ±10% gate.
+        let r = check_engine_compare(&baseline(), &fresh(1_880_000, 2_600_000));
+        assert!(!r.ok(DEFAULT_THRESHOLD_PCT));
+        assert!(r.ok(10.0));
     }
 
     #[test]
@@ -387,7 +468,10 @@ mod tests {
         assert!(!grew.ok(DEFAULT_THRESHOLD_PCT));
         assert_eq!(grew.regressions(DEFAULT_THRESHOLD_PCT).len(), 2);
 
-        // A shrink is an improvement, not a regression.
+        // A shrink past the threshold trips the two-sided gate too:
+        // fewer pages restored than recorded means either the restore
+        // stopped covering dirt (a bug) or a genuine improvement that
+        // must land with a re-recorded baseline.
         let shrank = check_webserver_reset(
             &b,
             &[
@@ -395,7 +479,8 @@ mod tests {
                 ("dynamic-page".into(), 4, 4096),
             ],
         );
-        assert!(shrank.ok(DEFAULT_THRESHOLD_PCT), "{}", shrank.render(5.0));
+        assert!(!shrank.ok(DEFAULT_THRESHOLD_PCT), "{}", shrank.render(5.0));
+        assert_eq!(shrank.regressions(DEFAULT_THRESHOLD_PCT).len(), 2);
 
         // A baseline page with no fresh twin is an error, not a pass.
         let missing = check_webserver_reset(&b, &[("static-page".into(), 4, 8192)]);
@@ -409,6 +494,45 @@ mod tests {
         let r = check_webserver_reset(&stale, &[("static-page".into(), 4, 8192)]);
         assert!(!r.ok(DEFAULT_THRESHOLD_PCT));
         assert_eq!(r.errors.len(), 2);
+    }
+
+    #[test]
+    fn pool_counters_are_gated_two_sided() {
+        let b = Json::parse(
+            r#"{"pool_pages": [
+                {"page": "static-page", "insts": 52000, "cycles": 161000},
+                {"page": "dynamic-page", "insts": 87000, "cycles": 270000}
+            ]}"#,
+        )
+        .unwrap();
+        let ok = check_webserver_pool(
+            &b,
+            &[
+                ("static-page".into(), 52_000, 161_000),
+                ("dynamic-page".into(), 87_000, 270_000),
+            ],
+        );
+        assert!(ok.ok(DEFAULT_THRESHOLD_PCT), "{}", ok.render(5.0));
+        assert_eq!(ok.cases.len(), 4);
+
+        // Growth and shrink both trip the gate.
+        for cycles in [200_000u64, 120_000] {
+            let drifted = check_webserver_pool(
+                &b,
+                &[
+                    ("static-page".into(), 52_000, cycles),
+                    ("dynamic-page".into(), 87_000, 270_000),
+                ],
+            );
+            assert!(!drifted.ok(DEFAULT_THRESHOLD_PCT));
+            assert_eq!(drifted.regressions(DEFAULT_THRESHOLD_PCT).len(), 1);
+        }
+
+        // A baseline predating the pool section is an error, not a
+        // pass: the refresh cannot be forgotten.
+        let stale = Json::parse(r#"{"pages": []}"#).unwrap();
+        let r = check_webserver_pool(&stale, &[("static-page".into(), 1, 1)]);
+        assert!(!r.ok(DEFAULT_THRESHOLD_PCT));
     }
 
     #[test]

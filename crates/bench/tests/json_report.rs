@@ -11,7 +11,7 @@
 
 use levee_bench::json::Json;
 use levee_bench::render_json_rows;
-use levee_core::{BuildConfig, Session};
+use levee_core::{json_f64, BuildConfig, Session};
 
 /// Names chosen to break naive JSON emission: quotes, backslashes
 /// (including a trailing one), control characters, and non-ASCII.
@@ -116,4 +116,45 @@ fn rows_without_profile_round_trip_too() {
         row.get("profile").is_none(),
         "no profile key when the profiler is off"
     );
+}
+
+/// Non-finite floats — the NaN a zero-baseline `overhead_pct` yields,
+/// the infinity of a rate over zero elapsed time — must reach the wire
+/// as JSON `null`, never as the bare `NaN`/`inf` tokens `{:.2}` would
+/// print. This drives them through the same `json_f64` the bench bins
+/// use for every computed rate/percentage and re-parses the bytes.
+#[test]
+fn non_finite_floats_round_trip_as_null() {
+    let zero_elapsed = 0.0_f64;
+    let zero_elapsed_rps = 64.0 / zero_elapsed; // +inf, rate over no time
+    let zero_baseline = 0.0_f64;
+    let zero_baseline_overhead = (100.0 - zero_baseline) / zero_baseline * 100.0; // +inf
+    let nan_overhead = (zero_baseline - zero_baseline) / zero_baseline * 100.0; // NaN
+    let rows = vec![format!(
+        "{{\"page\": \"degenerate\", \"snapshot_rps\": {}, \
+         \"overhead_pct\": {}, \"speedup\": {}, \"finite\": {}}}",
+        json_f64(zero_elapsed_rps, 1),
+        json_f64(zero_baseline_overhead, 2),
+        json_f64(nan_overhead, 2),
+        json_f64(11.06, 2)
+    )];
+    let text = render_json_rows("degenerate", &rows);
+    let parsed = Json::parse(&text).expect("null-bearing report must stay parseable");
+    let row = &parsed
+        .get("degenerate")
+        .and_then(Json::as_arr)
+        .expect("rows")[0];
+    for key in ["snapshot_rps", "overhead_pct", "speedup"] {
+        assert!(
+            matches!(row.get(key), Some(Json::Null)),
+            "{key}: non-finite must arrive as null, got {:?}",
+            row.get(key)
+        );
+        assert_eq!(
+            row.get(key).and_then(Json::as_f64),
+            None,
+            "{key}: null is not a number to consumers"
+        );
+    }
+    assert_eq!(row.get("finite").and_then(Json::as_f64), Some(11.06));
 }

@@ -17,7 +17,10 @@
 //!   entry points and build statistics (Table 2's FNUStack / MO);
 //! * [`session`] — the embedding front door: [`Session`] builds a
 //!   protected program once, keeps a resident machine, and serves
-//!   repeated runs from it.
+//!   repeated runs from it;
+//! * [`pool`] — [`SessionPool`]: the multi-worker counterpart, fanning
+//!   batches across N resident machines forked from one shared build
+//!   and copy-on-write boot snapshot, bit-identical to serial serving.
 //!
 //! ## Example: build once, run many times
 //!
@@ -43,6 +46,7 @@
 
 pub mod driver;
 pub mod instrument;
+pub mod pool;
 pub mod promote;
 pub mod safestack;
 pub mod sensitivity;
@@ -50,6 +54,9 @@ pub mod session;
 pub mod stats;
 
 pub use driver::{build_module, build_source, BuildConfig, Built};
+pub use pool::{SessionPool, SessionPoolBuilder};
 pub use sensitivity::{FnFlow, Mode, Sensitivity};
-pub use session::{LeveeError, RunReport, Session, SessionBuilder, DEFAULT_SEED};
+pub use session::{
+    json_f64, json_str, LeveeError, RunReport, Session, SessionBuilder, DEFAULT_SEED,
+};
 pub use stats::{BuildStats, FuncInstrStats};

@@ -30,6 +30,7 @@
 //! runtime-created code pointers.
 
 use std::fmt;
+use std::sync::Arc;
 
 use levee_ir::{Intrinsic, Module};
 use levee_minic::CompileError;
@@ -148,13 +149,18 @@ pub struct RunReport {
     /// counts, traps and touch sequences are bit-identical with the
     /// profiler on or off.
     pub profile: Option<ProfileReport>,
-    /// What re-arming the resident machine for this run cost
-    /// ([`Machine::last_reset_stats`]): pages dirtied by the *previous*
-    /// run, bytes copied back from the snapshot, store bytes restored.
-    /// All-zero for the first run of a session (no reset happened) and
-    /// `used_snapshot == false` whenever the loader path served the
-    /// reset. Kept outside [`ExecStats`] so recycled runs stay
-    /// bit-identical to fresh ones in every simulated counter.
+    /// What recycling the resident machine cost
+    /// ([`Machine::last_reset_stats`]). For [`Session::run`] this is
+    /// the lazy pre-run re-arm — pages dirtied by the *previous* run,
+    /// all-zero for a session's first run. For [`Session::run_batch`]
+    /// and [`crate::pool::SessionPool`] the machine is recycled
+    /// eagerly after each run instead, so this is the post-run recycle
+    /// cost of *this* request — a pure per-request value, independent
+    /// of scheduling, which is what makes pool reports bit-identical
+    /// to serial ones. `used_snapshot == false` whenever the loader
+    /// path served the reset. Kept outside [`ExecStats`] so recycled
+    /// runs stay bit-identical to fresh ones in every simulated
+    /// counter.
     pub reset: ResetStats,
 }
 
@@ -203,7 +209,7 @@ impl RunReport {
              \"store_bytes\": {}, \"regular_bytes\": {}, \"build\": {{\
              \"funcs\": {}, \"unsafe_frames\": {}, \"mem_ops\": {}, \
              \"instrumented_mem_ops\": {}, \"checks\": {}, \"fn_checks\": {}, \
-             \"fnustack\": {:.4}, \"mo_fraction\": {:.4}}}}}",
+             \"fnustack\": {}, \"mo_fraction\": {}}}}}",
             json_str(&self.name),
             json_str(self.config.name()),
             json_str(self.engine.name()),
@@ -227,8 +233,8 @@ impl RunReport {
             self.build.instrumented_mem_ops,
             self.build.checks,
             self.build.fn_checks,
-            self.build.fnustack(),
-            self.build.mo_fraction(),
+            json_f64(self.build.fnustack(), 4),
+            json_f64(self.build.mo_fraction(), 4),
         );
         // Splice the reset-cost object in before the closing brace so
         // the row stays one JSON object (the drift gate keys on these
@@ -259,6 +265,21 @@ impl RunReport {
 /// escaper behind [`RunReport::to_json`], public so bench binaries
 /// embedding free-form text (trap names, `Debug` renderings) in their
 /// `--json` rows stay well-formed.
+/// Formats a float as a JSON value with `decimals` fixed decimals,
+/// mapping non-finite values to `null`: `NaN` (zero-baseline overhead
+/// percentages, 0-function builds) and `±inf` (zero-elapsed rates)
+/// would otherwise be emitted as the bare tokens `NaN`/`inf`, which
+/// are not valid JSON. Public for the same reason as [`json_str`]:
+/// bench binaries embedding computed floats in their `--json` rows
+/// must stay well-formed on degenerate inputs.
+pub fn json_f64(x: f64, decimals: usize) -> String {
+    if x.is_finite() {
+        format!("{x:.decimals$}")
+    } else {
+        "null".to_string()
+    }
+}
+
 pub fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
@@ -463,33 +484,44 @@ impl SessionBuilder {
 /// [`run`]: Session::run
 /// [`run_batch`]: Session::run_batch
 pub struct Session {
-    // SAFETY: the machine borrows the `Built` behind `built`, a heap
-    // allocation this session owns through a raw pointer. A raw
-    // pointer (rather than a `Box` field) keeps the aliasing model
-    // happy: moving the `Session` copies the pointer without retagging
-    // the allocation, so the machine's promoted `'static` borrow stays
-    // valid for the session's whole life. The allocation is created in
-    // `from_parts`, never mutated or replaced (no `&mut Built` access
-    // exists anywhere), and freed in `Drop` strictly *after* the
-    // machine — the only borrower — has been dropped (hence the
-    // `ManuallyDrop`, which lets `drop` order the teardown explicitly).
+    // SAFETY: the machine borrows the `Built` inside `built`, an
+    // `Arc` allocation this session holds a strong reference to — the
+    // owner-follows-borrower layout. The allocation's address is
+    // stable (moving the `Session` moves only the `Arc` pointer, never
+    // the pointee, and no retag of the allocation happens on a move),
+    // and its contents are never uniquely borrowed: no `&mut Built`
+    // exists anywhere (`Arc::get_mut`/`make_mut` are never called), so
+    // the machine's promoted `'static` shared borrow stays valid for
+    // as long as this session's strong reference — i.e. the machine's
+    // whole life. `Drop` tears the machine down strictly before the
+    // `Arc` field releases that reference (hence the `ManuallyDrop`).
+    //
+    // The `Arc` (rather than a raw `Box::into_raw` pointer, the
+    // previous layout) is what makes the session honestly `Send` and
+    // lets `SessionPool` workers share one immutable build: every
+    // fork holds its own strong reference to the same allocation.
     machine: std::mem::ManuallyDrop<Machine<'static>>,
-    built: *mut Built,
+    built: Arc<Built>,
     name: String,
     cfg: VmConfig,
     ran: bool,
 }
 
+/// Sessions migrate whole into `SessionPool` worker threads; pin the
+/// `Send` guarantee at compile time (it follows from
+/// `Machine<'static>: Send` plus `Built` being plain shareable data).
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Session>();
+};
+
 impl Drop for Session {
     fn drop(&mut self) {
-        // SAFETY: drop the borrower first, then free the allocation it
-        // borrowed. `self.machine` is never touched again (we are in
-        // drop), and `self.built` came from `Box::into_raw` in
-        // `from_parts` and is freed exactly once.
-        unsafe {
-            std::mem::ManuallyDrop::drop(&mut self.machine);
-            drop(Box::from_raw(self.built));
-        }
+        // SAFETY: drop the borrower first; the `Arc` field then
+        // releases this session's reference to the allocation the
+        // machine was borrowing. `self.machine` is never touched again
+        // (we are in drop).
+        unsafe { std::mem::ManuallyDrop::drop(&mut self.machine) };
     }
 }
 
@@ -500,12 +532,8 @@ impl Session {
     }
 
     fn from_parts(name: String, built: Built, cfg: VmConfig) -> Session {
-        let built = Box::into_raw(Box::new(built));
-        // SAFETY: `built` is a live heap allocation with a stable
-        // address; the reference is valid until `Drop` frees it, which
-        // happens only after the machine is gone (see the field and
-        // `Drop` comments above).
-        let module: &'static Module = unsafe { &(*built).module };
+        let built = Arc::new(built);
+        let module = Self::module_ref(&built);
         let machine = std::mem::ManuallyDrop::new(Machine::new(module, cfg));
         Session {
             machine,
@@ -516,12 +544,40 @@ impl Session {
         }
     }
 
-    /// The owned `Built` (see the `SAFETY` notes on the struct: live
-    /// for the session's whole life, never mutated).
+    /// Promotes a borrow of the shared build's module to `'static`.
+    ///
+    /// SAFETY (of the promotion): the reference points into the `Arc`
+    /// allocation, whose address is stable and whose contents are
+    /// never uniquely borrowed; every caller stores the resulting
+    /// machine in a session that also holds a strong reference to
+    /// `built`, and drops the machine before releasing it (see the
+    /// struct-level comment).
+    fn module_ref(built: &Arc<Built>) -> &'static Module {
+        let module: &Module = &built.module;
+        unsafe { &*(module as *const Module) }
+    }
+
+    /// The owned `Built` (live for the session's whole life, never
+    /// mutated — see the `SAFETY` notes on the struct).
     fn built_ref(&self) -> &Built {
-        // SAFETY: `self.built` is valid until `Drop` and only ever
-        // shared immutably.
-        unsafe { &*self.built }
+        &self.built
+    }
+
+    /// Forks this session for another worker: the build stays shared
+    /// (one more strong reference to the same `Arc<Built>`), the
+    /// machine is forked with [`Machine::fork`] — copy-on-write
+    /// snapshot pages shared, all mutable state private — and compiled
+    /// bytecode carries over, so forks of a precompiled session never
+    /// recompile. The fork is fully independent: it can run on another
+    /// thread and never observes the original's writes.
+    pub fn fork(&self) -> Session {
+        Session {
+            machine: std::mem::ManuallyDrop::new(self.machine.fork()),
+            built: Arc::clone(&self.built),
+            name: self.name.clone(),
+            cfg: self.cfg,
+            ran: self.ran,
+        }
     }
 
     /// Runs the program to completion on the attacker-controlled input
@@ -572,14 +628,17 @@ impl Session {
     /// session's run (the reuse claim the `session` proptest pins
     /// down).
     ///
-    /// Between items the machine is re-armed by [`Machine::reset`],
+    /// After each item the machine is recycled by [`Machine::reset`],
     /// which by default restores from the copy-on-write post-load
     /// snapshot captured at build time (`levee_vm::ResetMode::Snapshot`;
     /// the dirty-page tracking lives in `levee_vm::mem::Memory`): each
     /// recycle copies back only the pages, store entries and heap state
-    /// the previous request dirtied — the fork-per-request serving
-    /// model, without the fork. Each item's [`RunReport::reset`] says
-    /// what its re-arm cost.
+    /// the request dirtied — the fork-per-request serving model,
+    /// without the fork. Each item's [`RunReport::reset`] reports its
+    /// *own* recycle cost (see [`Session::run_recycled`]), so batch
+    /// reports are a pure function of the request — bit-identical
+    /// whether the batch is served serially or sharded across a
+    /// [`crate::pool::SessionPool`].
     pub fn run_batch<I, B>(&mut self, inputs: I) -> Vec<RunReport>
     where
         I: IntoIterator<Item = B>,
@@ -587,8 +646,23 @@ impl Session {
     {
         inputs
             .into_iter()
-            .map(|input| self.run(input.as_ref()))
+            .map(|input| self.run_recycled(input.as_ref()))
             .collect()
+    }
+
+    /// Runs one input and eagerly recycles the machine, stamping the
+    /// report's [`RunReport::reset`] with the recycle cost of *this*
+    /// request (rather than [`Session::run`]'s lazy pre-run re-arm,
+    /// whose cost reflects the previous request). This is the serving
+    /// step `run_batch` and the pool share: because every request is
+    /// served from a pristine machine and reports its own dirt, the
+    /// report is independent of what ran before it or on which worker.
+    pub fn run_recycled(&mut self, input: &[u8]) -> RunReport {
+        let mut report = self.run(input);
+        self.machine.reset();
+        self.ran = false;
+        report.reset = self.machine.last_reset_stats();
+        report
     }
 
     /// Rebuilds the resident machine under an adjusted configuration
@@ -597,10 +671,12 @@ impl Session {
     /// do **not** carry over (they belong to the torn-down machine).
     pub fn reconfigure(&mut self, f: impl FnOnce(&mut VmConfig)) {
         f(&mut self.cfg);
-        // SAFETY: same allocation-liveness argument as `from_parts`;
-        // the old machine (the only other borrower) is dropped by the
-        // assignment below before anything can observe a stale borrow.
-        let module: &'static Module = unsafe { &(*self.built).module };
+        // The replacement machine borrows the same shared build; the
+        // old machine is dropped by the assignment. (Under the old raw-
+        // pointer layout this rebuild re-derived a `&'static` from the
+        // raw allocation while the outgoing machine's borrow was still
+        // live — the aliasing hazard the `Arc` layout retires.)
+        let module = Self::module_ref(&self.built);
         *self.machine = Machine::new(module, self.cfg);
         self.ran = false;
     }
@@ -929,6 +1005,60 @@ mod tests {
         }
         assert!(j.contains("json \\\"quoted\\\"\\nname"), "escaping: {j}");
         assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    /// Aliasing-soundness lifecycle (the Miri CI gate runs these unit
+    /// tests): a session keeps serving after being moved — the
+    /// machine's promoted borrow points into the `Arc` allocation,
+    /// which never moves with the session value.
+    #[test]
+    fn moved_sessions_keep_serving() {
+        let s = Session::builder().source(SRC).build().expect("builds");
+        let mut boxed = Box::new(s);
+        let first = boxed.run(b"ab");
+        assert!(first.success());
+        let mut unboxed = *boxed;
+        let second = unboxed.run(b"ab");
+        assert_eq!(first.output, second.output);
+        assert_eq!(first.exec, second.exec);
+    }
+
+    /// Forks serve on worker threads (`Session: Send`), bit-identical
+    /// to the original and to each other, and tear down cleanly while
+    /// the original lives on.
+    #[test]
+    fn forked_sessions_serve_on_worker_threads() {
+        let mut s = Session::builder()
+            .source(SRC)
+            .protection(BuildConfig::Cpi)
+            .build()
+            .expect("builds");
+        s.precompile();
+        let forks: Vec<Session> = (0..2).map(|_| s.fork()).collect();
+        let serial = s.run(b"xyz");
+        for fork in forks {
+            let mut fork = fork;
+            let report = std::thread::spawn(move || fork.run(b"xyz"))
+                .join()
+                .expect("worker panicked");
+            assert_eq!(report.output, serial.output);
+            assert_eq!(report.status, serial.status);
+            assert_eq!(report.exec, serial.exec);
+        }
+        // The original still serves after every fork is gone.
+        assert_eq!(s.run(b"xyz").exec, serial.exec);
+    }
+
+    /// Non-finite floats must surface as JSON `null`, not as the bare
+    /// tokens `NaN`/`inf` — the contract every bench binary's `--json`
+    /// row relies on for computed rates and overhead percentages.
+    #[test]
+    fn json_f64_maps_non_finite_to_null() {
+        assert_eq!(json_f64(f64::NAN, 4), "null");
+        assert_eq!(json_f64(f64::INFINITY, 1), "null");
+        assert_eq!(json_f64(f64::NEG_INFINITY, 2), "null");
+        assert_eq!(json_f64(1.25, 1), "1.2");
+        assert_eq!(json_f64(0.0, 4), "0.0000");
     }
 
     #[test]

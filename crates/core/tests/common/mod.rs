@@ -1,0 +1,70 @@
+//! Shared fixtures for the session and pool property suites: the
+//! generated program family and the bit-identity assertion both suites
+//! gate on.
+
+use levee_core::RunReport;
+
+/// A small program family: input-dependent control flow, array and
+/// heap traffic, and function-pointer dispatch (so CPI instrumentation
+/// and the safe store are genuinely exercised between resets).
+pub fn program(iters: u64, stride: u64, mix: u64) -> String {
+    format!(
+        r#"
+        long acc;
+        void op_add(int v) {{ acc = acc + v; }}
+        void op_mul(int v) {{ acc = acc * 3 + v; }}
+        void op_xor(int v) {{ acc = acc ^ v; }}
+        void (*ops[3])(int) = {{op_add, op_mul, op_xor}};
+        long table[32];
+        char input[64];
+
+        int main() {{
+            long n = read_input(input, 63);
+            acc = n;
+            long i;
+            for (i = 0; i < 32; i = i + 1) {{ table[i] = i * {stride}; }}
+            long* heap = (long*)malloc(128);
+            for (i = 0; i < {iters}; i = i + 1) {{
+                long op = (i + {mix}) % 3;
+                ops[op]((int)(table[(i * {stride}) % 32] & 255));
+                heap[i % 16] = acc;
+                if (n > 0) {{ acc = acc + (long)input[i % n]; }}
+            }}
+            print_int(acc);
+            print_int(heap[7]);
+            free((void*)heap);
+            return 0;
+        }}
+    "#
+    )
+}
+
+/// Every observable the ISSUE names, asserted bit-identical.
+pub fn assert_identical(batch: &RunReport, fresh: &RunReport, ctx: &str) {
+    assert_eq!(batch.status, fresh.status, "{ctx}: status diverged");
+    assert_eq!(batch.output, fresh.output, "{ctx}: output diverged");
+    assert_eq!(
+        batch.exec.insts, fresh.exec.insts,
+        "{ctx}: instruction counts diverged"
+    );
+    assert_eq!(
+        batch.exec.cycles, fresh.exec.cycles,
+        "{ctx}: cycles diverged"
+    );
+    assert_eq!(
+        batch.exec.checks, fresh.exec.checks,
+        "{ctx}: check counts diverged"
+    );
+    // Beyond the ISSUE's five: the rest of the counter set, which
+    // costs nothing extra and pins the reset completely.
+    assert_eq!(
+        (batch.exec.mem_ops, batch.exec.cpi_mem_ops, batch.exec.calls),
+        (fresh.exec.mem_ops, fresh.exec.cpi_mem_ops, fresh.exec.calls),
+        "{ctx}: memory/call counters diverged"
+    );
+    assert_eq!(
+        (batch.exec.cache_hits, batch.exec.cache_misses),
+        (fresh.exec.cache_hits, fresh.exec.cache_misses),
+        "{ctx}: cache behaviour diverged"
+    );
+}

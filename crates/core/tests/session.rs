@@ -15,74 +15,12 @@
 //! reset must tear down — register files, heap churn, safe-store
 //! entries, provenance handles, output buffers — varies case to case.
 
-use levee_core::{BuildConfig, RunReport, Session};
+mod common;
+
+use common::{assert_identical, program};
+use levee_core::{BuildConfig, Session};
 use levee_vm::{Engine, ResetMode, StoreKind};
 use proptest::prelude::*;
-
-/// A small program family: input-dependent control flow, array and
-/// heap traffic, and function-pointer dispatch (so CPI instrumentation
-/// and the safe store are genuinely exercised between resets).
-fn program(iters: u64, stride: u64, mix: u64) -> String {
-    format!(
-        r#"
-        long acc;
-        void op_add(int v) {{ acc = acc + v; }}
-        void op_mul(int v) {{ acc = acc * 3 + v; }}
-        void op_xor(int v) {{ acc = acc ^ v; }}
-        void (*ops[3])(int) = {{op_add, op_mul, op_xor}};
-        long table[32];
-        char input[64];
-
-        int main() {{
-            long n = read_input(input, 63);
-            acc = n;
-            long i;
-            for (i = 0; i < 32; i = i + 1) {{ table[i] = i * {stride}; }}
-            long* heap = (long*)malloc(128);
-            for (i = 0; i < {iters}; i = i + 1) {{
-                long op = (i + {mix}) % 3;
-                ops[op]((int)(table[(i * {stride}) % 32] & 255));
-                heap[i % 16] = acc;
-                if (n > 0) {{ acc = acc + (long)input[i % n]; }}
-            }}
-            print_int(acc);
-            print_int(heap[7]);
-            free((void*)heap);
-            return 0;
-        }}
-    "#
-    )
-}
-
-/// Every observable the ISSUE names, asserted bit-identical.
-fn assert_identical(batch: &RunReport, fresh: &RunReport, ctx: &str) {
-    assert_eq!(batch.status, fresh.status, "{ctx}: status diverged");
-    assert_eq!(batch.output, fresh.output, "{ctx}: output diverged");
-    assert_eq!(
-        batch.exec.insts, fresh.exec.insts,
-        "{ctx}: instruction counts diverged"
-    );
-    assert_eq!(
-        batch.exec.cycles, fresh.exec.cycles,
-        "{ctx}: cycles diverged"
-    );
-    assert_eq!(
-        batch.exec.checks, fresh.exec.checks,
-        "{ctx}: check counts diverged"
-    );
-    // Beyond the ISSUE's five: the rest of the counter set, which
-    // costs nothing extra and pins the reset completely.
-    assert_eq!(
-        (batch.exec.mem_ops, batch.exec.cpi_mem_ops, batch.exec.calls),
-        (fresh.exec.mem_ops, fresh.exec.cpi_mem_ops, fresh.exec.calls),
-        "{ctx}: memory/call counters diverged"
-    );
-    assert_eq!(
-        (batch.exec.cache_hits, batch.exec.cache_misses),
-        (fresh.exec.cache_hits, fresh.exec.cache_misses),
-        "{ctx}: cache behaviour diverged"
-    );
-}
 
 const CASES: u32 = if cfg!(debug_assertions) { 12 } else { 48 };
 
@@ -132,18 +70,17 @@ proptest! {
                     );
                     assert_identical(batched, &fresh, &ctx);
                     assert_identical(&loader_batch[i], &fresh, &format!("{ctx} [loader-reset]"));
-                    // Every run after the first was served off a reset;
-                    // the reset-cost report must name the path taken.
-                    if i > 0 {
-                        assert!(
-                            batched.reset.used_snapshot,
-                            "{ctx}: recycled run must report a snapshot reset"
-                        );
-                        assert!(
-                            !loader_batch[i].reset.used_snapshot,
-                            "{ctx}: loader-mode run must not report a snapshot reset"
-                        );
-                    }
+                    // run_batch recycles eagerly after each request, so
+                    // every report — the first included — carries the
+                    // post-run recycle cost and names the path taken.
+                    assert!(
+                        batched.reset.used_snapshot,
+                        "{ctx}: recycled run must report a snapshot reset"
+                    );
+                    assert!(
+                        !loader_batch[i].reset.used_snapshot,
+                        "{ctx}: loader-mode run must not report a snapshot reset"
+                    );
                 }
             }
         }

@@ -27,6 +27,7 @@ type PageArc = Arc<Vec<Option<Slot>>>;
 
 /// The post-`load()` baseline: every then-resident page (both tiers,
 /// keyed by page index) plus the accounting scalars.
+#[derive(Clone)]
 struct Baseline {
     pages: HashMap<u64, PageArc, FastHash>,
     resident: usize,
@@ -41,6 +42,11 @@ struct Baseline {
 const LOW_SPAN: u64 = 1 << 32;
 
 /// Sparse linear array of slots, with configurable page size.
+///
+/// Cloning (for [`PtrStore::boxed_clone`]) shares both live and
+/// baseline pages `Arc`-CoW with the original; each clone keeps its own
+/// dirty list, so divergence tracking stays per machine.
+#[derive(Clone)]
 pub struct ArrayStore {
     base: u64,
     page_size: u64,
@@ -183,6 +189,10 @@ impl ArrayStore {
 }
 
 impl PtrStore for ArrayStore {
+    fn boxed_clone(&self) -> Box<dyn PtrStore> {
+        Box::new(self.clone())
+    }
+
     fn set(&mut self, addr: u64, slot: Slot) -> Touched {
         let mut t = Touched::default();
         self.set_slot(addr, Some(slot), &mut t);

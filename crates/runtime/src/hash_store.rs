@@ -29,6 +29,7 @@ struct Bucket {
 /// 64-bucket geometry) plus the geometry scalars. Restoring the
 /// capacity and mask keeps probe addresses bit-identical to a fresh
 /// load.
+#[derive(Clone)]
 struct Baseline {
     buckets: Vec<Option<Bucket>>,
     mask: u64,
@@ -37,6 +38,11 @@ struct Baseline {
 }
 
 /// Open-addressing hash table keyed by pointer slot address.
+///
+/// Cloning (for [`PtrStore::boxed_clone`]) deep-copies the table —
+/// it is small (geometry scalars plus resident buckets) and has no
+/// page substructure worth sharing.
+#[derive(Clone)]
 pub struct HashStore {
     base: u64,
     buckets: Vec<Option<Bucket>>,
@@ -152,6 +158,10 @@ impl HashStore {
 }
 
 impl PtrStore for HashStore {
+    fn boxed_clone(&self) -> Box<dyn PtrStore> {
+        Box::new(self.clone())
+    }
+
     fn set(&mut self, addr: u64, slot: Slot) -> Touched {
         if (self.live + 1) * 10 > self.buckets.len() * 7 {
             self.grow();

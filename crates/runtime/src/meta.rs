@@ -109,6 +109,7 @@ impl Default for MetaId {
 /// Slots in the direct-mapped front-cache ahead of the dedup map.
 const RECENT_SLOTS: usize = 16;
 
+#[derive(Clone)]
 pub struct MetaTable {
     entries: Vec<Entry>,
     dedup: HashMap<Entry, MetaId, FastHash>,

@@ -217,7 +217,20 @@ impl StoreKind {
 /// the `#[must_use]` on every method that reports touches. Callers that
 /// genuinely do not charge (the loader populating initializer slots
 /// before execution starts) must opt out with an explicit `let _ =`.
-pub trait PtrStore {
+///
+/// Stores are plain owned data with no interior mutability or shared
+/// handles: the `Send` supertrait lets a whole `Machine` migrate to a
+/// worker thread, and [`PtrStore::boxed_clone`] forks the store for a
+/// new machine. Cloned stores share baseline pages copy-on-write
+/// (`Arc`-backed), but each clone's dirty tracking is private — the
+/// clean-page invariant (`Arc::strong_count > 1` ⟺ shared with *a*
+/// baseline) holds per machine regardless of how many machines share
+/// the pages.
+pub trait PtrStore: Send {
+    /// Forks this store for a new machine: identical contents and
+    /// geometry, baseline pages shared copy-on-write with the original.
+    fn boxed_clone(&self) -> Box<dyn PtrStore>;
+
     /// Inserts or overwrites the slot for `addr`.
     #[must_use = "dropping a Touched loses safe-store cache traffic; charge it or bind `let _ =`"]
     fn set(&mut self, addr: u64, slot: Slot) -> Touched;

@@ -30,6 +30,7 @@ type LeafArc = Arc<Vec<Option<Slot>>>;
 /// The post-`load()` baseline image: leaves (with their sequence
 /// numbers — restoring them keeps simulated leaf addresses
 /// bit-identical to a fresh load), directory pages and the scalars.
+#[derive(Clone)]
 struct Baseline {
     leaves: HashMap<u64, (u64, LeafArc), FastHash>,
     dir_pages: HashSet<u64>,
@@ -38,6 +39,11 @@ struct Baseline {
 }
 
 /// Two-level directory + leaf-table store.
+///
+/// Cloning (for [`PtrStore::boxed_clone`]) shares leaves `Arc`-CoW with
+/// the original; sequence numbers and dirty tracking stay per clone, so
+/// simulated leaf addresses remain deterministic per machine.
+#[derive(Clone)]
 pub struct TwoLevelStore {
     base: u64,
     /// Directory index → (leaf sequence number, leaf storage).
@@ -98,6 +104,10 @@ impl TwoLevelStore {
 }
 
 impl PtrStore for TwoLevelStore {
+    fn boxed_clone(&self) -> Box<dyn PtrStore> {
+        Box::new(self.clone())
+    }
+
     fn set(&mut self, addr: u64, slot: Slot) -> Touched {
         let mut t = Touched::default();
         let (dir_idx, leaf_idx) = Self::split(addr);

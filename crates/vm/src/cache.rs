@@ -13,6 +13,7 @@ use crate::probe::{TouchKind, TouchRecord};
 /// Tags live in one flat array (`sets × ways`, most-recent last within
 /// each set) — the cache is consulted on every simulated memory access,
 /// so the lookup must not chase per-set heap pointers.
+#[derive(Clone)]
 pub struct Cache {
     tags: Vec<u64>, // sets × ways, EMPTY_TAG = invalid
     ways: usize,

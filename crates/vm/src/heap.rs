@@ -25,6 +25,7 @@ pub struct Allocation {
 }
 
 /// Heap state.
+#[derive(Clone)]
 pub struct Heap {
     base: u64,
     limit: u64,
@@ -51,6 +52,7 @@ pub struct Heap {
 /// `load()` holds at most a handful of loader allocations, so a full
 /// clone is cheap — and restores are cheaper still: a run that never
 /// touched the allocator restores nothing (see the `dirty` flag).
+#[derive(Clone)]
 struct HeapBaseline {
     brk: u64,
     next_id: u64,

@@ -229,12 +229,22 @@ pub struct Machine<'m> {
     last_reset: ResetStats,
 }
 
+/// A `Machine` migrates whole into worker threads (levee-core's
+/// `SessionPool`); pin the `Send` guarantee at compile time so a
+/// non-`Send` field (e.g. a store without the `Send` supertrait)
+/// cannot regress it silently.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Machine<'static>>();
+};
+
 /// Machine-level state of the post-`load()` image that is not already
 /// held by a component baseline: the provenance-table high-water
 /// [`MetaMark`] plus the post-load RNG scalars. Everything else a
 /// restore re-establishes is either component-owned
 /// ([`Memory::capture_snapshot`], `PtrStore::capture_snapshot`,
 /// [`Heap::capture_snapshot`]) or recomputed from `config`/`layout`.
+#[derive(Clone)]
 struct Snapshot {
     /// Rewind point for the provenance interner: entries minted by a
     /// run are dropped, loader-minted handles (`func_meta`,
@@ -329,6 +339,78 @@ impl<'m> Machine<'m> {
             });
         }
         m
+    }
+
+    /// Forks this machine into an independent twin for another worker.
+    ///
+    /// The fork shares the copy-on-write substrate with the original:
+    /// memory pages, safe-store pages and their captured baselines stay
+    /// `Arc`-shared until either machine writes to them, so N resident
+    /// workers cost one boot image plus their private dirt. Everything
+    /// mutable — stats, dirty lists, the provenance table, RNG state,
+    /// the cache model — is cloned, never shared, so the fork's clean-
+    /// page invariant (`Arc::strong_count > 1` ⟺ shared with *its own*
+    /// baseline) holds no matter how many machines hold the same pages.
+    ///
+    /// Compiled bytecode and the fusion plan are carried over, so forks
+    /// of a precompiled machine never recompile. The profiler is not
+    /// forked (profiling is per-machine observation): when
+    /// [`VmConfig::profile`] is set the fork starts a fresh probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called mid-run (live frames): forking an executing
+    /// machine is an owner lifecycle bug.
+    pub fn fork(&self) -> Machine<'m> {
+        assert!(
+            self.frames.is_empty(),
+            "cannot fork a machine mid-run; fork between runs"
+        );
+        Machine {
+            module: self.module,
+            config: self.config,
+            layout: self.layout,
+            mem: self.mem.clone(),
+            cache: self.cache.clone(),
+            heap: self.heap.clone(),
+            store: self.store.boxed_clone(),
+            stats: self.stats,
+            frames: Vec::new(),
+            sp: self.sp,
+            unsafe_sp: self.unsafe_sp,
+            safe_sp: self.safe_sp,
+            shadow_stack: self.shadow_stack.clone(),
+            cookie: self.cookie,
+            output: self.output.clone(),
+            input: self.input.clone(),
+            input_pos: self.input_pos,
+            rng_state: self.rng_state,
+            func_addrs: self.func_addrs.clone(),
+            entry_to_func: self.entry_to_func.clone(),
+            ret_sites: self.ret_sites.clone(),
+            site_of_call: self.site_of_call.clone(),
+            global_addrs: self.global_addrs.clone(),
+            global_sizes: self.global_sizes.clone(),
+            intrinsic_addrs: self.intrinsic_addrs.clone(),
+            goals: self.goals.clone(),
+            setjmp_ctxs: self.setjmp_ctxs.clone(),
+            safe_stack_meta: self.safe_stack_meta.clone(),
+            sfi_masked: self.sfi_masked,
+            sig_hashes: self.sig_hashes.clone(),
+            meta: self.meta.clone(),
+            frame_descs: self.frame_descs.clone(),
+            func_meta: self.func_meta.clone(),
+            global_meta: self.global_meta.clone(),
+            bc: self.bc.clone(),
+            fuse_stats: self.fuse_stats,
+            probe: self
+                .config
+                .profile
+                .then(|| Box::new(Profiler::new(self.module))),
+            reg_pool: Vec::new(),
+            snapshot: self.snapshot.clone(),
+            last_reset: ResetStats::default(),
+        }
     }
 
     /// The layout of this execution (fixed or randomized).

@@ -57,7 +57,7 @@ fn write_le(p: &mut [u8; PAGE_SIZE as usize], off: usize, val: u64, size: u64) {
 /// indexed by a flat direct table: one load, no hashing. High addresses
 /// (the safe region) fall back to a hash map; they are touched far less
 /// often.
-#[derive(Default)]
+#[derive(Default, Clone)]
 pub struct Memory {
     /// Direct page table for pages below 4 GB, allocated zeroed on
     /// first touch.
@@ -93,6 +93,7 @@ pub struct Memory {
 /// the snapshot's only private memory is the pre-write copy of pages
 /// the current run has dirtied (see
 /// [`Memory::snapshot_private_bytes`]).
+#[derive(Clone)]
 struct MemBaseline {
     pages: HashMap<u64, Page, FastHash>,
     resident: usize,

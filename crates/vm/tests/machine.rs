@@ -872,3 +872,58 @@ fn snapshot_reset_reports_stable_costs() {
     assert_eq!(costs[0], costs[1], "identical runs dirty identical state");
     assert_eq!(costs[1], costs[2]);
 }
+
+/// Forked machines are independent bit-identical twins: same outputs
+/// and counters as the original, runnable on another thread (the
+/// `Send` audit behind levee-core's `SessionPool`), and each fork's
+/// snapshot recycling works exactly like the original's.
+#[test]
+fn forked_machine_is_a_bit_identical_twin() {
+    let m = loop_module(200);
+    let mut original = Machine::new(&m, VmConfig::default().with_seed(11));
+    let mut fork = original.fork();
+    assert_eq!(
+        fork.snapshot_private_bytes(),
+        0,
+        "a pre-run fork shares every snapshot page copy-on-write"
+    );
+
+    let a = original.run(b"");
+    // The fork runs on a worker thread: `Machine<'_>` is `Send` within
+    // the module borrow's scope.
+    let b = std::thread::scope(|s| {
+        s.spawn(|| {
+            let out = fork.run(b"");
+            fork.reset();
+            assert!(fork.last_reset_stats().used_snapshot);
+            (out, fork.run(b""))
+        })
+        .join()
+        .expect("worker panicked")
+    });
+    assert_eq!(a.output, b.0.output);
+    assert_eq!(a.status, b.0.status);
+    assert_eq!(a.stats, b.0.stats);
+    assert_eq!(a.stats, b.1.stats, "fork recycles like the original");
+
+    // Writes in the fork never leaked into the original.
+    original.reset();
+    let again = original.run(b"");
+    assert_eq!(a.stats, again.stats);
+    assert_eq!(a.output, again.output);
+}
+
+/// Forking after the original has run and recycled still yields a
+/// machine whose behaviour matches a fresh boot.
+#[test]
+fn fork_after_recycling_matches_fresh_boot() {
+    let m = loop_module(64);
+    let cfg = VmConfig::default().with_seed(3);
+    let mut original = Machine::new(&m, cfg);
+    let first = original.run(b"");
+    original.reset();
+    let mut fork = original.fork();
+    let forked = fork.run(b"");
+    assert_eq!(first.output, forked.output);
+    assert_eq!(first.stats, forked.stats);
+}

@@ -42,10 +42,17 @@
 //! assert_eq!(report.output, "42");
 //! ```
 //!
+//! For multi-worker serving, [`SessionPool`] compiles once and shards
+//! request batches across N resident machines forked from one shared
+//! copy-on-write boot snapshot — bit-identical to serial serving.
+//!
 //! See `examples/` for attack/defense walkthroughs and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the experiment index.
 
-pub use levee_core::{BuildConfig, LeveeError, RunReport, Session, SessionBuilder};
+pub use levee_core::{
+    json_f64, json_str, BuildConfig, LeveeError, RunReport, Session, SessionBuilder, SessionPool,
+    SessionPoolBuilder,
+};
 
 pub use levee_bc as bc;
 pub use levee_core as core;
