@@ -285,6 +285,24 @@ pub(crate) fn validate(f: &BcFunc, nsigs: usize) {
                 }
                 pc += 7 + n;
             }
+            Op::PacSign | Op::PacAuth => {
+                check_reg(code[pc + 1]);
+                check_operand(code[pc + 2]);
+                check_operand(code[pc + 3]);
+                pc += 4;
+            }
+            Op::AuthCall => {
+                check_reg(code[pc + 1]);
+                check_operand(code[pc + 2]);
+                check_operand(code[pc + 3]);
+                check_dest1(code[pc + 4]);
+                assert!((code[pc + 5] as usize) < nsigs, "sig index out of range");
+                let n = code[pc + 7] as usize;
+                for i in 0..n {
+                    check_operand(code[pc + 8 + i]);
+                }
+                pc += 8 + n;
+            }
         }
     }
 }
@@ -302,7 +320,7 @@ fn inst_words(inst: &Inst) -> usize {
         Inst::IntrinsicCall { args, .. } => 4 + args.len(),
         Inst::Cpi(op) => match op {
             CpiOp::PtrStore { .. } | CpiOp::PtrLoad { .. } => 5,
-            CpiOp::Check { .. } => 4,
+            CpiOp::Check { .. } | CpiOp::PacSign { .. } | CpiOp::PacAuth { .. } => 4,
             CpiOp::FnCheck { .. } => 3,
             CpiOp::SafeMemcpy { .. } => 6,
             CpiOp::SafeMemset { .. } => 5,
@@ -588,6 +606,22 @@ impl<'a> Emitter<'a> {
                 self.code.push(dst);
                 self.code.push(byte);
                 self.code.push(len);
+            }
+            CpiOp::PacSign { dest, value, ctx } => {
+                let value = self.operand(*value);
+                let ctx = self.operand(*ctx);
+                self.push(Op::PacSign);
+                self.code.push(dest.0);
+                self.code.push(value);
+                self.code.push(ctx);
+            }
+            CpiOp::PacAuth { dest, value, ctx } => {
+                let value = self.operand(*value);
+                let ctx = self.operand(*ctx);
+                self.push(Op::PacAuth);
+                self.code.push(dest.0);
+                self.code.push(value);
+                self.code.push(ctx);
             }
         }
     }

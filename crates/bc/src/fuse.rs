@@ -22,7 +22,11 @@
 //! * `FnCheck` + `CallIndirect` of the checked callee →
 //!   [`Op::CheckedCall`] — the instrumented indirect call: check,
 //!   resolve and frame push from one `FrameDesc` lookup in a single
-//!   dispatch.
+//!   dispatch;
+//! * `PacAuth` + `CallIndirect` of the just-authenticated callee →
+//!   [`Op::AuthCall`] — the PAC-instrumented indirect call
+//!   (`levee_core::pac`): authenticate, resolve and frame push in a
+//!   single dispatch, the software analogue of ARMv8.3's `BLRAA`.
 //!
 //! A pair never fuses across a basic-block boundary: the second
 //! instruction of a pair must not be a branch target, and the only
@@ -58,6 +62,8 @@ pub struct FuseStats {
     pub check_ptr_load: u64,
     /// `FnCheck`+`CallIndirect` pairs fused.
     pub checked_call: u64,
+    /// `PacAuth`+`CallIndirect` pairs fused.
+    pub auth_call: u64,
 }
 
 impl FuseStats {
@@ -69,6 +75,7 @@ impl FuseStats {
             + self.check_load
             + self.check_ptr_load
             + self.checked_call
+            + self.auth_call
     }
 
     fn count(&mut self, op: Op) {
@@ -79,6 +86,7 @@ impl FuseStats {
             Op::CheckLoad => self.check_load += 1,
             Op::CheckPtrLoad => self.check_ptr_load += 1,
             Op::CheckedCall => self.checked_call += 1,
+            Op::AuthCall => self.auth_call += 1,
             _ => unreachable!("not a superinstruction: {op:?}"),
         }
     }
@@ -116,6 +124,10 @@ fn match_pair(code: &[u32], pc: usize, next: usize) -> Option<Op> {
         }
         // Indirect call of a just-checked callee.
         (Op::FnCheck, Op::CallIndirect) if code[next + 2] == code[pc + 2] => Some(Op::CheckedCall),
+        // Indirect call of a just-authenticated callee (the PacAuth's
+        // dest is a register word, so word equality is register
+        // identity).
+        (Op::PacAuth, Op::CallIndirect) if code[next + 2] == code[pc + 1] => Some(Op::AuthCall),
         _ => None,
     }
 }
@@ -128,6 +140,7 @@ fn fused_len(op: Op, code: &[u32], next: usize) -> usize {
         Op::GepLoad | Op::GepStore => 10,
         Op::CheckPtrLoad => 6,
         Op::CheckedCall => 7 + code[next + 5] as usize,
+        Op::AuthCall => 8 + code[next + 5] as usize,
         _ => unreachable!("not a superinstruction: {op:?}"),
     }
 }
@@ -237,6 +250,16 @@ fn fuse_function(f: &mut BcFunc, nsigs: usize, stats: &mut FuseStats) {
                         let n = code[next + 5] as usize;
                         out.push(code[pc + 1]);
                         out.extend_from_slice(&code[next + 1..next + 6 + n]);
+                    }
+                    Op::AuthCall => {
+                        // adest, avalue, actx from the PacAuth; the
+                        // CallIndirect's dest+1, sig_idx, site, nargs,
+                        // args (its callee word is the PacAuth dest and
+                        // is dropped from the encoding).
+                        let n = code[next + 5] as usize;
+                        out.extend_from_slice(&code[pc + 1..pc + 4]);
+                        out.push(code[next + 1]);
+                        out.extend_from_slice(&code[next + 3..next + 6 + n]);
                     }
                     _ => unreachable!("not a superinstruction: {op:?}"),
                 }

@@ -36,6 +36,8 @@ pub const OPERAND_CONST_BIT: u32 = 0x8000_0000;
 /// | `FnCheck` | policy, callee |
 /// | `SafeMemcpy` | policy, dst, src, len, moving |
 /// | `SafeMemset` | policy, dst, byte, len |
+/// | `PacSign` | dest, value, ctx |
+/// | `PacAuth` | dest, value, ctx |
 /// | `Jump` | target_pc |
 /// | `Branch` | cond, then_pc, else_pc |
 /// | `Ret` | has_value, value |
@@ -53,6 +55,7 @@ pub const OPERAND_CONST_BIT: u32 = 0x8000_0000;
 /// | `CheckLoad` | `Check`+`Load` | policy, ptr, size_cidx, ldest, lsize, space |
 /// | `CheckPtrLoad` | `Check`+`PtrLoad` | policy, ptr, size_cidx, dest, universal |
 /// | `CheckedCall` | `FnCheck`+`CallIndirect` | policy, dest+1, callee, sig_idx, site, nargs, arg... |
+/// | `AuthCall` | `PacAuth`+`CallIndirect` | adest, avalue, actx, dest+1, sig_idx, site, nargs, arg... |
 ///
 /// `*_cidx` words index the function's constant pool (64-bit values);
 /// `dest+1` is zero when the call has no destination register.
@@ -87,6 +90,9 @@ pub enum Op {
     CheckLoad = 25,
     CheckPtrLoad = 26,
     CheckedCall = 27,
+    PacSign = 28,
+    PacAuth = 29,
+    AuthCall = 30,
 }
 
 impl Op {
@@ -98,7 +104,7 @@ impl Op {
     /// opcodes, so this indicates stream corruption.
     #[inline(always)]
     pub fn from_u32(w: u32) -> Op {
-        debug_assert!(w <= Op::CheckedCall as u32, "bad opcode word {w}");
+        debug_assert!(w <= Op::AuthCall as u32, "bad opcode word {w}");
         // SAFETY in spirit, checked in practice: emitted by `compile`
         // from the enum itself; the match keeps this fully safe code.
         match w {
@@ -130,6 +136,9 @@ impl Op {
             25 => Op::CheckLoad,
             26 => Op::CheckPtrLoad,
             27 => Op::CheckedCall,
+            28 => Op::PacSign,
+            29 => Op::PacAuth,
+            30 => Op::AuthCall,
             // Out-of-range words fail closed: Unreachable traps
             // immediately, rather than dispatching a variable-length
             // call arm off garbage operand words.
@@ -147,7 +156,7 @@ impl Op {
 #[inline]
 pub fn op_len(code: &[u32], pc: usize) -> usize {
     match Op::from_u32(code[pc]) {
-        Op::Alloca | Op::Check | Op::Branch => 4,
+        Op::Alloca | Op::Check | Op::Branch | Op::PacSign | Op::PacAuth => 4,
         Op::Load
         | Op::Store
         | Op::Bin
@@ -166,6 +175,7 @@ pub fn op_len(code: &[u32], pc: usize) -> usize {
         Op::CallIndirect => 6 + code.get(pc + 5).map_or(0, |n| *n as usize),
         Op::IntrinsicCall => 4 + code.get(pc + 3).map_or(0, |n| *n as usize),
         Op::CheckedCall => 7 + code.get(pc + 6).map_or(0, |n| *n as usize),
+        Op::AuthCall => 8 + code.get(pc + 7).map_or(0, |n| *n as usize),
     }
 }
 
@@ -324,7 +334,7 @@ mod tests {
 
     #[test]
     fn opcode_roundtrip() {
-        for w in 0..=Op::CheckedCall as u32 {
+        for w in 0..=Op::AuthCall as u32 {
             let op = Op::from_u32(w);
             assert_eq!(op as u32, w);
         }

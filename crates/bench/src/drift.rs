@@ -227,6 +227,153 @@ pub fn check_memory_overhead(baseline: &Json, fresh: &[(String, f64)]) -> DriftR
     report
 }
 
+/// One fresh counter row of a PAC-era baseline (`defense_matrix.json`
+/// `pac_rows`, `spec_overhead.json` `rows`): the deterministic
+/// execution counters of one (build, workload) cell, PAC sign/auth
+/// included, plus whether the run trapped. Trapping cells are *still
+/// gated*: a PACTight-incompatible workload (memcpy'd sealed callback
+/// records) dies at a deterministic point, so its counters drift like
+/// any other — and a cell silently flipping between trapping and clean
+/// is itself a defense-semantics change that must be acknowledged.
+#[derive(Debug, Clone)]
+pub struct CounterRow {
+    /// Row identity, as the baseline's `id` key records it
+    /// (e.g. `PAC/dispatch`, `gcc/PACTight`).
+    pub id: String,
+    /// Instructions executed.
+    pub insts: u64,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Pointers sealed.
+    pub pac_signs: u64,
+    /// Seals authenticated.
+    pub pac_auths: u64,
+    /// Whether the run ended in a trap instead of a clean exit.
+    pub trapped: bool,
+}
+
+/// Compares fresh [`CounterRow`]s against a baseline's `array_key`
+/// rows. Counters are gated two-sided at the threshold like every
+/// other deterministic counter; a counter that was zero on one side
+/// and nonzero on the other is an error (a ±% gate cannot price
+/// appearing/disappearing instrumentation), zero-to-zero matches pass
+/// silently, and a flipped `trapped` verdict is an error.
+pub fn check_counter_rows(section: &str, baseline: &Json, fresh: &[CounterRow]) -> DriftReport {
+    let mut report = DriftReport::default();
+    let Some(rows) = baseline.get("rows").and_then(Json::as_arr) else {
+        report
+            .errors
+            .push(format!("{section} baseline: no \"rows\" array"));
+        return report;
+    };
+    for row in rows {
+        let Some(id) = row.get("id").and_then(Json::as_str) else {
+            report
+                .errors
+                .push(format!("{section} baseline: row without \"id\""));
+            continue;
+        };
+        let key = format!("{section}/{id}");
+        let Some(f) = fresh.iter().find(|f| f.id == id) else {
+            report
+                .errors
+                .push(format!("{key}: no fresh measurement for this baseline row"));
+            continue;
+        };
+        match row.get("trapped").and_then(Json::as_bool) {
+            Some(b) if b != f.trapped => report.errors.push(format!(
+                "{key}: trap verdict flipped (baseline trapped={b}, fresh trapped={})",
+                f.trapped
+            )),
+            Some(_) => {}
+            None => report
+                .errors
+                .push(format!("{key}: baseline row lacks \"trapped\"")),
+        }
+        for (metric, current) in [
+            ("insts", f.insts as f64),
+            ("cycles", f.cycles as f64),
+            ("pac_signs", f.pac_signs as f64),
+            ("pac_auths", f.pac_auths as f64),
+        ] {
+            match row.get(metric).and_then(Json::as_f64) {
+                Some(b) if b == 0.0 && current == 0.0 => {}
+                Some(b) if b == 0.0 || current == 0.0 => report.errors.push(format!(
+                    "{key}: {metric} went {b} -> {current} — a counter \
+                     (dis)appearing outright needs a re-recorded baseline"
+                )),
+                Some(b) => report.cases.push(DriftCase {
+                    key: key.clone(),
+                    metric: metric.into(),
+                    baseline: b,
+                    current,
+                }),
+                None => report
+                    .errors
+                    .push(format!("{key}: baseline row lacks \"{metric}\"")),
+            }
+        }
+    }
+    if report.cases.is_empty() && report.errors.is_empty() {
+        report
+            .errors
+            .push(format!("{section} baseline: empty rows array"));
+    }
+    report
+}
+
+/// Compares fresh RIPE verdict tallies — `(mechanism, hijacked,
+/// detected)` at the recorded seed — against the `defense_matrix.json`
+/// baseline's `verdicts` rows. Verdict counts are **exact**, not
+/// thresholded: they are small discrete outcomes of the attack matrix
+/// (144 → 137 hijacks would sail through a ±5% gate while silently
+/// weakening a defense), so any difference is an error until the
+/// baseline is re-recorded alongside the change that explains it.
+pub fn check_ripe_verdicts(baseline: &Json, fresh: &[(String, usize, usize)]) -> DriftReport {
+    let mut report = DriftReport::default();
+    let Some(rows) = baseline.get("verdicts").and_then(Json::as_arr) else {
+        report
+            .errors
+            .push("defense_matrix baseline: no \"verdicts\" array".into());
+        return report;
+    };
+    let mut compared = 0usize;
+    for row in rows {
+        let Some(mech) = row.get("mechanism").and_then(Json::as_str) else {
+            report
+                .errors
+                .push("defense_matrix baseline: verdict row without mechanism".into());
+            continue;
+        };
+        let key = format!("defense_matrix/{mech}");
+        let Some(&(_, hijacked, detected)) = fresh.iter().find(|(name, _, _)| name == mech) else {
+            report
+                .errors
+                .push(format!("{key}: no fresh tally for this baseline row"));
+            continue;
+        };
+        for (metric, current) in [("hijacked", hijacked), ("detected", detected)] {
+            match row.get(metric).and_then(Json::as_f64) {
+                Some(b) if b == current as f64 => compared += 1,
+                Some(b) => report.errors.push(format!(
+                    "{key}: {metric} changed {b} -> {current} (verdict counts \
+                     are exact; re-record the baseline with the change that \
+                     explains this)"
+                )),
+                None => report
+                    .errors
+                    .push(format!("{key}: baseline row lacks \"{metric}\"")),
+            }
+        }
+    }
+    if compared == 0 && report.errors.is_empty() {
+        report
+            .errors
+            .push("defense_matrix baseline: empty verdicts array".into());
+    }
+    report
+}
+
 /// Compares fresh per-request snapshot-reset costs against the
 /// `webserver_throughput.json` baseline: `(page, pages dirtied per
 /// request, bytes restored per request)`. Throughput columns in that
@@ -533,6 +680,121 @@ mod tests {
         let stale = Json::parse(r#"{"pages": []}"#).unwrap();
         let r = check_webserver_pool(&stale, &[("static-page".into(), 1, 1)]);
         assert!(!r.ok(DEFAULT_THRESHOLD_PCT));
+    }
+
+    fn pac_row(id: &str, cycles: u64, signs: u64, auths: u64, trapped: bool) -> CounterRow {
+        CounterRow {
+            id: id.into(),
+            insts: 50_000,
+            cycles,
+            pac_signs: signs,
+            pac_auths: auths,
+            trapped,
+        }
+    }
+
+    #[test]
+    fn pac_counter_rows_are_gated_two_sided() {
+        let b = Json::parse(
+            r#"{"rows": [
+                {"id": "PAC/dispatch", "insts": 50000, "cycles": 200000,
+                 "pac_signs": 4000, "pac_auths": 4000, "trapped": false},
+                {"id": "vanilla/dispatch", "insts": 50000, "cycles": 150000,
+                 "pac_signs": 0, "pac_auths": 0, "trapped": false}
+            ]}"#,
+        )
+        .unwrap();
+        let ok = check_counter_rows(
+            "defense_matrix",
+            &b,
+            &[
+                pac_row("PAC/dispatch", 200_000, 4_000, 4_000, false),
+                pac_row("vanilla/dispatch", 150_000, 0, 0, false),
+            ],
+        );
+        assert!(ok.ok(DEFAULT_THRESHOLD_PCT), "{}", ok.render(5.0));
+        // Zero-to-zero PAC counters on the vanilla row compare silently:
+        // 2 insts + 2 cycles + the PAC pair of the PAC row.
+        assert_eq!(ok.cases.len(), 6);
+
+        // Sign-count growth and shrink both trip the gate (an
+        // under-counting bug shrinks a deterministic counter silently).
+        for signs in [5_000u64, 3_000] {
+            let drifted = check_counter_rows(
+                "defense_matrix",
+                &b,
+                &[
+                    pac_row("PAC/dispatch", 200_000, signs, 4_000, false),
+                    pac_row("vanilla/dispatch", 150_000, 0, 0, false),
+                ],
+            );
+            assert!(!drifted.ok(DEFAULT_THRESHOLD_PCT));
+            let regs = drifted.regressions(DEFAULT_THRESHOLD_PCT);
+            assert_eq!(regs.len(), 1);
+            assert_eq!(regs[0].metric, "pac_signs");
+        }
+
+        // A counter appearing from (or collapsing to) zero is an error,
+        // not a percentage: ±% cannot price new instrumentation.
+        let appeared = check_counter_rows(
+            "defense_matrix",
+            &b,
+            &[
+                pac_row("PAC/dispatch", 200_000, 4_000, 4_000, false),
+                pac_row("vanilla/dispatch", 150_000, 7, 0, false),
+            ],
+        );
+        assert!(!appeared.ok(DEFAULT_THRESHOLD_PCT));
+        assert_eq!(appeared.errors.len(), 1);
+
+        // A flipped trap verdict is an error: a PACTight-incompatible
+        // cell quietly starting to pass is a defense-semantics change.
+        let flipped = check_counter_rows(
+            "defense_matrix",
+            &b,
+            &[
+                pac_row("PAC/dispatch", 200_000, 4_000, 4_000, true),
+                pac_row("vanilla/dispatch", 150_000, 0, 0, false),
+            ],
+        );
+        assert!(!flipped.ok(DEFAULT_THRESHOLD_PCT));
+        assert!(flipped.errors[0].contains("trap verdict flipped"));
+
+        // Missing fresh rows and missing baselines are errors.
+        let missing = check_counter_rows(
+            "defense_matrix",
+            &b,
+            &[pac_row("PAC/dispatch", 200_000, 4_000, 4_000, false)],
+        );
+        assert!(!missing.ok(DEFAULT_THRESHOLD_PCT));
+        let r = check_counter_rows("spec_overhead", &Json::parse("{}").unwrap(), &[]);
+        assert!(!r.ok(DEFAULT_THRESHOLD_PCT));
+    }
+
+    #[test]
+    fn ripe_verdicts_are_exact_not_thresholded() {
+        let b = Json::parse(
+            r#"{"verdicts": [
+                {"mechanism": "CPI", "hijacked": 0, "detected": 160},
+                {"mechanism": "PAC", "hijacked": 16, "detected": 144}
+            ]}"#,
+        )
+        .unwrap();
+        let ok = check_ripe_verdicts(&b, &[("CPI".into(), 0, 160), ("PAC".into(), 16, 144)]);
+        assert!(ok.ok(DEFAULT_THRESHOLD_PCT), "{}", ok.render(5.0));
+
+        // One hijack fewer would pass any sane percentage gate — here
+        // it is an error outright.
+        let weakened = check_ripe_verdicts(&b, &[("CPI".into(), 0, 160), ("PAC".into(), 15, 144)]);
+        assert!(!weakened.ok(DEFAULT_THRESHOLD_PCT));
+        assert!(weakened.errors[0].contains("hijacked changed 16 -> 15"));
+
+        // A mechanism dropping out of the fresh lineup is an error.
+        let missing = check_ripe_verdicts(&b, &[("CPI".into(), 0, 160)]);
+        assert!(!missing.ok(DEFAULT_THRESHOLD_PCT));
+
+        let empty = check_ripe_verdicts(&Json::parse(r#"{"verdicts": []}"#).unwrap(), &[]);
+        assert!(!empty.ok(DEFAULT_THRESHOLD_PCT));
     }
 
     #[test]

@@ -6,9 +6,10 @@
 
 use levee_ir::prelude::*;
 use levee_minic::CompileError;
-use levee_vm::VmConfig;
+use levee_vm::{PacMode, VmConfig};
 
 use crate::instrument;
+use crate::pac;
 use crate::safestack;
 use crate::sensitivity::Mode;
 use crate::stats::BuildStats;
@@ -27,20 +28,30 @@ pub enum BuildConfig {
     /// Full-memory-safety baseline (SoftBound-style); includes the safe
     /// stack so its numbers are comparable to CPI's.
     SoftBound,
+    /// Pointer authentication (`-fpac`): code pointers are sealed in
+    /// place with a per-machine MAC (see [`crate::pac`]). No safe
+    /// stack — return addresses stay in attackable slots, sealed.
+    Pac,
+    /// PACTight-style pointer authentication (`-fpac-tight`): like
+    /// [`BuildConfig::Pac`] but the MAC also binds the slot address,
+    /// closing the substitution-attack gap.
+    PacTight,
 }
 
 impl BuildConfig {
     /// Parses Levee's compiler flag spelling — the inverse of
     /// [`BuildConfig::flag`]. Total over the documented spellings
-    /// (`-fcpi`, `-fcps`, `-fstack-protector-safe`, `-fsoftbound`, and
-    /// the empty string for an unprotected build); anything else is
-    /// `None`.
+    /// (`-fcpi`, `-fcps`, `-fstack-protector-safe`, `-fsoftbound`,
+    /// `-fpac`, `-fpac-tight`, and the empty string for an unprotected
+    /// build); anything else is `None`.
     pub fn from_flag(flag: &str) -> Option<BuildConfig> {
         Some(match flag {
             "-fcpi" => BuildConfig::Cpi,
             "-fcps" => BuildConfig::Cps,
             "-fstack-protector-safe" => BuildConfig::SafeStack,
             "-fsoftbound" => BuildConfig::SoftBound,
+            "-fpac" => BuildConfig::Pac,
+            "-fpac-tight" => BuildConfig::PacTight,
             "" => BuildConfig::Vanilla,
             _ => return None,
         })
@@ -57,11 +68,14 @@ impl BuildConfig {
             BuildConfig::Cps => "-fcps",
             BuildConfig::Cpi => "-fcpi",
             BuildConfig::SoftBound => "-fsoftbound",
+            BuildConfig::Pac => "-fpac",
+            BuildConfig::PacTight => "-fpac-tight",
         }
     }
 
-    /// Every configuration, including the SoftBound full-memory-safety
-    /// baseline (compare [`BuildConfig::evaluated`], the paper's four).
+    /// Every configuration: the paper's four, the SoftBound
+    /// full-memory-safety baseline, and the two PAC family members
+    /// (compare [`BuildConfig::evaluated`]).
     pub fn all() -> &'static [BuildConfig] {
         &[
             BuildConfig::Vanilla,
@@ -69,6 +83,8 @@ impl BuildConfig {
             BuildConfig::Cps,
             BuildConfig::Cpi,
             BuildConfig::SoftBound,
+            BuildConfig::Pac,
+            BuildConfig::PacTight,
         ]
     }
 
@@ -80,6 +96,8 @@ impl BuildConfig {
             BuildConfig::Cps => "CPS",
             BuildConfig::Cpi => "CPI",
             BuildConfig::SoftBound => "SoftBound",
+            BuildConfig::Pac => "PAC",
+            BuildConfig::PacTight => "PACTight",
         }
     }
 
@@ -95,15 +113,35 @@ impl BuildConfig {
 
     fn mode(self) -> Option<Mode> {
         match self {
-            BuildConfig::Vanilla | BuildConfig::SafeStack => None,
+            BuildConfig::Vanilla
+            | BuildConfig::SafeStack
+            | BuildConfig::Pac
+            | BuildConfig::PacTight => None,
             BuildConfig::Cps => Some(Mode::Cps),
             BuildConfig::Cpi => Some(Mode::Cpi),
             BuildConfig::SoftBound => Some(Mode::SoftBound),
         }
     }
 
+    /// The PAC mode this build runs under ([`PacMode::Off`] for the
+    /// non-PAC family).
+    fn pac_mode(self) -> PacMode {
+        match self {
+            BuildConfig::Pac => PacMode::Plain,
+            BuildConfig::PacTight => PacMode::Tight,
+            _ => PacMode::Off,
+        }
+    }
+
     fn uses_safestack(self) -> bool {
-        !matches!(self, BuildConfig::Vanilla)
+        // The PAC family deliberately keeps the conventional stack:
+        // return addresses sit adjacent to locals — attackable — and
+        // survive only because they are sealed. That is the
+        // configuration the RIPE matrix evaluates PAC under.
+        !matches!(
+            self,
+            BuildConfig::Vanilla | BuildConfig::Pac | BuildConfig::PacTight
+        )
     }
 }
 
@@ -124,12 +162,16 @@ pub struct Built {
 impl Built {
     /// A [`VmConfig`] matching this build: CPI/CPS builds protect
     /// runtime-created code pointers (setjmp buffers) through the safe
-    /// store, exactly as Levee's modified runtime does (§4).
+    /// store, exactly as Levee's modified runtime does (§4); PAC builds
+    /// select the machine's sealing mode instead (return addresses,
+    /// setjmp tokens and initializer code pointers seal in place — see
+    /// `levee_vm::PacMode`).
     pub fn vm_config(&self, mut base: VmConfig) -> VmConfig {
         base.protect_runtime_code_ptrs = matches!(
             self.config,
             BuildConfig::Cps | BuildConfig::Cpi | BuildConfig::SoftBound
         );
+        base.pac = self.config.pac_mode();
         base
     }
 }
@@ -150,6 +192,13 @@ pub fn build_module(mut module: Module, config: BuildConfig) -> Built {
         let per_func = instrument::apply(&mut module, mode);
         stats.absorb(per_func);
     } else {
+        // The PAC family rewrites instead of segregating: sign/auth ops
+        // around fn-pointer-typed regular traffic (see `crate::pac`).
+        if config.pac_mode() != PacMode::Off {
+            let p = pac::apply(&mut module, config.pac_mode() == PacMode::Tight);
+            stats.instrumented_mem_ops += p.signs + p.auths;
+            stats.protected_ops += p.signs + p.auths;
+        }
         // Count memory operations for comparable denominators.
         for f in &module.funcs {
             for inst in f.iter_insts() {
@@ -202,6 +251,11 @@ mod tests {
             BuildConfig::from_flag("-fsoftbound"),
             Some(BuildConfig::SoftBound)
         );
+        assert_eq!(BuildConfig::from_flag("-fpac"), Some(BuildConfig::Pac));
+        assert_eq!(
+            BuildConfig::from_flag("-fpac-tight"),
+            Some(BuildConfig::PacTight)
+        );
         assert_eq!(BuildConfig::from_flag(""), Some(BuildConfig::Vanilla));
         assert_eq!(BuildConfig::from_flag("-fwhatever"), None);
         assert_eq!(BuildConfig::from_flag("-fcpi "), None, "no trimming");
@@ -209,9 +263,9 @@ mod tests {
 
     #[test]
     fn flag_round_trips_for_every_config() {
-        // from_flag ∘ flag = id over all five configurations — SoftBound
-        // included, which no spelling test covered before.
-        assert_eq!(BuildConfig::all().len(), 5);
+        // from_flag ∘ flag = id over the full lineup, iterated from
+        // all() so a newly added config can never dodge this test.
+        assert_eq!(BuildConfig::all().len(), 7);
         for config in BuildConfig::all() {
             assert_eq!(
                 BuildConfig::from_flag(config.flag()),
@@ -221,11 +275,16 @@ mod tests {
                 config.flag()
             );
         }
-        // Spellings are distinct (the inverse is well-defined).
+        // Spellings and names are distinct (the inverse is
+        // well-defined, reports are unambiguous).
         let mut flags: Vec<_> = BuildConfig::all().iter().map(|c| c.flag()).collect();
         flags.sort_unstable();
         flags.dedup();
-        assert_eq!(flags.len(), 5);
+        assert_eq!(flags.len(), BuildConfig::all().len());
+        let mut names: Vec<_> = BuildConfig::all().iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), BuildConfig::all().len());
     }
 
     #[test]
@@ -251,6 +310,21 @@ mod tests {
                 .vm_config(VmConfig::default())
                 .protect_runtime_code_ptrs
         );
+    }
+
+    #[test]
+    fn pac_build_seals_without_safe_store() {
+        let built = build_source(SRC, "t", BuildConfig::Pac).unwrap();
+        // The pass instrumented the fn-pointer global's store + load…
+        assert!(built.stats.instrumented_mem_ops >= 2);
+        // …but through in-place sealing, not the safe store: the VM
+        // config turns on PAC and leaves runtime-pointer segregation
+        // off.
+        let vc = built.vm_config(VmConfig::default());
+        assert_eq!(vc.pac, PacMode::Plain);
+        assert!(!vc.protect_runtime_code_ptrs);
+        let tight = build_source(SRC, "t", BuildConfig::PacTight).unwrap();
+        assert_eq!(tight.vm_config(VmConfig::default()).pac, PacMode::Tight);
     }
 
     #[test]

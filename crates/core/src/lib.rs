@@ -46,6 +46,7 @@
 
 pub mod driver;
 pub mod instrument;
+pub mod pac;
 pub mod pool;
 pub mod promote;
 pub mod safestack;

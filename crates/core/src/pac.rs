@@ -1,0 +1,204 @@
+//! The pointer-authentication pass (`-fpac` / `-fpac-tight`).
+//!
+//! Where CPI/CPS ([`crate::instrument`]) *segregate* sensitive pointers
+//! into the safe store, PAC seals them **in place**: a code pointer
+//! crossing into regular memory is signed (`PacSign` — a MAC tag over
+//! its address bits packed into the word's spare high bits) and every
+//! code pointer read back out of regular memory is authenticated
+//! (`PacAuth` — tag recomputed, compared and stripped). Registers
+//! always hold raw pointers; only the memory image changes, so the
+//! V-value layout, the safe store and the loader's address space are
+//! untouched.
+//!
+//! The rewrite is type-directed and minimal:
+//!
+//! * `Store` of an [`Ty::FnPtr`]-typed value to [`MemSpace::Regular`]
+//!   memory → sign into a fresh temporary, store the sealed word;
+//! * `Load` of an [`Ty::FnPtr`]-typed value from regular memory → load
+//!   into a fresh temporary, authenticate into the original dest.
+//!
+//! Safe-stack slots stay raw (they are spill storage the attacker
+//! cannot reach), and universal (`void*`/`char*`) traffic is left
+//! unsealed — the known PAC-family compromise: a code pointer laundered
+//! through `void*` memory travels unsigned, exactly like the uncovered
+//! cases §6 of the paper tabulates for CFI-family defenses.
+//!
+//! The two modes differ only in the MAC's binding context:
+//!
+//! * **Plain** (`-fpac`): context 0 — the tag binds the pointer value
+//!   under the per-machine key. Any sealed word authenticates at *any*
+//!   slot, so an attacker who can read one sealed word and write it
+//!   elsewhere mounts a **substitution attack**
+//!   (`levee_ripe::template` builds exactly that).
+//! * **Tight** (`-fpac-tight`): the context is the address of the slot
+//!   being written/read (PACTight-style per-location binding) — a
+//!   sealed word replayed at a different slot fails authentication.
+//!
+//! The machine applies the same discipline to the code pointers *it*
+//! writes to regular memory: return addresses in frame slots and
+//! setjmp tokens in jmp_bufs (see `push_frame`/`do_return` and the
+//! setjmp/longjmp paths in `levee_vm`'s `machine/control.rs`), with
+//! identical context rules. Costs are modeled per op
+//! (`CostModel::pac_sign`/`pac_auth`) and counted in
+//! `ExecStats::pac_signs`/`pac_auths`.
+//!
+//! The pass runs after promotion, instead of (never alongside) the
+//! CPI/CPS instrumentation — see `BuildConfig::build_module` in
+//! [`crate::driver`].
+
+use levee_ir::prelude::*;
+
+/// What the PAC rewrite did to a module, for reports and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PacInstrStats {
+    /// `PacSign` ops inserted (code-pointer stores sealed).
+    pub signs: u64,
+    /// `PacAuth` ops inserted (code-pointer loads authenticated).
+    pub auths: u64,
+}
+
+/// Rewrites every function of `module` so fn-pointer-typed regular
+/// loads/stores authenticate/sign; `tight` selects per-slot context
+/// binding (`-fpac-tight`).
+pub fn apply(module: &mut Module, tight: bool) -> PacInstrStats {
+    let mut stats = PacInstrStats::default();
+    for func in &mut module.funcs {
+        for bidx in 0..func.blocks.len() {
+            let old = std::mem::take(&mut func.blocks[bidx].insts);
+            let mut new = Vec::with_capacity(old.len() + 4);
+            for inst in old {
+                match inst {
+                    Inst::Store {
+                        ptr,
+                        value,
+                        ty: ty @ Ty::FnPtr(_),
+                        space: MemSpace::Regular,
+                    } => {
+                        let sealed = func.new_local(ty.clone());
+                        new.push(Inst::Cpi(CpiOp::PacSign {
+                            dest: sealed,
+                            value,
+                            ctx: pac_ctx(tight, ptr),
+                        }));
+                        new.push(Inst::Store {
+                            ptr,
+                            value: Operand::Value(sealed),
+                            ty,
+                            space: MemSpace::Regular,
+                        });
+                        stats.signs += 1;
+                    }
+                    Inst::Load {
+                        dest,
+                        ptr,
+                        ty: ty @ Ty::FnPtr(_),
+                        space: MemSpace::Regular,
+                    } => {
+                        let raw = func.new_local(ty.clone());
+                        new.push(Inst::Load {
+                            dest: raw,
+                            ptr,
+                            ty,
+                            space: MemSpace::Regular,
+                        });
+                        new.push(Inst::Cpi(CpiOp::PacAuth {
+                            dest,
+                            value: Operand::Value(raw),
+                            ctx: pac_ctx(tight, ptr),
+                        }));
+                        stats.auths += 1;
+                    }
+                    other => new.push(other),
+                }
+            }
+            func.blocks[bidx].insts = new;
+        }
+    }
+    stats
+}
+
+/// The binding-context operand for a slot addressed by `ptr`.
+fn pac_ctx(tight: bool, ptr: Operand) -> Operand {
+    if tight {
+        ptr
+    } else {
+        Operand::Const(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use levee_minic::compile;
+
+    fn pac(src: &str, tight: bool) -> (Module, PacInstrStats) {
+        let mut m = compile(src, "t").unwrap();
+        crate::promote::promote_scalars(&mut m);
+        let stats = apply(&mut m, tight);
+        levee_ir::verify::assert_valid(&m);
+        (m, stats)
+    }
+
+    const FNPTR_GLOBAL: &str = r#"
+        void handler(int x) { print_int(x); }
+        void (*h)(int);
+        int main() { h = handler; h(1); return 0; }
+    "#;
+
+    #[test]
+    fn fnptr_global_traffic_is_signed_and_authenticated() {
+        let (m, stats) = pac(FNPTR_GLOBAL, false);
+        assert_eq!(stats.signs, 1);
+        assert_eq!(stats.auths, 1);
+        let signs = m
+            .funcs
+            .iter()
+            .flat_map(|f| f.iter_insts())
+            .filter(|i| matches!(i, Inst::Cpi(CpiOp::PacSign { .. })))
+            .count();
+        assert_eq!(signs, 1);
+    }
+
+    #[test]
+    fn plain_binds_to_constant_zero_context() {
+        let (m, _) = pac(FNPTR_GLOBAL, false);
+        for f in &m.funcs {
+            for i in f.iter_insts() {
+                if let Inst::Cpi(CpiOp::PacSign { ctx, .. } | CpiOp::PacAuth { ctx, .. }) = i {
+                    assert_eq!(*ctx, Operand::Const(0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tight_binds_to_the_slot_address() {
+        let (m, _) = pac(FNPTR_GLOBAL, true);
+        for f in &m.funcs {
+            for i in f.iter_insts() {
+                if let Inst::Cpi(CpiOp::PacSign { ctx, .. } | CpiOp::PacAuth { ctx, .. }) = i {
+                    assert!(matches!(ctx, Operand::Value(_)), "ctx must be the slot");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn int_programs_are_untouched() {
+        let (m, stats) = pac(
+            r#"
+            int g;
+            int main() { g = 4; print_int(g); return 0; }
+            "#,
+            false,
+        );
+        assert_eq!(stats, PacInstrStats::default());
+        let cpi = m
+            .funcs
+            .iter()
+            .flat_map(|f| f.iter_insts())
+            .filter(|i| matches!(i, Inst::Cpi(_)))
+            .count();
+        assert_eq!(cpi, 0);
+    }
+}

@@ -206,6 +206,7 @@ impl RunReport {
              \"fusion\": {}, \"seed\": {}, \"status\": {status}, \"output\": {}, \
              \"cycles\": {}, \"insts\": {}, \"mem_ops\": {}, \"cpi_mem_ops\": {}, \
              \"checks\": {}, \"calls\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"pac_signs\": {}, \"pac_auths\": {}, \
              \"store_bytes\": {}, \"regular_bytes\": {}, \"build\": {{\
              \"funcs\": {}, \"unsafe_frames\": {}, \"mem_ops\": {}, \
              \"instrumented_mem_ops\": {}, \"checks\": {}, \"fn_checks\": {}, \
@@ -225,6 +226,8 @@ impl RunReport {
             self.exec.calls,
             self.exec.cache_hits,
             self.exec.cache_misses,
+            self.exec.pac_signs,
+            self.exec.pac_auths,
             self.exec.store_bytes,
             self.exec.regular_bytes,
             self.build.funcs,
@@ -997,6 +1000,8 @@ mod tests {
             "\"cycles\"",
             "\"insts\"",
             "\"checks\"",
+            "\"pac_signs\"",
+            "\"pac_auths\"",
             "\"build\"",
             "\"fnustack\"",
             "\"mo_fraction\"",

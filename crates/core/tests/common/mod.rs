@@ -67,4 +67,9 @@ pub fn assert_identical(batch: &RunReport, fresh: &RunReport, ctx: &str) {
         (fresh.exec.cache_hits, fresh.exec.cache_misses),
         "{ctx}: cache behaviour diverged"
     );
+    assert_eq!(
+        (batch.exec.pac_signs, batch.exec.pac_auths),
+        (fresh.exec.pac_signs, fresh.exec.pac_auths),
+        "{ctx}: PAC sign/auth counts diverged"
+    );
 }

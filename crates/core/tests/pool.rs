@@ -101,3 +101,69 @@ proptest! {
         }
     }
 }
+
+/// Sharding must be invisible to the PAC family too: pooled serving of
+/// a PAC build — sign/auth counters, per-request reset costs and PAC
+/// trap verdicts (an `X` input clobbers the sealed callback word and
+/// dies authenticating) — is bit-identical to serial serving at every
+/// worker count. The MAC key is seed-derived, so every forked worker
+/// must seal to exactly the same words.
+#[test]
+fn pac_pools_are_bit_identical_to_serial() {
+    use levee_vm::{ExitStatus, Trap};
+    let src = r#"
+        long acc;
+        void op_add(int v) { acc = acc + v; }
+        void (*cb)(int);
+        char input[64];
+        int main() {
+            cb = op_add;
+            long n = read_input(input, 63);
+            if (n > 0) {
+                if (input[0] == 88) {
+                    long* p = (long*)&cb;
+                    p[0] = p[0] ^ 255;
+                }
+            }
+            cb(7);
+            print_int(acc);
+            return 0;
+        }
+    "#;
+    let inputs: [&[u8]; 5] = [b"", b"X", b"ab", b"Xyz", b"tail"];
+    for config in [BuildConfig::Pac, BuildConfig::PacTight] {
+        let serial_reports = Session::builder()
+            .source(src)
+            .name("pac-pool-serial")
+            .protection(config)
+            .build()
+            .expect("template builds")
+            .run_batch(inputs)
+            .into_iter()
+            .collect::<Vec<_>>();
+        // The mixed batch must really contain both verdicts.
+        assert!(serial_reports
+            .iter()
+            .any(|r| matches!(r.status, ExitStatus::Trapped(Trap::Pac { .. }))));
+        assert!(serial_reports
+            .iter()
+            .any(|r| r.success() && r.exec.pac_auths > 0));
+        for workers in [1usize, 2, 4] {
+            let mut pool = SessionPool::builder()
+                .source(src)
+                .name("pac-pool")
+                .protection(config)
+                .workers(workers)
+                .build()
+                .expect("template builds");
+            let pooled = pool.run_batch(inputs);
+            assert_eq!(pooled.len(), serial_reports.len());
+            for (i, (p, s)) in pooled.iter().zip(&serial_reports).enumerate() {
+                let ctx = format!("{} workers {workers} input #{i}", config.name());
+                assert_identical(p, s, &ctx);
+                assert_eq!(p.status, s.status, "{ctx}: verdict diverged");
+                assert_eq!(p.reset, s.reset, "{ctx}: per-request reset cost diverged");
+            }
+        }
+    }
+}

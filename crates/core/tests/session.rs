@@ -111,3 +111,86 @@ proptest! {
         }
     }
 }
+
+/// A program whose verdict is input-controlled under PAC: an `X` first
+/// byte makes it clobber its sealed callback word through an integer
+/// alias, so the next dispatch dies as a PAC authentication failure;
+/// any other input runs clean (seal → auth round trip). The per-machine
+/// MAC key is derived from the seed, so sealed words — and therefore
+/// both verdicts — must be exactly reproducible across every recycling
+/// path.
+const PAC_VERDICT_SRC: &str = r#"
+    long acc;
+    void op_add(int v) { acc = acc + v; }
+    void (*cb)(int);
+    char input[64];
+    int main() {
+        cb = op_add;
+        long n = read_input(input, 63);
+        if (n > 0) {
+            if (input[0] == 88) {
+                long* p = (long*)&cb;
+                p[0] = p[0] ^ 255;
+            }
+        }
+        cb(7);
+        print_int(acc);
+        return 0;
+    }
+"#;
+
+/// PAC sessions recycle and fork bit-identically: sign/auth counters
+/// and PAC trap verdicts replay exactly through copy-on-write snapshot
+/// resets, full loader re-boots, and `Session::fork` — for both PAC
+/// modes and both engines, on clean and trapping inputs alike.
+#[test]
+fn pac_verdicts_and_counters_survive_recycling_and_forks() {
+    use levee_vm::{ExitStatus, Trap};
+    let inputs: [&[u8]; 4] = [b"", b"X", b"hello", b"Xyz"];
+    for config in [BuildConfig::Pac, BuildConfig::PacTight] {
+        for engine in Engine::all() {
+            let build = || {
+                Session::builder()
+                    .source(PAC_VERDICT_SRC)
+                    .name("pac-reuse")
+                    .protection(config)
+                    .engine(*engine)
+                    .build()
+                    .expect("template builds")
+            };
+            let batch = build().run_batch(inputs);
+            let mut loader = build();
+            loader.reconfigure(|c| c.reset_mode = ResetMode::Loader);
+            let loader_batch = loader.run_batch(inputs);
+            let mut forker = build();
+            forker.precompile();
+            for (i, (input, batched)) in inputs.iter().zip(&batch).enumerate() {
+                let fresh = build().run(input);
+                let ctx = format!("{} engine {} input {input:?}", config.name(), engine.name());
+                assert_identical(batched, &fresh, &ctx);
+                assert_identical(&loader_batch[i], &fresh, &format!("{ctx} [loader-reset]"));
+                let forked = forker.fork().run(input);
+                assert_identical(&forked, &fresh, &format!("{ctx} [fork]"));
+                // The verdict itself is input-controlled: clobbered
+                // sealed words must die as PAC detections, clean runs
+                // must seal and authenticate (nonzero counters).
+                if input.first() == Some(&b'X') {
+                    assert!(
+                        matches!(fresh.status, ExitStatus::Trapped(Trap::Pac { .. })),
+                        "{ctx}: clobbered callback must fail authentication, got {:?}",
+                        fresh.status
+                    );
+                } else {
+                    assert!(fresh.success(), "{ctx}: clean input must exit 0");
+                    assert!(
+                        fresh.exec.pac_signs > 0 && fresh.exec.pac_auths > 0,
+                        "{ctx}: PAC build must sign and authenticate \
+                         (signs {}, auths {})",
+                        fresh.exec.pac_signs,
+                        fresh.exec.pac_auths
+                    );
+                }
+            }
+        }
+    }
+}

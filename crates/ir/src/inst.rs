@@ -307,6 +307,26 @@ pub enum CpiOp {
         byte: Operand,
         len: Operand,
     },
+    /// Pointer-authentication sign (the PAC defense family, `levee-pac`):
+    /// seals a MAC tag over `(value, ctx)` into the spare high bits of
+    /// the 64-bit pointer word. `ctx` is 0 for context-free signing
+    /// (`-fpac`) or the storage slot address for per-context binding
+    /// (`-fpac-tight`). Inserted before code-pointer stores by
+    /// `levee_core::pac`.
+    PacSign {
+        dest: ValueId,
+        value: Operand,
+        ctx: Operand,
+    },
+    /// Pointer-authentication check: recomputes the MAC over the
+    /// stripped pointer and `ctx`; yields the raw pointer when the
+    /// sealed tag matches and traps (`Trap::Pac`) otherwise. Inserted
+    /// after code-pointer loads by `levee_core::pac`.
+    PacAuth {
+        dest: ValueId,
+        value: Operand,
+        ctx: Operand,
+    },
 }
 
 /// One IR instruction.
@@ -443,7 +463,9 @@ impl Inst {
             | Inst::IntrinsicCall { dest, .. } => *dest,
             Inst::Store { .. } => None,
             Inst::Cpi(op) => match op {
-                CpiOp::PtrLoad { dest, .. } => Some(*dest),
+                CpiOp::PtrLoad { dest, .. }
+                | CpiOp::PacSign { dest, .. }
+                | CpiOp::PacAuth { dest, .. } => Some(*dest),
                 _ => None,
             },
         }
@@ -472,6 +494,9 @@ impl Inst {
                 CpiOp::FnCheck { callee, .. } => vec![*callee],
                 CpiOp::SafeMemcpy { dst, src, len, .. } => vec![*dst, *src, *len],
                 CpiOp::SafeMemset { dst, byte, len, .. } => vec![*dst, *byte, *len],
+                CpiOp::PacSign { value, ctx, .. } | CpiOp::PacAuth { value, ctx, .. } => {
+                    vec![*value, *ctx]
+                }
             },
         }
     }

@@ -220,6 +220,12 @@ pub fn print_inst(m: &Module, inst: &Inst) -> String {
                 op_str(byte),
                 op_str(len)
             ),
+            CpiOp::PacSign { dest, value, ctx } => {
+                format!("%{} = pac_sign({}, {})", dest.0, op_str(value), op_str(ctx))
+            }
+            CpiOp::PacAuth { dest, value, ctx } => {
+                format!("%{} = pac_auth({}, {})", dest.0, op_str(value), op_str(ctx))
+            }
         },
     }
 }

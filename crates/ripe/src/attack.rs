@@ -26,12 +26,30 @@ pub enum Target {
     LongjmpBuf,
 }
 
-/// Direct contiguous overflow, or indirect via a corrupted data pointer
-/// followed by a targeted write (bypasses cookies).
+/// How the corrupting write is mounted.
+///
+/// `Direct` and `Indirect` are the classic RIPE techniques: contiguous
+/// overflow, or a corrupted data pointer followed by a targeted write
+/// (bypasses cookies). `Substitute` and `Forge` are the PAC-era
+/// additions aimed at pointer-authentication defenses
+/// (`levee_core::pac`): instead of writing a raw code address they
+/// write a *sealed-looking* word — a genuine sealed word replayed from
+/// another slot, or a forged word with a guessed MAC tag.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Technique {
     Direct,
     Indirect,
+    /// Replay a sealed word leaked from a *donor* slot (which holds a
+    /// pointer to an attacker-chosen existing function) over the victim
+    /// slot. Defeats context-free sealing (`-fpac`): any sealed word
+    /// authenticates at any slot. Per-slot binding (`-fpac-tight`)
+    /// rejects the replay.
+    Substitute,
+    /// Overwrite the victim slot with the goal address carrying a
+    /// blind-guessed MAC tag in the spare high bits. Succeeds with
+    /// probability 2^-tag_bits against PAC; against unsealed builds the
+    /// tagged high bits make the word a wild jump.
+    Forge,
 }
 
 /// Which "libc" routine smuggles the attacker bytes into the buffer.
@@ -101,6 +119,8 @@ impl Attack {
             match self.technique {
                 Technique::Direct => "direct",
                 Technique::Indirect => "indirect",
+                Technique::Substitute => "substitute",
+                Technique::Forge => "forge",
             },
             match self.abuse {
                 AbuseFn::ReadInput => "readinput",
@@ -120,7 +140,9 @@ impl Attack {
     /// Is this combination of dimensions buildable? (Return addresses
     /// exist only on the stack; jmp_bufs live on stack or in globals;
     /// the indirect technique is built for ret-addr and global-fptr
-    /// targets.)
+    /// targets; substitution and forgery target function-pointer slots
+    /// with a function-reuse payload — the replayed/forged word must
+    /// decode to an existing function entry.)
     pub fn is_valid(&self) -> bool {
         let target_ok = match self.target {
             Target::RetAddr => self.location == Location::Stack,
@@ -133,6 +155,9 @@ impl Attack {
                 (self.location, self.target),
                 (Location::Stack, Target::RetAddr) | (Location::Bss, Target::FuncPtr)
             ),
+            Technique::Substitute | Technique::Forge => {
+                self.target == Target::FuncPtr && self.payload == Payload::FuncReuse
+            }
         };
         target_ok && technique_ok
     }
@@ -148,7 +173,12 @@ pub fn all_attacks() -> Vec<Attack> {
         Location::Data,
     ] {
         for target in [Target::RetAddr, Target::FuncPtr, Target::LongjmpBuf] {
-            for technique in [Technique::Direct, Technique::Indirect] {
+            for technique in [
+                Technique::Direct,
+                Technique::Indirect,
+                Technique::Substitute,
+                Technique::Forge,
+            ] {
                 for abuse in [
                     AbuseFn::ReadInput,
                     AbuseFn::Strcpy,
@@ -193,6 +223,27 @@ mod tests {
         ids.sort();
         ids.dedup();
         assert_eq!(ids.len(), attacks.len());
+    }
+
+    #[test]
+    fn pac_era_techniques_are_fptr_funcreuse_only() {
+        let attacks = all_attacks();
+        let subs: Vec<_> = attacks
+            .iter()
+            .filter(|a| a.technique == Technique::Substitute)
+            .collect();
+        let forges: Vec<_> = attacks
+            .iter()
+            .filter(|a| a.technique == Technique::Forge)
+            .collect();
+        // 4 locations × 4 abuse functions, one payload each.
+        assert_eq!(subs.len(), 16);
+        assert_eq!(forges.len(), 16);
+        for a in subs.iter().chain(&forges) {
+            assert_eq!(a.target, Target::FuncPtr);
+            assert_eq!(a.payload, Payload::FuncReuse);
+        }
+        assert_eq!(attacks.len(), 176, "144 classic + 32 PAC-era attacks");
     }
 
     #[test]

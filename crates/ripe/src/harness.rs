@@ -6,12 +6,15 @@
 //! at the victim configuration. ASLR invalidates recon knowledge of
 //! stack/heap/libc addresses (but not a non-PIE binary's own code or
 //! globals); CPI/CPS/SafeStack change where the authoritative copies of
-//! code pointers live.
+//! code pointers live; PAC (`levee_core::pac`) leaves them in place but
+//! seals them under a per-victim MAC key, which is why the PAC-era
+//! techniques ([`Technique::Substitute`]/[`Technique::Forge`]) build
+//! their payloads from the victim dry run rather than from recon.
 
 use levee_core::{BuildConfig, Session};
 use levee_defenses::Deployment;
 use levee_ir::Intrinsic;
-use levee_vm::{ExitStatus, Trap, VmConfig};
+use levee_vm::{ExitStatus, Trap, VmConfig, PAC_PTR_MASK};
 
 use crate::attack::{Attack, Payload, Target, Technique};
 use crate::template::{generate, SENTINEL};
@@ -27,7 +30,10 @@ pub enum Profile {
 }
 
 impl Profile {
-    /// The five profiles of the paper's §5.1 evaluation.
+    /// The paper's §5.1 lineup (legacy, deployed, safe stack, CPS,
+    /// CPI) extended with the pointer-authentication family
+    /// (`levee_core::pac`) — the CPI-vs-PAC comparison every matrix
+    /// report tabulates.
     pub fn paper_lineup() -> Vec<Profile> {
         vec![
             Profile::Deployment(Deployment::Legacy),
@@ -35,6 +41,8 @@ impl Profile {
             Profile::Levee(BuildConfig::SafeStack),
             Profile::Levee(BuildConfig::Cps),
             Profile::Levee(BuildConfig::Cpi),
+            Profile::Levee(BuildConfig::Pac),
+            Profile::Levee(BuildConfig::PacTight),
         ]
     }
 
@@ -118,6 +126,29 @@ fn parse_leaks(output: &str) -> (u64, Option<u64>) {
     (leak1, leak2.map(|v| v as u64))
 }
 
+/// Every integer the program printed, in order — the substitution
+/// templates leak three values (buffer, victim slot, donor word), one
+/// more than [`parse_leaks`] models.
+fn parse_ints(output: &str) -> Vec<i64> {
+    output
+        .lines()
+        .filter_map(|l| l.parse::<i64>().ok())
+        .collect()
+}
+
+/// A blind MAC-tag guess: splitmix over a salt that is deliberately
+/// *not* the VM's key-derivation salt — the attacker does not know the
+/// per-machine PAC key, only the tag width. Matches the real tag with
+/// probability 2^-bits.
+fn forge_guess(seed: u64, bits: u8) -> u64 {
+    let mut x = seed ^ 0x0BAD_F00D_0DDB_1A5E;
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x >> (64 - u32::from(bits.clamp(1, 16)))
+}
+
 fn goal_value(attack: &Attack, recon: &Recon) -> u64 {
     match attack.payload {
         Payload::Shellcode => recon.leak1,
@@ -156,6 +187,9 @@ fn build_payload(attack: &Attack, recon: &Recon, cookie_gap: bool) -> Vec<u8> {
             };
             p.extend(std::iter::repeat_n(b'A', 64));
             p.extend_from_slice(&write_target.to_le_bytes());
+        }
+        Technique::Substitute | Technique::Forge => {
+            unreachable!("PAC-era payloads are built from the victim dry run")
         }
     }
     p
@@ -200,8 +234,6 @@ pub fn run_attack_with(
         rop_site: recon_rop,
         evil: recon_evil,
     };
-    let payload = build_payload(attack, &recon, profile.has_cookies());
-
     // --- Victim dry run: learn the *actual* goal addresses for this
     // seed (what the attacker hopes to reach; the VM needs them to
     // detect success). The same session pivots to the victim's
@@ -212,6 +244,34 @@ pub fn run_attack_with(
     let dry_evil = session.func_entry("evil_cb").expect("preamble function");
     let dry_out = session.run(b"");
     let (dry_leak1, _) = parse_leaks(&dry_out.output);
+
+    // Classic payloads depend only on recon; the PAC-era techniques
+    // write a word that is a function of the *victim's* seed (the MAC
+    // key is derived from it), so they draw on the dry run too: the
+    // substituted word is the donor slot's leaked in-memory word, the
+    // forged word carries a blind tag guess over this victim's goal.
+    let payload = match attack.technique {
+        Technique::Substitute | Technique::Forge => {
+            let offset = match recon.leak2 {
+                Some(l2) => (l2 - recon.leak1) as usize,
+                None => 64,
+            };
+            let word = match attack.technique {
+                Technique::Substitute => {
+                    parse_ints(&dry_out.output).get(2).copied().unwrap_or(0) as u64
+                }
+                _ => {
+                    let bits = session.vm_config().pac_tag_bits.clamp(1, 16);
+                    (dry_evil & PAC_PTR_MASK) | (forge_guess(seed, bits) << (64 - u32::from(bits)))
+                }
+            };
+            let mut p = Vec::with_capacity(offset + 8);
+            p.extend(std::iter::repeat_n(b'A', offset));
+            p.extend_from_slice(&word.to_le_bytes());
+            p
+        }
+        _ => build_payload(attack, &recon, profile.has_cookies()),
+    };
 
     // --- The exploit: same configuration, so the resident machine is
     // simply re-armed (goals survive the between-run reset). ---
@@ -246,6 +306,7 @@ fn classify(status: ExitStatus, output: &str) -> AttackResult {
 fn trap_name(t: &Trap) -> String {
     match t {
         Trap::Cpi { .. } => "CPI".into(),
+        Trap::Pac { .. } => "PAC".into(),
         Trap::Cfi { .. } => "CFI".into(),
         Trap::Cookie => "cookie".into(),
         Trap::ShadowStack { .. } => "shadow-stack".into(),

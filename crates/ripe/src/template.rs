@@ -6,6 +6,17 @@
 //! function, then uses the corrupted code pointer (returns, calls, or
 //! longjmps). `main` prints the sentinel `-4242` afterwards, so a run
 //! that survives the attack is detectable.
+//!
+//! The PAC-era techniques ride the same templates with one twist each
+//! (see [`levee_core::pac`] for the defense being attacked):
+//! [`Technique::Forge`] reuses the direct fn-pointer templates
+//! verbatim — only the *written word* differs (goal address plus a
+//! blind-guessed tag, built by the harness from the victim's tag
+//! width) — while [`Technique::Substitute`] adds a `donor` global
+//! holding a legitimately sealed pointer to `evil_cb` and leaks its
+//! sealed word through an integer-typed alias (`long*`), the
+//! type-laundering read no defense rewrites; the harness replays that
+//! word over the victim slot.
 
 use crate::attack::{AbuseFn, Attack, Location, Target, Technique};
 
@@ -69,7 +80,10 @@ pub fn generate(attack: &Attack) -> String {
              }}\n",
             abuse("c.buf")
         ),
-        (Location::Stack, Target::FuncPtr, Technique::Direct) => format!(
+        // Forgery reuses the classic direct-overflow bodies verbatim:
+        // the technique differs only in the word the payload writes
+        // (goal address + guessed MAC tag instead of a raw address).
+        (Location::Stack, Target::FuncPtr, Technique::Direct | Technique::Forge) => format!(
             "struct carrier {{ char buf[64]; void (*f)(int); }};\n\
              void vuln() {{\n\
              \x20   struct carrier c;\n\
@@ -94,7 +108,7 @@ pub fn generate(attack: &Attack) -> String {
              }}\n",
             abuse("c.buf")
         ),
-        (Location::Bss | Location::Data, Target::FuncPtr, Technique::Direct) => {
+        (Location::Bss | Location::Data, Target::FuncPtr, Technique::Direct | Technique::Forge) => {
             let init = if attack.location == Location::Data {
                 " = \"seeded\""
             } else {
@@ -146,7 +160,7 @@ pub fn generate(attack: &Attack) -> String {
              }}\n",
             abuse("gbuf")
         ),
-        (Location::Heap, Target::FuncPtr, Technique::Direct) => format!(
+        (Location::Heap, Target::FuncPtr, Technique::Direct | Technique::Forge) => format!(
             "struct hobj {{ void (*f)(int); long tag; }};\n\
              void vuln() {{\n\
              \x20   char* hbuf = (char*)malloc(64);\n\
@@ -154,6 +168,69 @@ pub fn generate(attack: &Attack) -> String {
              \x20   o->f = good_cb;\n\
              \x20   print_int((long)hbuf);\n\
              \x20   print_int((long)&o->f);\n\
+             {}\
+             \x20   o->f(7);\n\
+             }}\n",
+            abuse("hbuf")
+        ),
+        // Substitution templates add a *donor* slot holding a pointer
+        // to the attacker's chosen function, and leak the donor's raw
+        // in-memory word through an integer-typed load (which no
+        // defense rewrites — the classic type-laundering leak). Under
+        // PAC the leaked word is sealed; replaying it over the victim
+        // slot authenticates under context-free `-fpac` but not under
+        // per-slot `-fpac-tight`.
+        (Location::Stack, Target::FuncPtr, Technique::Substitute) => format!(
+            "struct carrier {{ char buf[64]; void (*f)(int); }};\n\
+             void (*donor)(int);\n\
+             void vuln() {{\n\
+             \x20   struct carrier c;\n\
+             \x20   c.f = good_cb;\n\
+             \x20   donor = evil_cb;\n\
+             \x20   print_int((long)c.buf);\n\
+             \x20   print_int((long)&c.f);\n\
+             \x20   long* dp = (long*)&donor;\n\
+             \x20   print_int(dp[0]);\n\
+             {}\
+             \x20   c.f(7);\n\
+             }}\n",
+            abuse("c.buf")
+        ),
+        (Location::Bss | Location::Data, Target::FuncPtr, Technique::Substitute) => {
+            let init = if attack.location == Location::Data {
+                " = \"seeded\""
+            } else {
+                ""
+            };
+            format!(
+                "char gbuf[64]{init};\n\
+                 void (*gfp)(int);\n\
+                 void (*donor)(int);\n\
+                 void vuln() {{\n\
+                 \x20   gfp = good_cb;\n\
+                 \x20   donor = evil_cb;\n\
+                 \x20   print_int((long)gbuf);\n\
+                 \x20   print_int((long)&gfp);\n\
+                 \x20   long* dp = (long*)&donor;\n\
+                 \x20   print_int(dp[0]);\n\
+                 {}\
+                 \x20   gfp(7);\n\
+                 }}\n",
+                abuse("gbuf")
+            )
+        }
+        (Location::Heap, Target::FuncPtr, Technique::Substitute) => format!(
+            "struct hobj {{ void (*f)(int); long tag; }};\n\
+             void (*donor)(int);\n\
+             void vuln() {{\n\
+             \x20   char* hbuf = (char*)malloc(64);\n\
+             \x20   struct hobj* o = (struct hobj*)malloc(16);\n\
+             \x20   o->f = good_cb;\n\
+             \x20   donor = evil_cb;\n\
+             \x20   print_int((long)hbuf);\n\
+             \x20   print_int((long)&o->f);\n\
+             \x20   long* dp = (long*)&donor;\n\
+             \x20   print_int(dp[0]);\n\
              {}\
              \x20   o->f(7);\n\
              }}\n",

@@ -1,14 +1,35 @@
 //! The §5.1 reproduction: the full attack suite against the paper's
-//! five protection profiles. The shape to match:
+//! five protection profiles, plus the PAC-era extension. The shape to
+//! match:
 //!
 //! * legacy (no defenses): the vast majority of attacks succeed,
 //! * DEP+ASLR+cookies: a small number still succeed,
 //! * safe stack: every return-address attack is stopped,
-//! * CPS and CPI: **zero** successful hijacks.
+//! * CPS and CPI: **zero** successful hijacks,
+//! * PAC (both modes): every *classic* hijack stopped, but sealed-word
+//!   **substitution** defeats context-free `-fpac` — only the per-slot
+//!   binding of `-fpac-tight` rejects the replay,
+//! * MAC **forgery** fails with the default 16-bit tags and is detected
+//!   as a PAC violation.
 
 use levee_core::BuildConfig;
 use levee_defenses::Deployment;
-use levee_ripe::{all_attacks, evaluate, Profile, Target};
+use levee_ripe::{all_attacks, evaluate, Attack, Profile, Target, Technique};
+
+/// The pre-PAC RIPE matrix: direct overflows and indirect writes.
+fn classic_attacks() -> Vec<Attack> {
+    all_attacks()
+        .into_iter()
+        .filter(|a| matches!(a.technique, Technique::Direct | Technique::Indirect))
+        .collect()
+}
+
+fn by_technique(t: Technique) -> Vec<Attack> {
+    all_attacks()
+        .into_iter()
+        .filter(|a| a.technique == t)
+        .collect()
+}
 
 #[test]
 fn legacy_system_is_wide_open() {
@@ -77,6 +98,90 @@ fn cpi_prevents_every_attack() {
         "CPI must stop all attacks; leaked: {:?}",
         tally.hijacked.iter().map(|a| a.id()).collect::<Vec<_>>()
     );
+}
+
+#[test]
+fn pac_stops_every_classic_hijack() {
+    let classic = classic_attacks();
+    assert_eq!(classic.len(), 144);
+    for (config, seed) in [(BuildConfig::Pac, 6), (BuildConfig::PacTight, 7)] {
+        let tally = evaluate(&classic, &Profile::Levee(config), seed);
+        assert_eq!(
+            tally.successes(),
+            0,
+            "{} must stop every classic hijack; leaked: {:?}",
+            config.name(),
+            tally.hijacked.iter().map(|a| a.id()).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn substitution_defeats_plain_pac_but_not_tight() {
+    let subs = by_technique(Technique::Substitute);
+    let plain = evaluate(&subs, &Profile::Levee(BuildConfig::Pac), 8);
+    assert!(
+        plain.successes() > 0,
+        "a replayed sealed word must authenticate somewhere under \
+         context-free -fpac ({}/{} hijacked)",
+        plain.successes(),
+        plain.total()
+    );
+    let tight = evaluate(&subs, &Profile::Levee(BuildConfig::PacTight), 8);
+    assert_eq!(
+        tight.successes(),
+        0,
+        "per-slot binding must reject every replay; leaked: {:?}",
+        tight.hijacked.iter().map(|a| a.id()).collect::<Vec<_>>()
+    );
+    assert!(
+        tight.detected > 0,
+        "tight-mode replays must die as explicit PAC detections"
+    );
+}
+
+#[test]
+fn forgery_fails_against_full_width_tags() {
+    let forges = by_technique(Technique::Forge);
+    for (config, seed) in [(BuildConfig::Pac, 9), (BuildConfig::PacTight, 10)] {
+        let tally = evaluate(&forges, &Profile::Levee(config), seed);
+        assert_eq!(
+            tally.successes(),
+            0,
+            "{}: a blind 16-bit tag guess must not authenticate; leaked: {:?}",
+            config.name(),
+            tally.hijacked.iter().map(|a| a.id()).collect::<Vec<_>>()
+        );
+        assert!(
+            tally.detected > 0,
+            "{}: forged words must surface as PAC detections",
+            config.name()
+        );
+    }
+}
+
+#[test]
+fn forgery_success_scales_with_tag_width() {
+    use levee_ripe::{run_attack_with, AbuseFn, AttackResult, Location};
+    use levee_vm::VmConfig;
+    // With the tag narrowed to a single bit the blind guess lands with
+    // probability 1/2 per victim seed: over a few seeds the forge must
+    // both win and lose — the 2^-bits detection probability the PAC
+    // family models (full-width tags are pinned to zero wins above).
+    let attack = by_technique(Technique::Forge)
+        .into_iter()
+        .find(|a| a.location == Location::Bss && a.abuse == AbuseFn::ReadInput)
+        .expect("bss/readinput forge exists");
+    let narrow = VmConfig::default().with_pac_tag_bits(1);
+    let (mut wins, mut losses) = (0, 0);
+    for seed in 0..16 {
+        match run_attack_with(&attack, &Profile::Levee(BuildConfig::Pac), seed, narrow) {
+            AttackResult::Hijacked => wins += 1,
+            _ => losses += 1,
+        }
+    }
+    assert!(wins > 0, "a 1-bit tag must be guessable sometimes");
+    assert!(losses > 0, "but a guess must not always land");
 }
 
 #[test]

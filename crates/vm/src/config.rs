@@ -77,6 +77,42 @@ impl ResetMode {
     }
 }
 
+/// Pointer-authentication mode for the `-fpac` defense family.
+///
+/// Under PAC, sensitive code pointers are sealed *in place*: a MAC tag
+/// over the pointer's low 48 bits (and a binding context) is packed
+/// into the spare high bits of the 64-bit word at memory-write
+/// boundaries, and authenticated (tag recomputed and compared, then
+/// stripped) at memory-read boundaries. Registers always hold raw
+/// pointers. A mismatch raises [`crate::Trap::Pac`]. Contrast with
+/// CPI/CPS, which *segregate* sensitive pointers into the safe store
+/// instead of sealing them in place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PacMode {
+    /// No pointer authentication (all non-PAC configurations).
+    #[default]
+    Off,
+    /// `-fpac`: tags bind to the pointer value only (context 0). A
+    /// sealed word copied between slots still authenticates —
+    /// vulnerable to substitution attacks.
+    Plain,
+    /// `-fpac-tight`: PACTight-style per-context binding — the tag also
+    /// covers the address of the memory slot holding the pointer, so a
+    /// sealed word replayed at a different slot fails authentication.
+    Tight,
+}
+
+impl PacMode {
+    /// Human-readable name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PacMode::Off => "off",
+            PacMode::Plain => "pac",
+            PacMode::Tight => "pac-tight",
+        }
+    }
+}
+
 /// Hardware model for metadata operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HardwareModel {
@@ -109,6 +145,15 @@ pub struct VmConfig {
     /// through the safe store (on when the module is CPI/CPS
     /// instrumented; the driver sets this).
     pub protect_runtime_code_ptrs: bool,
+    /// Pointer-authentication mode (the `-fpac` / `-fpac-tight`
+    /// defense family). Orthogonal to CPI instrumentation; the driver
+    /// sets it for PAC builds. The per-machine MAC key is derived from
+    /// [`seed`](VmConfig::seed).
+    pub pac: PacMode,
+    /// MAC tag width in bits for PAC sealing, clamped to `1..=16` (the
+    /// pointer's spare high bits). Narrower tags model weaker keys:
+    /// forgery-by-guess succeeds with probability `2^-tag_bits`.
+    pub pac_tag_bits: u8,
     /// Deterministic seed (layout randomization, cookies).
     pub seed: u64,
     /// Fuel: maximum instructions before `Trap::OutOfFuel`.
@@ -151,6 +196,8 @@ impl Default for VmConfig {
             temporal: false,
             debug_dual_store: false,
             protect_runtime_code_ptrs: false,
+            pac: PacMode::default(),
+            pac_tag_bits: 16,
             seed: 0,
             max_insts: 200_000_000,
             cost: CostModel::default(),
@@ -215,6 +262,20 @@ impl VmConfig {
         self.reset_mode = reset_mode;
         self
     }
+
+    /// Returns self with the given pointer-authentication mode (builder
+    /// style).
+    pub fn with_pac(mut self, pac: PacMode) -> Self {
+        self.pac = pac;
+        self
+    }
+
+    /// Returns self with the given PAC tag width (builder style),
+    /// clamped to `1..=16`.
+    pub fn with_pac_tag_bits(mut self, bits: u8) -> Self {
+        self.pac_tag_bits = bits.clamp(1, 16);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -250,6 +311,19 @@ mod tests {
     fn profile_defaults_off_and_toggles() {
         assert!(!VmConfig::default().profile);
         assert!(VmConfig::default().with_profile(true).profile);
+    }
+
+    #[test]
+    fn pac_defaults_off_and_tag_bits_clamp() {
+        let d = VmConfig::default();
+        assert_eq!(d.pac, PacMode::Off);
+        assert_eq!(d.pac_tag_bits, 16);
+        let p = VmConfig::default().with_pac(PacMode::Tight);
+        assert_eq!(p.pac, PacMode::Tight);
+        assert_eq!(VmConfig::default().with_pac_tag_bits(0).pac_tag_bits, 1);
+        assert_eq!(VmConfig::default().with_pac_tag_bits(8).pac_tag_bits, 8);
+        assert_eq!(VmConfig::default().with_pac_tag_bits(64).pac_tag_bits, 16);
+        assert_ne!(PacMode::Plain.name(), PacMode::Tight.name());
     }
 
     #[test]

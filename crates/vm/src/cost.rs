@@ -43,6 +43,13 @@ pub struct CostModel {
     pub mpx_check: u64,
     /// MPX bounds-table access bookkeeping.
     pub mpx_store_op: u64,
+    /// Cost of sealing a MAC tag into a code pointer (`pac_sign`) — the
+    /// PAC defense family's analogue of ARMv8.3 `PACIA` (a few cycles
+    /// of QARMA latency).
+    pub pac_sign: u64,
+    /// Cost of authenticating a sealed code pointer (`pac_auth`) —
+    /// the `AUTIA` analogue; same MAC computation plus the compare.
+    pub pac_auth: u64,
 }
 
 impl Default for CostModel {
@@ -62,6 +69,8 @@ impl Default for CostModel {
             sfi_mask: 1,
             mpx_check: 1,
             mpx_store_op: 2,
+            pac_sign: 4,
+            pac_auth: 4,
         }
     }
 }
@@ -77,5 +86,9 @@ mod tests {
         assert!(c.page_fault > c.mem_miss);
         assert!(c.mpx_check <= c.check);
         assert!(c.mpx_store_op <= c.store_op);
+        // Sign and auth model the same MAC primitive; auth is at least
+        // as expensive (MAC + compare) and both beat a memory miss.
+        assert!(c.pac_auth >= c.pac_sign);
+        assert!(c.pac_sign > 0 && c.pac_auth < c.mem_miss);
     }
 }

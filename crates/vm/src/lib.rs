@@ -46,10 +46,10 @@ pub mod probe;
 pub mod stats;
 pub mod trap;
 
-pub use config::{Engine, HardwareModel, Isolation, ResetMode, VmConfig};
+pub use config::{Engine, HardwareModel, Isolation, PacMode, ResetMode, VmConfig};
 pub use levee_bc::FuseStats;
 pub use levee_rt::StoreKind;
-pub use machine::{AttackerError, GuessOutcome, Machine, RunOutcome, V};
+pub use machine::{AttackerError, GuessOutcome, Machine, RunOutcome, PAC_PTR_MASK, V};
 pub use probe::{
     touch_addrs, CheckSiteProfile, FuncProfile, OpProfile, ProfileReport, TouchKind, TouchRecord,
     TraceEvent, TraceEventKind,

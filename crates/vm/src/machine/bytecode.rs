@@ -107,6 +107,8 @@ impl<'m> Machine<'m> {
         let cost_mem_hit = self.config.cost.mem_hit;
         let cost_mem_miss = self.config.cost.mem_miss;
         let cost_sfi = self.config.cost.sfi_mask;
+        let cost_pac_sign = self.config.cost.pac_sign;
+        let cost_pac_auth = self.config.cost.pac_auth;
         let sfi = self.config.isolation == crate::config::Isolation::Sfi;
 
         // Re-caches function state after any control transfer that may
@@ -521,6 +523,35 @@ impl<'m> Machine<'m> {
                     self.charge_store_touches(t, TouchKind::Write);
                     self.stats.cycles += (n / 8) * self.config.cost.store_op;
                 }
+                Op::PacSign => {
+                    let dest = w!(1);
+                    let v = rd!(w!(2));
+                    let c = rd!(w!(3)).raw;
+                    pc += 4;
+                    // Same charge/count order as `charge_pac_sign` in
+                    // the walker's `exec_cpi` arm; the cycle lands in
+                    // the local accumulator like every inline charge.
+                    self.stats.pac_signs += 1;
+                    cycles_l += cost_pac_sign;
+                    let sealed = self.pac_seal(v.raw, c);
+                    wr!(
+                        dest,
+                        V {
+                            raw: sealed,
+                            meta: v.meta
+                        }
+                    );
+                }
+                Op::PacAuth => {
+                    let dest = w!(1);
+                    let v = rd!(w!(2));
+                    let c = rd!(w!(3)).raw;
+                    pc += 4;
+                    self.stats.pac_auths += 1;
+                    cycles_l += cost_pac_auth;
+                    let raw = bail!(self.pac_auth_val(v.raw, c));
+                    wr!(dest, V { raw, meta: v.meta });
+                }
                 Op::Jump => {
                     pc = w!(1) as usize;
                 }
@@ -744,6 +775,40 @@ impl<'m> Machine<'m> {
                     nregs.extend((0..nargs).map(|i| rd!(w!(7 + i))));
                     nregs.resize(desc.n_regs as usize, V::int(0));
                     pc += 7 + nargs;
+                    sync_frame!();
+                    let ret_addr = self.func_addrs[fidx] + 16 * (site + 1);
+                    let dest = (dest != 0).then(|| ValueId(dest - 1));
+                    bail!(self.push_frame(func, desc, nregs, dest, ret_addr));
+                    reload!();
+                }
+                Op::AuthCall => {
+                    // PacAuth constituent: authenticate the sealed
+                    // callee and land the raw pointer in the auth dest
+                    // register (the call's callee operand, per the
+                    // fusion condition) — the software analogue of
+                    // ARMv8.3's `blraa`.
+                    let adest = w!(1);
+                    let av = rd!(w!(2));
+                    let actx = rd!(w!(3)).raw;
+                    self.stats.pac_auths += 1;
+                    cycles_l += cost_pac_auth;
+                    let raw = bail!(self.pac_auth_val(av.raw, actx));
+                    let cv = V { raw, meta: av.meta };
+                    wr!(adest, cv);
+                    fuel_step!();
+                    // CallIndirect constituent, reading the callee it
+                    // just authenticated.
+                    let dest = w!(4);
+                    let sig_entry = &bc.sigs[w!(5) as usize];
+                    let site = w!(6) as u64;
+                    let nargs = w!(7) as usize;
+                    let func =
+                        bail!(self.resolve_indirect(cv.raw, &sig_entry.sig, sig_entry.cfi, nargs));
+                    let desc = self.frame_descs[func.0 as usize];
+                    let mut nregs = self.take_vec();
+                    nregs.extend((0..nargs).map(|i| rd!(w!(8 + i))));
+                    nregs.resize(desc.n_regs as usize, V::int(0));
+                    pc += 8 + nargs;
                     sync_frame!();
                     let ret_addr = self.func_addrs[fidx] + 16 * (site + 1);
                     let dest = (dest != 0).then(|| ValueId(dest - 1));

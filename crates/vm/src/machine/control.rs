@@ -92,9 +92,20 @@ impl<'m> Machine<'m> {
             self.sp -= 8;
             let slot = self.sp;
             self.check_stack_space()?;
+            // Under PAC the prologue signs the return address before
+            // spilling it (the `paciasp` idiom): the attackable stack
+            // slot holds the sealed word, never the raw pointer. The
+            // safe-stack branch above stays raw — its slot is already
+            // unreachable by regular writes.
+            let word = if self.pac_active() {
+                self.charge_pac_sign();
+                self.pac_seal(ret_addr, self.pac_ctx(slot))
+            } else {
+                ret_addr
+            };
             self.charge_mem(slot, true, TouchKind::Write, 8);
             self.mem
-                .write_uint(slot, ret_addr, 8)
+                .write_uint(slot, word, 8)
                 .map_err(|_| Trap::StackOverflow)?;
             slot
         };
@@ -176,6 +187,17 @@ impl<'m> Machine<'m> {
             .mem
             .read_uint(slot, 8)
             .map_err(|_| Trap::Unmapped { addr: slot })?;
+
+        // 2½. PAC epilogue (`autiasp`): authenticate the reloaded word
+        // before any use. A raw overwrite (classic hijack) or a sealed
+        // word replayed from another slot under `-fpac-tight` fails
+        // here with `Trap::Pac`.
+        let loaded = if self.pac_active() && !desc.safestack {
+            self.charge_pac_auth();
+            self.pac_auth_val(loaded, self.pac_ctx(slot))?
+        } else {
+            loaded
+        };
 
         // 3. Shadow-stack comparison.
         if desc.shadow_stack {
@@ -381,7 +403,16 @@ impl<'m> Machine<'m> {
             let t = self.store.set(buf.raw, levee_rt::Slot::new(token, meta));
             self.charge_store_touches(t, TouchKind::Write);
         } else {
-            self.prog_write(buf.raw, token, 8, MemSpace::Regular)?;
+            // Under PAC the jmp_buf's code pointer is sealed in place,
+            // bound to the buffer slot under `-fpac-tight` — jmp_buf
+            // smashing then fails authentication in `do_longjmp`.
+            let word = if self.pac_active() {
+                self.charge_pac_sign();
+                self.pac_seal(token, self.pac_ctx(buf.raw))
+            } else {
+                token
+            };
+            self.prog_write(buf.raw, word, 8, MemSpace::Regular)?;
         }
         self.prog_write(buf.raw + 8, self.sp, 8, MemSpace::Regular)?;
         self.prog_write(buf.raw + 16, self.unsafe_sp, 8, MemSpace::Regular)?;
@@ -415,7 +446,13 @@ impl<'m> Machine<'m> {
                 }
             }
         } else {
-            self.prog_read(buf.raw, 8, MemSpace::Regular)?
+            let word = self.prog_read(buf.raw, 8, MemSpace::Regular)?;
+            if self.pac_active() {
+                self.charge_pac_auth();
+                self.pac_auth_val(word, self.pac_ctx(buf.raw))?
+            } else {
+                word
+            }
         };
         let ctx = match self.setjmp_ctxs.get(&token) {
             Some(c) => *c,

@@ -101,6 +101,31 @@ impl<'m> Machine<'m> {
                 self.stats.cycles += (n / 8) * self.config.cost.store_op;
                 Ok(())
             }
+            CpiOp::PacSign { dest, value, ctx } => {
+                let v = self.eval(*value);
+                let c = self.eval(*ctx).raw;
+                self.charge_pac_sign();
+                let sealed = self.pac_seal(v.raw, c);
+                // The sealed word keeps its provenance handle: sealing
+                // changes representation, not what the pointer is based
+                // on (and the handle never reaches regular memory).
+                self.set_reg(
+                    *dest,
+                    V {
+                        raw: sealed,
+                        meta: v.meta,
+                    },
+                );
+                Ok(())
+            }
+            CpiOp::PacAuth { dest, value, ctx } => {
+                let v = self.eval(*value);
+                let c = self.eval(*ctx).raw;
+                self.charge_pac_auth();
+                let raw = self.pac_auth_val(v.raw, c)?;
+                self.set_reg(*dest, V { raw, meta: v.meta });
+                Ok(())
+            }
         }
     }
 

@@ -76,6 +76,8 @@ impl<'m> Machine<'m> {
                     CpiOp::FnCheck { .. } => Op::FnCheck,
                     CpiOp::SafeMemcpy { .. } => Op::SafeMemcpy,
                     CpiOp::SafeMemset { .. } => Op::SafeMemset,
+                    CpiOp::PacSign { .. } => Op::PacSign,
+                    CpiOp::PacAuth { .. } => Op::PacAuth,
                 },
             }
         };

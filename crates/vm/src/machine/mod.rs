@@ -29,7 +29,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::cache::Cache;
-use crate::config::{Engine, Isolation, ResetMode, VmConfig};
+use crate::config::{Engine, Isolation, PacMode, ResetMode, VmConfig};
 use crate::heap::Heap;
 use crate::layout::{self, Layout};
 use crate::mem::{MemError, Memory};
@@ -79,6 +79,23 @@ impl V {
 
 /// Marker value used as the return address of `main`.
 pub(crate) const MAIN_RET_SENTINEL: u64 = 0x0000_dead_0000;
+
+/// The address bits of a PAC-sealed word: every simulated address fits
+/// in 48 bits (see [`crate::layout`]), leaving the high 16 for the MAC
+/// tag — the x86-64 canonical-address gap ARM PAC also exploits.
+pub const PAC_PTR_MASK: u64 = (1 << 48) - 1;
+
+/// One round of splitmix64 — the keyed mixer behind the modeled MAC.
+/// Not cryptographic (neither is QARMA at 16 bits); what matters for
+/// the evaluation is that tags are key- and context-dependent and that
+/// guessing succeeds with probability `2^-tag_bits`.
+#[inline]
+pub(crate) fn pac_mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
 
 /// One activation record. The *memory image* of the return address (and
 /// cookie) is what attacks corrupt; the Rust-side fields carry
@@ -184,6 +201,11 @@ pub struct Machine<'m> {
     pub(crate) goals: HashMap<u64, GoalKind, FastHash>,
     /// Live setjmp contexts keyed by token address.
     pub(crate) setjmp_ctxs: HashMap<u64, SetjmpCtx, FastHash>,
+    /// Per-machine MAC key for the PAC defense family, derived
+    /// deterministically from the session seed at boot. Config-immutable
+    /// (needs no snapshot field); forks inherit it, so a fork
+    /// authenticates pointers the original sealed.
+    pub(crate) pac_key: u64,
     /// Provenance of values stored (spilled) to the safe stack, keyed by
     /// slot address: the word that was stored plus its metadata handle.
     /// The safe stack is trusted storage inside the safe region (like
@@ -307,6 +329,11 @@ impl<'m> Machine<'m> {
             intrinsic_addrs: HashMap::new(),
             goals: HashMap::default(),
             setjmp_ctxs: HashMap::default(),
+            // Salted splitmix of the seed, NOT a draw from the boot RNG:
+            // deriving the key out-of-band keeps every existing RNG
+            // stream (layout, cookie, `rand`) bit-identical whether or
+            // not PAC is configured.
+            pac_key: pac_mix(config.seed ^ 0x5EA1_C0DE_5EA1_C0DE),
             safe_stack_meta: HashMap::default(),
             sfi_masked: 0,
             sig_hashes: Vec::new(),
@@ -394,6 +421,7 @@ impl<'m> Machine<'m> {
             intrinsic_addrs: self.intrinsic_addrs.clone(),
             goals: self.goals.clone(),
             setjmp_ctxs: self.setjmp_ctxs.clone(),
+            pac_key: self.pac_key,
             safe_stack_meta: self.safe_stack_meta.clone(),
             sfi_masked: self.sfi_masked,
             sig_hashes: self.sig_hashes.clone(),
@@ -705,7 +733,17 @@ impl<'m> Machine<'m> {
                     }
                     InitAtom::FuncPtr(fid) => {
                         let target = func_area + fid.0 as u64 * layout::FUNC_STRIDE;
-                        self.mem.loader_write_uint(off, target, 8);
+                        // Under PAC the loader plays the linker's part:
+                        // code pointers embedded in initializers are
+                        // sealed in place, so instrumented loads of them
+                        // authenticate. Loader traffic predates
+                        // execution — no charge, no counter.
+                        let word = if self.config.pac == PacMode::Off {
+                            target
+                        } else {
+                            self.pac_seal(target, self.pac_ctx(off))
+                        };
+                        self.mem.loader_write_uint(off, word, 8);
                         off += 8;
                     }
                     InitAtom::GlobalPtr(_, _) => {
@@ -914,6 +952,81 @@ impl<'m> Machine<'m> {
             crate::config::HardwareModel::Mpx => self.config.cost.mpx_store_op,
         };
         self.stats.cycles += op_cost;
+    }
+
+    // ---- pointer authentication (PAC) -------------------------------------
+    //
+    // The sealed representation lives only in (regular) memory:
+    // registers always hold raw pointers, `pac_sign` runs at
+    // memory-write boundaries and `pac_auth` at memory-read boundaries
+    // (the `levee_core::pac` pass inserts them; `push_frame`/`do_return`
+    // and the setjmp/longjmp paths do the same for machine-written code
+    // pointers). See `levee_core::pac` for the pass, and
+    // `levee_ripe::template` for the substitution/forgery attacks the
+    // context binding does (and does not) stop.
+
+    /// True when this machine seals code pointers.
+    #[inline]
+    pub(crate) fn pac_active(&self) -> bool {
+        self.config.pac != PacMode::Off
+    }
+
+    /// The binding context for a code pointer held in slot `slot`:
+    /// 0 under [`PacMode::Plain`] (value-only binding), the slot
+    /// address under [`PacMode::Tight`] (PACTight-style per-location
+    /// binding, which is what defeats substitution).
+    #[inline]
+    pub(crate) fn pac_ctx(&self, slot: u64) -> u64 {
+        match self.config.pac {
+            PacMode::Tight => slot,
+            _ => 0,
+        }
+    }
+
+    /// The MAC tag over `raw`'s address bits and `ctx`, `pac_tag_bits`
+    /// wide.
+    #[inline]
+    pub(crate) fn pac_tag(&self, raw: u64, ctx: u64) -> u64 {
+        let bits = u32::from(self.config.pac_tag_bits.clamp(1, 16));
+        let mix =
+            pac_mix((raw & PAC_PTR_MASK) ^ self.pac_key ^ ctx.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        mix >> (64 - bits)
+    }
+
+    /// Seals `raw` under `ctx`: packs the MAC tag into the word's spare
+    /// high bits. No layout growth — the sealed pointer is still one
+    /// 64-bit word.
+    #[inline]
+    pub(crate) fn pac_seal(&self, raw: u64, ctx: u64) -> u64 {
+        let bits = u32::from(self.config.pac_tag_bits.clamp(1, 16));
+        (raw & PAC_PTR_MASK) | (self.pac_tag(raw, ctx) << (64 - bits))
+    }
+
+    /// Authenticates a sealed word under `ctx`: recomputes the seal and
+    /// compares the full word. Returns the stripped raw pointer, or
+    /// [`Trap::Pac`] on tag mismatch (an unsealed or substituted word).
+    #[inline]
+    pub(crate) fn pac_auth_val(&self, sealed: u64, ctx: u64) -> Result<u64, Trap> {
+        let raw = sealed & PAC_PTR_MASK;
+        if self.pac_seal(raw, ctx) == sealed {
+            Ok(raw)
+        } else {
+            Err(Trap::Pac { addr: raw })
+        }
+    }
+
+    /// Charges one `pac_sign` (PACIA-analogue) op.
+    #[inline]
+    pub(crate) fn charge_pac_sign(&mut self) {
+        self.stats.pac_signs += 1;
+        self.stats.cycles += self.config.cost.pac_sign;
+    }
+
+    /// Charges one `pac_auth` (AUTIA-analogue) op.
+    #[inline]
+    pub(crate) fn charge_pac_auth(&mut self) {
+        self.stats.pac_auths += 1;
+        self.stats.cycles += self.config.cost.pac_auth;
     }
 
     #[inline]

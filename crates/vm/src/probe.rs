@@ -38,8 +38,8 @@ use levee_ir::prelude::*;
 
 use crate::stats::ExecStats;
 
-/// Number of bytecode opcodes (`levee_bc::Op` discriminants `0..28`).
-pub const N_OPS: usize = 28;
+/// Number of bytecode opcodes (`levee_bc::Op` discriminants `0..31`).
+pub const N_OPS: usize = 31;
 
 /// Pseudo-opcode slot attributing the cycles charged before the first
 /// dispatch (loading `main`'s frame: call cost, return-slot write…).

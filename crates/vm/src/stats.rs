@@ -20,6 +20,13 @@ pub struct ExecStats {
     pub cpi_mem_ops: u64,
     /// Bounds / code-pointer checks executed.
     pub checks: u64,
+    /// Code pointers sealed (`pac_sign` ops) under the PAC defense
+    /// family; zero when [`crate::config::PacMode::Off`].
+    pub pac_signs: u64,
+    /// Sealed code pointers authenticated (`pac_auth` ops, including
+    /// the fused `AuthCall` superinstruction and machine-level return /
+    /// longjmp authentication).
+    pub pac_auths: u64,
     /// L1 hits.
     pub cache_hits: u64,
     /// L1 misses.

@@ -61,6 +61,10 @@ pub enum Trap {
     BadControl { addr: u64 },
     /// SoftBound-style full-memory-safety bounds violation.
     SoftBound { addr: u64 },
+    /// Pointer-authentication failure: a sealed code pointer's MAC tag
+    /// did not match under the current key and context (`-fpac` /
+    /// `-fpac-tight`). `addr` is the stripped (low-48-bit) pointer.
+    Pac { addr: u64 },
     /// Integer division by zero.
     DivByZero,
     /// Executed an `unreachable` terminator (frontend/lowering bug).
@@ -96,6 +100,7 @@ impl Trap {
                 | Trap::Nx { .. }
                 | Trap::SafeRegion { .. }
                 | Trap::SoftBound { .. }
+                | Trap::Pac { .. }
         )
     }
 }

@@ -20,7 +20,11 @@
 //!
 //! …and the whole lineup repeats for every safe-pointer-store
 //! organization (`DIFF_FUZZ_STORES` selects a subset by name, e.g.
-//! `DIFF_FUZZ_STORES=array-2M,hashtable`; default all four). Every
+//! `DIFF_FUZZ_STORES=array-2M,hashtable`; default all four). Random
+//! cases draw their build configuration from the full seven-config
+//! roster — vanilla, safestack, CPS, CPI, SoftBound, PAC, PACTight —
+//! or the `DIFF_FUZZ_CONFIGS` subset (e.g.
+//! `DIFF_FUZZ_CONFIGS=PAC,PACTight`). Every
 //! observable — output, exit status/trap, simulated cycle, instruction,
 //! memory-op, check, cache and call counters — must be bit-identical
 //! across the four engine configurations *within* each store kind.
@@ -322,7 +326,34 @@ const ALL_CONFIGS: &[BuildConfig] = &[
     BuildConfig::Cps,
     BuildConfig::Cpi,
     BuildConfig::SoftBound,
+    BuildConfig::Pac,
+    BuildConfig::PacTight,
 ];
+
+/// Build configurations to fuzz: `DIFF_FUZZ_CONFIGS` is a
+/// comma-separated list of configuration names (`vanilla`, `safestack`,
+/// `CPS`, `CPI`, `SoftBound`, `PAC`, `PACTight`) or `all`; unset
+/// defaults to all seven.
+fn fuzz_configs() -> Vec<BuildConfig> {
+    match std::env::var("DIFF_FUZZ_CONFIGS") {
+        Err(_) => ALL_CONFIGS.to_vec(),
+        Ok(s) if s == "all" || s.is_empty() => ALL_CONFIGS.to_vec(),
+        Ok(s) => s
+            .split(',')
+            .map(|name| {
+                *ALL_CONFIGS
+                    .iter()
+                    .find(|c| c.name() == name.trim())
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "DIFF_FUZZ_CONFIGS: unknown configuration {name:?} (want one of \
+                             vanilla, safestack, CPS, CPI, SoftBound, PAC, PACTight)"
+                        )
+                    })
+            })
+            .collect(),
+    }
+}
 
 /// The (engine × fusion × profiler) configurations under test.
 const LINEUP: [(Engine, bool, bool, &str); 5] = [
@@ -395,6 +426,8 @@ fn differential(src: &str, config: BuildConfig, fuel: u64, what: &str) {
                 && run.stats.checks == reference.stats.checks
                 && run.stats.cache_hits == reference.stats.cache_hits
                 && run.stats.cache_misses == reference.stats.cache_misses
+                && run.stats.pac_signs == reference.stats.pac_signs
+                && run.stats.pac_auths == reference.stats.pac_auths
                 && run.stats.calls == reference.stats.calls;
             assert!(
                 agree,
@@ -438,6 +471,8 @@ fn differential(src: &str, config: BuildConfig, fuel: u64, what: &str) {
                 && recycled.stats.checks == reference.stats.checks
                 && recycled.stats.cache_hits == reference.stats.cache_hits
                 && recycled.stats.cache_misses == reference.stats.cache_misses
+                && recycled.stats.pac_signs == reference.stats.pac_signs
+                && recycled.stats.pac_auths == reference.stats.pac_auths
                 && recycled.stats.calls == reference.stats.calls;
             assert!(
                 agree,
@@ -465,6 +500,8 @@ fn differential(src: &str, config: BuildConfig, fuel: u64, what: &str) {
                 && reference.stats.mem_ops == first.stats.mem_ops
                 && reference.stats.cpi_mem_ops == first.stats.cpi_mem_ops
                 && reference.stats.checks == first.stats.checks
+                && reference.stats.pac_signs == first.stats.pac_signs
+                && reference.stats.pac_auths == first.stats.pac_auths
                 && reference.stats.calls == first.stats.calls;
             assert!(
                 agree,
@@ -512,17 +549,19 @@ proptest! {
     #[test]
     fn random_programs_agree_across_engines_and_fusion(
         seed in proptest::arbitrary::any::<u64>(),
-        cfg in 0usize..5,
+        // 420 = lcm(1..=7): uniform over any `DIFF_FUZZ_CONFIGS` subset.
+        cfg in 0usize..420,
         fuel_roll in 0u64..100,
         tiny_fuel in 300u64..4000,
     ) {
         let src = Gen::program(seed);
-        // One build config per case (all five covered many times over
-        // the run); ~1 case in 8 runs on a tiny fuel budget so the
-        // OutOfFuel cutoff lands at arbitrary points, fused pairs
-        // included.
+        // One build config per case (all seven covered many times over
+        // the run, or the `DIFF_FUZZ_CONFIGS` subset); ~1 case in 8
+        // runs on a tiny fuel budget so the OutOfFuel cutoff lands at
+        // arbitrary points, fused pairs included.
+        let configs = fuzz_configs();
         let fuel = if fuel_roll < 12 { tiny_fuel } else { 2_000_000 };
-        differential(&src, ALL_CONFIGS[cfg], fuel, "random program");
+        differential(&src, configs[cfg % configs.len()], fuel, "random program");
     }
 }
 
